@@ -1,0 +1,88 @@
+package robustscaler_test
+
+// bench_test.go wires every paper table/figure to a testing.B benchmark:
+// `go test -bench=. -benchmem -timeout 45m` regenerates the full
+// evaluation in Quick mode (reduced sweeps and horizons). The whole suite
+// replays tens of thousands of queries per figure, so the default
+// 10-minute test timeout is not enough — pass -timeout 45m (or bench a
+// single figure). The paper-scale numbers come from
+// `go run ./cmd/experiments -run all`, which uses the same drivers; see
+// EXPERIMENTS.md for the recorded outputs.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"robustscaler/internal/experiments"
+)
+
+var (
+	benchRunnerOnce sync.Once
+	benchRunner     *experiments.Runner
+)
+
+// benchRun executes one experiment driver b.N times, discarding output.
+// All benches share one Runner so traces and models are built only once.
+func benchRun(b *testing.B, id string) {
+	b.Helper()
+	benchRunnerOnce.Do(func() {
+		benchRunner = experiments.NewRunner(experiments.Options{Seed: 2022, Quick: true})
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := benchRunner.RunAndPrint(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Traces regenerates the trace summaries of Fig. 3.
+func BenchmarkFig3Traces(b *testing.B) { benchRun(b, "fig3") }
+
+// BenchmarkFig4Pareto regenerates the Pareto sweeps of Fig. 4 (all three
+// traces × five autoscalers).
+func BenchmarkFig4Pareto(b *testing.B) { benchRun(b, "fig4") }
+
+// BenchmarkFig5Variance regenerates the QoS-variance study of Fig. 5.
+func BenchmarkFig5Variance(b *testing.B) { benchRun(b, "fig5") }
+
+// BenchmarkFig67Perturb regenerates the perturbation comparison of
+// Figs. 6–7.
+func BenchmarkFig67Perturb(b *testing.B) { benchRun(b, "fig6-7") }
+
+// BenchmarkFig8Scalability regenerates the decision-runtime scatter of
+// Fig. 8.
+func BenchmarkFig8Scalability(b *testing.B) { benchRun(b, "fig8") }
+
+// BenchmarkFig9Robustness regenerates the anomaly/missing-data study of
+// Fig. 9.
+func BenchmarkFig9Robustness(b *testing.B) { benchRun(b, "fig9") }
+
+// BenchmarkFig10Control regenerates the nominal-vs-actual and
+// planning-frequency study of Fig. 10.
+func BenchmarkFig10Control(b *testing.B) { benchRun(b, "fig10") }
+
+// BenchmarkTable1Accuracy regenerates the Monte Carlo accuracy check of
+// Table I.
+func BenchmarkTable1Accuracy(b *testing.B) { benchRun(b, "table1") }
+
+// BenchmarkTable2Quantiles regenerates the RT-quantile robustness check
+// of Table II.
+func BenchmarkTable2Quantiles(b *testing.B) { benchRun(b, "table2") }
+
+// BenchmarkTable3Regularization regenerates the periodicity-regularization
+// ablation of Table III.
+func BenchmarkTable3Regularization(b *testing.B) { benchRun(b, "table3") }
+
+// BenchmarkTable4RealEnv regenerates the simulated-vs-real comparison of
+// Table IV.
+func BenchmarkTable4RealEnv(b *testing.B) { benchRun(b, "table4") }
+
+// BenchmarkAblationSolvers times the design alternatives from DESIGN.md:
+// banded vs dense vs CG solves and Algorithm 3 vs naive bisection.
+func BenchmarkAblationSolvers(b *testing.B) { benchRun(b, "ablation-solver") }
+
+// BenchmarkAblationKappa compares local-intensity planning against a
+// global intensity bound.
+func BenchmarkAblationKappa(b *testing.B) { benchRun(b, "ablation-kappa") }

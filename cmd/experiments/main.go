@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the synthetic trace stand-ins.
+//
+// Usage:
+//
+//	experiments -run all            # every experiment, paper-scale
+//	experiments -run fig4 -quick    # one experiment, reduced scale
+//	experiments -list               # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"robustscaler/internal/experiments"
+)
+
+func main() {
+	var (
+		run   = flag.String("run", "all", "experiment ID to run, or 'all'")
+		quick = flag.Bool("quick", false, "reduced sweeps/horizons for a fast pass")
+		seed  = flag.Int64("seed", 2022, "base random seed")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Options{Seed: *seed, Quick: *quick})
+	if *list {
+		fmt.Println(strings.Join(r.IDs(), "\n"))
+		return
+	}
+	ids := r.IDs()
+	if *run != "all" {
+		ids = strings.Split(*run, ",")
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := r.RunAndPrint(id, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %.1fs]\n", id, time.Since(start).Seconds())
+	}
+}

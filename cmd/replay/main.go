@@ -1,0 +1,143 @@
+// Command replay runs an autoscaling policy against a workload trace and
+// prints the QoS/cost metrics.
+//
+// The trace is either one of the built-in synthetic stand-ins
+// (-synthetic crs|google|alibaba) or a CSV file with columns
+// arrival_s,service_s (-trace file.csv). RobustScaler policies train
+// their NHPP model on the training portion before replaying the test
+// portion.
+//
+// Policy syntax (-policy):
+//
+//	bp:N          Backup Pool with N instances
+//	adapbp:C      Adaptive Backup Pool with factor C
+//	hp:T          RobustScaler-HP targeting hit probability T
+//	rt:W          RobustScaler-RT with net wait budget W seconds
+//	cost:B        RobustScaler-cost with idle budget B seconds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"robustscaler"
+	"robustscaler/internal/trace"
+)
+
+func main() {
+	var (
+		synthetic = flag.String("synthetic", "crs", "built-in trace: crs, google, alibaba")
+		traceFile = flag.String("trace", "", "CSV trace file (overrides -synthetic)")
+		trainFrac = flag.Float64("train-frac", 0.75, "training fraction for CSV traces")
+		policyArg = flag.String("policy", "hp:0.9", "policy spec, e.g. bp:3, adapbp:30, hp:0.9, rt:2, cost:5")
+		pending   = flag.Float64("pending", 0, "instance pending time τ in seconds (0 = trace default)")
+		tick      = flag.Float64("tick", 1, "planning interval Δ in seconds")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *synthetic, *trainFrac, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	tau := tr.MeanPending
+	if *pending > 0 {
+		tau = *pending
+	}
+	if tau <= 0 {
+		tau = 13
+	}
+	policy, err := buildPolicy(*policyArg, tr, tau, *tick, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := robustscaler.Replay(tr.Test(), policy, robustscaler.ReplayConfig{
+		Start:       tr.TrainEnd,
+		End:         tr.End,
+		Pending:     robustscaler.FixedPending(tau),
+		MeanPending: tau,
+		Tick:        *tick,
+		Seed:        *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace          %s (%d test queries)\n", tr.Name, res.NumQueries)
+	fmt.Printf("policy         %s\n", *policyArg)
+	fmt.Printf("hit_rate       %.4f\n", res.HitRate())
+	fmt.Printf("rt_avg         %.2f s\n", res.RTAvg())
+	fmt.Printf("rt_p95         %.2f s\n", res.RTQuantile(0.95))
+	fmt.Printf("rt_p99         %.2f s\n", res.RTQuantile(0.99))
+	fmt.Printf("total_cost     %.0f instance-seconds\n", res.TotalCost)
+	fmt.Printf("relative_cost  %.3f (vs pure reactive)\n", res.RelativeCost())
+	fmt.Printf("instances      %d\n", res.InstancesCreated)
+}
+
+func loadTrace(file, synthetic string, trainFrac float64, seed int64) (*trace.Trace, error) {
+	if file != "" {
+		fh, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		return trace.ReadCSV(fh, file, trainFrac)
+	}
+	switch synthetic {
+	case "crs":
+		return trace.SyntheticCRS(seed), nil
+	case "google":
+		return trace.SyntheticGoogle(seed), nil
+	case "alibaba":
+		return trace.SyntheticAlibaba(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown synthetic trace %q", synthetic)
+	}
+}
+
+func buildPolicy(spec string, tr *trace.Trace, tau, tick float64, seed int64) (robustscaler.Policy, error) {
+	kind, valStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("policy spec %q must be kind:value", spec)
+	}
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return nil, fmt.Errorf("policy value %q: %w", valStr, err)
+	}
+	switch kind {
+	case "bp":
+		return robustscaler.NewBackupPool(int(val)), nil
+	case "adapbp":
+		return robustscaler.NewAdaptiveBackupPool(val), nil
+	case "hp", "rt", "cost":
+		series := tr.TrainCountSeries(60)
+		cfg := robustscaler.DefaultTrainConfig()
+		cfg.Periodicity.AggregateWindow = 60
+		cfg.Periodicity.MinPeriod = 3
+		model, err := robustscaler.Train(series, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if model.PeriodSeconds > 0 {
+			fmt.Fprintf(os.Stderr, "detected period: %.0f s\n", model.PeriodSeconds)
+		}
+		p := robustscaler.FixedPending(tau)
+		switch kind {
+		case "hp":
+			return robustscaler.NewHPPolicy(model, val, p, tick, seed)
+		case "rt":
+			return robustscaler.NewRTPolicy(model, val, p, tick, seed)
+		default:
+			return robustscaler.NewCostPolicy(model, val, p, tick, seed)
+		}
+	default:
+		return nil, fmt.Errorf("unknown policy kind %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

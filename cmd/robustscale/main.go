@@ -1,0 +1,140 @@
+// Command robustscale trains the NHPP arrival model on a trace and emits
+// the upcoming proactive scaling plan: a list of absolute instance
+// creation times computed by the selected stochastically constrained
+// formulation.
+//
+// Usage:
+//
+//	robustscale -synthetic google -variant hp -target 0.9 -horizon 600
+//	robustscale -trace workload.csv -variant rt -target 2 -pending 13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"robustscaler"
+	"robustscaler/internal/decision"
+	"robustscaler/internal/stats"
+	"robustscaler/internal/trace"
+)
+
+func main() {
+	var (
+		synthetic = flag.String("synthetic", "google", "built-in trace: crs, google, alibaba")
+		traceFile = flag.String("trace", "", "CSV trace file (overrides -synthetic)")
+		trainFrac = flag.Float64("train-frac", 0.75, "training fraction for CSV traces")
+		variant   = flag.String("variant", "hp", "formulation: hp, rt, cost")
+		target    = flag.Float64("target", 0.9, "target hit prob / wait budget (s) / idle budget (s)")
+		pending   = flag.Float64("pending", 0, "pending time τ seconds (0 = trace default)")
+		horizon   = flag.Float64("horizon", 600, "planning horizon in seconds")
+		mcR       = flag.Int("mc", 1000, "Monte Carlo samples for rt/cost variants")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *synthetic, *trainFrac, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	tau := tr.MeanPending
+	if *pending > 0 {
+		tau = *pending
+	}
+	if tau <= 0 {
+		tau = 13
+	}
+
+	series := tr.TrainCountSeries(60)
+	cfg := robustscaler.DefaultTrainConfig()
+	cfg.Periodicity.AggregateWindow = 10
+	cfg.Periodicity.MinPeriod = 3
+	model, err := robustscaler.Train(series, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trained on %d bins; detected period: %.0f s; ADMM iterations: %d (converged=%v)\n",
+		series.Len(), model.PeriodSeconds, model.FitStats.Iterations, model.FitStats.Converged)
+
+	now := tr.TrainEnd
+	fmt.Printf("current time t0 = %.0f s; forecast intensity λ(t0) = %.4g qps\n", now, model.Rate(now))
+
+	// κ threshold (eq. 8) under the local intensity bound.
+	alpha := 0.1
+	if *variant == "hp" {
+		alpha = 1 - *target
+	}
+	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
+	fmt.Printf("κ threshold (eq. 8) at local intensity: %d arrivals\n", kappa)
+
+	h := decision.NewHorizon(model.NHPP, now, 1, 0)
+	rng := rand.New(rand.NewSource(*seed))
+	tauSamples := make([]float64, *mcR)
+	for i := range tauSamples {
+		tauSamples[i] = tau
+	}
+	fmt.Printf("\nplan (variant=%s, target=%g, horizon=%.0f s):\n", *variant, *target, *horizon)
+	fmt.Println("query#  create_at_s  lead_s")
+	for i := 1; ; i++ {
+		var x float64
+		switch *variant {
+		case "hp":
+			q, ok := h.QuantileArrival(i, 1-*target)
+			if !ok {
+				return
+			}
+			x = q - tau
+		case "rt", "cost":
+			xi := make([]float64, *mcR)
+			for s := range xi {
+				u, ok := h.SampleArrival(rng, i)
+				if !ok {
+					return
+				}
+				xi[s] = u - now
+			}
+			if *variant == "rt" {
+				x = now + decision.SolveRT(xi, tauSamples, *target)
+			} else {
+				x = now + decision.SolveCost(xi, tauSamples, *target)
+			}
+		default:
+			fatal(fmt.Errorf("unknown variant %q", *variant))
+		}
+		if x < now {
+			x = now
+		}
+		if x > now+*horizon {
+			return
+		}
+		fmt.Printf("%6d  %11.1f  %6.1f\n", i, x, x-now)
+	}
+}
+
+func loadTrace(file, synthetic string, trainFrac float64, seed int64) (*trace.Trace, error) {
+	if file != "" {
+		fh, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer fh.Close()
+		return trace.ReadCSV(fh, file, trainFrac)
+	}
+	switch synthetic {
+	case "crs":
+		return trace.SyntheticCRS(seed), nil
+	case "google":
+		return trace.SyntheticGoogle(seed), nil
+	case "alibaba":
+		return trace.SyntheticAlibaba(seed), nil
+	default:
+		return nil, fmt.Errorf("unknown synthetic trace %q", synthetic)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command scalerd runs the RobustScaler HTTP control plane — the
+// integration surface for a cluster autoscaler (e.g. a Kubernetes
+// operator that provisions pods ahead of predicted queries).
+//
+// Endpoints:
+//
+//	POST /v1/arrivals  {"timestamps": [t1, t2, ...]}   record query arrivals
+//	POST /v1/train                                      (re)fit the NHPP model
+//	GET  /v1/plan?variant=hp&target=0.9&horizon=600     upcoming creation times
+//	GET  /v1/forecast?from=&to=&step=                   predicted intensity
+//	GET  /v1/status                                     model/ingestion state
+//	GET  /healthz                                       liveness
+//
+// Example:
+//
+//	scalerd -listen :8080 -pending 13 -dt 60
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"robustscaler/internal/server"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":8080", "HTTP listen address")
+		pending = flag.Float64("pending", 13, "instance pending time τ seconds")
+		dt      = flag.Float64("dt", 60, "modeling bin width seconds")
+		history = flag.Float64("history", 28*86400, "retained arrival history seconds")
+		mc      = flag.Int("mc", 1000, "Monte Carlo samples for rt/cost plans")
+		seed    = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := server.DefaultConfig()
+	cfg.Pending = *pending
+	cfg.Dt = *dt
+	cfg.HistoryWindow = *history
+	cfg.MCSamples = *mc
+	cfg.Seed = *seed
+	s, err := server.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("scalerd listening on %s (τ=%.0fs, Δt=%.0fs)", *listen, *pending, *dt)
+	log.Fatal(http.ListenAndServe(*listen, s.Handler()))
+}

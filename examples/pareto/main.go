@@ -1,0 +1,103 @@
+// Pareto explorer: sweeps each autoscaler's trade-off parameter on a
+// chosen workload and emits a CSV of (policy, hit_rate, rt_avg,
+// relative_cost) points — the raw material of the paper's Fig. 4 panels,
+// ready for any plotting tool:
+//
+//	go run ./examples/pareto -workload google > pareto.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"robustscaler"
+	"robustscaler/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "google", "crs, google, or alibaba")
+	seed := flag.Int64("seed", 5, "trace seed")
+	flag.Parse()
+
+	var tr *trace.Trace
+	switch *workload {
+	case "crs":
+		tr = trace.SyntheticCRS(*seed)
+	case "google":
+		tr = trace.SyntheticGoogle(*seed)
+	case "alibaba":
+		tr = trace.SyntheticAlibaba(*seed)
+	default:
+		log.Fatalf("unknown workload %q", *workload)
+	}
+
+	series := tr.TrainCountSeries(60)
+	cfg := robustscaler.DefaultTrainConfig()
+	cfg.Periodicity.AggregateWindow = 10
+	cfg.Periodicity.MinPeriod = 3
+	if *workload == "crs" {
+		cfg.Periodicity.AggregateWindow = 60
+		cfg.Periodicity.MinPeriod = 12
+	}
+	model, err := robustscaler.Train(series, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pend := robustscaler.FixedPending(tr.MeanPending)
+	replayCfg := robustscaler.ReplayConfig{
+		Start:       tr.TrainEnd,
+		End:         tr.End,
+		Pending:     pend,
+		MeanPending: tr.MeanPending,
+		Tick:        1,
+	}
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	if err := w.Write([]string{"policy", "param", "hit_rate", "rt_avg", "relative_cost"}); err != nil {
+		log.Fatal(err)
+	}
+	emit := func(policy robustscaler.Policy, name, param string) {
+		res, err := robustscaler.Replay(tr.Test(), policy, replayCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := []string{name, param,
+			fmt.Sprintf("%.4f", res.HitRate()),
+			fmt.Sprintf("%.2f", res.RTAvg()),
+			fmt.Sprintf("%.4f", res.RelativeCost())}
+		if err := w.Write(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, b := range []int{0, 1, 2, 5, 10, 20, 40} {
+		emit(robustscaler.NewBackupPool(b), "BP", fmt.Sprint(b))
+	}
+	for _, c := range []float64{10, 25, 50, 100, 200} {
+		emit(robustscaler.NewAdaptiveBackupPool(c), "AdapBP", fmt.Sprint(c))
+	}
+	for i, target := range []float64{0.3, 0.5, 0.7, 0.85, 0.95} {
+		p, err := robustscaler.NewHPPolicy(model, target, pend, 1, int64(i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(p, "RobustScaler-HP", fmt.Sprint(target))
+	}
+	for i, budget := range []float64{10, 5, 2.5, 1} {
+		p, err := robustscaler.NewRTPolicy(model, budget, pend, 1, int64(10+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(p, "RobustScaler-RT", fmt.Sprint(budget))
+	}
+	for i, budget := range []float64{0.5, 2, 5, 12, 30} {
+		p, err := robustscaler.NewCostPolicy(model, budget, pend, 1, int64(20+i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(p, "RobustScaler-cost", fmt.Sprint(budget))
+	}
+}

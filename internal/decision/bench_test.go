@@ -1,0 +1,87 @@
+package decision
+
+import (
+	"math/rand"
+	"testing"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/stats"
+)
+
+func benchSamples(r int) (xi, tau []float64) {
+	rng := rand.New(rand.NewSource(1))
+	xi = make([]float64, r)
+	tau = make([]float64, r)
+	for i := range xi {
+		xi[i] = rng.ExpFloat64() * 40
+		tau[i] = 13
+	}
+	return xi, tau
+}
+
+// BenchmarkSolveHP measures the quantile solution (eq. 3) at the paper's
+// R = 1000.
+func BenchmarkSolveHP(b *testing.B) {
+	xi, tau := benchSamples(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveHP(xi, tau, 0.1)
+	}
+}
+
+// BenchmarkSolveRT measures Algorithm 3 (sort-and-search, O(R log R)).
+func BenchmarkSolveRT(b *testing.B) {
+	xi, tau := benchSamples(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveRT(xi, tau, 2)
+	}
+}
+
+// BenchmarkNaiveSolveRT measures the bisection baseline Algorithm 3
+// replaces.
+func BenchmarkNaiveSolveRT(b *testing.B) {
+	xi, tau := benchSamples(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NaiveSolveRT(xi, tau, 2, 1e-9)
+	}
+}
+
+// BenchmarkSolveCost measures the cost-constrained solution (eq. 7).
+func BenchmarkSolveCost(b *testing.B) {
+	xi, tau := benchSamples(1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SolveCost(xi, tau, 2)
+	}
+}
+
+// BenchmarkSampleArrival measures one Monte Carlo arrival draw through
+// the cached integrated-intensity horizon.
+func BenchmarkSampleArrival(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	h := NewHorizon(nhpp.Constant{Lambda: 5}, 0, 0.2, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.SampleArrival(rng, 20); !ok {
+			b.Fatal("sample failed")
+		}
+	}
+}
+
+// BenchmarkKappa measures the planning-threshold computation (eq. 8).
+func BenchmarkKappa(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Kappa(10, detTau13, 0.1, nil, 0)
+	}
+}
+
+// detTau13 is the fixed 13 s pending time used across benches.
+var detTau13 = stats.Deterministic{Value: 13}

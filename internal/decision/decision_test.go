@@ -1,0 +1,346 @@
+package decision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/stats"
+)
+
+func TestHorizonConstantIntensity(t *testing.T) {
+	h := NewHorizon(nhpp.Constant{Lambda: 2}, 100, 1, 0)
+	u, ok := h.Invert(6)
+	if !ok || math.Abs(u-103) > 1e-9 {
+		t.Fatalf("Invert(6) = %g,%v, want 103", u, ok)
+	}
+	if got := h.Mass(103); math.Abs(got-6) > 1e-9 {
+		t.Fatalf("Mass(103) = %g, want 6", got)
+	}
+	if u, ok := h.Invert(0); !ok || u != 100 {
+		t.Fatalf("Invert(0) = %g, want start", u)
+	}
+}
+
+func TestHorizonZeroIntensityFails(t *testing.T) {
+	h := NewHorizon(nhpp.Constant{Lambda: 0}, 0, 1, 100)
+	if _, ok := h.Invert(1); ok {
+		t.Fatal("Invert should fail with zero intensity")
+	}
+}
+
+func TestHorizonMatchesModelInverse(t *testing.T) {
+	r := []float64{math.Log(0.5), math.Log(2), math.Log(1)}
+	m := nhpp.NewModel(0, 10, r, 0)
+	h := NewHorizon(m, 0, 0.5, 0)
+	for _, mass := range []float64{0.3, 4.9, 13, 30} {
+		hu, ok1 := h.Invert(mass)
+		mu, ok2 := m.InverseIntegral(0, mass)
+		if !ok1 || !ok2 {
+			t.Fatalf("mass %g: inversion failed (%v %v)", mass, ok1, ok2)
+		}
+		if math.Abs(hu-mu) > 0.5 { // grid resolution
+			t.Fatalf("mass %g: horizon %g vs model %g", mass, hu, mu)
+		}
+	}
+}
+
+func TestHorizonSampleArrivalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHorizon(nhpp.Constant{Lambda: 4}, 0, 0.25, 0)
+	// i-th arrival of rate-4 Poisson process has mean i/4.
+	for _, i := range []int{1, 5, 20} {
+		const n = 20000
+		var sum float64
+		for k := 0; k < n; k++ {
+			u, ok := h.SampleArrival(rng, i)
+			if !ok {
+				t.Fatal("sample failed")
+			}
+			sum += u
+		}
+		mean := sum / n
+		want := float64(i) / 4
+		if math.Abs(mean-want) > 0.05*want+0.02 {
+			t.Fatalf("arrival %d mean %g, want %g", i, mean, want)
+		}
+	}
+}
+
+func TestHorizonQuantileArrival(t *testing.T) {
+	h := NewHorizon(nhpp.Constant{Lambda: 2}, 0, 0.01, 0)
+	got, ok := h.QuantileArrival(3, 0.7)
+	if !ok {
+		t.Fatal("quantile failed")
+	}
+	want := stats.Gamma{Shape: 3, Scale: 1}.Quantile(0.7) / 2
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("QuantileArrival = %g, want %g", got, want)
+	}
+}
+
+func TestSolveHPQuantileSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 50000
+	xi := make([]float64, n)
+	tau := make([]float64, n)
+	for r := range xi {
+		xi[r] = 100 + 20*rng.NormFloat64()
+		tau[r] = 13
+	}
+	alpha := 0.1
+	x, feasible := SolveHP(xi, tau, alpha)
+	if !feasible {
+		t.Fatal("should be feasible")
+	}
+	// Empirical hit fraction at x must be ≈ 1−α.
+	hits := 0
+	for r := range xi {
+		if xi[r] > x+tau[r] {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.9) > 0.01 {
+		t.Fatalf("hit fraction %g, want 0.90", frac)
+	}
+}
+
+func TestSolveHPInfeasible(t *testing.T) {
+	// Arrivals sooner than the pending time: target 99% HP unattainable.
+	xi := []float64{1, 2, 1.5}
+	tau := []float64{10, 10, 10}
+	x, feasible := SolveHP(xi, tau, 0.01)
+	if feasible {
+		t.Fatal("should be infeasible")
+	}
+	if x != 0 {
+		t.Fatalf("infeasible x = %g, want 0", x)
+	}
+}
+
+func TestSolveRTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 50 + rng.Intn(500)
+		xi := make([]float64, n)
+		tau := make([]float64, n)
+		for r := range xi {
+			xi[r] = rng.ExpFloat64() * 50
+			tau[r] = 5 + 10*rng.Float64()
+		}
+		target := rng.Float64() * 8
+		fast := SolveRT(xi, tau, target)
+		slow := NaiveSolveRT(xi, tau, target, 1e-10)
+		// Both must satisfy the constraint with near-equality.
+		if w := ExpectedWait(xi, tau, fast); w > target+1e-9 {
+			t.Fatalf("trial %d: Alg3 x=%g violates: wait %g > %g", trial, fast, w, target)
+		}
+		wf, ws := ExpectedWait(xi, tau, fast), ExpectedWait(xi, tau, slow)
+		if math.Abs(wf-ws) > 1e-6*(1+target) {
+			t.Fatalf("trial %d: Alg3 wait %g vs naive wait %g", trial, wf, ws)
+		}
+	}
+}
+
+func TestSolveRTRootHitsTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const n = 2000
+	xi := make([]float64, n)
+	tau := make([]float64, n)
+	for r := range xi {
+		xi[r] = 30 + 10*rng.NormFloat64()
+		tau[r] = 13
+	}
+	target := 2.0
+	x := SolveRT(xi, tau, target)
+	if w := ExpectedWait(xi, tau, x); math.Abs(w-target) > 1e-9 {
+		t.Fatalf("wait at root = %g, want %g", w, target)
+	}
+}
+
+func TestSolveRTUnconstrainedTarget(t *testing.T) {
+	xi := []float64{10, 20, 30}
+	tau := []float64{1, 1, 1}
+	// target ≥ mean τ = 1: every x works; Algorithm 3 returns max ξ.
+	if got := SolveRT(xi, tau, 5); got != 30 {
+		t.Fatalf("unconstrained SolveRT = %g, want 30", got)
+	}
+}
+
+func TestSolveRTZeroTarget(t *testing.T) {
+	xi := []float64{10, 20, 30}
+	tau := []float64{4, 4, 4}
+	// target 0 → largest x with zero wait = min(ξ−τ) = 6.
+	if got := SolveRT(xi, tau, 0); got != 6 {
+		t.Fatalf("zero-target SolveRT = %g, want 6", got)
+	}
+}
+
+func TestSolveCostSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 2000
+	xi := make([]float64, n)
+	tau := make([]float64, n)
+	for r := range xi {
+		xi[r] = 50 + 15*rng.NormFloat64()
+		tau[r] = 13
+	}
+	budget := 3.0
+	x := SolveCost(xi, tau, budget)
+	if c := ExpectedIdle(xi, tau, x); math.Abs(c-budget) > 1e-9 {
+		t.Fatalf("idle at root = %g, want %g", c, budget)
+	}
+	// Huge budget → x = 0 (eq. 7's first case).
+	if x := SolveCost(xi, tau, 1e9); x != 0 {
+		t.Fatalf("large-budget x = %g, want 0", x)
+	}
+	// Zero budget → largest breakpoint (zero idle cost).
+	x0 := SolveCost(xi, tau, 0)
+	if c := ExpectedIdle(xi, tau, x0); c > 1e-9 {
+		t.Fatalf("zero-budget idle = %g, want 0", c)
+	}
+}
+
+func TestSolveCostNeverNegative(t *testing.T) {
+	xi := []float64{1, 2}
+	tau := []float64{10, 10} // all breakpoints negative
+	if x := SolveCost(xi, tau, 0.5); x < 0 {
+		t.Fatalf("negative creation time %g", x)
+	}
+}
+
+func TestExpectedWaitAndIdleManual(t *testing.T) {
+	xi := []float64{10}
+	tau := []float64{4}
+	// x=8: instance ready at 12, arrival at 10 → wait 2, idle 0.
+	if w := ExpectedWait(xi, tau, 8); w != 2 {
+		t.Fatalf("wait = %g, want 2", w)
+	}
+	if c := ExpectedIdle(xi, tau, 8); c != 0 {
+		t.Fatalf("idle = %g, want 0", c)
+	}
+	// x=2: ready at 6, arrival at 10 → wait 0, idle 4.
+	if w := ExpectedWait(xi, tau, 2); w != 0 {
+		t.Fatalf("wait = %g, want 0", w)
+	}
+	if c := ExpectedIdle(xi, tau, 2); c != 4 {
+		t.Fatalf("idle = %g, want 4", c)
+	}
+}
+
+func TestKappaDeterministic(t *testing.T) {
+	// λ̄=1, τ=5, α=0.1: κ is the largest i with Gamma(i,1) 0.1-quantile < 5.
+	var want int
+	for i := 1; ; i++ {
+		if (stats.Gamma{Shape: float64(i), Scale: 1}).Quantile(0.1) >= 5 {
+			want = i - 1
+			break
+		}
+	}
+	got := Kappa(1, stats.Deterministic{Value: 5}, 0.1, nil, 0)
+	if got != want {
+		t.Fatalf("Kappa = %d, want %d", got, want)
+	}
+	if want < 3 {
+		t.Fatalf("sanity: expected κ of several arrivals, got %d", want)
+	}
+}
+
+func TestKappaEdgeCases(t *testing.T) {
+	if got := Kappa(0, stats.Deterministic{Value: 5}, 0.1, nil, 0); got != 0 {
+		t.Fatalf("zero-rate κ = %d, want 0", got)
+	}
+	if got := Kappa(1, stats.Deterministic{Value: 0}, 0.1, nil, 0); got != 0 {
+		t.Fatalf("zero-pending κ = %d, want 0", got)
+	}
+	// Tiny λ̄: even the first arrival is far away → κ = 0.
+	if got := Kappa(1e-6, stats.Deterministic{Value: 5}, 0.1, nil, 0); got != 0 {
+		t.Fatalf("slow-traffic κ = %d, want 0", got)
+	}
+}
+
+func TestKappaScalesWithRate(t *testing.T) {
+	k1 := Kappa(1, stats.Deterministic{Value: 10}, 0.1, nil, 0)
+	k10 := Kappa(10, stats.Deterministic{Value: 10}, 0.1, nil, 0)
+	if k10 <= k1 {
+		t.Fatalf("κ must grow with rate: κ(1)=%d κ(10)=%d", k1, k10)
+	}
+}
+
+// Monte Carlo κ with a point-mass-like distribution must be close to the
+// deterministic computation.
+type almostDeterministic struct{ v float64 }
+
+func (a almostDeterministic) Sample(rng *rand.Rand) float64 { return a.v }
+func (a almostDeterministic) Quantile(float64) float64      { return a.v }
+func (a almostDeterministic) CDF(x float64) float64 {
+	if x < a.v {
+		return 0
+	}
+	return 1
+}
+
+func TestKappaMonteCarloMatchesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	det := Kappa(2, stats.Deterministic{Value: 8}, 0.1, nil, 0)
+	mc := Kappa(2, almostDeterministic{v: 8}, 0.1, rng, 4000)
+	if math.Abs(float64(mc-det)) > math.Max(2, 0.15*float64(det)) {
+		t.Fatalf("MC κ = %d, deterministic κ = %d", mc, det)
+	}
+}
+
+// End-to-end decision sanity: under a constant-rate NHPP, scheduling each
+// query i at SolveHP of its sampled arrivals must give ≈ the target hit
+// rate when arrivals are re-simulated.
+func TestDecisionAchievesTargetHP(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const (
+		lambda = 0.5
+		tauVal = 13.0
+		alpha  = 0.2
+		nQuery = 40
+		nRep   = 400
+	)
+	in := nhpp.Constant{Lambda: lambda}
+	h := NewHorizon(in, 0, 0.1, 0)
+	// Plan creation times for queries 1..nQuery at time 0.
+	plan := make([]float64, nQuery+1)
+	tauS := make([]float64, 800)
+	for r := range tauS {
+		tauS[r] = tauVal
+	}
+	for i := 1; i <= nQuery; i++ {
+		xiS := make([]float64, 800)
+		for r := range xiS {
+			u, ok := h.SampleArrival(rng, i)
+			if !ok {
+				t.Fatal("sampling failed")
+			}
+			xiS[r] = u
+		}
+		x, _ := SolveHP(xiS, tauS, alpha)
+		plan[i] = x
+	}
+	// Replay: simulate fresh arrival sequences and count hits for queries
+	// beyond the infeasible prefix κ.
+	kappa := Kappa(lambda, stats.Deterministic{Value: tauVal}, alpha, nil, 0)
+	if kappa >= nQuery {
+		t.Fatalf("κ=%d too large for test horizon", kappa)
+	}
+	var hits, total int
+	for rep := 0; rep < nRep; rep++ {
+		arr := nhpp.Simulate(rng, in, 0, float64(3*nQuery)/lambda)
+		for i := kappa + 1; i <= nQuery && i <= len(arr); i++ {
+			total++
+			if arr[i-1] > plan[i]+tauVal {
+				hits++
+			}
+		}
+	}
+	frac := float64(hits) / float64(total)
+	if math.Abs(frac-(1-alpha)) > 0.04 {
+		t.Fatalf("achieved HP %g, want %g", frac, 1-alpha)
+	}
+}

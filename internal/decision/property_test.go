@@ -1,0 +1,178 @@
+package decision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/stats"
+)
+
+// randomSamples builds a random decision instance from a seed.
+func randomSamples(seed int64) (xi, tau []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 20 + rng.Intn(300)
+	xi = make([]float64, n)
+	tau = make([]float64, n)
+	for i := range xi {
+		xi[i] = rng.ExpFloat64() * (5 + 100*rng.Float64())
+		tau[i] = 1 + 30*rng.Float64()
+	}
+	return xi, tau
+}
+
+// Property: ExpectedWait is non-decreasing and ExpectedIdle non-increasing
+// in the creation time — the monotonicity that makes (3)/(5)/(7) solvable
+// by quantiles and line searches.
+func TestWaitIdleMonotonicityProperty(t *testing.T) {
+	f := func(seed int64, x1Raw, x2Raw float64) bool {
+		xi, tau := randomSamples(seed)
+		x1 := math.Mod(math.Abs(x1Raw), 200)
+		x2 := math.Mod(math.Abs(x2Raw), 200)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		if ExpectedWait(xi, tau, x1) > ExpectedWait(xi, tau, x2)+1e-9 {
+			return false
+		}
+		return ExpectedIdle(xi, tau, x1)+1e-9 >= ExpectedIdle(xi, tau, x2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the SolveRT root satisfies its constraint with near-equality
+// (or the boundary cases) on arbitrary instances.
+func TestSolveRTConstraintProperty(t *testing.T) {
+	f := func(seed int64, targetRaw float64) bool {
+		xi, tau := randomSamples(seed)
+		target := math.Mod(math.Abs(targetRaw), 20)
+		x := SolveRT(xi, tau, target)
+		w := ExpectedWait(xi, tau, x)
+		if w > target+1e-6 {
+			return false
+		}
+		// Maximality: a slightly later creation must violate the target
+		// (unless the constraint is everywhere satisfiable).
+		var maxTau float64
+		for _, v := range tau {
+			if v > maxTau {
+				maxTau = v
+			}
+		}
+		meanTau := 0.0
+		for _, v := range tau {
+			meanTau += v
+		}
+		meanTau /= float64(len(tau))
+		if target >= meanTau {
+			return true // unconstrained case
+		}
+		return ExpectedWait(xi, tau, x+1e-3) >= target-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the SolveCost root respects its budget and is minimal.
+func TestSolveCostConstraintProperty(t *testing.T) {
+	f := func(seed int64, budgetRaw float64) bool {
+		xi, tau := randomSamples(seed)
+		budget := math.Mod(math.Abs(budgetRaw), 50)
+		x := SolveCost(xi, tau, budget)
+		if x < 0 {
+			return false
+		}
+		if ExpectedIdle(xi, tau, x) > budget+1e-6 {
+			return false
+		}
+		// Minimality: an earlier creation (if legal) must exceed the
+		// budget, unless x is already 0.
+		if x == 0 {
+			return true
+		}
+		return ExpectedIdle(xi, tau, x-1e-3) >= budget-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveHP's creation time achieves empirical hit fraction ≥ 1−α
+// on its own samples (up to one order statistic).
+func TestSolveHPCoverageProperty(t *testing.T) {
+	f := func(seed int64, aRaw float64) bool {
+		xi, tau := randomSamples(seed)
+		alpha := 0.05 + math.Mod(math.Abs(aRaw), 0.9)
+		if alpha >= 1 {
+			alpha = 0.5
+		}
+		x, feasible := SolveHP(xi, tau, alpha)
+		if !feasible {
+			return x == 0
+		}
+		hits := 0
+		for i := range xi {
+			if xi[i] > x+tau[i] {
+				hits++
+			}
+		}
+		frac := float64(hits) / float64(len(xi))
+		return frac >= 1-alpha-2.0/float64(len(xi))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Horizon.Invert is the inverse of Mass for random piecewise
+// intensities.
+func TestHorizonInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nBins := 3 + rng.Intn(20)
+		r := make([]float64, nBins)
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		m := nhpp.NewModel(0, 5+10*rng.Float64(), r, 0)
+		h := NewHorizon(m, 0, 0.5, 0)
+		for trial := 0; trial < 10; trial++ {
+			mass := rng.Float64() * 20
+			u, ok := h.Invert(mass)
+			if !ok {
+				return false // tail level keeps rate positive; must invert
+			}
+			back := h.Mass(u)
+			if math.Abs(back-mass) > 1e-6*(1+mass) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: κ is non-decreasing in the rate bound and in the pending time.
+func TestKappaMonotoneProperty(t *testing.T) {
+	f := func(lRaw, tRaw float64) bool {
+		l := 0.01 + math.Mod(math.Abs(lRaw), 5)
+		tau := 0.5 + math.Mod(math.Abs(tRaw), 30)
+		k1 := Kappa(l, detTau(tau), 0.1, nil, 0)
+		k2 := Kappa(2*l, detTau(tau), 0.1, nil, 0)
+		k3 := Kappa(l, detTau(2*tau), 0.1, nil, 0)
+		return k2 >= k1 && k3 >= k1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// detTau builds a deterministic pending time for property tests.
+func detTau(v float64) stats.Dist { return stats.Deterministic{Value: v} }

@@ -1,0 +1,196 @@
+package decision
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"robustscaler/internal/stats"
+)
+
+// SolveHP returns the cost-minimal instance creation time that achieves a
+// hitting probability of at least 1−alpha for one query, given Monte Carlo
+// samples of its arrival epoch ξ and pending time τ (eq. 3 of the paper:
+// the α-quantile of ξ−τ). feasible is false when the quantile is negative,
+// i.e. the target hit probability is unattainable even by creating the
+// instance immediately — exactly the situation that motivates planning
+// κ+1 arrivals ahead.
+func SolveHP(xi, tau []float64, alpha float64) (x float64, feasible bool) {
+	checkSamples(xi, tau)
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("decision: SolveHP alpha=%g outside [0,1]", alpha))
+	}
+	d := make([]float64, len(xi))
+	for r := range xi {
+		d[r] = xi[r] - tau[r]
+	}
+	sort.Float64s(d)
+	q := stats.QuantileSorted(d, alpha)
+	if q < 0 {
+		return 0, false
+	}
+	return q, true
+}
+
+// SolveRT implements Algorithm 3 (sort-and-search) for the RT-constrained
+// formulation (eq. 5): it returns the largest creation time x with
+// Ê(x) := (1/R)·Σ_r (τ_r − (ξ_r − x)₊)₊ ≤ target, where target = d − µs is
+// the response-time budget net of processing. Ê is piecewise linear and
+// non-decreasing with slope changes only at the points ξ_r−τ_r (+1/R) and
+// ξ_r (−1/R), so one sorted sweep finds the root in O(R log R).
+//
+// When target ≥ E[τ] every x satisfies the constraint; following the paper
+// the maximum arrival sample is returned (the query will almost surely
+// arrive first and trigger reactive creation). When target < 0 the
+// constraint is infeasible; the largest x with Ê(x) = 0 is returned as the
+// best achievable decision.
+func SolveRT(xi, tau []float64, target float64) float64 {
+	checkSamples(xi, tau)
+	r := len(xi)
+	type bp struct {
+		x  float64
+		ds float64 // slope change in units of 1/R
+	}
+	bps := make([]bp, 0, 2*r)
+	maxXi := math.Inf(-1)
+	for i := range xi {
+		bps = append(bps, bp{xi[i] - tau[i], 1}, bp{xi[i], -1})
+		if xi[i] > maxXi {
+			maxXi = xi[i]
+		}
+	}
+	sort.Slice(bps, func(a, b int) bool { return bps[a].x < bps[b].x })
+
+	if target <= 0 {
+		// Largest x with zero expected wait: the first breakpoint.
+		return bps[0].x
+	}
+	slope := 0.0 // Ê slope · R
+	e := 0.0
+	xl := bps[0].x
+	for _, b := range bps {
+		eNext := e + slope/float64(r)*(b.x-xl)
+		if eNext >= target && slope > 0 {
+			return xl + (target-e)*float64(r)/slope
+		}
+		e = eNext
+		xl = b.x
+		slope += b.ds
+	}
+	// Ê plateaus at mean(τ) ≤ target: unconstrained.
+	return maxXi
+}
+
+// SolveCost implements the cost-constrained solution (eq. 7): the smallest
+// creation time x ≥ 0 with expected idle cost
+// Ĉ(x) := (1/R)·Σ_r (ξ_r − τ_r − x)₊ ≤ budget, where budget = B − µτ − µs.
+// Ĉ is piecewise linear and non-increasing with breakpoints at ξ_r−τ_r.
+// A non-positive budget yields the largest breakpoint (idle cost can be
+// driven to zero but no lower).
+func SolveCost(xi, tau []float64, budget float64) float64 {
+	checkSamples(xi, tau)
+	r := len(xi)
+	d := make([]float64, r)
+	for i := range xi {
+		d[i] = xi[i] - tau[i]
+	}
+	sort.Float64s(d)
+	// Suffix sums: cost at x = d[k] is Σ_{j>k}(d[j]−d[k])/R.
+	// Walk from the left; the first segment where Ĉ dips below budget
+	// contains the root.
+	var total float64
+	for _, v := range d {
+		total += v
+	}
+	// Ĉ(x) on segment x ∈ [d[k−1], d[k]] (with d[−1] = −∞):
+	// (S_k − (R−k)·x)/R where S_k = Σ_{j≥k} d[j].
+	sk := total
+	for k := 0; k < r; k++ {
+		cAtDk := (sk - float64(r-k)*d[k]) / float64(r)
+		if cAtDk <= budget {
+			// Root in (previous breakpoint, d[k]].
+			x := (sk - float64(r)*budget) / float64(r-k)
+			if x < 0 {
+				x = 0
+			}
+			return x
+		}
+		sk -= d[k]
+	}
+	// budget < 0 (or no segment reached it): zero idle cost at the largest
+	// breakpoint.
+	x := d[r-1]
+	if x < 0 {
+		x = 0
+	}
+	return x
+}
+
+// ExpectedWait evaluates E[(τ − (ξ − x)₊)₊] by direct averaging. O(R);
+// used in tests and as the naive baseline for the sort-and-search
+// ablation.
+func ExpectedWait(xi, tau []float64, x float64) float64 {
+	checkSamples(xi, tau)
+	var s float64
+	for r := range xi {
+		gap := xi[r] - x
+		if gap < 0 {
+			gap = 0
+		}
+		w := tau[r] - gap
+		if w > 0 {
+			s += w
+		}
+	}
+	return s / float64(len(xi))
+}
+
+// ExpectedIdle evaluates E[(ξ − τ − x)₊] by direct averaging.
+func ExpectedIdle(xi, tau []float64, x float64) float64 {
+	checkSamples(xi, tau)
+	var s float64
+	for r := range xi {
+		v := xi[r] - tau[r] - x
+		if v > 0 {
+			s += v
+		}
+	}
+	return s / float64(len(xi))
+}
+
+// NaiveSolveRT solves eq. 5 by bisection over ExpectedWait, costing
+// O(R log(range/tol)) per evaluation sweep. It exists to cross-check
+// Algorithm 3 and as the ablation baseline.
+func NaiveSolveRT(xi, tau []float64, target float64, tol float64) float64 {
+	checkSamples(xi, tau)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for r := range xi {
+		if v := xi[r] - tau[r]; v < lo {
+			lo = v
+		}
+		if xi[r] > hi {
+			hi = xi[r]
+		}
+	}
+	if target <= 0 {
+		return lo
+	}
+	if ExpectedWait(xi, tau, hi) <= target {
+		return hi
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if ExpectedWait(xi, tau, mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+func checkSamples(xi, tau []float64) {
+	if len(xi) == 0 || len(xi) != len(tau) {
+		panic(fmt.Sprintf("decision: bad sample slices (len %d vs %d)", len(xi), len(tau)))
+	}
+}

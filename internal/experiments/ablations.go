@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"robustscaler/internal/decision"
+	"robustscaler/internal/linalg"
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/scaler"
+	"robustscaler/internal/stats"
+)
+
+// ExpAblationSolvers times the design alternatives DESIGN.md §4 calls
+// out: banded Cholesky vs dense Cholesky vs conjugate gradient for the
+// ADMM r-subproblem, and Algorithm 3 (sort-and-search) vs naive bisection
+// for the RT decision.
+func (r *Runner) ExpAblationSolvers() []*Table {
+	rng := rand.New(rand.NewSource(r.opt.Seed + 91))
+
+	// --- Linear-system ablation on an ADMM-shaped matrix. ---
+	tDim, period := 1200, 48
+	if r.opt.Quick {
+		tDim, period = 400, 24
+	}
+	weights := linalg.NewVector(tDim)
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()
+	}
+	mat := linalg.NewSymBanded(tDim, period)
+	mat.AddDiag(weights)
+	linalg.AddD2Gram(mat, 1)
+	linalg.AddDLGram(mat, 1, period)
+	b := linalg.NewVector(tDim)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+
+	solve := &Table{
+		ID:     "AblationSolve",
+		Title:  "ADMM r-subproblem solvers (single solve, T×T SPD system)",
+		Header: []string{"solver", "T", "bandwidth", "runtime_s"},
+	}
+	start := time.Now()
+	fact, err := mat.Cholesky(nil)
+	if err != nil {
+		panic(err)
+	}
+	fact.Solve(linalg.NewVector(tDim), b)
+	solve.Rows = append(solve.Rows, []string{"banded Cholesky", f(float64(tDim)), f(float64(period)), f(time.Since(start).Seconds())})
+
+	start = time.Now()
+	if _, err := linalg.DenseCholeskySolve(mat.Dense(), b); err != nil {
+		panic(err)
+	}
+	solve.Rows = append(solve.Rows, []string{"dense Cholesky", f(float64(tDim)), f(float64(period)), f(time.Since(start).Seconds())})
+
+	// CG via a single-iteration NHPP fit at matching scale.
+	counts := make([]float64, tDim)
+	for i := range counts {
+		counts[i] = float64(stats.Poisson{Lambda: 30}.Sample(rng))
+	}
+	cfg := nhpp.DefaultFitConfig()
+	cfg.Period = period
+	cfg.MaxIter = 1
+	cfg.Solver = nhpp.SolverCG
+	start = time.Now()
+	if _, _, err := nhpp.Fit(0, 60, counts, cfg); err != nil {
+		panic(err)
+	}
+	solve.Rows = append(solve.Rows, []string{"conjugate gradient", f(float64(tDim)), f(float64(period)), f(time.Since(start).Seconds())})
+
+	// --- Algorithm 3 vs naive bisection. ---
+	rSamples := 20000
+	if r.opt.Quick {
+		rSamples = 4000
+	}
+	xi := make([]float64, rSamples)
+	tau := make([]float64, rSamples)
+	for i := range xi {
+		xi[i] = rng.ExpFloat64() * 40
+		tau[i] = 13
+	}
+	alg3 := &Table{
+		ID:     "AblationSortSearch",
+		Title:  "RT decision: Algorithm 3 sort-and-search vs naive bisection",
+		Header: []string{"method", "R", "runtime_s", "x_diff"},
+	}
+	start = time.Now()
+	xFast := decision.SolveRT(xi, tau, 2)
+	fastT := time.Since(start).Seconds()
+	start = time.Now()
+	xSlow := decision.NaiveSolveRT(xi, tau, 2, 1e-9)
+	slowT := time.Since(start).Seconds()
+	alg3.Rows = append(alg3.Rows, []string{"Algorithm 3", f(float64(rSamples)), f(fastT), "0"})
+	alg3.Rows = append(alg3.Rows, []string{"naive bisection", f(float64(rSamples)), f(slowT), f(math.Abs(xFast - xSlow))})
+	return []*Table{solve, alg3}
+}
+
+// ExpAblationKappa compares planning with the local forecast intensity
+// against planning with a constant global upper bound λ̄ (the distinction
+// the paper draws after Proposition 2: a local κ yields stabler, cheaper
+// decisions). Both policies target HP 0.9 on the Google trace.
+func (r *Runner) ExpAblationKappa() []*Table {
+	name := "google"
+	tr := r.Trace(name)
+	m := r.Model(name)
+	seed := r.opt.Seed + 92
+	end := r.testEnd(tr)
+
+	localPolicy := r.robustPolicy(name, m, scaler.HP, 0.9, seed)
+	globalBound := m.NHPP.MaxRate(tr.TrainEnd, end)
+	globalPolicy := r.mustRobust(scaler.RobustConfig{
+		Variant: scaler.HP, Alpha: 0.1,
+		Tau:        stats.Deterministic{Value: tr.MeanPending},
+		MCSamples:  r.mcSamples(),
+		PlanWindow: r.tick(),
+		Seed:       seed,
+	}, nhpp.Constant{Lambda: globalBound})
+
+	t := &Table{
+		ID:     "AblationKappa",
+		Title:  "Local-intensity planning vs global upper bound λ̄ (Google, HP target 0.9)",
+		Header: []string{"planning intensity", "hit_rate", "rt_avg", "relative_cost"},
+	}
+	resL := r.replay(tr, localPolicy, seed)
+	t.Rows = append(t.Rows, []string{"local forecast", f(resL.HitRate()), f(resL.RTAvg()), f(resL.RelativeCost())})
+	resG := r.replay(tr, globalPolicy, seed)
+	t.Rows = append(t.Rows, []string{"global bound", f(resG.HitRate()), f(resG.RTAvg()), f(resG.RelativeCost())})
+
+	// The κ thresholds themselves, for reference (eq. 8).
+	kLocal := decision.Kappa(m.NHPP.Rate(tr.TrainEnd), stats.Deterministic{Value: tr.MeanPending}, 0.1, nil, 0)
+	kGlobal := decision.Kappa(globalBound, stats.Deterministic{Value: tr.MeanPending}, 0.1, nil, 0)
+	t.Rows = append(t.Rows, []string{"κ local / κ global", f(float64(kLocal)), f(float64(kGlobal)), ""})
+	return []*Table{t}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickRunner() *Runner {
+	return NewRunner(Options{Seed: 1, Quick: true})
+}
+
+func cell(t *Table, row, col int) string { return t.Rows[row][col] }
+
+func cellFloat(tb testing.TB, t *Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(cell(t, row, col), 64)
+	if err != nil {
+		tb.Fatalf("table %s cell (%d,%d) = %q not a float", t.ID, row, col, cell(t, row, col))
+	}
+	return v
+}
+
+func TestExpFig3Shapes(t *testing.T) {
+	r := quickRunner()
+	tables := r.ExpFig3()
+	if len(tables) != 1 || len(tables[0].Rows) != 3 {
+		t.Fatalf("Fig3 should have one table with 3 rows")
+	}
+	// CRS is the low-rate trace; Alibaba the high-rate one.
+	var crsQPS, aliQPS float64
+	for i := range tables[0].Rows {
+		switch cell(tables[0], i, 0) {
+		case "CRS":
+			crsQPS = cellFloat(t, tables[0], i, 3)
+		case "Alibaba":
+			aliQPS = cellFloat(t, tables[0], i, 3)
+		}
+	}
+	if crsQPS <= 0 || aliQPS <= 0 || crsQPS >= aliQPS {
+		t.Fatalf("trace rate ordering wrong: CRS %g vs Alibaba %g", crsQPS, aliQPS)
+	}
+}
+
+func TestExpTable3RegularizationHelps(t *testing.T) {
+	r := quickRunner()
+	tables := r.ExpTable3()
+	tb := tables[0]
+	if len(tb.Rows) != 2 {
+		t.Fatalf("Table3 rows = %d", len(tb.Rows))
+	}
+	mseNo := cellFloat(t, tb, 0, 1)
+	mseYes := cellFloat(t, tb, 0, 2)
+	if mseYes >= mseNo {
+		t.Fatalf("periodicity regularization did not improve MSE: %g vs %g", mseYes, mseNo)
+	}
+	if !strings.HasSuffix(cell(tb, 0, 3), "%") {
+		t.Fatalf("improvement cell %q not a percentage", cell(tb, 0, 3))
+	}
+}
+
+func TestExpFig8RuntimeGrowsWithQPS(t *testing.T) {
+	r := quickRunner()
+	tb := r.ExpFig8()[0]
+	if len(tb.Rows) < 2 {
+		t.Fatal("Fig8 needs at least two QPS points")
+	}
+	first := cellFloat(t, tb, 0, 3)             // RT runtime at low QPS
+	last := cellFloat(t, tb, len(tb.Rows)-1, 3) // RT runtime at high QPS
+	if last <= first {
+		t.Fatalf("decision runtime did not grow with QPS: %g → %g", first, last)
+	}
+}
+
+func TestExpAblationSolvers(t *testing.T) {
+	r := quickRunner()
+	tables := r.ExpAblationSolvers()
+	if len(tables) != 2 {
+		t.Fatalf("want 2 ablation tables, got %d", len(tables))
+	}
+	solve := tables[0]
+	banded := cellFloat(t, solve, 0, 3)
+	dense := cellFloat(t, solve, 1, 3)
+	if banded >= dense {
+		t.Fatalf("banded solve (%g s) should beat dense (%g s)", banded, dense)
+	}
+	alg3 := tables[1]
+	xDiff := cellFloat(t, alg3, 1, 3)
+	if xDiff > 1e-3 {
+		t.Fatalf("Algorithm 3 and bisection disagree by %g", xDiff)
+	}
+}
+
+func TestRunAndPrintUnknownID(t *testing.T) {
+	r := quickRunner()
+	var buf bytes.Buffer
+	if err := r.RunAndPrint("nope", &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := r.RunAndPrint("fig3", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Fig3") {
+		t.Fatal("output missing table header")
+	}
+}
+
+func TestRegistryCoversAllPaperArtifacts(t *testing.T) {
+	r := quickRunner()
+	want := []string{"fig3", "fig4", "fig5", "fig6-7", "fig8", "fig9", "fig10",
+		"table1", "table2", "table3", "table4"}
+	reg := r.Registry()
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+	}
+}
+
+func TestTableFprintAligned(t *testing.T) {
+	tb := &Table{ID: "X", Title: "t", Header: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}, {"333", "4"}}}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+}

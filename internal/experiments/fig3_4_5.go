@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robustscaler/internal/scaler"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+)
+
+// ExpFig3 summarizes the QPS series of the three traces at Δt = 60 s
+// (Fig. 3 plots the raw series; the table reports the summary statistics
+// that characterize each panel: rate level, burstiness and peak).
+func (r *Runner) ExpFig3() []*Table {
+	t := &Table{
+		ID:     "Fig3",
+		Title:  "QPS series of the three traces (Δt=60 s bins)",
+		Header: []string{"trace", "queries", "days", "mean_qps", "median_qps", "p99_qps", "max_qps"},
+	}
+	for _, name := range []string{"crs", "alibaba", "google"} {
+		tr := r.Trace(name)
+		s := tr.CountSeries(60)
+		qps := s.QPS()
+		t.Rows = append(t.Rows, []string{
+			tr.Name,
+			fmt.Sprintf("%d", len(tr.Queries)),
+			f((tr.End - tr.Start) / 86400),
+			f(s.MeanQPS()),
+			f(stats.Quantile(qps, 0.5)),
+			f(stats.Quantile(qps, 0.99)),
+			f(stats.Quantile(qps, 1)),
+		})
+	}
+	return []*Table{t}
+}
+
+// paretoRow runs one policy point and formats the Fig. 4 metrics.
+func (r *Runner) paretoRow(name string, policy sim.Autoscaler, label string, seed int64) []string {
+	tr := r.Trace(name)
+	res := r.replay(tr, policy, seed)
+	return []string{
+		label,
+		fmt.Sprintf("%d", res.NumQueries),
+		f(res.HitRate()),
+		f(res.RTAvg()),
+		f(res.RelativeCost()),
+	}
+}
+
+// ExpFig4 produces the Pareto sweeps of Fig. 4: for each trace, every
+// autoscaler is swept over its trade-off parameter and the resulting
+// (hit rate, rt avg, relative cost) triples are reported. Plotting
+// hit_rate vs relative_cost gives panels (a)(c)(e); rt_avg vs
+// relative_cost gives (b)(d)(f).
+func (r *Runner) ExpFig4() []*Table {
+	var tables []*Table
+	for _, name := range []string{"crs", "alibaba", "google"} {
+		tr := r.Trace(name)
+		g := r.grids(name)
+		t := &Table{
+			ID:     "Fig4-" + tr.Name,
+			Title:  fmt.Sprintf("Pareto sweep on %s trace (hit_rate & rt_avg vs relative_cost)", tr.Name),
+			Header: []string{"policy", "queries", "hit_rate", "rt_avg", "relative_cost"},
+		}
+		seed := r.opt.Seed + 11
+		for _, b := range g.BP {
+			t.Rows = append(t.Rows, r.paretoRow(name, &scaler.BP{B: b}, fmt.Sprintf("BP(%d)", b), seed))
+		}
+		for _, c := range g.AdapBP {
+			t.Rows = append(t.Rows, r.paretoRow(name, scaler.NewAdapBP(c), fmt.Sprintf("AdapBP(%g)", c), seed))
+		}
+		m := r.Model(name)
+		for _, hp := range g.HPTargets {
+			p := r.robustPolicy(name, m, scaler.HP, hp, seed)
+			t.Rows = append(t.Rows, r.paretoRow(name, p, fmt.Sprintf("RS-HP(%.2f)", hp), seed))
+		}
+		for _, rt := range g.RTBudgets {
+			p := r.robustPolicy(name, m, scaler.RT, rt, seed)
+			t.Rows = append(t.Rows, r.paretoRow(name, p, fmt.Sprintf("RS-RT(%.3g)", rt), seed))
+		}
+		for _, cb := range g.CostBudgs {
+			p := r.robustPolicy(name, m, scaler.Cost, cb, seed)
+			t.Rows = append(t.Rows, r.paretoRow(name, p, fmt.Sprintf("RS-cost(%.3g)", cb), seed))
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// ExpFig5 reports QoS variability on the CRS trace: per policy point, the
+// mean and variance of hit rate and response time averaged over
+// consecutive 50-query windows (the paper's Fig. 5 construction).
+func (r *Runner) ExpFig5() []*Table {
+	const window = 50
+	name := "crs"
+	tr := r.Trace(name)
+	g := r.grids(name)
+	t := &Table{
+		ID:     "Fig5",
+		Title:  "QoS variance on CRS trace (50-query windows)",
+		Header: []string{"policy", "hit_mean", "hit_var", "rt_mean", "rt_var"},
+	}
+	seed := r.opt.Seed + 21
+	addRow := func(label string, policy sim.Autoscaler) {
+		res := r.replay(tr, policy, seed)
+		hm, hv := res.HitRateWindowStats(window)
+		rm, rv := res.RTWindowStats(window)
+		t.Rows = append(t.Rows, []string{label, f(hm), f(hv), f(rm), f(rv)})
+	}
+	for _, b := range g.BP {
+		addRow(fmt.Sprintf("BP(%d)", b), &scaler.BP{B: b})
+	}
+	for _, c := range g.AdapBP {
+		addRow(fmt.Sprintf("AdapBP(%g)", c), scaler.NewAdapBP(c))
+	}
+	m := r.Model(name)
+	for _, hp := range g.HPTargets {
+		addRow(fmt.Sprintf("RS-HP(%.2f)", hp), r.robustPolicy(name, m, scaler.HP, hp, seed))
+	}
+	for _, rt := range g.RTBudgets {
+		addRow(fmt.Sprintf("RS-RT(%.3g)", rt), r.robustPolicy(name, m, scaler.RT, rt, seed))
+	}
+	for _, cb := range g.CostBudgs {
+		addRow(fmt.Sprintf("RS-cost(%.3g)", cb), r.robustPolicy(name, m, scaler.Cost, cb, seed))
+	}
+	return []*Table{t}
+}
+
+// ExpFig67 compares AdapBP and RobustScaler-HP on the CRS trace under
+// growing perturbation sizes c = 1, 2, 4, 6 (Figs. 6 and 7): every hour a
+// five-minute window of queries is deleted and another window is inflated
+// c-fold. The model is retrained on the perturbed training data.
+func (r *Runner) ExpFig67() []*Table {
+	name := "crs"
+	base := r.Trace(name)
+	g := r.grids(name)
+	cs := []int{1, 2, 4, 6}
+	if r.opt.Quick {
+		cs = []int{1, 6}
+	}
+	t := &Table{
+		ID:     "Fig6-7",
+		Title:  "AdapBP vs RobustScaler-HP on perturbed CRS trace",
+		Header: []string{"c", "policy", "hit_rate", "rt_avg", "relative_cost"},
+	}
+	seed := r.opt.Seed + 31
+	for _, c := range cs {
+		pert := base.Clone()
+		pert.Perturb(c, r.opt.Seed+int64(c))
+		m := r.trainOn(pert)
+		for _, factor := range g.AdapBP {
+			res := r.replay(pert, scaler.NewAdapBP(factor), seed)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", c), fmt.Sprintf("AdapBP(%g)", factor),
+				f(res.HitRate()), f(res.RTAvg()), f(res.RelativeCost()),
+			})
+		}
+		for _, hp := range g.HPTargets {
+			cfg := scaler.RobustConfig{
+				Variant: scaler.HP, Alpha: 1 - hp,
+				Tau:        stats.Deterministic{Value: base.MeanPending},
+				MCSamples:  r.mcSamples(),
+				PlanWindow: r.tick(),
+				Seed:       seed,
+			}
+			p, err := scaler.NewRobustScaler(m.NHPP, cfg)
+			if err != nil {
+				panic(err)
+			}
+			res := r.replay(pert, p, seed)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", c), fmt.Sprintf("RS-HP(%.2f)", hp),
+				f(res.HitRate()), f(res.RTAvg()), f(res.RelativeCost()),
+			})
+		}
+	}
+	return []*Table{t}
+}

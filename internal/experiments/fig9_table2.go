@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"robustscaler/internal/scaler"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+	"robustscaler/internal/trace"
+)
+
+// ExpFig9 reproduces the robustness study of Fig. 9: QoS/cost sweeps of
+// RobustScaler-HP and RobustScaler-cost on (a,b) the CRS trace with and
+// without a full missing day, and (c,d) the Alibaba trace with and
+// without its day-4 burst anomaly. Robust behaviour means near-identical
+// metric pairs across the "w/" and "w/o" rows.
+func (r *Runner) ExpFig9() []*Table {
+	var tables []*Table
+
+	// CRS: remove one entire day of the fourth (test) week, and also from
+	// any retraining input; per the paper the metrics should barely move.
+	crs := r.Trace("crs")
+	missing := crs.Clone()
+	missingDayStart := crs.TrainEnd + 86400
+	missing.RemoveRange(missingDayStart, missingDayStart+86400)
+	// Also drop a training day to exercise the model's robustness.
+	missing.RemoveRange(14*86400, 15*86400)
+	mOrig := r.Model("crs")
+	mMiss := r.trainOn(missing)
+	tables = append(tables, r.robustnessSweep("Fig9-CRS", "CRS with vs without missing data",
+		crs, missing, mOrig.NHPP, mMiss.NHPP))
+
+	// Alibaba: erase the day-4 burst down to its baseline.
+	ali := r.Trace("alibaba")
+	noBurst := ali.Clone()
+	b0, b1 := trace.AlibabaBurstWindow()
+	noBurst.Thin(b0, b1, 0.2, r.opt.Seed+51)
+	mAli := r.Model("alibaba")
+	mNoBurst := r.trainOn(noBurst)
+	tables = append(tables, r.robustnessSweep("Fig9-Alibaba", "Alibaba with vs without burst anomaly",
+		ali, noBurst, mAli.NHPP, mNoBurst.NHPP))
+	return tables
+}
+
+// robustnessSweep runs HP and cost sweeps on the original and modified
+// traces.
+func (r *Runner) robustnessSweep(id, title string, orig, modified *trace.Trace, mOrig, mMod intensityModel) *Table {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"policy", "dataset", "hit_rate", "rt_avg", "relative_cost"},
+	}
+	g := r.grids(traceKey(orig.Name))
+	seed := r.opt.Seed + 52
+	addPair := func(label string, mkPolicy func(m intensityModel) sim.Autoscaler) {
+		resO := r.replay(orig, mkPolicy(mOrig), seed)
+		t.Rows = append(t.Rows, []string{label, "original", f(resO.HitRate()), f(resO.RTAvg()), f(resO.RelativeCost())})
+		resM := r.replay(modified, mkPolicy(mMod), seed)
+		t.Rows = append(t.Rows, []string{label, "modified", f(resM.HitRate()), f(resM.RTAvg()), f(resM.RelativeCost())})
+	}
+	for _, hp := range g.HPTargets {
+		hp := hp
+		addPair(fmt.Sprintf("RS-HP(%.2f)", hp), func(m intensityModel) sim.Autoscaler {
+			return r.mustRobust(scaler.RobustConfig{
+				Variant: scaler.HP, Alpha: 1 - hp,
+				Tau:        stats.Deterministic{Value: orig.MeanPending},
+				MCSamples:  r.mcSamples(),
+				PlanWindow: r.tick(),
+				Seed:       seed,
+			}, m)
+		})
+	}
+	for _, cb := range g.CostBudgs {
+		cb := cb
+		addPair(fmt.Sprintf("RS-cost(%.3g)", cb), func(m intensityModel) sim.Autoscaler {
+			return r.mustRobust(scaler.RobustConfig{
+				Variant: scaler.Cost, CostBudget: cb,
+				Tau:        stats.Deterministic{Value: orig.MeanPending},
+				MCSamples:  r.mcSamples(),
+				PlanWindow: r.tick(),
+				Seed:       seed,
+			}, m)
+		})
+	}
+	return t
+}
+
+// intensityModel is the forecast interface the policies consume.
+type intensityModel = robustIntensity
+
+// ExpTable2 reproduces Table II: response-time quantiles of
+// RobustScaler-HP and RobustScaler-cost on the CRS trace before and after
+// missing-data injection.
+func (r *Runner) ExpTable2() []*Table {
+	crs := r.Trace("crs")
+	missing := crs.Clone()
+	missingDayStart := crs.TrainEnd + 86400
+	missing.RemoveRange(missingDayStart, missingDayStart+86400)
+	missing.RemoveRange(14*86400, 15*86400)
+	mOrig := r.Model("crs")
+	mMiss := r.trainOn(missing)
+	seed := r.opt.Seed + 53
+
+	mk := func(v scaler.Variant, value float64, m intensityModel) sim.Autoscaler {
+		cfg := scaler.RobustConfig{
+			Variant:   v,
+			Tau:       stats.Deterministic{Value: crs.MeanPending},
+			MCSamples: r.mcSamples(), PlanWindow: r.tick(), Seed: seed,
+		}
+		if v == scaler.HP {
+			cfg.Alpha = 1 - value
+		} else {
+			cfg.CostBudget = value
+		}
+		return r.mustRobust(cfg, m)
+	}
+	quantiles := []float64{0.75, 0.95, 0.99, 0.999}
+	t := &Table{
+		ID:     "Table2",
+		Title:  "Response time quantiles (s) before/after missing data injection on CRS",
+		Header: []string{"quantile", "RS-HP original", "RS-HP w/ missing", "RS-cost original", "RS-cost w/ missing"},
+	}
+	resHPw := r.replay(crs, mk(scaler.HP, 0.9, mOrig.NHPP), seed)
+	resHPwo := r.replay(missing, mk(scaler.HP, 0.9, mMiss.NHPP), seed)
+	resCw := r.replay(crs, mk(scaler.Cost, 60, mOrig.NHPP), seed)
+	resCwo := r.replay(missing, mk(scaler.Cost, 60, mMiss.NHPP), seed)
+	for _, q := range quantiles {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f%%", q*100),
+			f(resHPw.RTQuantile(q)), f(resHPwo.RTQuantile(q)),
+			f(resCw.RTQuantile(q)), f(resCwo.RTQuantile(q)),
+		})
+	}
+	return []*Table{t}
+}
+
+// traceKey maps a trace display name back to its runner key.
+func traceKey(name string) string {
+	switch name {
+	case "CRS":
+		return "crs"
+	case "Google":
+		return "google"
+	case "Alibaba":
+		return "alibaba"
+	default:
+		panic(fmt.Sprintf("experiments: unknown trace name %q", name))
+	}
+}

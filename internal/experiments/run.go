@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Registry maps experiment IDs to their drivers.
+func (r *Runner) Registry() map[string]func() []*Table {
+	return map[string]func() []*Table{
+		"fig3":            r.ExpFig3,
+		"fig4":            r.ExpFig4,
+		"fig5":            r.ExpFig5,
+		"fig6-7":          r.ExpFig67,
+		"fig8":            r.ExpFig8,
+		"fig9":            r.ExpFig9,
+		"fig10":           r.ExpFig10,
+		"table1":          r.ExpTable1,
+		"table2":          r.ExpTable2,
+		"table3":          r.ExpTable3,
+		"table4":          r.ExpTable4,
+		"ablation-solver": r.ExpAblationSolvers,
+		"ablation-kappa":  r.ExpAblationKappa,
+	}
+}
+
+// IDs returns all experiment IDs in stable order.
+func (r *Runner) IDs() []string {
+	reg := r.Registry()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// RunAndPrint executes one experiment by ID, writing its tables to w.
+func (r *Runner) RunAndPrint(id string, w io.Writer) error {
+	fn, ok := r.Registry()[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", id, r.IDs())
+	}
+	for _, t := range fn() {
+		t.Fprint(w)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymBanded is a symmetric banded n×n matrix with half-bandwidth kd.
+// Only the lower triangle is stored, row by row: element (i, i-d) for
+// d = 0..kd lives at data[i*(kd+1)+d]. Entries that fall outside the
+// matrix (i-d < 0) are present in storage but ignored.
+//
+// This is the shape of A_k = Δt·diag(e^{r_k}) + ρ·D2ᵀD2 + ρ·DLᵀDL in the
+// ADMM trainer: positive diagonal plus positive semi-definite penalty
+// terms, bandwidth max(2, L).
+type SymBanded struct {
+	N    int // matrix dimension
+	Kd   int // half-bandwidth (number of sub-diagonals)
+	data []float64
+}
+
+// NewSymBanded returns a zeroed symmetric banded matrix.
+func NewSymBanded(n, kd int) *SymBanded {
+	if n <= 0 || kd < 0 {
+		panic(fmt.Sprintf("linalg: invalid banded dims n=%d kd=%d", n, kd))
+	}
+	if kd >= n {
+		kd = n - 1
+	}
+	return &SymBanded{N: n, Kd: kd, data: make([]float64, n*(kd+1))}
+}
+
+// Reset zeroes the matrix in place so it can be refilled.
+func (m *SymBanded) Reset() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// At returns element (i, j). Elements outside the band are zero.
+func (m *SymBanded) At(i, j int) float64 {
+	if i < j {
+		i, j = j, i
+	}
+	d := i - j
+	if d > m.Kd {
+		return 0
+	}
+	return m.data[i*(m.Kd+1)+d]
+}
+
+// Set assigns element (i, j) (and its mirror) within the band.
+func (m *SymBanded) Set(i, j int, v float64) {
+	if i < j {
+		i, j = j, i
+	}
+	d := i - j
+	if d > m.Kd {
+		panic(fmt.Sprintf("linalg: (%d,%d) outside band kd=%d", i, j, m.Kd))
+	}
+	m.data[i*(m.Kd+1)+d] = v
+}
+
+// AddAt adds v to element (i, j) (and its mirror) within the band.
+func (m *SymBanded) AddAt(i, j int, v float64) {
+	if i < j {
+		i, j = j, i
+	}
+	d := i - j
+	if d > m.Kd {
+		panic(fmt.Sprintf("linalg: (%d,%d) outside band kd=%d", i, j, m.Kd))
+	}
+	m.data[i*(m.Kd+1)+d] += v
+}
+
+// AddDiag adds d[i] to the diagonal. Panics if len(d) != N.
+func (m *SymBanded) AddDiag(d Vector) {
+	if len(d) != m.N {
+		panic("linalg: AddDiag length mismatch")
+	}
+	w := m.Kd + 1
+	for i := 0; i < m.N; i++ {
+		m.data[i*w] += d[i]
+	}
+}
+
+// MulVec stores A·x into dst and returns dst.
+func (m *SymBanded) MulVec(dst, x Vector) Vector {
+	if len(x) != m.N || len(dst) != m.N {
+		panic("linalg: MulVec length mismatch")
+	}
+	w := m.Kd + 1
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < m.N; i++ {
+		row := m.data[i*w : i*w+w]
+		dst[i] += row[0] * x[i]
+		dmax := m.Kd
+		if i < dmax {
+			dmax = i
+		}
+		for d := 1; d <= dmax; d++ {
+			v := row[d]
+			if v == 0 {
+				continue
+			}
+			dst[i] += v * x[i-d]
+			dst[i-d] += v * x[i]
+		}
+	}
+	return dst
+}
+
+// BandedCholesky is the lower Cholesky factor L of a symmetric positive
+// definite banded matrix, stored in the same banded layout.
+type BandedCholesky struct {
+	N    int
+	Kd   int
+	data []float64
+}
+
+// Cholesky computes the banded Cholesky factorization A = L·Lᵀ, reusing
+// fact's storage if it is non-nil and compatibly sized. It returns an error
+// if the matrix is not positive definite. Cost is O(N·Kd²).
+func (m *SymBanded) Cholesky(fact *BandedCholesky) (*BandedCholesky, error) {
+	w := m.Kd + 1
+	if fact == nil || fact.N != m.N || fact.Kd != m.Kd {
+		fact = &BandedCholesky{N: m.N, Kd: m.Kd, data: make([]float64, m.N*w)}
+	}
+	L := fact.data
+	copy(L, m.data)
+	for i := 0; i < m.N; i++ {
+		lo := i - m.Kd
+		if lo < 0 {
+			lo = 0
+		}
+		// L[i][j] for j = lo..i.
+		for j := lo; j <= i; j++ {
+			s := L[i*w+(i-j)]
+			kLo := lo
+			if jLo := j - m.Kd; jLo > kLo {
+				kLo = jLo
+			}
+			for k := kLo; k < j; k++ {
+				s -= L[i*w+(i-k)] * L[j*w+(j-k)]
+			}
+			if i == j {
+				if s <= 0 || math.IsNaN(s) {
+					return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (s=%g)", i, s)
+				}
+				L[i*w] = math.Sqrt(s)
+			} else {
+				L[i*w+(i-j)] = s / L[j*w]
+			}
+		}
+	}
+	return fact, nil
+}
+
+// Solve solves L·Lᵀ·x = b in place into dst (dst may alias b) and returns dst.
+func (f *BandedCholesky) Solve(dst, b Vector) Vector {
+	if len(b) != f.N || len(dst) != f.N {
+		panic("linalg: Solve length mismatch")
+	}
+	w := f.Kd + 1
+	L := f.data
+	if &dst[0] != &b[0] {
+		copy(dst, b)
+	}
+	// Forward substitution L·y = b.
+	for i := 0; i < f.N; i++ {
+		s := dst[i]
+		lo := i - f.Kd
+		if lo < 0 {
+			lo = 0
+		}
+		for k := lo; k < i; k++ {
+			s -= L[i*w+(i-k)] * dst[k]
+		}
+		dst[i] = s / L[i*w]
+	}
+	// Backward substitution Lᵀ·x = y.
+	for i := f.N - 1; i >= 0; i-- {
+		s := dst[i]
+		hi := i + f.Kd
+		if hi > f.N-1 {
+			hi = f.N - 1
+		}
+		for k := i + 1; k <= hi; k++ {
+			s -= L[k*w+(k-i)] * dst[k]
+		}
+		dst[i] = s / L[i*w]
+	}
+	return dst
+}
+
+// Dense returns the dense representation of the matrix, for tests and the
+// dense-solve ablation bench.
+func (m *SymBanded) Dense() [][]float64 {
+	out := make([][]float64, m.N)
+	for i := range out {
+		out[i] = make([]float64, m.N)
+		for j := 0; j < m.N; j++ {
+			out[i][j] = m.At(i, j)
+		}
+	}
+	return out
+}
+
+// DenseCholeskySolve solves A·x = b with a dense O(n³) Cholesky. It exists
+// only as the baseline for the banded-solve ablation benchmark.
+func DenseCholeskySolve(a [][]float64, b Vector) (Vector, error) {
+	n := len(a)
+	L := make([][]float64, n)
+	for i := range L {
+		L[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a[i][j]
+			for k := 0; k < j; k++ {
+				s -= L[i][k] * L[j][k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, fmt.Errorf("linalg: dense matrix not positive definite at %d", i)
+				}
+				L[i][i] = math.Sqrt(s)
+			} else {
+				L[i][j] = s / L[j][j]
+			}
+		}
+	}
+	x := Clone(b)
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for k := 0; k < i; k++ {
+			s -= L[i][k] * x[k]
+		}
+		x[i] = s / L[i][i]
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for k := i + 1; k < n; k++ {
+			s -= L[k][i] * x[k]
+		}
+		x[i] = s / L[i][i]
+	}
+	return x, nil
+}

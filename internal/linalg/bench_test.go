@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSystem(n, kd int) (*SymBanded, Vector) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomSPDBanded(rng, n, kd)
+	b := NewVector(n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return m, b
+}
+
+// BenchmarkBandedCholesky measures the O(T·L²) factorization at the
+// ADMM's typical scale (T = 2016 ten-minute bins, L = 144 daily period).
+func BenchmarkBandedCholesky(b *testing.B) {
+	m, _ := benchSystem(2016, 144)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fact *BandedCholesky
+	var err error
+	for i := 0; i < b.N; i++ {
+		fact, err = m.Cholesky(fact)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBandedSolve measures the triangular solves after
+// factorization.
+func BenchmarkBandedSolve(b *testing.B) {
+	m, rhs := benchSystem(2016, 144)
+	fact, err := m.Cholesky(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := NewVector(2016)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fact.Solve(x, rhs)
+	}
+}
+
+// BenchmarkSymBandedMulVec measures the banded mat-vec used by CG.
+func BenchmarkSymBandedMulVec(b *testing.B) {
+	m, rhs := benchSystem(2016, 144)
+	dst := NewVector(2016)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, rhs)
+	}
+}
+
+// BenchmarkD2Gram measures difference-operator Gram assembly.
+func BenchmarkD2Gram(b *testing.B) {
+	m := NewSymBanded(2016, 144)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Reset()
+		AddD2Gram(m, 1)
+		AddDLGram(m, 1, 144)
+	}
+}

@@ -1,0 +1,113 @@
+package linalg
+
+// This file implements the two sparse difference operators from the
+// regularized NHPP loss (eq. 1 of the paper):
+//
+//	D2 ∈ R^{(T−2)×T}  — second-order difference, rows (1, −2, 1),
+//	                    capturing smoothness of three consecutive points;
+//	DL ∈ R^{(T−L)×T}  — L-step forward difference, rows (e_i − e_{i+L}),
+//	                    capturing smoothness across one period length L.
+//
+// The operators are never materialized; mat-vec products and the banded
+// Gram matrices DᵀD are computed directly from the stencil.
+
+// D2Rows returns the number of rows of D2 for a series of length t, i.e.
+// max(t−2, 0).
+func D2Rows(t int) int {
+	if t < 2 {
+		return 0
+	}
+	return t - 2
+}
+
+// DLRows returns the number of rows of DL for series length t and period L,
+// i.e. max(t−L, 0). A period of 0 (no periodicity detected) yields 0 rows.
+func DLRows(t, period int) int {
+	if period <= 0 || t <= period {
+		return 0
+	}
+	return t - period
+}
+
+// D2Mul stores D2·r into dst (length D2Rows(len(r))) and returns dst.
+func D2Mul(dst, r Vector) Vector {
+	n := D2Rows(len(r))
+	if len(dst) != n {
+		panic("linalg: D2Mul dst length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r[i] - 2*r[i+1] + r[i+2]
+	}
+	return dst
+}
+
+// D2TMul stores D2ᵀ·v into dst (length len(v)+2) and returns dst.
+func D2TMul(dst, v Vector) Vector {
+	if len(dst) != len(v)+2 {
+		panic("linalg: D2TMul dst length mismatch")
+	}
+	Fill(dst, 0)
+	for i, x := range v {
+		dst[i] += x
+		dst[i+1] -= 2 * x
+		dst[i+2] += x
+	}
+	return dst
+}
+
+// DLMul stores DL·r into dst (length DLRows(len(r), period)) and returns dst.
+func DLMul(dst, r Vector, period int) Vector {
+	n := DLRows(len(r), period)
+	if len(dst) != n {
+		panic("linalg: DLMul dst length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = r[i] - r[i+period]
+	}
+	return dst
+}
+
+// DLTMul stores DLᵀ·v into dst (length len(v)+period) and returns dst.
+func DLTMul(dst, v Vector, period int) Vector {
+	if len(dst) != len(v)+period {
+		panic("linalg: DLTMul dst length mismatch")
+	}
+	Fill(dst, 0)
+	for i, x := range v {
+		dst[i] += x
+		dst[i+period] -= x
+	}
+	return dst
+}
+
+// AddD2Gram adds c·D2ᵀD2 to m. The Gram matrix is pentadiagonal, so m must
+// have Kd ≥ 2 (when the series is long enough for D2 to be non-empty).
+func AddD2Gram(m *SymBanded, c float64) {
+	n := D2Rows(m.N)
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		// Row stencil values 1, −2, 1 at columns i, i+1, i+2.
+		m.AddAt(i, i, c)
+		m.AddAt(i+1, i+1, 4*c)
+		m.AddAt(i+2, i+2, c)
+		m.AddAt(i, i+1, -2*c)
+		m.AddAt(i+1, i+2, -2*c)
+		m.AddAt(i, i+2, c)
+	}
+}
+
+// AddDLGram adds c·DLᵀDL to m for the given period. m must have Kd ≥ period
+// (when DL is non-empty).
+func AddDLGram(m *SymBanded, c float64, period int) {
+	n := DLRows(m.N, period)
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		m.AddAt(i, i, c)
+		m.AddAt(i+period, i+period, c)
+		m.AddAt(i, i+period, -c)
+	}
+}

@@ -1,0 +1,393 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestVectorOps(t *testing.T) {
+	a := Vector{1, 2, 3}
+	b := Vector{4, 5, 6}
+	dst := NewVector(3)
+
+	Add(dst, a, b)
+	want := Vector{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Add[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+
+	Sub(dst, b, a)
+	for i, w := range []float64{3, 3, 3} {
+		if dst[i] != w {
+			t.Fatalf("Sub[%d] = %g, want %g", i, dst[i], w)
+		}
+	}
+
+	Scale(dst, 2, a)
+	for i, w := range []float64{2, 4, 6} {
+		if dst[i] != w {
+			t.Fatalf("Scale[%d] = %g, want %g", i, dst[i], w)
+		}
+	}
+
+	AXPY(dst, a, -1, b)
+	for i, w := range []float64{-3, -3, -3} {
+		if dst[i] != w {
+			t.Fatalf("AXPY[%d] = %g, want %g", i, dst[i], w)
+		}
+	}
+
+	if got := Dot(a, b); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	if got := Sum(a); got != 6 {
+		t.Fatalf("Sum = %g, want 6", got)
+	}
+	if got := Norm1(Vector{-1, 2, -3}); got != 6 {
+		t.Fatalf("Norm1 = %g, want 6", got)
+	}
+	if got := Norm2(Vector{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf(Vector{-7, 2}); got != 7 {
+		t.Fatalf("NormInf = %g, want 7", got)
+	}
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	a := Vector{-2, -0.5, 0, 0.5, 2}
+	e := NewVector(len(a))
+	l := NewVector(len(a))
+	Exp(e, a)
+	Log(l, e)
+	for i := range a {
+		if !almostEq(l[i], a[i], 1e-12) {
+			t.Fatalf("log(exp(x))[%d] = %g, want %g", i, l[i], a[i])
+		}
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	a := Vector{-3, -1, 0, 1, 3}
+	dst := NewVector(len(a))
+	SoftThreshold(dst, a, 2)
+	want := Vector{-1, 0, 0, 0, 1}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SoftThreshold[%d] = %g, want %g", i, dst[i], want[i])
+		}
+	}
+}
+
+// Soft thresholding is the prox of c·‖·‖₁: it must shrink magnitude by at
+// most c and never flip signs.
+func TestSoftThresholdProperties(t *testing.T) {
+	f := func(x float64, cRaw float64) bool {
+		c := math.Abs(cRaw)
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(c) || math.IsInf(c, 0) {
+			return true
+		}
+		dst := NewVector(1)
+		SoftThreshold(dst, Vector{x}, c)
+		y := dst[0]
+		if x > 0 && y < 0 || x < 0 && y > 0 {
+			return false
+		}
+		return math.Abs(y) <= math.Abs(x) && math.Abs(x)-math.Abs(y) <= c+1e-9*math.Abs(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymBandedSetAt(t *testing.T) {
+	m := NewSymBanded(5, 2)
+	m.Set(1, 3, 7)
+	if got := m.At(3, 1); got != 7 {
+		t.Fatalf("symmetric At = %g, want 7", got)
+	}
+	if got := m.At(0, 4); got != 0 {
+		t.Fatalf("outside band At = %g, want 0", got)
+	}
+	m.AddAt(1, 3, 1)
+	if got := m.At(1, 3); got != 8 {
+		t.Fatalf("AddAt result = %g, want 8", got)
+	}
+}
+
+func TestSymBandedMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, kd int }{{1, 0}, {4, 1}, {7, 3}, {12, 5}, {12, 11}} {
+		m := NewSymBanded(tc.n, tc.kd)
+		for i := 0; i < tc.n; i++ {
+			for j := i; j <= i+tc.kd && j < tc.n; j++ {
+				m.Set(i, j, rng.NormFloat64())
+			}
+		}
+		x := NewVector(tc.n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := m.MulVec(NewVector(tc.n), x)
+		dense := m.Dense()
+		for i := 0; i < tc.n; i++ {
+			var want float64
+			for j := 0; j < tc.n; j++ {
+				want += dense[i][j] * x[j]
+			}
+			if !almostEq(got[i], want, 1e-12) {
+				t.Fatalf("n=%d kd=%d MulVec[%d] = %g, want %g", tc.n, tc.kd, i, got[i], want)
+			}
+		}
+	}
+}
+
+// randomSPDBanded builds diag-dominant random banded SPD matrices.
+func randomSPDBanded(rng *rand.Rand, n, kd int) *SymBanded {
+	m := NewSymBanded(n, kd)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= i+kd && j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	// Make strictly diagonally dominant, hence SPD.
+	for i := 0; i < n; i++ {
+		var rowAbs float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				rowAbs += math.Abs(m.At(i, j))
+			}
+		}
+		m.Set(i, i, rowAbs+1+rng.Float64())
+	}
+	return m
+}
+
+func TestBandedCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct{ n, kd int }{{1, 0}, {3, 1}, {10, 2}, {50, 7}, {100, 25}} {
+		m := randomSPDBanded(rng, tc.n, tc.kd)
+		xTrue := NewVector(tc.n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b := m.MulVec(NewVector(tc.n), xTrue)
+		fact, err := m.Cholesky(nil)
+		if err != nil {
+			t.Fatalf("n=%d kd=%d Cholesky: %v", tc.n, tc.kd, err)
+		}
+		x := fact.Solve(NewVector(tc.n), b)
+		for i := range x {
+			if !almostEq(x[i], xTrue[i], 1e-8) {
+				t.Fatalf("n=%d kd=%d Solve[%d] = %g, want %g", tc.n, tc.kd, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+func TestBandedCholeskyReuseFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomSPDBanded(rng, 20, 3)
+	fact, err := m.Cholesky(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Refactor a different matrix into the same storage.
+	m2 := randomSPDBanded(rng, 20, 3)
+	fact2, err := m2.Cholesky(fact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fact2 != fact {
+		t.Fatal("Cholesky did not reuse compatible factorization storage")
+	}
+	xTrue := NewVector(20)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := m2.MulVec(NewVector(20), xTrue)
+	x := fact2.Solve(NewVector(20), b)
+	for i := range x {
+		if !almostEq(x[i], xTrue[i], 1e-8) {
+			t.Fatalf("reused Solve[%d] = %g, want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	m := NewSymBanded(3, 1)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, -5) // negative pivot
+	m.Set(2, 2, 1)
+	if _, err := m.Cholesky(nil); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+}
+
+func TestSolveInPlaceAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomSPDBanded(rng, 15, 4)
+	xTrue := NewVector(15)
+	for i := range xTrue {
+		xTrue[i] = rng.NormFloat64()
+	}
+	b := m.MulVec(NewVector(15), xTrue)
+	fact, err := m.Cholesky(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact.Solve(b, b) // dst aliases b
+	for i := range b {
+		if !almostEq(b[i], xTrue[i], 1e-8) {
+			t.Fatalf("aliased Solve[%d] = %g, want %g", i, b[i], xTrue[i])
+		}
+	}
+}
+
+func TestDenseCholeskySolveMatchesBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := randomSPDBanded(rng, 30, 5)
+	b := NewVector(30)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	fact, err := m.Cholesky(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xb := fact.Solve(NewVector(30), b)
+	xd, err := DenseCholeskySolve(m.Dense(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xb {
+		if !almostEq(xb[i], xd[i], 1e-8) {
+			t.Fatalf("dense vs banded solve[%d]: %g vs %g", i, xd[i], xb[i])
+		}
+	}
+}
+
+func TestD2Operators(t *testing.T) {
+	r := Vector{1, 4, 9, 16, 25} // r_i = (i+1)², second difference is constant 2
+	d := D2Mul(NewVector(D2Rows(len(r))), r)
+	for i, v := range d {
+		if v != 2 {
+			t.Fatalf("D2Mul[%d] = %g, want 2", i, v)
+		}
+	}
+	// Adjoint identity <D2 r, v> == <r, D2ᵀ v>.
+	v := Vector{1, -2, 3}
+	lhs := Dot(d, v)
+	rt := D2TMul(NewVector(len(r)), v)
+	rhs := Dot(r, rt)
+	if !almostEq(lhs, rhs, 1e-12) {
+		t.Fatalf("adjoint mismatch: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestDLOperators(t *testing.T) {
+	period := 3
+	r := Vector{1, 2, 3, 1, 2, 3, 1} // exactly periodic with period 3
+	d := DLMul(NewVector(DLRows(len(r), period)), r, period)
+	for i, v := range d {
+		if v != 0 {
+			t.Fatalf("DLMul[%d] = %g, want 0 for periodic input", i, v)
+		}
+	}
+	v := Vector{2, -1, 0.5, 4}
+	lhs := Dot(DLMul(NewVector(4), Vector{5, 1, 0, 2, 2, 2, 9}, period), v)
+	rhs := Dot(Vector{5, 1, 0, 2, 2, 2, 9}, DLTMul(NewVector(7), v, period))
+	if !almostEq(lhs, rhs, 1e-12) {
+		t.Fatalf("DL adjoint mismatch: %g vs %g", lhs, rhs)
+	}
+}
+
+func TestDiffEdgeCases(t *testing.T) {
+	if D2Rows(1) != 0 || D2Rows(2) != 0 {
+		t.Fatal("D2Rows should be 0 for t<3")
+	}
+	if DLRows(10, 0) != 0 {
+		t.Fatal("DLRows should be 0 for period 0")
+	}
+	if DLRows(5, 10) != 0 {
+		t.Fatal("DLRows should be 0 when t <= period")
+	}
+	// Empty operators must be no-ops on Gram assembly.
+	m := NewSymBanded(2, 1)
+	AddD2Gram(m, 1)
+	AddDLGram(m, 1, 5)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("Gram of empty operator produced non-zero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// The assembled Gram matrices must equal DᵀD computed via the mat-vec
+// operators on unit vectors.
+func TestGramMatchesOperators(t *testing.T) {
+	const n, period = 12, 4
+	m := NewSymBanded(n, period) // kd = period ≥ 2
+	AddD2Gram(m, 1.5)
+	AddDLGram(m, 2.5, period)
+
+	for j := 0; j < n; j++ {
+		e := NewVector(n)
+		e[j] = 1
+		d2 := D2Mul(NewVector(D2Rows(n)), e)
+		dl := DLMul(NewVector(DLRows(n, period)), e, period)
+		col := Add(NewVector(n),
+			Scale(NewVector(n), 1.5, D2TMul(NewVector(n), d2)),
+			Scale(NewVector(n), 2.5, DLTMul(NewVector(n), dl, period)))
+		for i := 0; i < n; i++ {
+			if !almostEq(m.At(i, j), col[i], 1e-12) {
+				t.Fatalf("Gram(%d,%d) = %g, want %g", i, j, m.At(i, j), col[i])
+			}
+		}
+	}
+}
+
+func TestAddDiag(t *testing.T) {
+	m := NewSymBanded(3, 1)
+	m.AddDiag(Vector{1, 2, 3})
+	m.AddDiag(Vector{1, 1, 1})
+	for i, w := range []float64{2, 3, 4} {
+		if m.At(i, i) != w {
+			t.Fatalf("diag[%d] = %g, want %g", i, m.At(i, i), w)
+		}
+	}
+}
+
+// Property: banded Cholesky solve returns x with small residual ‖Ax−b‖ for
+// random diag-dominant systems.
+func TestCholeskySolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(40)
+		kd := rng.Intn(n)
+		m := randomSPDBanded(rng, n, kd)
+		b := NewVector(n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fact, err := m.Cholesky(nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		x := fact.Solve(NewVector(n), b)
+		res := Sub(NewVector(n), m.MulVec(NewVector(n), x), b)
+		if Norm2(res) > 1e-8*(1+Norm2(b)) {
+			t.Fatalf("trial %d: residual %g too large", trial, Norm2(res))
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Package linalg provides the small linear-algebra substrate RobustScaler
+// needs: dense vectors, symmetric banded matrices with Cholesky
+// factorization (the O(T·L²) solve inside the ADMM trainer), and the sparse
+// difference operators D2 and DL from the regularized NHPP loss.
+//
+// The package is deliberately minimal and allocation-conscious: every hot
+// routine accepts destination slices so callers can reuse buffers across
+// ADMM iterations.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a dense column vector.
+type Vector = []float64
+
+// NewVector returns a zeroed vector of length n.
+func NewVector(n int) Vector { return make(Vector, n) }
+
+// Clone returns a copy of v.
+func Clone(v Vector) Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Fill sets every element of v to c.
+func Fill(v Vector, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Add stores a+b into dst and returns dst. Panics if lengths differ.
+func Add(dst, a, b Vector) Vector {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+	return dst
+}
+
+// Sub stores a-b into dst and returns dst.
+func Sub(dst, a, b Vector) Vector {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+	return dst
+}
+
+// Scale stores c*a into dst and returns dst.
+func Scale(dst Vector, c float64, a Vector) Vector {
+	checkLen2(dst, a)
+	for i := range dst {
+		dst[i] = c * a[i]
+	}
+	return dst
+}
+
+// AXPY stores a + c*b into dst and returns dst.
+func AXPY(dst Vector, a Vector, c float64, b Vector) Vector {
+	checkLen3(dst, a, b)
+	for i := range dst {
+		dst[i] = a[i] + c*b[i]
+	}
+	return dst
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b Vector) float64 {
+	checkLen2(a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Sum returns the sum of the elements of v.
+func Sum(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Norm1 returns the L1 norm of v.
+func Norm1(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += math.Abs(x)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v Vector) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the max-abs norm of v.
+func NormInf(v Vector) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Exp stores element-wise exp(a) into dst and returns dst.
+func Exp(dst, a Vector) Vector {
+	checkLen2(dst, a)
+	for i := range dst {
+		dst[i] = math.Exp(a[i])
+	}
+	return dst
+}
+
+// Log stores element-wise log(a) into dst and returns dst.
+func Log(dst, a Vector) Vector {
+	checkLen2(dst, a)
+	for i := range dst {
+		dst[i] = math.Log(a[i])
+	}
+	return dst
+}
+
+// SoftThreshold stores the element-wise soft-thresholding
+// sign(a)·max(|a|−c, 0) into dst and returns dst. It is the proximal
+// operator of the L1 norm used by ADMM step 3 (Algorithm 2 of the paper).
+func SoftThreshold(dst, a Vector, c float64) Vector {
+	checkLen2(dst, a)
+	for i, x := range a {
+		switch {
+		case x > c:
+			dst[i] = x - c
+		case x < -c:
+			dst[i] = x + c
+		default:
+			dst[i] = 0
+		}
+	}
+	return dst
+}
+
+func checkLen2(a, b Vector) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: length mismatch %d vs %d", len(a), len(b)))
+	}
+}
+
+func checkLen3(a, b, c Vector) {
+	if len(a) != len(b) || len(b) != len(c) {
+		panic(fmt.Sprintf("linalg: length mismatch %d/%d/%d", len(a), len(b), len(c)))
+	}
+}

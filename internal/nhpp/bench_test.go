@@ -1,0 +1,77 @@
+package nhpp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustscaler/internal/stats"
+)
+
+func benchCounts(n, period int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	q := make([]float64, n)
+	for i := range q {
+		lam := 1 + 0.8*math.Sin(2*math.Pi*float64(i)/float64(period))
+		q[i] = float64(stats.Poisson{Lambda: lam * 60}.Sample(rng))
+	}
+	return q
+}
+
+// BenchmarkFitBanded measures a full ADMM fit with the banded Cholesky
+// path (small period).
+func BenchmarkFitBanded(b *testing.B) {
+	q := benchCounts(1000, 50)
+	cfg := DefaultFitConfig()
+	cfg.Period = 50
+	cfg.Solver = SolverBanded
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(0, 60, q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitCG measures the conjugate-gradient path at the CRS scale:
+// a week of minute bins with a daily period (L = 1440), where the banded
+// factorization's O(T·L²) would be prohibitive.
+func BenchmarkFitCG(b *testing.B) {
+	q := benchCounts(7*1440, 1440)
+	cfg := DefaultFitConfig()
+	cfg.Period = 1440
+	cfg.MaxIter = 60
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Fit(0, 60, q, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelIntegral measures the piecewise-constant Λ evaluation.
+func BenchmarkModelIntegral(b *testing.B) {
+	r := make([]float64, 10080)
+	for i := range r {
+		r[i] = math.Sin(float64(i) / 100)
+	}
+	m := NewModel(0, 60, r, 1440)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Integral(1000, 500000)
+	}
+}
+
+// BenchmarkSimulate measures exact NHPP simulation throughput.
+func BenchmarkSimulate(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewModel(0, 60, []float64{0, 1, 0.5, 1.2}, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(rng, m, 0, 10000)
+	}
+}

@@ -1,0 +1,134 @@
+package nhpp
+
+import (
+	"math"
+
+	"robustscaler/internal/linalg"
+)
+
+// Solver selects how the ADMM r-subproblem (the SPD system A_k·r = B_k)
+// is solved.
+type Solver int
+
+const (
+	// SolverAuto uses the banded Cholesky for small bandwidths and
+	// switches to conjugate gradient when the period makes the O(T·L²)
+	// factorization more expensive than a few matrix-free O(T) passes.
+	SolverAuto Solver = iota
+	// SolverBanded always uses the banded Cholesky factorization.
+	SolverBanded
+	// SolverCG always uses Jacobi-preconditioned conjugate gradient with
+	// matrix-free A products (the D2/DL stencils are applied directly).
+	SolverCG
+)
+
+// cgBandwidthCutoff is the period above which SolverAuto prefers CG: the
+// Cholesky costs ~T·L²/2 flops versus ~iterations·10·T for CG, so beyond a
+// few dozen bins the iterative solve wins decisively.
+const cgBandwidthCutoff = 64
+
+// cgWorkspace holds the CG iteration vectors so ADMM can reuse them.
+type cgWorkspace struct {
+	res, p, ap, z, d2buf, dlbuf, diag linalg.Vector
+}
+
+func newCGWorkspace(t, n2, nl int) *cgWorkspace {
+	return &cgWorkspace{
+		res:   linalg.NewVector(t),
+		p:     linalg.NewVector(t),
+		ap:    linalg.NewVector(t),
+		z:     linalg.NewVector(t),
+		d2buf: linalg.NewVector(n2),
+		dlbuf: linalg.NewVector(nl),
+		diag:  linalg.NewVector(t),
+	}
+}
+
+// applyA computes dst = A·x with
+// A = diag(w) + ρ·D2ᵀD2 + ρ·DLᵀDL (+ridge included in w), matrix-free.
+func (ws *cgWorkspace) applyA(dst, x, w linalg.Vector, rho float64, period int) {
+	for i := range dst {
+		dst[i] = w[i] * x[i]
+	}
+	if len(ws.d2buf) > 0 {
+		linalg.D2Mul(ws.d2buf, x)
+		linalg.D2TMul(ws.z, ws.d2buf)
+		linalg.AXPY(dst, dst, rho, ws.z)
+	}
+	if period > 0 && len(ws.dlbuf) > 0 {
+		linalg.DLMul(ws.dlbuf, x, period)
+		linalg.DLTMul(ws.z, ws.dlbuf, period)
+		linalg.AXPY(dst, dst, rho, ws.z)
+	}
+}
+
+// solveCG solves A·x = b to relative tolerance tol, starting from x
+// (a warm start from the previous ADMM iterate), with Jacobi
+// preconditioning. Returns the iteration count.
+func (ws *cgWorkspace) solveCG(x, b, w linalg.Vector, rho float64, period int, tol float64, maxIter int) int {
+	t := len(x)
+	// Jacobi preconditioner: the diagonal of A.
+	for i := range ws.diag {
+		d := w[i]
+		// D2ᵀD2 diagonal entries: rows i, i−1, i−2 contribute 1, 4, 1 when
+		// within range.
+		n2 := linalg.D2Rows(t)
+		if n2 > 0 {
+			if i < n2 {
+				d += rho
+			}
+			if i >= 1 && i-1 < n2 {
+				d += 4 * rho
+			}
+			if i >= 2 && i-2 < n2 {
+				d += rho
+			}
+		}
+		if period > 0 {
+			nl := linalg.DLRows(t, period)
+			if i < nl {
+				d += rho
+			}
+			if i >= period && i-period < nl {
+				d += rho
+			}
+		}
+		ws.diag[i] = d
+	}
+	ws.applyA(ws.ap, x, w, rho, period)
+	linalg.Sub(ws.res, b, ws.ap)
+	bNorm := linalg.Norm2(b)
+	if bNorm == 0 {
+		bNorm = 1
+	}
+	// z = M⁻¹ r.
+	for i := range ws.z {
+		ws.z[i] = ws.res[i] / ws.diag[i]
+	}
+	copy(ws.p, ws.z)
+	rz := linalg.Dot(ws.res, ws.z)
+	iter := 0
+	for ; iter < maxIter; iter++ {
+		if linalg.Norm2(ws.res) <= tol*bNorm {
+			break
+		}
+		ws.applyA(ws.ap, ws.p, w, rho, period)
+		pap := linalg.Dot(ws.p, ws.ap)
+		if pap <= 0 || math.IsNaN(pap) {
+			break // loss of positive-definiteness in finite precision
+		}
+		alpha := rz / pap
+		linalg.AXPY(x, x, alpha, ws.p)
+		linalg.AXPY(ws.res, ws.res, -alpha, ws.ap)
+		for i := range ws.z {
+			ws.z[i] = ws.res[i] / ws.diag[i]
+		}
+		rzNew := linalg.Dot(ws.res, ws.z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range ws.p {
+			ws.p[i] = ws.z[i] + beta*ws.p[i]
+		}
+	}
+	return iter
+}

@@ -1,0 +1,338 @@
+// Package nhpp implements the paper's core contribution: a
+// non-homogeneous Poisson process model of query arrivals with a
+// periodicity-regularized log-intensity, trained by a quadratically
+// approximated ADMM (Algorithm 2), plus intensity forecasting and exact
+// NHPP simulation via time rescaling.
+package nhpp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Intensity is a (possibly time-varying) arrival intensity λ(t) with its
+// integral Λ and inverse integral, which together support Monte Carlo
+// sampling of future arrival epochs: the i-th arrival after time t0 is
+// Λ⁻¹(Λ(t0) + Gamma(i,1)) by the time-rescaling theorem.
+type Intensity interface {
+	// Rate returns λ(t) ≥ 0.
+	Rate(t float64) float64
+	// Integral returns Λ(a,b) = ∫_a^b λ(u) du for a ≤ b.
+	Integral(a, b float64) float64
+	// InverseIntegral returns the smallest t ≥ from with
+	// Integral(from, t) ≥ mass, and false if the mass is not reached
+	// within the implementation's horizon.
+	InverseIntegral(from, mass float64) (float64, bool)
+}
+
+// Constant is a homogeneous Poisson intensity, used by baselines, tests
+// and the κ threshold's constant upper-bound analysis.
+type Constant struct {
+	Lambda float64
+}
+
+// Rate implements Intensity.
+func (c Constant) Rate(float64) float64 { return c.Lambda }
+
+// Integral implements Intensity.
+func (c Constant) Integral(a, b float64) float64 {
+	if b < a {
+		panic(fmt.Sprintf("nhpp: Integral with b=%g < a=%g", b, a))
+	}
+	return c.Lambda * (b - a)
+}
+
+// InverseIntegral implements Intensity.
+func (c Constant) InverseIntegral(from, mass float64) (float64, bool) {
+	if mass <= 0 {
+		return from, true
+	}
+	if c.Lambda <= 0 {
+		return 0, false
+	}
+	return from + mass/c.Lambda, true
+}
+
+// Func adapts an arbitrary λ(t) function to the Intensity interface by
+// numerical integration on a fixed grid. Used by the synthetic experiments
+// (Fig. 8, Table III) whose ground-truth intensities are closed-form.
+type Func struct {
+	F    func(t float64) float64
+	Step float64 // integration step, seconds
+	// MaxHorizon bounds InverseIntegral's search beyond `from`.
+	MaxHorizon float64
+}
+
+// Rate implements Intensity.
+func (f Func) Rate(t float64) float64 { return f.F(t) }
+
+// Integral implements Intensity using the composite trapezoid rule with a
+// uniform grid of width ≤ Step.
+func (f Func) Integral(a, b float64) float64 {
+	if b < a {
+		panic(fmt.Sprintf("nhpp: Integral with b=%g < a=%g", b, a))
+	}
+	if a == b {
+		return 0
+	}
+	step := f.Step
+	if step <= 0 {
+		step = 1
+	}
+	n := int(math.Ceil((b - a) / step))
+	h := (b - a) / float64(n)
+	acc := (f.F(a) + f.F(b)) / 2
+	for i := 1; i < n; i++ {
+		acc += f.F(a + float64(i)*h)
+	}
+	return acc * h
+}
+
+// InverseIntegral implements Intensity by stepping the grid.
+func (f Func) InverseIntegral(from, mass float64) (float64, bool) {
+	if mass <= 0 {
+		return from, true
+	}
+	step := f.Step
+	if step <= 0 {
+		step = 1
+	}
+	horizon := f.MaxHorizon
+	if horizon <= 0 {
+		horizon = 1e9
+	}
+	var acc float64
+	t := from
+	prev := f.F(t)
+	for t < from+horizon {
+		next := t + step
+		cur := f.F(next)
+		cell := (prev + cur) / 2 * step
+		if acc+cell >= mass {
+			// Solve within the cell assuming linear rate.
+			need := mass - acc
+			lo, hi := t, next
+			for i := 0; i < 60; i++ {
+				mid := (lo + hi) / 2
+				rm := prev + (cur-prev)*(mid-t)/step
+				got := (prev + rm) / 2 * (mid - t)
+				if got < need {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			return (lo + hi) / 2, true
+		}
+		acc += cell
+		t = next
+		prev = cur
+	}
+	return 0, false
+}
+
+// Model is a fitted NHPP with piecewise-constant intensity
+// λ(t) = exp(r_t) on bins of width Dt starting at Start. Beyond the
+// training horizon the log-intensity is extended periodically with the
+// detected period (in bins); without a period the trailing mean level is
+// held.
+type Model struct {
+	Start  float64   // absolute time of bin 0, seconds
+	Dt     float64   // bin width, seconds
+	R      []float64 // log-intensity per training bin
+	Period int       // period in bins; 0 = none detected
+
+	// tailLevel is exp-mean log intensity of the trailing window, used for
+	// extrapolation when Period == 0.
+	tailLevel float64
+	// profile is the recency-weighted per-phase mean log intensity used
+	// for extrapolation when Period > 0. Averaging across observed periods
+	// cancels the per-period noise a single-period repeat would inherit.
+	profile []float64
+}
+
+// NewModel builds a model from a fitted log-intensity vector.
+func NewModel(start, dt float64, r []float64, periodBins int) *Model {
+	if dt <= 0 {
+		panic(fmt.Sprintf("nhpp: NewModel dt=%g", dt))
+	}
+	if len(r) == 0 {
+		panic("nhpp: NewModel with empty log-intensity")
+	}
+	if periodBins >= len(r) || periodBins < 0 {
+		periodBins = 0
+	}
+	m := &Model{Start: start, Dt: dt, R: r, Period: periodBins}
+	// Trailing level: average of the last min(T, max(period, 32)) bins.
+	w := periodBins
+	if w < 32 {
+		w = 32
+	}
+	if w > len(r) {
+		w = len(r)
+	}
+	var s float64
+	for _, v := range r[len(r)-w:] {
+		s += v
+	}
+	m.tailLevel = s / float64(w)
+	if periodBins > 0 {
+		m.profile = seasonalProfile(r, periodBins)
+	}
+	return m
+}
+
+// seasonalProfile returns the per-phase weighted mean of r over its
+// periods, weighting each period by decay^k with k periods back from the
+// end, so recent behaviour dominates without inheriting a single period's
+// noise.
+func seasonalProfile(r []float64, period int) []float64 {
+	const decay = 0.7
+	t := len(r)
+	prof := make([]float64, period)
+	wsum := make([]float64, period)
+	// Align phases to the end of the series: the last bin has phase
+	// period-1, so extrapolated bin idx has phase (idx-t) mod period
+	// continuing seamlessly.
+	for j := t - 1; j >= 0; j-- {
+		back := t - 1 - j
+		phase := period - 1 - back%period
+		k := back / period
+		w := math.Pow(decay, float64(k))
+		prof[phase] += w * r[j]
+		wsum[phase] += w
+	}
+	for p := range prof {
+		if wsum[p] > 0 {
+			prof[p] /= wsum[p]
+		}
+	}
+	return prof
+}
+
+// End returns the end of the training horizon.
+func (m *Model) End() float64 { return m.Start + float64(len(m.R))*m.Dt }
+
+// logRateAt returns the extrapolated log intensity for an arbitrary bin
+// index (possibly beyond the training range).
+func (m *Model) logRateAt(idx int) float64 {
+	t := len(m.R)
+	switch {
+	case idx < 0:
+		return m.R[0]
+	case idx < t:
+		return m.R[idx]
+	case m.Period > 0:
+		// Continue the seasonal profile: the last training bin has phase
+		// Period−1, so bin t has phase 0 of the next cycle.
+		off := (idx - t) % m.Period
+		return m.profile[off]
+	default:
+		return m.tailLevel
+	}
+}
+
+// Rate implements Intensity.
+func (m *Model) Rate(t float64) float64 {
+	idx := int(math.Floor((t - m.Start) / m.Dt))
+	return math.Exp(m.logRateAt(idx))
+}
+
+// Integral implements Intensity by exact summation over the piecewise
+// constant bins.
+func (m *Model) Integral(a, b float64) float64 {
+	if b < a {
+		panic(fmt.Sprintf("nhpp: Integral with b=%g < a=%g", b, a))
+	}
+	if a == b {
+		return 0
+	}
+	ia := int(math.Floor((a - m.Start) / m.Dt))
+	ib := int(math.Floor((b - m.Start) / m.Dt))
+	if ia == ib {
+		return math.Exp(m.logRateAt(ia)) * (b - a)
+	}
+	var acc float64
+	// Partial first bin.
+	acc += math.Exp(m.logRateAt(ia)) * (m.Start + float64(ia+1)*m.Dt - a)
+	// Whole middle bins.
+	for i := ia + 1; i < ib; i++ {
+		acc += math.Exp(m.logRateAt(i)) * m.Dt
+	}
+	// Partial last bin.
+	acc += math.Exp(m.logRateAt(ib)) * (b - (m.Start + float64(ib)*m.Dt))
+	return acc
+}
+
+// maxInverseBins bounds the InverseIntegral bin walk; with per-minute bins
+// this is ~19 years of look-ahead, far beyond any planning horizon.
+const maxInverseBins = 10_000_000
+
+// InverseIntegral implements Intensity.
+func (m *Model) InverseIntegral(from, mass float64) (float64, bool) {
+	if mass <= 0 {
+		return from, true
+	}
+	idx := int(math.Floor((from - m.Start) / m.Dt))
+	pos := from
+	acc := 0.0
+	for steps := 0; steps < maxInverseBins; steps++ {
+		rate := math.Exp(m.logRateAt(idx))
+		binEnd := m.Start + float64(idx+1)*m.Dt
+		cell := rate * (binEnd - pos)
+		if acc+cell >= mass {
+			if rate <= 0 {
+				return 0, false
+			}
+			return pos + (mass-acc)/rate, true
+		}
+		acc += cell
+		pos = binEnd
+		idx++
+	}
+	return 0, false
+}
+
+// MaxRate returns the maximum intensity over [a, b] (bin-wise supremum),
+// the λ̄ upper bound used by the κ threshold (eq. 8).
+func (m *Model) MaxRate(a, b float64) float64 {
+	ia := int(math.Floor((a - m.Start) / m.Dt))
+	ib := int(math.Floor((b - m.Start) / m.Dt))
+	if ib < ia {
+		ia, ib = ib, ia
+	}
+	maxLog := math.Inf(-1)
+	for i := ia; i <= ib; i++ {
+		if lr := m.logRateAt(i); lr > maxLog {
+			maxLog = lr
+		}
+	}
+	return math.Exp(maxLog)
+}
+
+// IntensitySeries returns λ at each training bin (exp of R), e.g. for
+// accuracy metrics against a ground truth (Table III).
+func (m *Model) IntensitySeries() []float64 {
+	out := make([]float64, len(m.R))
+	for i, r := range m.R {
+		out[i] = math.Exp(r)
+	}
+	return out
+}
+
+// Simulate draws NHPP arrival times on [from, to) under intensity in, by
+// inverting the integrated intensity over i.i.d. Exp(1) increments (exact,
+// no thinning rejection error).
+func Simulate(rng *rand.Rand, in Intensity, from, to float64) []float64 {
+	var out []float64
+	t := from
+	for {
+		u, ok := in.InverseIntegral(t, rng.ExpFloat64())
+		if !ok || u >= to {
+			return out
+		}
+		out = append(out, u)
+		t = u
+	}
+}

@@ -1,0 +1,405 @@
+package nhpp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustscaler/internal/stats"
+	"robustscaler/internal/timeseries"
+)
+
+func TestConstantIntensity(t *testing.T) {
+	c := Constant{Lambda: 2}
+	if c.Rate(99) != 2 {
+		t.Fatal("Rate wrong")
+	}
+	if got := c.Integral(1, 4); got != 6 {
+		t.Fatalf("Integral = %g, want 6", got)
+	}
+	u, ok := c.InverseIntegral(10, 6)
+	if !ok || u != 13 {
+		t.Fatalf("InverseIntegral = %g,%v, want 13,true", u, ok)
+	}
+	if _, ok := (Constant{}).InverseIntegral(0, 1); ok {
+		t.Fatal("zero-rate InverseIntegral should fail")
+	}
+	if u, ok := c.InverseIntegral(5, 0); !ok || u != 5 {
+		t.Fatal("zero-mass InverseIntegral should return from")
+	}
+}
+
+func TestFuncIntensityIntegralAccuracy(t *testing.T) {
+	f := Func{F: func(t float64) float64 { return 2 * t }, Step: 0.01, MaxHorizon: 1e6}
+	got := f.Integral(0, 10) // ∫2t = 100
+	if math.Abs(got-100) > 0.01 {
+		t.Fatalf("Integral = %g, want 100", got)
+	}
+	u, ok := f.InverseIntegral(0, 100)
+	if !ok || math.Abs(u-10) > 0.01 {
+		t.Fatalf("InverseIntegral = %g,%v, want 10,true", u, ok)
+	}
+}
+
+func TestFuncIntensityUnreachableMass(t *testing.T) {
+	f := Func{F: func(t float64) float64 { return 0 }, Step: 1, MaxHorizon: 100}
+	if _, ok := f.InverseIntegral(0, 1); ok {
+		t.Fatal("unreachable mass should return false")
+	}
+}
+
+func TestModelIntegralInverseRoundTrip(t *testing.T) {
+	r := []float64{math.Log(1), math.Log(2), math.Log(4), math.Log(1)}
+	m := NewModel(0, 10, r, 0)
+	// Λ(0,40) = 10·(1+2+4+1) = 80.
+	if got := m.Integral(0, 40); math.Abs(got-80) > 1e-9 {
+		t.Fatalf("Integral = %g, want 80", got)
+	}
+	// Partial bins: Λ(5, 15) = 5·1 + 5·2 = 15.
+	if got := m.Integral(5, 15); math.Abs(got-15) > 1e-9 {
+		t.Fatalf("partial Integral = %g, want 15", got)
+	}
+	for _, mass := range []float64{0.5, 3, 17, 42, 79} {
+		u, ok := m.InverseIntegral(0, mass)
+		if !ok {
+			t.Fatalf("mass %g unreachable", mass)
+		}
+		back := m.Integral(0, u)
+		if math.Abs(back-mass) > 1e-8 {
+			t.Fatalf("round trip mass %g gave %g", mass, back)
+		}
+	}
+}
+
+func TestModelPeriodicExtrapolation(t *testing.T) {
+	// Two periods of [log1, log3] then extrapolate.
+	r := []float64{0, math.Log(3), 0, math.Log(3)}
+	m := NewModel(0, 1, r, 2)
+	if got := m.Rate(4.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("extrapolated Rate(4.5) = %g, want 1", got)
+	}
+	if got := m.Rate(5.5); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("extrapolated Rate(5.5) = %g, want 3", got)
+	}
+	// Far future stays periodic.
+	if got := m.Rate(101.5); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("far extrapolated Rate = %g, want 3", got)
+	}
+}
+
+func TestModelAperiodicExtrapolationHoldsTailLevel(t *testing.T) {
+	r := make([]float64, 100)
+	for i := range r {
+		r[i] = math.Log(5)
+	}
+	m := NewModel(0, 1, r, 0)
+	if got := m.Rate(1e6); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("tail extrapolation = %g, want 5", got)
+	}
+}
+
+func TestModelMaxRate(t *testing.T) {
+	r := []float64{0, math.Log(7), math.Log(2)}
+	m := NewModel(0, 1, r, 0)
+	if got := m.MaxRate(0, 2.9); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("MaxRate = %g, want 7", got)
+	}
+}
+
+func TestSimulateHomogeneousCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	arr := Simulate(rng, Constant{Lambda: 3}, 0, 1000)
+	mean := float64(len(arr)) / 1000
+	if math.Abs(mean-3) > 0.2 {
+		t.Fatalf("simulated rate %g, want 3", mean)
+	}
+	for i := 1; i < len(arr); i++ {
+		if arr[i] <= arr[i-1] {
+			t.Fatal("arrivals not strictly increasing")
+		}
+	}
+}
+
+func TestSimulateTimeRescaling(t *testing.T) {
+	// For any NHPP, Λ(ξ_i) − Λ(ξ_{i−1}) must be i.i.d. Exp(1).
+	rng := rand.New(rand.NewSource(2))
+	r := []float64{math.Log(0.5), math.Log(4), math.Log(1), math.Log(8)}
+	m := NewModel(0, 50, r, 4)
+	arr := Simulate(rng, m, 0, 20000)
+	if len(arr) < 1000 {
+		t.Fatalf("too few arrivals: %d", len(arr))
+	}
+	prev := 0.0
+	var gaps []float64
+	for _, a := range arr {
+		gaps = append(gaps, m.Integral(0, a)-prev)
+		prev = m.Integral(0, a)
+	}
+	if m := stats.Mean(gaps); math.Abs(m-1) > 0.05 {
+		t.Fatalf("rescaled gap mean %g, want 1", m)
+	}
+	if v := stats.Variance(gaps); math.Abs(v-1) > 0.15 {
+		t.Fatalf("rescaled gap variance %g, want 1", v)
+	}
+}
+
+func TestFitConstantIntensityRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const (
+		lambda = 2.5
+		dt     = 60.0
+		n      = 500
+	)
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = float64(stats.Poisson{Lambda: lambda * dt}.Sample(rng))
+	}
+	cfg := DefaultFitConfig()
+	cfg.Beta1 = 50 // smoothing weight proportionate to ~150 counts/bin
+	m, st, err := Fit(0, dt, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("ADMM did not converge in %d iterations (step %g)", st.Iterations, st.FinalStepNorm)
+	}
+	lam := m.IntensitySeries()
+	if mean := stats.Mean(lam); math.Abs(mean-lambda) > 0.1 {
+		t.Fatalf("mean intensity %g, want ≈%g", mean, lambda)
+	}
+	// Interior bins (edges get less smoothing from the D2 penalty).
+	for i := 5; i < n-5; i++ {
+		if math.Abs(lam[i]-lambda) > 0.35 {
+			t.Fatalf("bin %d intensity %g, want ≈%g", i, lam[i], lambda)
+		}
+	}
+}
+
+func TestFitOutlierDoesNotCorruptNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	const (
+		lambda = 1.0
+		dt     = 60.0
+		n      = 300
+	)
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = float64(stats.Poisson{Lambda: lambda * dt}.Sample(rng))
+	}
+	q[150] = 4000 // single massive outlier bin
+	m, _, err := Fit(0, dt, q, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lam := m.IntensitySeries()
+	// The L1 trend penalty admits sparse kinks, so the spike itself is
+	// tracked by the likelihood — but it must not leak into bins a few
+	// steps away.
+	for _, i := range []int{140, 145, 155, 160} {
+		if lam[i] > 3*lambda {
+			t.Fatalf("bin %d intensity %g contaminated by outlier", i, lam[i])
+		}
+	}
+}
+
+// In the full pipeline, outliers are winsorized before fitting (the robust
+// decomposition role); after clipping, the fitted intensity at the outlier
+// bin must stay near the base rate.
+func TestFitAfterWinsorizeSmoothsOutlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	const (
+		lambda = 1.0
+		dt     = 60.0
+		n      = 300
+	)
+	s := timeseries.New(0, dt, n)
+	for i := range s.Values {
+		s.Values[i] = float64(stats.Poisson{Lambda: lambda * dt}.Sample(rng))
+	}
+	s.Values[150] = 4000
+	s.WinsorizeMAD(6)
+	m, _, err := Fit(0, dt, s.Values, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lam := m.IntensitySeries()[150]; lam > 3*lambda {
+		t.Fatalf("winsorized outlier bin intensity %g, want ≤ %g", lam, 3*lambda)
+	}
+}
+
+// The paper's Table III ablation in miniature: with a periodic ground
+// truth, the periodicity penalty must reduce intensity MSE.
+func TestFitPeriodicityRegularizationImprovesMSE(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const (
+		dt     = 60.0
+		period = 100
+		n      = 800
+	)
+	truth := make([]float64, n)
+	q := make([]float64, n)
+	for i := range q {
+		truth[i] = 1.5 + 1.4*math.Sin(2*math.Pi*float64(i)/period)
+		q[i] = float64(stats.Poisson{Lambda: truth[i] * dt}.Sample(rng))
+	}
+	base := DefaultFitConfig()
+	base.Period = 0
+	mNo, _, err := Fit(0, dt, q, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withP := DefaultFitConfig()
+	withP.Period = period
+	mYes, _, err := Fit(0, dt, q, withP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseNo := stats.MSE(mNo.IntensitySeries(), truth)
+	mseYes := stats.MSE(mYes.IntensitySeries(), truth)
+	if mseYes >= mseNo {
+		t.Fatalf("periodicity regularization did not help: %g vs %g", mseYes, mseNo)
+	}
+}
+
+func TestFitLossDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const dt = 60.0
+	q := make([]float64, 200)
+	for i := range q {
+		q[i] = float64(stats.Poisson{Lambda: (1 + math.Sin(float64(i)/10)) * dt}.Sample(rng))
+	}
+	cfg := DefaultFitConfig()
+	cfg.Period = 63
+	m, st, err := Fit(0, dt, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss at the solution must beat the naive per-bin MLE start.
+	r0 := make([]float64, len(q))
+	for i := range r0 {
+		r0[i] = math.Log((q[i] + 0.1) / dt)
+	}
+	if st.FinalLoss >= Loss(r0, q, dt, cfg)+1e-6 {
+		t.Fatalf("final loss %g worse than init %g", st.FinalLoss, Loss(r0, q, dt, cfg))
+	}
+	_ = m
+}
+
+func TestFitInputValidation(t *testing.T) {
+	if _, _, err := Fit(0, 60, nil, DefaultFitConfig()); err == nil {
+		t.Fatal("empty series accepted")
+	}
+	if _, _, err := Fit(0, 0, []float64{1}, DefaultFitConfig()); err == nil {
+		t.Fatal("zero dt accepted")
+	}
+	if _, _, err := Fit(0, 60, []float64{1, -2}, DefaultFitConfig()); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}
+
+func TestFitZeroCountsSeries(t *testing.T) {
+	// All-zero traffic must fit without blowing up (log-intensity floor).
+	q := make([]float64, 50)
+	m, _, err := Fit(0, 60, q, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lam := range m.IntensitySeries() {
+		if lam > 0.01 {
+			t.Fatalf("zero-traffic intensity %g too high", lam)
+		}
+	}
+}
+
+func TestFitShortSeriesNoD2(t *testing.T) {
+	// T=2: the D2 operator is empty; the fit must still work.
+	m, _, err := Fit(0, 60, []float64{5, 7}, DefaultFitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.R) != 2 {
+		t.Fatal("wrong model size")
+	}
+}
+
+func TestLossMatchesManualComputation(t *testing.T) {
+	r := []float64{0, 0.1, -0.2, 0.3}
+	q := []float64{1, 2, 0, 1}
+	dt := 2.0
+	cfg := FitConfig{Beta1: 0.5, Beta2: 1.5, Period: 2}
+	var want float64
+	for i := range r {
+		want += -q[i]*r[i] + dt*math.Exp(r[i])
+	}
+	d2a := r[0] - 2*r[1] + r[2]
+	d2b := r[1] - 2*r[2] + r[3]
+	want += 0.5 * (math.Abs(d2a) + math.Abs(d2b))
+	dla := r[0] - r[2]
+	dlb := r[1] - r[3]
+	want += 1.5 / 2 * (dla*dla + dlb*dlb)
+	got := Loss(r, q, dt, cfg)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Loss = %g, want %g", got, want)
+	}
+}
+
+// CG and banded solvers must agree on the fitted intensity.
+func TestFitCGMatchesBanded(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const (
+		dt     = 60.0
+		period = 50
+		n      = 400
+	)
+	q := make([]float64, n)
+	for i := range q {
+		lam := 1 + 0.8*math.Sin(2*math.Pi*float64(i)/period)
+		q[i] = float64(stats.Poisson{Lambda: lam * dt}.Sample(rng))
+	}
+	cfgB := DefaultFitConfig()
+	cfgB.Period = period
+	cfgB.Solver = SolverBanded
+	mB, _, err := Fit(0, dt, q, cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgC := cfgB
+	cfgC.Solver = SolverCG
+	mC, _, err := Fit(0, dt, q, cfgC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, lc := mB.IntensitySeries(), mC.IntensitySeries()
+	for i := range lb {
+		if math.Abs(lb[i]-lc[i]) > 1e-3*(1+lb[i]) {
+			t.Fatalf("bin %d: banded %g vs CG %g", i, lb[i], lc[i])
+		}
+	}
+}
+
+// A week of minute bins with a daily period (L=1440) must train in
+// reasonable time via the auto-selected CG path.
+func TestFitLargePeriodUsesCGAndConverges(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const (
+		dt     = 60.0
+		period = 1440 // one day of minutes
+		n      = 7 * 1440
+	)
+	q := make([]float64, n)
+	truth := make([]float64, n)
+	for i := range q {
+		truth[i] = 0.4 + 0.35*math.Sin(2*math.Pi*float64(i)/period)
+		q[i] = float64(stats.Poisson{Lambda: truth[i] * dt}.Sample(rng))
+	}
+	cfg := DefaultFitConfig()
+	cfg.Period = period
+	cfg.MaxIter = 150
+	m, _, err := Fit(0, dt, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse := stats.MSE(m.IntensitySeries(), truth); mse > 0.002 {
+		t.Fatalf("large-period fit MSE %g too high", mse)
+	}
+}

@@ -1,0 +1,57 @@
+package periodicity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustscaler/internal/timeseries"
+)
+
+// BenchmarkFFT measures the radix-2 transform at periodogram size.
+func BenchmarkFFT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, 8192)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	buf := make([]complex128, len(x))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		FFT(buf)
+	}
+}
+
+// BenchmarkDetect measures end-to-end period detection on a two-week
+// hourly series.
+func BenchmarkDetect(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := timeseries.New(0, 3600, 336)
+	for i := range s.Values {
+		s.Values[i] = 20 + 10*math.Sin(2*math.Pi*float64(i)/24) + 2*rng.NormFloat64()
+	}
+	opt := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := Detect(s, opt); !ok {
+			b.Fatal("detection failed")
+		}
+	}
+}
+
+// BenchmarkACF measures the Wiener–Khinchin autocorrelation.
+func BenchmarkACF(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 4096)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ACF(x, 1024)
+	}
+}

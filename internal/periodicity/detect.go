@@ -1,0 +1,207 @@
+package periodicity
+
+import (
+	"math"
+	"sort"
+
+	"robustscaler/internal/timeseries"
+)
+
+// Options tunes the detector. The zero value is not usable; use
+// DefaultOptions.
+type Options struct {
+	// AggregateWindow pools this many bins by averaging before detection
+	// (Sec. IV time aggregation). 1 disables aggregation.
+	AggregateWindow int
+	// MaxPeriodFrac caps candidate periods at this fraction of the series
+	// length; at least ~3 full cycles must be observed for a credible
+	// detection.
+	MaxPeriodFrac float64
+	// MinPeriod is the smallest admissible period in (aggregated) samples.
+	MinPeriod int
+	// SignificanceLevel is the Fisher-style false-alarm probability for the
+	// periodogram peak test under the white-noise null.
+	SignificanceLevel float64
+	// ACFThreshold requires the autocorrelation at the candidate lag to
+	// exceed this value.
+	ACFThreshold float64
+	// WinsorK clips values beyond K robust standard deviations before
+	// detection; ≤0 disables clipping.
+	WinsorK float64
+}
+
+// DefaultOptions returns the detector configuration used throughout the
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		AggregateWindow:   1,
+		MaxPeriodFrac:     1.0 / 3.0,
+		MinPeriod:         4,
+		SignificanceLevel: 0.01,
+		ACFThreshold:      0.2,
+		WinsorK:           5,
+	}
+}
+
+// Result describes one detected period.
+type Result struct {
+	// Period is the cycle length in original (pre-aggregation) bins.
+	Period int
+	// Power is the periodogram power at the detected frequency.
+	Power float64
+	// ACF is the autocorrelation at the detected lag.
+	ACF float64
+}
+
+// Detect finds the dominant period of the series, if any. It returns
+// (Result, true) on detection. The returned period is expressed in the
+// series' own bin units (after multiplying back any aggregation).
+func Detect(s *timeseries.Series, opt Options) (Result, bool) {
+	work := s.Clone()
+	if opt.WinsorK > 0 {
+		work.WinsorizeMAD(opt.WinsorK)
+	}
+	if opt.AggregateWindow > 1 {
+		work = work.Aggregate(opt.AggregateWindow)
+	}
+	x := work.Values
+	n := len(x)
+	if n < 8 {
+		return Result{}, false
+	}
+	// Median detrend for robustness to level shifts.
+	med := work.Median()
+	det := make([]float64, n)
+	for i, v := range x {
+		det[i] = v - med
+	}
+
+	power, padded := Periodogram(det)
+	if len(power) < 3 {
+		return Result{}, false
+	}
+	// Fisher-style significance: under white noise the periodogram
+	// ordinates are ~Exp(mean); a peak is significant when
+	// peak > mean · ln(m/α) with m ordinates tested.
+	m := len(power) - 1
+	var meanPow float64
+	for _, p := range power[1:] {
+		meanPow += p
+	}
+	meanPow /= float64(m)
+	if meanPow <= 0 {
+		return Result{}, false
+	}
+	threshold := meanPow * math.Log(float64(m)/opt.SignificanceLevel)
+
+	maxPeriod := int(float64(n) * opt.MaxPeriodFrac)
+	minPeriod := opt.MinPeriod
+	if minPeriod < 2 {
+		minPeriod = 2
+	}
+	if maxPeriod < minPeriod {
+		return Result{}, false
+	}
+
+	// Candidate frequencies sorted by power, strongest first.
+	type cand struct {
+		k     int
+		power float64
+	}
+	var cands []cand
+	for k := 1; k < len(power); k++ {
+		if power[k] <= threshold {
+			continue
+		}
+		period := int(math.Round(float64(padded) / float64(k)))
+		if period < minPeriod || period > maxPeriod {
+			continue
+		}
+		cands = append(cands, cand{k, power[k]})
+	}
+	if len(cands) == 0 {
+		return Result{}, false
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].power > cands[j].power })
+
+	acf := ACF(det, maxPeriod)
+	for _, c := range cands {
+		period := int(math.Round(float64(padded) / float64(c.k)))
+		lag, ok := refineACFPeak(acf, period)
+		if !ok || acf[lag] < opt.ACFThreshold {
+			continue
+		}
+		lag = escalateHarmonic(acf, lag, maxPeriod, n)
+		agg := opt.AggregateWindow
+		if agg < 1 {
+			agg = 1
+		}
+		return Result{Period: lag * agg, Power: c.power, ACF: acf[lag]}, true
+	}
+	return Result{}, false
+}
+
+// escalateHarmonic checks integer multiples of the detected lag: when a
+// longer multiple has a clearly higher autocorrelation, the true season is
+// the longer one and the detected lag is merely its strongest harmonic —
+// e.g. daily rhythm inside a weekly cycle with weekend effects. Without
+// this, the seasonal model would average weekdays and weekends together.
+func escalateHarmonic(acf []float64, lag, maxPeriod, n int) int {
+	// The biased ACF estimator shrinks by (1 − lag/n), which would hide a
+	// long season behind its strongest harmonic; compare bias-corrected
+	// values, demanding a noise-aware margin so pure short cycles are not
+	// spuriously escalated.
+	corrected := func(l int) float64 {
+		return acf[l] * float64(n) / float64(n-l)
+	}
+	best := lag
+	for k := 2; k*lag <= maxPeriod; k++ {
+		cand, ok := refineACFPeak(acf, k*lag)
+		if !ok || cand >= n {
+			continue
+		}
+		margin := 0.05 + 1/math.Sqrt(float64(n-cand))
+		if corrected(cand) > corrected(best)+margin {
+			best = cand
+		}
+	}
+	return best
+}
+
+// refineACFPeak walks from the candidate lag to the nearest local maximum
+// of the ACF within ±20% of the lag, returning the refined lag. It rejects
+// candidates whose neighborhood contains no local maximum.
+func refineACFPeak(acf []float64, lag int) (int, bool) {
+	if lag < 1 || lag >= len(acf) {
+		return 0, false
+	}
+	radius := lag / 5
+	if radius < 2 {
+		radius = 2
+	}
+	lo := lag - radius
+	if lo < 1 {
+		lo = 1
+	}
+	hi := lag + radius
+	if hi > len(acf)-1 {
+		hi = len(acf) - 1
+	}
+	best, bestVal := -1, math.Inf(-1)
+	for l := lo; l <= hi; l++ {
+		if acf[l] > bestVal {
+			best, bestVal = l, acf[l]
+		}
+	}
+	if best <= 0 {
+		return 0, false
+	}
+	// Require a genuine local maximum (not a monotone edge of the window),
+	// unless the window is clipped at the array border.
+	if best > lo && best < hi {
+		if acf[best] < acf[best-1] || acf[best] < acf[best+1] {
+			return 0, false
+		}
+	}
+	return best, true
+}

@@ -1,0 +1,138 @@
+// Package periodicity detects cyclic patterns in QPS series. It stands in
+// for the RobustPeriod detector the paper cites [18]: a periodogram over a
+// median-detrended, outlier-clipped, time-aggregated series, cross-checked
+// against the autocorrelation function. The detected period length L feeds
+// the DL regularization term of the NHPP loss.
+package periodicity
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 Cooley–Tukey FFT of x. len(x) must be a
+// power of two.
+func FFT(x []complex128) {
+	fftDir(x, false)
+}
+
+// IFFT computes the inverse FFT (including the 1/n normalization).
+func IFFT(x []complex128) {
+	fftDir(x, true)
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+}
+
+func fftDir(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic(fmt.Sprintf("periodicity: FFT length %d not a power of two", n))
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two ≥ n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Periodogram returns the power spectrum |FFT(x)|²/n at frequencies
+// k = 0..n/2 after zero-padding x to the next power of two ≥ 2·len(x)
+// (padding reduces spectral leakage when len(x) is not a power of two).
+// The returned padded length is needed to convert frequency bins back to
+// periods in samples.
+func Periodogram(x []float64) (power []float64, padded int) {
+	n := len(x)
+	if n == 0 {
+		return nil, 0
+	}
+	padded = nextPow2(2 * n)
+	buf := make([]complex128, padded)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	FFT(buf)
+	half := padded/2 + 1
+	power = make([]float64, half)
+	for k := 0; k < half; k++ {
+		power[k] = real(buf[k])*real(buf[k]) + imag(buf[k])*imag(buf[k])
+	}
+	for k := range power {
+		power[k] /= float64(n)
+	}
+	return power, padded
+}
+
+// ACF returns the (biased) autocorrelation function of x at lags
+// 0..maxLag, computed via the Wiener–Khinchin theorem in O(n log n).
+func ACF(x []float64, maxLag int) []float64 {
+	n := len(x)
+	if n == 0 || maxLag < 0 {
+		return nil
+	}
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(n)
+	padded := nextPow2(2 * n)
+	buf := make([]complex128, padded)
+	for i, v := range x {
+		buf[i] = complex(v-mean, 0)
+	}
+	FFT(buf)
+	for i, c := range buf {
+		buf[i] = complex(real(c)*real(c)+imag(c)*imag(c), 0)
+	}
+	IFFT(buf)
+	out := make([]float64, maxLag+1)
+	c0 := real(buf[0])
+	if c0 <= 0 {
+		// Constant series: define ACF as 1 at lag 0, 0 elsewhere.
+		out[0] = 1
+		return out
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		out[lag] = real(buf[lag]) / c0
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package periodicity
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * cmplx.Exp(complex(0, ang))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 32, 128} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		FFT(got)
+		for i := range want {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("n=%d bin %d: %v vs %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFFTIFFTRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := make([]complex128, 64)
+	orig := make([]complex128, 64)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		orig[i] = x[i]
+	}
+	FFT(x)
+	IFFT(x)
+	for i := range x {
+		if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+			t.Fatalf("round trip bin %d: %v vs %v", i, x[i], orig[i])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=6")
+		}
+	}()
+	FFT(make([]complex128, 6))
+}
+
+func TestPeriodogramParseval(t *testing.T) {
+	// Parseval: Σ|x|² == Σ|X|²/N over the padded transform. Periodogram
+	// divides by len(x) instead, so check the peak is at the right bin for
+	// a pure cosine and that DC carries the mean.
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * float64(i) / 32) // period 32
+	}
+	power, padded := Periodogram(x)
+	// Strongest non-DC bin should be at k = padded/32.
+	best, bestVal := 0, 0.0
+	for k := 1; k < len(power); k++ {
+		if power[k] > bestVal {
+			best, bestVal = k, power[k]
+		}
+	}
+	wantBin := padded / 32
+	if best != wantBin {
+		t.Fatalf("peak at bin %d, want %d", best, wantBin)
+	}
+}
+
+func TestACFPeriodicSignal(t *testing.T) {
+	n := 400
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2*math.Pi*float64(i)/50) + 3
+	}
+	acf := ACF(x, 120)
+	if math.Abs(acf[0]-1) > 1e-12 {
+		t.Fatalf("ACF(0) = %g, want 1", acf[0])
+	}
+	// The biased estimator shrinks by (1 − lag/n) = 0.875 at lag 50.
+	if acf[50] < 0.85 {
+		t.Fatalf("ACF at true period = %g, want ≥ 0.85", acf[50])
+	}
+	if acf[25] > 0 {
+		t.Fatalf("ACF at half period = %g, want negative", acf[25])
+	}
+}
+
+func TestACFConstantSeries(t *testing.T) {
+	x := []float64{5, 5, 5, 5, 5, 5, 5, 5}
+	acf := ACF(x, 4)
+	if acf[0] != 1 {
+		t.Fatalf("constant ACF(0) = %g", acf[0])
+	}
+	for lag := 1; lag <= 4; lag++ {
+		if acf[lag] != 0 {
+			t.Fatalf("constant ACF(%d) = %g, want 0", lag, acf[lag])
+		}
+	}
+}
+
+func TestACFMaxLagClamp(t *testing.T) {
+	x := []float64{1, 2, 3}
+	acf := ACF(x, 99)
+	if len(acf) != 3 {
+		t.Fatalf("ACF length %d, want clamp to n", len(acf))
+	}
+}

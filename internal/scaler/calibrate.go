@@ -1,0 +1,95 @@
+package scaler
+
+import (
+	"fmt"
+	"sort"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+)
+
+// CalibrationPoint is one (nominal, achieved) hitting-probability pair
+// measured on training data.
+type CalibrationPoint struct {
+	Nominal  float64
+	Achieved float64
+}
+
+// Calibration maps nominal hitting-probability levels to the levels the
+// deployed system actually achieves, following the paper's practical
+// guideline (Sec. VI-C): run Algorithm 4 on training data at a ladder of
+// nominal levels, record the achieved hit rates, and invert the mapping
+// to pick the nominal level that delivers a desired actual level.
+type Calibration struct {
+	Points []CalibrationPoint // ascending by Achieved
+}
+
+// CalibrateHP replays the training queries under RobustScaler-HP at each
+// nominal level and records the achieved hitting probability. queries
+// must be sorted by arrival; cfg supplies the pending-time distribution
+// and planning window, and its Alpha is overwritten per level.
+func CalibrateHP(in nhpp.Intensity, queries []sim.Query, start, end float64,
+	nominals []float64, cfg RobustConfig, tau stats.Dist, simSeed int64) (*Calibration, error) {
+	if len(nominals) < 2 {
+		return nil, fmt.Errorf("scaler: calibration needs ≥ 2 nominal levels, got %d", len(nominals))
+	}
+	cal := &Calibration{}
+	for _, nom := range nominals {
+		if nom <= 0 || nom >= 1 {
+			return nil, fmt.Errorf("scaler: nominal level %g outside (0,1)", nom)
+		}
+		c := cfg
+		c.Variant = HP
+		c.Alpha = 1 - nom
+		p, err := NewRobustScaler(in, c)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(queries, p, sim.Config{
+			Start:        start,
+			End:          end,
+			PendingDist:  tau,
+			MeanPending:  tau.Quantile(0.5),
+			TickInterval: c.PlanWindow,
+			Seed:         simSeed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cal.Points = append(cal.Points, CalibrationPoint{Nominal: nom, Achieved: res.HitRate()})
+	}
+	sort.Slice(cal.Points, func(i, j int) bool {
+		return cal.Points[i].Achieved < cal.Points[j].Achieved
+	})
+	return cal, nil
+}
+
+// NominalFor returns the nominal level to configure so the system
+// achieves the desired actual hitting probability, by monotone linear
+// interpolation of the calibration curve (clamped at the measured
+// endpoints).
+func (c *Calibration) NominalFor(desiredActual float64) float64 {
+	pts := c.Points
+	if len(pts) == 0 {
+		return desiredActual
+	}
+	if desiredActual <= pts[0].Achieved {
+		return pts[0].Nominal
+	}
+	last := pts[len(pts)-1]
+	if desiredActual >= last.Achieved {
+		return last.Nominal
+	}
+	for i := 1; i < len(pts); i++ {
+		if desiredActual <= pts[i].Achieved {
+			lo, hi := pts[i-1], pts[i]
+			if hi.Achieved == lo.Achieved {
+				return lo.Nominal
+			}
+			frac := (desiredActual - lo.Achieved) / (hi.Achieved - lo.Achieved)
+			return lo.Nominal + frac*(hi.Nominal-lo.Nominal)
+		}
+	}
+	return last.Nominal
+}

@@ -1,0 +1,203 @@
+package scaler
+
+import (
+	"math"
+	"testing"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+)
+
+func TestCalibrateHPProducesMonotoneCurve(t *testing.T) {
+	const (
+		lambda  = 0.4
+		horizon = 6000.0
+	)
+	qs := poissonQueries(31, lambda, horizon, 20)
+	tau := stats.Deterministic{Value: 13}
+	cal, err := CalibrateHP(nhpp.Constant{Lambda: lambda}, qs, 0, horizon,
+		[]float64{0.3, 0.6, 0.9}, RobustConfig{
+			Variant: HP, Alpha: 0.5, Tau: tau, PlanWindow: 1, Seed: 32,
+		}, tau, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Points) != 3 {
+		t.Fatalf("calibration has %d points", len(cal.Points))
+	}
+	for i := 1; i < len(cal.Points); i++ {
+		if cal.Points[i].Achieved < cal.Points[i-1].Achieved {
+			t.Fatal("calibration points not sorted by achieved level")
+		}
+	}
+	// With the true intensity the curve should sit near the diagonal.
+	for _, pt := range cal.Points {
+		if math.Abs(pt.Achieved-pt.Nominal) > 0.1 {
+			t.Fatalf("nominal %g achieved %g — calibration curve too far off", pt.Nominal, pt.Achieved)
+		}
+	}
+	// Inversion: asking for an achieved level between two measured points
+	// must land between their nominal levels.
+	mid := (cal.Points[0].Achieved + cal.Points[1].Achieved) / 2
+	nom := cal.NominalFor(mid)
+	lo, hi := cal.Points[0].Nominal, cal.Points[1].Nominal
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if nom < lo-1e-9 || nom > hi+1e-9 {
+		t.Fatalf("NominalFor(%g) = %g outside [%g, %g]", mid, nom, lo, hi)
+	}
+}
+
+func TestCalibrationNominalForClamps(t *testing.T) {
+	cal := &Calibration{Points: []CalibrationPoint{
+		{Nominal: 0.5, Achieved: 0.55},
+		{Nominal: 0.9, Achieved: 0.92},
+	}}
+	if got := cal.NominalFor(0.1); got != 0.5 {
+		t.Fatalf("below-range NominalFor = %g, want 0.5", got)
+	}
+	if got := cal.NominalFor(0.99); got != 0.9 {
+		t.Fatalf("above-range NominalFor = %g, want 0.9", got)
+	}
+	if got := cal.NominalFor(0.735); math.Abs(got-0.7) > 1e-9 {
+		t.Fatalf("interpolated NominalFor = %g, want 0.7", got)
+	}
+}
+
+func TestCalibrateHPValidation(t *testing.T) {
+	tau := stats.Deterministic{Value: 13}
+	if _, err := CalibrateHP(nhpp.Constant{Lambda: 1}, nil, 0, 10,
+		[]float64{0.5}, RobustConfig{Variant: HP, Alpha: 0.5, Tau: tau, PlanWindow: 1}, tau, 1); err == nil {
+		t.Fatal("single nominal level accepted")
+	}
+	if _, err := CalibrateHP(nhpp.Constant{Lambda: 1}, nil, 0, 10,
+		[]float64{0.5, 1.5}, RobustConfig{Variant: HP, Alpha: 0.5, Tau: tau, PlanWindow: 1}, tau, 1); err == nil {
+		t.Fatal("out-of-range nominal accepted")
+	}
+}
+
+// Literal Algorithm 4 cadence (plan every m arrivals, commit κ+m deep)
+// must deliver the same 1−α guarantee as the Δ-window variant.
+func TestRobustScalerArrivalCadenceAchievesTarget(t *testing.T) {
+	const (
+		lambda  = 0.5
+		horizon = 8000.0
+		alpha   = 0.2
+	)
+	qs := poissonQueries(34, lambda, horizon, 20)
+	p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+		Variant: HP, Alpha: alpha,
+		Tau:               stats.Deterministic{Value: 13},
+		PlanEveryArrivals: 3,
+		Seed:              35,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(qs, p, sim.Config{
+		Start: 0, End: horizon,
+		PendingDist: stats.Deterministic{Value: 13}, MeanPending: 13,
+		TickInterval: 0, // no ticks: pure arrival cadence
+		Seed:         36,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.HitRate()-(1-alpha)) > 0.05 {
+		t.Fatalf("arrival-cadence hit rate %g, want %g", res.HitRate(), 1-alpha)
+	}
+}
+
+// Proposition 1's variance bound: the hitting ratio of N queries has
+// variance ≤ 2(κ+m)α(1−α)/(N−κ). Check the empirical across independent
+// replications stays within a small multiple of the bound.
+func TestProposition1VarianceBound(t *testing.T) {
+	const (
+		lambda = 0.5
+		alpha  = 0.2
+		nQ     = 300
+		reps   = 30
+	)
+	tau := stats.Deterministic{Value: 13}
+	kappa := 0
+	for i := 1; ; i++ {
+		if (stats.Gamma{Shape: float64(i), Scale: 1}).Quantile(alpha)/lambda >= 13 {
+			kappa = i - 1
+			break
+		}
+	}
+	m := 1
+	var ratios []float64
+	for rep := 0; rep < reps; rep++ {
+		qs := poissonQueries(int64(100+rep), lambda, float64(nQ)*3/lambda, 20)
+		if len(qs) > nQ {
+			qs = qs[:nQ]
+		}
+		p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+			Variant: HP, Alpha: alpha, Tau: tau,
+			PlanEveryArrivals: m, Seed: int64(rep),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(qs, p, sim.Config{
+			Start: 0, End: qs[len(qs)-1].Arrival + 1,
+			PendingDist: tau, MeanPending: 13, Seed: int64(rep),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for i := kappa; i < len(res.Hits); i++ {
+			if res.Hits[i] {
+				hits++
+			}
+		}
+		ratios = append(ratios, float64(hits)/float64(len(res.Hits)-kappa))
+	}
+	bound := 2 * float64(kappa+m) * alpha * (1 - alpha) / float64(nQ-kappa)
+	varr := stats.Variance(ratios)
+	// The bound is loose; the empirical variance must certainly respect it
+	// (allow sampling error of the variance estimate itself).
+	if varr > 2*bound {
+		t.Fatalf("empirical hitting-ratio variance %g exceeds 2× Proposition 1 bound %g", varr, bound)
+	}
+}
+
+// WindowExtension must lead to creations at or before the unextended
+// variant's, compensating decision latency (more cost, never less lead).
+func TestWindowExtensionAddsLead(t *testing.T) {
+	const (
+		lambda  = 0.5
+		horizon = 4000.0
+	)
+	qs := poissonQueries(37, lambda, horizon, 20)
+	run := func(ext float64) float64 {
+		p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+			Variant: HP, Alpha: 0.1,
+			Tau:             stats.Deterministic{Value: 13},
+			PlanWindow:      5,
+			WindowExtension: ext,
+			Seed:            38,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(qs, p, sim.Config{
+			Start: 0, End: horizon,
+			PendingDist: stats.Deterministic{Value: 13}, MeanPending: 13,
+			TickInterval: 5, Seed: 39,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.HitRate()
+	}
+	base := run(0)
+	extended := run(10)
+	if extended < base-0.02 {
+		t.Fatalf("extension reduced hit rate: %g vs %g", extended, base)
+	}
+}

@@ -1,0 +1,362 @@
+package scaler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+)
+
+// poissonQueries draws a homogeneous Poisson arrival sequence with
+// exponential service times.
+func poissonQueries(seed int64, lambda, horizon, meanSvc float64) []sim.Query {
+	rng := rand.New(rand.NewSource(seed))
+	arr := nhpp.Simulate(rng, nhpp.Constant{Lambda: lambda}, 0, horizon)
+	qs := make([]sim.Query, len(arr))
+	for i, a := range arr {
+		qs[i] = sim.Query{Arrival: a, Service: stats.Exponential{Mean: meanSvc}.Sample(rng)}
+	}
+	return qs
+}
+
+func simCfg(horizon float64, tick float64) sim.Config {
+	return sim.Config{
+		Start:        0,
+		End:          horizon,
+		PendingDist:  stats.Deterministic{Value: 13},
+		MeanPending:  13,
+		MeanService:  20,
+		TickInterval: tick,
+		Seed:         7,
+	}
+}
+
+func TestBPZeroIsReactive(t *testing.T) {
+	qs := poissonQueries(1, 0.2, 2000, 20)
+	res, err := sim.Run(qs, &BP{B: 0}, simCfg(2000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() != 0 {
+		t.Fatalf("BP(0) hit rate = %g, want 0", res.HitRate())
+	}
+	if math.Abs(res.RelativeCost()-1) > 0.05 {
+		t.Fatalf("BP(0) relative cost = %g, want ≈1", res.RelativeCost())
+	}
+}
+
+func TestBPLargePoolHitsEverything(t *testing.T) {
+	// Sparse arrivals, big pool: every query should find a ready instance.
+	qs := poissonQueries(2, 0.02, 5000, 20)
+	res, err := sim.Run(qs, &BP{B: 5}, simCfg(5000, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() < 0.95 {
+		t.Fatalf("BP(5) hit rate = %g, want ≥ 0.95", res.HitRate())
+	}
+	if res.RelativeCost() < 1.5 {
+		t.Fatalf("BP(5) relative cost = %g, should far exceed reactive", res.RelativeCost())
+	}
+}
+
+func TestBPPoolSizeMonotoneInQoS(t *testing.T) {
+	qs := poissonQueries(3, 0.1, 5000, 20)
+	var prevHit float64 = -1
+	for _, b := range []int{0, 1, 3, 6} {
+		res, err := sim.Run(qs, &BP{B: b}, simCfg(5000, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HitRate() < prevHit-0.02 {
+			t.Fatalf("hit rate degraded when pool grew: B=%d rate=%g prev=%g", b, res.HitRate(), prevHit)
+		}
+		prevHit = res.HitRate()
+	}
+}
+
+func TestAdapBPTracksLoad(t *testing.T) {
+	// Rate jumps 0.05 → 0.5 halfway; AdapBP should end with a larger pool
+	// than it started and beat BP(1) on hit rate in the busy half.
+	rng := rand.New(rand.NewSource(4))
+	step := nhpp.Func{F: func(tt float64) float64 {
+		if tt < 6000 {
+			return 0.05
+		}
+		return 0.5
+	}, Step: 10, MaxHorizon: 1e6}
+	arr := nhpp.Simulate(rng, step, 0, 12000)
+	qs := make([]sim.Query, len(arr))
+	for i, a := range arr {
+		qs[i] = sim.Query{Arrival: a, Service: 20}
+	}
+	cfg := simCfg(12000, 60)
+	res, err := sim.Run(qs, NewAdapBP(30), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() < 0.5 {
+		t.Fatalf("AdapBP hit rate = %g, too low", res.HitRate())
+	}
+}
+
+func TestAdapBPShrinksPoolWhenIdle(t *testing.T) {
+	// Traffic stops at t=2000; resize ticks must shed instances instead of
+	// paying for an oversized pool forever.
+	rng := rand.New(rand.NewSource(5))
+	burst := nhpp.Func{F: func(tt float64) float64 {
+		if tt < 2000 {
+			return 0.3
+		}
+		return 0
+	}, Step: 10, MaxHorizon: 1e6}
+	arr := nhpp.Simulate(rng, burst, 0, 20000)
+	qs := make([]sim.Query, len(arr))
+	for i, a := range arr {
+		qs[i] = sim.Query{Arrival: a, Service: 10}
+	}
+	cfg := simCfg(20000, 60)
+	res, err := sim.Run(qs, NewAdapBP(20), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With shedding, the post-traffic cost must be bounded: relative cost
+	// stays modest instead of ~ pool × 18000 s.
+	if res.RelativeCost() > 3 {
+		t.Fatalf("AdapBP failed to shrink: relative cost %g", res.RelativeCost())
+	}
+}
+
+func TestRobustConfigValidation(t *testing.T) {
+	in := nhpp.Constant{Lambda: 1}
+	tau := stats.Deterministic{Value: 13}
+	cases := []RobustConfig{
+		{Variant: HP, Alpha: 0, Tau: tau},
+		{Variant: HP, Alpha: 1.2, Tau: tau},
+		{Variant: RT, RTTarget: -1, Tau: tau},
+		{Variant: Cost, CostBudget: -0.1, Tau: tau},
+		{Variant: Variant(99), Tau: tau},
+		{Variant: HP, Alpha: 0.1}, // nil Tau
+	}
+	for i, c := range cases {
+		if _, err := NewRobustScaler(in, c); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := NewRobustScaler(nil, RobustConfig{Variant: HP, Alpha: 0.1, Tau: tau}); err == nil {
+		t.Fatal("nil intensity accepted")
+	}
+}
+
+// The core guarantee (Proposition 1): with the true intensity as input,
+// RobustScaler-HP achieves hitting probability ≈ 1−α.
+func TestRobustScalerHPAchievesTarget(t *testing.T) {
+	const (
+		lambda  = 0.5
+		horizon = 8000.0
+	)
+	for _, alpha := range []float64{0.1, 0.3} {
+		qs := poissonQueries(6, lambda, horizon, 20)
+		p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+			Variant: HP, Alpha: alpha,
+			Tau:        stats.Deterministic{Value: 13},
+			PlanWindow: 1, Seed: 11,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(qs, p, simCfg(horizon, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.HitRate()
+		if math.Abs(got-(1-alpha)) > 0.05 {
+			t.Fatalf("α=%g: hit rate %g, want %g", alpha, got, 1-alpha)
+		}
+	}
+}
+
+// RobustScaler-HP via the Monte Carlo path (non-deterministic τ) must also
+// land near the target.
+func TestRobustScalerHPMonteCarloPath(t *testing.T) {
+	const (
+		lambda  = 0.5
+		horizon = 6000.0
+		alpha   = 0.2
+	)
+	rng := rand.New(rand.NewSource(8))
+	arr := nhpp.Simulate(rng, nhpp.Constant{Lambda: lambda}, 0, horizon)
+	qs := make([]sim.Query, len(arr))
+	for i, a := range arr {
+		qs[i] = sim.Query{Arrival: a, Service: 20}
+	}
+	tau := stats.Exponential{Mean: 13}
+	p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+		Variant: HP, Alpha: alpha, Tau: tau,
+		MCSamples: 500, PlanWindow: 1, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := simCfg(horizon, 1)
+	cfg.PendingDist = tau
+	res, err := sim.Run(qs, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.HitRate()-(1-alpha)) > 0.06 {
+		t.Fatalf("MC-path hit rate %g, want %g", res.HitRate(), 1-alpha)
+	}
+}
+
+// RobustScaler-RT: the average waiting time must be ≈ the target.
+func TestRobustScalerRTAchievesTarget(t *testing.T) {
+	const (
+		lambda  = 0.5
+		horizon = 6000.0
+		target  = 2.0 // seconds of allowed expected wait
+	)
+	qs := poissonQueries(9, lambda, horizon, 20)
+	p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+		Variant: RT, RTTarget: target,
+		Tau:       stats.Deterministic{Value: 13},
+		MCSamples: 500, PlanWindow: 1, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(qs, p, simCfg(horizon, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanWait := stats.Mean(res.Waits)
+	if math.Abs(meanWait-target) > 0.8 {
+		t.Fatalf("mean wait %g, want ≈%g", meanWait, target)
+	}
+}
+
+// RobustScaler-cost: average idle time per instance ≈ the budget.
+func TestRobustScalerCostRespectsBudget(t *testing.T) {
+	const (
+		lambda  = 0.5
+		horizon = 6000.0
+		budget  = 2.0
+	)
+	qs := poissonQueries(10, lambda, horizon, 20)
+	p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+		Variant: Cost, CostBudget: budget,
+		Tau:       stats.Deterministic{Value: 13},
+		MCSamples: 500, PlanWindow: 1, Seed: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(qs, p, simCfg(horizon, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := res.IdleCostPerQuery(13)
+	if math.Abs(idle-budget) > 1.0 {
+		t.Fatalf("idle cost per query %g, want ≈%g", idle, budget)
+	}
+}
+
+// A tighter α must not cost less: the HP-cost trade-off is monotone.
+func TestRobustScalerParetoMonotonicity(t *testing.T) {
+	const (
+		lambda  = 0.3
+		horizon = 6000.0
+	)
+	qs := poissonQueries(11, lambda, horizon, 20)
+	var prevCost float64 = -1
+	var prevHit float64 = -1
+	for _, alpha := range []float64{0.5, 0.2, 0.05} {
+		p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+			Variant: HP, Alpha: alpha,
+			Tau:        stats.Deterministic{Value: 13},
+			PlanWindow: 1, Seed: 15,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Run(qs, p, simCfg(horizon, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.HitRate() < prevHit-0.03 {
+			t.Fatalf("hit rate dropped when α tightened: %g after %g", res.HitRate(), prevHit)
+		}
+		if res.TotalCost < prevCost*0.95 {
+			t.Fatalf("cost dropped when α tightened: %g after %g", res.TotalCost, prevCost)
+		}
+		prevCost = res.TotalCost
+		prevHit = res.HitRate()
+	}
+}
+
+// Coarser planning windows must not reduce cost (Fig. 10(d) direction).
+func TestPlanningFrequencyCostEffect(t *testing.T) {
+	const (
+		lambda  = 0.5
+		horizon = 6000.0
+	)
+	qs := poissonQueries(12, lambda, horizon, 20)
+	var costs []float64
+	for _, delta := range []float64{1, 30} {
+		p, err := NewRobustScaler(nhpp.Constant{Lambda: lambda}, RobustConfig{
+			Variant: HP, Alpha: 0.1,
+			Tau:        stats.Deterministic{Value: 13},
+			PlanWindow: delta, Seed: 16,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := simCfg(horizon, delta)
+		res, err := sim.Run(qs, p, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs = append(costs, res.TotalCost)
+	}
+	if costs[1] < costs[0]*0.98 {
+		t.Fatalf("Δ=30 cost %g below Δ=1 cost %g", costs[1], costs[0])
+	}
+}
+
+func TestRobustScalerZeroTrafficSchedulesNothing(t *testing.T) {
+	p, err := NewRobustScaler(nhpp.Constant{Lambda: 0}, RobustConfig{
+		Variant: HP, Alpha: 0.1,
+		Tau: stats.Deterministic{Value: 13}, PlanWindow: 1, Seed: 17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(nil, p, simCfg(1000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalCost != 0 {
+		t.Fatalf("zero traffic produced cost %g", res.TotalCost)
+	}
+	if res.InstancesCreated != 0 {
+		t.Fatalf("zero traffic created %d instances", res.InstancesCreated)
+	}
+}
+
+func TestPolicyStringLabels(t *testing.T) {
+	if (&BP{B: 3}).String() != "BP(B=3)" {
+		t.Fatal("BP label")
+	}
+	if NewAdapBP(30).String() != "AdapBP(c=30)" {
+		t.Fatal("AdapBP label")
+	}
+	p, _ := NewRobustScaler(nhpp.Constant{Lambda: 1}, RobustConfig{
+		Variant: HP, Alpha: 0.1, Tau: stats.Deterministic{Value: 1},
+	})
+	if p.String() != "RobustScaler-HP(1-α=0.9)" {
+		t.Fatalf("RS label: %s", p.String())
+	}
+}

@@ -1,0 +1,381 @@
+// Package server exposes RobustScaler as an HTTP control plane, the shape
+// an operator integrates with a cluster autoscaler (e.g. as a Kubernetes
+// sidecar): arrival events stream in, the NHPP model is (re)trained on
+// demand or on a timer, and scaling plans — the next instance creation
+// times — are served as JSON.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"robustscaler"
+	"robustscaler/internal/decision"
+	"robustscaler/internal/stats"
+	"robustscaler/internal/timeseries"
+)
+
+// Config parameterizes the control plane.
+type Config struct {
+	// Dt is the modeling bin width in seconds.
+	Dt float64
+	// Pending is the instance startup time τ in seconds.
+	Pending float64
+	// Train configures model fitting.
+	Train robustscaler.TrainConfig
+	// HistoryWindow bounds the retained arrival history in seconds;
+	// 0 keeps everything.
+	HistoryWindow float64
+	// MCSamples for the rt/cost plan variants.
+	MCSamples int
+	// Seed drives Monte Carlo draws.
+	Seed int64
+	// Now supplies the current time as a Unix-epoch-like second count;
+	// defaults to time.Now. Tests inject a fake clock.
+	Now func() float64
+}
+
+// DefaultConfig returns a production-shaped configuration.
+func DefaultConfig() Config {
+	return Config{
+		Dt:            60,
+		Pending:       13,
+		Train:         robustscaler.DefaultTrainConfig(),
+		HistoryWindow: 28 * 86400,
+		MCSamples:     1000,
+	}
+}
+
+// Server is the HTTP control plane. It is safe for concurrent use.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	arrivals []float64 // sorted
+	model    *robustscaler.Model
+	trainedN int // arrivals included in the current model
+	rng      *rand.Rand
+}
+
+// New creates a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("server: non-positive Dt %g", cfg.Dt)
+	}
+	if cfg.Pending < 0 {
+		return nil, fmt.Errorf("server: negative pending time %g", cfg.Pending)
+	}
+	if cfg.MCSamples <= 0 {
+		cfg.MCSamples = 1000
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	}
+	return &Server{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/v1/arrivals", s.handleArrivals)
+	mux.HandleFunc("/v1/train", s.handleTrain)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/forecast", s.handleForecast)
+	mux.HandleFunc("/v1/status", s.handleStatus)
+	return mux
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// arrivalsRequest is the POST /v1/arrivals body.
+type arrivalsRequest struct {
+	Timestamps []float64 `json:"timestamps"`
+}
+
+func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req arrivalsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad JSON: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Timestamps) == 0 {
+		http.Error(w, "timestamps required", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.arrivals = append(s.arrivals, req.Timestamps...)
+	sort.Float64s(s.arrivals)
+	if s.cfg.HistoryWindow > 0 && len(s.arrivals) > 0 {
+		cut := s.arrivals[len(s.arrivals)-1] - s.cfg.HistoryWindow
+		i := sort.SearchFloat64s(s.arrivals, cut)
+		s.arrivals = s.arrivals[i:]
+	}
+	n := len(s.arrivals)
+	s.mu.Unlock()
+	writeJSON(w, map[string]any{"recorded": len(req.Timestamps), "total": n})
+}
+
+// trainResponse is the POST /v1/train reply.
+type trainResponse struct {
+	Bins          int     `json:"bins"`
+	PeriodSeconds float64 `json:"period_seconds"`
+	Iterations    int     `json:"admm_iterations"`
+	Converged     bool    `json:"converged"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	arr := append([]float64(nil), s.arrivals...)
+	s.mu.Unlock()
+	if len(arr) < 2 {
+		http.Error(w, "need at least 2 recorded arrivals", http.StatusConflict)
+		return
+	}
+	series := buildSeries(arr, s.cfg.Dt)
+	model, err := robustscaler.Train(series, s.cfg.Train)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("training failed: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.mu.Lock()
+	s.model = model
+	s.trainedN = len(arr)
+	s.mu.Unlock()
+	writeJSON(w, trainResponse{
+		Bins:          series.Len(),
+		PeriodSeconds: model.PeriodSeconds,
+		Iterations:    model.FitStats.Iterations,
+		Converged:     model.FitStats.Converged,
+	})
+}
+
+// buildSeries bins arrivals with the configured Δt, aligned to the first
+// arrival.
+func buildSeries(arr []float64, dt float64) *timeseries.Series {
+	start := arr[0]
+	end := arr[len(arr)-1] + dt
+	return timeseries.FromArrivals(arr, start, end, dt)
+}
+
+// PlanEntry is one planned instance creation.
+type PlanEntry struct {
+	QueryIndex int     `json:"query_index"`
+	CreateAt   float64 `json:"create_at"`
+	LeadSecs   float64 `json:"lead_seconds"`
+}
+
+// planResponse is the GET /v1/plan reply.
+type planResponse struct {
+	Now     float64     `json:"now"`
+	Variant string      `json:"variant"`
+	Target  float64     `json:"target"`
+	Kappa   int         `json:"kappa"`
+	Plan    []PlanEntry `json:"plan"`
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	model := s.model
+	s.mu.Unlock()
+	if model == nil {
+		http.Error(w, "no trained model; POST /v1/train first", http.StatusConflict)
+		return
+	}
+	q := r.URL.Query()
+	variant := q.Get("variant")
+	if variant == "" {
+		variant = "hp"
+	}
+	target, err := floatParam(q.Get("target"), 0.9)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	horizon, err := floatParam(q.Get("horizon"), 600)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now, err := floatParam(q.Get("now"), s.cfg.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxEntries := 10000
+
+	tau := s.cfg.Pending
+	alpha := 0.1
+	if variant == "hp" {
+		if target <= 0 || target >= 1 {
+			http.Error(w, "hp target must be in (0,1)", http.StatusBadRequest)
+			return
+		}
+		alpha = 1 - target
+	}
+	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
+	h := decision.NewHorizon(model.NHPP, now, s.cfg.Dt/4, 0)
+
+	s.mu.Lock()
+	rng := s.rng
+	s.mu.Unlock()
+
+	resp := planResponse{Now: now, Variant: variant, Target: target, Kappa: kappa}
+	tauS := make([]float64, s.cfg.MCSamples)
+	for i := range tauS {
+		tauS[i] = tau
+	}
+	for i := 1; len(resp.Plan) < maxEntries; i++ {
+		var x float64
+		switch variant {
+		case "hp":
+			qv, ok := h.QuantileArrival(i, alpha)
+			if !ok {
+				i = maxEntries // no more mass
+				break
+			}
+			x = qv - tau
+		case "rt", "cost":
+			xi := make([]float64, s.cfg.MCSamples)
+			ok := true
+			for k := range xi {
+				u, o := h.SampleArrival(rng, i)
+				if !o {
+					ok = false
+					break
+				}
+				xi[k] = u - now
+			}
+			if !ok {
+				i = maxEntries
+				break
+			}
+			if variant == "rt" {
+				x = now + decision.SolveRT(xi, tauS, target)
+			} else {
+				x = now + decision.SolveCost(xi, tauS, target)
+			}
+		default:
+			http.Error(w, fmt.Sprintf("unknown variant %q", variant), http.StatusBadRequest)
+			return
+		}
+		if x < now {
+			x = now
+		}
+		if x > now+horizon {
+			break
+		}
+		resp.Plan = append(resp.Plan, PlanEntry{QueryIndex: i, CreateAt: x, LeadSecs: x - now})
+	}
+	writeJSON(w, resp)
+}
+
+// forecastPoint is one sample of the predicted intensity.
+type forecastPoint struct {
+	T   float64 `json:"t"`
+	QPS float64 `json:"qps"`
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	model := s.model
+	s.mu.Unlock()
+	if model == nil {
+		http.Error(w, "no trained model; POST /v1/train first", http.StatusConflict)
+		return
+	}
+	q := r.URL.Query()
+	from, err := floatParam(q.Get("from"), s.cfg.Now())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := floatParam(q.Get("to"), from+3600)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	step, err := floatParam(q.Get("step"), s.cfg.Dt)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if step <= 0 || to <= from || (to-from)/step > 100000 {
+		http.Error(w, "invalid range/step", http.StatusBadRequest)
+		return
+	}
+	var pts []forecastPoint
+	for t := from; t < to; t += step {
+		pts = append(pts, forecastPoint{T: t, QPS: model.Rate(t)})
+	}
+	writeJSON(w, pts)
+}
+
+// statusResponse is the GET /v1/status reply.
+type statusResponse struct {
+	Arrivals      int     `json:"arrivals_recorded"`
+	TrainedOn     int     `json:"arrivals_in_model"`
+	ModelReady    bool    `json:"model_ready"`
+	PeriodSeconds float64 `json:"period_seconds"`
+	RateNow       float64 `json:"rate_now_qps"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	resp := statusResponse{
+		Arrivals:   len(s.arrivals),
+		TrainedOn:  s.trainedN,
+		ModelReady: s.model != nil,
+	}
+	if s.model != nil {
+		resp.PeriodSeconds = s.model.PeriodSeconds
+		resp.RateNow = s.model.Rate(s.cfg.Now())
+	}
+	s.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+func floatParam(raw string, def float64) (float64, error) {
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad numeric parameter %q", raw)
+	}
+	return v, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"robustscaler/internal/nhpp"
+)
+
+// newTestServer builds a server with a fake clock at fakeNow.
+func newTestServer(t *testing.T, fakeNow float64) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.MCSamples = 200
+	cfg.Now = func() float64 { return fakeNow }
+	cfg.Train.DetectPeriodicity = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// trafficArrivals draws a periodic NHPP for ingestion.
+func trafficArrivals(seed int64, horizon float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := nhpp.Func{F: func(t float64) float64 {
+		return 0.3 + 0.25*math.Sin(2*math.Pi*t/3600)
+	}, Step: 10, MaxHorizon: horizon * 2}
+	return nhpp.Simulate(rng, in, 0, horizon)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestIngestTrainPlanFlow(t *testing.T) {
+	const horizon = 6 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	arr := trafficArrivals(1, horizon)
+
+	// Ingest in two batches.
+	half := len(arr) / 2
+	resp := postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr[:half]})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arrivals status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr[half:]})
+	got := decode[map[string]any](t, resp)
+	if int(got["total"].(float64)) != len(arr) {
+		t.Fatalf("total = %v, want %d", got["total"], len(arr))
+	}
+
+	// Train.
+	resp = postJSON(t, ts.URL+"/v1/train", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train status %d", resp.StatusCode)
+	}
+	tr := decode[trainResponse](t, resp)
+	if !tr.Converged {
+		t.Fatal("training did not converge")
+	}
+	if math.Abs(tr.PeriodSeconds-3600) > 600 {
+		t.Fatalf("period %g, want ≈3600", tr.PeriodSeconds)
+	}
+
+	// Plan: creation times must be within the horizon, non-decreasing,
+	// and the first κ entries should be immediate (lead 0).
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/plan?variant=hp&target=0.9&horizon=120&now=%g", ts.URL, horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("plan status %d", resp2.StatusCode)
+	}
+	plan := decode[planResponse](t, resp2)
+	if len(plan.Plan) == 0 {
+		t.Fatal("empty plan")
+	}
+	prev := -1.0
+	for _, e := range plan.Plan {
+		if e.CreateAt < horizon || e.CreateAt > horizon+120 {
+			t.Fatalf("creation %g outside [now, now+120]", e.CreateAt)
+		}
+		if e.CreateAt < prev {
+			t.Fatal("plan not sorted")
+		}
+		prev = e.CreateAt
+	}
+	if plan.Kappa < 1 {
+		t.Fatalf("κ = %d, expected ≥ 1 at this rate", plan.Kappa)
+	}
+	if plan.Plan[0].LeadSecs != 0 {
+		t.Fatalf("first planned creation should be immediate, lead %g", plan.Plan[0].LeadSecs)
+	}
+}
+
+func TestPlanVariants(t *testing.T) {
+	const horizon = 4 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	arr := trafficArrivals(2, horizon)
+	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
+
+	for _, variant := range []string{"rt", "cost"} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/plan?variant=%s&target=2&horizon=60&now=%g", ts.URL, variant, horizon))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s plan status %d", variant, resp.StatusCode)
+		}
+		plan := decode[planResponse](t, resp)
+		if plan.Variant != variant {
+			t.Fatalf("variant echo %q", plan.Variant)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/plan?variant=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus variant status %d", resp.StatusCode)
+	}
+}
+
+func TestForecastEndpoint(t *testing.T) {
+	const horizon = 4 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	arr := trafficArrivals(3, horizon)
+	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
+
+	resp, err := http.Get(fmt.Sprintf("%s/v1/forecast?from=%g&to=%g&step=300", ts.URL, horizon, horizon+3600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := decode[[]forecastPoint](t, resp)
+	if len(pts) != 12 {
+		t.Fatalf("forecast points %d, want 12", len(pts))
+	}
+	for _, p := range pts {
+		if p.QPS < 0 || p.QPS > 10 {
+			t.Fatalf("implausible forecast %g qps", p.QPS)
+		}
+	}
+}
+
+func TestPlanWithoutModelConflicts(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, err := http.Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("plan without model: status %d, want 409", resp.StatusCode)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("forecast without model: status %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestTrainNeedsArrivals(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp := postJSON(t, ts.URL+"/v1/train", map[string]any{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("train without data: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func TestArrivalsValidation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp := postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": []float64{}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty timestamps: status %d, want 400", resp.StatusCode)
+	}
+	r2, err := http.Post(ts.URL+"/v1/arrivals", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d, want 400", r2.StatusCode)
+	}
+	r3, err := http.Get(ts.URL + "/v1/arrivals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET arrivals: status %d, want 405", r3.StatusCode)
+	}
+}
+
+func TestStatusReflectsState(t *testing.T) {
+	const horizon = 4 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	st, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := decode[statusResponse](t, st)
+	if before.ModelReady || before.Arrivals != 0 {
+		t.Fatalf("fresh server status wrong: %+v", before)
+	}
+	arr := trafficArrivals(4, horizon)
+	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
+	st2, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := decode[statusResponse](t, st2)
+	if !after.ModelReady || after.Arrivals != len(arr) || after.TrainedOn != len(arr) {
+		t.Fatalf("status after train wrong: %+v", after)
+	}
+	if after.RateNow <= 0 {
+		t.Fatalf("rate now %g", after.RateNow)
+	}
+}
+
+func TestHistoryWindowTrimming(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryWindow = 100
+	cfg.Now = func() float64 { return 0 }
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": []float64{0, 10, 500, 560, 590}}).Body.Close()
+	st, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[statusResponse](t, st)
+	if got.Arrivals != 3 {
+		t.Fatalf("history trimmed to %d arrivals, want 3 (window 100 ending at 590)", got.Arrivals)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Dt = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero Dt accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Pending = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("negative pending accepted")
+	}
+}

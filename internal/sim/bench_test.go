@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"robustscaler/internal/stats"
+)
+
+// benchQueries draws a Poisson-ish arrival stream.
+func benchQueries(n int) []Query {
+	rng := rand.New(rand.NewSource(1))
+	qs := make([]Query, n)
+	t := 0.0
+	for i := range qs {
+		t += rng.ExpFloat64() * 2
+		qs[i] = Query{Arrival: t, Service: 10}
+	}
+	return qs
+}
+
+// replenish keeps a pool of 3 instances (BP-style) so the bench exercises
+// scheduling, matching and retirement together.
+type replenish struct{}
+
+func (replenish) Init(ctx *Context) {
+	for i := 0; i < 3; i++ {
+		ctx.Schedule(ctx.Now())
+	}
+}
+func (replenish) OnTick(*Context, float64)        {}
+func (replenish) OnArrival(ctx *Context, _ Query) { ctx.Schedule(ctx.Now()) }
+
+// BenchmarkRun measures simulator throughput: 100k queries through the
+// full event loop.
+func BenchmarkRun(b *testing.B) {
+	qs := benchQueries(100000)
+	cfg := Config{
+		Start:       0,
+		End:         qs[len(qs)-1].Arrival + 1,
+		PendingDist: stats.Deterministic{Value: 13},
+		MeanPending: 13,
+		Seed:        1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(qs, replenish{}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"robustscaler/internal/stats"
+)
+
+// nopPolicy never scales: every query cold-starts (pure reactive BP(0)).
+type nopPolicy struct{}
+
+func (nopPolicy) Init(*Context)            {}
+func (nopPolicy) OnTick(*Context, float64) {}
+func (nopPolicy) OnArrival(*Context, Query) {
+}
+
+// prePlanPolicy schedules a fixed list of creations at Init.
+type prePlanPolicy struct{ times []float64 }
+
+func (p *prePlanPolicy) Init(ctx *Context) {
+	for _, t := range p.times {
+		ctx.Schedule(t)
+	}
+}
+func (p *prePlanPolicy) OnTick(*Context, float64)  {}
+func (p *prePlanPolicy) OnArrival(*Context, Query) {}
+
+func baseCfg() Config {
+	return Config{
+		Start:       0,
+		End:         1000,
+		PendingDist: stats.Deterministic{Value: 10},
+		MeanPending: 10,
+		MeanService: 5,
+		Seed:        1,
+	}
+}
+
+func TestReactiveColdStartsEverything(t *testing.T) {
+	queries := []Query{{100, 5}, {200, 5}, {300, 5}}
+	res, err := Run(queries, nopPolicy{}, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumQueries != 3 {
+		t.Fatalf("NumQueries = %d", res.NumQueries)
+	}
+	if res.HitRate() != 0 {
+		t.Fatalf("reactive hit rate = %g, want 0", res.HitRate())
+	}
+	// Every RT = τ + s = 15.
+	for i, rt := range res.RTs {
+		if rt != 15 {
+			t.Fatalf("RT[%d] = %g, want 15", i, rt)
+		}
+	}
+	// Cost = Σ(τ+s) = 45 = baseline → relative cost 1.
+	if res.TotalCost != 45 {
+		t.Fatalf("TotalCost = %g, want 45", res.TotalCost)
+	}
+	if math.Abs(res.RelativeCost()-1) > 1e-12 {
+		t.Fatalf("RelativeCost = %g, want 1", res.RelativeCost())
+	}
+}
+
+func TestPerfectProactivePlanHitsEverything(t *testing.T) {
+	queries := []Query{{100, 5}, {200, 5}, {300, 5}}
+	// Create each instance τ=10 early + margin.
+	p := &prePlanPolicy{times: []float64{85, 185, 285}}
+	res, err := Run(queries, p, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() != 1 {
+		t.Fatalf("hit rate = %g, want 1", res.HitRate())
+	}
+	for i, rt := range res.RTs {
+		if rt != 5 {
+			t.Fatalf("RT[%d] = %g, want 5 (no wait)", i, rt)
+		}
+	}
+	// Each lifecycle: created at a-15, done at a+5 → 20 each.
+	if res.TotalCost != 60 {
+		t.Fatalf("TotalCost = %g, want 60", res.TotalCost)
+	}
+}
+
+func TestPendingInstanceQueryWaits(t *testing.T) {
+	queries := []Query{{100, 5}}
+	// Created at 95 → ready at 105: query waits 5.
+	p := &prePlanPolicy{times: []float64{95}}
+	res, err := Run(queries, p, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() != 0 {
+		t.Fatalf("hit rate = %g, want 0 (pending at arrival)", res.HitRate())
+	}
+	if res.Waits[0] != 5 || res.RTs[0] != 10 {
+		t.Fatalf("wait %g rt %g, want 5 and 10", res.Waits[0], res.RTs[0])
+	}
+	// Lifecycle: 95 → 110 = 15.
+	if res.TotalCost != 15 {
+		t.Fatalf("TotalCost = %g, want 15", res.TotalCost)
+	}
+}
+
+func TestScheduledButNotCreatedIsCancelled(t *testing.T) {
+	queries := []Query{{100, 5}}
+	// Scheduled for 150, query arrives at 100 → cancel + cold start.
+	p := &prePlanPolicy{times: []float64{150}}
+	res, err := Run(queries, p, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() != 0 || res.RTs[0] != 15 {
+		t.Fatalf("cold start expected: hit %v rt %g", res.Hits[0], res.RTs[0])
+	}
+	// Only the cold-start instance must be accounted: τ+s = 15.
+	if res.TotalCost != 15 {
+		t.Fatalf("TotalCost = %g, want 15 (cancelled creation is free)", res.TotalCost)
+	}
+	if res.InstancesCreated != 1 {
+		t.Fatalf("InstancesCreated = %d, want 1", res.InstancesCreated)
+	}
+}
+
+func TestLeftoverInstanceChargedToEnd(t *testing.T) {
+	p := &prePlanPolicy{times: []float64{900}}
+	res, err := Run(nil, p, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Created at 900, never used, charged until End=1000.
+	if res.TotalCost != 100 {
+		t.Fatalf("TotalCost = %g, want 100", res.TotalCost)
+	}
+}
+
+func TestEarliestReadyInstanceServesFirst(t *testing.T) {
+	queries := []Query{{100, 5}}
+	// Two instances: one ready at 95, one at 60. The earlier one serves.
+	p := &prePlanPolicy{times: []float64{85, 50}}
+	res, err := Run(queries, p, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRate() != 1 {
+		t.Fatal("should hit")
+	}
+	// Used: created 50, done 105 → 55. Leftover: created 85 → charged to 1000 → 915.
+	if res.TotalCost != 55+915 {
+		t.Fatalf("TotalCost = %g, want 970", res.TotalCost)
+	}
+}
+
+// tickCounter counts ticks to verify the planning cadence.
+type tickCounter struct {
+	ticks []float64
+}
+
+func (tc *tickCounter) Init(*Context) {}
+func (tc *tickCounter) OnTick(_ *Context, now float64) {
+	tc.ticks = append(tc.ticks, now)
+}
+func (tc *tickCounter) OnArrival(*Context, Query) {}
+
+func TestTickCadence(t *testing.T) {
+	cfg := baseCfg()
+	cfg.End = 100
+	cfg.TickInterval = 10
+	tc := &tickCounter{}
+	if _, err := Run([]Query{{55, 1}}, tc, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(tc.ticks) != 10 {
+		t.Fatalf("got %d ticks, want 10", len(tc.ticks))
+	}
+	for i, tk := range tc.ticks {
+		if tk != float64(10*i) {
+			t.Fatalf("tick %d at %g", i, tk)
+		}
+	}
+}
+
+// replenishPolicy keeps exactly one instance around (BP with B=1).
+type replenishPolicy struct{}
+
+func (replenishPolicy) Init(ctx *Context)        { ctx.Schedule(ctx.Now()) }
+func (replenishPolicy) OnTick(*Context, float64) {}
+func (replenishPolicy) OnArrival(ctx *Context, _ Query) {
+	ctx.Schedule(ctx.Now())
+}
+
+func TestReplenishKeepsPoolSizeOne(t *testing.T) {
+	queries := []Query{{100, 5}, {200, 5}, {300, 5}}
+	res, err := Run(queries, replenishPolicy{}, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool created at 0, ready at 10 → all arrivals ≥ 100 hit.
+	if res.HitRate() != 1 {
+		t.Fatalf("hit rate = %g, want 1", res.HitRate())
+	}
+	// 3 used + 1 leftover = 4 instances.
+	if res.InstancesCreated != 4 {
+		t.Fatalf("InstancesCreated = %d, want 4", res.InstancesCreated)
+	}
+}
+
+func TestRecentQPS(t *testing.T) {
+	var sawQPS float64
+	probe := probePolicy{f: func(ctx *Context, now float64) {
+		if now == 600 {
+			sawQPS = ctx.RecentQPS(600)
+		}
+	}}
+	cfg := baseCfg()
+	cfg.TickInterval = 600
+	queries := make([]Query, 0, 60)
+	for i := 0; i < 60; i++ {
+		queries = append(queries, Query{Arrival: float64(i * 10), Service: 1})
+	}
+	if _, err := Run(queries, probe, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sawQPS-0.1) > 0.01 {
+		t.Fatalf("RecentQPS = %g, want 0.1", sawQPS)
+	}
+}
+
+type probePolicy struct{ f func(*Context, float64) }
+
+func (p probePolicy) Init(*Context)                    {}
+func (p probePolicy) OnTick(ctx *Context, now float64) { p.f(ctx, now) }
+func (p probePolicy) OnArrival(*Context, Query)        {}
+
+func TestDeleteIdle(t *testing.T) {
+	queries := []Query{{500, 5}}
+	deleter := probePolicy{f: func(ctx *Context, now float64) {
+		if now == 400 {
+			if n := ctx.DeleteIdle(1); n != 1 {
+				t.Fatalf("DeleteIdle returned %d", n)
+			}
+		}
+	}}
+	cfg := baseCfg()
+	cfg.TickInterval = 400
+	// Pre-create two instances; one gets deleted at t=400.
+	pp := struct {
+		prePlanPolicy
+		probePolicy
+	}{prePlanPolicy{times: []float64{10, 20}}, deleter}
+	combined := comboPolicy{&pp.prePlanPolicy, pp.probePolicy}
+	res, err := Run(queries, combined, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deleted at 400: lifecycle 380 (created 20, the later-ready one).
+	// Used: created 10, done 505 → 495.
+	if math.Abs(res.TotalCost-(380+495)) > 1e-9 {
+		t.Fatalf("TotalCost = %g, want 875", res.TotalCost)
+	}
+}
+
+type comboPolicy struct {
+	init Autoscaler
+	tick Autoscaler
+}
+
+func (c comboPolicy) Init(ctx *Context)                { c.init.Init(ctx) }
+func (c comboPolicy) OnTick(ctx *Context, now float64) { c.tick.OnTick(ctx, now) }
+func (c comboPolicy) OnArrival(ctx *Context, q Query)  { c.init.OnArrival(ctx, q) }
+
+func TestUnsortedQueriesRejected(t *testing.T) {
+	if _, err := Run([]Query{{5, 1}, {2, 1}}, nopPolicy{}, baseCfg()); err == nil {
+		t.Fatal("unsorted queries accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := baseCfg()
+	cfg.PendingDist = nil
+	if _, err := Run(nil, nopPolicy{}, cfg); err == nil {
+		t.Fatal("nil PendingDist accepted")
+	}
+	cfg = baseCfg()
+	cfg.End = cfg.Start
+	if _, err := Run(nil, nopPolicy{}, cfg); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+func TestQueriesOutsideRangeIgnored(t *testing.T) {
+	queries := []Query{{-5, 1}, {100, 5}, {2000, 1}}
+	res, err := Run(queries, nopPolicy{}, baseCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumQueries != 1 {
+		t.Fatalf("NumQueries = %d, want 1", res.NumQueries)
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	res := &Result{
+		NumQueries: 4,
+		Hits:       []bool{true, false, true, true},
+		RTs:        []float64{10, 20, 10, 20},
+	}
+	hm, hv := res.HitRateWindowStats(2)
+	if hm != 0.75 || hv != 0.0625 {
+		t.Fatalf("hit window stats = %g, %g", hm, hv)
+	}
+	rm, rv := res.RTWindowStats(2)
+	if rm != 15 || rv != 0 {
+		t.Fatalf("rt window stats = %g, %g", rm, rv)
+	}
+}
+
+func TestMeasuredDecisionLatencyDelaysCreations(t *testing.T) {
+	cfg := baseCfg()
+	cfg.TickInterval = 50
+	cfg.MeasureDecisionLatency = true
+	cfg.ActuationLatency = 30 // seconds added to every tick-issued creation
+	// The policy schedules a creation "now" at tick 50; with 30 s actuation
+	// latency it materializes at ≥ 80, becoming ready at ≥ 90 — after the
+	// query at 85, so the query cold-starts.
+	p := probePolicy{f: func(ctx *Context, now float64) {
+		if now == 50 {
+			ctx.Schedule(now)
+		}
+	}}
+	res, err := Run([]Query{{85, 5}}, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hits[0] {
+		t.Fatal("creation should have been delayed past readiness")
+	}
+	// Without latency the same plan hits (created 50, ready 60 < 85).
+	cfg.MeasureDecisionLatency = false
+	cfg.ActuationLatency = 0
+	res2, err := Run([]Query{{85, 5}}, p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Hits[0] {
+		t.Fatal("without latency the query should hit")
+	}
+}
+
+func TestResultQuantiles(t *testing.T) {
+	res := &Result{NumQueries: 4, RTs: []float64{1, 2, 3, 4}}
+	if got := res.RTQuantile(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("RT median = %g", got)
+	}
+	if got := res.RTAvg(); got != 2.5 {
+		t.Fatalf("RTAvg = %g", got)
+	}
+}

@@ -1,0 +1,208 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGammaCDFQuantileRoundTrip(t *testing.T) {
+	for _, g := range []Gamma{{0.5, 1}, {1, 2}, {3, 0.5}, {10, 1}, {57, 1}, {200, 3}} {
+		for _, p := range []float64{0.001, 0.05, 0.25, 0.5, 0.75, 0.95, 0.999} {
+			x := g.Quantile(p)
+			back := g.CDF(x)
+			if math.Abs(back-p) > 1e-8 {
+				t.Fatalf("Gamma(%g,%g): CDF(Quantile(%g)) = %g", g.Shape, g.Scale, p, back)
+			}
+		}
+	}
+}
+
+func TestGammaShape1IsExponential(t *testing.T) {
+	g := Gamma{Shape: 1, Scale: 2}
+	e := Exponential{Mean: 2}
+	for _, x := range []float64{0.1, 0.5, 1, 3, 8} {
+		if math.Abs(g.CDF(x)-e.CDF(x)) > 1e-12 {
+			t.Fatalf("Gamma(1,2) CDF(%g) != Exp(2) CDF: %g vs %g", x, g.CDF(x), e.CDF(x))
+		}
+	}
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, g := range []Gamma{{0.5, 1}, {2, 3}, {9, 0.25}, {40, 1}} {
+		const n = 200000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			x := g.Sample(rng)
+			if x < 0 {
+				t.Fatalf("Gamma sample %g < 0", x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / n
+		varr := sumSq/n - mean*mean
+		if math.Abs(mean-g.Mean()) > 0.03*g.Mean()+0.01 {
+			t.Fatalf("Gamma(%g,%g) sample mean %g, want %g", g.Shape, g.Scale, mean, g.Mean())
+		}
+		if math.Abs(varr-g.Variance()) > 0.1*g.Variance()+0.02 {
+			t.Fatalf("Gamma(%g,%g) sample var %g, want %g", g.Shape, g.Scale, varr, g.Variance())
+		}
+	}
+}
+
+func TestGammaPDFIntegratesToCDF(t *testing.T) {
+	g := Gamma{Shape: 3, Scale: 1.5}
+	// Trapezoid integral of the PDF up to x should match the CDF.
+	const dx = 1e-3
+	var acc float64
+	prev := g.PDF(0)
+	for x := dx; x <= 12; x += dx {
+		cur := g.PDF(x)
+		acc += (prev + cur) / 2 * dx
+		prev = cur
+		if math.Mod(x, 2) < dx {
+			if math.Abs(acc-g.CDF(x)) > 1e-4 {
+				t.Fatalf("∫pdf up to %g = %g, CDF = %g", x, acc, g.CDF(x))
+			}
+		}
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, lam := range []float64{0.1, 1, 5, 30} {
+		p := Poisson{Lambda: lam}
+		var s float64
+		for k := 0; k < 400; k++ {
+			s += p.PMF(k)
+		}
+		if math.Abs(s-1) > 1e-9 {
+			t.Fatalf("Poisson(%g) PMF sums to %g", lam, s)
+		}
+	}
+}
+
+func TestPoissonCDFMatchesPMFSum(t *testing.T) {
+	for _, lam := range []float64{0.5, 4, 17} {
+		p := Poisson{Lambda: lam}
+		var cum float64
+		for k := 0; k <= 60; k++ {
+			cum += p.PMF(k)
+			if math.Abs(p.CDF(k)-cum) > 1e-9 {
+				t.Fatalf("Poisson(%g) CDF(%d) = %g, cumulative PMF = %g", lam, k, p.CDF(k), cum)
+			}
+		}
+	}
+}
+
+func TestPoissonSampleMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	// Cover both the Knuth branch (λ<10) and the PTRS branch (λ≥10).
+	for _, lam := range []float64{0.2, 3, 9.9, 10.1, 50, 1000, 20000} {
+		p := Poisson{Lambda: lam}
+		n := 100000
+		if lam > 100 {
+			n = 20000
+		}
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			k := float64(p.Sample(rng))
+			if k < 0 {
+				t.Fatalf("negative Poisson sample")
+			}
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / float64(n)
+		varr := sumSq/float64(n) - mean*mean
+		tol := 4 * math.Sqrt(lam/float64(n)) // ±4 std errors
+		if math.Abs(mean-lam) > tol+0.01 {
+			t.Fatalf("Poisson(%g) sample mean %g (tol %g)", lam, mean, tol)
+		}
+		if math.Abs(varr-lam) > 0.1*lam+0.05 {
+			t.Fatalf("Poisson(%g) sample variance %g", lam, varr)
+		}
+	}
+}
+
+func TestPoissonSampleZeroRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if got := (Poisson{Lambda: 0}).Sample(rng); got != 0 {
+		t.Fatalf("Poisson(0) sample = %d, want 0", got)
+	}
+}
+
+func TestExponential(t *testing.T) {
+	e := Exponential{Mean: 20}
+	if math.Abs(e.Quantile(e.CDF(13))-13) > 1e-9 {
+		t.Fatal("Exponential quantile/CDF round trip failed")
+	}
+	rng := rand.New(rand.NewSource(2))
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += e.Sample(rng)
+	}
+	if mean := sum / n; math.Abs(mean-20) > 0.5 {
+		t.Fatalf("Exponential sample mean %g, want 20", mean)
+	}
+}
+
+func TestLogNormal(t *testing.T) {
+	l := LogNormal{Mu: 2, Sigma: 0.5}
+	// Median is exp(μ).
+	if math.Abs(l.Quantile(0.5)-math.Exp(2)) > 1e-9 {
+		t.Fatalf("LogNormal median %g, want %g", l.Quantile(0.5), math.Exp(2))
+	}
+	if math.Abs(l.CDF(l.Quantile(0.9))-0.9) > 1e-9 {
+		t.Fatal("LogNormal quantile/CDF round trip failed")
+	}
+	rng := rand.New(rand.NewSource(8))
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := l.Sample(rng)
+		if x <= 0 {
+			t.Fatal("LogNormal sample not positive")
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-l.Mean()) > 0.02*l.Mean() {
+		t.Fatalf("LogNormal sample mean %g, want %g", mean, l.Mean())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := Deterministic{Value: 13}
+	if d.Sample(nil) != 13 || d.Quantile(0.99) != 13 || d.CDF(12.9) != 0 || d.CDF(13) != 1 {
+		t.Fatal("Deterministic distribution misbehaves")
+	}
+}
+
+// The i-th arrival epoch of a unit-rate Poisson process is Gamma(i, 1):
+// partial sums of Exp(1) must match the Gamma CDF. This identity underpins
+// the κ threshold (eq. 8) and the proofs of Propositions 1–2.
+func TestGammaArrivalEpochIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const (
+		i = 7
+		n = 100000
+	)
+	g := Gamma{Shape: i, Scale: 1}
+	x0 := g.Quantile(0.3)
+	var below int
+	for trial := 0; trial < n; trial++ {
+		var sum float64
+		for j := 0; j < i; j++ {
+			sum += rng.ExpFloat64()
+		}
+		if sum <= x0 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("empirical Gamma(7,1) CDF at q30 = %g, want 0.30", frac)
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or NaN for fewer than
+// one observation.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the p-quantile of xs using linear interpolation between
+// order statistics (type-7, the numpy/R default). It sorts a copy.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: Quantile p=%g outside [0,1]", p))
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return QuantileSorted(sorted, p)
+}
+
+// QuantileSorted is Quantile for an already ascending-sorted slice.
+func QuantileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	h := p * float64(n-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= n {
+		return sorted[n-1]
+	}
+	frac := h - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MSE returns the mean squared error between a and b.
+func MSE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MSE length mismatch")
+	}
+	if len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// MAE returns the mean absolute error between a and b.
+func MAE(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MAE length mismatch")
+	}
+	if len(a) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+// WindowedMeans splits xs into consecutive windows of size w (dropping the
+// ragged tail) and returns the mean of each window. This is exactly the
+// Fig. 5 construction: "average the response times of every 50 queries".
+func WindowedMeans(xs []float64, w int) []float64 {
+	if w <= 0 {
+		panic(fmt.Sprintf("stats: WindowedMeans window %d <= 0", w))
+	}
+	n := len(xs) / w
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Mean(xs[i*w:(i+1)*w]))
+	}
+	return out
+}

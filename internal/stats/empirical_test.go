@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := Variance(xs); got != 4 {
+		t.Fatalf("Variance = %g, want 4", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Fatal("empty-slice Mean/Variance should be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{42}, 0.7); got != 42 {
+		t.Fatalf("singleton quantile = %g", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+// Quantile must be monotone in p and bracketed by min/max.
+func TestQuantileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		sorted := make([]float64, n)
+		copy(sorted, xs)
+		sort.Float64s(sorted)
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := Quantile(xs, p)
+			if q < prev-1e-12 || q < sorted[0]-1e-12 || q > sorted[n-1]+1e-12 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMSEAndMAE(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 2, 1}
+	if got := MSE(a, b); math.Abs(got-5.0/3) > 1e-12 {
+		t.Fatalf("MSE = %g, want %g", got, 5.0/3)
+	}
+	if got := MAE(a, b); got != 1 {
+		t.Fatalf("MAE = %g, want 1", got)
+	}
+}
+
+func TestWindowedMeans(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7}
+	got := WindowedMeans(xs, 3)
+	want := []float64{2, 5} // ragged tail {7} dropped
+	if len(got) != len(want) {
+		t.Fatalf("WindowedMeans length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WindowedMeans[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}

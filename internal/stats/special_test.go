@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncGammaIdentities(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0, 0.1, 0.5, 1, 2, 5, 10, 50} {
+		want := 1 - math.Exp(-x)
+		got := RegIncGammaP(1, x)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("P(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// P + Q = 1.
+	for _, a := range []float64{0.3, 1, 2.5, 10, 100} {
+		for _, x := range []float64{0.01, 0.5, 1, 3, 9, 20, 150} {
+			p, q := RegIncGammaP(a, x), RegIncGammaQ(a, x)
+			if math.Abs(p+q-1) > 1e-10 {
+				t.Fatalf("P+Q != 1 at a=%g x=%g: %g", a, x, p+q)
+			}
+		}
+	}
+	// Recurrence P(a+1,x) = P(a,x) − x^a e^{−x}/Γ(a+1).
+	for _, a := range []float64{0.5, 1, 3, 7} {
+		for _, x := range []float64{0.2, 1, 4, 12} {
+			lg, _ := math.Lgamma(a + 1)
+			want := RegIncGammaP(a, x) - math.Exp(a*math.Log(x)-x-lg)
+			got := RegIncGammaP(a+1, x)
+			if math.Abs(got-want) > 1e-10 {
+				t.Fatalf("recurrence failed a=%g x=%g: %g vs %g", a, x, got, want)
+			}
+		}
+	}
+}
+
+func TestRegIncGammaMonotonicProperty(t *testing.T) {
+	f := func(aRaw, x1Raw, x2Raw float64) bool {
+		a := 0.1 + math.Mod(math.Abs(aRaw), 50)
+		x1 := math.Mod(math.Abs(x1Raw), 100)
+		x2 := math.Mod(math.Abs(x2Raw), 100)
+		if x1 > x2 {
+			x1, x2 = x2, x1
+		}
+		return RegIncGammaP(a, x1) <= RegIncGammaP(a, x2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncGammaPanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { RegIncGammaP(0, 1) },
+		func() { RegIncGammaP(1, -1) },
+		func() { RegIncGammaQ(-2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on invalid input")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.15865525393145707, -1},
+		{0.9772498680518208, 2},
+		{0.999, 3.090232306167813},
+		{0.001, -3.090232306167813},
+	}
+	for _, c := range cases {
+		got := NormalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("NormalQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("NormalQuantile endpoints should be ±Inf")
+	}
+}
+
+func TestNormalCDFQuantileRoundTrip(t *testing.T) {
+	for p := 0.001; p < 1; p += 0.013 {
+		back := NormalCDF(NormalQuantile(p))
+		if math.Abs(back-p) > 1e-12 {
+			t.Fatalf("round trip at p=%g gave %g", p, back)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package timeseries provides the QPS-series substrate: binned query
+// counts, aggregation, masking for missing data, and basic transforms used
+// by periodicity detection and the NHPP trainer.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is a regularly spaced count series: Values[t] queries arrived in
+// [Start + t·Dt, Start + (t+1)·Dt). Dt is in seconds. Dividing Values by Dt
+// yields the QPS series of the paper.
+type Series struct {
+	Start  float64   // absolute time of the first bin, seconds
+	Dt     float64   // bin width, seconds
+	Values []float64 // query count per bin
+}
+
+// New returns a zeroed series with n bins.
+func New(start, dt float64, n int) *Series {
+	if dt <= 0 {
+		panic(fmt.Sprintf("timeseries: non-positive dt %g", dt))
+	}
+	return &Series{Start: start, Dt: dt, Values: make([]float64, n)}
+}
+
+// FromArrivals bins raw arrival timestamps into counts over [start, end).
+// Arrivals outside the range are ignored. The input need not be sorted.
+func FromArrivals(arrivals []float64, start, end, dt float64) *Series {
+	if end <= start || dt <= 0 {
+		panic(fmt.Sprintf("timeseries: invalid range [%g,%g) dt=%g", start, end, dt))
+	}
+	n := int(math.Ceil((end - start) / dt))
+	s := New(start, dt, n)
+	for _, a := range arrivals {
+		if a < start || a >= end {
+			continue
+		}
+		idx := int((a - start) / dt)
+		if idx >= n { // float edge case at the right boundary
+			idx = n - 1
+		}
+		s.Values[idx]++
+	}
+	return s
+}
+
+// Len returns the number of bins.
+func (s *Series) Len() int { return len(s.Values) }
+
+// End returns the absolute end time of the series.
+func (s *Series) End() float64 { return s.Start + float64(len(s.Values))*s.Dt }
+
+// QPS returns the queries-per-second series Values/Dt as a new slice.
+func (s *Series) QPS() []float64 {
+	out := make([]float64, len(s.Values))
+	for i, v := range s.Values {
+		out[i] = v / s.Dt
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (s *Series) Clone() *Series {
+	out := &Series{Start: s.Start, Dt: s.Dt, Values: make([]float64, len(s.Values))}
+	copy(out.Values, s.Values)
+	return out
+}
+
+// Slice returns the sub-series covering bins [lo, hi).
+func (s *Series) Slice(lo, hi int) *Series {
+	if lo < 0 || hi > len(s.Values) || lo > hi {
+		panic(fmt.Sprintf("timeseries: Slice bounds [%d,%d) of %d", lo, hi, len(s.Values)))
+	}
+	vals := make([]float64, hi-lo)
+	copy(vals, s.Values[lo:hi])
+	return &Series{Start: s.Start + float64(lo)*s.Dt, Dt: s.Dt, Values: vals}
+}
+
+// Aggregate pools w consecutive bins by averaging, dropping the ragged
+// tail. This is the "time aggregation" pre-step of the periodicity module
+// (Sec. IV): averaging reduces Poisson noise and reveals hidden cycles.
+func (s *Series) Aggregate(w int) *Series {
+	if w <= 0 {
+		panic(fmt.Sprintf("timeseries: Aggregate window %d <= 0", w))
+	}
+	n := len(s.Values) / w
+	out := &Series{Start: s.Start, Dt: s.Dt * float64(w), Values: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < w; j++ {
+			sum += s.Values[i*w+j]
+		}
+		out.Values[i] = sum / float64(w)
+	}
+	return out
+}
+
+// Total returns the total query count.
+func (s *Series) Total() float64 {
+	var t float64
+	for _, v := range s.Values {
+		t += v
+	}
+	return t
+}
+
+// MeanQPS returns the average queries per second over the whole series.
+func (s *Series) MeanQPS() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	return s.Total() / (float64(len(s.Values)) * s.Dt)
+}
+
+// EraseRange zeroes all bins intersecting absolute time range [t0, t1) —
+// used to inject missing data (Sec. VII-B3 deletes one full day of queries).
+func (s *Series) EraseRange(t0, t1 float64) {
+	for i := range s.Values {
+		binStart := s.Start + float64(i)*s.Dt
+		if binStart+s.Dt > t0 && binStart < t1 {
+			s.Values[i] = 0
+		}
+	}
+}
+
+// Median returns the median of the values (robust center, used for
+// detrending before periodicity detection).
+func (s *Series) Median() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(s.Values))
+	copy(sorted, s.Values)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// WinsorizeMAD clips values farther than k median-absolute-deviations from
+// the median. It is the outlier guard in front of periodicity detection and
+// keeps single bursts (like the Alibaba day-4 spike) from dominating the
+// periodogram.
+func (s *Series) WinsorizeMAD(k float64) {
+	winsorize(s.Values, k)
+}
+
+// WinsorizeMADSeasonal clips outliers phase-by-phase: each bin is compared
+// against the median/MAD of the bins at the same phase of the detected
+// period. Recurring spikes (the same phase of every cycle) survive intact
+// while one-off anomalies — a burst that other cycles do not share — are
+// clipped. This plays the role of the paper's robust seasonal-trend
+// decomposition in front of the NHPP likelihood.
+func (s *Series) WinsorizeMADSeasonal(period int, k float64) {
+	if period <= 0 || period >= len(s.Values) {
+		s.WinsorizeMAD(k)
+		return
+	}
+	phaseVals := make([]float64, 0, len(s.Values)/period+1)
+	idx := make([]int, 0, cap(phaseVals))
+	for p := 0; p < period; p++ {
+		phaseVals = phaseVals[:0]
+		idx = idx[:0]
+		for j := p; j < len(s.Values); j += period {
+			phaseVals = append(phaseVals, s.Values[j])
+			idx = append(idx, j)
+		}
+		if len(phaseVals) < 3 {
+			continue // not enough cycles to judge outliers at this phase
+		}
+		winsorize(phaseVals, k)
+		for i, j := range idx {
+			s.Values[j] = phaseVals[i]
+		}
+	}
+}
+
+// winsorize clips xs in place at k robust standard deviations around the
+// median.
+func winsorize(xs []float64, k float64) {
+	if len(xs) == 0 {
+		return
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	med := medianSorted(sorted)
+	dev := make([]float64, len(xs))
+	for i, v := range xs {
+		dev[i] = math.Abs(v - med)
+	}
+	sort.Float64s(dev)
+	mad := medianSorted(dev)
+	scale := 1.4826 * mad // 1.4826 ≈ consistency factor for normal data
+	if mad == 0 {
+		// Over half the values sit exactly at the median; fall back to the
+		// mean absolute deviation so isolated bursts are still clipped.
+		var meanDev float64
+		for _, d := range dev {
+			meanDev += d
+		}
+		meanDev /= float64(len(dev))
+		if meanDev == 0 {
+			return // truly constant values
+		}
+		scale = meanDev
+	}
+	lim := k * scale
+	for i, v := range xs {
+		if v > med+lim {
+			xs[i] = med + lim
+		} else if v < med-lim {
+			xs[i] = med - lim
+		}
+	}
+}
+
+func medianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}

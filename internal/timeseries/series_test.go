@@ -1,0 +1,197 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromArrivals(t *testing.T) {
+	arr := []float64{0.5, 1.5, 1.9, 2.5, 9.99, 10.0, -1}
+	s := FromArrivals(arr, 0, 10, 1)
+	if s.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", s.Len())
+	}
+	want := []float64{1, 2, 1, 0, 0, 0, 0, 0, 0, 1}
+	for i, w := range want {
+		if s.Values[i] != w {
+			t.Fatalf("bin %d = %g, want %g", i, s.Values[i], w)
+		}
+	}
+	if got := s.Total(); got != 5 {
+		t.Fatalf("Total = %g, want 5 (out-of-range arrivals must be dropped)", got)
+	}
+}
+
+func TestQPSAndMeanQPS(t *testing.T) {
+	s := New(0, 60, 3)
+	s.Values[0], s.Values[1], s.Values[2] = 60, 120, 0
+	qps := s.QPS()
+	for i, w := range []float64{1, 2, 0} {
+		if qps[i] != w {
+			t.Fatalf("QPS[%d] = %g, want %g", i, qps[i], w)
+		}
+	}
+	if got := s.MeanQPS(); got != 1 {
+		t.Fatalf("MeanQPS = %g, want 1", got)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := New(0, 1, 7)
+	copy(s.Values, []float64{1, 3, 5, 7, 9, 11, 100})
+	a := s.Aggregate(2)
+	if a.Len() != 3 || a.Dt != 2 {
+		t.Fatalf("Aggregate shape: len=%d dt=%g", a.Len(), a.Dt)
+	}
+	for i, w := range []float64{2, 6, 10} {
+		if a.Values[i] != w {
+			t.Fatalf("Aggregate[%d] = %g, want %g", i, a.Values[i], w)
+		}
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New(100, 10, 5)
+	copy(s.Values, []float64{1, 2, 3, 4, 5})
+	sub := s.Slice(1, 4)
+	if sub.Start != 110 || sub.Len() != 3 || sub.Values[0] != 2 {
+		t.Fatalf("Slice wrong: start=%g len=%d v0=%g", sub.Start, sub.Len(), sub.Values[0])
+	}
+	sub.Values[0] = 99
+	if s.Values[1] == 99 {
+		t.Fatal("Slice must copy, not alias")
+	}
+}
+
+func TestEraseRange(t *testing.T) {
+	s := New(0, 1, 10)
+	for i := range s.Values {
+		s.Values[i] = 1
+	}
+	s.EraseRange(2.5, 5.5)
+	want := []float64{1, 1, 0, 0, 0, 0, 1, 1, 1, 1}
+	for i, w := range want {
+		if s.Values[i] != w {
+			t.Fatalf("after EraseRange bin %d = %g, want %g", i, s.Values[i], w)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	s := New(0, 1, 4)
+	copy(s.Values, []float64{4, 1, 3, 2})
+	if got := s.Median(); got != 2.5 {
+		t.Fatalf("Median = %g, want 2.5", got)
+	}
+	s2 := New(0, 1, 3)
+	copy(s2.Values, []float64{9, 1, 5})
+	if got := s2.Median(); got != 5 {
+		t.Fatalf("odd Median = %g, want 5", got)
+	}
+}
+
+func TestWinsorizeMAD(t *testing.T) {
+	s := New(0, 1, 11)
+	for i := range s.Values {
+		s.Values[i] = 10
+	}
+	s.Values[0] = 12
+	s.Values[1] = 8
+	s.Values[5] = 1000 // outlier
+	s.WinsorizeMAD(5)
+	if s.Values[5] >= 1000 {
+		t.Fatalf("outlier not clipped: %g", s.Values[5])
+	}
+	if s.Values[2] != 10 {
+		t.Fatalf("inlier changed: %g", s.Values[2])
+	}
+}
+
+func TestWinsorizeMADConstantSeriesNoop(t *testing.T) {
+	s := New(0, 1, 5)
+	for i := range s.Values {
+		s.Values[i] = 7
+	}
+	s.WinsorizeMAD(3)
+	for _, v := range s.Values {
+		if v != 7 {
+			t.Fatal("constant series must be untouched")
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New(0, 1, 2)
+	s.Values[0] = 5
+	c := s.Clone()
+	c.Values[0] = 9
+	if s.Values[0] != 5 {
+		t.Fatal("Clone aliases the original")
+	}
+}
+
+func TestFromArrivalsEdgeBinning(t *testing.T) {
+	// An arrival exactly at end-epsilon must not index out of range.
+	s := FromArrivals([]float64{9.9999999999}, 0, 10, 3)
+	if s.Len() != 4 {
+		t.Fatalf("ceil bins = %d, want 4", s.Len())
+	}
+	if s.Total() != 1 {
+		t.Fatalf("edge arrival lost: total %g", s.Total())
+	}
+	if math.IsNaN(s.MeanQPS()) {
+		t.Fatal("MeanQPS NaN")
+	}
+}
+
+func TestWinsorizeMADSeasonalKeepsRecurringSpikes(t *testing.T) {
+	// Period 10: every cycle has a big spike at phase 3. A global
+	// winsorize would clip it; the seasonal one must keep it.
+	const period, cycles = 10, 12
+	s := New(0, 60, period*cycles)
+	for i := range s.Values {
+		s.Values[i] = 5
+		if i%period == 3 {
+			s.Values[i] = 90
+		}
+	}
+	s.Values[53] = 500 // one-off anomaly at phase 3 of cycle 5
+	s.WinsorizeMADSeasonal(period, 6)
+	if s.Values[3] != 90 || s.Values[13] != 90 {
+		t.Fatalf("recurring spike clipped: %g, %g", s.Values[3], s.Values[13])
+	}
+	if s.Values[53] >= 500 {
+		t.Fatalf("one-off anomaly not clipped: %g", s.Values[53])
+	}
+	if s.Values[0] != 5 {
+		t.Fatalf("baseline changed: %g", s.Values[0])
+	}
+}
+
+func TestWinsorizeMADSeasonalFallsBackWithoutPeriod(t *testing.T) {
+	s := New(0, 1, 20)
+	for i := range s.Values {
+		s.Values[i] = 10
+	}
+	s.Values[7] = 1000
+	s.Values[2] = 12
+	s.Values[4] = 8
+	s.WinsorizeMADSeasonal(0, 5) // no period → global clipping
+	if s.Values[7] >= 1000 {
+		t.Fatal("fallback did not clip")
+	}
+}
+
+func TestWinsorizeMADSeasonalShortSeries(t *testing.T) {
+	// Fewer than 3 cycles: phases are left untouched rather than clipped
+	// on no evidence.
+	s := New(0, 1, 8)
+	copy(s.Values, []float64{1, 50, 1, 50, 1, 50, 1, 50})
+	before := append([]float64(nil), s.Values...)
+	s.WinsorizeMADSeasonal(4, 3)
+	for i := range before {
+		if s.Values[i] != before[i] {
+			t.Fatalf("short series modified at %d", i)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"robustscaler/internal/sim"
+)
+
+// WriteCSV encodes the trace as CSV with header
+// "arrival_s,service_s" — the interchange format of the cmd tools.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"arrival_s", "service_s"}); err != nil {
+		return err
+	}
+	for _, q := range t.Queries {
+		rec := []string{
+			strconv.FormatFloat(q.Arrival, 'g', -1, 64),
+			strconv.FormatFloat(q.Service, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a trace written by WriteCSV. Name, time range and split
+// are supplied by the caller; trainFrac in (0,1] positions TrainEnd.
+func ReadCSV(r io.Reader, name string, trainFrac float64) (*Trace, error) {
+	if trainFrac <= 0 || trainFrac > 1 {
+		return nil, fmt.Errorf("trace: trainFrac %g outside (0,1]", trainFrac)
+	}
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	start := 0
+	if rows[0][0] == "arrival_s" {
+		start = 1
+	}
+	t := &Trace{Name: name}
+	for i := start; i < len(rows); i++ {
+		if len(rows[i]) < 2 {
+			return nil, fmt.Errorf("trace: row %d has %d fields, want 2", i, len(rows[i]))
+		}
+		a, err := strconv.ParseFloat(rows[i][0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d arrival: %w", i, err)
+		}
+		s, err := strconv.ParseFloat(rows[i][1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d service: %w", i, err)
+		}
+		t.Queries = append(t.Queries, sim.Query{Arrival: a, Service: s})
+	}
+	t.sortQueries()
+	if n := len(t.Queries); n > 0 {
+		t.Start = t.Queries[0].Arrival
+		t.End = t.Queries[n-1].Arrival + 1
+		t.TrainEnd = t.Start + trainFrac*(t.End-t.Start)
+		var sum float64
+		for _, q := range t.Queries {
+			sum += q.Service
+		}
+		t.MeanService = sum / float64(n)
+	}
+	return t, nil
+}

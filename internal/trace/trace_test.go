@@ -1,0 +1,277 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"robustscaler/internal/periodicity"
+	"robustscaler/internal/sim"
+)
+
+func TestSyntheticCRSShape(t *testing.T) {
+	tr := SyntheticCRS(1)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Queries)
+	// Paper: 21 059 queries over 4 weeks. Allow generous slack for the
+	// stochastic draw.
+	if n < 10000 || n > 45000 {
+		t.Fatalf("CRS has %d queries, want ≈21k", n)
+	}
+	meanQPS := float64(n) / (4 * week)
+	if meanQPS < 0.004 || meanQPS > 0.02 {
+		t.Fatalf("CRS mean QPS %g, want ≈0.0087", meanQPS)
+	}
+	if tr.TrainEnd != 3*week {
+		t.Fatalf("train split at %g, want 3 weeks", tr.TrainEnd)
+	}
+	// Heavy-tailed service times around the paper's ≈175 s floor.
+	var sum float64
+	for _, q := range tr.Queries {
+		sum += q.Service
+	}
+	mean := sum / float64(n)
+	if mean < 100 || mean > 260 {
+		t.Fatalf("CRS mean service %g, want ≈170", mean)
+	}
+}
+
+func TestSyntheticCRSWeeklyPeriodDetectable(t *testing.T) {
+	tr := SyntheticCRS(2)
+	// Aggregate to 1-hour bins; weekly period = 168 bins.
+	s := tr.TrainCountSeries(3600)
+	opt := periodicity.DefaultOptions()
+	opt.MinPeriod = 12
+	res, ok := periodicity.Detect(s, opt)
+	if !ok {
+		t.Fatal("no period detected in CRS stand-in")
+	}
+	// Accept the daily (24) or weekly (168) harmonic.
+	if !(near(res.Period, 24, 4) || near(res.Period, 168, 17)) {
+		t.Fatalf("detected period %d h, want ≈24 or ≈168", res.Period)
+	}
+}
+
+func near(got, want, tol int) bool {
+	d := got - want
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func TestSyntheticGoogleShape(t *testing.T) {
+	tr := SyntheticGoogle(3)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Queries)
+	// Paper: 20 254 jobs over 24 h.
+	if n < 10000 || n > 40000 {
+		t.Fatalf("Google has %d queries, want ≈20k", n)
+	}
+	// Spikes: the max 1-minute bin should dwarf the median bin.
+	s := tr.CountSeries(60)
+	med := s.Median()
+	var max float64
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	if max < 4*(med+1) {
+		t.Fatalf("Google spikes missing: max bin %g vs median %g", max, med)
+	}
+}
+
+func TestSyntheticAlibabaShapeAndBurst(t *testing.T) {
+	tr := SyntheticAlibaba(4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(tr.Queries)
+	// Paper: 503 850 jobs over 5 days.
+	if n < 250000 || n > 900000 {
+		t.Fatalf("Alibaba has %d queries, want ≈500k", n)
+	}
+	// The day-4 burst must clearly exceed the same window on other days.
+	b0, b1 := AlibabaBurstWindow()
+	countIn := func(a, b float64) int {
+		c := 0
+		for _, q := range tr.Queries {
+			if q.Arrival >= a && q.Arrival < b {
+				c++
+			}
+		}
+		return c
+	}
+	burst := countIn(b0, b1)
+	sameWindowDay1 := countIn(b0-2*day, b1-2*day)
+	if burst < 3*sameWindowDay1 {
+		t.Fatalf("burst count %d not anomalous vs %d", burst, sameWindowDay1)
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	a := SyntheticGoogle(7)
+	b := SyntheticGoogle(7)
+	if len(a.Queries) != len(b.Queries) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a.Queries {
+		if a.Queries[i] != b.Queries[i] {
+			t.Fatalf("same seed diverged at query %d", i)
+		}
+	}
+	c := SyntheticGoogle(8)
+	if len(a.Queries) == len(c.Queries) {
+		same := true
+		for i := range a.Queries {
+			if a.Queries[i] != c.Queries[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	tr := SyntheticGoogle(5)
+	train, test := tr.Train(), tr.Test()
+	if len(train)+len(test) != len(tr.Queries) {
+		t.Fatal("split loses queries")
+	}
+	for _, q := range train {
+		if q.Arrival >= tr.TrainEnd {
+			t.Fatal("train query past split")
+		}
+	}
+	for _, q := range test {
+		if q.Arrival < tr.TrainEnd {
+			t.Fatal("test query before split")
+		}
+	}
+}
+
+func TestRemoveRange(t *testing.T) {
+	tr := &Trace{Name: "x", Start: 0, End: 100, TrainEnd: 50,
+		Queries: []sim.Query{{Arrival: 10, Service: 1}, {Arrival: 20, Service: 1}, {Arrival: 30, Service: 1}, {Arrival: 40, Service: 1}}}
+	tr.RemoveRange(15, 35)
+	if len(tr.Queries) != 2 {
+		t.Fatalf("RemoveRange kept %d, want 2", len(tr.Queries))
+	}
+	if tr.Queries[0].Arrival != 10 || tr.Queries[1].Arrival != 40 {
+		t.Fatal("wrong queries kept")
+	}
+}
+
+func TestThin(t *testing.T) {
+	tr := SyntheticGoogle(6)
+	before := len(tr.Queries)
+	b0, b1 := 0.0, 6*hour
+	countIn := func() int {
+		c := 0
+		for _, q := range tr.Queries {
+			if q.Arrival >= b0 && q.Arrival < b1 {
+				c++
+			}
+		}
+		return c
+	}
+	inBefore := countIn()
+	tr.Thin(b0, b1, 0.25, 9)
+	inAfter := countIn()
+	if math.Abs(float64(inAfter)-0.25*float64(inBefore)) > 0.08*float64(inBefore) {
+		t.Fatalf("Thin kept %d of %d, want ≈25%%", inAfter, inBefore)
+	}
+	if len(tr.Queries)-inAfter != before-inBefore {
+		t.Fatal("Thin touched queries outside the window")
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	tr := SyntheticGoogle(7)
+	orig := tr.Clone()
+	tr.Perturb(2, 10)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deletion windows [h, h+300) must be (nearly) empty.
+	for _, q := range tr.Queries {
+		off := math.Mod(q.Arrival-tr.Start, hour)
+		if off >= 30 && off < 270 { // interior, away from jittered edges
+			t.Fatalf("query at offset %g inside deletion window", off)
+		}
+	}
+	// Addition windows should have grown roughly (1+c)×.
+	countWindow := func(tt *Trace, lo, hi float64) int {
+		c := 0
+		for _, q := range tt.Queries {
+			off := math.Mod(q.Arrival-tt.Start, hour)
+			if off >= lo && off < hi {
+				c++
+			}
+		}
+		return c
+	}
+	before := countWindow(orig, 360, 660)
+	after := countWindow(tr, 330, 690) // widened for jitter
+	if after < 2*before {
+		t.Fatalf("addition windows grew %d → %d, want ≈3×", before, after)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	tr := SyntheticGoogle(11)
+	cp := tr.Clone()
+	cp.Queries[0].Arrival = -999
+	if tr.Queries[0].Arrival == -999 {
+		t.Fatal("Clone aliases queries")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "rt", Start: 0, End: 100, TrainEnd: 50,
+		Queries: []sim.Query{{Arrival: 1.5, Service: 2.25}, {Arrival: 3.75, Service: 10}, {Arrival: 99, Service: 0.5}}}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "rt", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Queries) != 3 {
+		t.Fatalf("round trip has %d queries", len(back.Queries))
+	}
+	for i := range back.Queries {
+		if back.Queries[i] != tr.Queries[i] {
+			t.Fatalf("query %d mismatch: %+v vs %+v", i, back.Queries[i], tr.Queries[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString(""), "x", 0.5); err == nil {
+		t.Fatal("empty CSV accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("arrival_s,service_s\nnope,1\n"), "x", 0.5); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("1,2\n"), "x", 0); err == nil {
+		t.Fatal("bad trainFrac accepted")
+	}
+}
+
+func TestCountSeriesTotals(t *testing.T) {
+	tr := SyntheticGoogle(12)
+	s := tr.CountSeries(60)
+	if int(s.Total()) != len(tr.Queries) {
+		t.Fatalf("CountSeries total %g != %d queries", s.Total(), len(tr.Queries))
+	}
+}

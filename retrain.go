@@ -1,0 +1,126 @@
+package robustscaler
+
+import (
+	"fmt"
+	"math"
+
+	"robustscaler/internal/sim"
+	"robustscaler/internal/timeseries"
+)
+
+// RetrainConfig controls online model refreshing. The paper notes the
+// NHPP only needs retraining at a low frequency (e.g. every half hour);
+// this wrapper automates that: observed arrivals are appended to the
+// count series and the model is refitted on a trailing window, after
+// which the inner policy is rebuilt around the fresh forecast.
+type RetrainConfig struct {
+	// Every is the retraining period in seconds (e.g. 1800).
+	Every float64
+	// Window bounds the training history in seconds; 0 keeps everything.
+	Window float64
+	// Train configures each refit.
+	Train TrainConfig
+}
+
+// PolicyBuilder constructs the inner autoscaling policy from a model —
+// typically a closure over NewHPPolicy / NewRTPolicy / NewCostPolicy.
+type PolicyBuilder func(m *Model) (Policy, error)
+
+// retrainingPolicy wraps an inner RobustScaler policy and refits its
+// model periodically from the arrivals observed during the replay.
+type retrainingPolicy struct {
+	cfg    RetrainConfig
+	build  PolicyBuilder
+	series *timeseries.Series
+
+	inner     Policy
+	lastTrain float64
+	// trainErrs counts refits that failed (the previous model is kept).
+	trainErrs int
+}
+
+// NewRetrainingPolicy wraps build's policy with periodic retraining. seed
+// is the count series the first model is trained on; it is extended in
+// place as queries arrive.
+func NewRetrainingPolicy(seed *timeseries.Series, cfg RetrainConfig, build PolicyBuilder) (Policy, error) {
+	if seed == nil || seed.Len() == 0 {
+		return nil, fmt.Errorf("robustscaler: retraining needs a non-empty seed series")
+	}
+	if cfg.Every <= 0 {
+		return nil, fmt.Errorf("robustscaler: RetrainConfig.Every must be positive, got %g", cfg.Every)
+	}
+	if build == nil {
+		return nil, fmt.Errorf("robustscaler: nil PolicyBuilder")
+	}
+	p := &retrainingPolicy{cfg: cfg, build: build, series: seed.Clone()}
+	if err := p.refit(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// refit trains on the trailing window and swaps the inner policy.
+func (p *retrainingPolicy) refit() error {
+	train := p.series
+	if p.cfg.Window > 0 {
+		bins := int(p.cfg.Window / p.series.Dt)
+		if bins < 1 {
+			bins = 1
+		}
+		if bins < train.Len() {
+			train = train.Slice(train.Len()-bins, train.Len())
+		}
+	}
+	model, err := Train(train, p.cfg.Train)
+	if err != nil {
+		return fmt.Errorf("robustscaler: retraining: %w", err)
+	}
+	inner, err := p.build(model)
+	if err != nil {
+		return fmt.Errorf("robustscaler: rebuilding policy: %w", err)
+	}
+	p.inner = inner
+	return nil
+}
+
+// observe extends the count series through time t and records an arrival.
+func (p *retrainingPolicy) observe(arrival float64) {
+	idx := int(math.Floor((arrival - p.series.Start) / p.series.Dt))
+	for idx >= p.series.Len() {
+		p.series.Values = append(p.series.Values, 0)
+	}
+	if idx >= 0 {
+		p.series.Values[idx]++
+	}
+}
+
+// Init implements sim.Autoscaler.
+func (p *retrainingPolicy) Init(ctx *sim.Context) {
+	p.lastTrain = ctx.Now()
+	p.inner.Init(ctx)
+}
+
+// OnTick implements sim.Autoscaler: retrain on schedule, then delegate.
+func (p *retrainingPolicy) OnTick(ctx *sim.Context, now float64) {
+	if now-p.lastTrain >= p.cfg.Every {
+		p.lastTrain = now
+		// Pad the series with empty bins up to now so quiet stretches are
+		// part of the history.
+		idx := int(math.Floor((now - p.series.Start) / p.series.Dt))
+		for idx >= p.series.Len() {
+			p.series.Values = append(p.series.Values, 0)
+		}
+		if err := p.refit(); err != nil {
+			p.trainErrs++ // keep the previous model
+		} else {
+			p.inner.Init(ctx)
+		}
+	}
+	p.inner.OnTick(ctx, now)
+}
+
+// OnArrival implements sim.Autoscaler.
+func (p *retrainingPolicy) OnArrival(ctx *sim.Context, q sim.Query) {
+	p.observe(q.Arrival)
+	p.inner.OnArrival(ctx, q)
+}

@@ -1,0 +1,253 @@
+// Package robustscaler is a QoS-aware proactive autoscaler for
+// scaling-per-query workloads (container registries, CI/CD runners,
+// FaaS-style services where every query gets its own instance). It
+// reproduces the system described in "RobustScaler: QoS-Aware Autoscaling
+// for Complex Workloads" (ICDE 2022):
+//
+//   - query arrivals are modeled as a non-homogeneous Poisson process
+//     whose log-intensity is trained with a periodicity-regularized
+//     likelihood via ADMM (robust to noise, outliers and missing data);
+//   - the fitted intensity is extrapolated to forecast upcoming traffic;
+//   - instance creation times are chosen by stochastically constrained
+//     optimization, guaranteeing a target hitting probability, expected
+//     response time, or cost budget per query.
+//
+// # Quick start
+//
+//	series := robustscaler.CountsFromArrivals(arrivals, 0, end, 60)
+//	model, err := robustscaler.Train(series, robustscaler.DefaultTrainConfig())
+//	policy, err := robustscaler.NewHPPolicy(model, 0.9, robustscaler.FixedPending(13), 1, 0)
+//	result, err := robustscaler.Replay(queries, policy, robustscaler.ReplayConfig{
+//	    Start: trainEnd, End: end, Pending: robustscaler.FixedPending(13), Tick: 1,
+//	})
+//	fmt.Println(result.HitRate(), result.RelativeCost())
+//
+// The subsystems (NHPP trainer, decision solvers, simulator, baseline
+// policies, trace generators) are exposed under internal/ and re-exported
+// here only where a downstream user needs them.
+package robustscaler
+
+import (
+	"fmt"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/periodicity"
+	"robustscaler/internal/scaler"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+	"robustscaler/internal/timeseries"
+)
+
+// Query is one unit of work: arrival epoch and service duration, seconds.
+type Query = sim.Query
+
+// Result carries the QoS and cost metrics of a replay; see the methods on
+// sim.Result (HitRate, RTAvg, RTQuantile, RelativeCost, ...).
+type Result = sim.Result
+
+// Policy is the autoscaling policy interface accepted by Replay.
+type Policy = sim.Autoscaler
+
+// PendingDist describes instance startup (pending) times.
+type PendingDist = stats.Dist
+
+// FixedPending returns a deterministic pending-time distribution — the
+// fixed pod startup time of the paper's experiments.
+func FixedPending(seconds float64) PendingDist {
+	return stats.Deterministic{Value: seconds}
+}
+
+// ExpPending returns an exponentially distributed pending time with the
+// given mean, for environments with variable cold-start latency.
+func ExpPending(mean float64) PendingDist {
+	return stats.Exponential{Mean: mean}
+}
+
+// CountsFromArrivals bins raw arrival timestamps into a count series with
+// bin width dt covering [start, end) — the input format of Train.
+func CountsFromArrivals(arrivals []float64, start, end, dt float64) *timeseries.Series {
+	return timeseries.FromArrivals(arrivals, start, end, dt)
+}
+
+// TrainConfig controls model training.
+type TrainConfig struct {
+	// WinsorK clips count outliers beyond K robust standard deviations
+	// before fitting; ≤0 disables. This is the robust-decomposition guard
+	// in front of the likelihood.
+	WinsorK float64
+	// DetectPeriodicity runs the periodicity detector and enables the DL
+	// regularization term when a cycle is found.
+	DetectPeriodicity bool
+	// Periodicity tunes the detector (used when DetectPeriodicity).
+	Periodicity periodicity.Options
+	// Fit tunes the ADMM trainer. Fit.Period is overwritten by detection
+	// when DetectPeriodicity is on.
+	Fit nhpp.FitConfig
+}
+
+// DefaultTrainConfig returns the configuration used across the paper
+// experiments: outlier clipping at 6 robust sigmas, periodicity detection
+// with hour-scale aggregation, and the default ADMM settings.
+func DefaultTrainConfig() TrainConfig {
+	p := periodicity.DefaultOptions()
+	return TrainConfig{
+		WinsorK:           6,
+		DetectPeriodicity: true,
+		Periodicity:       p,
+		Fit:               nhpp.DefaultFitConfig(),
+	}
+}
+
+// Model is a trained arrival model: an NHPP whose intensity extrapolates
+// periodically beyond the training window. It implements the forecast
+// role of the pipeline and is the input to the policy constructors.
+type Model struct {
+	// NHPP is the fitted process; it satisfies the intensity interface
+	// used by the decision solvers.
+	NHPP *nhpp.Model
+	// PeriodBins is the detected period in training bins (0 = none).
+	PeriodBins int
+	// PeriodSeconds is the detected period in seconds (0 = none).
+	PeriodSeconds float64
+	// FitStats reports ADMM convergence diagnostics.
+	FitStats nhpp.FitStats
+}
+
+// Train fits the NHPP arrival model to a count series, running the full
+// pipeline of the paper's Fig. 2: periodicity detection → regularized
+// likelihood → ADMM.
+func Train(counts *timeseries.Series, cfg TrainConfig) (*Model, error) {
+	if counts == nil || counts.Len() == 0 {
+		return nil, fmt.Errorf("robustscaler: empty count series")
+	}
+	// Detect periodicity first (the detector clips outliers internally),
+	// then apply the seasonal-aware robust clipping: one-off anomalies are
+	// removed relative to the same phase of other cycles, while recurring
+	// spikes — legitimate load the autoscaler must provision for — are
+	// preserved.
+	fit := cfg.Fit
+	if cfg.DetectPeriodicity {
+		if res, ok := periodicity.Detect(counts, cfg.Periodicity); ok {
+			fit.Period = res.Period
+		} else {
+			fit.Period = 0
+		}
+	}
+	work := counts.Clone()
+	if cfg.WinsorK > 0 {
+		if fit.Period > 0 {
+			work.WinsorizeMADSeasonal(fit.Period, cfg.WinsorK)
+		} else {
+			work.WinsorizeMAD(cfg.WinsorK)
+		}
+	}
+	m, st, err := nhpp.Fit(work.Start, work.Dt, work.Values, fit)
+	if err != nil {
+		return nil, fmt.Errorf("robustscaler: training failed: %w", err)
+	}
+	out := &Model{NHPP: m, PeriodBins: m.Period, FitStats: st}
+	if m.Period > 0 {
+		out.PeriodSeconds = float64(m.Period) * work.Dt
+	}
+	return out, nil
+}
+
+// Rate returns the modeled (or extrapolated) intensity λ(t), queries/s.
+func (m *Model) Rate(t float64) float64 { return m.NHPP.Rate(t) }
+
+// NewHPPolicy builds a RobustScaler-HP policy targeting hitting
+// probability target ∈ (0,1), with the given pending-time distribution,
+// planning window Δ (seconds) and RNG seed.
+func NewHPPolicy(m *Model, target float64, pending PendingDist, delta float64, seed int64) (Policy, error) {
+	if m == nil {
+		return nil, fmt.Errorf("robustscaler: nil model")
+	}
+	return scaler.NewRobustScaler(m.NHPP, scaler.RobustConfig{
+		Variant:    scaler.HP,
+		Alpha:      1 - target,
+		Tau:        pending,
+		PlanWindow: delta,
+		Seed:       seed,
+	})
+}
+
+// NewRTPolicy builds a RobustScaler-RT policy: waitBudget is the allowed
+// expected waiting time d − µs (seconds, net of processing).
+func NewRTPolicy(m *Model, waitBudget float64, pending PendingDist, delta float64, seed int64) (Policy, error) {
+	if m == nil {
+		return nil, fmt.Errorf("robustscaler: nil model")
+	}
+	return scaler.NewRobustScaler(m.NHPP, scaler.RobustConfig{
+		Variant:    scaler.RT,
+		RTTarget:   waitBudget,
+		Tau:        pending,
+		PlanWindow: delta,
+		Seed:       seed,
+	})
+}
+
+// NewCostPolicy builds a RobustScaler-cost policy: idleBudget is the
+// allowed expected idle time per instance B − µτ − µs (seconds).
+func NewCostPolicy(m *Model, idleBudget float64, pending PendingDist, delta float64, seed int64) (Policy, error) {
+	if m == nil {
+		return nil, fmt.Errorf("robustscaler: nil model")
+	}
+	return scaler.NewRobustScaler(m.NHPP, scaler.RobustConfig{
+		Variant:    scaler.Cost,
+		CostBudget: idleBudget,
+		Tau:        pending,
+		PlanWindow: delta,
+		Seed:       seed,
+	})
+}
+
+// NewBackupPool returns the Backup Pool baseline with pool size b
+// (b = 0 is pure reactive scaling).
+func NewBackupPool(b int) Policy { return &scaler.BP{B: b} }
+
+// NewAdaptiveBackupPool returns the Adaptive Backup Pool baseline with
+// the given QPS multiplier.
+func NewAdaptiveBackupPool(factor float64) Policy { return scaler.NewAdapBP(factor) }
+
+// ReplayConfig configures a trace replay.
+type ReplayConfig struct {
+	// Start and End bound the replayed time range, seconds.
+	Start, End float64
+	// Pending draws instance startup times.
+	Pending PendingDist
+	// MeanPending µτ is used for the reactive-baseline cost; when 0 it is
+	// taken from Pending's median.
+	MeanPending float64
+	// Tick is the planning interval Δ in seconds (0 disables ticks).
+	Tick float64
+	// Seed drives pending-time draws.
+	Seed int64
+	// MeasureDecisionLatency enables the real-environment model: planner
+	// wall-clock time delays when creations take effect.
+	MeasureDecisionLatency bool
+	// ActuationLatency adds a fixed delay (seconds) to creations when
+	// MeasureDecisionLatency is on.
+	ActuationLatency float64
+}
+
+// Replay runs the policy against the queries (sorted by arrival) and
+// returns the QoS/cost metrics.
+func Replay(queries []Query, policy Policy, cfg ReplayConfig) (*Result, error) {
+	if cfg.Pending == nil {
+		return nil, fmt.Errorf("robustscaler: ReplayConfig.Pending is required")
+	}
+	mp := cfg.MeanPending
+	if mp == 0 {
+		mp = cfg.Pending.Quantile(0.5)
+	}
+	return sim.Run(queries, policy, sim.Config{
+		Start:                  cfg.Start,
+		End:                    cfg.End,
+		PendingDist:            cfg.Pending,
+		MeanPending:            mp,
+		TickInterval:           cfg.Tick,
+		Seed:                   cfg.Seed,
+		MeasureDecisionLatency: cfg.MeasureDecisionLatency,
+		ActuationLatency:       cfg.ActuationLatency,
+	})
+}
