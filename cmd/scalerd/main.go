@@ -1,37 +1,47 @@
-// Command scalerd runs the RobustScaler HTTP control plane — the
-// integration surface for a cluster autoscaler (e.g. a Kubernetes
-// operator that provisions pods ahead of predicted queries).
+// Command scalerd runs the RobustScaler HTTP control plane: one process
+// serving any number of independent workloads, each with its own arrival
+// history, NHPP model and scaling plans, plus a background worker pool
+// that keeps every model fresh (the paper's low-frequency retraining,
+// scaled out to a fleet of workloads).
 //
-// Endpoints:
+// Endpoints (per workload; see internal/server for the full list):
 //
-//	POST /v1/arrivals  {"timestamps": [t1, t2, ...]}   record query arrivals
-//	POST /v1/train                                      (re)fit the NHPP model
-//	GET  /v1/plan?variant=hp&target=0.9&horizon=600     upcoming creation times
-//	GET  /v1/forecast?from=&to=&step=                   predicted intensity
-//	GET  /v1/status                                     model/ingestion state
-//	GET  /healthz                                       liveness
+//	POST   /v1/workloads/{id}/arrivals  {"timestamps": [t1, ...]}  record arrivals
+//	POST   /v1/workloads/{id}/train                                (re)fit the NHPP model
+//	GET    /v1/workloads/{id}/plan?variant=hp&target=0.9           upcoming creation times
+//	GET    /v1/workloads/{id}/forecast?from=&to=&step=             predicted intensity
+//	GET    /v1/workloads/{id}/status                               model/ingestion state
+//	GET    /v1/workloads                                           list workloads
+//	GET    /healthz                                                liveness
+//
+// The legacy single-workload routes (/v1/arrivals, /v1/train, /v1/plan,
+// /v1/forecast, /v1/status) serve the "default" workload.
 //
 // Example:
 //
-//	scalerd -listen :8080 -pending 13 -dt 60
+//	scalerd -listen :8080 -pending 13 -dt 60 -retrain-every 1800 -retrain-workers 4
 package main
 
 import (
 	"flag"
 	"log"
+	"math"
 	"net/http"
+	"time"
 
 	"robustscaler/internal/server"
 )
 
 func main() {
 	var (
-		listen  = flag.String("listen", ":8080", "HTTP listen address")
-		pending = flag.Float64("pending", 13, "instance pending time τ seconds")
-		dt      = flag.Float64("dt", 60, "modeling bin width seconds")
-		history = flag.Float64("history", 28*86400, "retained arrival history seconds")
-		mc      = flag.Int("mc", 1000, "Monte Carlo samples for rt/cost plans")
-		seed    = flag.Int64("seed", 1, "random seed")
+		listen         = flag.String("listen", ":8080", "HTTP listen address")
+		pending        = flag.Float64("pending", 13, "instance pending time τ seconds")
+		dt             = flag.Float64("dt", 60, "modeling bin width seconds")
+		history        = flag.Float64("history", 28*86400, "retained arrival history seconds")
+		mc             = flag.Int("mc", 1000, "Monte Carlo samples for rt/cost plans")
+		seed           = flag.Int64("seed", 1, "random seed")
+		retrainEvery   = flag.Float64("retrain-every", 1800, "background retrain period seconds (0 disables)")
+		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size")
 	)
 	flag.Parse()
 
@@ -44,6 +54,22 @@ func main() {
 	s, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if math.IsNaN(*retrainEvery) || *retrainEvery < 0 {
+		log.Fatalf("-retrain-every %g invalid (seconds; 0 disables)", *retrainEvery)
+	}
+	if *retrainEvery > 0 {
+		// Validate the converted duration: a huge value overflows
+		// float→Duration to a negative period, a sub-nanosecond one
+		// truncates to zero.
+		every := time.Duration(*retrainEvery * float64(time.Second))
+		if every <= 0 || *retrainEvery > 365*86400 {
+			log.Fatalf("-retrain-every %g out of range (ns..1 year, in seconds)", *retrainEvery)
+		}
+		// The retrainer runs for the life of the process; log.Fatal below
+		// exits without unwinding, so there is no Stop to arrange.
+		s.Registry().StartRetrainer(every, *retrainWorkers)
+		log.Printf("background retraining every %.0fs with %d workers", *retrainEvery, *retrainWorkers)
 	}
 	log.Printf("scalerd listening on %s (τ=%.0fs, Δt=%.0fs)", *listen, *pending, *dt)
 	log.Fatal(http.ListenAndServe(*listen, s.Handler()))

@@ -1,0 +1,3 @@
+module robustscaler
+
+go 1.24

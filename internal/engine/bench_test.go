@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineIngest measures steady-state ingest: in-order batches
+// appended to a large existing history. The seed implementation re-sorted
+// the whole history on every POST (O(n log n) per event); the engine
+// appends sorted batches in O(batch).
+func BenchmarkEngineIngest(b *testing.B) {
+	const batchSize = 100
+	cfg := DefaultConfig()
+	cfg.HistoryWindow = 0 // isolate append cost from trimming
+	cfg.Now = func() float64 { return 0 }
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm history: a day of minute-spaced arrivals.
+	warm := make([]float64, 86400/60)
+	for i := range warm {
+		warm[i] = float64(i * 60)
+	}
+	e.Ingest(warm)
+	batch := make([]float64, batchSize)
+	next := warm[len(warm)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			next += 0.5
+			batch[j] = next
+		}
+		e.Ingest(batch)
+	}
+}
+
+// BenchmarkEngineIngestOutOfOrder measures the merge fallback for
+// batches that land behind already-recorded history.
+func BenchmarkEngineIngestOutOfOrder(b *testing.B) {
+	const batchSize = 100
+	cfg := DefaultConfig()
+	cfg.HistoryWindow = 0
+	cfg.Now = func() float64 { return 0 }
+	e, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := make([]float64, 86400/60)
+	for i := range warm {
+		warm[i] = float64(i * 60)
+	}
+	e.Ingest(warm)
+	batch := make([]float64, batchSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = float64((i*batchSize+j)%86000) + 0.25
+		}
+		e.Ingest(batch)
+	}
+}

@@ -1,0 +1,484 @@
+// Package engine owns the model lifecycle of scaled workloads: each
+// Engine holds one workload's arrival history, fitted NHPP model and
+// plan/forecast math, and a Registry multiplexes many such workloads in
+// one process with per-workload locking (sharded — no global mutex) plus
+// a background retraining worker pool. The HTTP control plane
+// (internal/server) is a thin routing layer over this package, the shape
+// a reconciler-style autoscaler operator integrates with: one registry
+// of scaled targets, each with an isolated model and concurrent
+// retraining.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"robustscaler"
+	"robustscaler/internal/decision"
+	"robustscaler/internal/stats"
+	"robustscaler/internal/timeseries"
+)
+
+// Sentinel errors; the HTTP layer maps them onto status codes.
+var (
+	// ErrNoData means training was requested before enough arrivals.
+	ErrNoData = errors.New("need at least 2 recorded arrivals")
+	// ErrNoModel means a plan/forecast was requested before training.
+	ErrNoModel = errors.New("no trained model; train first")
+	// ErrInvalid wraps request-validation failures.
+	ErrInvalid = errors.New("invalid request")
+)
+
+// Config parameterizes one workload's engine (and, via Registry, every
+// workload it creates).
+type Config struct {
+	// Dt is the modeling bin width in seconds.
+	Dt float64
+	// Pending is the instance startup time τ in seconds.
+	Pending float64
+	// Train configures model fitting.
+	Train robustscaler.TrainConfig
+	// HistoryWindow bounds the retained arrival history in seconds;
+	// 0 keeps everything.
+	HistoryWindow float64
+	// MCSamples for the rt/cost plan variants.
+	MCSamples int
+	// Seed drives Monte Carlo draws.
+	Seed int64
+	// Now supplies the current time as a Unix-epoch-like second count;
+	// defaults to time.Now. Tests inject a fake clock.
+	Now func() float64
+}
+
+// DefaultConfig returns a production-shaped configuration.
+func DefaultConfig() Config {
+	return Config{
+		Dt:            60,
+		Pending:       13,
+		Train:         robustscaler.DefaultTrainConfig(),
+		HistoryWindow: 28 * 86400,
+		MCSamples:     1000,
+	}
+}
+
+// validate normalizes defaults in place and rejects unusable settings.
+func (c *Config) validate() error {
+	if c.Dt <= 0 {
+		return fmt.Errorf("engine: non-positive Dt %g", c.Dt)
+	}
+	if c.Pending < 0 {
+		return fmt.Errorf("engine: negative pending time %g", c.Pending)
+	}
+	if c.MCSamples <= 0 {
+		c.MCSamples = 1000
+	}
+	if c.Now == nil {
+		c.Now = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+	}
+	return nil
+}
+
+// Engine is the scaling brain of a single workload: sorted arrival
+// history, the current NHPP model, and the decision math that turns the
+// model into creation plans. All methods are safe for concurrent use;
+// model fitting runs outside the lock so a slow refit never blocks
+// ingest or planning.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	arrivals []float64 // sorted
+	model    *robustscaler.Model
+	trainedN int // arrivals included in the current model
+	// gen counts ingested batches; trainedGen is the gen the current
+	// model saw. Staleness is a generation comparison, not an arrival
+	// count: with a full history window the trim can remove exactly as
+	// many points as a batch adds, leaving the count unchanged while the
+	// data under the model rolls over.
+	gen        int64
+	trainedGen int64
+	// failedGen is the gen of the last failed fit; the background
+	// retrainer skips the workload until new arrivals advance gen, so a
+	// permanently degenerate history isn't refit on every sweep.
+	failedGen int64
+	rng       *rand.Rand
+}
+
+// New creates an Engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Config returns the engine's (normalized) configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Now reads the engine's clock — the injectable time source callers use
+// to default request anchors consistently with the engine.
+func (e *Engine) Now() float64 { return e.cfg.Now() }
+
+// maxTimestamp bounds accepted arrival epochs (seconds): ~31M years
+// either side of the epoch — far past any clock, but small enough that
+// a stray millisecond-scaled or corrupted value can't wedge training
+// with an astronomically wide series or trim away the real history.
+const maxTimestamp = 1e15
+
+// ValidateTimestamps rejects batches Ingest would refuse, so callers
+// can vet a batch before creating a workload for it.
+func ValidateTimestamps(timestamps []float64) error {
+	for _, t := range timestamps {
+		if math.IsNaN(t) || t < -maxTimestamp || t > maxTimestamp {
+			return fmt.Errorf("%w: timestamp %g out of range", ErrInvalid, t)
+		}
+	}
+	return nil
+}
+
+// Ingest records a batch of arrival timestamps and returns the retained
+// total. The batch is sorted on its own and, in the steady state of
+// in-order traffic, appended in O(batch); only a batch overlapping
+// already-recorded history pays a linear merge — never a full re-sort.
+func (e *Engine) Ingest(timestamps []float64) (int, error) {
+	if len(timestamps) == 0 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return len(e.arrivals), nil
+	}
+	if err := ValidateTimestamps(timestamps); err != nil {
+		return 0, err
+	}
+	batch := append([]float64(nil), timestamps...)
+	if !sort.Float64sAreSorted(batch) {
+		sort.Float64s(batch)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// A batch that already falls entirely outside the history window
+	// (e.g. a backfill replaying expired data) changes nothing: skip the
+	// merge and the gen bump so it doesn't trigger a redundant refit.
+	if n := len(e.arrivals); n > 0 && e.cfg.HistoryWindow > 0 &&
+		batch[len(batch)-1] < e.arrivals[n-1]-e.cfg.HistoryWindow {
+		return n, nil
+	}
+	e.gen++
+	if n := len(e.arrivals); n == 0 || batch[0] >= e.arrivals[n-1] {
+		e.arrivals = append(e.arrivals, batch...)
+	} else {
+		e.arrivals = mergeSorted(e.arrivals, batch)
+	}
+	if e.cfg.HistoryWindow > 0 {
+		cut := e.arrivals[len(e.arrivals)-1] - e.cfg.HistoryWindow
+		if i := sort.SearchFloat64s(e.arrivals, cut); i > 0 {
+			// Re-slice rather than compact: a memmove of the whole
+			// retained history per batch would make steady-state ingest
+			// O(total) again. The dead prefix is reclaimed when append
+			// outgrows the backing array, which amortizes to O(batch).
+			e.arrivals = e.arrivals[i:]
+		}
+	}
+	return len(e.arrivals), nil
+}
+
+// mergeSorted merges two sorted slices into a fresh sorted slice.
+func mergeSorted(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// TrainInfo reports the outcome of a fit.
+type TrainInfo struct {
+	Bins          int     `json:"bins"`
+	PeriodSeconds float64 `json:"period_seconds"`
+	Iterations    int     `json:"admm_iterations"`
+	Converged     bool    `json:"converged"`
+	// Installed is false when a concurrent fit over fresher arrivals won
+	// the swap; the stats above then describe the discarded model.
+	Installed bool `json:"installed"`
+}
+
+// Train snapshots the arrival history, fits the NHPP model (outside the
+// lock), and installs it unless a concurrent fit already covered more
+// arrivals.
+func (e *Engine) Train() (TrainInfo, error) {
+	e.mu.Lock()
+	arr := append([]float64(nil), e.arrivals...)
+	gen := e.gen
+	e.mu.Unlock()
+	if len(arr) < 2 {
+		return TrainInfo{}, ErrNoData
+	}
+	// Bound the series the fit materializes: a history whose span/Δt is
+	// astronomical (one stray far-off timestamp with no history window)
+	// must fail cleanly instead of allocating an O(span/Δt) series in
+	// the background retrainer.
+	if bins := (arr[len(arr)-1] - arr[0]) / e.cfg.Dt; bins > maxTrainBins {
+		e.mu.Lock()
+		if gen > e.failedGen {
+			e.failedGen = gen
+		}
+		e.mu.Unlock()
+		return TrainInfo{}, fmt.Errorf("%w: history spans %.3g bins (max %g); trim or set HistoryWindow", ErrInvalid, bins, float64(maxTrainBins))
+	}
+	series := buildSeries(arr, e.cfg.Dt)
+	// The arrival history is already bounded to HistoryWindow at ingest,
+	// so the fit covers the whole series (window 0).
+	model, err := robustscaler.FitWindow(series, 0, e.cfg.Train)
+	if err != nil {
+		e.mu.Lock()
+		if gen > e.failedGen {
+			e.failedGen = gen
+		}
+		e.mu.Unlock()
+		return TrainInfo{}, fmt.Errorf("training failed: %w", err)
+	}
+	e.mu.Lock()
+	installed := gen >= e.trainedGen
+	if installed {
+		e.model = model
+		e.trainedN = len(arr)
+		e.trainedGen = gen
+	}
+	e.mu.Unlock()
+	return TrainInfo{
+		Bins:          series.Len(),
+		PeriodSeconds: model.PeriodSeconds,
+		Iterations:    model.FitStats.Iterations,
+		Converged:     model.FitStats.Converged,
+		Installed:     installed,
+	}, nil
+}
+
+// Retrain refits only when arrivals accumulated since the last fit — the
+// idempotent step the background worker pool calls on every sweep. It
+// reports whether a refit ran; on error the previous model is kept, per
+// the retraining semantics of robustscaler.FitWindow.
+func (e *Engine) Retrain() (bool, error) {
+	e.mu.Lock()
+	stale := len(e.arrivals) >= 2 && e.gen != e.trainedGen && e.gen != e.failedGen
+	e.mu.Unlock()
+	if !stale {
+		return false, nil
+	}
+	_, err := e.Train()
+	return err == nil, err
+}
+
+// buildSeries bins arrivals with the configured Δt, aligned to the first
+// arrival.
+func buildSeries(arr []float64, dt float64) *timeseries.Series {
+	start := arr[0]
+	end := arr[len(arr)-1] + dt
+	return timeseries.FromArrivals(arr, start, end, dt)
+}
+
+// PlanRequest parameterizes one planning round.
+type PlanRequest struct {
+	// Variant is "hp" (default), "rt" or "cost".
+	Variant string
+	// Target is the HP probability, RT wait budget, or cost idle budget.
+	Target float64
+	// Horizon bounds how far ahead creations are planned, seconds.
+	Horizon float64
+	// Now anchors the plan; NaN or 0 with HasNow false uses the clock.
+	Now    float64
+	HasNow bool
+}
+
+// PlanEntry is one planned instance creation.
+type PlanEntry struct {
+	QueryIndex int     `json:"query_index"`
+	CreateAt   float64 `json:"create_at"`
+	LeadSecs   float64 `json:"lead_seconds"`
+}
+
+// Plan is a full planning-round result.
+type Plan struct {
+	Now     float64     `json:"now"`
+	Variant string      `json:"variant"`
+	Target  float64     `json:"target"`
+	Kappa   int         `json:"kappa"`
+	Plan    []PlanEntry `json:"plan"`
+}
+
+// maxPlanEntries bounds one planning round.
+const maxPlanEntries = 10000
+
+// maxTrainBins bounds the series a fit materializes (~3.8 years of
+// minute bins).
+const maxTrainBins = 2_000_000
+
+// Plan computes upcoming instance creation times from the current model:
+// the κ threshold (eq. 8) plus one creation time per upcoming query via
+// the variant's solver.
+func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
+	e.mu.Lock()
+	model := e.model
+	e.mu.Unlock()
+	if model == nil {
+		return nil, ErrNoModel
+	}
+	variant := req.Variant
+	if variant == "" {
+		variant = "hp"
+	}
+	target := req.Target
+	horizon := req.Horizon
+	now := req.Now
+	if !req.HasNow {
+		now = e.cfg.Now()
+	}
+	// A NaN passes every range check below (all comparisons false) and
+	// eventually poisons the decision horizon into an index panic.
+	for _, v := range []float64{now, target, horizon} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite plan parameter", ErrInvalid)
+		}
+	}
+
+	tau := e.cfg.Pending
+	alpha := 0.1
+	var rng *rand.Rand
+	var tauS, xi []float64
+	switch variant {
+	case "hp":
+		if target <= 0 || target >= 1 {
+			return nil, fmt.Errorf("%w: hp target must be in (0,1)", ErrInvalid)
+		}
+		alpha = 1 - target
+	case "rt", "cost":
+		// Monte Carlo draws come from a child RNG forked under the lock,
+		// so concurrent planning rounds stay race-free yet deterministic
+		// in sequential use. The parent stream only advances for the MC
+		// variants — interleaved hp or invalid requests must not perturb
+		// a reproducible rt/cost sequence. The sample buffers are also
+		// only needed here; hp plans are quantile-exact.
+		e.mu.Lock()
+		rng = rand.New(rand.NewSource(e.rng.Int63()))
+		e.mu.Unlock()
+		tauS = make([]float64, e.cfg.MCSamples)
+		for i := range tauS {
+			tauS[i] = tau
+		}
+		xi = make([]float64, e.cfg.MCSamples)
+	default:
+		return nil, fmt.Errorf("%w: unknown variant %q", ErrInvalid, variant)
+	}
+	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
+	h := decision.NewHorizon(model.NHPP, now, e.cfg.Dt/4, 0)
+
+	resp := &Plan{Now: now, Variant: variant, Target: target, Kappa: kappa}
+planLoop:
+	for i := 1; len(resp.Plan) < maxPlanEntries; i++ {
+		var x float64
+		switch variant {
+		case "hp":
+			qv, ok := h.QuantileArrival(i, alpha)
+			if !ok {
+				break planLoop // no more mass
+			}
+			x = qv - tau
+		case "rt", "cost":
+			for k := range xi {
+				u, ok := h.SampleArrival(rng, i)
+				if !ok {
+					break planLoop // no more mass
+				}
+				xi[k] = u - now
+			}
+			if variant == "rt" {
+				x = now + decision.SolveRT(xi, tauS, target)
+			} else {
+				x = now + decision.SolveCost(xi, tauS, target)
+			}
+		}
+		if x < now {
+			x = now
+		}
+		if x > now+horizon {
+			break
+		}
+		resp.Plan = append(resp.Plan, PlanEntry{QueryIndex: i, CreateAt: x, LeadSecs: x - now})
+	}
+	return resp, nil
+}
+
+// ForecastPoint is one sample of the predicted intensity.
+type ForecastPoint struct {
+	T   float64 `json:"t"`
+	QPS float64 `json:"qps"`
+}
+
+// Forecast samples the modeled intensity λ(t) on [from, to) at the given
+// step.
+func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
+	e.mu.Lock()
+	model := e.model
+	e.mu.Unlock()
+	if model == nil {
+		return nil, ErrNoModel
+	}
+	// NaN bounds defeat every comparison below and make the loop spin
+	// forever; direct API callers don't pass the HTTP layer's screening.
+	for _, v := range []float64{from, to, step} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite forecast parameter", ErrInvalid)
+		}
+	}
+	if step <= 0 || to <= from || (to-from)/step > 100000 {
+		return nil, fmt.Errorf("%w: invalid range/step", ErrInvalid)
+	}
+	// Advance by index, not accumulation: at large magnitudes t += step
+	// can round back to t and loop forever.
+	var pts []ForecastPoint
+	for i := 0; ; i++ {
+		t := from + float64(i)*step
+		if t >= to {
+			break
+		}
+		pts = append(pts, ForecastPoint{T: t, QPS: model.Rate(t)})
+	}
+	return pts, nil
+}
+
+// Status is a workload snapshot.
+type Status struct {
+	Arrivals      int     `json:"arrivals_recorded"`
+	TrainedOn     int     `json:"arrivals_in_model"`
+	ModelReady    bool    `json:"model_ready"`
+	PeriodSeconds float64 `json:"period_seconds"`
+	RateNow       float64 `json:"rate_now_qps"`
+}
+
+// Status reports the workload's ingestion and model state.
+func (e *Engine) Status() Status {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := Status{
+		Arrivals:   len(e.arrivals),
+		TrainedOn:  e.trainedN,
+		ModelReady: e.model != nil,
+	}
+	if e.model != nil {
+		st.PeriodSeconds = e.model.PeriodSeconds
+		st.RateNow = e.model.Rate(e.cfg.Now())
+	}
+	return st
+}

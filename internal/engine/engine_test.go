@@ -1,0 +1,365 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"robustscaler/internal/nhpp"
+)
+
+// testConfig returns a fast-training config with a fake clock.
+func testConfig(now float64) Config {
+	cfg := DefaultConfig()
+	cfg.MCSamples = 100
+	cfg.Now = func() float64 { return now }
+	return cfg
+}
+
+// trafficArrivals draws a periodic NHPP trace for ingestion.
+func trafficArrivals(seed int64, horizon float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	in := nhpp.Func{F: func(t float64) float64 {
+		return 0.3 + 0.25*math.Sin(2*math.Pi*t/3600)
+	}, Step: 10, MaxHorizon: horizon * 2}
+	return nhpp.Simulate(rng, in, 0, horizon)
+}
+
+func TestIngestMergesOutOfOrderBatches(t *testing.T) {
+	e, err := New(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-order, overlapping, and fully interleaved batches must all land
+	// sorted — the same result as the seed's sort-everything ingest.
+	batches := [][]float64{
+		{10, 20, 30},
+		{40, 50},          // steady-state append path
+		{25, 35},          // overlap: merge path
+		{5, 45, 15},       // unsorted batch
+		{50, 50, 60, 0.5}, // duplicates + early straggler
+	}
+	var all []float64
+	for _, b := range batches {
+		all = append(all, b...)
+		e.Ingest(b)
+	}
+	sort.Float64s(all)
+	e.mu.Lock()
+	got := append([]float64(nil), e.arrivals...)
+	e.mu.Unlock()
+	if !reflect.DeepEqual(got, all) {
+		t.Fatalf("arrivals = %v, want %v", got, all)
+	}
+}
+
+func TestIngestTrimsHistoryWindow(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.HistoryWindow = 100
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := e.Ingest([]float64{0, 10, 500, 560, 590})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 {
+		t.Fatalf("retained %d arrivals, want 3 (window 100 ending at 590)", total)
+	}
+	for _, bad := range [][]float64{{math.NaN()}, {2e15}, {-2e15}, {1, math.Inf(1)}} {
+		if _, err := e.Ingest(bad); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("Ingest(%v): err %v, want ErrInvalid", bad, err)
+		}
+	}
+}
+
+func TestTrainRejectsAstronomicalSpan(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.HistoryWindow = 0 // nothing trims the stray far-off point
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]float64{0, 1, 1e12}); err != nil {
+		t.Fatal(err)
+	}
+	// Span/Dt ≈ 1.7e10 bins: the fit must refuse cleanly instead of
+	// materializing the series, and the background sweep must not retry
+	// until new data arrives.
+	if _, err := e.Train(); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("train on astronomical span: err %v, want ErrInvalid", err)
+	}
+	if ran, _ := e.Retrain(); ran {
+		t.Fatal("Retrain retried the known-failing gen")
+	}
+}
+
+func TestTrainPlanForecastLifecycle(t *testing.T) {
+	const horizon = 6 * 3600.0
+	e, err := New(testConfig(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != ErrNoData {
+		t.Fatalf("train on empty engine: %v, want ErrNoData", err)
+	}
+	if _, err := e.Plan(PlanRequest{Variant: "hp", Target: 0.9, Horizon: 120}); err != ErrNoModel {
+		t.Fatalf("plan without model: %v, want ErrNoModel", err)
+	}
+	e.Ingest(trafficArrivals(1, horizon))
+	info, err := e.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Converged {
+		t.Fatal("training did not converge")
+	}
+	if math.Abs(info.PeriodSeconds-3600) > 600 {
+		t.Fatalf("period %g, want ≈3600", info.PeriodSeconds)
+	}
+	plan, err := e.Plan(PlanRequest{Variant: "hp", Target: 0.9, Horizon: 120, Now: horizon, HasNow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Plan) == 0 || plan.Kappa < 1 {
+		t.Fatalf("plan %+v", plan)
+	}
+	for _, entry := range plan.Plan {
+		if entry.CreateAt < horizon || entry.CreateAt > horizon+120 {
+			t.Fatalf("creation %g outside [now, now+120]", entry.CreateAt)
+		}
+	}
+	if _, err := e.Plan(PlanRequest{Variant: "bogus", Target: 0.9, Horizon: 120}); err == nil {
+		t.Fatal("bogus variant accepted")
+	}
+	// Non-finite parameters pass every range comparison and used to
+	// panic inside the decision horizon.
+	for _, req := range []PlanRequest{
+		{Variant: "hp", Target: 0.9, Horizon: 120, Now: math.NaN(), HasNow: true},
+		{Variant: "hp", Target: math.NaN(), Horizon: 120},
+		{Variant: "rt", Target: 5, Horizon: math.Inf(1)},
+	} {
+		if _, err := e.Plan(req); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("non-finite plan request %+v: err %v, want ErrInvalid", req, err)
+		}
+	}
+	pts, err := e.Forecast(horizon, horizon+3600, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 12 {
+		t.Fatalf("forecast points %d, want 12", len(pts))
+	}
+	for _, bad := range [][3]float64{
+		{0, math.NaN(), 60},
+		{math.NaN(), 100, 60},
+		{0, 100, math.NaN()},
+		{0, math.Inf(1), 60},
+	} {
+		if _, err := e.Forecast(bad[0], bad[1], bad[2]); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("Forecast(%v): err %v, want ErrInvalid", bad, err)
+		}
+	}
+	st := e.Status()
+	if !st.ModelReady || st.TrainedOn != st.Arrivals || st.RateNow <= 0 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestRegistryIsolatesWorkloads(t *testing.T) {
+	const horizon = 4 * 3600.0
+	reg, err := NewRegistry(testConfig(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := reg.GetOrCreate("registry-eu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reg.GetOrCreate("ci-runners")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Ingest(trafficArrivals(1, horizon))
+	b.Ingest(trafficArrivals(2, horizon))
+	if _, err := a.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Train(); err != nil {
+		t.Fatal(err)
+	}
+	req := PlanRequest{Variant: "hp", Target: 0.9, Horizon: 300, Now: horizon, HasNow: true}
+	planB1, err := b.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcB1, err := b.Forecast(horizon, horizon+1800, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer workload A: more traffic at triple the rate, then retrain.
+	extra := trafficArrivals(3, horizon)
+	for i := range extra {
+		extra[i] = horizon + extra[i]/3
+	}
+	a.Ingest(extra)
+	if ran, err := a.Retrain(); err != nil || !ran {
+		t.Fatalf("retrain A: ran=%v err=%v", ran, err)
+	}
+
+	// Workload B's outputs must be bit-identical.
+	planB2, err := b.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcB2, err := b.Forecast(horizon, horizon+1800, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(planB1, planB2) {
+		t.Fatalf("B's plan changed after traffic to A:\n%+v\n%+v", planB1, planB2)
+	}
+	if !reflect.DeepEqual(fcB1, fcB2) {
+		t.Fatal("B's forecast changed after traffic to A")
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	reg, err := NewRegistry(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.GetOrCreate(""); err == nil {
+		t.Fatal("empty workload id accepted")
+	}
+	if _, ok := reg.Get("a"); ok {
+		t.Fatal("Get invented a workload")
+	}
+	ea, err := reg.GetOrCreate("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again, _ := reg.GetOrCreate("a"); again != ea {
+		t.Fatal("GetOrCreate returned a different engine for the same id")
+	}
+	reg.GetOrCreate("b")
+	if got := reg.Workloads(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("Workloads = %v", got)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d", reg.Len())
+	}
+	if !reg.Remove("a") || reg.Remove("a") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len after remove = %d", reg.Len())
+	}
+}
+
+func TestRetrainAllRefitsOnlyStaleWorkloads(t *testing.T) {
+	const horizon = 2 * 3600.0
+	reg, err := NewRegistry(testConfig(horizon))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		e, err := reg.GetOrCreate(fmt.Sprintf("w%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Ingest(trafficArrivals(int64(i+1), horizon))
+	}
+	// Also an empty workload the sweep must skip without error.
+	reg.GetOrCreate("idle")
+
+	refitted, failed := reg.RetrainAll(3)
+	if refitted != 4 || failed != 0 {
+		t.Fatalf("first sweep: refitted=%d failed=%d, want 4,0", refitted, failed)
+	}
+	// Nothing changed: second sweep is a no-op.
+	refitted, failed = reg.RetrainAll(3)
+	if refitted != 0 || failed != 0 {
+		t.Fatalf("idempotent sweep: refitted=%d failed=%d, want 0,0", refitted, failed)
+	}
+	// New traffic on one workload: only that one refits.
+	e, _ := reg.Get("w2")
+	e.Ingest([]float64{horizon + 1, horizon + 2})
+	refitted, _ = reg.RetrainAll(3)
+	if refitted != 1 {
+		t.Fatalf("stale-only sweep: refitted=%d, want 1", refitted)
+	}
+}
+
+// TestConcurrentWorkloads exercises parallel ingest/train/plan/forecast
+// across many workloads plus concurrent registry lookups and background
+// sweeps; run under -race it proves the sharded locking sound.
+func TestConcurrentWorkloads(t *testing.T) {
+	const (
+		horizon   = 2 * 3600.0
+		workloads = 8
+		rounds    = 3
+	)
+	cfg := testConfig(horizon)
+	cfg.MCSamples = 30
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces := make([][]float64, workloads)
+	for i := range traces {
+		traces[i] = trafficArrivals(int64(i+1), horizon)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workloads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("workload-%d", i)
+			trace := traces[i]
+			chunk := len(trace)/rounds + 1
+			for r := 0; r < rounds; r++ {
+				e, err := reg.GetOrCreate(id)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				lo := r * chunk
+				hi := min(len(trace), lo+chunk)
+				e.Ingest(trace[lo:hi])
+				if _, err := e.Train(); err != nil {
+					t.Errorf("%s train: %v", id, err)
+					return
+				}
+				if _, err := e.Plan(PlanRequest{Variant: "rt", Target: 5, Horizon: 60, Now: horizon, HasNow: true}); err != nil {
+					t.Errorf("%s plan: %v", id, err)
+					return
+				}
+				if _, err := e.Forecast(horizon, horizon+600, 60); err != nil {
+					t.Errorf("%s forecast: %v", id, err)
+					return
+				}
+				e.Status()
+			}
+		}(i)
+	}
+	// A concurrent background sweep, as the Retrainer would run it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < rounds; r++ {
+			reg.RetrainAll(4)
+		}
+	}()
+	wg.Wait()
+	if reg.Len() != workloads {
+		t.Fatalf("registry has %d workloads, want %d", reg.Len(), workloads)
+	}
+}

@@ -51,17 +51,56 @@ func BenchmarkFitCG(b *testing.B) {
 	}
 }
 
-// BenchmarkModelIntegral measures the piecewise-constant Λ evaluation.
-func BenchmarkModelIntegral(b *testing.B) {
+func benchModel10k() *Model {
 	r := make([]float64, 10080)
 	for i := range r {
 		r[i] = math.Sin(float64(i) / 100)
 	}
-	m := NewModel(0, 60, r, 1440)
+	return NewModel(0, 60, r, 1440)
+}
+
+// BenchmarkModelIntegral measures the cached (prefix-table) Λ evaluation
+// on a 10k-bin model; compare with BenchmarkModelIntegralScan.
+func BenchmarkModelIntegral(b *testing.B) {
+	m := benchModel10k()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Integral(1000, 500000)
+	}
+}
+
+// BenchmarkModelIntegralScan measures the seed implementation (per-bin
+// scan) of the same evaluation, kept as the baseline for the cache.
+func BenchmarkModelIntegralScan(b *testing.B) {
+	m := benchModel10k()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.integralScan(1000, 500000)
+	}
+}
+
+// BenchmarkModelInverseIntegral measures the cached Λ⁻¹ — the per-sample
+// hot path of Monte Carlo planning.
+func BenchmarkModelInverseIntegral(b *testing.B) {
+	m := benchModel10k()
+	mass := m.Integral(0, 500000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.InverseIntegral(0, mass)
+	}
+}
+
+// BenchmarkModelInverseIntegralScan measures the seed bin-walk inversion.
+func BenchmarkModelInverseIntegralScan(b *testing.B) {
+	m := benchModel10k()
+	mass := m.Integral(0, 500000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.inverseIntegralScan(0, mass)
 	}
 }
 

@@ -1,0 +1,174 @@
+package nhpp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cumModels builds models covering the extrapolation variants: periodic
+// and aperiodic, with non-zero start offsets.
+func cumModels() []*Model {
+	rng := rand.New(rand.NewSource(7))
+	r := make([]float64, 500)
+	for i := range r {
+		r[i] = 0.3*math.Sin(2*math.Pi*float64(i)/100) + 0.1*rng.NormFloat64()
+	}
+	return []*Model{
+		NewModel(0, 60, r, 100),    // periodic
+		NewModel(0, 60, r, 0),      // aperiodic (tail level)
+		NewModel(-1234, 7, r, 100), // shifted origin, odd bin width
+		NewModel(50, 60, []float64{0, 1, 0.5, 1.2}, 0), // tiny
+	}
+}
+
+// TestIntegralMatchesScan cross-checks the prefix-table Integral against
+// the exact bin-scan reference across every region: before the training
+// window, inside it, straddling the horizon, and deep in extrapolation.
+func TestIntegralMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for mi, m := range cumModels() {
+		span := m.End() - m.Start
+		for trial := 0; trial < 500; trial++ {
+			a := m.Start - span/4 + rng.Float64()*span*3
+			b := a + rng.Float64()*span/2
+			want := m.integralScan(a, b)
+			got := m.Integral(a, b)
+			tol := 1e-9 * (1 + math.Abs(want))
+			if math.Abs(got-want) > tol {
+				t.Fatalf("model %d: Integral(%g,%g) = %g, scan = %g", mi, a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestInverseIntegralMatchesScan cross-checks the table-based inversion
+// against the bin walk, and verifies the Λ∘Λ⁻¹ round trip.
+func TestInverseIntegralMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for mi, m := range cumModels() {
+		span := m.End() - m.Start
+		for trial := 0; trial < 500; trial++ {
+			from := m.Start - span/4 + rng.Float64()*span*2
+			mass := rng.Float64() * m.Integral(m.Start, m.End()) * 1.5
+			want, wok := m.inverseIntegralScan(from, mass)
+			got, gok := m.InverseIntegral(from, mass)
+			if wok != gok {
+				t.Fatalf("model %d: InverseIntegral(%g,%g) ok=%v, scan ok=%v", mi, from, mass, gok, wok)
+			}
+			if !wok {
+				continue
+			}
+			// Differencing the prefix table loses precision relative to
+			// the total accumulated mass, not the answer, so tolerances
+			// scale with the window mass.
+			total := m.Integral(m.Start, m.End())
+			tol := 1e-9 * (1 + math.Abs(want) + math.Abs(from) + total)
+			if math.Abs(got-want) > tol {
+				t.Fatalf("model %d: InverseIntegral(%g,%g) = %g, scan = %g", mi, from, mass, got, want)
+			}
+			if back := m.Integral(from, got); math.Abs(back-mass) > 1e-9*(1+mass+total) {
+				t.Fatalf("model %d: round trip Λ(%g,%g) = %g, want %g", mi, from, got, back, mass)
+			}
+		}
+	}
+}
+
+// TestIntegralFarFutureNoPanic guards the float→int conversion in the
+// periodic extrapolation: a hostile or buggy far-future time (reachable
+// remotely via ?now=1e300) must not index the profile with an
+// overflowed negative bin count.
+func TestIntegralFarFutureNoPanic(t *testing.T) {
+	for _, m := range cumModels() {
+		for _, far := range []float64{1e12, 1e300, math.MaxFloat64} {
+			if got := m.Integral(m.Start, far); got <= 0 || math.IsNaN(got) {
+				t.Fatalf("Integral to %g = %g", far, got)
+			}
+			if r := m.Rate(far); r <= 0 || math.IsNaN(r) {
+				t.Fatalf("Rate(%g) = %g", far, r)
+			}
+			// At these magnitudes the inversion may legitimately answer
+			// (mass 1 is one arrival away) or hit the horizon cap; it
+			// must not panic or return NaN.
+			if u, ok := m.InverseIntegral(far/2, 1); ok && math.IsNaN(u) {
+				t.Fatalf("InverseIntegral from %g = NaN", far/2)
+			}
+		}
+	}
+}
+
+// TestRateMatchesBinIndexing pins the float-safe Rate path to the
+// int-indexed logRateAt reference wherever the latter is defined.
+func TestRateMatchesBinIndexing(t *testing.T) {
+	for mi, m := range cumModels() {
+		span := m.End() - m.Start
+		for i := 0; i < 400; i++ {
+			tt := m.Start - span/4 + float64(i)*span*3/400
+			idx := int(math.Floor((tt - m.Start) / m.Dt))
+			want := math.Exp(m.logRateAt(idx))
+			if got := m.Rate(tt); got != want {
+				t.Fatalf("model %d: Rate(%g) = %g, logRateAt(%d) = %g", mi, tt, got, idx, want)
+			}
+		}
+	}
+}
+
+// TestMaxRateMatchesBinWalk cross-checks the region-wise MaxRate against
+// the seed's per-bin walk, and pins far-future ranges to terminate with
+// a sane bound.
+func TestMaxRateMatchesBinWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for mi, m := range cumModels() {
+		span := m.End() - m.Start
+		for trial := 0; trial < 300; trial++ {
+			a := m.Start - span/4 + rng.Float64()*span*2
+			b := a + rng.Float64()*span
+			ia := int(math.Floor((a - m.Start) / m.Dt))
+			ib := int(math.Floor((b - m.Start) / m.Dt))
+			want := math.Inf(-1)
+			for i := ia; i <= ib; i++ {
+				if lr := m.logRateAt(i); lr > want {
+					want = lr
+				}
+			}
+			if got := m.MaxRate(a, b); got != math.Exp(want) {
+				t.Fatalf("model %d: MaxRate(%g,%g) = %g, walk = %g", mi, a, b, got, math.Exp(want))
+			}
+		}
+		if got := m.MaxRate(m.Start, 1e300); got <= 0 || math.IsNaN(got) {
+			t.Fatalf("model %d: far-future MaxRate = %g", mi, got)
+		}
+	}
+}
+
+// TestInverseIntegralHorizonCap keeps the bounded-look-ahead contract:
+// a mass far beyond maxInverseBins of intensity reports failure rather
+// than an absurd epoch.
+func TestInverseIntegralHorizonCap(t *testing.T) {
+	m := NewModel(0, 60, []float64{-200, -200}, 0) // ~e⁻²⁰⁰ ≈ 0 rate
+	if _, ok := m.InverseIntegral(0, 1); ok {
+		t.Fatal("near-zero-rate model should not reach mass 1 within the horizon")
+	}
+}
+
+// TestInverseIntegralNaNInputs pins ok=false for NaN from/mass: ok=true
+// with a NaN time would hang Simulate's arrival loop.
+func TestInverseIntegralNaNInputs(t *testing.T) {
+	for mi, m := range cumModels() {
+		if u, ok := m.InverseIntegral(math.NaN(), 1); ok {
+			t.Fatalf("model %d: NaN from accepted (t=%g)", mi, u)
+		}
+		if u, ok := m.InverseIntegral(100, math.NaN()); ok {
+			t.Fatalf("model %d: NaN mass accepted (t=%g)", mi, u)
+		}
+		// A -Inf overflow in cumAt(from) must not surface as ok=true.
+		if u, ok := m.InverseIntegral(-1e308, 1); ok && (math.IsInf(u, 0) || math.IsNaN(u)) {
+			t.Fatalf("model %d: InverseIntegral(-1e308, 1) = %g, ok=true", mi, u)
+		}
+		for _, inf := range []float64{math.Inf(1), math.Inf(-1)} {
+			if u, ok := m.InverseIntegral(inf, 1); ok {
+				t.Fatalf("model %d: InverseIntegral(%g, 1) = %g, ok=true", mi, inf, u)
+			}
+		}
+	}
+}

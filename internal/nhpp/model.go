@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // Intensity is a (possibly time-varying) arrival intensity λ(t) with its
@@ -150,6 +151,14 @@ type Model struct {
 	// for extrapolation when Period > 0. Averaging across observed periods
 	// cancels the per-period noise a single-period repeat would inherit.
 	profile []float64
+
+	// cum[i] = Λ(Start, Start+i·Dt) over the training bins, so any
+	// Integral inside the training window is a prefix-sum difference
+	// instead of a bin scan; len(cum) = len(R)+1.
+	cum []float64
+	// profCum is the same prefix table over one extrapolated cycle of
+	// profile (len Period+1); profCum[Period] is the mass of a full cycle.
+	profCum []float64
 }
 
 // NewModel builds a model from a fitted log-intensity vector.
@@ -180,7 +189,21 @@ func NewModel(start, dt float64, r []float64, periodBins int) *Model {
 	if periodBins > 0 {
 		m.profile = seasonalProfile(r, periodBins)
 	}
+	m.cum = cumTable(r, dt)
+	if periodBins > 0 {
+		m.profCum = cumTable(m.profile, dt)
+	}
 	return m
+}
+
+// cumTable returns the cumulative-intensity prefix table of a
+// log-intensity vector: out[i] = Σ_{j<i} exp(r[j])·dt.
+func cumTable(r []float64, dt float64) []float64 {
+	out := make([]float64, len(r)+1)
+	for i, v := range r {
+		out[i+1] = out[i] + math.Exp(v)*dt
+	}
+	return out
 }
 
 // seasonalProfile returns the per-phase weighted mean of r over its
@@ -235,13 +258,97 @@ func (m *Model) logRateAt(idx int) float64 {
 
 // Rate implements Intensity.
 func (m *Model) Rate(t float64) float64 {
-	idx := int(math.Floor((t - m.Start) / m.Dt))
-	return math.Exp(m.logRateAt(idx))
+	return math.Exp(m.logRateAtTime(t))
 }
 
-// Integral implements Intensity by exact summation over the piecewise
-// constant bins.
+// logRateAtTime is the float-safe variant of logRateAt: the bin index
+// stays in float64 until its region is known, so a far-future t (e.g. a
+// hostile ?now= parameter) can't overflow the int conversion into an
+// architecture-dependent index.
+func (m *Model) logRateAtTime(t float64) float64 {
+	idx := math.Floor((t - m.Start) / m.Dt)
+	total := float64(len(m.R))
+	switch {
+	case idx < 0:
+		return m.R[0]
+	case idx < total:
+		return m.R[int(idx)]
+	case m.Period > 0:
+		rem := int(math.Mod(idx-total, float64(m.Period)))
+		if rem < 0 || rem >= m.Period { // float edge guards
+			rem = 0
+		}
+		return m.profile[rem]
+	default:
+		return m.tailLevel
+	}
+}
+
+// cumAt returns the signed cumulative intensity relative to Start:
+// Λ(Start, t) for t ≥ Start and −Λ(t, Start) for t < Start. It is
+// strictly increasing in t (λ = exp(r) > 0 up to float underflow), which
+// makes Integral a two-lookup difference and InverseIntegral a binary
+// search.
+func (m *Model) cumAt(t float64) float64 {
+	if t <= m.Start {
+		// Before the training window the first bin's rate extends left.
+		return (t - m.Start) * math.Exp(m.R[0])
+	}
+	total := len(m.R)
+	end := m.End()
+	if t < end {
+		idx := int(math.Floor((t - m.Start) / m.Dt))
+		if idx >= total { // float edge at the right boundary
+			idx = total - 1
+		}
+		return m.cum[idx] + math.Exp(m.R[idx])*(t-(m.Start+float64(idx)*m.Dt))
+	}
+	base := m.cum[total]
+	if m.Period == 0 {
+		return base + math.Exp(m.tailLevel)*(t-end)
+	}
+	// Beyond the horizon the seasonal profile repeats: whole cycles, then
+	// a partial cycle from the profile's own prefix table. Bin counts
+	// stay in float64 — a far-future t (e.g. a hostile ?now= parameter)
+	// overflows int conversion to a negative index.
+	bins := math.Floor((t - end) / m.Dt)
+	period := float64(m.Period)
+	cycles := math.Floor(bins / period)
+	rem := int(bins - cycles*period)
+	if rem < 0 { // float round-off guards
+		rem = 0
+	} else if rem >= m.Period {
+		rem = m.Period - 1
+	}
+	// Mathematically into ∈ [0, Dt); clamp the float evaluation so the
+	// extreme-magnitude case (bins·Dt rounding to +Inf) yields +Inf
+	// overall instead of a NaN from Inf−Inf.
+	into := t - (end + bins*m.Dt)
+	if !(into > 0) {
+		into = 0
+	} else if into > m.Dt {
+		into = m.Dt
+	}
+	return base + cycles*m.profCum[m.Period] + m.profCum[rem] +
+		math.Exp(m.profile[rem])*into
+}
+
+// Integral implements Intensity as a cumulative-table difference, O(1)
+// regardless of how many bins [a, b] spans.
 func (m *Model) Integral(a, b float64) float64 {
+	if b < a {
+		panic(fmt.Sprintf("nhpp: Integral with b=%g < a=%g", b, a))
+	}
+	if a == b {
+		return 0
+	}
+	return m.cumAt(b) - m.cumAt(a)
+}
+
+// integralScan is the pre-cache reference implementation (exact
+// summation over the piecewise-constant bins, O(bins) per call); kept for
+// cross-checking the table and benchmarking the speedup.
+func (m *Model) integralScan(a, b float64) float64 {
 	if b < a {
 		panic(fmt.Sprintf("nhpp: Integral with b=%g < a=%g", b, a))
 	}
@@ -265,12 +372,77 @@ func (m *Model) Integral(a, b float64) float64 {
 	return acc
 }
 
-// maxInverseBins bounds the InverseIntegral bin walk; with per-minute bins
-// this is ~19 years of look-ahead, far beyond any planning horizon.
+// maxInverseBins bounds the InverseIntegral look-ahead; with per-minute
+// bins this is ~19 years, far beyond any planning horizon.
 const maxInverseBins = 10_000_000
 
-// InverseIntegral implements Intensity.
+// InverseIntegral implements Intensity by inverting the cumulative
+// tables: binary search within the training window or the seasonal
+// profile, closed form in the constant-rate regions — O(log bins) per
+// call.
 func (m *Model) InverseIntegral(from, mass float64) (float64, bool) {
+	if mass <= 0 {
+		return from, true
+	}
+	// NaN falls through every comparison below into the closed-form
+	// arithmetic, and from=+Inf makes the final t-from range guard
+	// compare NaN; the old bin walk implicitly terminated with false,
+	// and callers (e.g. Simulate) rely on ok=true implying a usable
+	// time.
+	if math.IsNaN(from) || math.IsInf(from, 0) || math.IsNaN(mass) {
+		return 0, false
+	}
+	target := m.cumAt(from) + mass
+	total := len(m.R)
+	var t float64
+	switch {
+	case target <= 0:
+		// Still left of the training window.
+		rate := math.Exp(m.R[0])
+		if rate <= 0 {
+			return 0, false
+		}
+		t = m.Start + target/rate
+	case target <= m.cum[total]:
+		// Inside the training window: first bin whose cumulative reaches
+		// the target; its rate is positive since cum strictly increased.
+		k := sort.SearchFloat64s(m.cum, target)
+		t = m.Start + float64(k-1)*m.Dt + (target-m.cum[k-1])/math.Exp(m.R[k-1])
+	case m.Period == 0:
+		rate := math.Exp(m.tailLevel)
+		if rate <= 0 {
+			return 0, false
+		}
+		t = m.End() + (target-m.cum[total])/rate
+	default:
+		cycle := m.profCum[m.Period]
+		if cycle <= 0 {
+			return 0, false
+		}
+		extra := target - m.cum[total]
+		cycles := math.Floor(extra / cycle)
+		rem := extra - cycles*cycle
+		t = m.End() + cycles*float64(m.Period)*m.Dt
+		if rem > 0 {
+			k := sort.SearchFloat64s(m.profCum, rem)
+			if k > m.Period { // float edge: rem ≈ cycle
+				k = m.Period
+			}
+			t += float64(k-1)*m.Dt + (rem-m.profCum[k-1])/math.Exp(m.profile[k-1])
+		}
+	}
+	if math.IsNaN(t) || math.IsInf(t, -1) || t-from > maxInverseBins*m.Dt {
+		return 0, false
+	}
+	if t < from { // float round-off: the inverse is mathematically ≥ from
+		t = from
+	}
+	return t, true
+}
+
+// inverseIntegralScan is the pre-cache reference implementation (linear
+// bin walk); kept for cross-checking and benchmarks.
+func (m *Model) inverseIntegralScan(from, mass float64) (float64, bool) {
 	if mass <= 0 {
 		return from, true
 	}
@@ -295,17 +467,64 @@ func (m *Model) InverseIntegral(from, mass float64) (float64, bool) {
 }
 
 // MaxRate returns the maximum intensity over [a, b] (bin-wise supremum),
-// the λ̄ upper bound used by the κ threshold (eq. 8).
+// the λ̄ upper bound used by the κ threshold (eq. 8). Bin indices stay in
+// float64 until clamped, and the extrapolated region is covered through
+// the seasonal profile instead of a per-bin walk, so far-future ranges
+// neither overflow the int conversion nor take astronomically many
+// iterations.
 func (m *Model) MaxRate(a, b float64) float64 {
-	ia := int(math.Floor((a - m.Start) / m.Dt))
-	ib := int(math.Floor((b - m.Start) / m.Dt))
-	if ib < ia {
-		ia, ib = ib, ia
+	if b < a {
+		a, b = b, a
+	}
+	total := len(m.R)
+	iaF := math.Floor((a - m.Start) / m.Dt)
+	ibF := math.Floor((b - m.Start) / m.Dt)
+	// Bins left of the window all read R[0], same as bin 0.
+	if iaF < 0 {
+		iaF = 0
+	}
+	if ibF < 0 {
+		ibF = 0
 	}
 	maxLog := math.Inf(-1)
-	for i := ia; i <= ib; i++ {
-		if lr := m.logRateAt(i); lr > maxLog {
-			maxLog = lr
+	if iaF < float64(total) {
+		hi := total - 1
+		if ibF < float64(hi) {
+			hi = int(ibF)
+		}
+		for i := int(iaF); i <= hi; i++ {
+			if m.R[i] > maxLog {
+				maxLog = m.R[i]
+			}
+		}
+	}
+	if ibF >= float64(total) {
+		switch {
+		case m.Period == 0:
+			if m.tailLevel > maxLog {
+				maxLog = m.tailLevel
+			}
+		default:
+			start := math.Max(iaF, float64(total))
+			if ibF-start >= float64(m.Period-1) {
+				// A full cycle (or more): every phase is reachable.
+				for _, v := range m.profile {
+					if v > maxLog {
+						maxLog = v
+					}
+				}
+			} else {
+				p0 := math.Mod(start-float64(total), float64(m.Period))
+				for k := 0; k <= int(ibF-start); k++ {
+					ph := int(math.Mod(p0+float64(k), float64(m.Period)))
+					if ph < 0 || ph >= m.Period { // float edge guards
+						ph = 0
+					}
+					if v := m.profile[ph]; v > maxLog {
+						maxLog = v
+					}
+				}
+			}
 		}
 	}
 	return math.Exp(maxLog)

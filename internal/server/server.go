@@ -1,95 +1,143 @@
-// Package server exposes RobustScaler as an HTTP control plane, the shape
-// an operator integrates with a cluster autoscaler (e.g. as a Kubernetes
-// sidecar): arrival events stream in, the NHPP model is (re)trained on
-// demand or on a timer, and scaling plans — the next instance creation
-// times — are served as JSON.
+// Package server exposes the multi-workload scaling engine as an HTTP
+// control plane, the shape an operator integrates with a cluster
+// autoscaler (e.g. a Kubernetes operator reconciling many scaled
+// targets). One process serves any number of independent workloads —
+// registries, CI runners, FaaS functions — each with its own arrival
+// history, NHPP model and plans, isolated under
+//
+//	POST   /v1/workloads/{id}/arrivals   record query arrivals
+//	POST   /v1/workloads/{id}/train      (re)fit the workload's NHPP model
+//	GET    /v1/workloads/{id}/plan       upcoming creation times
+//	GET    /v1/workloads/{id}/forecast   predicted intensity
+//	GET    /v1/workloads/{id}/status     model/ingestion state
+//	DELETE /v1/workloads/{id}            drop the workload
+//	GET    /v1/workloads                 list workload IDs
+//
+// The pre-multi-tenant single-workload routes (/v1/arrivals, /v1/train,
+// /v1/plan, /v1/forecast, /v1/status) remain as aliases for the
+// "default" workload. All model state and math live in internal/engine;
+// this package only parses requests, routes them to the right Engine in
+// the registry, and encodes responses.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"math/rand"
+	"math"
 	"net/http"
-	"sort"
 	"strconv"
-	"sync"
-	"time"
 
-	"robustscaler"
-	"robustscaler/internal/decision"
-	"robustscaler/internal/stats"
-	"robustscaler/internal/timeseries"
+	"robustscaler/internal/engine"
 )
 
-// Config parameterizes the control plane.
-type Config struct {
-	// Dt is the modeling bin width in seconds.
-	Dt float64
-	// Pending is the instance startup time τ in seconds.
-	Pending float64
-	// Train configures model fitting.
-	Train robustscaler.TrainConfig
-	// HistoryWindow bounds the retained arrival history in seconds;
-	// 0 keeps everything.
-	HistoryWindow float64
-	// MCSamples for the rt/cost plan variants.
-	MCSamples int
-	// Seed drives Monte Carlo draws.
-	Seed int64
-	// Now supplies the current time as a Unix-epoch-like second count;
-	// defaults to time.Now. Tests inject a fake clock.
-	Now func() float64
-}
+// Config parameterizes the control plane; it is the engine configuration
+// shared by every workload.
+type Config = engine.Config
 
 // DefaultConfig returns a production-shaped configuration.
-func DefaultConfig() Config {
-	return Config{
-		Dt:            60,
-		Pending:       13,
-		Train:         robustscaler.DefaultTrainConfig(),
-		HistoryWindow: 28 * 86400,
-		MCSamples:     1000,
-	}
-}
+func DefaultConfig() Config { return engine.DefaultConfig() }
 
-// Server is the HTTP control plane. It is safe for concurrent use.
+// DefaultWorkload is the workload ID behind the legacy single-workload
+// routes.
+const DefaultWorkload = "default"
+
+// Server is the HTTP control plane over a workload registry. It is safe
+// for concurrent use.
 type Server struct {
-	cfg Config
-
-	mu       sync.Mutex
-	arrivals []float64 // sorted
-	model    *robustscaler.Model
-	trainedN int // arrivals included in the current model
-	rng      *rand.Rand
+	reg *engine.Registry
+	// ephemeral serves legacy reads while the default workload doesn't
+	// exist: it never receives arrivals (ingest goes through the
+	// registry), so it permanently reports the empty-workload state and
+	// can be shared across requests.
+	ephemeral *engine.Engine
 }
 
-// New creates a Server.
+// New creates a Server with an empty workload registry.
 func New(cfg Config) (*Server, error) {
-	if cfg.Dt <= 0 {
-		return nil, fmt.Errorf("server: non-positive Dt %g", cfg.Dt)
+	reg, err := engine.NewRegistry(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.Pending < 0 {
-		return nil, fmt.Errorf("server: negative pending time %g", cfg.Pending)
+	eph, err := engine.New(reg.Config())
+	if err != nil {
+		return nil, err
 	}
-	if cfg.MCSamples <= 0 {
-		cfg.MCSamples = 1000
-	}
-	if cfg.Now == nil {
-		cfg.Now = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
-	}
-	return &Server{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	return &Server{reg: reg, ephemeral: eph}, nil
 }
+
+// Registry exposes the workload registry, e.g. to start a background
+// retrainer over it.
+func (s *Server) Registry() *engine.Registry { return s.reg }
+
+// Response shapes are the engine's JSON-tagged types.
+type (
+	trainResponse  = engine.TrainInfo
+	planResponse   = engine.Plan
+	forecastPoint  = engine.ForecastPoint
+	statusResponse = engine.Status
+)
+
+// PlanEntry is one planned instance creation.
+type PlanEntry = engine.PlanEntry
+
+// engineHandler is a route body that already has its workload resolved.
+type engineHandler func(w http.ResponseWriter, r *http.Request, e *engine.Engine)
 
 // Handler returns the HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/v1/arrivals", s.handleArrivals)
-	mux.HandleFunc("/v1/train", s.handleTrain)
-	mux.HandleFunc("/v1/plan", s.handlePlan)
-	mux.HandleFunc("/v1/forecast", s.handleForecast)
-	mux.HandleFunc("/v1/status", s.handleStatus)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/workloads", s.handleList)
+	mux.HandleFunc("DELETE /v1/workloads/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/workloads/{id}/arrivals", func(w http.ResponseWriter, r *http.Request) {
+		s.handleArrivals(w, r, r.PathValue("id"))
+	})
+	mux.HandleFunc("POST /v1/workloads/{id}/train", s.workload(s.handleTrain))
+	mux.HandleFunc("GET /v1/workloads/{id}/plan", s.workload(s.handlePlan))
+	mux.HandleFunc("GET /v1/workloads/{id}/forecast", s.workload(s.handleForecast))
+	mux.HandleFunc("GET /v1/workloads/{id}/status", s.workload(s.handleStatus))
+	// Legacy single-workload aliases.
+	mux.HandleFunc("POST /v1/arrivals", func(w http.ResponseWriter, r *http.Request) {
+		s.handleArrivals(w, r, DefaultWorkload)
+	})
+	mux.HandleFunc("POST /v1/train", s.legacy(s.handleTrain))
+	mux.HandleFunc("GET /v1/plan", s.legacy(s.handlePlan))
+	mux.HandleFunc("GET /v1/forecast", s.legacy(s.handleForecast))
+	mux.HandleFunc("GET /v1/status", s.legacy(s.handleStatus))
 	return mux
+}
+
+// workload resolves the {id} path segment without creating anything: an
+// unknown workload is a 404, not a registration. Only a valid arrivals
+// POST brings a workload into existence (handleArrivals), so typo'd
+// trains, scanning GETs and garbage bodies never grow the registry or
+// resurrect deleted workloads.
+func (s *Server) workload(h engineHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.reg.Get(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown workload", http.StatusNotFound)
+			return
+		}
+		h(w, r, e)
+	}
+}
+
+// legacy routes a pre-multi-tenant path to the default workload. When
+// the default workload doesn't exist yet the request runs against an
+// ephemeral empty engine: that preserves the seed contract (status
+// reports zeros, train/plan/forecast conflict with 409) without
+// registering — or resurrecting — the workload; only an arrivals POST
+// creates it, same as the namespaced routes.
+func (s *Server) legacy(h engineHandler) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		e, ok := s.reg.Get(DefaultWorkload)
+		if !ok {
+			e = s.ephemeral
+		}
+		h(w, r, e)
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -97,16 +145,30 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// arrivalsRequest is the POST /v1/arrivals body.
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	ids := s.reg.Workloads()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, map[string]any{"workloads": ids})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Remove(r.PathValue("id")) {
+		http.Error(w, "unknown workload", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, map[string]any{"deleted": true})
+}
+
+// arrivalsRequest is the POST arrivals body.
 type arrivalsRequest struct {
 	Timestamps []float64 `json:"timestamps"`
 }
 
-func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
+// handleArrivals validates the batch before resolving the workload, so
+// only a well-formed ingest creates one.
+func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request, id string) {
 	var req arrivalsRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("bad JSON: %v", err), http.StatusBadRequest)
@@ -116,201 +178,62 @@ func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "timestamps required", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	s.arrivals = append(s.arrivals, req.Timestamps...)
-	sort.Float64s(s.arrivals)
-	if s.cfg.HistoryWindow > 0 && len(s.arrivals) > 0 {
-		cut := s.arrivals[len(s.arrivals)-1] - s.cfg.HistoryWindow
-		i := sort.SearchFloat64s(s.arrivals, cut)
-		s.arrivals = s.arrivals[i:]
-	}
-	n := len(s.arrivals)
-	s.mu.Unlock()
-	writeJSON(w, map[string]any{"recorded": len(req.Timestamps), "total": n})
-}
-
-// trainResponse is the POST /v1/train reply.
-type trainResponse struct {
-	Bins          int     `json:"bins"`
-	PeriodSeconds float64 `json:"period_seconds"`
-	Iterations    int     `json:"admm_iterations"`
-	Converged     bool    `json:"converged"`
-}
-
-func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if err := engine.ValidateTimestamps(req.Timestamps); err != nil {
+		httpError(w, err)
 		return
 	}
-	s.mu.Lock()
-	arr := append([]float64(nil), s.arrivals...)
-	s.mu.Unlock()
-	if len(arr) < 2 {
-		http.Error(w, "need at least 2 recorded arrivals", http.StatusConflict)
-		return
-	}
-	series := buildSeries(arr, s.cfg.Dt)
-	model, err := robustscaler.Train(series, s.cfg.Train)
+	e, err := s.reg.GetOrCreate(id)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("training failed: %v", err), http.StatusInternalServerError)
+		httpError(w, err)
 		return
 	}
-	s.mu.Lock()
-	s.model = model
-	s.trainedN = len(arr)
-	s.mu.Unlock()
-	writeJSON(w, trainResponse{
-		Bins:          series.Len(),
-		PeriodSeconds: model.PeriodSeconds,
-		Iterations:    model.FitStats.Iterations,
-		Converged:     model.FitStats.Converged,
-	})
-}
-
-// buildSeries bins arrivals with the configured Δt, aligned to the first
-// arrival.
-func buildSeries(arr []float64, dt float64) *timeseries.Series {
-	start := arr[0]
-	end := arr[len(arr)-1] + dt
-	return timeseries.FromArrivals(arr, start, end, dt)
-}
-
-// PlanEntry is one planned instance creation.
-type PlanEntry struct {
-	QueryIndex int     `json:"query_index"`
-	CreateAt   float64 `json:"create_at"`
-	LeadSecs   float64 `json:"lead_seconds"`
-}
-
-// planResponse is the GET /v1/plan reply.
-type planResponse struct {
-	Now     float64     `json:"now"`
-	Variant string      `json:"variant"`
-	Target  float64     `json:"target"`
-	Kappa   int         `json:"kappa"`
-	Plan    []PlanEntry `json:"plan"`
-}
-
-func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	total, err := e.Ingest(req.Timestamps)
+	if err != nil {
+		httpError(w, err)
 		return
 	}
-	s.mu.Lock()
-	model := s.model
-	s.mu.Unlock()
-	if model == nil {
-		http.Error(w, "no trained model; POST /v1/train first", http.StatusConflict)
+	writeJSON(w, map[string]any{"recorded": len(req.Timestamps), "total": total})
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	info, err := e.Train()
+	if err != nil {
+		httpError(w, err)
 		return
 	}
+	writeJSON(w, info)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
 	q := r.URL.Query()
-	variant := q.Get("variant")
-	if variant == "" {
-		variant = "hp"
-	}
-	target, err := floatParam(q.Get("target"), 0.9)
-	if err != nil {
+	req := engine.PlanRequest{Variant: q.Get("variant")}
+	var err error
+	if req.Target, err = floatParam(q.Get("target"), 0.9); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	horizon, err := floatParam(q.Get("horizon"), 600)
-	if err != nil {
+	if req.Horizon, err = floatParam(q.Get("horizon"), 600); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	now, err := floatParam(q.Get("now"), s.cfg.Now())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	maxEntries := 10000
-
-	tau := s.cfg.Pending
-	alpha := 0.1
-	if variant == "hp" {
-		if target <= 0 || target >= 1 {
-			http.Error(w, "hp target must be in (0,1)", http.StatusBadRequest)
+	if raw := q.Get("now"); raw != "" {
+		if req.Now, err = floatParam(raw, 0); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		alpha = 1 - target
+		req.HasNow = true
 	}
-	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
-	h := decision.NewHorizon(model.NHPP, now, s.cfg.Dt/4, 0)
-
-	s.mu.Lock()
-	rng := s.rng
-	s.mu.Unlock()
-
-	resp := planResponse{Now: now, Variant: variant, Target: target, Kappa: kappa}
-	tauS := make([]float64, s.cfg.MCSamples)
-	for i := range tauS {
-		tauS[i] = tau
-	}
-	for i := 1; len(resp.Plan) < maxEntries; i++ {
-		var x float64
-		switch variant {
-		case "hp":
-			qv, ok := h.QuantileArrival(i, alpha)
-			if !ok {
-				i = maxEntries // no more mass
-				break
-			}
-			x = qv - tau
-		case "rt", "cost":
-			xi := make([]float64, s.cfg.MCSamples)
-			ok := true
-			for k := range xi {
-				u, o := h.SampleArrival(rng, i)
-				if !o {
-					ok = false
-					break
-				}
-				xi[k] = u - now
-			}
-			if !ok {
-				i = maxEntries
-				break
-			}
-			if variant == "rt" {
-				x = now + decision.SolveRT(xi, tauS, target)
-			} else {
-				x = now + decision.SolveCost(xi, tauS, target)
-			}
-		default:
-			http.Error(w, fmt.Sprintf("unknown variant %q", variant), http.StatusBadRequest)
-			return
-		}
-		if x < now {
-			x = now
-		}
-		if x > now+horizon {
-			break
-		}
-		resp.Plan = append(resp.Plan, PlanEntry{QueryIndex: i, CreateAt: x, LeadSecs: x - now})
-	}
-	writeJSON(w, resp)
-}
-
-// forecastPoint is one sample of the predicted intensity.
-type forecastPoint struct {
-	T   float64 `json:"t"`
-	QPS float64 `json:"qps"`
-}
-
-func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	plan, err := e.Plan(req)
+	if err != nil {
+		httpError(w, err)
 		return
 	}
-	s.mu.Lock()
-	model := s.model
-	s.mu.Unlock()
-	if model == nil {
-		http.Error(w, "no trained model; POST /v1/train first", http.StatusConflict)
-		return
-	}
+	writeJSON(w, plan)
+}
+
+func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
 	q := r.URL.Query()
-	from, err := floatParam(q.Get("from"), s.cfg.Now())
+	from, err := floatParam(q.Get("from"), e.Now())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -320,56 +243,45 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	step, err := floatParam(q.Get("step"), s.cfg.Dt)
+	step, err := floatParam(q.Get("step"), e.Config().Dt)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if step <= 0 || to <= from || (to-from)/step > 100000 {
-		http.Error(w, "invalid range/step", http.StatusBadRequest)
+	pts, err := e.Forecast(from, to, step)
+	if err != nil {
+		httpError(w, err)
 		return
-	}
-	var pts []forecastPoint
-	for t := from; t < to; t += step {
-		pts = append(pts, forecastPoint{T: t, QPS: model.Rate(t)})
 	}
 	writeJSON(w, pts)
 }
 
-// statusResponse is the GET /v1/status reply.
-type statusResponse struct {
-	Arrivals      int     `json:"arrivals_recorded"`
-	TrainedOn     int     `json:"arrivals_in_model"`
-	ModelReady    bool    `json:"model_ready"`
-	PeriodSeconds float64 `json:"period_seconds"`
-	RateNow       float64 `json:"rate_now_qps"`
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	writeJSON(w, e.Status())
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
-		return
+// httpError maps engine errors onto HTTP statuses: missing data/model →
+// 409 (train first), invalid parameters → 400, anything else → 500.
+func httpError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, engine.ErrNoData), errors.Is(err, engine.ErrNoModel):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, engine.ErrInvalid):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
-	s.mu.Lock()
-	resp := statusResponse{
-		Arrivals:   len(s.arrivals),
-		TrainedOn:  s.trainedN,
-		ModelReady: s.model != nil,
-	}
-	if s.model != nil {
-		resp.PeriodSeconds = s.model.PeriodSeconds
-		resp.RateNow = s.model.Rate(s.cfg.Now())
-	}
-	s.mu.Unlock()
-	writeJSON(w, resp)
 }
 
 func floatParam(raw string, def float64) (float64, error) {
 	if raw == "" {
 		return def, nil
 	}
+	// ParseFloat accepts "NaN"/"Inf"; a NaN sails through every range
+	// check downstream (all comparisons false), so reject non-finite
+	// values here.
 	v, err := strconv.ParseFloat(raw, 64)
-	if err != nil {
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 		return 0, fmt.Errorf("bad numeric parameter %q", raw)
 	}
 	return v, nil

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// getBody fetches a URL and returns status + body.
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMultiWorkloadIsolation is the acceptance check for the engine
+// extraction: one server process carries two workloads with independent
+// models, and traffic to workload A never changes workload B's forecast
+// or plan output.
+func TestMultiWorkloadIsolation(t *testing.T) {
+	const horizon = 4 * 3600.0
+	_, ts := newTestServer(t, horizon)
+
+	// Two workloads with different traffic shapes.
+	postJSON(t, ts.URL+"/v1/workloads/registry-eu/arrivals",
+		map[string]any{"timestamps": trafficArrivals(1, horizon)}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/ci-runners/arrivals",
+		map[string]any{"timestamps": trafficArrivals(2, horizon)}).Body.Close()
+	for _, id := range []string{"registry-eu", "ci-runners"} {
+		resp := postJSON(t, ts.URL+"/v1/workloads/"+id+"/train", map[string]any{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("train %s status %d", id, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	planURL := fmt.Sprintf("%s/v1/workloads/ci-runners/plan?variant=hp&target=0.9&horizon=300&now=%g", ts.URL, horizon)
+	fcURL := fmt.Sprintf("%s/v1/workloads/ci-runners/forecast?from=%g&to=%g&step=300", ts.URL, horizon, horizon+3600)
+	_, planBefore := getBody(t, planURL)
+	_, fcBefore := getBody(t, fcURL)
+
+	// Hammer workload A with new traffic and retrain it.
+	extra := trafficArrivals(3, horizon)
+	for i := range extra {
+		extra[i] += horizon
+	}
+	postJSON(t, ts.URL+"/v1/workloads/registry-eu/arrivals", map[string]any{"timestamps": extra}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/registry-eu/train", map[string]any{}).Body.Close()
+
+	// Workload B's outputs are byte-identical.
+	if _, planAfter := getBody(t, planURL); planAfter != planBefore {
+		t.Fatalf("B's plan changed after traffic to A:\nbefore: %s\nafter:  %s", planBefore, planAfter)
+	}
+	if _, fcAfter := getBody(t, fcURL); fcAfter != fcBefore {
+		t.Fatal("B's forecast changed after traffic to A")
+	}
+}
+
+// TestLegacyRoutesAliasDefaultWorkload pins the compatibility contract:
+// the pre-multi-tenant routes are the same engine as
+// /v1/workloads/default/..., byte for byte.
+func TestLegacyRoutesAliasDefaultWorkload(t *testing.T) {
+	const horizon = 4 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	arr := trafficArrivals(5, horizon)
+	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
+
+	for _, path := range []string{
+		fmt.Sprintf("/v1/plan?variant=hp&target=0.9&horizon=120&now=%g", horizon),
+		fmt.Sprintf("/v1/forecast?from=%g&to=%g&step=300", horizon, horizon+3600),
+		"/v1/status",
+	} {
+		legacyStatus, legacyBody := getBody(t, ts.URL+path)
+		namespacedPath := "/v1/workloads/default" + strings.TrimPrefix(path, "/v1")
+		nsStatus, nsBody := getBody(t, ts.URL+namespacedPath)
+		if legacyStatus != nsStatus || legacyBody != nsBody {
+			t.Fatalf("%s and %s differ:\nlegacy %d: %s\nnamespaced %d: %s",
+				path, namespacedPath, legacyStatus, legacyBody, nsStatus, nsBody)
+		}
+	}
+
+	// The legacy ingest surfaced the workload in the registry listing.
+	status, body := getBody(t, ts.URL+"/v1/workloads")
+	if status != http.StatusOK || body != "{\"workloads\":[\"default\"]}\n" {
+		t.Fatalf("workload list %d: %q", status, body)
+	}
+}
+
+func TestWorkloadListAndDelete(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	if status, body := getBody(t, ts.URL+"/v1/workloads"); status != http.StatusOK || body != "{\"workloads\":[]}\n" {
+		t.Fatalf("empty list %d: %q", status, body)
+	}
+	postJSON(t, ts.URL+"/v1/workloads/a/arrivals", map[string]any{"timestamps": []float64{1, 2}}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/b/arrivals", map[string]any{"timestamps": []float64{1, 2}}).Body.Close()
+	if _, body := getBody(t, ts.URL+"/v1/workloads"); body != "{\"workloads\":[\"a\",\"b\"]}\n" {
+		t.Fatalf("list %q", body)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workloads/a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status %d, want 404", resp2.StatusCode)
+	}
+	if _, body := getBody(t, ts.URL+"/v1/workloads"); body != "{\"workloads\":[\"b\"]}\n" {
+		t.Fatalf("list after delete %q", body)
+	}
+	// Non-finite query parameters are rejected at the parse layer; a
+	// NaN now= used to panic the plan handler.
+	postJSON(t, ts.URL+"/v1/workloads/b/arrivals", map[string]any{"timestamps": []float64{3, 4, 5, 6}}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/b/train", map[string]any{}).Body.Close()
+	for _, q := range []string{"now=NaN", "target=NaN", "horizon=Inf", "now=+Inf"} {
+		if status, _ := getBody(t, ts.URL+"/v1/workloads/b/plan?"+q); status != http.StatusBadRequest {
+			t.Fatalf("plan?%s status %d, want 400", q, status)
+		}
+	}
+
+	// Reads of unknown workloads are 404s and never register anything:
+	// a typo'd or scanning GET must not grow the registry or resurrect
+	// a deleted workload.
+	for _, path := range []string{"/v1/workloads/typo/plan", "/v1/workloads/typo/forecast", "/v1/workloads/a/status"} {
+		if status, _ := getBody(t, ts.URL+path); status != http.StatusNotFound {
+			t.Fatalf("GET %s status %d, want 404", path, status)
+		}
+	}
+	if _, body := getBody(t, ts.URL+"/v1/workloads"); body != "{\"workloads\":[\"b\"]}\n" {
+		t.Fatalf("list grew from read-only GETs: %q", body)
+	}
+	// Invalid writes don't create either: train on an unknown workload
+	// is a 404, and a malformed arrivals body never registers the id.
+	resp3 := postJSON(t, ts.URL+"/v1/workloads/new/train", map[string]any{})
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("train on unknown workload status %d, want 404", resp3.StatusCode)
+	}
+	resp4 := postJSON(t, ts.URL+"/v1/workloads/new/arrivals", map[string]any{"timestamps": []float64{}})
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty ingest status %d, want 400", resp4.StatusCode)
+	}
+	resp5 := postJSON(t, ts.URL+"/v1/workloads/new/arrivals", map[string]any{"timestamps": []float64{1e300}})
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range ingest status %d, want 400", resp5.StatusCode)
+	}
+	if _, body := getBody(t, ts.URL+"/v1/workloads"); body != "{\"workloads\":[\"b\"]}\n" {
+		t.Fatalf("list grew from invalid writes: %q", body)
+	}
+	// Only a valid ingest brings a workload into existence.
+	postJSON(t, ts.URL+"/v1/workloads/new/arrivals", map[string]any{"timestamps": []float64{1, 2}}).Body.Close()
+	if _, body := getBody(t, ts.URL+"/v1/workloads"); body != "{\"workloads\":[\"b\",\"new\"]}\n" {
+		t.Fatalf("list after valid ingest %q", body)
+	}
+}

@@ -59,11 +59,14 @@ func NewRetrainingPolicy(seed *timeseries.Series, cfg RetrainConfig, build Polic
 	return p, nil
 }
 
-// refit trains on the trailing window and swaps the inner policy.
-func (p *retrainingPolicy) refit() error {
-	train := p.series
-	if p.cfg.Window > 0 {
-		bins := int(p.cfg.Window / p.series.Dt)
+// FitWindow fits a model on the trailing window seconds of the series
+// (the whole series when window ≤ 0) — the refresh step shared by the
+// replay wrapper below and the serving engine's background retrainer.
+// Callers keep their previous model when it returns an error.
+func FitWindow(series *timeseries.Series, window float64, cfg TrainConfig) (*Model, error) {
+	train := series
+	if window > 0 {
+		bins := int(window / series.Dt)
 		if bins < 1 {
 			bins = 1
 		}
@@ -71,7 +74,12 @@ func (p *retrainingPolicy) refit() error {
 			train = train.Slice(train.Len()-bins, train.Len())
 		}
 	}
-	model, err := Train(train, p.cfg.Train)
+	return Train(train, cfg)
+}
+
+// refit trains on the trailing window and swaps the inner policy.
+func (p *retrainingPolicy) refit() error {
+	model, err := FitWindow(p.series, p.cfg.Window, p.cfg.Train)
 	if err != nil {
 		return fmt.Errorf("robustscaler: retraining: %w", err)
 	}

@@ -12,7 +12,7 @@
 //     optimization, guaranteeing a target hitting probability, expected
 //     response time, or cost budget per query.
 //
-// # Quick start
+// # Quick start (library)
 //
 //	series := robustscaler.CountsFromArrivals(arrivals, 0, end, 60)
 //	model, err := robustscaler.Train(series, robustscaler.DefaultTrainConfig())
@@ -21,6 +21,24 @@
 //	    Start: trainEnd, End: end, Pending: robustscaler.FixedPending(13), Tick: 1,
 //	})
 //	fmt.Println(result.HitRate(), result.RelativeCost())
+//
+// # Quick start (serving many workloads)
+//
+// The scalerd daemon (cmd/scalerd) serves any number of independent
+// workloads from one process — each workload gets its own arrival
+// history, model and plans, refreshed by a background retraining pool:
+//
+//	scalerd -listen :8080 -retrain-every 1800 -retrain-workers 4
+//
+//	curl -XPOST :8080/v1/workloads/registry-eu/arrivals -d '{"timestamps":[...]}'
+//	curl -XPOST :8080/v1/workloads/registry-eu/train
+//	curl ':8080/v1/workloads/registry-eu/plan?variant=hp&target=0.9&horizon=600'
+//	curl ':8080/v1/workloads/ci-runners/forecast?from=0&to=3600'
+//	curl :8080/v1/workloads
+//
+// Embedders can skip HTTP and drive internal/engine directly: an
+// engine.Registry maps workload IDs to per-workload Engines (ingest →
+// train → plan) with sharded locking and a RetrainAll worker-pool sweep.
 //
 // The subsystems (NHPP trainer, decision solvers, simulator, baseline
 // policies, trace generators) are exposed under internal/ and re-exported
