@@ -12,14 +12,24 @@
 //	GET    /v1/workloads/{id}/forecast?from=&to=&step=             predicted intensity
 //	GET    /v1/workloads/{id}/status                               model/ingestion state
 //	GET    /v1/workloads                                           list workloads
+//	POST   /v1/admin/snapshot                                      persist all workloads now
 //	GET    /healthz                                                liveness
 //
 // The legacy single-workload routes (/v1/arrivals, /v1/train, /v1/plan,
 // /v1/forecast, /v1/status) serve the "default" workload.
 //
+// With -data-dir set, scalerd is restart-safe: every workload's arrival
+// history, fitted model and config are snapshotted to disk (atomically,
+// every -snapshot-every seconds and on POST /v1/admin/snapshot) and
+// restored on boot before serving, so a deploy causes no cold-start
+// forecasting gap. A corrupt snapshot fails the boot loudly rather than
+// silently starting cold; delete the snapshot file to boot cold on
+// purpose.
+//
 // Example:
 //
-//	scalerd -listen :8080 -pending 13 -dt 60 -retrain-every 1800 -retrain-workers 4
+//	scalerd -listen :8080 -pending 13 -dt 60 -retrain-every 1800 -retrain-workers 4 \
+//	        -data-dir /var/lib/scalerd -snapshot-every 300
 package main
 
 import (
@@ -27,9 +37,11 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"os"
 	"time"
 
 	"robustscaler/internal/server"
+	"robustscaler/internal/store"
 )
 
 func main() {
@@ -42,8 +54,16 @@ func main() {
 		seed           = flag.Int64("seed", 1, "random seed")
 		retrainEvery   = flag.Float64("retrain-every", 1800, "background retrain period seconds (0 disables)")
 		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size")
+		dataDir        = flag.String("data-dir", "", "directory for workload snapshots; empty disables persistence")
+		snapshotEvery  = flag.Float64("snapshot-every", 300, "background snapshot period seconds (0 disables; needs -data-dir)")
 	)
 	flag.Parse()
+	snapshotEverySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "snapshot-every" {
+			snapshotEverySet = true
+		}
+	})
 
 	cfg := server.DefaultConfig()
 	cfg.Pending = *pending
@@ -57,6 +77,40 @@ func main() {
 	}
 	if math.IsNaN(*retrainEvery) || *retrainEvery < 0 {
 		log.Fatalf("-retrain-every %g invalid (seconds; 0 disables)", *retrainEvery)
+	}
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatalf("creating -data-dir: %v", err)
+		}
+		// Restore before serving: requests must never race a half-restored
+		// registry. A corrupt snapshot aborts the boot — starting cold
+		// would soon overwrite the evidence with a fresh empty snapshot.
+		n, err := s.Registry().Restore(*dataDir)
+		if err != nil {
+			log.Fatalf("restoring snapshot from %s: %v (delete %s/%s to boot cold)",
+				*dataDir, err, *dataDir, store.SnapshotFile)
+		}
+		if n > 0 {
+			log.Printf("restored %d workloads from %s", n, *dataDir)
+		}
+		s.SetDataDir(*dataDir)
+		if math.IsNaN(*snapshotEvery) || *snapshotEvery < 0 {
+			log.Fatalf("-snapshot-every %g invalid (seconds; 0 disables)", *snapshotEvery)
+		}
+		if *snapshotEvery > 0 {
+			every := time.Duration(*snapshotEvery * float64(time.Second))
+			if every <= 0 || *snapshotEvery > 365*86400 {
+				log.Fatalf("-snapshot-every %g out of range (ns..1 year, in seconds)", *snapshotEvery)
+			}
+			// Like the retrainer, the snapshotter runs for the life of the
+			// process; log.Fatal exits without unwinding.
+			s.Registry().StartSnapshotter(*dataDir, every)
+			log.Printf("snapshotting to %s every %.0fs", *dataDir, *snapshotEvery)
+		}
+	} else if snapshotEverySet && *snapshotEvery != 0 {
+		// Asking for periodic snapshots without a place to put them is a
+		// misconfiguration; explicitly disabling them (0) is not.
+		log.Fatalf("-snapshot-every needs -data-dir")
 	}
 	if *retrainEvery > 0 {
 		// Validate the converted duration: a huge value overflows

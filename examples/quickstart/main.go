@@ -1,17 +1,25 @@
 // Quickstart: train a RobustScaler model on synthetic periodic traffic,
-// replay unseen traffic under the HP-constrained policy, and compare it
-// against pure reactive scaling.
+// replay unseen traffic under the HP-constrained policy, and then drive
+// the same pipeline through the scalerd HTTP control plane using the
+// multi-workload /v1/workloads/{id}/... routes (the current API; the
+// old single-workload /v1/... paths are only compatibility aliases).
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 
 	"robustscaler"
+	"robustscaler/internal/server"
 )
 
 func main() {
@@ -32,9 +40,6 @@ func main() {
 		t += rng.ExpFloat64() / rate // thinning-free approximation
 		arrivals = append(arrivals, t)
 	}
-
-	// 1. Bin the training arrivals and train the NHPP model. Periodicity
-	// is detected automatically and regularizes the fit.
 	var trainArrivals []float64
 	var queries []robustscaler.Query
 	for _, a := range arrivals {
@@ -44,6 +49,10 @@ func main() {
 			queries = append(queries, robustscaler.Query{Arrival: a, Service: 20})
 		}
 	}
+
+	// ── Part 1: the library pipeline ────────────────────────────────────
+	// Bin the training arrivals and train the NHPP model. Periodicity is
+	// detected automatically and regularizes the fit.
 	series := robustscaler.CountsFromArrivals(trainArrivals, 0, trainEnd, 60)
 	model, err := robustscaler.Train(series, robustscaler.DefaultTrainConfig())
 	if err != nil {
@@ -52,14 +61,12 @@ func main() {
 	fmt.Printf("trained NHPP: %d bins, detected period %.0f s, λ(now) = %.3f qps\n",
 		series.Len(), model.PeriodSeconds, model.Rate(trainEnd))
 
-	// 2. Build the proactive policy: guarantee 90% of queries find a warm
-	// instance waiting.
+	// Build the proactive policy — guarantee 90% of queries find a warm
+	// instance waiting — and replay the unseen test traffic against it.
 	policy, err := robustscaler.NewHPPolicy(model, 0.9, robustscaler.FixedPending(pending), 1, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// 3. Replay the unseen test traffic.
 	cfg := robustscaler.ReplayConfig{
 		Start:   trainEnd,
 		End:     testEnd,
@@ -74,10 +81,80 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-
 	fmt.Printf("\n%-22s %10s %10s %14s\n", "policy", "hit_rate", "rt_avg", "relative_cost")
 	fmt.Printf("%-22s %10.3f %10.2f %14.3f\n", "RobustScaler-HP(0.9)",
 		proactive.HitRate(), proactive.RTAvg(), proactive.RelativeCost())
 	fmt.Printf("%-22s %10.3f %10.2f %14.3f\n", "reactive (BP 0)",
 		reactive.HitRate(), reactive.RTAvg(), reactive.RelativeCost())
+
+	// ── Part 2: the same pipeline over HTTP ─────────────────────────────
+	// In production this is a running scalerd; here the control plane is
+	// started in-process. Each workload lives under its own ID — the
+	// requests below are exactly
+	//
+	//	curl -XPOST :8080/v1/workloads/quickstart/arrivals -d '{"timestamps":[...]}'
+	//	curl -XPOST :8080/v1/workloads/quickstart/train
+	//	curl ':8080/v1/workloads/quickstart/plan?variant=hp&target=0.9&horizon=600&now=...'
+	//	curl ':8080/v1/workloads/quickstart/status'
+	srv, err := server.New(server.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post(ts.URL+"/v1/workloads/quickstart/arrivals",
+		map[string]any{"timestamps": trainArrivals})
+	post(ts.URL+"/v1/workloads/quickstart/train", map[string]any{})
+
+	var plan struct {
+		Kappa int `json:"kappa"`
+		Plan  []struct {
+			CreateAt float64 `json:"create_at"`
+			LeadSecs float64 `json:"lead_seconds"`
+		} `json:"plan"`
+	}
+	get(fmt.Sprintf("%s/v1/workloads/quickstart/plan?variant=hp&target=0.9&horizon=600&now=%g",
+		ts.URL, trainEnd), &plan)
+	fmt.Printf("\nHTTP plan for workload %q: κ=%d, next %d creations:\n", "quickstart", plan.Kappa, len(plan.Plan))
+	for i, p := range plan.Plan {
+		if i == 3 {
+			fmt.Printf("  ... %d more\n", len(plan.Plan)-i)
+			break
+		}
+		fmt.Printf("  create at t=%.1fs (lead %.1fs)\n", p.CreateAt, p.LeadSecs)
+	}
+}
+
+// post sends a JSON body and fails the example on any non-2xx answer.
+func post(url string, body any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("POST %s: %s: %s", url, resp.Status, msg)
+	}
+}
+
+// get fetches a URL and decodes the JSON response into out.
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
 }

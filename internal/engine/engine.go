@@ -7,6 +7,13 @@
 // a reconciler-style autoscaler operator integrates with: one registry
 // of scaled targets, each with an isolated model and concurrent
 // retraining.
+//
+// The registry is also the unit of durability: Registry.Snapshot and
+// Registry.Restore persist every workload's history, model and config
+// through internal/store's atomic on-disk format (per-workload
+// serialization via Engine.MarshalState / Engine.RestoreState), and a
+// background Snapshotter keeps the snapshot fresh the same way the
+// Retrainer keeps models fresh.
 package engine
 
 import (
@@ -85,9 +92,12 @@ func (c *Config) validate() error {
 
 // Engine is the scaling brain of a single workload: sorted arrival
 // history, the current NHPP model, and the decision math that turns the
-// model into creation plans. All methods are safe for concurrent use;
-// model fitting runs outside the lock so a slow refit never blocks
-// ingest or planning.
+// model into creation plans. All methods are safe for concurrent use,
+// with one carve-out: RestoreState rewrites the configuration that
+// other methods read without locking, so it must complete before the
+// engine serves traffic (the boot sequence in cmd/scalerd guarantees
+// this). Model fitting runs outside the lock so a slow refit never
+// blocks ingest or planning.
 type Engine struct {
 	cfg Config
 

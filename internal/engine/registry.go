@@ -21,6 +21,11 @@ const numShards = 32
 type Registry struct {
 	cfg    Config
 	shards [numShards]shard
+	// snapMu serializes Snapshot's collect+save: without it, a slow
+	// snapshot that collected the registry before a Remove could rename
+	// its stale file over the delete-triggered snapshot (rename is
+	// last-wins), resurrecting the deleted workload on the next boot.
+	snapMu sync.Mutex
 }
 
 type shard struct {

@@ -1,0 +1,325 @@
+package engine
+
+// This file is the durability layer of the engine: what survives a
+// process restart, and how. Engine.MarshalState / Engine.RestoreState
+// define the per-workload state blob; Registry.Snapshot / Restore move
+// every workload through internal/store's atomic on-disk format; the
+// Snapshotter mirrors the Retrainer's background-loop pattern to keep
+// snapshots fresh without operator action. JSON encoding and disk I/O
+// run outside the engine mutex; the lock is held only for a defensive
+// copy of the arrival history (required — ingest appends into the
+// shared backing array), so the stall a snapshot can impose on ingest
+// or planning is one memcpy, never an encode or a write.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"robustscaler"
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/store"
+)
+
+// engineState is the persisted form of one Engine: the scalar workload
+// configuration, the retained arrival history and the fitted model. The
+// Train sub-config and the clock are deliberately not persisted — they
+// describe how future fits run, not what was learned, so the restoring
+// process's (possibly newer) settings apply.
+type engineState struct {
+	Dt            float64   `json:"dt"`
+	Pending       float64   `json:"pending"`
+	HistoryWindow float64   `json:"history_window"`
+	MCSamples     int       `json:"mc_samples"`
+	Seed          int64     `json:"seed"`
+	Arrivals      []float64 `json:"arrivals"`
+	TrainedN      int       `json:"trained_n"`
+	// Stale records whether arrivals had landed after the model's fit at
+	// snapshot time, so a restart cannot launder an outdated model into a
+	// fresh-looking one: the restored engine re-enters the background
+	// retrainer's queue exactly when the pre-crash engine would have.
+	Stale bool `json:"stale,omitempty"`
+	// Failed records that the last fit over the current arrivals failed,
+	// so a restart doesn't re-run a known-failing (potentially expensive)
+	// fit on every boot — the retrainer keeps skipping the workload until
+	// new arrivals land, same as pre-crash.
+	Failed bool        `json:"failed,omitempty"`
+	Model  *modelState `json:"model,omitempty"`
+}
+
+// modelState is the persisted form of a fitted model. Only the fit's
+// inputs-of-record are stored (start, bin width, log-intensity vector,
+// period); the derived lookup tables are rebuilt deterministically by
+// nhpp.NewModel on restore, which is what makes the round trip
+// bit-for-bit: same inputs, same construction, same outputs.
+type modelState struct {
+	Start         float64       `json:"start"`
+	Dt            float64       `json:"dt"`
+	LogIntensity  []float64     `json:"log_intensity"`
+	PeriodBins    int           `json:"period_bins"`
+	PeriodSeconds float64       `json:"period_seconds"`
+	FitStats      nhpp.FitStats `json:"fit_stats"`
+}
+
+// MarshalState serializes the engine's durable state (config scalars,
+// arrival history, fitted model, staleness) to a JSON blob for
+// Engine.RestoreState. The engine lock is held only to copy the state
+// out (an O(history) memcpy — the backing array is shared with ingest);
+// JSON encoding happens unlocked.
+func (e *Engine) MarshalState() ([]byte, error) {
+	e.mu.Lock()
+	arr := append([]float64(nil), e.arrivals...)
+	model := e.model
+	trainedN := e.trainedN
+	stale := e.gen != e.trainedGen
+	failed := e.gen > 0 && e.gen == e.failedGen
+	e.mu.Unlock()
+
+	st := engineState{
+		Dt:            e.cfg.Dt,
+		Pending:       e.cfg.Pending,
+		HistoryWindow: e.cfg.HistoryWindow,
+		MCSamples:     e.cfg.MCSamples,
+		Seed:          e.cfg.Seed,
+		Arrivals:      arr,
+		TrainedN:      trainedN,
+		Stale:         stale,
+		Failed:        failed,
+	}
+	if model != nil {
+		st.Model = &modelState{
+			Start:         model.NHPP.Start,
+			Dt:            model.NHPP.Dt,
+			LogIntensity:  model.NHPP.R,
+			PeriodBins:    model.NHPP.Period,
+			PeriodSeconds: model.PeriodSeconds,
+			FitStats:      model.FitStats,
+		}
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("engine: marshaling state: %w", err)
+	}
+	return blob, nil
+}
+
+// logIntensityBound rejects restored log intensities outside the fit's
+// own clamp (±40, see nhpp): anything beyond it cannot have come from a
+// real fit and would overflow exp() into Inf rates.
+const logIntensityBound = 40.0
+
+// RestoreState replaces the engine's state with a blob produced by
+// MarshalState: scalar config, arrival history, fitted model, and the
+// Monte Carlo RNG re-seeded from the persisted seed. The Train
+// sub-config and clock keep their current (constructor-supplied)
+// values. Every field is validated before anything is mutated, so a
+// corrupt blob leaves the engine untouched and returns an error wrapping
+// ErrInvalid rather than panicking.
+//
+// RestoreState must run before the engine serves traffic: it rewrites
+// the configuration that the other methods deliberately read without
+// locking (they rely on cfg being immutable once serving starts), so
+// calling it on a live engine is a data race, not just a semantic
+// surprise. At boot, plans resume bit-for-bit from the snapshot, except
+// that rt/cost Monte Carlo streams restart from the seed (mid-stream
+// RNG position is not persisted).
+func (e *Engine) RestoreState(blob []byte) error {
+	var st engineState
+	if err := json.Unmarshal(blob, &st); err != nil {
+		return fmt.Errorf("%w: decoding engine state: %v", ErrInvalid, err)
+	}
+	cfg := e.cfg
+	cfg.Dt = st.Dt
+	cfg.Pending = st.Pending
+	cfg.HistoryWindow = st.HistoryWindow
+	cfg.MCSamples = st.MCSamples
+	cfg.Seed = st.Seed
+	if err := cfg.validate(); err != nil {
+		return fmt.Errorf("%w: restored config: %v", ErrInvalid, err)
+	}
+	if err := ValidateTimestamps(st.Arrivals); err != nil {
+		return fmt.Errorf("restored arrivals: %w", err)
+	}
+	if !sort.Float64sAreSorted(st.Arrivals) {
+		return fmt.Errorf("%w: restored arrivals are not sorted", ErrInvalid)
+	}
+	if st.TrainedN < 0 {
+		return fmt.Errorf("%w: negative trained_n %d", ErrInvalid, st.TrainedN)
+	}
+	var model *robustscaler.Model
+	if ms := st.Model; ms != nil {
+		if ms.Dt <= 0 {
+			return fmt.Errorf("%w: restored model has non-positive dt %g", ErrInvalid, ms.Dt)
+		}
+		if len(ms.LogIntensity) == 0 {
+			return fmt.Errorf("%w: restored model has empty log-intensity", ErrInvalid)
+		}
+		for i, v := range ms.LogIntensity {
+			if v < -logIntensityBound || v > logIntensityBound {
+				return fmt.Errorf("%w: restored log-intensity %g at bin %d outside ±%g", ErrInvalid, v, i, logIntensityBound)
+			}
+		}
+		if ms.PeriodBins < 0 || ms.PeriodBins >= len(ms.LogIntensity) {
+			return fmt.Errorf("%w: restored period %d bins outside [0, %d)", ErrInvalid, ms.PeriodBins, len(ms.LogIntensity))
+		}
+		model = &robustscaler.Model{
+			NHPP:          nhpp.NewModel(ms.Start, ms.Dt, ms.LogIntensity, ms.PeriodBins),
+			PeriodBins:    ms.PeriodBins,
+			PeriodSeconds: ms.PeriodSeconds,
+			FitStats:      ms.FitStats,
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cfg = cfg
+	e.rng = rand.New(rand.NewSource(cfg.Seed))
+	e.arrivals = st.Arrivals
+	e.model = model
+	e.trainedN = st.TrainedN
+	e.failedGen = 0
+	switch {
+	case model != nil && !st.Stale:
+		// The restored model covers the restored arrivals: not stale, the
+		// background retrainer leaves it alone until new traffic lands.
+		e.gen, e.trainedGen = 1, 1
+	case model != nil:
+		// Arrivals had landed after the fit when the snapshot was taken:
+		// keep serving the restored model but let the next retrain sweep
+		// refresh it, exactly as it would have pre-restart.
+		e.gen, e.trainedGen = 1, 0
+	case len(st.Arrivals) >= 2:
+		// Arrivals without a model (snapshot taken before first fit): mark
+		// stale so the next retrain sweep fits one.
+		e.gen, e.trainedGen = 1, 0
+	default:
+		e.gen, e.trainedGen = 0, 0
+	}
+	if st.Failed {
+		e.failedGen = e.gen
+	}
+	return nil
+}
+
+// Snapshot atomically persists every registered workload into dir using
+// the internal/store format, replacing any previous snapshot there, and
+// returns how many workloads were written. Workloads are ordered by ID
+// so identical registry state produces an identical snapshot. A
+// workload that fails to serialize aborts the snapshot with an error
+// naming it; the previous on-disk snapshot is left intact.
+//
+// Concurrent Snapshot calls are serialized so that what lands on disk
+// last was also collected last — a registry change (e.g. a delete)
+// followed by a Snapshot is durable even while a slower snapshot of the
+// pre-change registry is still in flight.
+func (r *Registry) Snapshot(dir string) (int, error) {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	type entry struct {
+		id string
+		e  *Engine
+	}
+	var entries []entry
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for id, e := range s.engines {
+			entries = append(entries, entry{id, e})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	workloads := make([]store.Workload, 0, len(entries))
+	for _, en := range entries {
+		blob, err := en.e.MarshalState()
+		if err != nil {
+			return 0, fmt.Errorf("engine: snapshotting workload %q: %w", en.id, err)
+		}
+		workloads = append(workloads, store.Workload{ID: en.id, State: blob})
+	}
+	if err := store.Save(dir, workloads); err != nil {
+		return 0, err
+	}
+	return len(workloads), nil
+}
+
+// Restore loads the snapshot in dir, recreating every persisted
+// workload and its state, and returns how many were restored. A missing
+// snapshot is the clean cold-boot case and returns (0, nil); a snapshot
+// that exists but fails validation (store-level corruption or an
+// invalid per-workload blob) returns an error naming the failure, with
+// the registry left holding whatever restored before it. Restore is
+// meant for boot, before the registry serves traffic.
+func (r *Registry) Restore(dir string) (int, error) {
+	workloads, err := store.Load(dir)
+	if err != nil {
+		if errors.Is(err, store.ErrNoSnapshot) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, w := range workloads {
+		e, err := r.GetOrCreate(w.ID)
+		if err != nil {
+			return n, fmt.Errorf("engine: restoring workload %q: %w", w.ID, err)
+		}
+		if err := e.RestoreState(w.State); err != nil {
+			return n, fmt.Errorf("engine: restoring workload %q: %w", w.ID, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Snapshotter periodically persists the whole registry, the durability
+// counterpart of the Retrainer: same background-loop shape, same
+// stop-once semantics.
+type Snapshotter struct {
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartSnapshotter launches the background snapshot loop: every
+// `every`, the full registry is persisted into dir (Registry.Snapshot).
+// Errors are logged and the previous on-disk snapshot survives; the
+// loop keeps trying on the next tick. Stop takes one final snapshot so
+// a graceful shutdown persists the latest state.
+func (r *Registry) StartSnapshotter(dir string, every time.Duration) *Snapshotter {
+	if every <= 0 {
+		panic(fmt.Sprintf("engine: non-positive snapshot period %v", every))
+	}
+	sn := &Snapshotter{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(sn.done)
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-sn.stop:
+				if _, err := r.Snapshot(dir); err != nil {
+					log.Printf("engine: final snapshot on stop failed: %v", err)
+				}
+				return
+			case <-ticker.C:
+				if _, err := r.Snapshot(dir); err != nil {
+					log.Printf("engine: background snapshot failed (previous snapshot kept): %v", err)
+				}
+			}
+		}
+	}()
+	return sn
+}
+
+// Stop halts the snapshot loop, takes a final snapshot, and waits for
+// the loop to exit. Safe to call more than once.
+func (sn *Snapshotter) Stop() {
+	sn.stopOnce.Do(func() { close(sn.stop) })
+	<-sn.done
+}

@@ -15,9 +15,9 @@ func cumModels() []*Model {
 		r[i] = 0.3*math.Sin(2*math.Pi*float64(i)/100) + 0.1*rng.NormFloat64()
 	}
 	return []*Model{
-		NewModel(0, 60, r, 100),    // periodic
-		NewModel(0, 60, r, 0),      // aperiodic (tail level)
-		NewModel(-1234, 7, r, 100), // shifted origin, odd bin width
+		NewModel(0, 60, r, 100),                        // periodic
+		NewModel(0, 60, r, 0),                          // aperiodic (tail level)
+		NewModel(-1234, 7, r, 100),                     // shifted origin, odd bin width
 		NewModel(50, 60, []float64{0, 1, 0.5, 1.2}, 0), // tiny
 	}
 }

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestSnapshotRestorePreservesPlans is the acceptance check for
+// persistence: a server's full workload fleet is snapshotted over HTTP,
+// the process is "killed" (server discarded), and a freshly booted
+// server restored from the same data dir serves byte-identical plan,
+// forecast and status responses — no cold-start forecasting gap.
+func TestSnapshotRestorePreservesPlans(t *testing.T) {
+	const horizon = 4 * 3600.0
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, horizon)
+	s1.SetDataDir(dir)
+
+	ids := []string{"registry-eu", "ci-runners"}
+	for i, id := range ids {
+		postJSON(t, ts1.URL+"/v1/workloads/"+id+"/arrivals",
+			map[string]any{"timestamps": trafficArrivals(int64(i+1), horizon)}).Body.Close()
+		resp := postJSON(t, ts1.URL+"/v1/workloads/"+id+"/train", map[string]any{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("train %s status %d", id, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// Responses to pin across the restart. now= is fixed so both
+	// processes plan from the same anchor.
+	var paths []string
+	for _, id := range ids {
+		paths = append(paths,
+			fmt.Sprintf("/v1/workloads/%s/plan?variant=hp&target=0.9&horizon=1800&now=%g", id, horizon),
+			fmt.Sprintf("/v1/workloads/%s/forecast?from=%g&to=%g&step=300", id, horizon, horizon+3600),
+			"/v1/workloads/"+id+"/status",
+		)
+	}
+	before := make(map[string]string)
+	for _, p := range paths {
+		code, body := getBody(t, ts1.URL+p)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s status %d: %s", p, code, body)
+		}
+		before[p] = body
+	}
+
+	// Operator-triggered snapshot, then kill the first process.
+	resp := postJSON(t, ts1.URL+"/v1/admin/snapshot", map[string]any{})
+	snap := decode[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK || snap["workloads"] != float64(len(ids)) {
+		t.Fatalf("admin snapshot status %d body %v", resp.StatusCode, snap)
+	}
+	ts1.Close()
+
+	// Boot a fresh server against the same data dir, as scalerd does.
+	s2, ts2 := newTestServer(t, horizon)
+	if n, err := s2.Registry().Restore(dir); err != nil || n != len(ids) {
+		t.Fatalf("Restore = (%d, %v), want (%d, nil)", n, err, len(ids))
+	}
+	wl := decode[map[string][]string](t, mustGet(t, ts2.URL+"/v1/workloads"))
+	if len(wl["workloads"]) != len(ids) {
+		t.Fatalf("workloads after restore = %v", wl)
+	}
+	for _, p := range paths {
+		code, body := getBody(t, ts2.URL+p)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s after restore: status %d: %s", p, code, body)
+		}
+		if body != before[p] {
+			t.Fatalf("GET %s changed across restart:\nbefore: %s\nafter:  %s", p, before[p], body)
+		}
+	}
+}
+
+// TestDeleteIsDurable pins the delete-vs-snapshot interaction: with
+// persistence enabled, a DELETE re-snapshots immediately, so a restart
+// cannot resurrect the removed workload from a stale snapshot.
+func TestDeleteIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, 0)
+	s1.SetDataDir(dir)
+	for _, id := range []string{"keep", "drop"} {
+		postJSON(t, ts1.URL+"/v1/workloads/"+id+"/arrivals",
+			map[string]any{"timestamps": []float64{1, 2, 3}}).Body.Close()
+	}
+	postJSON(t, ts1.URL+"/v1/admin/snapshot", map[string]any{}).Body.Close()
+
+	req, err := http.NewRequest(http.MethodDelete, ts1.URL+"/v1/workloads/drop", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decode[map[string]any](t, resp)
+	if body["deleted"] != true || body["persisted"] != true {
+		t.Fatalf("delete response = %v, want deleted+persisted", body)
+	}
+	ts1.Close()
+
+	s2, _ := newTestServer(t, 0)
+	if n, err := s2.Registry().Restore(dir); err != nil || n != 1 {
+		t.Fatalf("Restore = (%d, %v), want (1, nil)", n, err)
+	}
+	if _, ok := s2.Registry().Get("drop"); ok {
+		t.Fatal("deleted workload resurrected by restore")
+	}
+	if _, ok := s2.Registry().Get("keep"); !ok {
+		t.Fatal("surviving workload missing after restore")
+	}
+}
+
+// TestAdminSnapshotWithoutDataDir pins the disabled-persistence
+// contract: a clear 409, not a 500 or a silent no-op.
+func TestAdminSnapshotWithoutDataDir(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp := postJSON(t, ts.URL+"/v1/admin/snapshot", map[string]any{})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("snapshot without data dir: status %d, want 409", resp.StatusCode)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

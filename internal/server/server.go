@@ -12,6 +12,7 @@
 //	GET    /v1/workloads/{id}/status     model/ingestion state
 //	DELETE /v1/workloads/{id}            drop the workload
 //	GET    /v1/workloads                 list workload IDs
+//	POST   /v1/admin/snapshot            persist all workloads to the data dir
 //
 // The pre-multi-tenant single-workload routes (/v1/arrivals, /v1/train,
 // /v1/plan, /v1/forecast, /v1/status) remain as aliases for the
@@ -51,6 +52,9 @@ type Server struct {
 	// registry), so it permanently reports the empty-workload state and
 	// can be shared across requests.
 	ephemeral *engine.Engine
+	// dataDir is where operator-triggered snapshots land; empty disables
+	// the admin snapshot endpoint. Set once before serving (SetDataDir).
+	dataDir string
 }
 
 // New creates a Server with an empty workload registry.
@@ -67,8 +71,13 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Registry exposes the workload registry, e.g. to start a background
-// retrainer over it.
+// retrainer or snapshotter over it.
 func (s *Server) Registry() *engine.Registry { return s.reg }
+
+// SetDataDir enables the POST /v1/admin/snapshot endpoint, persisting
+// into dir. Call it once at startup, before the handler serves traffic;
+// an empty dir (the default) keeps the endpoint disabled.
+func (s *Server) SetDataDir(dir string) { s.dataDir = dir }
 
 // Response shapes are the engine's JSON-tagged types.
 type (
@@ -97,6 +106,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workloads/{id}/plan", s.workload(s.handlePlan))
 	mux.HandleFunc("GET /v1/workloads/{id}/forecast", s.workload(s.handleForecast))
 	mux.HandleFunc("GET /v1/workloads/{id}/status", s.workload(s.handleStatus))
+	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	// Legacy single-workload aliases.
 	mux.HandleFunc("POST /v1/arrivals", func(w http.ResponseWriter, r *http.Request) {
 		s.handleArrivals(w, r, DefaultWorkload)
@@ -158,7 +168,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown workload", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, map[string]any{"deleted": true})
+	resp := map[string]any{"deleted": true}
+	if s.dataDir != "" {
+		// Make the delete durable right away: otherwise a restart before
+		// the next snapshot tick would resurrect the workload from the
+		// stale snapshot. The in-memory delete stands either way, so a
+		// persistence failure is reported, not turned into an HTTP error.
+		if _, err := s.reg.Snapshot(s.dataDir); err != nil {
+			resp["persisted"] = false
+			resp["persist_error"] = err.Error()
+		} else {
+			resp["persisted"] = true
+		}
+	}
+	writeJSON(w, resp)
 }
 
 // arrivalsRequest is the POST arrivals body.
@@ -258,6 +281,23 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engin
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
 	writeJSON(w, e.Status())
+}
+
+// handleSnapshot persists every workload on operator demand — the
+// manual counterpart of the background snapshotter, e.g. right before a
+// planned deploy. 409 when persistence is not configured, so automation
+// can distinguish "disabled" from "failed".
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
+	if s.dataDir == "" {
+		http.Error(w, "snapshots disabled: start scalerd with -data-dir", http.StatusConflict)
+		return
+	}
+	n, err := s.reg.Snapshot(s.dataDir)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, map[string]any{"workloads": n, "dir": s.dataDir})
 }
 
 // httpError maps engine errors onto HTTP statuses: missing data/model →

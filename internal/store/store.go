@@ -1,0 +1,187 @@
+// Package store persists workload snapshots across process restarts: a
+// versioned, integrity-checked on-disk format with atomic replacement,
+// so a crash mid-write can never leave a half-written snapshot where the
+// next boot would read it. The package is a pure persistence layer — it
+// moves opaque per-workload state blobs to and from disk and knows
+// nothing about what is inside them; internal/engine owns the blob
+// schema (Engine.MarshalState / Engine.RestoreState).
+//
+// # File format
+//
+// A snapshot is a single file, SnapshotFile, inside the data directory:
+//
+//	robustscaler-snapshot v1 crc32=<8 hex digits> len=<payload bytes>\n
+//	<payload>
+//
+// The first line is an ASCII header; everything after the first newline
+// is the payload, a JSON object:
+//
+//	{"saved_at_unix": <seconds>, "workloads": [{"id": "...", "state": {...}}, ...]}
+//
+// The header carries the format version, the IEEE CRC-32 of the payload
+// and the payload's exact byte length. Load verifies all three before
+// parsing, so truncation (len mismatch), bit rot (CRC mismatch) and
+// format skew (version mismatch) are each rejected with a clean error
+// instead of a decode panic or a silently partial restore.
+//
+// # Atomicity
+//
+// Save writes the snapshot to a unique temporary file in the same
+// directory, fsyncs it, and only then renames it over SnapshotFile.
+// Rename within one directory is atomic on POSIX filesystems, so readers
+// (and the next boot) see either the previous complete snapshot or the
+// new complete snapshot, never a mix. Concurrent Save calls are safe:
+// each writes its own temp file and the last rename wins.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SnapshotFile is the snapshot's file name inside the data directory.
+const SnapshotFile = "snapshot.rsnap"
+
+// formatVersion is the on-disk format version written and accepted by
+// this package. Bump it when the header or payload layout changes
+// incompatibly; Load rejects files from other versions.
+const formatVersion = 1
+
+// headerMagic opens every snapshot header line.
+const headerMagic = "robustscaler-snapshot"
+
+// Sentinel errors. Callers match them with errors.Is.
+var (
+	// ErrNoSnapshot means the data directory holds no snapshot yet — the
+	// clean cold-boot case, distinct from a snapshot that exists but
+	// cannot be read.
+	ErrNoSnapshot = errors.New("store: no snapshot")
+	// ErrCorrupt means a snapshot file exists but failed validation
+	// (truncated, checksum mismatch, malformed header or payload).
+	ErrCorrupt = errors.New("store: corrupt snapshot")
+)
+
+// Workload is one workload's persisted record: its registry ID and the
+// opaque state blob produced by Engine.MarshalState. The blob is kept as
+// raw JSON so this package never needs to understand — or version — the
+// engine's schema.
+type Workload struct {
+	ID    string          `json:"id"`
+	State json.RawMessage `json:"state"`
+}
+
+// payload is the JSON document behind the header line.
+type payload struct {
+	SavedAtUnix int64      `json:"saved_at_unix"`
+	Workloads   []Workload `json:"workloads"`
+}
+
+// Save atomically writes a snapshot of the given workloads into dir,
+// replacing any previous snapshot. The directory must exist. On error
+// the previous snapshot, if any, is left intact.
+func Save(dir string, workloads []Workload) error {
+	body, err := json.Marshal(payload{
+		SavedAtUnix: time.Now().Unix(),
+		Workloads:   workloads,
+	})
+	if err != nil {
+		return fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	header := fmt.Sprintf("%s v%d crc32=%08x len=%d\n",
+		headerMagic, formatVersion, crc32.ChecksumIEEE(body), len(body))
+
+	// Temp file in the same directory so the final rename cannot cross a
+	// filesystem boundary (rename is only atomic within one filesystem).
+	f, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp file: %w", err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.WriteString(header); err != nil {
+		return cleanup(fmt.Errorf("store: writing snapshot: %w", err))
+	}
+	if _, err := f.Write(body); err != nil {
+		return cleanup(fmt.Errorf("store: writing snapshot: %w", err))
+	}
+	// Flush to stable storage before the rename makes the file visible:
+	// otherwise a power cut could leave a fully-renamed but empty file.
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("store: syncing snapshot: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("store: closing snapshot: %w", err))
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, SnapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	// Best-effort directory sync so the rename itself survives a crash;
+	// not all platforms/filesystems support syncing a directory handle.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot in dir. It returns ErrNoSnapshot
+// when none has been written yet, and an error wrapping ErrCorrupt when
+// a snapshot exists but fails header, length, checksum or JSON
+// validation.
+//
+// Load also sweeps temp files orphaned by a Save that crashed between
+// creating its temp file and the rename, so crash loops cannot
+// accumulate them. Load therefore must not run concurrently with Save —
+// in practice it runs once at boot, before any snapshotter starts.
+func Load(dir string) ([]Workload, error) {
+	if matches, err := filepath.Glob(filepath.Join(dir, ".snapshot-*.tmp")); err == nil {
+		for _, m := range matches {
+			os.Remove(m)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+		}
+		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: missing header line", ErrCorrupt)
+	}
+	var version int
+	var sum uint32
+	var length int
+	if n, err := fmt.Sscanf(string(data[:nl]), headerMagic+" v%d crc32=%x len=%d",
+		&version, &sum, &length); err != nil || n != 3 {
+		return nil, fmt.Errorf("%w: malformed header %q", ErrCorrupt, string(data[:nl]))
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("store: unsupported snapshot version %d (this build reads v%d)", version, formatVersion)
+	}
+	body := data[nl+1:]
+	if len(body) != length {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d (truncated?)", ErrCorrupt, len(body), length)
+	}
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: checksum %08x does not match header %08x", ErrCorrupt, got, sum)
+	}
+	var p payload
+	if err := json.Unmarshal(body, &p); err != nil {
+		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	}
+	return p.Workloads, nil
+}

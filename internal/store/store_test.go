@@ -1,0 +1,180 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sample returns a small but non-trivial workload set.
+func sample() []Workload {
+	return []Workload{
+		{ID: "ci-runners", State: json.RawMessage(`{"dt":60,"arrivals":[1,2,3]}`)},
+		{ID: "registry-eu", State: json.RawMessage(`{"dt":30,"arrivals":[]}`)},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sample()
+	if err := Save(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestSaveReplacesPreviousSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, sample()); err != nil {
+		t.Fatal(err)
+	}
+	want := []Workload{{ID: "only", State: json.RawMessage(`{}`)}}
+	if err := Save(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("second save not visible: got %+v", got)
+	}
+}
+
+func TestSaveLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, sample()); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != SnapshotFile {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("dir holds %v, want only %s", names, SnapshotFile)
+	}
+}
+
+func TestLoadMissingSnapshot(t *testing.T) {
+	_, err := Load(t.TempDir())
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestLoadSweepsOrphanedTempFiles(t *testing.T) {
+	// A crash between CreateTemp and rename leaves a temp file behind;
+	// the next boot's Load must clean it up, with or without a valid
+	// snapshot alongside.
+	dir := t.TempDir()
+	if err := Save(dir, sample()); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{".snapshot-123.tmp", ".snapshot-zzz.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := Load(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != SnapshotFile {
+		t.Fatalf("orphaned temp files not swept: %v", entries)
+	}
+}
+
+// corrupt applies f to the snapshot bytes and writes them back.
+func corrupt(t *testing.T, dir string, f func([]byte) []byte) {
+	t.Helper()
+	path := filepath.Join(dir, SnapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, f(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-2] ^= 0xff
+			return out
+		}},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-7] }},
+		{"missing header", func(b []byte) []byte { return []byte("{}") }},
+		{"garbage header", func(b []byte) []byte { return append([]byte("not-a-snapshot v1 x=y\n"), b...) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := Save(dir, sample()); err != nil {
+				t.Fatal(err)
+			}
+			corrupt(t, dir, tc.mut)
+			_, err := Load(dir)
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("err = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsFutureVersion(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(dir, sample()); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, dir, func(b []byte) []byte {
+		return []byte(strings.Replace(string(b), " v1 ", " v999 ", 1))
+	})
+	_, err := Load(dir)
+	if err == nil || !strings.Contains(err.Error(), "version 999") {
+		t.Fatalf("err = %v, want unsupported-version error", err)
+	}
+	// Version skew is not corruption: the file may be perfectly valid for
+	// a newer build, so it must not match ErrCorrupt.
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("version mismatch misreported as corruption")
+	}
+}
+
+func TestLoadRejectsCheckedPayloadJSON(t *testing.T) {
+	// A snapshot whose header is self-consistent but whose payload is not
+	// JSON: the CRC passes, the decode must still fail cleanly.
+	dir := t.TempDir()
+	if err := Save(dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, dir, func([]byte) []byte {
+		body := []byte("not json at all")
+		return append([]byte("robustscaler-snapshot v1 crc32=4d390002 len=15\n"), body...)
+	})
+	_, err := Load(dir)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
