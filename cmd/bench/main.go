@@ -1,0 +1,514 @@
+// Command bench measures the control plane's two hot paths — ingest
+// and planning — end to end and records the result as JSON, so every
+// change to these paths leaves a comparable perf trajectory in the
+// repo.
+//
+// Three layers are measured:
+//
+//   - decode/*: the wire-format decoders alone (JSON array baseline vs
+//     streaming NDJSON vs binary), including timestamp validation.
+//   - ingest/*: full HTTP POST /v1/workloads/{id}/arrivals requests
+//     against an in-process handler, per format and per gzip variant,
+//     each iteration landing a fresh workload.
+//   - plan/* and forecast/*: full HTTP GETs against a trained
+//     workload, cold (distinct query each iteration) and hit (the same
+//     query repeated, served from the engine's result cache).
+//
+// Usage:
+//
+//	go run ./cmd/bench                  # full run, writes BENCH_hotpath.json
+//	go run ./cmd/bench -quick           # small scales, for CI smoke
+//	go run ./cmd/bench -quick -out /tmp/b.json -check BENCH_hotpath.json
+//
+// With -check, every benchmark present in both runs is compared by
+// ns/op and the process exits non-zero if any regressed by more than
+// -check-factor (default 2×) — the CI regression gate.
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"testing"
+	"time"
+
+	"robustscaler/internal/encode"
+	"robustscaler/internal/engine"
+	"robustscaler/internal/server"
+)
+
+// result is one benchmark's record in the output file.
+type result struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BPerOp       int64   `json:"b_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	ReqPerSec    float64 `json:"req_per_s"`
+	EventsPerSec float64 `json:"events_per_s,omitempty"`
+}
+
+// report is the output file schema.
+type report struct {
+	Generated  string             `json:"generated"`
+	GoVersion  string             `json:"go_version"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	Quick      bool               `json:"quick"`
+	Results    []result           `json:"results"`
+	Derived    map[string]float64 `json:"derived"`
+}
+
+func main() {
+	var (
+		quick       = flag.Bool("quick", false, "small scales only (CI smoke)")
+		out         = flag.String("out", "BENCH_hotpath.json", "output JSON path")
+		check       = flag.String("check", "", "baseline JSON to compare against; exit 1 on regression")
+		checkFactor = flag.Float64("check-factor", 2.0, "regression factor tolerated by -check")
+		ratiosOnly  = flag.Bool("check-ratios-only", false, "with -check, compare only the derived speedup ratios (machine-independent), not absolute ns/op")
+	)
+	flag.Parse()
+
+	scales := []int{10_000, 100_000, 1_000_000}
+	if *quick {
+		scales = []int{10_000}
+	}
+
+	rep := &report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Derived:    map[string]float64{},
+	}
+
+	for _, n := range scales {
+		benchDecode(rep, n)
+	}
+	for _, n := range scales {
+		benchIngest(rep, n)
+	}
+	benchPlanForecast(rep)
+
+	deriveRatios(rep, scales)
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Results))
+
+	if *check != "" {
+		if err := checkRegressions(*check, rep, *checkFactor, *ratiosOnly); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// run executes one benchmark and records it.
+func run(rep *report, name string, events int, fn func(b *testing.B)) {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	r := result{
+		Name:        name,
+		N:           res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		BPerOp:      res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if r.NsPerOp > 0 {
+		r.ReqPerSec = 1e9 / r.NsPerOp
+		if events > 0 {
+			r.EventsPerSec = float64(events) * 1e9 / r.NsPerOp
+		}
+	}
+	rep.Results = append(rep.Results, r)
+	fmt.Fprintf(os.Stderr, "%-32s %12.0f ns/op %12d B/op %8d allocs/op %14.0f events/s\n",
+		name, r.NsPerOp, r.BPerOp, r.AllocsPerOp, r.EventsPerSec)
+}
+
+// timestamps returns n sorted microsecond-resolution epochs, ~2k
+// events/sec — a heavy workload's arrival stream.
+func timestamps(n int) []float64 {
+	vals := make([]float64, n)
+	t := 1.7e9
+	for i := range vals {
+		t += 0.0004 + float64(i%97)*1e-6
+		vals[i] = math.Round(t*1e6) / 1e6
+	}
+	return vals
+}
+
+func jsonBody(vals []float64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"timestamps":[`)
+	for i, v := range vals {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes()
+}
+
+func ndjsonBody(vals []float64) []byte {
+	var buf bytes.Buffer
+	for _, v := range vals {
+		buf.WriteString(strconv.FormatFloat(v, 'f', 6, 64))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func binaryBody(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func gzipBody(body []byte) []byte {
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	if _, err := zw.Write(body); err != nil {
+		log.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// benchDecode measures the wire decoders alone, validation included —
+// the stage where the streaming formats earn their keep.
+func benchDecode(rep *report, n int) {
+	vals := timestamps(n)
+	jb, nb, bb := jsonBody(vals), ndjsonBody(vals), binaryBody(vals)
+
+	run(rep, fmt.Sprintf("decode/json-array/n=%d", n), n, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var req struct {
+				Timestamps []float64 `json:"timestamps"`
+			}
+			if err := json.NewDecoder(bytes.NewReader(jb)).Decode(&req); err != nil {
+				die("json decode: %v", err)
+			}
+			if err := engine.ValidateTimestamps(req.Timestamps); err != nil {
+				die("json validate: %v", err)
+			}
+			if len(req.Timestamps) != n {
+				die("short json decode")
+			}
+		}
+	})
+	run(rep, fmt.Sprintf("decode/ndjson/n=%d", n), n, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch, err := encode.DecodeNDJSON(bytes.NewReader(nb), engine.ValidateTimestamps)
+			if err != nil {
+				die("ndjson decode: %v", err)
+			}
+			if batch.Count != n || !batch.Sorted {
+				die("bad ndjson decode")
+			}
+			batch.Release()
+		}
+	})
+	run(rep, fmt.Sprintf("decode/binary/n=%d", n), n, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			batch, err := encode.DecodeBinary(bytes.NewReader(bb), engine.ValidateTimestamps)
+			if err != nil {
+				die("binary decode: %v", err)
+			}
+			if batch.Count != n || !batch.Sorted {
+				die("bad binary decode")
+			}
+			batch.Release()
+		}
+	})
+}
+
+// benchIngest measures full HTTP ingest requests per format. Every
+// iteration lands in a fresh workload (removed right after), so each op
+// is one complete cold batch: decode, validate, and the engine append.
+func benchIngest(rep *report, n int) {
+	s, err := server.New(benchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := s.Handler()
+	vals := timestamps(n)
+
+	cases := []struct {
+		name, contentType, contentEncoding string
+		body                               []byte
+	}{
+		{"json-array", "application/json", "", jsonBody(vals)},
+		{"ndjson", "application/x-ndjson", "", ndjsonBody(vals)},
+		{"binary", "application/octet-stream", "", binaryBody(vals)},
+		{"ndjson-gzip", "application/x-ndjson", "gzip", gzipBody(ndjsonBody(vals))},
+		{"binary-gzip", "application/octet-stream", "gzip", gzipBody(binaryBody(vals))},
+	}
+	for _, tc := range cases {
+		tc := tc
+		run(rep, fmt.Sprintf("ingest/%s/n=%d", tc.name, n), n, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodPost, "/v1/workloads/bench/arrivals", bytes.NewReader(tc.body))
+				req.Header.Set("Content-Type", tc.contentType)
+				if tc.contentEncoding != "" {
+					req.Header.Set("Content-Encoding", tc.contentEncoding)
+				}
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK {
+					die("ingest status %d: %s", w.Code, w.Body.String())
+				}
+				s.Registry().Remove("bench")
+			}
+		})
+	}
+}
+
+// benchConfig pins the engine knobs so runs stay comparable across
+// machines and releases.
+func benchConfig() server.Config {
+	cfg := server.DefaultConfig()
+	cfg.MCSamples = 1000
+	cfg.Seed = 1
+	cfg.Now = func() float64 { return planNow }
+	return cfg
+}
+
+// planNow anchors the plan/forecast benches (6h into the synthetic
+// trace, so the model has history behind it and period ahead of it).
+const planNow = 6 * 3600.0
+
+// benchPlanForecast measures planning: cold (every iteration a distinct
+// query) against hit (the same query repeated, served from the result
+// cache), over HTTP and — for the purest cache number — directly on the
+// engine.
+func benchPlanForecast(rep *report) {
+	s, err := server.New(benchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := s.Handler()
+
+	// A periodic ~0.2 qps workload: enough mass that a 600 s horizon
+	// plans a few dozen creations, the shape of a busy service.
+	var arr []float64
+	t := 0.0
+	for i := 0; t < planNow; i++ {
+		rate := 0.2 + 0.15*math.Sin(2*math.Pi*t/3600)
+		t += 1 / (rate + 0.05)
+		arr = append(arr, math.Round(t*1e3)/1e3)
+	}
+	e, err := s.Registry().GetOrCreate("svc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Ingest(arr); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		log.Fatal(err)
+	}
+
+	get := func(b *testing.B, url string) {
+		req := httptest.NewRequest(http.MethodGet, url, nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			die("GET %s: %d %s", url, w.Code, w.Body.String())
+		}
+	}
+
+	for _, variant := range []string{"hp", "rt"} {
+		variant := variant
+		target := "0.9"
+		if variant == "rt" {
+			target = "5"
+		}
+		urlAt := func(now float64) string {
+			// 'f' formatting: %g would switch to exponent notation past
+			// 1e6, whose '+' decodes to a space inside a query string.
+			return fmt.Sprintf("/v1/workloads/svc/plan?variant=%s&target=%s&horizon=600&now=%s",
+				variant, target, strconv.FormatFloat(now, 'f', -1, 64))
+		}
+		run(rep, "plan/"+variant+"/cold", 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// An unbounded distinct anchor each iteration: always a
+				// cache miss, always a full horizon recomputation. (A
+				// bounded cycle would start hitting the cache as soon as
+				// b.N outgrew it.)
+				get(b, urlAt(planNow+float64(i)*15))
+			}
+		})
+		run(rep, "plan/"+variant+"/hit", 0, func(b *testing.B) {
+			get(b, urlAt(planNow)) // prime
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				get(b, urlAt(planNow))
+			}
+		})
+	}
+
+	// Engine-level cache hit: the pure O(1) lookup, no HTTP or JSON.
+	req := engine.PlanRequest{Variant: "rt", Target: 5, Horizon: 600, Now: planNow, HasNow: true}
+	if _, err := e.Plan(req); err != nil {
+		log.Fatal(err)
+	}
+	run(rep, "plan/rt/engine-hit", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Plan(req); err != nil {
+				die("engine plan: %v", err)
+			}
+		}
+	})
+
+	fcURL := func(from float64) string {
+		return fmt.Sprintf("/v1/workloads/svc/forecast?from=%s&to=%s&step=60",
+			strconv.FormatFloat(from, 'f', -1, 64), strconv.FormatFloat(from+3600, 'f', -1, 64))
+	}
+	run(rep, "forecast/cold", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			get(b, fcURL(planNow+float64(i)*60)) // unbounded: never a hit
+		}
+	})
+	run(rep, "forecast/hit", 0, func(b *testing.B) {
+		get(b, fcURL(planNow))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			get(b, fcURL(planNow))
+		}
+	})
+}
+
+// deriveRatios records the headline comparisons: streaming-format
+// speedups and allocation savings over the JSON baseline (at every
+// scale measured, so quick runs and full baselines share keys), and
+// the cache-hit speedup over the cold plan path.
+func deriveRatios(rep *report, scales []int) {
+	lookup := func(name string) *result {
+		for i := range rep.Results {
+			if rep.Results[i].Name == name {
+				return &rep.Results[i]
+			}
+		}
+		return nil
+	}
+	ratio := func(dst, numName, denName string, field func(*result) float64) {
+		num, den := lookup(numName), lookup(denName)
+		if num == nil || den == nil || field(num) == 0 {
+			return
+		}
+		rep.Derived[dst] = round2(field(den) / field(num))
+	}
+	ns := func(r *result) float64 { return r.NsPerOp }
+	bb := func(r *result) float64 { return float64(r.BPerOp) }
+	allocs := func(r *result) float64 { return float64(r.AllocsPerOp) }
+
+	for _, n := range scales {
+		sfx := fmt.Sprintf("/n=%d", n)
+		for _, f := range []string{"ndjson", "binary"} {
+			ratio("ingest_"+f+"_throughput_x"+sfx, "ingest/"+f+sfx, "ingest/json-array"+sfx, ns)
+			ratio("ingest_"+f+"_alloc_bytes_saved_x"+sfx, "ingest/"+f+sfx, "ingest/json-array"+sfx, bb)
+			ratio("decode_"+f+"_throughput_x"+sfx, "decode/"+f+sfx, "decode/json-array"+sfx, ns)
+			ratio("decode_"+f+"_alloc_bytes_saved_x"+sfx, "decode/"+f+sfx, "decode/json-array"+sfx, bb)
+			ratio("decode_"+f+"_allocs_saved_x"+sfx, "decode/"+f+sfx, "decode/json-array"+sfx, allocs)
+		}
+	}
+	for _, v := range []string{"hp", "rt"} {
+		ratio("plan_"+v+"_cache_hit_speedup_x", "plan/"+v+"/hit", "plan/"+v+"/cold", ns)
+	}
+	ratio("plan_rt_engine_cache_hit_speedup_x", "plan/rt/engine-hit", "plan/rt/cold", ns)
+	ratio("forecast_cache_hit_speedup_x", "forecast/hit", "forecast/cold", ns)
+}
+
+func round2(v float64) float64 { return math.Round(v*100) / 100 }
+
+// die aborts the harness with a message. testing.Benchmark's B has no
+// runner behind it — b.Fatalf would nil-panic inside the testing
+// package before printing anything — so benchmark bodies report fatal
+// conditions here instead.
+func die(format string, args ...any) {
+	log.Fatalf(format, args...)
+}
+
+// checkRegressions compares this run against a baseline report and
+// fails on regressions beyond factor, two ways: per-benchmark ns/op
+// (sensitive, but assumes comparable hardware), and the derived
+// speedup ratios (streaming-vs-JSON, hit-vs-cold), which compare the
+// run against itself and therefore hold on any machine — a collapsed
+// ratio is a real hot-path regression even when the runner is simply
+// faster or slower than the baseline box. ratiosOnly skips the
+// absolute ns/op comparison; CI uses it because shared runners are not
+// the machine the committed baseline was recorded on. Entries only
+// present on one side are ignored, so a quick run can be gated against
+// a full-run baseline.
+func checkRegressions(path string, rep *report, factor float64, ratiosOnly bool) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading baseline: %w", err)
+	}
+	var base report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := map[string]result{}
+	for _, r := range base.Results {
+		baseline[r.Name] = r
+	}
+	var regressions []string
+	compared := 0
+	if !ratiosOnly {
+		for _, r := range rep.Results {
+			b, ok := baseline[r.Name]
+			if !ok || b.NsPerOp <= 0 {
+				continue
+			}
+			compared++
+			if r.NsPerOp > factor*b.NsPerOp {
+				regressions = append(regressions, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%.1fx)",
+					r.Name, r.NsPerOp, b.NsPerOp, r.NsPerOp/b.NsPerOp))
+			}
+		}
+	}
+	for name, v := range rep.Derived {
+		bv, ok := base.Derived[name]
+		if !ok || bv <= 0 || v <= 0 {
+			continue
+		}
+		compared++
+		if v < bv/factor { // all derived values are bigger-is-better ratios
+			regressions = append(regressions, fmt.Sprintf("%s: ratio %.2f vs baseline %.2f", name, v, bv))
+		}
+	}
+	sort.Strings(regressions)
+	fmt.Fprintf(os.Stderr, "checked %d benchmarks against %s (tolerance %.1fx)\n", compared, path, factor)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "REGRESSION "+r)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed more than %.1fx", len(regressions), factor)
+	}
+	fmt.Fprintln(os.Stderr, "no regressions")
+	return nil
+}

@@ -7,6 +7,11 @@
 // Endpoints (per workload; see internal/server for the full list):
 //
 //	POST   /v1/workloads/{id}/arrivals  {"timestamps": [t1, ...]}  record arrivals
+//	                                    (also application/x-ndjson — one epoch per
+//	                                    line — or application/octet-stream —
+//	                                    little-endian float64s — optionally with
+//	                                    Content-Encoding: gzip; bodies are capped
+//	                                    by -max-ingest-bytes)
 //	POST   /v1/workloads/{id}/train                                (re)fit the NHPP model
 //	GET    /v1/workloads/{id}/plan?variant=hp&target=0.9           upcoming creation times
 //	GET    /v1/workloads/{id}/forecast?from=&to=&step=             predicted intensity
@@ -51,7 +56,9 @@ func main() {
 		dt             = flag.Float64("dt", 60, "modeling bin width seconds")
 		history        = flag.Float64("history", 28*86400, "retained arrival history seconds")
 		mc             = flag.Int("mc", 1000, "Monte Carlo samples for rt/cost plans")
+		mcWorkers      = flag.Int("mc-workers", 0, "worker pool for Monte Carlo draws per plan (0 = GOMAXPROCS); plans are identical for every value")
 		seed           = flag.Int64("seed", 1, "random seed")
+		maxIngest      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "max arrivals body size in bytes, before and after decompression (413 beyond it; 0 disables)")
 		retrainEvery   = flag.Float64("retrain-every", 1800, "background retrain period seconds (0 disables)")
 		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size")
 		dataDir        = flag.String("data-dir", "", "directory for workload snapshots; empty disables persistence")
@@ -70,11 +77,16 @@ func main() {
 	cfg.Dt = *dt
 	cfg.HistoryWindow = *history
 	cfg.MCSamples = *mc
+	cfg.MCWorkers = *mcWorkers
 	cfg.Seed = *seed
 	s, err := server.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *maxIngest < 0 {
+		log.Fatalf("-max-ingest-bytes %d invalid (bytes; 0 disables)", *maxIngest)
+	}
+	s.SetMaxIngestBytes(*maxIngest)
 	if math.IsNaN(*retrainEvery) || *retrainEvery < 0 {
 		log.Fatalf("-retrain-every %g invalid (seconds; 0 disables)", *retrainEvery)
 	}

@@ -1,0 +1,102 @@
+package encode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// benchVals is one benchmark payload: 100k sorted microsecond epochs,
+// the shape a high-rate workload ships.
+func benchVals() []float64 { return testValsBench(100_000) }
+
+func testValsBench(n int) []float64 {
+	vals := make([]float64, n)
+	t := 1.7e9
+	for i := range vals {
+		t += 0.001 + float64(i%7)*0.0001
+		vals[i] = t
+	}
+	return vals
+}
+
+// BenchmarkDecodeJSONArray is the baseline the streaming formats are
+// measured against: the legacy {"timestamps": [...]} body through
+// encoding/json, materializing the full slice.
+func BenchmarkDecodeJSONArray(b *testing.B) {
+	body, err := json.Marshal(map[string][]float64{"timestamps": benchVals()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var req struct {
+			Timestamps []float64 `json:"timestamps"`
+		}
+		if err := json.NewDecoder(bytes.NewReader(body)).Decode(&req); err != nil {
+			b.Fatal(err)
+		}
+		if len(req.Timestamps) != 100_000 {
+			b.Fatal("short decode")
+		}
+	}
+}
+
+func BenchmarkDecodeNDJSON(b *testing.B) {
+	var buf bytes.Buffer
+	for _, v := range benchVals() {
+		// Microsecond precision, the shape real epoch producers emit.
+		buf.WriteString(strconv.FormatFloat(v, 'f', 6, 64))
+		buf.WriteByte('\n')
+	}
+	body := buf.Bytes()
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch, err := DecodeNDJSON(bytes.NewReader(body), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if batch.Count != 100_000 || !batch.Sorted {
+			b.Fatal("bad decode")
+		}
+		batch.Release()
+	}
+}
+
+func BenchmarkDecodeBinary(b *testing.B) {
+	vals := benchVals()
+	body := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(v))
+	}
+	b.SetBytes(int64(len(body)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch, err := DecodeBinary(bytes.NewReader(body), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if batch.Count != 100_000 || !batch.Sorted {
+			b.Fatal("bad decode")
+		}
+		batch.Release()
+	}
+}
+
+func BenchmarkParseFloatFast(b *testing.B) {
+	line := []byte("1700000432.125")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseFloat(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package encode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// binaryBufLen is the read window of the binary decoder: exactly one
+// chunk's worth of little-endian float64s, so every full read converts
+// straight into one pooled chunk.
+const binaryBufLen = 8 * ChunkLen
+
+var binaryBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, binaryBufLen)
+		return &b
+	},
+}
+
+// DecodeBinary reads a stream of little-endian IEEE-754 float64
+// timestamps (application/octet-stream) into pooled chunks. check (if
+// non-nil) vets every completed chunk. A body whose length is not a
+// multiple of 8 fails with a truncation error.
+func DecodeBinary(r io.Reader, check CheckFunc) (*Batch, error) {
+	w := newBatchWriter(check)
+	bufp := binaryBufPool.Get().(*[]byte)
+	defer binaryBufPool.Put(bufp)
+	buf := *bufp
+
+	for {
+		n, err := io.ReadFull(r, buf)
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			// Real read failures (e.g. the size limit firing) outrank the
+			// truncation check — a limited stream is usually also torn.
+			return w.finish(err)
+		}
+		if n%8 != 0 {
+			return w.finish(fmt.Errorf("encode: binary body truncated: %d trailing bytes (want multiples of 8)", n%8))
+		}
+		for i := 0; i < n; i += 8 {
+			if aerr := w.add(math.Float64frombits(binary.LittleEndian.Uint64(buf[i:]))); aerr != nil {
+				return w.finish(aerr)
+			}
+		}
+		if err != nil { // io.EOF / io.ErrUnexpectedEOF: clean end of stream
+			return w.finish(nil)
+		}
+	}
+}

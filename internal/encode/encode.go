@@ -1,0 +1,210 @@
+// Package encode implements the high-rate ingest wire formats of the
+// control plane: newline-delimited JSON numbers (application/x-ndjson)
+// and raw little-endian float64 streams (application/octet-stream),
+// optionally gzip-compressed. Both decoders work incrementally in
+// fixed-size pooled chunks, so a million-event request body is never
+// materialized as one giant slice on the decode side — the only large
+// allocation an ingest makes is the engine's own arrival history.
+//
+// The decoders also prove monotonicity as a side effect of the single
+// pass they already make: a Batch whose Sorted flag is set can be
+// appended into an engine's sorted history without the defensive
+// copy-and-sort the generic ingest path pays.
+package encode
+
+import (
+	"compress/gzip"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// ChunkLen is the capacity of one pooled decode chunk, in float64s
+// (32 KiB of payload). Chunks are recycled across requests through a
+// sync.Pool, so steady-state decoding allocates nothing per event.
+const ChunkLen = 4096
+
+// ErrTooLarge reports a stream that exceeded its size budget. The HTTP
+// layer maps it (and http.MaxBytesError) to 413 Request Entity Too
+// Large.
+var ErrTooLarge = errors.New("encode: stream exceeds the configured size limit")
+
+// CheckFunc vets one decoded chunk; a non-nil error aborts the decode.
+// The engine's timestamp validator (engine.ValidateTimestamps) slots in
+// here, so validation happens as the stream is read and a poisoned tail
+// is never fully decoded.
+type CheckFunc func([]float64) error
+
+// Batch is a fully decoded, fully validated stream of timestamps held
+// in pooled chunks. Callers must Release it when done; the chunk memory
+// is shared with future decodes afterwards.
+type Batch struct {
+	// Chunks holds the values in decode order. Every chunk except the
+	// last is full (ChunkLen values).
+	Chunks [][]float64
+	// Count is the total number of values across Chunks.
+	Count int
+	// Sorted reports that the stream was non-decreasing end to end —
+	// within every chunk and across chunk boundaries — proving the batch
+	// safe for an append-only sorted ingest.
+	Sorted bool
+}
+
+// chunkPool holds *[ChunkLen]float64 rather than slice headers: an
+// array pointer rides in the pool's interface word without boxing, so
+// Get/Put allocate nothing in steady state.
+var chunkPool = sync.Pool{
+	New: func() any { return new([ChunkLen]float64) },
+}
+
+func getChunk() []float64 { return chunkPool.Get().(*[ChunkLen]float64)[:0] }
+
+func putChunk(c []float64) {
+	if cap(c) == ChunkLen {
+		chunkPool.Put((*[ChunkLen]float64)(c[:ChunkLen]))
+	}
+}
+
+// Release returns the batch's chunks to the shared pool. The batch and
+// its chunks must not be used afterwards.
+func (b *Batch) Release() {
+	for _, c := range b.Chunks {
+		putChunk(c)
+	}
+	b.Chunks = nil
+	b.Count = 0
+}
+
+// Flatten copies the batch into one freshly allocated slice — the
+// fallback for unsorted streams that need a sort before ingestion.
+func (b *Batch) Flatten() []float64 {
+	out := make([]float64, 0, b.Count)
+	for _, c := range b.Chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// batchWriter accumulates decoded values into pooled chunks, tracking
+// count and sortedness, and runs the caller's check on every completed
+// chunk so invalid data aborts the decode early.
+type batchWriter struct {
+	batch Batch
+	cur   []float64
+	prev  float64
+	check CheckFunc
+}
+
+func newBatchWriter(check CheckFunc) *batchWriter {
+	return &batchWriter{
+		batch: Batch{Sorted: true},
+		cur:   getChunk(),
+		prev:  math.Inf(-1),
+		check: check,
+	}
+}
+
+func (w *batchWriter) add(v float64) error {
+	// A NaN compares false and would corrupt the sortedness proof, but
+	// every CheckFunc in this repo rejects NaN at the chunk boundary, so
+	// v < prev is sufficient here: a NaN flips Sorted off conservatively
+	// (NaN < anything is false, anything < NaN is false — the flag stays
+	// whatever the surrounding finite values imply, and the check then
+	// fails the whole decode anyway).
+	if v < w.prev {
+		w.batch.Sorted = false
+	}
+	w.prev = v
+	w.cur = append(w.cur, v)
+	if len(w.cur) == ChunkLen {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *batchWriter) flush() error {
+	if len(w.cur) == 0 {
+		return nil
+	}
+	if w.check != nil {
+		if err := w.check(w.cur); err != nil {
+			return err
+		}
+	}
+	w.batch.Chunks = append(w.batch.Chunks, w.cur)
+	w.batch.Count += len(w.cur)
+	w.cur = getChunk()
+	return nil
+}
+
+// finish seals the batch. On error the writer releases everything it
+// holds, so callers only Release on success.
+func (w *batchWriter) finish(err error) (*Batch, error) {
+	if err == nil {
+		err = w.flush()
+	}
+	if err != nil {
+		putChunk(w.cur)
+		w.batch.Release()
+		return nil, err
+	}
+	putChunk(w.cur)
+	b := w.batch
+	return &b, nil
+}
+
+// gzipPool recycles gzip decompressors; a gzip.Reader carries a ~40 KiB
+// window and history buffer worth reusing across requests.
+var gzipPool sync.Pool
+
+// Gzip wraps a compressed request body in a pooled gzip decompressor.
+// Call release once done reading (success or failure); it returns the
+// decompressor to the pool.
+func Gzip(r io.Reader) (io.Reader, func(), error) {
+	if zr, ok := gzipPool.Get().(*gzip.Reader); ok {
+		if err := zr.Reset(r); err != nil {
+			gzipPool.Put(zr)
+			return nil, nil, fmt.Errorf("encode: bad gzip stream: %w", err)
+		}
+		return zr, func() { gzipPool.Put(zr) }, nil
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("encode: bad gzip stream: %w", err)
+	}
+	return zr, func() { gzipPool.Put(zr) }, nil
+}
+
+// LimitReader caps how many bytes may be read from r, failing with
+// ErrTooLarge (not io.EOF) once the budget is exceeded. It bounds the
+// decompressed size of gzip bodies, which http.MaxBytesReader — applied
+// to the raw body — cannot see.
+func LimitReader(r io.Reader, n int64) io.Reader {
+	return &limitReader{r: r, n: n}
+}
+
+type limitReader struct {
+	r io.Reader
+	n int64 // remaining budget
+}
+
+func (l *limitReader) Read(p []byte) (int, error) {
+	if l.n <= 0 {
+		// Budget exhausted: a stream of exactly the budget must still end
+		// in io.EOF, so probe one byte to distinguish "done" from "more".
+		var probe [1]byte
+		n, err := l.r.Read(probe[:])
+		if n > 0 {
+			return 0, ErrTooLarge
+		}
+		return 0, err
+	}
+	if int64(len(p)) > l.n {
+		p = p[:l.n]
+	}
+	n, err := l.r.Read(p)
+	l.n -= int64(n)
+	return n, err
+}

@@ -1,0 +1,310 @@
+package encode
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// collect flattens a batch and releases it.
+func collect(t *testing.T, b *Batch) []float64 {
+	t.Helper()
+	if got := len(b.Flatten()); got != b.Count {
+		t.Fatalf("Count = %d but Flatten returned %d values", b.Count, got)
+	}
+	out := b.Flatten()
+	b.Release()
+	return out
+}
+
+func ndjsonBody(vals []float64) []byte {
+	var buf bytes.Buffer
+	for _, v := range vals {
+		fmt.Fprintf(&buf, "%g\n", v)
+	}
+	return buf.Bytes()
+}
+
+func binaryBody(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func gzipped(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testVals produces a sorted series spanning multiple chunks so the
+// chunk-boundary bookkeeping is exercised.
+func testVals(n int) []float64 {
+	vals := make([]float64, n)
+	t := 1.7e9
+	rng := rand.New(rand.NewSource(3))
+	for i := range vals {
+		t += rng.Float64()
+		vals[i] = math.Round(t*1e6) / 1e6 // micros, like real epochs
+	}
+	return vals
+}
+
+func TestDecodeNDJSONRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, ChunkLen, ChunkLen + 1, 3*ChunkLen + 17} {
+		vals := testVals(n)
+		b, err := DecodeNDJSON(bytes.NewReader(ndjsonBody(vals)), nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !b.Sorted {
+			t.Fatalf("n=%d: sorted stream not marked Sorted", n)
+		}
+		got := collect(t, b)
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d values", n, len(got))
+		}
+		for i := range got {
+			if got[i] != vals[i] {
+				t.Fatalf("n=%d: value %d = %v, want %v", n, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestDecodeNDJSONFormats(t *testing.T) {
+	// CRLF endings, blank lines, leading whitespace, no trailing
+	// newline, scientific notation, and a line split across the 64 KiB
+	// read window must all decode.
+	long := strings.Repeat(" ", 30000) // a long (but legal) blank line
+	body := "1\r\n\n  2.5\n" + long + "\n3e2\n-4.25"
+	b, err := DecodeNDJSON(strings.NewReader(body), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, b)
+	want := []float64{1, 2.5, 300, -4.25}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decoded %v, want %v", got, want)
+		}
+	}
+	if b.Sorted {
+		t.Fatal("descending stream marked Sorted")
+	}
+}
+
+func TestDecodeNDJSONErrors(t *testing.T) {
+	cases := []string{
+		"1\nbogus\n3\n",
+		"{\"t\": 1}\n", // objects are not the line format
+		strings.Repeat("9", 2*maxLineLen),
+	}
+	for _, body := range cases {
+		if _, err := DecodeNDJSON(strings.NewReader(body), nil); err == nil {
+			t.Fatalf("body %.20q...: decode succeeded, want error", body)
+		}
+	}
+}
+
+func TestDecodeBinaryRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, ChunkLen, ChunkLen + 3} {
+		vals := testVals(n)
+		b, err := DecodeBinary(bytes.NewReader(binaryBody(vals)), nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !b.Sorted {
+			t.Fatalf("n=%d: sorted stream not marked Sorted", n)
+		}
+		got := collect(t, b)
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d values", n, len(got))
+		}
+		for i := range got {
+			if got[i] != vals[i] {
+				t.Fatalf("n=%d: value %d = %v, want %v", n, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestDecodeBinaryTruncated(t *testing.T) {
+	body := binaryBody([]float64{1, 2, 3})
+	if _, err := DecodeBinary(bytes.NewReader(body[:len(body)-3]), nil); err == nil {
+		t.Fatal("truncated binary body accepted")
+	}
+}
+
+func TestDecodeBinaryUnsorted(t *testing.T) {
+	b, err := DecodeBinary(bytes.NewReader(binaryBody([]float64{5, 3, 9})), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Sorted {
+		t.Fatal("out-of-order stream marked Sorted")
+	}
+	b.Release()
+}
+
+func TestCheckAbortsDecode(t *testing.T) {
+	wantErr := errors.New("rejected")
+	check := func(c []float64) error {
+		for _, v := range c {
+			if math.IsNaN(v) {
+				return wantErr
+			}
+		}
+		return nil
+	}
+	if _, err := DecodeBinary(bytes.NewReader(binaryBody([]float64{1, math.NaN(), 3})), check); !errors.Is(err, wantErr) {
+		t.Fatalf("binary check error = %v, want %v", err, wantErr)
+	}
+	if _, err := DecodeNDJSON(strings.NewReader("1\nNaN\n3\n"), check); !errors.Is(err, wantErr) {
+		t.Fatalf("ndjson check error = %v, want %v", err, wantErr)
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	vals := testVals(2*ChunkLen + 5)
+	zbody := gzipped(t, ndjsonBody(vals))
+	zr, release, err := Gzip(bytes.NewReader(zbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	b, err := DecodeNDJSON(zr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, b); len(got) != len(vals) || got[0] != vals[0] {
+		t.Fatalf("gzip round trip decoded %d values", len(got))
+	}
+	// The pooled reader must survive a second use.
+	zr2, release2, err := Gzip(bytes.NewReader(zbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release2()
+	b2, err := DecodeNDJSON(zr2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Count != len(vals) {
+		t.Fatalf("second pooled decode got %d values", b2.Count)
+	}
+	b2.Release()
+
+	if _, _, err := Gzip(strings.NewReader("not gzip")); err == nil {
+		t.Fatal("garbage accepted as gzip")
+	}
+}
+
+func TestLimitReader(t *testing.T) {
+	// Exactly at the limit: reads cleanly to EOF.
+	got, err := io.ReadAll(LimitReader(strings.NewReader("12345678"), 8))
+	if err != nil || string(got) != "12345678" {
+		t.Fatalf("at-limit read = %q, %v", got, err)
+	}
+	// One byte over: ErrTooLarge.
+	if _, err := io.ReadAll(LimitReader(strings.NewReader("123456789"), 8)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("over-limit err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestParseFloatMatchesStrconv fuzzes the fast decimal path against the
+// reference parser; the two must agree bit for bit.
+func TestParseFloatMatchesStrconv(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cases := []string{
+		"0", "-0", "1", "1.5", "-1.5", "1700000000.123456", "0.000001",
+		"999999999999999", "123.", "1e5", "-2.5E-3", "0.1", "3.141592653589793",
+	}
+	for i := 0; i < 5000; i++ {
+		switch i % 3 {
+		case 0:
+			cases = append(cases, strconv.FormatFloat(rng.Float64()*2e9, 'f', rng.Intn(9), 64))
+		case 1:
+			cases = append(cases, strconv.FormatFloat(rng.NormFloat64()*math.Pow(10, float64(rng.Intn(20)-5)), 'g', -1, 64))
+		case 2:
+			cases = append(cases, strconv.FormatInt(rng.Int63n(1e15), 10))
+		}
+	}
+	for _, s := range cases {
+		want, werr := strconv.ParseFloat(s, 64)
+		got, gerr := parseFloat([]byte(s))
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("parseFloat(%q) err = %v, strconv err = %v", s, gerr, werr)
+		}
+		if werr == nil && math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("parseFloat(%q) = %v (%x), strconv = %v (%x)",
+				s, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+}
+
+// chunkedReader returns at most chunk bytes per Read, forcing lines to
+// straddle read boundaries.
+type chunkedReader struct {
+	r     io.Reader
+	chunk int
+}
+
+func (c *chunkedReader) Read(p []byte) (int, error) {
+	if len(p) > c.chunk {
+		p = p[:c.chunk]
+	}
+	return c.r.Read(p)
+}
+
+func TestDecodeNDJSONAcrossReadBoundaries(t *testing.T) {
+	vals := testVals(500)
+	body := ndjsonBody(vals)
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		b, err := DecodeNDJSON(&chunkedReader{r: bytes.NewReader(body), chunk: chunk}, nil)
+		if err != nil {
+			t.Fatalf("chunk=%d: %v", chunk, err)
+		}
+		got := collect(t, b)
+		if len(got) != len(vals) {
+			t.Fatalf("chunk=%d: decoded %d values, want %d", chunk, len(got), len(vals))
+		}
+		for i := range got {
+			if got[i] != vals[i] {
+				t.Fatalf("chunk=%d: value %d = %v, want %v", chunk, i, got[i], vals[i])
+			}
+		}
+	}
+}
+
+func TestBatchReleaseRecycles(t *testing.T) {
+	vals := testVals(ChunkLen + 10)
+	b, err := DecodeBinary(bytes.NewReader(binaryBody(vals)), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Release()
+	if b.Chunks != nil || b.Count != 0 {
+		t.Fatalf("release left batch %+v", b)
+	}
+}

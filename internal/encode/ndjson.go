@@ -1,0 +1,227 @@
+package encode
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// maxLineLen bounds one NDJSON line. A JSON number is tens of bytes;
+// 64 KiB leaves room for absurd-but-legal precision while making sure a
+// newline-free garbage body fails fast instead of buffering forever.
+const maxLineLen = 64 * 1024
+
+// lineBufPool recycles the read buffers of the NDJSON scanner. The
+// buffer doubles as the carry space for a line straddling two reads, so
+// its size is maxLineLen plus one read window.
+var lineBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 2*maxLineLen)
+		return &b
+	},
+}
+
+// DecodeNDJSON reads newline-delimited JSON numbers — one timestamp per
+// line, blank lines ignored — into pooled chunks. check (if non-nil)
+// vets every completed chunk; its error aborts the decode. The final
+// line does not need a trailing newline.
+//
+// The scanner is fused with the number parse: at millions of lines per
+// request, touching each byte once (classify and accumulate the decimal
+// in the same pass) is what keeps the per-event cost to a handful of
+// nanoseconds. Lines the fused path cannot commit — exponents, >15
+// digits, CRLF endings, stray whitespace — fall back to a strconv parse
+// of the full line, so the fast path never changes what is accepted.
+func DecodeNDJSON(r io.Reader, check CheckFunc) (*Batch, error) {
+	w := newBatchWriter(check)
+	bufp := lineBufPool.Get().(*[]byte)
+	defer lineBufPool.Put(bufp)
+	buf := *bufp
+
+	fill := 0 // bytes of buf holding unconsumed input
+	line := 0 // 1-based count of consumed lines, for error messages
+	for {
+		n, rerr := r.Read(buf[fill:])
+		fill += n
+		data := buf[:fill]
+		pos := 0
+		for pos < len(data) {
+			adv, err := w.consumeLine(data[pos:], &line)
+			if err != nil {
+				return w.finish(err)
+			}
+			if adv == 0 { // partial line: wait for more input
+				break
+			}
+			pos += adv
+		}
+		// Carry the partial tail to the front of the buffer.
+		fill = copy(buf, data[pos:])
+		if rerr == io.EOF {
+			if fill > 0 { // final line without trailing newline
+				line++
+				if err := w.addLine(buf[:fill], line); err != nil {
+					return w.finish(err)
+				}
+			}
+			return w.finish(nil)
+		}
+		if rerr != nil {
+			return w.finish(rerr)
+		}
+		if fill > maxLineLen {
+			return w.finish(fmt.Errorf("encode: ndjson line %d exceeds %d bytes", line+1, maxLineLen))
+		}
+	}
+}
+
+// consumeLine decodes one newline-terminated line from the front of
+// data, returning how many bytes it consumed (0 if data holds no
+// complete line yet). The common shape — optional sign, up to 15
+// digits, optional decimal point, '\n' — is parsed in the same scan
+// that finds the newline; see parseFloat for why the integer arithmetic
+// is bit-exact with strconv.
+func (w *batchWriter) consumeLine(data []byte, line *int) (int, error) {
+	i := 0
+	neg := false
+	if i < len(data) && (data[i] == '-' || data[i] == '+') {
+		neg = data[i] == '-'
+		i++
+	}
+	var mant uint64
+	digits, fracDigits := 0, 0
+	seenDot := false
+scan:
+	for ; i < len(data); i++ {
+		c := data[i]
+		switch {
+		case c >= '0' && c <= '9':
+			mant = mant*10 + uint64(c-'0')
+			digits++
+			if seenDot {
+				fracDigits++
+			}
+		case c == '.' && !seenDot:
+			seenDot = true
+		default:
+			break scan
+		}
+	}
+	if i == len(data) {
+		return 0, nil // no newline yet; carry and read more
+	}
+	if data[i] == '\n' && fastExact(mant, digits) {
+		v := float64(mant) / pow10[fracDigits]
+		if neg {
+			v = -v
+		}
+		*line++
+		return i + 1, w.add(v)
+	}
+	// Slow path: find the newline and hand the whole line to strconv.
+	nl := bytes.IndexByte(data[i:], '\n')
+	if nl < 0 {
+		return 0, nil
+	}
+	end := i + nl
+	*line++
+	return end + 1, w.addLine(data[:end], *line)
+}
+
+// addLine parses one line (sans newline) and appends its value.
+func (w *batchWriter) addLine(b []byte, line int) error {
+	b = trimSpace(b)
+	if len(b) == 0 {
+		return nil
+	}
+	v, err := parseFloat(b)
+	if err != nil {
+		return fmt.Errorf("encode: ndjson line %d: %w", line, err)
+	}
+	return w.add(v)
+}
+
+// trimSpace strips JSON-insignificant whitespace (and the \r of CRLF
+// line endings) from both ends.
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && asciiSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && asciiSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v'
+}
+
+// pow10 holds the exactly-representable powers of ten used by the fast
+// decimal path (10^22 is the largest float64-exact power).
+var pow10 = [...]float64{
+	1, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10,
+	1e11, 1e12, 1e13, 1e14, 1e15, 1e16, 1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+}
+
+// fastExact reports whether a scanned decimal can be converted with one
+// IEEE divide, bit-exactly with strconv (Clinger's fast path): the
+// mantissa must be float64-exact (< 2^53 — a microsecond-precision Unix
+// epoch is ~1.7e15, comfortably inside) and must not have wrapped
+// uint64 while accumulating (impossible at ≤ 19 digits). The power-of-
+// ten divisor is exact for every reachable fracDigits (≤ 19 < 22).
+func fastExact(mant uint64, digits int) bool {
+	return digits >= 1 && digits <= 19 && mant < 1<<53
+}
+
+// parseFloat converts a JSON number. The fast path handles the shape
+// virtually every timestamp takes — an optional sign, digits, an
+// optional decimal point — with integer arithmetic: when the mantissa
+// and its power-of-ten divisor are both float64-exact (fastExact), one
+// correctly-rounded IEEE divide yields exactly what strconv.ParseFloat
+// would (Clinger's fast path). Everything else — exponents, oversized
+// mantissas — falls back to strconv.
+func parseFloat(b []byte) (float64, error) {
+	s := b
+	neg := false
+	if len(s) > 0 && (s[0] == '-' || s[0] == '+') {
+		neg = s[0] == '-'
+		s = s[1:]
+	}
+	var mant uint64
+	digits, fracDigits := 0, 0
+	seenDot := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			mant = mant*10 + uint64(c-'0')
+			digits++
+			if seenDot {
+				fracDigits++
+			}
+		case c == '.' && !seenDot:
+			seenDot = true
+		default:
+			return parseFloatSlow(b)
+		}
+	}
+	if !fastExact(mant, digits) {
+		return parseFloatSlow(b)
+	}
+	v := float64(mant) / pow10[fracDigits]
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func parseFloatSlow(b []byte) (float64, error) {
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", b)
+	}
+	return v, nil
+}

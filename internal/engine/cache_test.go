@@ -1,0 +1,384 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// planReq is the fixed round used by the cache tests.
+func planReq(variant string, now float64) PlanRequest {
+	target := 0.9
+	if variant != "hp" {
+		target = 5
+	}
+	return PlanRequest{Variant: variant, Target: target, Horizon: 1800, Now: now, HasNow: true}
+}
+
+// TestPlanCacheHitAndInvalidation pins the cache lifecycle: an
+// identical re-request returns the cached round (same pointer — no
+// recompute), new arrivals invalidate it, and a snapshot restore starts
+// cold.
+func TestPlanCacheHitAndInvalidation(t *testing.T) {
+	const now = 4 * 3600.0
+	for _, variant := range []string{"hp", "rt", "cost"} {
+		t.Run(variant, func(t *testing.T) {
+			e := trainedEngine(t, now)
+			p1, err := e.Plan(planReq(variant, now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := e.Plan(planReq(variant, now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p1 != p2 {
+				t.Fatal("identical re-request recomputed instead of hitting the cache")
+			}
+			// A different query is its own slot, and must not evict the
+			// first one.
+			other := planReq(variant, now)
+			other.Horizon = 900
+			if _, err := e.Plan(other); err != nil {
+				t.Fatal(err)
+			}
+			p3, err := e.Plan(planReq(variant, now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p3 != p1 {
+				t.Fatal("distinct query evicted an unrelated cache entry")
+			}
+
+			// Ingest invalidates: the next identical request recomputes.
+			if _, err := e.Ingest([]float64{now + 1}); err != nil {
+				t.Fatal(err)
+			}
+			p4, err := e.Plan(planReq(variant, now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p4 == p1 {
+				t.Fatal("cache survived an ingest")
+			}
+
+			// Restore invalidates too: a fresh engine restored from the
+			// snapshot computes its own round.
+			blob, err := e.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst, err := New(testConfig(now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dst.RestoreState(blob); err != nil {
+				t.Fatal(err)
+			}
+			p5, err := dst.Plan(planReq(variant, now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p5 == p4 {
+				t.Fatal("restored engine shares cache entries with its source")
+			}
+		})
+	}
+}
+
+// TestPlanCacheTrainInvalidates proves a model swap (same arrivals, new
+// fit) misses the cache.
+func TestPlanCacheTrainInvalidates(t *testing.T) {
+	const now = 4 * 3600.0
+	e := trainedEngine(t, now)
+	p1, err := e.Plan(planReq("hp", now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Plan(planReq("hp", now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("cache survived a retrain (model pointer changed)")
+	}
+	// The recomputed round is still the same decision — same data, same
+	// deterministic fit.
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("refit over identical arrivals changed the hp plan")
+	}
+}
+
+// TestForecastCacheLifecycle mirrors the plan-cache test for forecasts.
+func TestForecastCacheLifecycle(t *testing.T) {
+	const now = 4 * 3600.0
+	e := trainedEngine(t, now)
+	f1, err := e.Forecast(now, now+3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := e.Forecast(now, now+3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &f1[0] != &f2[0] {
+		t.Fatal("identical forecast recomputed instead of hitting the cache")
+	}
+	if _, err := e.Ingest([]float64{now + 1}); err != nil {
+		t.Fatal(err)
+	}
+	f3, err := e.Forecast(now, now+3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &f1[0] == &f3[0] {
+		t.Fatal("forecast cache survived an ingest")
+	}
+	if !reflect.DeepEqual(f1, f3) {
+		t.Fatal("ingest without retrain changed the forecast values")
+	}
+}
+
+// TestPlanCacheQuantizesClockAnchoredRequests: without an explicit now,
+// polls within one Dt/4 window share a cache slot; a poll in the next
+// window recomputes.
+func TestPlanCacheQuantizesClockAnchoredRequests(t *testing.T) {
+	const start = 4 * 3600.0
+	clock := start
+	cfg := testConfig(0)
+	cfg.Now = func() float64 { return clock }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(trafficArrivals(7, start)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	req := PlanRequest{Variant: "hp", Target: 0.9, Horizon: 1800}
+	p1, err := e.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock = start + e.Config().Dt/8 // same Dt/4 window
+	p2, err := e.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("clock moved within one quantum but the plan recomputed")
+	}
+	clock = start + e.Config().Dt // next window
+	p3, err := e.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("stale plan served beyond its quantum")
+	}
+	if p3.Now != clock {
+		t.Fatalf("recomputed plan anchored at %g, want %g", p3.Now, clock)
+	}
+
+	// An explicit now= on a window's quantum boundary must NOT be served
+	// the clock-anchored round cached for that window: that round is
+	// anchored at the drifted clock reading, while the explicit request
+	// promises exact anchoring.
+	boundary := start + 2*e.Config().Dt // a fresh window's quantum boundary
+	clock = boundary + 5                // clock drifted past it
+	drifted, err := e.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drifted.Now != clock {
+		t.Fatalf("clock-anchored plan anchored at %g, want %g", drifted.Now, clock)
+	}
+	exact, err := e.Plan(PlanRequest{Variant: "hp", Target: 0.9, Horizon: 1800, Now: boundary, HasNow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Now != boundary {
+		t.Fatalf("explicit now=%g answered with a plan anchored at %g", boundary, exact.Now)
+	}
+}
+
+// TestParallelMCEquivalence is the determinism contract of the Monte
+// Carlo worker pool: under a fixed seed, every worker count produces
+// the byte-for-byte plan of the sequential (1-worker) reference.
+func TestParallelMCEquivalence(t *testing.T) {
+	const now = 6 * 3600.0
+	build := func(workers int) *Engine {
+		cfg := testConfig(now)
+		cfg.MCSamples = 1000 // several blocks, so the pool really fans out
+		cfg.MCWorkers = workers
+		cfg.Seed = 42
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Ingest(trafficArrivals(9, now)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	for _, variant := range []string{"rt", "cost"} {
+		// A fresh reference per variant: each engine's round is then its
+		// first parent-stream draw, so engines differ only in workers.
+		want, err := build(1).Plan(planReq(variant, now))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Plan) == 0 {
+			t.Fatalf("%s reference plan is empty; the equivalence check would be vacuous", variant)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			got, err := build(workers).Plan(planReq(variant, now))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s plan with %d workers differs from sequential reference", variant, workers)
+			}
+		}
+	}
+}
+
+// TestIngestSortedChunksMatchesIngest proves the fast path lands the
+// same history the generic path would, including window trimming and
+// the straggler-merge fallback.
+func TestIngestSortedChunksMatchesIngest(t *testing.T) {
+	const now = 4 * 3600.0
+	mk := func() (*Engine, *Engine) {
+		cfg := testConfig(now)
+		cfg.HistoryWindow = 3000
+		a, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	arrivals := func(e *Engine) []float64 {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return append([]float64(nil), e.arrivals...)
+	}
+
+	a, b := mk()
+	warm := trafficArrivals(3, now)
+	if _, err := a.Ingest(warm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Ingest(warm); err != nil {
+		t.Fatal(err)
+	}
+	// A sorted batch split into uneven chunks, starting behind the
+	// recorded tail (straggler merge) and running past it (append).
+	batch := []float64{now - 200, now - 100, now + 1, now + 2, now + 300, now + 301, now + 302}
+	totalA, err := a.Ingest(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalB, err := b.IngestSortedChunks([][]float64{batch[:2], batch[2:4], {}, batch[4:]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalA != totalB {
+		t.Fatalf("totals differ: Ingest %d, IngestSortedChunks %d", totalA, totalB)
+	}
+	if got, want := arrivals(b), arrivals(a); !reflect.DeepEqual(got, want) {
+		t.Fatalf("histories differ:\nfast    %v\ngeneric %v", got, want)
+	}
+
+	// Out-of-order chunk boundaries are rejected before any mutation.
+	if _, err := b.IngestSortedChunks([][]float64{{5, 6}, {1}}); err == nil {
+		t.Fatal("out-of-order chunk boundary accepted")
+	}
+	if got := arrivals(b); !reflect.DeepEqual(got, arrivals(a)) {
+		t.Fatal("rejected batch mutated the history")
+	}
+
+	// An all-expired batch is a gen-preserving no-op, like Ingest.
+	preGen := b.gen
+	if n, err := b.IngestSortedChunks([][]float64{{1, 2}}); err != nil || n != totalB {
+		t.Fatalf("expired batch = (%d, %v), want (%d, nil)", n, err, totalB)
+	}
+	if b.gen != preGen {
+		t.Fatal("expired batch bumped gen")
+	}
+
+	// Empty chunks only: total unchanged, no gen bump.
+	if n, err := b.IngestSortedChunks([][]float64{{}}); err != nil || n != totalB {
+		t.Fatalf("empty batch = (%d, %v), want (%d, nil)", n, err, totalB)
+	}
+}
+
+// TestIngestSortedChunksLargeAppend exercises the exactly-sized reserve
+// across many chunks and checks the result stays sorted end to end.
+func TestIngestSortedChunksLargeAppend(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.HistoryWindow = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunkLen, chunks = 1000, 7
+	var all [][]float64
+	v := 0.0
+	for c := 0; c < chunks; c++ {
+		chunk := make([]float64, chunkLen)
+		for i := range chunk {
+			v += 0.25
+			chunk[i] = v
+		}
+		all = append(all, chunk)
+	}
+	total, err := e.IngestSortedChunks(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != chunkLen*chunks {
+		t.Fatalf("total = %d, want %d", total, chunkLen*chunks)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !sort.Float64sAreSorted(e.arrivals) {
+		t.Fatal("history not sorted after chunked append")
+	}
+	if cap(e.arrivals) != chunkLen*chunks {
+		t.Fatalf("reserve allocated cap %d, want exactly %d", cap(e.arrivals), chunkLen*chunks)
+	}
+}
+
+// TestForecastRejectsNonFinite pins the guard Plan and Forecast share:
+// NaN/Inf bounds return ErrInvalid instead of looping or poisoning the
+// series (satellite regression test; the HTTP layer screens these too,
+// but direct API callers bypass it).
+func TestForecastRejectsNonFinite(t *testing.T) {
+	const now = 4 * 3600.0
+	e := trainedEngine(t, now)
+	for _, bad := range [][3]float64{
+		{math.NaN(), now + 600, 60},
+		{now, math.NaN(), 60},
+		{now, now + 600, math.NaN()},
+		{math.Inf(-1), now + 600, 60},
+		{now, math.Inf(1), 60},
+		{now, now + 600, math.Inf(1)},
+	} {
+		if _, err := e.Forecast(bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("Forecast(%v) accepted non-finite bounds", bad)
+		}
+	}
+}

@@ -55,6 +55,11 @@ type Config struct {
 	HistoryWindow float64
 	// MCSamples for the rt/cost plan variants.
 	MCSamples int
+	// MCWorkers bounds the pool that parallelizes Monte Carlo draws
+	// within one planning round; ≤0 uses GOMAXPROCS. Purely a latency
+	// knob: plans are bit-identical for every worker count, because
+	// samples are drawn from fixed per-block RNG streams (see mc.go).
+	MCWorkers int
 	// Seed drives Monte Carlo draws.
 	Seed int64
 	// Now supplies the current time as a Unix-epoch-like second count;
@@ -83,6 +88,9 @@ func (c *Config) validate() error {
 	}
 	if c.MCSamples <= 0 {
 		c.MCSamples = 1000
+	}
+	if c.MCWorkers < 0 {
+		c.MCWorkers = 0
 	}
 	if c.Now == nil {
 		c.Now = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
@@ -117,7 +125,41 @@ type Engine struct {
 	// permanently degenerate history isn't refit on every sweep.
 	failedGen int64
 	rng       *rand.Rand
+
+	// Result cache for Plan/Forecast, also guarded by mu. Entries are
+	// valid only while (cacheGen, cacheModel) still match (gen, model);
+	// ingest bumps gen, train installs a new model pointer and restore
+	// resets both, so all three invalidate the cache without touching
+	// it. Bounded by maxCachedResults; see cachedPlanLocked.
+	cacheGen   int64
+	cacheModel *robustscaler.Model
+	planCache  map[planKey]*Plan
+	fcCache    map[forecastKey][]ForecastPoint
 }
+
+// planKey identifies one cacheable planning round. Clock-anchored
+// requests (HasNow false) are keyed on a quantized now — see Plan.
+// hasNow keeps the two namespaces apart: an explicit now= that happens
+// to land on a quantum multiple must not be served a clock-anchored
+// round computed elsewhere in that window (its Now could be off by up
+// to the quantum, and the explicit form promises exact anchoring).
+type planKey struct {
+	variant string
+	target  float64
+	horizon float64
+	now     float64
+	hasNow  bool
+}
+
+// forecastKey identifies one cacheable forecast.
+type forecastKey struct {
+	from, to, step float64
+}
+
+// maxCachedResults bounds the per-engine result cache. Dashboards
+// repeat a handful of distinct queries, so the bound only matters when
+// callers sweep parameters; on overflow the cache is simply reset.
+const maxCachedResults = 256
 
 // New creates an Engine.
 func New(cfg Config) (*Engine, error) {
@@ -183,16 +225,86 @@ func (e *Engine) Ingest(timestamps []float64) (int, error) {
 	} else {
 		e.arrivals = mergeSorted(e.arrivals, batch)
 	}
-	if e.cfg.HistoryWindow > 0 {
-		cut := e.arrivals[len(e.arrivals)-1] - e.cfg.HistoryWindow
-		if i := sort.SearchFloat64s(e.arrivals, cut); i > 0 {
-			// Re-slice rather than compact: a memmove of the whole
-			// retained history per batch would make steady-state ingest
-			// O(total) again. The dead prefix is reclaimed when append
-			// outgrows the backing array, which amortizes to O(batch).
-			e.arrivals = e.arrivals[i:]
+	e.trimLocked()
+	return len(e.arrivals), nil
+}
+
+// trimLocked drops arrivals older than the history window. Re-slice
+// rather than compact: a memmove of the whole retained history per
+// batch would make steady-state ingest O(total) again. The dead prefix
+// is reclaimed when append outgrows the backing array, which amortizes
+// to O(batch).
+func (e *Engine) trimLocked() {
+	if e.cfg.HistoryWindow <= 0 || len(e.arrivals) == 0 {
+		return
+	}
+	cut := e.arrivals[len(e.arrivals)-1] - e.cfg.HistoryWindow
+	if i := sort.SearchFloat64s(e.arrivals, cut); i > 0 {
+		e.arrivals = e.arrivals[i:]
+	}
+}
+
+// IngestSortedChunks is the append-only fast path behind streaming
+// ingest (NDJSON/binary bodies): it records a batch that arrives as a
+// sequence of chunks already proven sorted — within each chunk and
+// non-decreasing across chunk boundaries — and already validated
+// (ValidateTimestamps). Because the values need neither a defensive
+// copy nor a sort, the only work under the lock is one exactly-sized
+// reserve of the history array and a memcpy per chunk; a million-event
+// request body therefore materializes exactly once, in the history
+// itself.
+//
+// The sortedness contract is the caller's to uphold for the interior of
+// each chunk (the streaming decoders prove it during their single
+// pass); chunk *boundaries* are re-checked here because that costs one
+// comparison per chunk. In-order chunks behind already-recorded history
+// fall back to the linear merge, same as Ingest.
+func (e *Engine) IngestSortedChunks(chunks [][]float64) (int, error) {
+	total := 0
+	last := math.Inf(-1)
+	for _, c := range chunks {
+		if len(c) == 0 {
+			continue
+		}
+		if c[0] < last {
+			return 0, fmt.Errorf("%w: chunks out of order (%g after %g)", ErrInvalid, c[0], last)
+		}
+		last = c[len(c)-1]
+		total += len(c)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if total == 0 {
+		return len(e.arrivals), nil
+	}
+	// Entirely behind the history window: a no-op, like Ingest.
+	if n := len(e.arrivals); n > 0 && e.cfg.HistoryWindow > 0 &&
+		last < e.arrivals[n-1]-e.cfg.HistoryWindow {
+		return n, nil
+	}
+	e.gen++
+	// One exactly-sized grow instead of append's doubling dance: the
+	// batch size is known up front, which a streaming decode earns us.
+	if need := len(e.arrivals) + total; need > cap(e.arrivals) {
+		grown := make([]float64, len(e.arrivals), need)
+		copy(grown, e.arrivals)
+		e.arrivals = grown
+	}
+	for _, c := range chunks {
+		if len(c) == 0 {
+			continue
+		}
+		if n := len(e.arrivals); n == 0 || c[0] >= e.arrivals[n-1] {
+			e.arrivals = append(e.arrivals, c...)
+		} else {
+			// A straggler chunk behind recorded history: linear merge.
+			// Only the leading chunks of a batch can take this path —
+			// once one chunk appends past the old tail, the boundary
+			// check above keeps every later chunk on the append path.
+			e.arrivals = mergeSorted(e.arrivals, c)
 		}
 	}
+	e.trimLocked()
 	return len(e.arrivals), nil
 }
 
@@ -338,9 +450,19 @@ const maxTrainBins = 2_000_000
 // Plan computes upcoming instance creation times from the current model:
 // the κ threshold (eq. 8) plus one creation time per upcoming query via
 // the variant's solver.
+//
+// Results are cached per (variant, target, horizon, now) until the next
+// ingest, train or restore, so a dashboard polling the same query is an
+// O(1) map hit instead of a horizon recomputation. Clock-anchored
+// requests (no explicit now) share a cache slot per Dt/4 of wall time —
+// the plan returned may be anchored up to Dt/4 seconds in the past,
+// which is below the planning grid's own resolution; pass an explicit
+// now for exact anchoring. The returned Plan is shared with the cache
+// and must be treated as read-only.
 func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 	e.mu.Lock()
 	model := e.model
+	gen := e.gen
 	e.mu.Unlock()
 	if model == nil {
 		return nil, ErrNoModel
@@ -365,8 +487,6 @@ func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 
 	tau := e.cfg.Pending
 	alpha := 0.1
-	var rng *rand.Rand
-	var tauS, xi []float64
 	switch variant {
 	case "hp":
 		if target <= 0 || target >= 1 {
@@ -374,25 +494,41 @@ func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 		}
 		alpha = 1 - target
 	case "rt", "cost":
-		// Monte Carlo draws come from a child RNG forked under the lock,
-		// so concurrent planning rounds stay race-free yet deterministic
-		// in sequential use. The parent stream only advances for the MC
-		// variants — interleaved hp or invalid requests must not perturb
-		// a reproducible rt/cost sequence. The sample buffers are also
-		// only needed here; hp plans are quantile-exact.
+	default:
+		return nil, fmt.Errorf("%w: unknown variant %q", ErrInvalid, variant)
+	}
+
+	keyNow := now
+	if !req.HasNow {
+		q := e.cfg.Dt / 4 // the planning grid step
+		keyNow = math.Floor(now/q) * q
+	}
+	key := planKey{variant: variant, target: target, horizon: horizon, now: keyNow, hasNow: req.HasNow}
+	if p, ok := e.cachedPlan(gen, model, key); ok {
+		return p, nil
+	}
+
+	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
+	h := decision.NewHorizon(model.NHPP, now, e.cfg.Dt/4, 0)
+	var tauS []float64
+	var sampler *mcSampler
+	if variant == "rt" || variant == "cost" {
+		// One parent-stream draw seeds the whole Monte Carlo round,
+		// forked under the lock so concurrent rounds stay race-free yet
+		// deterministic in sequential use. The parent only advances for
+		// the MC variants — interleaved hp or invalid requests must not
+		// perturb a reproducible rt/cost sequence. (A cache hit skips
+		// the draw, which is equally deterministic: hits are a pure
+		// function of the request sequence since the last invalidation.)
 		e.mu.Lock()
-		rng = rand.New(rand.NewSource(e.rng.Int63()))
+		seed := e.rng.Int63()
 		e.mu.Unlock()
+		sampler = newMCSampler(h, now, e.cfg.MCSamples, seed, e.cfg.MCWorkers)
 		tauS = make([]float64, e.cfg.MCSamples)
 		for i := range tauS {
 			tauS[i] = tau
 		}
-		xi = make([]float64, e.cfg.MCSamples)
-	default:
-		return nil, fmt.Errorf("%w: unknown variant %q", ErrInvalid, variant)
 	}
-	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
-	h := decision.NewHorizon(model.NHPP, now, e.cfg.Dt/4, 0)
 
 	resp := &Plan{Now: now, Variant: variant, Target: target, Kappa: kappa}
 planLoop:
@@ -406,17 +542,13 @@ planLoop:
 			}
 			x = qv - tau
 		case "rt", "cost":
-			for k := range xi {
-				u, ok := h.SampleArrival(rng, i)
-				if !ok {
-					break planLoop // no more mass
-				}
-				xi[k] = u - now
+			if !sampler.draw(i) {
+				break planLoop // no more mass
 			}
 			if variant == "rt" {
-				x = now + decision.SolveRT(xi, tauS, target)
+				x = now + decision.SolveRT(sampler.xi, tauS, target)
 			} else {
-				x = now + decision.SolveCost(xi, tauS, target)
+				x = now + decision.SolveCost(sampler.xi, tauS, target)
 			}
 		}
 		if x < now {
@@ -427,7 +559,49 @@ planLoop:
 		}
 		resp.Plan = append(resp.Plan, PlanEntry{QueryIndex: i, CreateAt: x, LeadSecs: x - now})
 	}
+	e.storePlan(gen, model, key, resp)
 	return resp, nil
+}
+
+// cachedPlan returns the cached round for key, provided the cache still
+// belongs to the (gen, model) the caller read.
+func (e *Engine) cachedPlan(gen int64, model *robustscaler.Model, key planKey) (*Plan, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cacheGen != gen || e.cacheModel != model || e.planCache == nil {
+		return nil, false
+	}
+	p, ok := e.planCache[key]
+	return p, ok
+}
+
+// storePlan caches a computed round unless the world moved on while it
+// was being computed (an ingest or train landed mid-flight) — a stale
+// round is still correct to return once, but must not be served again.
+func (e *Engine) storePlan(gen int64, model *robustscaler.Model, key planKey, p *Plan) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gen != gen || e.model != model {
+		return
+	}
+	e.rebindCacheLocked(gen, model)
+	if len(e.planCache) >= maxCachedResults {
+		clear(e.planCache)
+	}
+	e.planCache[key] = p
+}
+
+// rebindCacheLocked points the cache at (gen, model), dropping every
+// entry of a previous binding. Invalidation is lazy: ingest/train/
+// restore only move gen or the model pointer, and the next lookup under
+// the new binding misses.
+func (e *Engine) rebindCacheLocked(gen int64, model *robustscaler.Model) {
+	if e.cacheGen == gen && e.cacheModel == model && e.planCache != nil {
+		return
+	}
+	e.cacheGen, e.cacheModel = gen, model
+	e.planCache = make(map[planKey]*Plan)
+	e.fcCache = make(map[forecastKey][]ForecastPoint)
 }
 
 // ForecastPoint is one sample of the predicted intensity.
@@ -437,10 +611,13 @@ type ForecastPoint struct {
 }
 
 // Forecast samples the modeled intensity λ(t) on [from, to) at the given
-// step.
+// step. Like Plan, results are cached per (from, to, step) until the
+// next ingest, train or restore; the returned slice is shared with the
+// cache and must be treated as read-only.
 func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 	e.mu.Lock()
 	model := e.model
+	gen := e.gen
 	e.mu.Unlock()
 	if model == nil {
 		return nil, ErrNoModel
@@ -455,6 +632,10 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 	if step <= 0 || to <= from || (to-from)/step > 100000 {
 		return nil, fmt.Errorf("%w: invalid range/step", ErrInvalid)
 	}
+	key := forecastKey{from: from, to: to, step: step}
+	if pts, ok := e.cachedForecast(gen, model, key); ok {
+		return pts, nil
+	}
 	// Advance by index, not accumulation: at large magnitudes t += step
 	// can round back to t and loop forever.
 	var pts []ForecastPoint
@@ -465,7 +646,31 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 		}
 		pts = append(pts, ForecastPoint{T: t, QPS: model.Rate(t)})
 	}
+	e.storeForecast(gen, model, key, pts)
 	return pts, nil
+}
+
+func (e *Engine) cachedForecast(gen int64, model *robustscaler.Model, key forecastKey) ([]ForecastPoint, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cacheGen != gen || e.cacheModel != model || e.fcCache == nil {
+		return nil, false
+	}
+	pts, ok := e.fcCache[key]
+	return pts, ok
+}
+
+func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, key forecastKey, pts []ForecastPoint) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.gen != gen || e.model != model {
+		return
+	}
+	e.rebindCacheLocked(gen, model)
+	if len(e.fcCache) >= maxCachedResults {
+		clear(e.fcCache)
+	}
+	e.fcCache[key] = pts
 }
 
 // Status is a workload snapshot.

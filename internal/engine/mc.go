@@ -1,0 +1,148 @@
+package engine
+
+// Monte Carlo sampling for the rt/cost plan variants. The inner loop —
+// thousands of Gamma draws and Λ⁻¹ inversions per planned query — is
+// the dominant cost of a cold plan, so it is parallelized across a
+// bounded worker pool. Parallelism must not cost reproducibility: the
+// sample space is partitioned into fixed-size blocks, each block draws
+// from its own RNG stream forked deterministically from the planning
+// round's seed, and every sample lands at a fixed index. The result is
+// bit-identical for every worker count (including 1, the sequential
+// reference the equivalence tests pin), and identical again after a
+// snapshot/restore re-seeds the parent stream.
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"robustscaler/internal/decision"
+	"robustscaler/internal/stats"
+)
+
+// mcBlockLen is the number of samples one forked RNG stream covers. It
+// is part of the determinism contract: changing it changes which RNG
+// draws which sample, and therefore the plans themselves.
+const mcBlockLen = 256
+
+// mcSampler draws the Monte Carlo arrival samples for successive query
+// indices of one planning round.
+type mcSampler struct {
+	h       *decision.Horizon
+	now     float64
+	rngs    []*rand.Rand // one per block, forked from the round seed
+	xi      []float64    // sample output: i-th arrival offsets from now
+	gammas  []float64    // scratch: Gamma(i,1) variates per sample
+	maxes   []float64    // scratch: per-block maxima
+	workers int
+}
+
+// newMCSampler forks the per-block RNG streams from seed. workers ≤ 0
+// selects GOMAXPROCS; the pool never exceeds the block count.
+func newMCSampler(h *decision.Horizon, now float64, samples int, seed int64, workers int) *mcSampler {
+	nblocks := (samples + mcBlockLen - 1) / mcBlockLen
+	src := rand.New(rand.NewSource(seed))
+	rngs := make([]*rand.Rand, nblocks)
+	for b := range rngs {
+		rngs[b] = rand.New(rand.NewSource(src.Int63()))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nblocks {
+		workers = nblocks
+	}
+	return &mcSampler{
+		h:       h,
+		now:     now,
+		rngs:    rngs,
+		xi:      make([]float64, samples),
+		gammas:  make([]float64, samples),
+		maxes:   make([]float64, nblocks),
+		workers: workers,
+	}
+}
+
+func (s *mcSampler) blockBounds(b int) (lo, hi int) {
+	lo = b * mcBlockLen
+	hi = lo + mcBlockLen
+	if hi > len(s.xi) {
+		hi = len(s.xi)
+	}
+	return lo, hi
+}
+
+// eachBlock runs fn over every block, on the pool when it pays and
+// inline when it doesn't. Blocks are claimed off an atomic counter, so
+// scheduling order varies — but no block's output depends on another's,
+// which is what makes the parallel result equal the sequential one.
+func (s *mcSampler) eachBlock(fn func(b int)) {
+	if s.workers <= 1 || len(s.rngs) == 1 {
+		for b := range s.rngs {
+			fn(b)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < s.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= len(s.rngs) {
+					return
+				}
+				fn(b)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// draw fills s.xi with the round's samples of the i-th upcoming arrival
+// epoch, as offsets from now. It returns false when the intensity mass
+// runs out first (the planning loop's stop condition, same as the
+// sequential implementation's first failing sample).
+//
+// Three phases keep the shared Horizon safe without a lock: the Gamma
+// variates are drawn in parallel (each block touching only its own RNG
+// and sample range), the cumulative grid is extended once, sequentially,
+// to cover the largest variate, and then the inversions — pure reads on
+// the extended grid — run in parallel again.
+func (s *mcSampler) draw(i int) bool {
+	shape := float64(i)
+	s.eachBlock(func(b int) {
+		lo, hi := s.blockBounds(b)
+		rng := s.rngs[b]
+		m := math.Inf(-1)
+		for k := lo; k < hi; k++ {
+			g := stats.Gamma{Shape: shape, Scale: 1}.Sample(rng)
+			s.gammas[k] = g
+			if g > m {
+				m = g
+			}
+		}
+		s.maxes[b] = m
+	})
+	maxMass := math.Inf(-1)
+	for _, m := range s.maxes {
+		if m > maxMass {
+			maxMass = m
+		}
+	}
+	if _, ok := s.h.Invert(maxMass); !ok {
+		return false
+	}
+	s.eachBlock(func(b int) {
+		lo, hi := s.blockBounds(b)
+		for k := lo; k < hi; k++ {
+			t, _ := s.h.Invert(s.gammas[k]) // grid already covers gammas[k] ≤ maxMass
+			s.xi[k] = t - s.now
+		}
+	})
+	return true
+}

@@ -183,6 +183,12 @@ func (e *Engine) RestoreState(blob []byte) error {
 	e.model = model
 	e.trainedN = st.TrainedN
 	e.failedGen = 0
+	// Drop any cached plans/forecasts: they were computed for the
+	// pre-restore model and generation. (The binding check would miss
+	// them anyway — the model pointer is fresh — but holding onto dead
+	// entries across a restore would be a leak.)
+	e.cacheGen, e.cacheModel = 0, nil
+	e.planCache, e.fcCache = nil, nil
 	switch {
 	case model != nil && !st.Stale:
 		// The restored model covers the restored arrivals: not stale, the

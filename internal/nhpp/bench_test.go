@@ -104,6 +104,33 @@ func BenchmarkModelInverseIntegralScan(b *testing.B) {
 	}
 }
 
+// BenchmarkModelRate measures the point-intensity evaluation λ(t) — the
+// inner call of every forecast point and of the planning κ threshold,
+// so its cost multiplies directly into the control plane's GET paths.
+func BenchmarkModelRate(b *testing.B) {
+	m := benchModel10k()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// In-window and extrapolated lookups alternate, matching a
+		// forecast that starts at "now" and runs past the trained range.
+		m.Rate(float64(i%1200000) * 0.7)
+	}
+}
+
+// BenchmarkHorizonIntegralStep measures the short-span Λ(a, a+Δt/4)
+// integrals the decision horizon builds its cumulative grid from — the
+// per-cell cost of extending a plan's look-ahead.
+func BenchmarkHorizonIntegralStep(b *testing.B) {
+	m := benchModel10k()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := float64(i%40000) * 15
+		m.Integral(a, a+15)
+	}
+}
+
 // BenchmarkSimulate measures exact NHPP simulation throughput.
 func BenchmarkSimulate(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))

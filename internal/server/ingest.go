@@ -1,0 +1,175 @@
+package server
+
+// Ingest content negotiation. POST arrivals accepts three bodies:
+//
+//	application/json          {"timestamps": [t1, ...]} — the original
+//	                          format, decoded in one piece
+//	application/x-ndjson      one JSON number per line, streamed
+//	application/octet-stream  little-endian float64s, streamed
+//
+// plus transparent Content-Encoding: gzip over any of them. The
+// streaming formats decode incrementally into pooled chunks
+// (internal/encode) and land in the engine through the append-only
+// sorted fast path, so a million-event body is materialized exactly
+// once — in the arrival history itself.
+//
+// Every body is capped by http.MaxBytesReader (and, for gzip, a second
+// cap on the decompressed stream), mapped to 413; unknown content
+// types and encodings are 415. Validation still happens before the
+// workload is resolved: a malformed or oversized body never creates —
+// or ingests into — anything.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sort"
+
+	"robustscaler/internal/encode"
+	"robustscaler/internal/engine"
+)
+
+// DefaultMaxIngestBytes caps one arrivals body (compressed and
+// decompressed alike): 64 MiB, comfortably above a million-event JSON
+// body while keeping a runaway client from exhausting memory.
+const DefaultMaxIngestBytes = 64 << 20
+
+// arrivalsRequest is the POST arrivals JSON body.
+type arrivalsRequest struct {
+	Timestamps []float64 `json:"timestamps"`
+}
+
+// handleArrivals negotiates the body format and routes it to the
+// matching decoder. All formats validate the full batch before
+// resolving the workload, so only a well-formed ingest creates one.
+func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request, id string) {
+	if s.maxIngestBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxIngestBytes)
+	}
+	body := io.Reader(r.Body)
+	switch enc := r.Header.Get("Content-Encoding"); enc {
+	case "", "identity":
+	case "gzip", "x-gzip":
+		zr, release, err := encode.Gzip(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		defer release()
+		body = zr
+		if s.maxIngestBytes > 0 {
+			// MaxBytesReader above only sees compressed bytes; bound the
+			// inflated stream too so a gzip bomb can't sidestep the cap.
+			body = encode.LimitReader(body, s.maxIngestBytes)
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unsupported Content-Encoding %q (want gzip or identity)", enc),
+			http.StatusUnsupportedMediaType)
+		return
+	}
+
+	ct := r.Header.Get("Content-Type")
+	mt := ct
+	if ct != "" {
+		if parsed, _, err := mime.ParseMediaType(ct); err == nil {
+			mt = parsed
+		}
+	}
+	switch mt {
+	case "application/x-ndjson", "application/ndjson":
+		s.ingestStream(w, body, id, encode.DecodeNDJSON)
+	case "application/octet-stream":
+		s.ingestStream(w, body, id, encode.DecodeBinary)
+	default:
+		// Everything else — including no Content-Type at all, or curl's
+		// default form encoding — takes the original JSON path, exactly
+		// as it did before content negotiation existed. Pre-negotiation
+		// clients never set the header, so an unknown type must stay a
+		// "bad JSON" 400, not a 415.
+		s.ingestJSONArray(w, body, id)
+	}
+}
+
+// ingestJSONArray is the original one-shot JSON path — and the baseline
+// the streaming formats are benchmarked against.
+func (s *Server) ingestJSONArray(w http.ResponseWriter, body io.Reader, id string) {
+	var req arrivalsRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		ingestReadError(w, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	if len(req.Timestamps) == 0 {
+		http.Error(w, "timestamps required", http.StatusBadRequest)
+		return
+	}
+	if err := engine.ValidateTimestamps(req.Timestamps); err != nil {
+		httpError(w, err)
+		return
+	}
+	e, err := s.reg.GetOrCreate(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	total, err := e.Ingest(req.Timestamps)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"recorded": len(req.Timestamps), "total": total})
+}
+
+// ingestStream runs one of the chunked decoders and pushes the result
+// through the engine's sorted fast path. Decode and validation complete
+// before the workload is resolved, preserving the all-or-nothing
+// contract of the JSON path; sorted streams (the overwhelmingly common
+// case — producers emit in arrival order) skip the defensive copy and
+// sort entirely.
+func (s *Server) ingestStream(w http.ResponseWriter, body io.Reader, id string,
+	decode func(io.Reader, encode.CheckFunc) (*encode.Batch, error)) {
+	batch, err := decode(body, engine.ValidateTimestamps)
+	if err != nil {
+		ingestReadError(w, err)
+		return
+	}
+	defer batch.Release()
+	if batch.Count == 0 {
+		http.Error(w, "timestamps required", http.StatusBadRequest)
+		return
+	}
+	e, err := s.reg.GetOrCreate(id)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	chunks := batch.Chunks
+	if !batch.Sorted {
+		flat := batch.Flatten()
+		sort.Float64s(flat)
+		chunks = [][]float64{flat}
+	}
+	total, err := e.IngestSortedChunks(chunks)
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, map[string]any{"recorded": batch.Count, "total": total})
+}
+
+// ingestReadError maps body-read failures: size caps → 413, invalid
+// timestamps → the engine mapping (400), anything else → 400 with the
+// decoder's message.
+func ingestReadError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe), errors.Is(err, encode.ErrTooLarge):
+		http.Error(w, "request body exceeds the ingest size limit", http.StatusRequestEntityTooLarge)
+	case errors.Is(err, engine.ErrInvalid):
+		httpError(w, err)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}

@@ -1,0 +1,238 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"testing"
+)
+
+func postBody(t *testing.T, url, contentType, contentEncoding string, body []byte) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if contentEncoding != "" {
+		req.Header.Set("Content-Encoding", contentEncoding)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func ndjsonBody(vals []float64) []byte {
+	var buf bytes.Buffer
+	for _, v := range vals {
+		buf.WriteString(strconv.FormatFloat(v, 'f', -1, 64))
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+func binaryBody(vals []float64) []byte {
+	out := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+func gzipBody(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestIngestFormatsEquivalent proves every wire format lands the same
+// state: same totals, and byte-identical plans afterwards.
+func TestIngestFormatsEquivalent(t *testing.T) {
+	const horizon = 4 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	arr := trafficArrivals(6, horizon)
+
+	cases := []struct {
+		id, contentType, contentEncoding string
+		body                             []byte
+	}{
+		{"json", "application/json", "", mustJSON(arr)},
+		{"json-gz", "application/json", "gzip", gzipBody(t, mustJSON(arr))},
+		{"ndjson", "application/x-ndjson", "", ndjsonBody(arr)},
+		{"ndjson-params", "application/x-ndjson; charset=utf-8", "", ndjsonBody(arr)},
+		{"ndjson-gz", "application/x-ndjson", "gzip", gzipBody(t, ndjsonBody(arr))},
+		{"binary", "application/octet-stream", "", binaryBody(arr)},
+		{"binary-gz", "application/octet-stream", "gzip", gzipBody(t, binaryBody(arr))},
+	}
+	for _, tc := range cases {
+		resp := postBody(t, ts.URL+"/v1/workloads/"+tc.id+"/arrivals", tc.contentType, tc.contentEncoding, tc.body)
+		got := decode[map[string]any](t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d (%v)", tc.id, resp.StatusCode, got)
+		}
+		if int(got["recorded"].(float64)) != len(arr) || int(got["total"].(float64)) != len(arr) {
+			t.Fatalf("%s: recorded/total = %v, want %d", tc.id, got, len(arr))
+		}
+	}
+	// Same arrivals → same fit → byte-identical plans across formats.
+	var want string
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/workloads/"+tc.id+"/train", map[string]any{})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s train: status %d", tc.id, resp.StatusCode)
+		}
+		resp.Body.Close()
+		_, plan := getBody(t, fmt.Sprintf("%s/v1/workloads/%s/plan?variant=hp&target=0.9&horizon=600&now=%g", ts.URL, tc.id, horizon))
+		if want == "" {
+			want = plan
+		} else if plan != want {
+			t.Fatalf("%s: plan differs from the JSON baseline:\n%s\n%s", tc.id, plan, want)
+		}
+	}
+}
+
+// TestIngestUnsortedStreamStillLands: streaming bodies without
+// monotonic order fall back to sort-then-append and still record.
+func TestIngestUnsortedStreamStillLands(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp := postBody(t, ts.URL+"/v1/workloads/w/arrivals", "application/x-ndjson", "",
+		[]byte("30\n10\n20\n"))
+	got := decode[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK || int(got["total"].(float64)) != 3 {
+		t.Fatalf("unsorted ndjson: status %d, body %v", resp.StatusCode, got)
+	}
+	// Follow-up in-order batch appends after the sorted history.
+	resp2 := postBody(t, ts.URL+"/v1/workloads/w/arrivals", "application/x-ndjson", "", []byte("25\n40\n"))
+	got2 := decode[map[string]any](t, resp2)
+	if int(got2["total"].(float64)) != 5 {
+		t.Fatalf("merge after unsorted ingest: %v", got2)
+	}
+}
+
+// TestIngestStreamValidation: bad bodies are 400s and never create the
+// workload, exactly like the JSON path.
+func TestIngestStreamValidation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	cases := []struct {
+		name, contentType string
+		body              []byte
+	}{
+		{"ndjson-garbage", "application/x-ndjson", []byte("1\nnope\n")},
+		{"ndjson-nan", "application/x-ndjson", []byte("1\nNaN\n")},
+		{"ndjson-huge", "application/x-ndjson", []byte("1\n2e15\n")},
+		{"ndjson-empty", "application/x-ndjson", nil},
+		{"binary-truncated", "application/octet-stream", binaryBody([]float64{1, 2})[:9]},
+		{"binary-nan", "application/octet-stream", binaryBody([]float64{1, math.NaN()})},
+		{"binary-empty", "application/octet-stream", nil},
+	}
+	for _, tc := range cases {
+		resp := postBody(t, ts.URL+"/v1/workloads/stream-bad/arrivals", tc.contentType, "", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+	// Unknown content types fall back to the JSON path (pre-negotiation
+	// clients never set the header): a non-JSON body is a 400, and a
+	// JSON body ingests fine even under a bogus type.
+	r := postBody(t, ts.URL+"/v1/workloads/stream-bad/arrivals", "text/csv", "", []byte("1,2"))
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("text/csv: status %d, want 400", r.StatusCode)
+	}
+	r = postBody(t, ts.URL+"/v1/workloads/stream-bad/arrivals", "application/json", "br", []byte("{}"))
+	r.Body.Close()
+	if r.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("brotli encoding: status %d, want 415", r.StatusCode)
+	}
+	// Garbage gzip framing: 400.
+	r = postBody(t, ts.URL+"/v1/workloads/stream-bad/arrivals", "application/x-ndjson", "gzip", []byte("not gzip"))
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad gzip: status %d, want 400", r.StatusCode)
+	}
+	// None of the failures registered the workload.
+	if _, body := getBody(t, ts.URL+"/v1/workloads"); body != "{\"workloads\":[]}\n" {
+		t.Fatalf("invalid streaming writes created workloads: %q", body)
+	}
+	// A JSON body under an unrecognized content type still ingests —
+	// pre-negotiation clients (curl's default form encoding) never set
+	// the header.
+	r = postBody(t, ts.URL+"/v1/workloads/form-json/arrivals", "application/x-www-form-urlencoded", "",
+		[]byte(`{"timestamps":[1,2]}`))
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("JSON body under form content type: status %d, want 200 (legacy clients)", r.StatusCode)
+	}
+}
+
+// TestIngestSizeLimit: bodies over -max-ingest-bytes are 413, for raw,
+// JSON and gzip-inflated payloads alike.
+func TestIngestSizeLimit(t *testing.T) {
+	s, ts := newTestServer(t, 0)
+	s.SetMaxIngestBytes(1 << 10)
+
+	big := make([]float64, 1000) // 8 KB binary, ~4 KB ndjson
+	for i := range big {
+		big[i] = float64(i)
+	}
+	cases := []struct {
+		name, contentType, contentEncoding string
+		body                               []byte
+	}{
+		{"binary", "application/octet-stream", "", binaryBody(big)},
+		{"ndjson", "application/x-ndjson", "", ndjsonBody(big)},
+		{"json", "application/json", "", mustJSON(big)},
+		// ~40 bytes compressed, 8 KB inflated: only the decompressed cap
+		// can catch it.
+		{"gzip-bomb", "application/octet-stream", "gzip", gzipBody(t, binaryBody(big))},
+	}
+	for _, tc := range cases {
+		resp := postBody(t, ts.URL+"/v1/workloads/big/arrivals", tc.contentType, tc.contentEncoding, tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s: status %d, want 413", tc.name, resp.StatusCode)
+		}
+	}
+	// Within the limit still works.
+	resp := postBody(t, ts.URL+"/v1/workloads/big/arrivals", "application/octet-stream", "", binaryBody(big[:100]))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("under-limit body: status %d", resp.StatusCode)
+	}
+	// SetMaxIngestBytes(0) lifts the cap.
+	s.SetMaxIngestBytes(0)
+	resp = postBody(t, ts.URL+"/v1/workloads/big/arrivals", "application/octet-stream", "", binaryBody(big))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("uncapped body: status %d", resp.StatusCode)
+	}
+}
+
+func mustJSON(vals []float64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(`{"timestamps":[`)
+	for i, v := range vals {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	buf.WriteString(`]}`)
+	return buf.Bytes()
+}

@@ -5,7 +5,8 @@
 // registries, CI runners, FaaS functions — each with its own arrival
 // history, NHPP model and plans, isolated under
 //
-//	POST   /v1/workloads/{id}/arrivals   record query arrivals
+//	POST   /v1/workloads/{id}/arrivals   record query arrivals (JSON,
+//	                                     NDJSON or binary; optionally gzip)
 //	POST   /v1/workloads/{id}/train      (re)fit the workload's NHPP model
 //	GET    /v1/workloads/{id}/plan       upcoming creation times
 //	GET    /v1/workloads/{id}/forecast   predicted intensity
@@ -55,6 +56,10 @@ type Server struct {
 	// dataDir is where operator-triggered snapshots land; empty disables
 	// the admin snapshot endpoint. Set once before serving (SetDataDir).
 	dataDir string
+	// maxIngestBytes caps one arrivals body, compressed and decompressed
+	// alike; ≤0 disables the cap. Set once before serving
+	// (SetMaxIngestBytes); defaults to DefaultMaxIngestBytes.
+	maxIngestBytes int64
 }
 
 // New creates a Server with an empty workload registry.
@@ -67,8 +72,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{reg: reg, ephemeral: eph}, nil
+	return &Server{reg: reg, ephemeral: eph, maxIngestBytes: DefaultMaxIngestBytes}, nil
 }
+
+// SetMaxIngestBytes caps one arrivals request body (413 beyond it); n
+// ≤ 0 removes the cap. Call it once at startup, before the handler
+// serves traffic.
+func (s *Server) SetMaxIngestBytes(n int64) { s.maxIngestBytes = n }
 
 // Registry exposes the workload registry, e.g. to start a background
 // retrainer or snapshotter over it.
@@ -182,40 +192,6 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, resp)
-}
-
-// arrivalsRequest is the POST arrivals body.
-type arrivalsRequest struct {
-	Timestamps []float64 `json:"timestamps"`
-}
-
-// handleArrivals validates the batch before resolving the workload, so
-// only a well-formed ingest creates one.
-func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request, id string) {
-	var req arrivalsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("bad JSON: %v", err), http.StatusBadRequest)
-		return
-	}
-	if len(req.Timestamps) == 0 {
-		http.Error(w, "timestamps required", http.StatusBadRequest)
-		return
-	}
-	if err := engine.ValidateTimestamps(req.Timestamps); err != nil {
-		httpError(w, err)
-		return
-	}
-	e, err := s.reg.GetOrCreate(id)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	total, err := e.Ingest(req.Timestamps)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	writeJSON(w, map[string]any{"recorded": len(req.Timestamps), "total": total})
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
