@@ -330,6 +330,17 @@ func benchPlanForecast(rep *report) {
 	if _, err := e.Train(); err != nil {
 		log.Fatal(err)
 	}
+	// The rt target rides the per-workload config plane (PUT /config)
+	// instead of a ?target= on every request — the same parameters, so
+	// the numbers stay comparable, but the workload-scoped configuration
+	// path is exercised end to end by the plan benches below.
+	creq := httptest.NewRequest(http.MethodPut, "/v1/workloads/svc/config",
+		bytes.NewReader([]byte(`{"rt_target": 5}`)))
+	crec := httptest.NewRecorder()
+	h.ServeHTTP(crec, creq)
+	if crec.Code != http.StatusOK {
+		die("PUT config: %d %s", crec.Code, crec.Body.String())
+	}
 
 	get := func(b *testing.B, url string) {
 		req := httptest.NewRequest(http.MethodGet, url, nil)
@@ -342,14 +353,16 @@ func benchPlanForecast(rep *report) {
 
 	for _, variant := range []string{"hp", "rt"} {
 		variant := variant
-		target := "0.9"
+		// hp passes an explicit target; rt relies on the workload's
+		// configured rt_target default (set via PUT /config above).
+		target := "&target=0.9"
 		if variant == "rt" {
-			target = "5"
+			target = ""
 		}
 		urlAt := func(now float64) string {
 			// 'f' formatting: %g would switch to exponent notation past
 			// 1e6, whose '+' decodes to a space inside a query string.
-			return fmt.Sprintf("/v1/workloads/svc/plan?variant=%s&target=%s&horizon=600&now=%s",
+			return fmt.Sprintf("/v1/workloads/svc/plan?variant=%s%s&horizon=600&now=%s",
 				variant, target, strconv.FormatFloat(now, 'f', -1, 64))
 		}
 		run(rep, "plan/"+variant+"/cold", 0, func(b *testing.B) {

@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -35,9 +36,13 @@ func main() {
 		policyArg = flag.String("policy", "hp:0.9", "policy spec, e.g. bp:3, adapbp:30, hp:0.9, rt:2, cost:5")
 		pending   = flag.Float64("pending", 0, "instance pending time τ in seconds (0 = trace default)")
 		tick      = flag.Float64("tick", 1, "planning interval Δ in seconds")
+		dt        = flag.Float64("dt", 60, "modeling bin width Δt in seconds for the NHPP fit")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+	if math.IsNaN(*dt) || math.IsInf(*dt, 0) || *dt <= 0 {
+		fatal(fmt.Errorf("-dt %g must be a positive finite number of seconds", *dt))
+	}
 
 	tr, err := loadTrace(*traceFile, *synthetic, *trainFrac, *seed)
 	if err != nil {
@@ -50,7 +55,7 @@ func main() {
 	if tau <= 0 {
 		tau = 13
 	}
-	policy, err := buildPolicy(*policyArg, tr, tau, *tick, *seed)
+	policy, err := buildPolicy(*policyArg, tr, tau, *tick, *dt, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -97,7 +102,7 @@ func loadTrace(file, synthetic string, trainFrac float64, seed int64) (*trace.Tr
 	}
 }
 
-func buildPolicy(spec string, tr *trace.Trace, tau, tick float64, seed int64) (robustscaler.Policy, error) {
+func buildPolicy(spec string, tr *trace.Trace, tau, tick, dt float64, seed int64) (robustscaler.Policy, error) {
 	kind, valStr, ok := strings.Cut(spec, ":")
 	if !ok {
 		return nil, fmt.Errorf("policy spec %q must be kind:value", spec)
@@ -112,9 +117,16 @@ func buildPolicy(spec string, tr *trace.Trace, tau, tick float64, seed int64) (r
 	case "adapbp":
 		return robustscaler.NewAdaptiveBackupPool(val), nil
 	case "hp", "rt", "cost":
-		series := tr.TrainCountSeries(60)
+		series := tr.TrainCountSeries(dt)
 		cfg := robustscaler.DefaultTrainConfig()
-		cfg.Periodicity.AggregateWindow = 60
+		// AggregateWindow is in bins: keep the pooling interval at one
+		// hour of wall time regardless of the chosen bin width (60 bins
+		// at the default Δt=60s, more bins for finer grids).
+		if w := int(math.Round(3600 / dt)); w > 1 {
+			cfg.Periodicity.AggregateWindow = w
+		} else {
+			cfg.Periodicity.AggregateWindow = 1
+		}
 		cfg.Periodicity.MinPeriod = 3
 		model, err := robustscaler.Train(series, cfg)
 		if err != nil {

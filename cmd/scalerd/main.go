@@ -1,8 +1,9 @@
 // Command scalerd runs the RobustScaler HTTP control plane: one process
 // serving any number of independent workloads, each with its own arrival
-// history, NHPP model and scaling plans, plus a background worker pool
-// that keeps every model fresh (the paper's low-frequency retraining,
-// scaled out to a fleet of workloads).
+// history, NHPP model, scaling plans and per-workload configuration,
+// plus a background worker pool that keeps every model fresh (the
+// paper's low-frequency retraining, scaled out to a fleet of
+// workloads).
 //
 // Endpoints (per workload; see internal/server for the full list):
 //
@@ -10,12 +11,14 @@
 //	                                    (also application/x-ndjson — one epoch per
 //	                                    line — or application/octet-stream —
 //	                                    little-endian float64s — optionally with
-//	                                    Content-Encoding: gzip; bodies are capped
-//	                                    by -max-ingest-bytes)
+//	                                    Content-Encoding: gzip; all formats stream,
+//	                                    and bodies are capped by -max-ingest-bytes)
 //	POST   /v1/workloads/{id}/train                                (re)fit the NHPP model
 //	GET    /v1/workloads/{id}/plan?variant=hp&target=0.9           upcoming creation times
 //	GET    /v1/workloads/{id}/forecast?from=&to=&step=             predicted intensity
 //	GET    /v1/workloads/{id}/status                               model/ingestion state
+//	GET    /v1/workloads/{id}/config                               per-workload config
+//	PUT    /v1/workloads/{id}/config                               update per-workload config
 //	GET    /v1/workloads                                           list workloads
 //	POST   /v1/admin/snapshot                                      persist all workloads now
 //	GET    /healthz                                                liveness
@@ -23,13 +26,28 @@
 // The legacy single-workload routes (/v1/arrivals, /v1/train, /v1/plan,
 // /v1/forecast, /v1/status) serve the "default" workload.
 //
-// With -data-dir set, scalerd is restart-safe: every workload's arrival
-// history, fitted model and config are snapshotted to disk (atomically,
-// every -snapshot-every seconds and on POST /v1/admin/snapshot) and
-// restored on boot before serving, so a deploy causes no cold-start
-// forecasting gap. A corrupt snapshot fails the boot loudly rather than
-// silently starting cold; delete the snapshot file to boot cold on
-// purpose.
+// The engine flags below (-dt, -pending, -history, -mc) are fleet
+// defaults: they seed the configuration each new workload starts from,
+// and every knob except the seed and worker pools can then be tuned per
+// workload at runtime via PUT /v1/workloads/{id}/config — including a
+// per-workload retrain cadence (retrain_every), which rate-limits the
+// sweep that -retrain-every schedules process-wide.
+//
+// With -data-dir set, scalerd is restart-safe: each workload's arrival
+// history, fitted model and config are persisted as one file per
+// workload under a CRC-checked manifest (atomically, every
+// -snapshot-every seconds and on POST /v1/admin/snapshot) and restored
+// on boot before serving, so a deploy causes no cold-start forecasting
+// gap. Snapshots are incremental — a tick rewrites only workloads that
+// changed since the last one. A data dir holding a pre-v2 monolithic
+// snapshot is migrated in place on the first snapshot tick. A corrupt
+// snapshot fails the boot loudly rather than silently starting cold;
+// delete the data dir's contents to boot cold on purpose.
+//
+// On SIGTERM or SIGINT scalerd shuts down gracefully: it stops
+// accepting connections, drains in-flight requests, stops the
+// background retrainer and snapshotter, and (with -data-dir) writes a
+// final snapshot before exiting.
 //
 // Example:
 //
@@ -38,28 +56,37 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"math"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
+	"robustscaler/internal/engine"
 	"robustscaler/internal/server"
 	"robustscaler/internal/store"
 )
 
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests before closing their connections anyway.
+const shutdownGrace = 15 * time.Second
+
 func main() {
 	var (
 		listen         = flag.String("listen", ":8080", "HTTP listen address")
-		pending        = flag.Float64("pending", 13, "instance pending time τ seconds")
-		dt             = flag.Float64("dt", 60, "modeling bin width seconds")
-		history        = flag.Float64("history", 28*86400, "retained arrival history seconds")
-		mc             = flag.Int("mc", 1000, "Monte Carlo samples for rt/cost plans")
+		pending        = flag.Float64("pending", 13, "default instance pending time τ seconds (per-workload override: PUT /config)")
+		dt             = flag.Float64("dt", 60, "default modeling bin width seconds (per-workload override: PUT /config)")
+		history        = flag.Float64("history", 28*86400, "default retained arrival history seconds (per-workload override: PUT /config)")
+		mc             = flag.Int("mc", 1000, "default Monte Carlo samples for rt/cost plans (per-workload override: PUT /config)")
 		mcWorkers      = flag.Int("mc-workers", 0, "worker pool for Monte Carlo draws per plan (0 = GOMAXPROCS); plans are identical for every value")
 		seed           = flag.Int64("seed", 1, "random seed")
 		maxIngest      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "max arrivals body size in bytes, before and after decompression (413 beyond it; 0 disables)")
-		retrainEvery   = flag.Float64("retrain-every", 1800, "background retrain period seconds (0 disables)")
+		retrainEvery   = flag.Float64("retrain-every", 1800, "background retrain sweep period seconds (0 disables); per-workload cadence via PUT /config retrain_every")
 		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size")
 		dataDir        = flag.String("data-dir", "", "directory for workload snapshots; empty disables persistence")
 		snapshotEvery  = flag.Float64("snapshot-every", 300, "background snapshot period seconds (0 disables; needs -data-dir)")
@@ -90,22 +117,27 @@ func main() {
 	if math.IsNaN(*retrainEvery) || *retrainEvery < 0 {
 		log.Fatalf("-retrain-every %g invalid (seconds; 0 disables)", *retrainEvery)
 	}
+
+	var st *store.Store
+	var snapshotter *engine.Snapshotter
 	if *dataDir != "" {
-		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
-			log.Fatalf("creating -data-dir: %v", err)
-		}
-		// Restore before serving: requests must never race a half-restored
-		// registry. A corrupt snapshot aborts the boot — starting cold
-		// would soon overwrite the evidence with a fresh empty snapshot.
-		n, err := s.Registry().Restore(*dataDir)
+		// Open validates the manifest and sweeps crash debris; restore
+		// must finish before serving so requests never race a
+		// half-restored registry. A corrupt snapshot aborts the boot —
+		// starting cold would soon overwrite the evidence with a fresh
+		// empty snapshot.
+		st, err = store.Open(*dataDir)
 		if err != nil {
-			log.Fatalf("restoring snapshot from %s: %v (delete %s/%s to boot cold)",
-				*dataDir, err, *dataDir, store.SnapshotFile)
+			log.Fatalf("opening -data-dir %s: %v (move its contents aside to boot cold)", *dataDir, err)
+		}
+		n, err := s.Registry().RestoreFrom(st)
+		if err != nil {
+			log.Fatalf("restoring snapshot from %s: %v (move its contents aside to boot cold)", *dataDir, err)
 		}
 		if n > 0 {
 			log.Printf("restored %d workloads from %s", n, *dataDir)
 		}
-		s.SetDataDir(*dataDir)
+		s.SetStore(st)
 		if math.IsNaN(*snapshotEvery) || *snapshotEvery < 0 {
 			log.Fatalf("-snapshot-every %g invalid (seconds; 0 disables)", *snapshotEvery)
 		}
@@ -114,16 +146,15 @@ func main() {
 			if every <= 0 || *snapshotEvery > 365*86400 {
 				log.Fatalf("-snapshot-every %g out of range (ns..1 year, in seconds)", *snapshotEvery)
 			}
-			// Like the retrainer, the snapshotter runs for the life of the
-			// process; log.Fatal exits without unwinding.
-			s.Registry().StartSnapshotter(*dataDir, every)
-			log.Printf("snapshotting to %s every %.0fs", *dataDir, *snapshotEvery)
+			snapshotter = s.Registry().StartSnapshotter(st, every)
+			log.Printf("snapshotting to %s every %.0fs (incremental)", *dataDir, *snapshotEvery)
 		}
 	} else if snapshotEverySet && *snapshotEvery != 0 {
 		// Asking for periodic snapshots without a place to put them is a
 		// misconfiguration; explicitly disabling them (0) is not.
 		log.Fatalf("-snapshot-every needs -data-dir")
 	}
+	var retrainer *engine.Retrainer
 	if *retrainEvery > 0 {
 		// Validate the converted duration: a huge value overflows
 		// float→Duration to a negative period, a sub-nanosecond one
@@ -132,11 +163,56 @@ func main() {
 		if every <= 0 || *retrainEvery > 365*86400 {
 			log.Fatalf("-retrain-every %g out of range (ns..1 year, in seconds)", *retrainEvery)
 		}
-		// The retrainer runs for the life of the process; log.Fatal below
-		// exits without unwinding, so there is no Stop to arrange.
-		s.Registry().StartRetrainer(every, *retrainWorkers)
+		retrainer = s.Registry().StartRetrainer(every, *retrainWorkers)
 		log.Printf("background retraining every %.0fs with %d workers", *retrainEvery, *retrainWorkers)
 	}
 	log.Printf("scalerd listening on %s (τ=%.0fs, Δt=%.0fs)", *listen, *pending, *dt)
-	log.Fatal(http.ListenAndServe(*listen, s.Handler()))
+
+	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		// Bind failure or an unexpected listener death: nothing to drain.
+		log.Fatal(err)
+	case sig := <-sigCh:
+		log.Printf("received %v, shutting down", sig)
+	}
+
+	// Drain in-flight HTTP first so the final snapshot sees their
+	// effects, then stop the background loops. Snapshotter.Stop writes
+	// the final snapshot itself; without a snapshotter (snapshot-every
+	// 0) but with persistence on, take one explicitly.
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			// The final snapshot below may miss the killed requests'
+			// effects; say so instead of reporting a clean drain.
+			log.Printf("http drain incomplete after %v; remaining connections closed", shutdownGrace)
+		} else {
+			log.Printf("http shutdown: %v", err)
+		}
+	}
+	if retrainer != nil {
+		retrainer.Stop()
+	}
+	switch {
+	case snapshotter != nil:
+		if err := snapshotter.Stop(); err != nil {
+			log.Printf("final snapshot failed: %v", err)
+		} else {
+			log.Printf("final snapshot written to %s", *dataDir)
+		}
+	case st != nil:
+		if _, err := s.Registry().SnapshotTo(st); err != nil {
+			log.Printf("final snapshot failed: %v", err)
+		} else {
+			log.Printf("final snapshot written to %s", *dataDir)
+		}
+	}
+	log.Print("shutdown complete")
 }

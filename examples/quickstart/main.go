@@ -107,6 +107,21 @@ func main() {
 		map[string]any{"timestamps": trainArrivals})
 	post(ts.URL+"/v1/workloads/quickstart/train", map[string]any{})
 
+	// Every workload carries its own versioned config — Δt, pending
+	// time, QoS targets, retrain cadence — persisted with its snapshot
+	// and tunable at runtime:
+	//
+	//	curl ':8080/v1/workloads/quickstart/config'
+	//	curl -XPUT ':8080/v1/workloads/quickstart/config' -d '{"hp_target":0.9,"pending":13}'
+	var cfgResp struct {
+		Version  int64   `json:"version"`
+		Pending  float64 `json:"pending"`
+		HPTarget float64 `json:"hp_target"`
+	}
+	put(ts.URL+"/v1/workloads/quickstart/config", map[string]any{"hp_target": 0.9, "pending": pending}, &cfgResp)
+	fmt.Printf("\nworkload config v%d: τ=%.0fs, default hp target %.2f\n",
+		cfgResp.Version, cfgResp.Pending, cfgResp.HPTarget)
+
 	var plan struct {
 		Kappa int `json:"kappa"`
 		Plan  []struct {
@@ -140,6 +155,31 @@ func post(url string, body any) {
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(resp.Body)
 		log.Fatalf("POST %s: %s: %s", url, resp.Status, msg)
+	}
+}
+
+// put sends a JSON body via PUT and decodes the JSON response into out.
+func put(url string, body, out any) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(buf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		log.Fatalf("PUT %s: %s: %s", url, resp.Status, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -1,0 +1,338 @@
+package encode
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+)
+
+// DecodeJSONArray streams the legacy ingest body — a JSON object with a
+// "timestamps" array of numbers — into pooled chunks, so the request is
+// decoded incrementally like the NDJSON and binary formats: a size cap
+// on the underlying reader (http.MaxBytesReader / LimitReader) is
+// honored as the body streams in, and the values are never materialized
+// as one whole-body []float64 on the decode side.
+//
+// The object shell (keys, nested unknown values) is parsed with
+// encoding/json's token decoder — it is a handful of tokens. The
+// timestamps array itself, which is the entire volume of the body, is
+// scanned byte-wise with the same fused number parse the NDJSON decoder
+// uses, so the legacy format decodes at streaming-format speed instead
+// of paying a token allocation per element.
+//
+// Accepted input matches the old one-shot json.Unmarshal of
+//
+//	struct{ Timestamps []float64 `json:"timestamps"` }
+//
+// with the NDJSON decoder's leniency on number spellings (e.g. "+1" is
+// accepted; strconv is the arbiter, exactly as on the NDJSON path):
+// unknown sibling fields are skipped, a null timestamps field means
+// empty, a duplicate timestamps key keeps the last occurrence, and
+// trailing bytes after the closing brace are left unread. check (if
+// non-nil) vets every completed chunk; its error aborts the decode.
+func DecodeJSONArray(r io.Reader, check CheckFunc) (*Batch, error) {
+	w := newBatchWriter(check)
+	in := io.Reader(r)
+	// afterComma marks a re-entry right after the scanner consumed a
+	// ',' following the array: a key MUST follow ({"timestamps":[1],}
+	// is invalid JSON and must stay a 400, even though the synthetic
+	// "{"+"}" continuation would otherwise parse as an empty object).
+	afterComma := false
+object:
+	for {
+		dec := json.NewDecoder(in)
+		tok, err := dec.Token()
+		if err != nil {
+			return w.finish(badJSON(err))
+		}
+		if d, ok := tok.(json.Delim); !ok || d != '{' {
+			return w.finish(fmt.Errorf("encode: json body must be an object with a timestamps array, got %v", tok))
+		}
+		if afterComma && !dec.More() {
+			return w.finish(fmt.Errorf("encode: trailing comma after timestamps array"))
+		}
+		afterComma = false
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				return w.finish(badJSON(err))
+			}
+			key, ok := keyTok.(string)
+			if !ok { // cannot happen inside an object; defensive
+				return w.finish(fmt.Errorf("encode: unexpected token %v for object key", keyTok))
+			}
+			if key != "timestamps" {
+				if err := skipJSONValue(dec); err != nil {
+					return w.finish(badJSON(err))
+				}
+				continue
+			}
+			open, err := dec.Token()
+			if err != nil {
+				return w.finish(badJSON(err))
+			}
+			if open == nil {
+				// "timestamps": null — same as absent (and a duplicate
+				// null overrides earlier values, like encoding/json).
+				w.reset()
+				continue
+			}
+			if d, ok := open.(json.Delim); !ok || d != '[' {
+				return w.finish(fmt.Errorf("encode: timestamps must be an array, got %v", open))
+			}
+			// Duplicate key: encoding/json keeps the last occurrence, so
+			// drop anything a previous one accumulated.
+			w.reset()
+			// Hand the stream — the decoder's unread buffer plus the rest
+			// of the body — to the byte-wise array scanner. src must
+			// outlive the scanner: the decoder's buffer can exceed the
+			// scanner's window (a large skipped sibling value grows it),
+			// so src may still hold unread bytes when the scan returns.
+			src := io.MultiReader(dec.Buffered(), in)
+			br := getScanReader(src)
+			next, err := scanNumberArray(br, w)
+			if err != nil {
+				putScanReader(br)
+				return w.finish(err)
+			}
+			switch next {
+			case '}':
+				// Object closed right after the array (the overwhelmingly
+				// common shape). Trailing bytes stay unread, as before.
+				putScanReader(br)
+				return w.finish(nil)
+			case ',':
+				// More keys follow the array. Re-enter the token decoder
+				// over a synthetic object: "{" + the scanner's unread
+				// buffer + the unread remainder of src (NOT bare `in` —
+				// that would drop whatever the decoder had buffered
+				// beyond the scanner's window).
+				left, _ := br.Peek(br.Buffered())
+				leftCopy := append([]byte(nil), left...)
+				putScanReader(br)
+				in = io.MultiReader(strings.NewReader("{"), bytes.NewReader(leftCopy), src)
+				afterComma = true
+				continue object
+			default:
+				putScanReader(br)
+				return w.finish(fmt.Errorf("encode: unexpected %q after timestamps array", next))
+			}
+		}
+		if _, err := dec.Token(); err != nil { // consume '}'
+			return w.finish(badJSON(err))
+		}
+		return w.finish(nil)
+	}
+}
+
+// scanReaderPool recycles the buffered readers behind the array
+// scanner; 64 KiB windows keep the Peek fast path covering any sane
+// number token.
+var scanReaderPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, 64*1024) },
+}
+
+func getScanReader(r io.Reader) *bufio.Reader {
+	br := scanReaderPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+func putScanReader(br *bufio.Reader) {
+	br.Reset(nil) // drop the source so the pool holds no body references
+	scanReaderPool.Put(br)
+}
+
+// scanNumberArray consumes a JSON array of numbers — the caller hands
+// over immediately after '[' — appending each value to w. It returns
+// the first non-space byte after the closing ']' (the caller dispatches
+// on '}' vs ','). Number tokens are sliced out of the reader's Peek
+// window and parsed with the shared fused decimal parse (strconv for
+// exponents and oversized mantissas), so the per-element cost matches
+// the NDJSON fast path.
+func scanNumberArray(br *bufio.Reader, w *batchWriter) (byte, error) {
+	expectValue, first := true, true
+	idx := 0
+	for {
+		c, err := readNonSpace(br)
+		if err != nil {
+			return 0, scanEOF(err)
+		}
+		switch {
+		case expectValue && c == ']' && first:
+			// [] — empty array; close below.
+		case expectValue:
+			if err := br.UnreadByte(); err != nil {
+				return 0, err
+			}
+			v, err := readNumber(br, idx)
+			if err != nil {
+				return 0, err
+			}
+			if err := w.add(v); err != nil {
+				return 0, err
+			}
+			idx++
+			first = false
+			expectValue = false
+			continue
+		case c == ',':
+			expectValue = true
+			continue
+		case c == ']':
+			// close below
+		default:
+			return 0, fmt.Errorf("encode: timestamps array: unexpected %q after element %d", c, idx)
+		}
+		c, err = readNonSpace(br)
+		if err != nil {
+			return 0, scanEOF(err)
+		}
+		return c, nil
+	}
+}
+
+// readNonSpace returns the next byte that is not JSON whitespace.
+func readNonSpace(br *bufio.Reader) (byte, error) {
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if c != ' ' && c != '\t' && c != '\n' && c != '\r' {
+			return c, nil
+		}
+	}
+}
+
+// readNumber parses one number token. Fast path: the token and its
+// delimiter sit inside the buffered window, so it is sliced and parsed
+// in place with zero copies. A token straddling the window boundary (or
+// an unbuffered reader) falls back to byte-wise accumulation.
+func readNumber(br *bufio.Reader, idx int) (float64, error) {
+	if br.Buffered() == 0 {
+		// Prime the window; EOF here means the value was cut off.
+		if _, err := br.Peek(1); err != nil {
+			return 0, scanEOF(err)
+		}
+	}
+	window, _ := br.Peek(br.Buffered())
+	n := numRun(window)
+	if n == 0 {
+		return 0, fmt.Errorf("encode: timestamps[%d]: not a number (starts with %q)", idx, window[0])
+	}
+	if n < len(window) {
+		v, err := parseFloat(window[:n])
+		if err != nil {
+			return 0, fmt.Errorf("encode: timestamps[%d]: %w", idx, err)
+		}
+		if _, err := br.Discard(n); err != nil {
+			return 0, err
+		}
+		return v, nil
+	}
+	// Slow path: accumulate until a delimiter or EOF.
+	tok := append(make([]byte, 0, n+32), window...)
+	if _, err := br.Discard(n); err != nil {
+		return 0, err
+	}
+	for {
+		c, err := br.ReadByte()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		if !numChar(c) {
+			if err := br.UnreadByte(); err != nil {
+				return 0, err
+			}
+			break
+		}
+		if len(tok) >= maxLineLen {
+			return 0, fmt.Errorf("encode: timestamps[%d]: number exceeds %d bytes", idx, maxLineLen)
+		}
+		tok = append(tok, c)
+	}
+	v, err := parseFloat(tok)
+	if err != nil {
+		return 0, fmt.Errorf("encode: timestamps[%d]: %w", idx, err)
+	}
+	return v, nil
+}
+
+// numRun returns the length of the leading run of number-token bytes.
+func numRun(b []byte) int {
+	for i := 0; i < len(b); i++ {
+		if !numChar(b[i]) {
+			return i
+		}
+	}
+	return len(b)
+}
+
+func numChar(c byte) bool {
+	return (c >= '0' && c <= '9') || c == '+' || c == '-' || c == '.' || c == 'e' || c == 'E'
+}
+
+// scanEOF converts a clean EOF into unexpected-EOF: inside the array a
+// truncated body is malformed, not done.
+func scanEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// skipJSONValue consumes exactly one JSON value (scalar, object or
+// array) from the decoder — how unknown sibling fields stream past
+// without buffering the body.
+func skipJSONValue(dec *json.Decoder) error {
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		if d, ok := tok.(json.Delim); ok {
+			switch d {
+			case '{', '[':
+				depth++
+			case '}', ']':
+				depth--
+			}
+		}
+		if depth == 0 {
+			return nil
+		}
+	}
+}
+
+// badJSON labels decoder errors the way the old one-shot path did,
+// while passing size-cap errors (http.MaxBytesError, ErrTooLarge)
+// through unwrapped so the HTTP layer still maps them to 413.
+func badJSON(err error) error {
+	if err == io.EOF {
+		return fmt.Errorf("bad JSON: unexpected end of body")
+	}
+	return err
+}
+
+// reset discards everything the writer accumulated, returning its
+// chunks to the pool, so decoding can start over mid-stream (a
+// duplicate "timestamps" key, where last-occurrence-wins semantics
+// require dropping the first array).
+func (w *batchWriter) reset() {
+	for _, c := range w.batch.Chunks {
+		putChunk(c)
+	}
+	w.batch = Batch{Sorted: true}
+	w.cur = w.cur[:0]
+	w.prev = math.Inf(-1)
+}

@@ -1,0 +1,181 @@
+package encode
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// byteAtATime feeds the decoder one byte per Read, proving the decode
+// is truly incremental (no hidden whole-body buffering assumption).
+type byteAtATime struct {
+	s string
+	i int
+}
+
+func (r *byteAtATime) Read(p []byte) (int, error) {
+	if r.i >= len(r.s) {
+		return 0, io.EOF
+	}
+	p[0] = r.s[r.i]
+	r.i++
+	return 1, nil
+}
+
+func TestDecodeJSONArrayBasic(t *testing.T) {
+	cases := []struct {
+		name, body string
+		want       []float64
+		sorted     bool
+	}{
+		{"simple", `{"timestamps":[1,2,3]}`, []float64{1, 2, 3}, true},
+		{"floats", `{"timestamps":[1.5,2.25e2,-3]}`, []float64{1.5, 225, -3}, false},
+		{"whitespace", "{\n  \"timestamps\": [ 1 , 2 ]\n}", []float64{1, 2}, true},
+		{"unknown fields skipped", `{"meta":{"a":[1,{"b":2}]},"timestamps":[5,6],"trail":"x"}`, []float64{5, 6}, true},
+		{"empty array", `{"timestamps":[]}`, nil, true},
+		{"null timestamps", `{"timestamps":null}`, nil, true},
+		{"absent timestamps", `{"other":1}`, nil, true},
+		{"duplicate key keeps last", `{"timestamps":[9,9,9],"timestamps":[4,7]}`, []float64{4, 7}, true},
+		{"trailing garbage ignored", `{"timestamps":[1]}garbage`, []float64{1}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			batch, err := DecodeJSONArray(strings.NewReader(tc.body), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer batch.Release()
+			got := batch.Flatten()
+			if len(got) != len(tc.want) {
+				t.Fatalf("decoded %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("decoded %v, want %v", got, tc.want)
+				}
+			}
+			if batch.Count != len(tc.want) || batch.Sorted != tc.sorted {
+				t.Fatalf("count/sorted = %d/%v, want %d/%v", batch.Count, batch.Sorted, len(tc.want), tc.sorted)
+			}
+		})
+	}
+}
+
+func TestDecodeJSONArrayErrors(t *testing.T) {
+	cases := []struct{ name, body string }{
+		{"empty body", ``},
+		{"bare array", `[1,2,3]`},
+		{"bare number", `42`},
+		{"truncated object", `{"timestamps":[1,2`},
+		{"string element", `{"timestamps":[1,"2"]}`},
+		{"object element", `{"timestamps":[{}]}`},
+		{"not an array", `{"timestamps":7}`},
+		{"syntax error", `{"timestamps":[1,,2]}`},
+		{"trailing comma after array", `{"timestamps":[1],}`},
+		{"trailing comma in array", `{"timestamps":[1,]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeJSONArray(strings.NewReader(tc.body), nil); err == nil {
+				t.Fatalf("decode of %q succeeded, want error", tc.body)
+			}
+		})
+	}
+}
+
+func TestDecodeJSONArrayRunsCheck(t *testing.T) {
+	reject := func(chunk []float64) error {
+		for _, v := range chunk {
+			if v < 0 {
+				return fmt.Errorf("negative %g", v)
+			}
+		}
+		return nil
+	}
+	if _, err := DecodeJSONArray(strings.NewReader(`{"timestamps":[1,2,-3]}`), reject); err == nil {
+		t.Fatal("check not applied")
+	}
+	batch, err := DecodeJSONArray(strings.NewReader(`{"timestamps":[1,2,3]}`), reject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch.Release()
+}
+
+func TestDecodeJSONArraySpansChunks(t *testing.T) {
+	// More values than one pooled chunk, decoded through a 1-byte-at-a-
+	// time reader: chunking, carry and incremental reads all exercised.
+	n := ChunkLen + 123
+	var sb strings.Builder
+	sb.WriteString(`{"timestamps":[`)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d.5", i)
+	}
+	sb.WriteString(`]}`)
+	batch, err := DecodeJSONArray(&byteAtATime{s: sb.String()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batch.Release()
+	if batch.Count != n || !batch.Sorted {
+		t.Fatalf("count/sorted = %d/%v, want %d/true", batch.Count, batch.Sorted, n)
+	}
+	flat := batch.Flatten()
+	for i, v := range flat {
+		if v != float64(i)+0.5 {
+			t.Fatalf("value %d = %g, want %g", i, v, float64(i)+0.5)
+		}
+	}
+}
+
+// TestDecodeJSONArrayLargeSiblingValues pins the decoder-buffer
+// handoff: skipping a large sibling value grows json.Decoder's internal
+// buffer far past the array scanner's 64 KiB window, so when keys
+// follow the timestamps array, the resumed token decoder must see the
+// buffered remainder the scanner never pulled — dropping it rejected
+// well-formed bodies (and could in principle misparse them).
+func TestDecodeJSONArrayLargeSiblingValues(t *testing.T) {
+	pad := strings.Repeat("x", 128*1024)
+	tail := strings.Repeat("y", 70*1024)
+	body := fmt.Sprintf(`{"pad":%q,"timestamps":[1,2,3],"tail":%q}`, pad, tail)
+	batch, err := DecodeJSONArray(strings.NewReader(body), nil)
+	if err != nil {
+		t.Fatalf("decode with large siblings: %v", err)
+	}
+	defer batch.Release()
+	if batch.Count != 3 || !batch.Sorted {
+		t.Fatalf("count/sorted = %d/%v, want 3/true", batch.Count, batch.Sorted)
+	}
+	// Same shape through the 1-byte reader (tiny decoder buffers).
+	b2, err := DecodeJSONArray(&byteAtATime{s: body}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Release()
+	if b2.Count != 3 {
+		t.Fatalf("byte-at-a-time count = %d, want 3", b2.Count)
+	}
+	// A duplicate timestamps key after the large pad must still win.
+	body = fmt.Sprintf(`{"timestamps":[9],"pad":%q,"timestamps":[4,7],"tail":%q}`, pad, tail)
+	b3, err := DecodeJSONArray(strings.NewReader(body), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.Release()
+	if got := b3.Flatten(); len(got) != 2 || got[0] != 4 || got[1] != 7 {
+		t.Fatalf("duplicate-key decode = %v, want [4 7]", got)
+	}
+}
+
+func TestDecodeJSONArrayHonorsLimitReader(t *testing.T) {
+	body := `{"timestamps":[1,2,3,4,5,6,7,8,9,10]}`
+	_, err := DecodeJSONArray(LimitReader(strings.NewReader(body), 10), nil)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge passed through", err)
+	}
+}

@@ -1,0 +1,171 @@
+package engine
+
+// Per-workload configuration. The paper's whole premise is that every
+// workload has its own arrival dynamics and QoS targets, so the knobs
+// that shape one workload's modeling and planning — bin width, pending
+// time, history window, Monte Carlo budget, per-variant plan targets
+// and the retrain cadence — live in a versioned EngineConfig that is
+// persisted in the workload's snapshot and settable at runtime through
+// the control plane (GET/PUT /v1/workloads/{id}/config). The process
+// flags on scalerd only seed the fleet-wide defaults a new workload
+// starts from.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrConflict reports a config update whose Version no longer matches
+// the workload's current config — optimistic concurrency for the PUT
+// config API. The HTTP layer maps it to 409.
+var ErrConflict = errors.New("config version conflict")
+
+// EngineConfig is one workload's policy: every field is per-workload,
+// persisted in the workload's snapshot, and updatable at runtime.
+// Version counts successful updates (starting at 1) and is the
+// compare-and-swap token for concurrent updaters.
+type EngineConfig struct {
+	// Version is bumped on every successful update. An update must carry
+	// the version it read, so two racing PUTs cannot silently stomp each
+	// other.
+	Version int64 `json:"version"`
+	// Dt is the modeling bin width in seconds. Changing it marks the
+	// model stale (its binning no longer matches) for the next retrain.
+	Dt float64 `json:"dt"`
+	// Pending is the instance startup time τ in seconds.
+	Pending float64 `json:"pending"`
+	// HistoryWindow bounds the retained arrival history in seconds;
+	// 0 keeps everything. Shrinking it trims immediately.
+	HistoryWindow float64 `json:"history_window"`
+	// MCSamples is the Monte Carlo budget for rt/cost plan variants.
+	MCSamples int `json:"mc_samples"`
+	// HPTarget is the default hit-probability target for hp plans when
+	// the request does not specify one.
+	HPTarget float64 `json:"hp_target"`
+	// RTTarget is the default wait budget (seconds) for rt plans.
+	RTTarget float64 `json:"rt_target"`
+	// CostTarget is the default idle budget (seconds) for cost plans.
+	CostTarget float64 `json:"cost_target"`
+	// PlanHorizon is the default planning horizon in seconds.
+	PlanHorizon float64 `json:"plan_horizon"`
+	// RetrainEvery is the minimum seconds between background refits of
+	// this workload; 0 refits whenever data is stale, on every sweep.
+	// It gates only the background retrainer — an explicit train request
+	// always runs.
+	RetrainEvery float64 `json:"retrain_every"`
+}
+
+// mcSamplesCap bounds the per-plan Monte Carlo budget an API caller can
+// configure; beyond it one planning round becomes a CPU DoS.
+const mcSamplesCap = 1_000_000
+
+// maxSeconds bounds duration-like config values (~31 years) so a typo
+// can't wedge arithmetic downstream.
+const maxSeconds = 1e9
+
+// validate rejects unusable per-workload settings. Unlike the
+// constructor-time Config.validate it never normalizes: an API update
+// with a bad field is an error, not a silent correction. Errors wrap
+// ErrInvalid so the HTTP layer maps them to 400.
+func (c EngineConfig) validate() error {
+	for name, v := range map[string]float64{
+		"dt": c.Dt, "pending": c.Pending, "history_window": c.HistoryWindow,
+		"hp_target": c.HPTarget, "rt_target": c.RTTarget, "cost_target": c.CostTarget,
+		"plan_horizon": c.PlanHorizon, "retrain_every": c.RetrainEvery,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite %s", ErrInvalid, name)
+		}
+	}
+	if c.Version < 1 {
+		return fmt.Errorf("%w: config version %d must be >= 1", ErrInvalid, c.Version)
+	}
+	if c.Dt <= 0 || c.Dt > maxSeconds {
+		return fmt.Errorf("%w: dt %g outside (0, %g] seconds", ErrInvalid, c.Dt, maxSeconds)
+	}
+	if c.Pending < 0 || c.Pending > maxSeconds {
+		return fmt.Errorf("%w: pending %g outside [0, %g] seconds", ErrInvalid, c.Pending, maxSeconds)
+	}
+	if c.HistoryWindow < 0 || c.HistoryWindow > maxSeconds {
+		return fmt.Errorf("%w: history_window %g outside [0, %g] seconds", ErrInvalid, c.HistoryWindow, maxSeconds)
+	}
+	if c.MCSamples < 1 || c.MCSamples > mcSamplesCap {
+		return fmt.Errorf("%w: mc_samples %d outside [1, %d]", ErrInvalid, c.MCSamples, mcSamplesCap)
+	}
+	if c.HPTarget <= 0 || c.HPTarget >= 1 {
+		return fmt.Errorf("%w: hp_target %g must be in (0,1)", ErrInvalid, c.HPTarget)
+	}
+	if c.RTTarget <= 0 || c.RTTarget > maxSeconds {
+		return fmt.Errorf("%w: rt_target %g outside (0, %g] seconds", ErrInvalid, c.RTTarget, maxSeconds)
+	}
+	if c.CostTarget <= 0 || c.CostTarget > maxSeconds {
+		return fmt.Errorf("%w: cost_target %g outside (0, %g] seconds", ErrInvalid, c.CostTarget, maxSeconds)
+	}
+	if c.PlanHorizon <= 0 || c.PlanHorizon > maxSeconds {
+		return fmt.Errorf("%w: plan_horizon %g outside (0, %g] seconds", ErrInvalid, c.PlanHorizon, maxSeconds)
+	}
+	if c.RetrainEvery < 0 || c.RetrainEvery > maxSeconds {
+		return fmt.Errorf("%w: retrain_every %g outside [0, %g] seconds", ErrInvalid, c.RetrainEvery, maxSeconds)
+	}
+	return nil
+}
+
+// EngineConfig returns the workload's current configuration.
+func (e *Engine) EngineConfig() EngineConfig {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ec
+}
+
+// SetEngineConfig replaces the workload's configuration. The supplied
+// Version must equal the current one (read it via EngineConfig); on
+// success the stored config carries Version+1 and is returned. A stale
+// Version returns ErrConflict and the current config, so the caller can
+// re-read, re-apply and retry.
+//
+// Side effects are applied immediately: every cached plan/forecast is
+// invalidated (results depend on the config), a Dt change marks the
+// model stale for the next retrain sweep (its binning no longer matches
+// the config), and a shrunken HistoryWindow trims the arrival history
+// in place. The update is durable at the next snapshot tick — the
+// config rides in the workload's snapshot, and the change marks the
+// workload dirty.
+func (e *Engine) SetEngineConfig(c EngineConfig) (EngineConfig, error) {
+	if err := c.validate(); err != nil {
+		return EngineConfig{}, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c.Version != e.ec.Version {
+		return e.ec, fmt.Errorf("%w: update carries version %d, current is %d", ErrConflict, c.Version, e.ec.Version)
+	}
+	old := e.ec
+	c.Version = old.Version + 1
+	e.ec = c
+	e.stateGen++
+	if c.Dt != old.Dt {
+		// The model was fit on the old binning: stale, refit next sweep.
+		// (The gen bump also clears a failed-fit marker — a fit that
+		// failed under the old config may succeed under the new one.)
+		e.gen++
+	}
+	if c.HistoryWindow != old.HistoryWindow {
+		n := len(e.arrivals)
+		e.trimLocked()
+		if len(e.arrivals) != n {
+			e.gen++ // data under the model changed
+		}
+	}
+	return e.ec, nil
+}
+
+// StateGen returns the workload's durable-state generation: a counter
+// bumped by every mutation a snapshot must capture (ingest, train,
+// restore, config update). The snapshotter compares it against the
+// generation it last persisted to skip unchanged workloads.
+func (e *Engine) StateGen() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stateGen
+}

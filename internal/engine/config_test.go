@@ -1,0 +1,604 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"robustscaler/internal/store"
+)
+
+func TestEngineConfigDefaultsAndVersioning(t *testing.T) {
+	e, err := New(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := e.EngineConfig()
+	if ec.Version != 1 {
+		t.Fatalf("fresh engine config version = %d, want 1", ec.Version)
+	}
+	if ec.Dt != 60 || ec.Pending != 13 || ec.HPTarget != 0.9 || ec.PlanHorizon != 600 {
+		t.Fatalf("template-derived config = %+v", ec)
+	}
+	ec.Pending = 30
+	applied, err := e.SetEngineConfig(ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied.Version != 2 || applied.Pending != 30 {
+		t.Fatalf("applied = %+v, want version 2 pending 30", applied)
+	}
+	if got := e.EngineConfig(); !reflect.DeepEqual(got, applied) {
+		t.Fatalf("EngineConfig() = %+v, want %+v", got, applied)
+	}
+	// Config() mirrors the live values in the constructor shape.
+	if cfg := e.Config(); cfg.Pending != 30 {
+		t.Fatalf("Config().Pending = %g after update, want 30", cfg.Pending)
+	}
+	// Status surfaces the version for operators.
+	if st := e.Status(); st.ConfigVersion != 2 {
+		t.Fatalf("status config_version = %d, want 2", st.ConfigVersion)
+	}
+}
+
+func TestSetEngineConfigRejectsStaleVersion(t *testing.T) {
+	e, err := New(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := e.EngineConfig()
+	if _, err := e.SetEngineConfig(ec); err != nil { // v1 → v2
+		t.Fatal(err)
+	}
+	// A second update carrying the stale version must be refused, and
+	// the current config returned for a re-read.
+	ec.Pending = 99
+	cur, err := e.SetEngineConfig(ec)
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale update err = %v, want ErrConflict", err)
+	}
+	if cur.Version != 2 || cur.Pending == 99 {
+		t.Fatalf("conflict returned %+v, want the live config", cur)
+	}
+}
+
+func TestSetEngineConfigValidates(t *testing.T) {
+	e, err := New(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := e.EngineConfig()
+	cases := []struct {
+		name string
+		mut  func(*EngineConfig)
+	}{
+		{"zero dt", func(c *EngineConfig) { c.Dt = 0 }},
+		{"negative pending", func(c *EngineConfig) { c.Pending = -1 }},
+		{"hp target 1", func(c *EngineConfig) { c.HPTarget = 1 }},
+		{"hp target 0", func(c *EngineConfig) { c.HPTarget = 0 }},
+		{"zero rt target", func(c *EngineConfig) { c.RTTarget = 0 }},
+		{"zero mc samples", func(c *EngineConfig) { c.MCSamples = 0 }},
+		{"mc samples DoS", func(c *EngineConfig) { c.MCSamples = 10_000_000 }},
+		{"negative retrain cadence", func(c *EngineConfig) { c.RetrainEvery = -5 }},
+		{"huge horizon", func(c *EngineConfig) { c.PlanHorizon = 1e18 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ec := base
+			tc.mut(&ec)
+			if _, err := e.SetEngineConfig(ec); !errors.Is(err, ErrInvalid) {
+				t.Fatalf("err = %v, want ErrInvalid", err)
+			}
+			if got := e.EngineConfig(); !reflect.DeepEqual(got, base) {
+				t.Fatalf("rejected update mutated the config: %+v", got)
+			}
+		})
+	}
+}
+
+// TestConfigChangeInvalidatesPlanCache pins the satellite contract: a
+// config update drops every cached plan/forecast, and the recomputed
+// plan reflects the new parameters.
+func TestConfigChangeInvalidatesPlanCache(t *testing.T) {
+	const now = 4 * 3600.0
+	e := trainedEngine(t, now)
+	req := planReq("hp", now)
+	p1, err := e.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2, _ := e.Plan(req); p2 != p1 {
+		t.Fatal("warm-up: identical re-request missed the cache")
+	}
+	f1, err := e.Forecast(now, now+3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ec := e.EngineConfig()
+	ec.Pending = ec.Pending + 60 // plans lead creations by τ: must shift
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	p3, err := e.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("plan cache survived a config update")
+	}
+	if reflect.DeepEqual(p1.Plan, p3.Plan) {
+		t.Fatal("plan unchanged by a pending-time change: stale parameters used")
+	}
+	f2, err := e.Forecast(now, now+3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecast values don't depend on Pending, but the cached slice must
+	// have been recomputed (fresh backing array), not served stale.
+	if &f1[0] == &f2[0] {
+		t.Fatal("forecast cache survived a config update")
+	}
+}
+
+func TestConfigDtChangeMarksModelStale(t *testing.T) {
+	const now = 4 * 3600.0
+	e := trainedEngine(t, now)
+	if ran, err := e.Retrain(); err != nil || ran {
+		t.Fatalf("fresh model retrained: (%v, %v)", ran, err)
+	}
+	ec := e.EngineConfig()
+	ec.Dt = 30
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	// The model was fit on 60s bins; the next sweep must refit on 30s.
+	ran, err := e.Retrain()
+	if err != nil || !ran {
+		t.Fatalf("Retrain after Dt change = (%v, %v), want (true, nil)", ran, err)
+	}
+}
+
+func TestConfigHistoryWindowShrinkTrims(t *testing.T) {
+	e, err := New(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]float64{0, 1000, 2000, 3000, 4000}); err != nil {
+		t.Fatal(err)
+	}
+	ec := e.EngineConfig()
+	ec.HistoryWindow = 1500
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Status().Arrivals; got != 2 {
+		t.Fatalf("arrivals after window shrink = %d, want 2 (3000, 4000)", got)
+	}
+}
+
+func TestRetrainCadenceGatesBackgroundRefits(t *testing.T) {
+	now := 4 * 3600.0
+	cfg := testConfig(0)
+	cfg.Now = func() float64 { return now }
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(trafficArrivals(7, now)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+	ec := e.EngineConfig()
+	ec.RetrainEvery = 600
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]float64{now + 1, now + 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Stale, but the model is younger than the cadence: skipped.
+	if ran, err := e.Retrain(); err != nil || ran {
+		t.Fatalf("Retrain within cadence = (%v, %v), want skip", ran, err)
+	}
+	// Advance the clock past the cadence: the sweep refits.
+	now += 601
+	if ran, err := e.Retrain(); err != nil || !ran {
+		t.Fatalf("Retrain past cadence = (%v, %v), want (true, nil)", ran, err)
+	}
+	// An explicit Train is never gated.
+	if _, err := e.Ingest([]float64{now + 1, now + 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigSurvivesMarshalRestore(t *testing.T) {
+	const now = 4 * 3600.0
+	src := trainedEngine(t, now)
+	ec := src.EngineConfig()
+	ec.HPTarget = 0.75
+	ec.RetrainEvery = 1234
+	if _, err := src.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	want := src.EngineConfig() // version 2
+	blob, err := src.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.EngineConfig(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored config = %+v, want %+v", got, want)
+	}
+}
+
+// TestIncrementalSnapshotRewritesOnlyDirty is the acceptance check for
+// dirty-generation snapshots: a tick with one changed workload out of N
+// rewrites exactly that workload's file plus the manifest, everything
+// else is carried by reference.
+func TestIncrementalSnapshotRewritesOnlyDirty(t *testing.T) {
+	const now = 4 * 3600.0
+	dir := t.TempDir()
+	reg, err := NewRegistry(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a", "b", "c"}
+	for i, id := range ids {
+		e, err := reg.GetOrCreate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Ingest(trafficArrivals(int64(i+1), now)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := reg.SnapshotTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != 3 || stats.Kept != 0 {
+		t.Fatalf("first tick stats = %+v, want 3 written", stats)
+	}
+	files := func() map[string]bool {
+		entries, err := os.ReadDir(filepath.Join(dir, store.WorkloadDir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]bool{}
+		for _, en := range entries {
+			out[en.Name()] = true
+		}
+		return out
+	}
+	before := files()
+
+	// Idle tick: nothing marshaled, nothing rewritten.
+	stats, err = reg.SnapshotTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != 0 || stats.Kept != 3 {
+		t.Fatalf("idle tick stats = %+v, want 0 written / 3 kept", stats)
+	}
+	if got := files(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("idle tick touched files: %v -> %v", before, got)
+	}
+
+	// Dirty exactly one workload; the tick rewrites exactly one file.
+	e, _ := reg.Get("b")
+	if _, err := e.Ingest([]float64{now + 5}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = reg.SnapshotTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != 1 || stats.Kept != 2 || stats.Removed != 1 {
+		t.Fatalf("dirty tick stats = %+v, want 1 written / 2 kept / 1 removed", stats)
+	}
+	after := files()
+	carried := 0
+	for name := range after {
+		if before[name] {
+			carried++
+		}
+	}
+	if len(after) != 3 || carried != 2 {
+		t.Fatalf("dirty tick rewrote %d files, want exactly 1 (before %v after %v)",
+			len(after)-carried, before, after)
+	}
+
+	// A config update also dirties its workload.
+	ec := e.EngineConfig()
+	ec.Pending = 42
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = reg.SnapshotTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != 1 || stats.Kept != 2 {
+		t.Fatalf("config-dirty tick stats = %+v, want 1 written / 2 kept", stats)
+	}
+
+	// The incremental snapshot restores completely.
+	dst, err := NewRegistry(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := dst.RestoreFrom(st2); err != nil || n != 3 {
+		t.Fatalf("RestoreFrom = (%d, %v), want (3, nil)", n, err)
+	}
+	db, _ := dst.Get("b")
+	if got := db.EngineConfig().Pending; got != 42 {
+		t.Fatalf("restored b pending = %g, want 42", got)
+	}
+	// And a restored-but-unchanged fleet snapshots as a no-op.
+	if stats, err := dst.SnapshotTo(st2); err != nil || stats.Written != 0 {
+		t.Fatalf("post-restore tick stats = %+v (%v), want 0 written", stats, err)
+	}
+}
+
+// TestRemoveClearsSnapshotBookkeeping pins a subtle dirty-tracking
+// hazard: removing a workload must forget its saved generation, or a
+// recreated workload whose fresh StateGen happens to coincide with the
+// stale one would be "carried unchanged" and its new data never
+// persisted.
+func TestRemoveClearsSnapshotBookkeeping(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.GetOrCreate("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]float64{1, 2, 3}); err != nil { // stateGen 1
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SnapshotTo(st); err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Remove("w") {
+		t.Fatal("remove failed")
+	}
+	// Recreate with different data; one ingest lands the fresh engine on
+	// the same state generation the old saved entry recorded.
+	e2, err := reg.GetOrCreate("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e2.Ingest([]float64{10, 20, 30, 40}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := reg.SnapshotTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != 1 {
+		t.Fatalf("recreated workload carried as unchanged (stats %+v); its data was never persisted", stats)
+	}
+	dst, err := NewRegistry(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Restore(dir); err != nil {
+		t.Fatal(err)
+	}
+	dw, _ := dst.Get("w")
+	if got := dw.Status().Arrivals; got != 4 {
+		t.Fatalf("restored arrivals = %d, want the recreated workload's 4", got)
+	}
+}
+
+// TestSnapshotBookkeepingIsPerDir pins another dirty-tracking hazard:
+// a backup snapshot into a second directory must not convince the
+// primary directory's next tick that its older files are current.
+func TestSnapshotBookkeepingIsPerDir(t *testing.T) {
+	reg, err := NewRegistry(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := reg.GetOrCreate("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	primary, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SnapshotTo(primary); err != nil {
+		t.Fatal(err)
+	}
+	// New data lands, then an operator takes a backup into another dir.
+	if _, err := e.Ingest([]float64{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	backup, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats, err := reg.SnapshotTo(backup); err != nil || stats.Written != 1 {
+		t.Fatalf("backup snapshot = %+v (%v), want 1 written", stats, err)
+	}
+	// The primary tick must still see the workload as dirty: its dir
+	// holds the pre-backup state.
+	stats, err := reg.SnapshotTo(primary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != 1 {
+		t.Fatalf("primary tick after backup = %+v, want 1 written (stale file kept instead)", stats)
+	}
+	dst, err := NewRegistry(testConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.RestoreFrom(primary); err != nil {
+		t.Fatal(err)
+	}
+	dw, _ := dst.Get("w")
+	if got := dw.Status().Arrivals; got != 5 {
+		t.Fatalf("primary restore has %d arrivals, want 5", got)
+	}
+}
+
+// TestV1MonolithicMigrationPreservesPlans is the acceptance check for
+// read-side migration: a fleet persisted in the legacy v1 monolithic
+// format restores through the v2 store with byte-identical plan and
+// forecast output, both straight off the legacy file and again after
+// the migration commit rewrites it as the per-workload layout.
+func TestV1MonolithicMigrationPreservesPlans(t *testing.T) {
+	const now = 4 * 3600.0
+	dir := t.TempDir()
+	src, err := NewRegistry(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"registry-eu", "ci-runners"}
+	type golden struct{ hp, rt, fc string }
+	want := map[string]golden{}
+	var v1 []store.Workload
+	for i, id := range ids {
+		e, err := src.GetOrCreate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Ingest(trafficArrivals(int64(i+1), now)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Train(); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = golden{
+			hp: mustJSONString(t, planOf(t, e, "hp", now)),
+			rt: mustJSONString(t, planOf(t, e, "rt", now)),
+			fc: mustJSONString(t, mustForecast(t, e, now)),
+		}
+		// A true pre-config-plane blob has no "config" object: strip it,
+		// so the legacy restore path is what's under test.
+		blob, err := e.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(blob, &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "config")
+		legacy, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1 = append(v1, store.Workload{ID: id, State: legacy})
+	}
+	if err := store.SaveV1(dir, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(stage string, r *Registry) {
+		t.Helper()
+		for _, id := range ids {
+			e, ok := r.Get(id)
+			if !ok {
+				t.Fatalf("%s: workload %s missing", stage, id)
+			}
+			if got := mustJSONString(t, planOf(t, e, "hp", now)); got != want[id].hp {
+				t.Fatalf("%s: %s hp plan drifted across migration:\ngot  %s\nwant %s", stage, id, got, want[id].hp)
+			}
+			if got := mustJSONString(t, planOf(t, e, "rt", now)); got != want[id].rt {
+				t.Fatalf("%s: %s rt plan drifted across migration", stage, id)
+			}
+			if got := mustJSONString(t, mustForecast(t, e, now)); got != want[id].fc {
+				t.Fatalf("%s: %s forecast drifted across migration", stage, id)
+			}
+		}
+	}
+
+	// Restore straight off the legacy monolithic file.
+	mid, err := NewRegistry(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := mid.RestoreFrom(st); err != nil || n != len(ids) {
+		t.Fatalf("legacy RestoreFrom = (%d, %v), want (%d, nil)", n, err, len(ids))
+	}
+	check("legacy restore", mid)
+
+	// One snapshot tick migrates the layout (and must rewrite all of it:
+	// the legacy file never counts as covering a workload).
+	stats, err := mid.SnapshotTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != len(ids) {
+		t.Fatalf("migration tick wrote %d, want %d", stats.Written, len(ids))
+	}
+	if _, err := os.Stat(filepath.Join(dir, store.SnapshotFile)); !os.IsNotExist(err) {
+		t.Fatal("legacy monolithic snapshot survived migration")
+	}
+
+	// Restore from the migrated per-workload layout: same bytes out.
+	dst, err := NewRegistry(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := dst.Restore(dir); err != nil || n != len(ids) {
+		t.Fatalf("post-migration Restore = (%d, %v), want (%d, nil)", n, err, len(ids))
+	}
+	check("post-migration restore", dst)
+}
+
+func mustJSONString(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func mustForecast(t *testing.T, e *Engine, now float64) []ForecastPoint {
+	t.Helper()
+	pts, err := e.Forecast(now, now+3600, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}

@@ -42,7 +42,12 @@ var (
 )
 
 // Config parameterizes one workload's engine (and, via Registry, every
-// workload it creates).
+// workload it creates). The per-workload fields (Dt, Pending,
+// HistoryWindow, MCSamples, the plan targets and RetrainEvery) only
+// seed the workload's initial EngineConfig — after creation they are
+// read, persisted and updated through the versioned config plane
+// (EngineConfig / SetEngineConfig), so on a running daemon the flags
+// behind this struct are fleet defaults, not live settings.
 type Config struct {
 	// Dt is the modeling bin width in seconds.
 	Dt float64
@@ -65,6 +70,21 @@ type Config struct {
 	// Now supplies the current time as a Unix-epoch-like second count;
 	// defaults to time.Now. Tests inject a fake clock.
 	Now func() float64
+	// HPTarget is the default hit-probability target for hp plans;
+	// 0 means 0.9.
+	HPTarget float64
+	// RTTarget is the default wait budget (seconds) for rt plans;
+	// 0 means 0.9 (the pre-config-plane request default).
+	RTTarget float64
+	// CostTarget is the default idle budget (seconds) for cost plans;
+	// 0 means 0.9 (the pre-config-plane request default).
+	CostTarget float64
+	// PlanHorizon is the default planning horizon in seconds; 0 means
+	// 600.
+	PlanHorizon float64
+	// RetrainEvery is the per-workload minimum seconds between
+	// background refits; 0 refits whenever stale.
+	RetrainEvery float64
 }
 
 // DefaultConfig returns a production-shaped configuration.
@@ -95,24 +115,83 @@ func (c *Config) validate() error {
 	if c.Now == nil {
 		c.Now = func() float64 { return float64(time.Now().UnixNano()) / 1e9 }
 	}
+	if c.HPTarget == 0 {
+		c.HPTarget = 0.9
+	}
+	if c.RTTarget == 0 {
+		c.RTTarget = 0.9
+	}
+	if c.CostTarget == 0 {
+		c.CostTarget = 0.9
+	}
+	if c.PlanHorizon == 0 {
+		c.PlanHorizon = 600
+	}
 	return nil
+}
+
+// engineConfig derives the initial per-workload EngineConfig from a
+// normalized template. applyEngineConfig is its inverse; a new
+// per-workload knob must be added to both (and to the EngineConfig
+// struct itself).
+func (c Config) engineConfig() EngineConfig {
+	return EngineConfig{
+		Version:       1,
+		Dt:            c.Dt,
+		Pending:       c.Pending,
+		HistoryWindow: c.HistoryWindow,
+		MCSamples:     c.MCSamples,
+		HPTarget:      c.HPTarget,
+		RTTarget:      c.RTTarget,
+		CostTarget:    c.CostTarget,
+		PlanHorizon:   c.PlanHorizon,
+		RetrainEvery:  c.RetrainEvery,
+	}
+}
+
+// applyEngineConfig returns a copy of c with the per-workload tunables
+// replaced by ec's values — the inverse of engineConfig.
+func (c Config) applyEngineConfig(ec EngineConfig) Config {
+	c.Dt = ec.Dt
+	c.Pending = ec.Pending
+	c.HistoryWindow = ec.HistoryWindow
+	c.MCSamples = ec.MCSamples
+	c.HPTarget = ec.HPTarget
+	c.RTTarget = ec.RTTarget
+	c.CostTarget = ec.CostTarget
+	c.PlanHorizon = ec.PlanHorizon
+	c.RetrainEvery = ec.RetrainEvery
+	return c
 }
 
 // Engine is the scaling brain of a single workload: sorted arrival
 // history, the current NHPP model, and the decision math that turns the
 // model into creation plans. All methods are safe for concurrent use,
-// with one carve-out: RestoreState rewrites the configuration that
-// other methods read without locking, so it must complete before the
-// engine serves traffic (the boot sequence in cmd/scalerd guarantees
-// this). Model fitting runs outside the lock so a slow refit never
-// blocks ingest or planning.
+// with one carve-out: RestoreState rewrites the RNG seed that
+// MarshalState reads, so it must complete before the engine serves
+// traffic (the boot sequence in cmd/scalerd guarantees this). Model
+// fitting runs outside the lock so a slow refit never blocks ingest or
+// planning.
+//
+// cfg holds the static, immutable-after-New parts (Train sub-config,
+// clock, MC worker pool, seed); the per-workload tunables live in ec,
+// guarded by mu, because SetEngineConfig mutates them at runtime.
 type Engine struct {
 	cfg Config
 
 	mu       sync.Mutex
+	ec       EngineConfig
 	arrivals []float64 // sorted
 	model    *robustscaler.Model
 	trainedN int // arrivals included in the current model
+	// stateGen counts durable-state mutations (ingest, train install,
+	// restore, config update); the snapshotter uses it to skip workloads
+	// unchanged since the last persisted generation.
+	stateGen uint64
+	// lastTrainAt is when the current model was installed (engine clock
+	// seconds); RetrainEvery gates the background sweep against it. Not
+	// persisted: after a restore the first due refit may run immediately.
+	lastTrainAt float64
 	// gen counts ingested batches; trainedGen is the gen the current
 	// model saw. Staleness is a generation comparison, not an arrival
 	// count: with a full history window the trim can remove exactly as
@@ -127,14 +206,17 @@ type Engine struct {
 	rng       *rand.Rand
 
 	// Result cache for Plan/Forecast, also guarded by mu. Entries are
-	// valid only while (cacheGen, cacheModel) still match (gen, model);
-	// ingest bumps gen, train installs a new model pointer and restore
-	// resets both, so all three invalidate the cache without touching
-	// it. Bounded by maxCachedResults; see cachedPlanLocked.
-	cacheGen   int64
-	cacheModel *robustscaler.Model
-	planCache  map[planKey]*Plan
-	fcCache    map[forecastKey][]ForecastPoint
+	// valid only while (cacheGen, cacheModel, cacheCfgVer) still match
+	// (gen, model, ec.Version); ingest bumps gen, train installs a new
+	// model pointer, restore resets all three and a config update bumps
+	// the version (plans depend on Pending/MCSamples/...), so each
+	// invalidates the cache without touching it. Bounded by
+	// maxCachedResults; see cachedPlanLocked.
+	cacheGen    int64
+	cacheModel  *robustscaler.Model
+	cacheCfgVer int64
+	planCache   map[planKey]*Plan
+	fcCache     map[forecastKey][]ForecastPoint
 }
 
 // planKey identifies one cacheable planning round. Clock-anchored
@@ -166,11 +248,22 @@ func New(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+	ec := cfg.engineConfig()
+	if err := ec.validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{cfg: cfg, ec: ec, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
 }
 
-// Config returns the engine's (normalized) configuration.
-func (e *Engine) Config() Config { return e.cfg }
+// Config returns the engine's configuration in the constructor's shape:
+// the static template fields plus the current values of the
+// per-workload tunables (which may have moved since construction via
+// SetEngineConfig).
+func (e *Engine) Config() Config {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cfg.applyEngineConfig(e.ec)
+}
 
 // Now reads the engine's clock — the injectable time source callers use
 // to default request anchors consistently with the engine.
@@ -215,11 +308,12 @@ func (e *Engine) Ingest(timestamps []float64) (int, error) {
 	// A batch that already falls entirely outside the history window
 	// (e.g. a backfill replaying expired data) changes nothing: skip the
 	// merge and the gen bump so it doesn't trigger a redundant refit.
-	if n := len(e.arrivals); n > 0 && e.cfg.HistoryWindow > 0 &&
-		batch[len(batch)-1] < e.arrivals[n-1]-e.cfg.HistoryWindow {
+	if n := len(e.arrivals); n > 0 && e.ec.HistoryWindow > 0 &&
+		batch[len(batch)-1] < e.arrivals[n-1]-e.ec.HistoryWindow {
 		return n, nil
 	}
 	e.gen++
+	e.stateGen++
 	if n := len(e.arrivals); n == 0 || batch[0] >= e.arrivals[n-1] {
 		e.arrivals = append(e.arrivals, batch...)
 	} else {
@@ -235,10 +329,10 @@ func (e *Engine) Ingest(timestamps []float64) (int, error) {
 // is reclaimed when append outgrows the backing array, which amortizes
 // to O(batch).
 func (e *Engine) trimLocked() {
-	if e.cfg.HistoryWindow <= 0 || len(e.arrivals) == 0 {
+	if e.ec.HistoryWindow <= 0 || len(e.arrivals) == 0 {
 		return
 	}
-	cut := e.arrivals[len(e.arrivals)-1] - e.cfg.HistoryWindow
+	cut := e.arrivals[len(e.arrivals)-1] - e.ec.HistoryWindow
 	if i := sort.SearchFloat64s(e.arrivals, cut); i > 0 {
 		e.arrivals = e.arrivals[i:]
 	}
@@ -278,11 +372,12 @@ func (e *Engine) IngestSortedChunks(chunks [][]float64) (int, error) {
 		return len(e.arrivals), nil
 	}
 	// Entirely behind the history window: a no-op, like Ingest.
-	if n := len(e.arrivals); n > 0 && e.cfg.HistoryWindow > 0 &&
-		last < e.arrivals[n-1]-e.cfg.HistoryWindow {
+	if n := len(e.arrivals); n > 0 && e.ec.HistoryWindow > 0 &&
+		last < e.arrivals[n-1]-e.ec.HistoryWindow {
 		return n, nil
 	}
 	e.gen++
+	e.stateGen++
 	// One exactly-sized grow instead of append's doubling dance: the
 	// batch size is known up front, which a streaming decode earns us.
 	if need := len(e.arrivals) + total; need > cap(e.arrivals) {
@@ -343,6 +438,7 @@ func (e *Engine) Train() (TrainInfo, error) {
 	e.mu.Lock()
 	arr := append([]float64(nil), e.arrivals...)
 	gen := e.gen
+	dt := e.ec.Dt
 	e.mu.Unlock()
 	if len(arr) < 2 {
 		return TrainInfo{}, ErrNoData
@@ -351,15 +447,19 @@ func (e *Engine) Train() (TrainInfo, error) {
 	// astronomical (one stray far-off timestamp with no history window)
 	// must fail cleanly instead of allocating an O(span/Δt) series in
 	// the background retrainer.
-	if bins := (arr[len(arr)-1] - arr[0]) / e.cfg.Dt; bins > maxTrainBins {
+	if bins := (arr[len(arr)-1] - arr[0]) / dt; bins > maxTrainBins {
 		e.mu.Lock()
 		if gen > e.failedGen {
 			e.failedGen = gen
+			// The failed marker is persisted (engineState.Failed): without
+			// this bump an incremental snapshot would keep the pre-failure
+			// blob and every boot would re-run the known-doomed fit once.
+			e.stateGen++
 		}
 		e.mu.Unlock()
 		return TrainInfo{}, fmt.Errorf("%w: history spans %.3g bins (max %g); trim or set HistoryWindow", ErrInvalid, bins, float64(maxTrainBins))
 	}
-	series := buildSeries(arr, e.cfg.Dt)
+	series := buildSeries(arr, dt)
 	// The arrival history is already bounded to HistoryWindow at ingest,
 	// so the fit covers the whole series (window 0).
 	model, err := robustscaler.FitWindow(series, 0, e.cfg.Train)
@@ -367,6 +467,7 @@ func (e *Engine) Train() (TrainInfo, error) {
 		e.mu.Lock()
 		if gen > e.failedGen {
 			e.failedGen = gen
+			e.stateGen++ // the persisted Failed marker changed; see above
 		}
 		e.mu.Unlock()
 		return TrainInfo{}, fmt.Errorf("training failed: %w", err)
@@ -377,6 +478,8 @@ func (e *Engine) Train() (TrainInfo, error) {
 		e.model = model
 		e.trainedN = len(arr)
 		e.trainedGen = gen
+		e.stateGen++
+		e.lastTrainAt = e.cfg.Now()
 	}
 	e.mu.Unlock()
 	return TrainInfo{
@@ -391,10 +494,17 @@ func (e *Engine) Train() (TrainInfo, error) {
 // Retrain refits only when arrivals accumulated since the last fit — the
 // idempotent step the background worker pool calls on every sweep. It
 // reports whether a refit ran; on error the previous model is kept, per
-// the retraining semantics of robustscaler.FitWindow.
+// the retraining semantics of robustscaler.FitWindow. A per-workload
+// RetrainEvery additionally rate-limits refits of an existing model:
+// a stale workload whose model is younger than the cadence is skipped
+// until the next sweep (an explicit Train is never gated).
 func (e *Engine) Retrain() (bool, error) {
 	e.mu.Lock()
 	stale := len(e.arrivals) >= 2 && e.gen != e.trainedGen && e.gen != e.failedGen
+	if stale && e.model != nil && e.ec.RetrainEvery > 0 &&
+		e.cfg.Now()-e.lastTrainAt < e.ec.RetrainEvery {
+		stale = false
+	}
 	e.mu.Unlock()
 	if !stale {
 		return false, nil
@@ -463,6 +573,7 @@ func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 	e.mu.Lock()
 	model := e.model
 	gen := e.gen
+	ec := e.ec
 	e.mu.Unlock()
 	if model == nil {
 		return nil, ErrNoModel
@@ -485,7 +596,7 @@ func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 		}
 	}
 
-	tau := e.cfg.Pending
+	tau := ec.Pending
 	alpha := 0.1
 	switch variant {
 	case "hp":
@@ -500,16 +611,16 @@ func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 
 	keyNow := now
 	if !req.HasNow {
-		q := e.cfg.Dt / 4 // the planning grid step
+		q := ec.Dt / 4 // the planning grid step
 		keyNow = math.Floor(now/q) * q
 	}
 	key := planKey{variant: variant, target: target, horizon: horizon, now: keyNow, hasNow: req.HasNow}
-	if p, ok := e.cachedPlan(gen, model, key); ok {
+	if p, ok := e.cachedPlan(gen, model, ec.Version, key); ok {
 		return p, nil
 	}
 
 	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
-	h := decision.NewHorizon(model.NHPP, now, e.cfg.Dt/4, 0)
+	h := decision.NewHorizon(model.NHPP, now, ec.Dt/4, 0)
 	var tauS []float64
 	var sampler *mcSampler
 	if variant == "rt" || variant == "cost" {
@@ -523,8 +634,8 @@ func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 		e.mu.Lock()
 		seed := e.rng.Int63()
 		e.mu.Unlock()
-		sampler = newMCSampler(h, now, e.cfg.MCSamples, seed, e.cfg.MCWorkers)
-		tauS = make([]float64, e.cfg.MCSamples)
+		sampler = newMCSampler(h, now, ec.MCSamples, seed, e.cfg.MCWorkers)
+		tauS = make([]float64, ec.MCSamples)
 		for i := range tauS {
 			tauS[i] = tau
 		}
@@ -559,16 +670,16 @@ planLoop:
 		}
 		resp.Plan = append(resp.Plan, PlanEntry{QueryIndex: i, CreateAt: x, LeadSecs: x - now})
 	}
-	e.storePlan(gen, model, key, resp)
+	e.storePlan(gen, model, ec.Version, key, resp)
 	return resp, nil
 }
 
 // cachedPlan returns the cached round for key, provided the cache still
-// belongs to the (gen, model) the caller read.
-func (e *Engine) cachedPlan(gen int64, model *robustscaler.Model, key planKey) (*Plan, bool) {
+// belongs to the (gen, model, cfgVer) the caller read.
+func (e *Engine) cachedPlan(gen int64, model *robustscaler.Model, cfgVer int64, key planKey) (*Plan, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.cacheGen != gen || e.cacheModel != model || e.planCache == nil {
+	if e.cacheGen != gen || e.cacheModel != model || e.cacheCfgVer != cfgVer || e.planCache == nil {
 		return nil, false
 	}
 	p, ok := e.planCache[key]
@@ -576,30 +687,31 @@ func (e *Engine) cachedPlan(gen int64, model *robustscaler.Model, key planKey) (
 }
 
 // storePlan caches a computed round unless the world moved on while it
-// was being computed (an ingest or train landed mid-flight) — a stale
-// round is still correct to return once, but must not be served again.
-func (e *Engine) storePlan(gen int64, model *robustscaler.Model, key planKey, p *Plan) {
+// was being computed (an ingest, train or config update landed
+// mid-flight) — a stale round is still correct to return once, but must
+// not be served again.
+func (e *Engine) storePlan(gen int64, model *robustscaler.Model, cfgVer int64, key planKey, p *Plan) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.gen != gen || e.model != model {
+	if e.gen != gen || e.model != model || e.ec.Version != cfgVer {
 		return
 	}
-	e.rebindCacheLocked(gen, model)
+	e.rebindCacheLocked(gen, model, cfgVer)
 	if len(e.planCache) >= maxCachedResults {
 		clear(e.planCache)
 	}
 	e.planCache[key] = p
 }
 
-// rebindCacheLocked points the cache at (gen, model), dropping every
-// entry of a previous binding. Invalidation is lazy: ingest/train/
-// restore only move gen or the model pointer, and the next lookup under
-// the new binding misses.
-func (e *Engine) rebindCacheLocked(gen int64, model *robustscaler.Model) {
-	if e.cacheGen == gen && e.cacheModel == model && e.planCache != nil {
+// rebindCacheLocked points the cache at (gen, model, cfgVer), dropping
+// every entry of a previous binding. Invalidation is lazy: ingest/
+// train/restore/config updates only move gen, the model pointer or the
+// config version, and the next lookup under the new binding misses.
+func (e *Engine) rebindCacheLocked(gen int64, model *robustscaler.Model, cfgVer int64) {
+	if e.cacheGen == gen && e.cacheModel == model && e.cacheCfgVer == cfgVer && e.planCache != nil {
 		return
 	}
-	e.cacheGen, e.cacheModel = gen, model
+	e.cacheGen, e.cacheModel, e.cacheCfgVer = gen, model, cfgVer
 	e.planCache = make(map[planKey]*Plan)
 	e.fcCache = make(map[forecastKey][]ForecastPoint)
 }
@@ -618,6 +730,7 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 	e.mu.Lock()
 	model := e.model
 	gen := e.gen
+	cfgVer := e.ec.Version
 	e.mu.Unlock()
 	if model == nil {
 		return nil, ErrNoModel
@@ -633,7 +746,7 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 		return nil, fmt.Errorf("%w: invalid range/step", ErrInvalid)
 	}
 	key := forecastKey{from: from, to: to, step: step}
-	if pts, ok := e.cachedForecast(gen, model, key); ok {
+	if pts, ok := e.cachedForecast(gen, model, cfgVer, key); ok {
 		return pts, nil
 	}
 	// Advance by index, not accumulation: at large magnitudes t += step
@@ -646,27 +759,27 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 		}
 		pts = append(pts, ForecastPoint{T: t, QPS: model.Rate(t)})
 	}
-	e.storeForecast(gen, model, key, pts)
+	e.storeForecast(gen, model, cfgVer, key, pts)
 	return pts, nil
 }
 
-func (e *Engine) cachedForecast(gen int64, model *robustscaler.Model, key forecastKey) ([]ForecastPoint, bool) {
+func (e *Engine) cachedForecast(gen int64, model *robustscaler.Model, cfgVer int64, key forecastKey) ([]ForecastPoint, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.cacheGen != gen || e.cacheModel != model || e.fcCache == nil {
+	if e.cacheGen != gen || e.cacheModel != model || e.cacheCfgVer != cfgVer || e.fcCache == nil {
 		return nil, false
 	}
 	pts, ok := e.fcCache[key]
 	return pts, ok
 }
 
-func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, key forecastKey, pts []ForecastPoint) {
+func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, cfgVer int64, key forecastKey, pts []ForecastPoint) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.gen != gen || e.model != model {
+	if e.gen != gen || e.model != model || e.ec.Version != cfgVer {
 		return
 	}
-	e.rebindCacheLocked(gen, model)
+	e.rebindCacheLocked(gen, model, cfgVer)
 	if len(e.fcCache) >= maxCachedResults {
 		clear(e.fcCache)
 	}
@@ -680,6 +793,7 @@ type Status struct {
 	ModelReady    bool    `json:"model_ready"`
 	PeriodSeconds float64 `json:"period_seconds"`
 	RateNow       float64 `json:"rate_now_qps"`
+	ConfigVersion int64   `json:"config_version"`
 }
 
 // Status reports the workload's ingestion and model state.
@@ -687,9 +801,10 @@ func (e *Engine) Status() Status {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := Status{
-		Arrivals:   len(e.arrivals),
-		TrainedOn:  e.trainedN,
-		ModelReady: e.model != nil,
+		Arrivals:      len(e.arrivals),
+		TrainedOn:     e.trainedN,
+		ModelReady:    e.model != nil,
+		ConfigVersion: e.ec.Version,
 	}
 	if e.model != nil {
 		st.PeriodSeconds = e.model.PeriodSeconds

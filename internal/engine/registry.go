@@ -21,11 +21,19 @@ const numShards = 32
 type Registry struct {
 	cfg    Config
 	shards [numShards]shard
-	// snapMu serializes Snapshot's collect+save: without it, a slow
-	// snapshot that collected the registry before a Remove could rename
-	// its stale file over the delete-triggered snapshot (rename is
-	// last-wins), resurrecting the deleted workload on the next boot.
+	// snapMu serializes SnapshotTo's collect+commit: without it, a slow
+	// snapshot that collected the registry before a Remove could commit
+	// its stale manifest over the delete-triggered snapshot (the last
+	// commit wins), resurrecting the deleted workload on the next boot.
+	// It also guards saved.
 	snapMu sync.Mutex
+	// saved maps data dir → workload ID → the durable-state generation
+	// the last commit into that dir captured; SnapshotTo skips workloads
+	// whose engines still sit at that generation (see Engine.StateGen).
+	// Keyed per dir because bookkeeping is per store: a backup snapshot
+	// into a second dir must not make the primary dir's next tick
+	// believe its (older) files are current.
+	saved map[string]map[string]uint64
 }
 
 type shard struct {
@@ -39,7 +47,7 @@ func NewRegistry(cfg Config) (*Registry, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	r := &Registry{cfg: cfg}
+	r := &Registry{cfg: cfg, saved: make(map[string]map[string]uint64)}
 	for i := range r.shards {
 		r.shards[i].engines = make(map[string]*Engine)
 	}
@@ -109,12 +117,25 @@ func (r *Registry) GetOrCreate(id string) (*Engine, error) {
 func (r *Registry) Remove(id string) bool {
 	s := r.shard(id)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.engines[id]; !ok {
-		return false
+	_, ok := s.engines[id]
+	if ok {
+		delete(s.engines, id)
 	}
-	delete(s.engines, id)
-	return true
+	s.mu.Unlock()
+	if ok {
+		// Drop the snapshot bookkeeping too — after the shard lock is
+		// released (SnapshotTo takes snapMu before shard locks, so
+		// nesting them the other way here would invite a deadlock).
+		// Without this, a recreated workload whose fresh state
+		// generation happens to match the stale saved one would be
+		// "carried unchanged" and never persisted.
+		r.snapMu.Lock()
+		for _, m := range r.saved {
+			delete(m, id)
+		}
+		r.snapMu.Unlock()
+	}
+	return ok
 }
 
 // Len returns the number of registered workloads.

@@ -2,14 +2,25 @@ package engine
 
 // This file is the durability layer of the engine: what survives a
 // process restart, and how. Engine.MarshalState / Engine.RestoreState
-// define the per-workload state blob; Registry.Snapshot / Restore move
-// every workload through internal/store's atomic on-disk format; the
-// Snapshotter mirrors the Retrainer's background-loop pattern to keep
-// snapshots fresh without operator action. JSON encoding and disk I/O
-// run outside the engine mutex; the lock is held only for a defensive
-// copy of the arrival history (required — ingest appends into the
-// shared backing array), so the stall a snapshot can impose on ingest
-// or planning is one memcpy, never an encode or a write.
+// define the per-workload state blob (arrival history, fitted model,
+// and the versioned per-workload EngineConfig); Registry.SnapshotTo /
+// RestoreFrom move every workload through internal/store's per-workload
+// manifest layout; the Snapshotter mirrors the Retrainer's
+// background-loop pattern to keep snapshots fresh without operator
+// action.
+//
+// Snapshots are incremental: every engine carries a durable-state
+// generation (stateGen, bumped by ingest/train/restore/config updates)
+// and the registry remembers the generation it last persisted per
+// workload, so a snapshot tick marshals and rewrites only workloads
+// that changed — a large idle fleet costs one manifest write, not a
+// fleet-wide serialization.
+//
+// JSON encoding and disk I/O run outside the engine mutex; the lock is
+// held only for a defensive copy of the arrival history (required —
+// ingest appends into the shared backing array), so the stall a
+// snapshot can impose on ingest or planning is one memcpy, never an
+// encode or a write.
 
 import (
 	"encoding/json"
@@ -26,19 +37,27 @@ import (
 	"robustscaler/internal/store"
 )
 
-// engineState is the persisted form of one Engine: the scalar workload
+// engineState is the persisted form of one Engine: the per-workload
 // configuration, the retained arrival history and the fitted model. The
 // Train sub-config and the clock are deliberately not persisted — they
 // describe how future fits run, not what was learned, so the restoring
 // process's (possibly newer) settings apply.
+//
+// The scalar fields (Dt..Seed) are the v1 blob schema; v2 blobs carry
+// the full versioned config under "config" and keep writing the scalars
+// so a pre-config-plane build can still restore the snapshot after a
+// rollback. RestoreState reads either shape.
 type engineState struct {
-	Dt            float64   `json:"dt"`
-	Pending       float64   `json:"pending"`
-	HistoryWindow float64   `json:"history_window"`
-	MCSamples     int       `json:"mc_samples"`
-	Seed          int64     `json:"seed"`
-	Arrivals      []float64 `json:"arrivals"`
-	TrainedN      int       `json:"trained_n"`
+	Dt            float64 `json:"dt"`
+	Pending       float64 `json:"pending"`
+	HistoryWindow float64 `json:"history_window"`
+	MCSamples     int     `json:"mc_samples"`
+	Seed          int64   `json:"seed"`
+	// Config is the versioned per-workload configuration (v2 blobs);
+	// nil in blobs written before the config plane existed.
+	Config   *EngineConfig `json:"config,omitempty"`
+	Arrivals []float64     `json:"arrivals"`
+	TrainedN int           `json:"trained_n"`
 	// Stale records whether arrivals had landed after the model's fit at
 	// snapshot time, so a restart cannot launder an outdated model into a
 	// fresh-looking one: the restored engine re-enters the background
@@ -66,26 +85,31 @@ type modelState struct {
 	FitStats      nhpp.FitStats `json:"fit_stats"`
 }
 
-// MarshalState serializes the engine's durable state (config scalars,
-// arrival history, fitted model, staleness) to a JSON blob for
-// Engine.RestoreState. The engine lock is held only to copy the state
-// out (an O(history) memcpy — the backing array is shared with ingest);
-// JSON encoding happens unlocked.
-func (e *Engine) MarshalState() ([]byte, error) {
+// marshalState serializes the engine's durable state and reports the
+// state generation the blob captures, so the snapshotter can record
+// exactly what it persisted even if the engine moves on mid-write. The
+// engine lock is held only to copy the state out (an O(history) memcpy
+// — the backing array is shared with ingest); JSON encoding happens
+// unlocked.
+func (e *Engine) marshalState() ([]byte, uint64, error) {
 	e.mu.Lock()
 	arr := append([]float64(nil), e.arrivals...)
 	model := e.model
 	trainedN := e.trainedN
 	stale := e.gen != e.trainedGen
 	failed := e.gen > 0 && e.gen == e.failedGen
+	ec := e.ec
+	seed := e.cfg.Seed
+	gen := e.stateGen
 	e.mu.Unlock()
 
 	st := engineState{
-		Dt:            e.cfg.Dt,
-		Pending:       e.cfg.Pending,
-		HistoryWindow: e.cfg.HistoryWindow,
-		MCSamples:     e.cfg.MCSamples,
-		Seed:          e.cfg.Seed,
+		Dt:            ec.Dt,
+		Pending:       ec.Pending,
+		HistoryWindow: ec.HistoryWindow,
+		MCSamples:     ec.MCSamples,
+		Seed:          seed,
+		Config:        &ec,
 		Arrivals:      arr,
 		TrainedN:      trainedN,
 		Stale:         stale,
@@ -103,9 +127,17 @@ func (e *Engine) MarshalState() ([]byte, error) {
 	}
 	blob, err := json.Marshal(st)
 	if err != nil {
-		return nil, fmt.Errorf("engine: marshaling state: %w", err)
+		return nil, 0, fmt.Errorf("engine: marshaling state: %w", err)
 	}
-	return blob, nil
+	return blob, gen, nil
+}
+
+// MarshalState serializes the engine's durable state (per-workload
+// config, arrival history, fitted model, staleness) to a JSON blob for
+// Engine.RestoreState.
+func (e *Engine) MarshalState() ([]byte, error) {
+	blob, _, err := e.marshalState()
+	return blob, err
 }
 
 // logIntensityBound rejects restored log intensities outside the fit's
@@ -114,33 +146,53 @@ func (e *Engine) MarshalState() ([]byte, error) {
 const logIntensityBound = 40.0
 
 // RestoreState replaces the engine's state with a blob produced by
-// MarshalState: scalar config, arrival history, fitted model, and the
-// Monte Carlo RNG re-seeded from the persisted seed. The Train
+// MarshalState: per-workload config, arrival history, fitted model, and
+// the Monte Carlo RNG re-seeded from the persisted seed. The Train
 // sub-config and clock keep their current (constructor-supplied)
 // values. Every field is validated before anything is mutated, so a
 // corrupt blob leaves the engine untouched and returns an error wrapping
 // ErrInvalid rather than panicking.
 //
-// RestoreState must run before the engine serves traffic: it rewrites
-// the configuration that the other methods deliberately read without
-// locking (they rely on cfg being immutable once serving starts), so
-// calling it on a live engine is a data race, not just a semantic
-// surprise. At boot, plans resume bit-for-bit from the snapshot, except
-// that rt/cost Monte Carlo streams restart from the seed (mid-stream
-// RNG position is not persisted).
+// Blobs written before the config plane existed carry only the scalar
+// config fields; the missing knobs (plan targets, horizon, retrain
+// cadence) take the booting process's template values and the restored
+// config starts at version 1.
+//
+// RestoreState must run before the engine serves traffic: the boot
+// sequence in cmd/scalerd guarantees this. At boot, plans resume
+// bit-for-bit from the snapshot, except that rt/cost Monte Carlo
+// streams restart from the seed (mid-stream RNG position is not
+// persisted).
 func (e *Engine) RestoreState(blob []byte) error {
 	var st engineState
 	if err := json.Unmarshal(blob, &st); err != nil {
 		return fmt.Errorf("%w: decoding engine state: %v", ErrInvalid, err)
 	}
-	cfg := e.cfg
-	cfg.Dt = st.Dt
-	cfg.Pending = st.Pending
-	cfg.HistoryWindow = st.HistoryWindow
-	cfg.MCSamples = st.MCSamples
-	cfg.Seed = st.Seed
-	if err := cfg.validate(); err != nil {
-		return fmt.Errorf("%w: restored config: %v", ErrInvalid, err)
+	var ec EngineConfig
+	if st.Config != nil {
+		ec = *st.Config
+		if ec.Version == 0 {
+			ec.Version = 1
+		}
+		if err := ec.validate(); err != nil {
+			return fmt.Errorf("restored config: %w", err)
+		}
+	} else {
+		// Legacy (pre-config-plane) blob: scalars from the blob, the rest
+		// from this engine's template, with the legacy normalizations
+		// (e.g. mc_samples 0 → 1000) the v1 reader applied.
+		ec = e.EngineConfig()
+		ec.Version = 1
+		ec.Dt = st.Dt
+		ec.Pending = st.Pending
+		ec.HistoryWindow = st.HistoryWindow
+		ec.MCSamples = st.MCSamples
+		if ec.MCSamples <= 0 {
+			ec.MCSamples = 1000
+		}
+		if err := ec.validate(); err != nil {
+			return fmt.Errorf("restored config: %w", err)
+		}
 	}
 	if err := ValidateTimestamps(st.Arrivals); err != nil {
 		return fmt.Errorf("restored arrivals: %w", err)
@@ -177,17 +229,20 @@ func (e *Engine) RestoreState(blob []byte) error {
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.cfg = cfg
-	e.rng = rand.New(rand.NewSource(cfg.Seed))
+	e.ec = ec
+	e.cfg.Seed = st.Seed
+	e.rng = rand.New(rand.NewSource(st.Seed))
 	e.arrivals = st.Arrivals
 	e.model = model
 	e.trainedN = st.TrainedN
 	e.failedGen = 0
+	e.stateGen++
+	e.lastTrainAt = 0
 	// Drop any cached plans/forecasts: they were computed for the
 	// pre-restore model and generation. (The binding check would miss
 	// them anyway — the model pointer is fresh — but holding onto dead
 	// entries across a restore would be a leak.)
-	e.cacheGen, e.cacheModel = 0, nil
+	e.cacheGen, e.cacheModel, e.cacheCfgVer = 0, nil, 0
 	e.planCache, e.fcCache = nil, nil
 	switch {
 	case model != nil && !st.Stale:
@@ -212,20 +267,26 @@ func (e *Engine) RestoreState(blob []byte) error {
 	return nil
 }
 
-// Snapshot atomically persists every registered workload into dir using
-// the internal/store format, replacing any previous snapshot there, and
-// returns how many workloads were written. Workloads are ordered by ID
-// so identical registry state produces an identical snapshot. A
-// workload that fails to serialize aborts the snapshot with an error
-// naming it; the previous on-disk snapshot is left intact.
+// SnapshotTo persists the registry into st incrementally: workloads
+// whose durable state moved since the generation last committed for
+// them (or that the store has never committed) are marshaled and
+// rewritten; everything else is carried by ID, costing no serialization
+// and no I/O. Workloads are ordered by ID so identical registry state
+// produces an identical manifest. A workload that fails to serialize
+// aborts the snapshot with an error naming it; the previous on-disk
+// snapshot is left intact.
 //
-// Concurrent Snapshot calls are serialized so that what lands on disk
+// Concurrent SnapshotTo calls are serialized so that what lands on disk
 // last was also collected last — a registry change (e.g. a delete)
-// followed by a Snapshot is durable even while a slower snapshot of the
+// followed by a snapshot is durable even while a slower snapshot of the
 // pre-change registry is still in flight.
-func (r *Registry) Snapshot(dir string) (int, error) {
+func (r *Registry) SnapshotTo(st *store.Store) (store.CommitStats, error) {
 	r.snapMu.Lock()
 	defer r.snapMu.Unlock()
+	return r.snapshotLocked(st)
+}
+
+func (r *Registry) snapshotLocked(st *store.Store) (store.CommitStats, error) {
 	type entry struct {
 		id string
 		e  *Engine
@@ -240,29 +301,73 @@ func (r *Registry) Snapshot(dir string) (int, error) {
 		s.mu.RUnlock()
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
-	workloads := make([]store.Workload, 0, len(entries))
+
+	var changed []store.Workload
+	var keep []string
+	prev := r.saved[st.Dir()]
+	newGens := make(map[string]uint64, len(entries))
 	for _, en := range entries {
-		blob, err := en.e.MarshalState()
-		if err != nil {
-			return 0, fmt.Errorf("engine: snapshotting workload %q: %w", en.id, err)
+		if g, ok := prev[en.id]; ok && st.Has(en.id) && g == en.e.StateGen() {
+			keep = append(keep, en.id)
+			newGens[en.id] = g
+			continue
 		}
-		workloads = append(workloads, store.Workload{ID: en.id, State: blob})
+		blob, gen, err := en.e.marshalState()
+		if err != nil {
+			return store.CommitStats{}, fmt.Errorf("engine: snapshotting workload %q: %w", en.id, err)
+		}
+		changed = append(changed, store.Workload{ID: en.id, State: blob})
+		newGens[en.id] = gen
 	}
-	if err := store.Save(dir, workloads); err != nil {
-		return 0, err
+	stats, err := st.Commit(changed, keep)
+	if err != nil {
+		return stats, err
 	}
-	return len(workloads), nil
+	// Record bookkeeping only for engines still registered under their
+	// ID: a workload removed — or removed and recreated — while this
+	// snapshot was collecting must not inherit the old engine's saved
+	// generation, or a recreated engine whose fresh StateGen coincides
+	// with it would be "kept" as the stale file forever.
+	validated := make(map[string]uint64, len(newGens))
+	for _, en := range entries {
+		if cur, ok := r.Get(en.id); ok && cur == en.e {
+			validated[en.id] = newGens[en.id]
+		}
+	}
+	r.saved[st.Dir()] = validated
+	return stats, nil
 }
 
-// Restore loads the snapshot in dir, recreating every persisted
-// workload and its state, and returns how many were restored. A missing
-// snapshot is the clean cold-boot case and returns (0, nil); a snapshot
-// that exists but fails validation (store-level corruption or an
-// invalid per-workload blob) returns an error naming the failure, with
-// the registry left holding whatever restored before it. Restore is
-// meant for boot, before the registry serves traffic.
-func (r *Registry) Restore(dir string) (int, error) {
-	workloads, err := store.Load(dir)
+// Snapshot persists every registered workload into dir and returns how
+// many workloads the resulting snapshot covers. It opens the store
+// fresh each call; long-lived callers (the Snapshotter, the HTTP admin
+// endpoint) hold one open Store and use SnapshotTo instead. The open
+// happens under the same serialization as the commits: store.Open
+// sweeps unmanifested files as crash debris, so it must never run
+// while another snapshot of this registry is mid-commit in the same
+// directory.
+func (r *Registry) Snapshot(dir string) (int, error) {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	st, err := store.Open(dir)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := r.snapshotLocked(st)
+	return stats.Total, err
+}
+
+// RestoreFrom loads the snapshot committed in st, recreating every
+// persisted workload and its state, and returns how many were restored.
+// A store with no snapshot is the clean cold-boot case and returns
+// (0, nil); a snapshot that exists but fails validation (store-level
+// corruption or an invalid per-workload blob) returns an error naming
+// the failure, with the registry left holding whatever restored before
+// it. RestoreFrom is meant for boot, before the registry serves
+// traffic; it also primes the incremental-snapshot bookkeeping, so the
+// first tick after a v2 restore rewrites nothing.
+func (r *Registry) RestoreFrom(st *store.Store) (int, error) {
+	workloads, err := st.Load()
 	if err != nil {
 		if errors.Is(err, store.ErrNoSnapshot) {
 			return 0, nil
@@ -278,9 +383,34 @@ func (r *Registry) Restore(dir string) (int, error) {
 		if err := e.RestoreState(w.State); err != nil {
 			return n, fmt.Errorf("engine: restoring workload %q: %w", w.ID, err)
 		}
+		if st.Has(w.ID) {
+			// The engine now mirrors the committed file exactly; record the
+			// generation so an idle workload isn't rewritten on the next
+			// tick. (Legacy v1 snapshots report Has=false, which is what
+			// forces the migration commit to write everything once.)
+			r.snapMu.Lock()
+			if r.saved[st.Dir()] == nil {
+				r.saved[st.Dir()] = make(map[string]uint64)
+			}
+			r.saved[st.Dir()][w.ID] = e.StateGen()
+			r.snapMu.Unlock()
+		}
 		n++
 	}
 	return n, nil
+}
+
+// Restore loads the snapshot in dir via a freshly opened store; see
+// RestoreFrom. The open is serialized against this registry's
+// snapshots, for the same sweep-vs-commit reason as Snapshot.
+func (r *Registry) Restore(dir string) (int, error) {
+	r.snapMu.Lock()
+	st, err := store.Open(dir)
+	r.snapMu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	return r.RestoreFrom(st)
 }
 
 // Snapshotter periodically persists the whole registry, the durability
@@ -290,14 +420,18 @@ type Snapshotter struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+	// finalErr records the outcome of the final snapshot taken on Stop;
+	// written before done closes, read only after it.
+	finalErr error
 }
 
 // StartSnapshotter launches the background snapshot loop: every
-// `every`, the full registry is persisted into dir (Registry.Snapshot).
-// Errors are logged and the previous on-disk snapshot survives; the
-// loop keeps trying on the next tick. Stop takes one final snapshot so
-// a graceful shutdown persists the latest state.
-func (r *Registry) StartSnapshotter(dir string, every time.Duration) *Snapshotter {
+// `every`, the registry is committed incrementally into st
+// (Registry.SnapshotTo), so a tick over an idle fleet writes one
+// manifest and nothing else. Errors are logged and the previous on-disk
+// snapshot survives; the loop keeps trying on the next tick. Stop takes
+// one final snapshot so a graceful shutdown persists the latest state.
+func (r *Registry) StartSnapshotter(st *store.Store, every time.Duration) *Snapshotter {
 	if every <= 0 {
 		panic(fmt.Sprintf("engine: non-positive snapshot period %v", every))
 	}
@@ -309,12 +443,13 @@ func (r *Registry) StartSnapshotter(dir string, every time.Duration) *Snapshotte
 		for {
 			select {
 			case <-sn.stop:
-				if _, err := r.Snapshot(dir); err != nil {
+				if _, err := r.SnapshotTo(st); err != nil {
 					log.Printf("engine: final snapshot on stop failed: %v", err)
+					sn.finalErr = err
 				}
 				return
 			case <-ticker.C:
-				if _, err := r.Snapshot(dir); err != nil {
+				if _, err := r.SnapshotTo(st); err != nil {
 					log.Printf("engine: background snapshot failed (previous snapshot kept): %v", err)
 				}
 			}
@@ -323,9 +458,13 @@ func (r *Registry) StartSnapshotter(dir string, every time.Duration) *Snapshotte
 	return sn
 }
 
-// Stop halts the snapshot loop, takes a final snapshot, and waits for
-// the loop to exit. Safe to call more than once.
-func (sn *Snapshotter) Stop() {
+// Stop halts the snapshot loop, takes a final snapshot, waits for the
+// loop to exit, and reports the final snapshot's outcome — so a
+// graceful shutdown can tell the operator whether the latest state
+// actually reached disk. Safe to call more than once (later calls
+// return the same outcome).
+func (sn *Snapshotter) Stop() error {
 	sn.stopOnce.Do(func() { close(sn.stop) })
 	<-sn.done
+	return sn.finalErr
 }

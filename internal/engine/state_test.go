@@ -320,22 +320,45 @@ func TestRegistryRestoreRejectsCorruptSnapshot(t *testing.T) {
 	if _, err := src.Snapshot(dir); err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join(dir, store.SnapshotFile)
-	data, err := os.ReadFile(path)
+	// Corrupt the manifest (the commit point) and then, separately, a
+	// workload file: both must fail the restore loudly.
+	for _, path := range []string{
+		filepath.Join(dir, store.ManifestFile),
+		workloadFilePath(t, dir),
+	} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)-2] ^= 0xff
+		if err := os.WriteFile(path, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dst, err := NewRegistry(testConfig(now))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dst.Restore(dir); !errors.Is(err, store.ErrCorrupt) {
+			t.Fatalf("Restore with corrupt %s = %v, want ErrCorrupt", filepath.Base(path), err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil { // heal for the next case
+			t.Fatal(err)
+		}
+	}
+}
+
+// workloadFilePath returns the single per-workload snapshot file in dir.
+func workloadFilePath(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, store.WorkloadDir))
 	if err != nil {
 		t.Fatal(err)
 	}
-	data[len(data)-2] ^= 0xff
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		t.Fatal(err)
+	if len(entries) != 1 {
+		t.Fatalf("want exactly 1 workload file, got %d", len(entries))
 	}
-	dst, err := NewRegistry(testConfig(now))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := dst.Restore(dir); !errors.Is(err, store.ErrCorrupt) {
-		t.Fatalf("Restore of corrupt snapshot = %v, want ErrCorrupt", err)
-	}
+	return filepath.Join(dir, store.WorkloadDir, entries[0].Name())
 }
 
 func TestSnapshotterWritesAndStops(t *testing.T) {
@@ -352,9 +375,13 @@ func TestSnapshotterWritesAndStops(t *testing.T) {
 	if _, err := e.Ingest([]float64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A long interval: only Stop's final snapshot should fire, which
 	// keeps the test deterministic.
-	sn := r.StartSnapshotter(dir, time.Hour)
+	sn := r.StartSnapshotter(st, time.Hour)
 	sn.Stop()
 	sn.Stop() // idempotent
 	dst, err := NewRegistry(testConfig(now))

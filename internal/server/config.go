@@ -1,0 +1,109 @@
+package server
+
+// Per-workload config API:
+//
+//	GET /v1/workloads/{id}/config   the workload's current EngineConfig
+//	PUT /v1/workloads/{id}/config   update any subset of its fields
+//
+// PUT is a merge: fields present in the body replace the current
+// values, fields absent keep them, and unknown fields are a 400 (a
+// typo'd knob must not silently no-op). The optional "version" field is
+// an optimistic-concurrency token — when present it must match the
+// workload's current config version or the update is rejected with 409,
+// so two operators editing the same workload cannot silently stomp each
+// other. Validation failures are 400s and leave the config untouched.
+//
+// A workload must exist to be configured (404 otherwise): like every
+// non-ingest route, config reads and writes never create workloads —
+// only a valid arrivals POST does. New workloads start from the fleet
+// defaults (scalerd's flags); tune them after the first ingest.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"robustscaler/internal/engine"
+)
+
+// maxConfigBytes caps a PUT config body; the document is a handful of
+// scalars, so anything past 1 MiB is garbage or an attack.
+const maxConfigBytes = 1 << 20
+
+// configUpdate is the PUT body: pointer fields distinguish "absent"
+// (keep the current value) from an explicit zero.
+type configUpdate struct {
+	Version       *int64   `json:"version"`
+	Dt            *float64 `json:"dt"`
+	Pending       *float64 `json:"pending"`
+	HistoryWindow *float64 `json:"history_window"`
+	MCSamples     *int     `json:"mc_samples"`
+	HPTarget      *float64 `json:"hp_target"`
+	RTTarget      *float64 `json:"rt_target"`
+	CostTarget    *float64 `json:"cost_target"`
+	PlanHorizon   *float64 `json:"plan_horizon"`
+	RetrainEvery  *float64 `json:"retrain_every"`
+}
+
+func (s *Server) handleConfigGet(w http.ResponseWriter, _ *http.Request, e *engine.Engine) {
+	writeJSON(w, e.EngineConfig())
+}
+
+func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxConfigBytes))
+	dec.DisallowUnknownFields()
+	var u configUpdate
+	if err := dec.Decode(&u); err != nil {
+		http.Error(w, "bad config JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := e.EngineConfig()
+	if u.Version != nil && *u.Version != cur.Version {
+		http.Error(w, fmt.Sprintf("config version conflict: update carries version %d, current is %d; re-read and retry",
+			*u.Version, cur.Version), http.StatusConflict)
+		return
+	}
+	merged := cur
+	if u.Dt != nil {
+		merged.Dt = *u.Dt
+	}
+	if u.Pending != nil {
+		merged.Pending = *u.Pending
+	}
+	if u.HistoryWindow != nil {
+		merged.HistoryWindow = *u.HistoryWindow
+	}
+	if u.MCSamples != nil {
+		merged.MCSamples = *u.MCSamples
+	}
+	if u.HPTarget != nil {
+		merged.HPTarget = *u.HPTarget
+	}
+	if u.RTTarget != nil {
+		merged.RTTarget = *u.RTTarget
+	}
+	if u.CostTarget != nil {
+		merged.CostTarget = *u.CostTarget
+	}
+	if u.PlanHorizon != nil {
+		merged.PlanHorizon = *u.PlanHorizon
+	}
+	if u.RetrainEvery != nil {
+		merged.RetrainEvery = *u.RetrainEvery
+	}
+	applied, err := e.SetEngineConfig(merged)
+	if err != nil {
+		if errors.Is(err, engine.ErrConflict) {
+			// A concurrent update landed between our read and the swap.
+			// Without an explicit version the client asked for "apply over
+			// whatever is there", but we cannot honor that blindly — the
+			// merge base is gone — so surface the race for a retry.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		httpError(w, err)
+		return
+	}
+	writeJSON(w, applied)
+}

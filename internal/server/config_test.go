@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"testing"
+)
+
+func putJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestConfigAPILifecycle(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+
+	// Config routes never create workloads: 404 until the first ingest.
+	resp, err := http.Get(ts.URL + "/v1/workloads/svc/config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET config of unknown workload: %d, want 404", resp.StatusCode)
+	}
+	r := putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"pending": 20}`)
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("PUT config of unknown workload: %d, want 404", r.StatusCode)
+	}
+
+	postJSON(t, ts.URL+"/v1/workloads/svc/arrivals", map[string]any{"timestamps": []float64{1, 2, 3}}).Body.Close()
+
+	// Fresh workloads carry the fleet defaults at version 1.
+	got := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/svc/config"))
+	if got["version"] != float64(1) || got["dt"] != float64(60) || got["hp_target"] != 0.9 {
+		t.Fatalf("fresh config = %v", got)
+	}
+
+	// Partial PUT: named fields change, the rest hold, version bumps.
+	resp = putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"pending": 20, "hp_target": 0.75}`)
+	got = decode[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT config: %d (%v)", resp.StatusCode, got)
+	}
+	if got["version"] != float64(2) || got["pending"] != float64(20) ||
+		got["hp_target"] != 0.75 || got["dt"] != float64(60) {
+		t.Fatalf("updated config = %v", got)
+	}
+
+	// Status surfaces the config version.
+	st := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/svc/status"))
+	if st["config_version"] != float64(2) {
+		t.Fatalf("status config_version = %v, want 2", st["config_version"])
+	}
+
+	// Optimistic concurrency: a stale version is a 409.
+	r = putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"version": 1, "pending": 99}`)
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("stale-version PUT: %d, want 409", r.StatusCode)
+	}
+	// The matching version applies.
+	resp = putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"version": 2, "pending": 25}`)
+	got = decode[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK || got["version"] != float64(3) || got["pending"] != float64(25) {
+		t.Fatalf("versioned PUT = %d %v", resp.StatusCode, got)
+	}
+}
+
+func TestConfigAPIValidation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	postJSON(t, ts.URL+"/v1/workloads/svc/arrivals", map[string]any{"timestamps": []float64{1, 2, 3}}).Body.Close()
+
+	cases := []struct{ name, body string }{
+		{"unknown field", `{"dtt": 30}`},
+		{"bad json", `{`},
+		{"zero dt", `{"dt": 0}`},
+		{"hp target out of range", `{"hp_target": 1.5}`},
+		{"negative pending", `{"pending": -3}`},
+		{"mc samples zero", `{"mc_samples": 0}`},
+		{"string value", `{"pending": "fast"}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := putJSON(t, ts.URL+"/v1/workloads/svc/config", tc.body)
+			r.Body.Close()
+			if r.StatusCode != http.StatusBadRequest {
+				t.Fatalf("%s: status %d, want 400", tc.name, r.StatusCode)
+			}
+		})
+	}
+	// None of the rejected updates moved the version.
+	got := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/svc/config"))
+	if got["version"] != float64(1) {
+		t.Fatalf("version after rejected updates = %v, want 1", got["version"])
+	}
+}
+
+// TestConfigDefaultsDrivePlans proves the per-workload targets are live:
+// a plan request without ?target= uses the workload's configured
+// default, not a fleet constant.
+func TestConfigDefaultsDrivePlans(t *testing.T) {
+	const horizon = 6 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	postJSON(t, ts.URL+"/v1/workloads/svc/arrivals",
+		map[string]any{"timestamps": trafficArrivals(3, horizon)}).Body.Close()
+	resp := postJSON(t, ts.URL+"/v1/workloads/svc/train", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	planURL := func(params string) string {
+		return ts.URL + "/v1/workloads/svc/plan?now=21600" + params
+	}
+	_, explicit := getBody(t, planURL("&variant=hp&target=0.5&horizon=900"))
+	_, def09 := getBody(t, planURL("&variant=hp&horizon=900"))
+	if explicit == def09 {
+		t.Fatal("target=0.5 and the 0.9 default produced identical plans; defaulting is broken either way")
+	}
+
+	// Reconfigure the workload default to 0.5 (and the horizon to 900):
+	// the bare request must now match the explicit one byte for byte.
+	r := putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"hp_target": 0.5, "plan_horizon": 900}`)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("PUT config: %d", r.StatusCode)
+	}
+	r.Body.Close()
+	_, def05 := getBody(t, planURL("&variant=hp"))
+	if def05 != explicit {
+		t.Fatalf("configured default not used:\nbare     %s\nexplicit %s", def05, explicit)
+	}
+}
+
+// TestConfigSurvivesRestart proves a PUT config is durable: snapshot,
+// boot a fresh server from the same dir, and the tuned values (and
+// version) are back.
+func TestConfigSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, 0)
+	if err := s1.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, ts1.URL+"/v1/workloads/svc/arrivals", map[string]any{"timestamps": []float64{1, 2, 3}}).Body.Close()
+	r := putJSON(t, ts1.URL+"/v1/workloads/svc/config", `{"pending": 21, "retrain_every": 900}`)
+	want := decode[map[string]any](t, r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("PUT config: %d", r.StatusCode)
+	}
+	postJSON(t, ts1.URL+"/v1/admin/snapshot", map[string]any{}).Body.Close()
+	ts1.Close()
+
+	s2, ts2 := newTestServer(t, 0)
+	if n, err := s2.Registry().Restore(dir); err != nil || n != 1 {
+		t.Fatalf("Restore = (%d, %v), want (1, nil)", n, err)
+	}
+	got := decode[map[string]any](t, mustGet(t, ts2.URL+"/v1/workloads/svc/config"))
+	for _, k := range []string{"version", "pending", "retrain_every", "dt"} {
+		if got[k] != want[k] {
+			t.Fatalf("restored config %s = %v, want %v (full: %v)", k, got[k], want[k], got)
+		}
+	}
+}

@@ -3,15 +3,15 @@ package server
 // Ingest content negotiation. POST arrivals accepts three bodies:
 //
 //	application/json          {"timestamps": [t1, ...]} — the original
-//	                          format, decoded in one piece
+//	                          format, now decoded as a token stream
 //	application/x-ndjson      one JSON number per line, streamed
 //	application/octet-stream  little-endian float64s, streamed
 //
-// plus transparent Content-Encoding: gzip over any of them. The
-// streaming formats decode incrementally into pooled chunks
-// (internal/encode) and land in the engine through the append-only
-// sorted fast path, so a million-event body is materialized exactly
-// once — in the arrival history itself.
+// plus transparent Content-Encoding: gzip over any of them. All three
+// formats decode incrementally into pooled chunks (internal/encode)
+// and land in the engine through the append-only sorted fast path, so
+// a million-event body is materialized exactly once — in the arrival
+// history itself.
 //
 // Every body is capped by http.MaxBytesReader (and, for gzip, a second
 // cap on the decompressed stream), mapped to 413; unknown content
@@ -20,7 +20,6 @@ package server
 // or ingests into — anything.
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -36,11 +35,6 @@ import (
 // decompressed alike): 64 MiB, comfortably above a million-event JSON
 // body while keeping a runaway client from exhausting memory.
 const DefaultMaxIngestBytes = 64 << 20
-
-// arrivalsRequest is the POST arrivals JSON body.
-type arrivalsRequest struct {
-	Timestamps []float64 `json:"timestamps"`
-}
 
 // handleArrivals negotiates the body format and routes it to the
 // matching decoder. All formats validate the full batch before
@@ -85,41 +79,15 @@ func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request, id strin
 		s.ingestStream(w, body, id, encode.DecodeBinary)
 	default:
 		// Everything else — including no Content-Type at all, or curl's
-		// default form encoding — takes the original JSON path, exactly
-		// as it did before content negotiation existed. Pre-negotiation
-		// clients never set the header, so an unknown type must stay a
-		// "bad JSON" 400, not a 415.
-		s.ingestJSONArray(w, body, id)
+		// default form encoding — takes the original JSON-array format,
+		// exactly as it did before content negotiation existed (so an
+		// unknown type stays a "bad JSON" 400, not a 415) — but decoded
+		// incrementally now: DecodeJSONArray streams the body token by
+		// token into pooled chunks, so -max-ingest-bytes is enforced as
+		// the body arrives and the legacy format no longer buffers whole
+		// bodies on the decode side.
+		s.ingestStream(w, body, id, encode.DecodeJSONArray)
 	}
-}
-
-// ingestJSONArray is the original one-shot JSON path — and the baseline
-// the streaming formats are benchmarked against.
-func (s *Server) ingestJSONArray(w http.ResponseWriter, body io.Reader, id string) {
-	var req arrivalsRequest
-	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		ingestReadError(w, fmt.Errorf("bad JSON: %w", err))
-		return
-	}
-	if len(req.Timestamps) == 0 {
-		http.Error(w, "timestamps required", http.StatusBadRequest)
-		return
-	}
-	if err := engine.ValidateTimestamps(req.Timestamps); err != nil {
-		httpError(w, err)
-		return
-	}
-	e, err := s.reg.GetOrCreate(id)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	total, err := e.Ingest(req.Timestamps)
-	if err != nil {
-		httpError(w, err)
-		return
-	}
-	writeJSON(w, map[string]any{"recorded": len(req.Timestamps), "total": total})
 }
 
 // ingestStream runs one of the chunked decoders and pushes the result

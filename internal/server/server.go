@@ -31,6 +31,7 @@ import (
 	"strconv"
 
 	"robustscaler/internal/engine"
+	"robustscaler/internal/store"
 )
 
 // Config parameterizes the control plane; it is the engine configuration
@@ -53,9 +54,10 @@ type Server struct {
 	// registry), so it permanently reports the empty-workload state and
 	// can be shared across requests.
 	ephemeral *engine.Engine
-	// dataDir is where operator-triggered snapshots land; empty disables
-	// the admin snapshot endpoint. Set once before serving (SetDataDir).
-	dataDir string
+	// st is the open snapshot store operator-triggered and
+	// delete-triggered snapshots commit into; nil disables the admin
+	// snapshot endpoint. Set once before serving (SetStore/SetDataDir).
+	st *store.Store
 	// maxIngestBytes caps one arrivals body, compressed and decompressed
 	// alike; ≤0 disables the cap. Set once before serving
 	// (SetMaxIngestBytes); defaults to DefaultMaxIngestBytes.
@@ -84,10 +86,21 @@ func (s *Server) SetMaxIngestBytes(n int64) { s.maxIngestBytes = n }
 // retrainer or snapshotter over it.
 func (s *Server) Registry() *engine.Registry { return s.reg }
 
-// SetDataDir enables the POST /v1/admin/snapshot endpoint, persisting
-// into dir. Call it once at startup, before the handler serves traffic;
-// an empty dir (the default) keeps the endpoint disabled.
-func (s *Server) SetDataDir(dir string) { s.dataDir = dir }
+// SetStore enables persistence side effects (the POST /v1/admin/
+// snapshot endpoint, durable deletes), committing into st. Call it once
+// at startup, before the handler serves traffic; nil (the default)
+// keeps them disabled.
+func (s *Server) SetStore(st *store.Store) { s.st = st }
+
+// SetDataDir is SetStore over a freshly opened store in dir.
+func (s *Server) SetDataDir(dir string) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	s.st = st
+	return nil
+}
 
 // Response shapes are the engine's JSON-tagged types.
 type (
@@ -116,6 +129,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/workloads/{id}/plan", s.workload(s.handlePlan))
 	mux.HandleFunc("GET /v1/workloads/{id}/forecast", s.workload(s.handleForecast))
 	mux.HandleFunc("GET /v1/workloads/{id}/status", s.workload(s.handleStatus))
+	mux.HandleFunc("GET /v1/workloads/{id}/config", s.workload(s.handleConfigGet))
+	mux.HandleFunc("PUT /v1/workloads/{id}/config", s.workload(s.handleConfigPut))
 	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
 	// Legacy single-workload aliases.
 	mux.HandleFunc("POST /v1/arrivals", func(w http.ResponseWriter, r *http.Request) {
@@ -179,12 +194,12 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := map[string]any{"deleted": true}
-	if s.dataDir != "" {
+	if s.st != nil {
 		// Make the delete durable right away: otherwise a restart before
 		// the next snapshot tick would resurrect the workload from the
 		// stale snapshot. The in-memory delete stands either way, so a
 		// persistence failure is reported, not turned into an HTTP error.
-		if _, err := s.reg.Snapshot(s.dataDir); err != nil {
+		if _, err := s.reg.SnapshotTo(s.st); err != nil {
 			resp["persisted"] = false
 			resp["persist_error"] = err.Error()
 		} else {
@@ -206,12 +221,22 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, e *engine.E
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
 	q := r.URL.Query()
 	req := engine.PlanRequest{Variant: q.Get("variant")}
+	// Requests that omit target/horizon fall back to the workload's own
+	// configured defaults (PUT /config), not a fleet-wide constant.
+	ec := e.EngineConfig()
+	defTarget := ec.HPTarget
+	switch req.Variant {
+	case "rt":
+		defTarget = ec.RTTarget
+	case "cost":
+		defTarget = ec.CostTarget
+	}
 	var err error
-	if req.Target, err = floatParam(q.Get("target"), 0.9); err != nil {
+	if req.Target, err = floatParam(q.Get("target"), defTarget); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if req.Horizon, err = floatParam(q.Get("horizon"), 600); err != nil {
+	if req.Horizon, err = floatParam(q.Get("horizon"), ec.PlanHorizon); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -242,7 +267,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engin
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	step, err := floatParam(q.Get("step"), e.Config().Dt)
+	step, err := floatParam(q.Get("step"), e.EngineConfig().Dt)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -264,16 +289,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, e *engine.
 // planned deploy. 409 when persistence is not configured, so automation
 // can distinguish "disabled" from "failed".
 func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
-	if s.dataDir == "" {
+	if s.st == nil {
 		http.Error(w, "snapshots disabled: start scalerd with -data-dir", http.StatusConflict)
 		return
 	}
-	n, err := s.reg.Snapshot(s.dataDir)
+	stats, err := s.reg.SnapshotTo(s.st)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{"workloads": n, "dir": s.dataDir})
+	writeJSON(w, map[string]any{
+		"workloads": stats.Total,
+		"written":   stats.Written,
+		"unchanged": stats.Kept,
+		"dir":       s.st.Dir(),
+	})
 }
 
 // httpError maps engine errors onto HTTP statuses: missing data/model →

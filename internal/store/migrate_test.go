@@ -1,0 +1,86 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestV1FixtureMigratesBitIdentically is the committed-fixture
+// migration gate: a tiny v1 monolithic snapshot checked into testdata
+// must load byte-identically through the v2 store — before migration
+// (legacy read path), and again after the migration commit rewrites it
+// into the per-workload layout. The fixture never changes, so any
+// future format drift that silently alters restored state blobs fails
+// here, in CI, against bytes written by the v1 implementation of
+// record.
+func TestV1FixtureMigratesBitIdentically(t *testing.T) {
+	dir := t.TempDir()
+	fixture, err := os.ReadFile(filepath.Join("testdata", "v1-snapshot.rsnap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), fixture, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	goldenRaw, err := os.ReadFile(filepath.Join("testdata", "v1-golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var golden []Workload
+	if err := json.Unmarshal(goldenRaw, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	assertGolden := func(stage string, got []Workload) {
+		t.Helper()
+		if len(got) != len(golden) {
+			t.Fatalf("%s: loaded %d workloads, want %d", stage, len(got), len(golden))
+		}
+		for i := range golden {
+			if got[i].ID != golden[i].ID {
+				t.Fatalf("%s: workload %d id %q, want %q", stage, i, got[i].ID, golden[i].ID)
+			}
+			if !bytes.Equal(got[i].State, golden[i].State) {
+				t.Fatalf("%s: workload %q state blob drifted:\ngot  %s\nwant %s",
+					stage, got[i].ID, got[i].State, golden[i].State)
+			}
+		}
+	}
+
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden("legacy read", ws)
+
+	// Migrate: one commit moves the fixture into the v2 layout.
+	if _, err := st.Commit(ws, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); !os.IsNotExist(err) {
+		t.Fatal("legacy snapshot survived the migration commit")
+	}
+	ws, err = st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden("post-migration read", ws)
+
+	// And once more through a cold reopen, as a restarted daemon would.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err = st2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGolden("reopened read", ws)
+}

@@ -6,36 +6,68 @@
 // nothing about what is inside them; internal/engine owns the blob
 // schema (Engine.MarshalState / Engine.RestoreState).
 //
-// # File format
+// # v2 layout: manifest + one file per workload
 //
-// A snapshot is a single file, SnapshotFile, inside the data directory:
+// A Store is a directory:
 //
-//	robustscaler-snapshot v1 crc32=<8 hex digits> len=<payload bytes>\n
-//	<payload>
+//	<dir>/manifest.rsman             the commit point
+//	<dir>/workloads/<name>.rsnap     one file per workload
 //
-// The first line is an ASCII header; everything after the first newline
-// is the payload, a JSON object:
+// Every file carries the same self-validating envelope — an ASCII
+// header line with the format version, the IEEE CRC-32 of the payload
+// and the payload's exact byte length, followed by the payload:
 //
-//	{"saved_at_unix": <seconds>, "workloads": [{"id": "...", "state": {...}}, ...]}
+//	robustscaler-manifest v2 crc32=<8 hex> len=<bytes>\n
+//	{"saved_at_unix": ..., "seq": ..., "workloads": [{"id", "file", "crc32", "len"}, ...]}
 //
-// The header carries the format version, the IEEE CRC-32 of the payload
-// and the payload's exact byte length. Load verifies all three before
-// parsing, so truncation (len mismatch), bit rot (CRC mismatch) and
-// format skew (version mismatch) are each rejected with a clean error
-// instead of a decode panic or a silently partial restore.
+//	robustscaler-workload v2 crc32=<8 hex> len=<bytes>\n
+//	{"id": "...", "state": {...}}
 //
-// # Atomicity
+// The manifest names exactly which workload files make up the current
+// snapshot, and records each file's checksum and length, so Load can
+// reject a torn or mixed-generation directory instead of silently
+// restoring a partial fleet. Workload files embed their own ID, so a
+// file paired with the wrong manifest entry is detected too.
 //
-// Save writes the snapshot to a unique temporary file in the same
-// directory, fsyncs it, and only then renames it over SnapshotFile.
-// Rename within one directory is atomic on POSIX filesystems, so readers
-// (and the next boot) see either the previous complete snapshot or the
-// new complete snapshot, never a mix. Concurrent Save calls are safe:
-// each writes its own temp file and the last rename wins.
+// # Incremental commits
+//
+// Commit takes the blobs that changed plus the IDs that did not: only
+// changed workloads get a new file (named with a fresh commit sequence
+// number, never renamed over a live file), unchanged workloads keep the
+// file the previous manifest points at. A fleet of 10k idle workloads
+// therefore costs one small manifest write per tick, not 10k rewrites.
+//
+// # Crash safety
+//
+// The manifest rename is the commit point. Until it lands, the previous
+// manifest still names only previous-generation files, which are never
+// written over (new files get new names); after it lands, the new
+// manifest names only fully fsynced new files. Replaced and dropped
+// files are deleted only after the commit point, and a crash anywhere
+// in between leaves orphans that Open sweeps. Every file is written to
+// a temp file in its own directory, fsynced, and renamed into place.
+//
+// A Store expects to be the directory's only writer while open
+// (scalerd's boot sequence guarantees this); two concurrently open
+// Stores on one directory can race each other's commits, exactly like
+// two daemons sharing a data dir.
+//
+// # Legacy v1 format and migration
+//
+// Before v2 the whole fleet lived in one monolithic file,
+// <dir>/snapshot.rsnap (SaveV1/LoadV1 still read and write it — tests
+// and rollback tooling use them). Open detects a directory holding only
+// a v1 snapshot and serves Load from it transparently; the first Commit
+// writes the v2 layout and removes the legacy file, so migration is one
+// ordinary snapshot tick. If both a manifest and a legacy file exist
+// (a crash between those two steps), the manifest — written first —
+// wins and the leftover legacy file is removed.
 package store
 
 import (
 	"bytes"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -43,19 +75,35 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"time"
 )
 
-// SnapshotFile is the snapshot's file name inside the data directory.
-const SnapshotFile = "snapshot.rsnap"
+// File names inside the data directory.
+const (
+	// SnapshotFile is the legacy v1 monolithic snapshot.
+	SnapshotFile = "snapshot.rsnap"
+	// ManifestFile is the v2 commit point.
+	ManifestFile = "manifest.rsman"
+	// WorkloadDir holds the v2 per-workload snapshot files.
+	WorkloadDir = "workloads"
+)
 
-// formatVersion is the on-disk format version written and accepted by
-// this package. Bump it when the header or payload layout changes
-// incompatibly; Load rejects files from other versions.
-const formatVersion = 1
+// Format versions. v1 is the monolithic snapshot; v2 is the
+// manifest-plus-per-workload layout.
+const (
+	versionV1 = 1
+	versionV2 = 2
+)
 
-// headerMagic opens every snapshot header line.
-const headerMagic = "robustscaler-snapshot"
+// Header magics. Each file kind has its own, so a workload file can
+// never be mistaken for a manifest (or vice versa) even if renamed.
+const (
+	snapshotMagic = "robustscaler-snapshot"
+	manifestMagic = "robustscaler-manifest"
+	workloadMagic = "robustscaler-workload"
+)
 
 // Sentinel errors. Callers match them with errors.Is.
 var (
@@ -63,8 +111,9 @@ var (
 	// clean cold-boot case, distinct from a snapshot that exists but
 	// cannot be read.
 	ErrNoSnapshot = errors.New("store: no snapshot")
-	// ErrCorrupt means a snapshot file exists but failed validation
-	// (truncated, checksum mismatch, malformed header or payload).
+	// ErrCorrupt means snapshot state exists but failed validation
+	// (truncated, checksum mismatch, malformed header or payload, or a
+	// manifest that disagrees with the files it names).
 	ErrCorrupt = errors.New("store: corrupt snapshot")
 )
 
@@ -77,31 +126,410 @@ type Workload struct {
 	State json.RawMessage `json:"state"`
 }
 
-// payload is the JSON document behind the header line.
-type payload struct {
-	SavedAtUnix int64      `json:"saved_at_unix"`
-	Workloads   []Workload `json:"workloads"`
+// manifestEntry names one workload file and pins its content.
+type manifestEntry struct {
+	ID   string `json:"id"`
+	File string `json:"file"`
+	CRC  uint32 `json:"crc32"`
+	Len  int    `json:"len"`
 }
 
-// Save atomically writes a snapshot of the given workloads into dir,
-// replacing any previous snapshot. The directory must exist. On error
-// the previous snapshot, if any, is left intact.
-func Save(dir string, workloads []Workload) error {
-	body, err := json.Marshal(payload{
-		SavedAtUnix: time.Now().Unix(),
-		Workloads:   workloads,
-	})
-	if err != nil {
-		return fmt.Errorf("store: encoding snapshot: %w", err)
-	}
-	header := fmt.Sprintf("%s v%d crc32=%08x len=%d\n",
-		headerMagic, formatVersion, crc32.ChecksumIEEE(body), len(body))
+// manifestPayload is the JSON document behind the manifest header.
+type manifestPayload struct {
+	SavedAtUnix int64           `json:"saved_at_unix"`
+	Seq         uint64          `json:"seq"`
+	Workloads   []manifestEntry `json:"workloads"`
+}
 
-	// Temp file in the same directory so the final rename cannot cross a
-	// filesystem boundary (rename is only atomic within one filesystem).
-	f, err := os.CreateTemp(dir, ".snapshot-*.tmp")
+// CommitStats reports what one Commit did — the observable half of the
+// incremental-snapshot contract (an idle fleet commits with Written 0).
+type CommitStats struct {
+	// Total workloads in the committed manifest.
+	Total int
+	// Written is how many workload files this commit wrote.
+	Written int
+	// Kept is how many unchanged files the manifest reuses.
+	Kept int
+	// Removed is how many replaced or dropped files were deleted.
+	Removed int
+}
+
+// Store is an open snapshot directory: the committed manifest held in
+// memory plus the machinery to advance it atomically. Safe for
+// concurrent use; see the package comment for the single-writer
+// expectation across processes.
+type Store struct {
+	dir string
+	// nonce makes this Store's file names unique even against another
+	// Store instance racing on the same directory (a misuse, but one
+	// that must corrupt nothing).
+	nonce string
+
+	mu      sync.Mutex
+	seq     uint64
+	entries map[string]manifestEntry
+	// legacy marks a directory still on the v1 monolithic format: reads
+	// come from snapshot.rsnap until the first Commit migrates it.
+	legacy bool
+}
+
+// Open opens (creating if needed) the data directory and reads its
+// manifest. A directory holding only a legacy v1 snapshot opens in
+// migration mode — Load serves the v1 content and the first Commit
+// rewrites it as v2. A corrupt manifest fails Open with ErrCorrupt so a
+// boot can stop before overwriting the evidence. Open also sweeps temp
+// files and workload files orphaned by a crashed commit.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, WorkloadDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating data dir: %w", err)
+	}
+	var nonce [4]byte
+	if _, err := rand.Read(nonce[:]); err != nil {
+		return nil, fmt.Errorf("store: generating nonce: %w", err)
+	}
+	s := &Store{dir: dir, nonce: hex.EncodeToString(nonce[:]), entries: map[string]manifestEntry{}}
+
+	body, err := readChecked(filepath.Join(dir, ManifestFile), manifestMagic, versionV2)
+	switch {
+	case err == nil:
+		var p manifestPayload
+		if err := json.Unmarshal(body, &p); err != nil {
+			return nil, fmt.Errorf("%w: decoding manifest: %v", ErrCorrupt, err)
+		}
+		for _, en := range p.Workloads {
+			if en.ID == "" || en.File == "" || en.File != filepath.Base(en.File) {
+				return nil, fmt.Errorf("%w: manifest entry %+v is malformed", ErrCorrupt, en)
+			}
+			if _, dup := s.entries[en.ID]; dup {
+				return nil, fmt.Errorf("%w: manifest lists workload %q twice", ErrCorrupt, en.ID)
+			}
+			s.entries[en.ID] = en
+		}
+		s.seq = p.Seq
+		if s.seq == 0 {
+			s.seq = 1 // a committed manifest always has a positive sequence
+		}
+		// A leftover legacy snapshot next to a manifest usually means a
+		// crash landed between the migration commit and the legacy
+		// cleanup — the manifest is the commit point, so that v1 file is
+		// dead. But a v1 file NEWER than the manifest means a pre-v2
+		// build ran (and accumulated state) after the migration — a
+		// rollback period whose data must not be silently discarded.
+		// Fail loudly and let the operator pick a side.
+		if legacy, lerr := loadV1Payload(dir); lerr == nil {
+			if legacy.SavedAtUnix > p.SavedAtUnix {
+				return nil, fmt.Errorf("store: %s is newer than %s (a pre-v2 build ran after migration?); move one aside to choose which state boots", SnapshotFile, ManifestFile)
+			}
+			os.Remove(filepath.Join(dir, SnapshotFile))
+		} else if !errors.Is(lerr, ErrNoSnapshot) {
+			// An unreadable v1 file next to a valid manifest could be a
+			// truncated rollback-era snapshot — possibly newer than the
+			// manifest. Deleting it would destroy the evidence silently;
+			// make the operator decide, like the readable-newer case.
+			return nil, fmt.Errorf("store: %s exists next to %s but cannot be read (%v); move one aside to choose which state boots", SnapshotFile, ManifestFile, lerr)
+		}
+	case errors.Is(err, fs.ErrNotExist):
+		if _, statErr := os.Stat(filepath.Join(dir, SnapshotFile)); statErr == nil {
+			s.legacy = true
+		}
+	default:
+		return nil, err
+	}
+	s.sweepLocked()
+	return s, nil
+}
+
+// Dir returns the data directory this store persists into.
+func (s *Store) Dir() string { return s.dir }
+
+// Has reports whether the committed manifest covers the workload — i.e.
+// whether an unchanged workload may be carried by ID instead of
+// rewritten. Always false in legacy (pre-migration) mode, which is what
+// forces the first v2 commit to write every workload.
+func (s *Store) Has(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy {
+		return false
+	}
+	_, ok := s.entries[id]
+	return ok
+}
+
+// Len returns how many workloads the committed snapshot covers.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy {
+		if ws, err := LoadV1(s.dir); err == nil {
+			return len(ws)
+		}
+		return 0
+	}
+	return len(s.entries)
+}
+
+// Load reads and validates the committed snapshot: every workload file
+// the manifest names, checked against both its own header and the
+// manifest's recorded checksum and length. It returns ErrNoSnapshot
+// when nothing has ever been committed, and an error wrapping
+// ErrCorrupt when state exists but fails validation. In legacy mode it
+// reads the v1 monolithic snapshot instead.
+func (s *Store) Load() ([]Workload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy {
+		return LoadV1(s.dir)
+	}
+	if s.seq == 0 {
+		return nil, fmt.Errorf("%w in %s", ErrNoSnapshot, s.dir)
+	}
+	ids := make([]string, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]Workload, 0, len(ids))
+	for _, id := range ids {
+		en := s.entries[id]
+		body, err := readChecked(filepath.Join(s.dir, WorkloadDir, en.File), workloadMagic, versionV2)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				return nil, fmt.Errorf("%w: manifest names %s for workload %q but the file is missing", ErrCorrupt, en.File, id)
+			}
+			return nil, fmt.Errorf("workload %q (%s): %w", id, en.File, err)
+		}
+		if len(body) != en.Len || crc32.ChecksumIEEE(body) != en.CRC {
+			return nil, fmt.Errorf("%w: %s does not match the manifest's recorded checksum/length for %q", ErrCorrupt, en.File, id)
+		}
+		var w Workload
+		if err := json.Unmarshal(body, &w); err != nil {
+			return nil, fmt.Errorf("%w: decoding %s: %v", ErrCorrupt, en.File, err)
+		}
+		if w.ID != id {
+			return nil, fmt.Errorf("%w: %s holds workload %q, manifest says %q", ErrCorrupt, en.File, w.ID, id)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+// Commit atomically advances the snapshot to cover exactly the
+// workloads in changed ∪ keep: changed blobs are written as fresh
+// files, keep IDs reuse the file the current manifest names (they must
+// be covered — see Has), and any previously committed workload in
+// neither set is dropped. On error the previous snapshot is intact; on
+// success replaced and dropped files are deleted and, in legacy mode,
+// the v1 monolithic snapshot is removed (migration complete).
+func (s *Store) Commit(changed []Workload, keep []string) (CommitStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var stats CommitStats
+	seq := s.seq + 1
+	next := make(map[string]manifestEntry, len(changed)+len(keep))
+	for _, id := range keep {
+		en, ok := s.entries[id]
+		if !ok || s.legacy {
+			return stats, fmt.Errorf("store: cannot keep workload %q: not covered by the committed manifest", id)
+		}
+		next[id] = en
+	}
+
+	// Write the changed workload files first; none is visible to a
+	// reader until the manifest below names it.
+	var newFiles []string
+	abort := func(err error) (CommitStats, error) {
+		for _, f := range newFiles {
+			os.Remove(filepath.Join(s.dir, WorkloadDir, f))
+		}
+		return stats, err
+	}
+	// Distinct IDs can collide on (sanitized prefix, FNV-64) — workload
+	// IDs are client-chosen, and a same-name rename inside one commit
+	// would clobber the first file and poison the snapshot. Track the
+	// names this manifest will hold and disambiguate on collision.
+	usedNames := make(map[string]bool, len(next)+len(changed))
+	for _, en := range next {
+		usedNames[en.File] = true
+	}
+	for _, w := range changed {
+		if w.ID == "" {
+			return abort(errors.New("store: empty workload id in commit"))
+		}
+		if _, dup := next[w.ID]; dup {
+			return abort(fmt.Errorf("store: workload %q appears twice in commit", w.ID))
+		}
+		body, err := json.Marshal(Workload{ID: w.ID, State: w.State})
+		if err != nil {
+			return abort(fmt.Errorf("store: encoding workload %q: %w", w.ID, err))
+		}
+		name := workloadFileName(w.ID, seq, s.nonce)
+		for i := 2; usedNames[name]; i++ {
+			name = fmt.Sprintf("%s~%d", workloadFileName(w.ID, seq, s.nonce), i)
+		}
+		usedNames[name] = true
+		if err := writeFileAtomic(filepath.Join(s.dir, WorkloadDir), name, encodeFile(workloadMagic, body)); err != nil {
+			return abort(fmt.Errorf("store: writing workload %q: %w", w.ID, err))
+		}
+		newFiles = append(newFiles, name)
+		next[w.ID] = manifestEntry{ID: w.ID, File: name, CRC: crc32.ChecksumIEEE(body), Len: len(body)}
+	}
+
+	// Make the new workload files' directory entries durable BEFORE the
+	// manifest that names them becomes the commit point — POSIX gives no
+	// cross-directory ordering, and a manifest that survives a power cut
+	// while its files' dirents do not would fail the next boot. Syncs
+	// are best-effort (not every platform/filesystem supports syncing a
+	// directory handle), matching the write-side fsync guarantees.
+	if len(newFiles) > 0 {
+		syncDir(filepath.Join(s.dir, WorkloadDir))
+	}
+	entries := make([]manifestEntry, 0, len(next))
+	for _, en := range next {
+		entries = append(entries, en)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	body, err := json.Marshal(manifestPayload{SavedAtUnix: time.Now().Unix(), Seq: seq, Workloads: entries})
 	if err != nil {
-		return fmt.Errorf("store: creating snapshot temp file: %w", err)
+		return abort(fmt.Errorf("store: encoding manifest: %w", err))
+	}
+	if err := writeFileAtomic(s.dir, ManifestFile, encodeFile(manifestMagic, body)); err != nil {
+		return abort(fmt.Errorf("store: installing manifest: %w", err))
+	}
+	syncDir(s.dir)
+
+	// Committed. Everything the new manifest does not name is garbage.
+	for id, old := range s.entries {
+		if nw, ok := next[id]; !ok || nw.File != old.File {
+			if os.Remove(filepath.Join(s.dir, WorkloadDir, old.File)) == nil {
+				stats.Removed++
+			}
+		}
+	}
+	if s.legacy {
+		os.Remove(filepath.Join(s.dir, SnapshotFile))
+		s.legacy = false
+	}
+	s.entries = next
+	s.seq = seq
+	stats.Total = len(next)
+	stats.Written = len(changed)
+	stats.Kept = len(keep)
+	return stats, nil
+}
+
+// sweepLocked removes temp files and workload files the manifest does
+// not name — the debris of a commit that crashed before its commit
+// point (or after it, before cleanup ran).
+func (s *Store) sweepLocked() {
+	for _, pat := range []string{".tmp-*", ".snapshot-*.tmp"} {
+		if matches, err := filepath.Glob(filepath.Join(s.dir, pat)); err == nil {
+			for _, m := range matches {
+				os.Remove(m)
+			}
+		}
+	}
+	dir := filepath.Join(s.dir, WorkloadDir)
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	referenced := make(map[string]bool, len(s.entries))
+	for _, en := range s.entries {
+		referenced[en.File] = true
+	}
+	for _, de := range names {
+		if !referenced[de.Name()] {
+			os.Remove(filepath.Join(dir, de.Name()))
+		}
+	}
+}
+
+// workloadFileName derives a per-commit file name: a sanitized slice of
+// the ID for human eyes, the full ID's FNV-64 hash for uniqueness, the
+// commit sequence and the store nonce so a new generation never renames
+// over a live file.
+func workloadFileName(id string, seq uint64, nonce string) string {
+	return fmt.Sprintf("%s-%016x-%d-%s.rsnap", sanitizeID(id), fnv1a(id), seq, nonce)
+}
+
+// sanitizeID keeps a recognizable, filesystem-safe prefix of the ID.
+func sanitizeID(id string) string {
+	const maxLen = 40
+	b := make([]byte, 0, maxLen)
+	for i := 0; i < len(id) && len(b) < maxLen; i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		return "workload"
+	}
+	return string(b)
+}
+
+// fnv1a is the 64-bit FNV-1a hash.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// encodeFile wraps a payload in the self-validating envelope.
+func encodeFile(magic string, body []byte) []byte {
+	header := fmt.Sprintf("%s v%d crc32=%08x len=%d\n", magic, versionV2, crc32.ChecksumIEEE(body), len(body))
+	out := make([]byte, 0, len(header)+len(body))
+	out = append(out, header...)
+	return append(out, body...)
+}
+
+// readChecked reads a file and validates its envelope: magic, version,
+// length and checksum. A missing file passes the fs.ErrNotExist through
+// for the caller to classify; everything else that fails is ErrCorrupt
+// (or a distinct version-skew error, which may be a perfectly valid
+// file for another build).
+func readChecked(path, magic string, version int) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("%w: %s is missing its header line", ErrCorrupt, filepath.Base(path))
+	}
+	var v int
+	var sum uint32
+	var length int
+	if n, err := fmt.Sscanf(string(data[:nl]), magic+" v%d crc32=%x len=%d", &v, &sum, &length); err != nil || n != 3 {
+		return nil, fmt.Errorf("%w: malformed header %q in %s", ErrCorrupt, string(data[:nl]), filepath.Base(path))
+	}
+	if v != version {
+		return nil, fmt.Errorf("store: unsupported %s version %d in %s (this build reads v%d)", magic, v, filepath.Base(path), version)
+	}
+	body := data[nl+1:]
+	if len(body) != length {
+		return nil, fmt.Errorf("%w: %s payload is %d bytes, header says %d (truncated?)", ErrCorrupt, filepath.Base(path), len(body), length)
+	}
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("%w: %s checksum %08x does not match header %08x", ErrCorrupt, filepath.Base(path), got, sum)
+	}
+	return body, nil
+}
+
+// writeFileAtomic writes content to dir/name via a fsynced temp file
+// and an atomic rename, so readers see the old file or the new one,
+// never a mix.
+func writeFileAtomic(dir, name string, content []byte) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
 	}
 	tmp := f.Name()
 	cleanup := func(err error) error {
@@ -109,79 +537,82 @@ func Save(dir string, workloads []Workload) error {
 		os.Remove(tmp)
 		return err
 	}
-	if _, err := f.WriteString(header); err != nil {
-		return cleanup(fmt.Errorf("store: writing snapshot: %w", err))
-	}
-	if _, err := f.Write(body); err != nil {
-		return cleanup(fmt.Errorf("store: writing snapshot: %w", err))
+	if _, err := f.Write(content); err != nil {
+		return cleanup(err)
 	}
 	// Flush to stable storage before the rename makes the file visible:
 	// otherwise a power cut could leave a fully-renamed but empty file.
 	if err := f.Sync(); err != nil {
-		return cleanup(fmt.Errorf("store: syncing snapshot: %w", err))
+		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
-		return cleanup(fmt.Errorf("store: closing snapshot: %w", err))
+		return cleanup(err)
 	}
-	if err := os.Rename(tmp, filepath.Join(dir, SnapshotFile)); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
 		os.Remove(tmp)
-		return fmt.Errorf("store: installing snapshot: %w", err)
-	}
-	// Best-effort directory sync so the rename itself survives a crash;
-	// not all platforms/filesystems support syncing a directory handle.
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
+		return err
 	}
 	return nil
 }
 
-// Load reads and validates the snapshot in dir. It returns ErrNoSnapshot
-// when none has been written yet, and an error wrapping ErrCorrupt when
-// a snapshot exists but fails header, length, checksum or JSON
-// validation.
-//
-// Load also sweeps temp files orphaned by a Save that crashed between
-// creating its temp file and the rename, so crash loops cannot
-// accumulate them. Load therefore must not run concurrently with Save —
-// in practice it runs once at boot, before any snapshotter starts.
-func Load(dir string) ([]Workload, error) {
-	if matches, err := filepath.Glob(filepath.Join(dir, ".snapshot-*.tmp")); err == nil {
-		for _, m := range matches {
-			os.Remove(m)
-		}
+// syncDir best-effort fsyncs a directory so completed renames survive a
+// crash.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
 	}
-	data, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+}
+
+// ── Legacy v1 monolithic format ─────────────────────────────────────────
+
+// v1Payload is the JSON document behind the v1 header line.
+type v1Payload struct {
+	SavedAtUnix int64      `json:"saved_at_unix"`
+	Workloads   []Workload `json:"workloads"`
+}
+
+// SaveV1 atomically writes a legacy v1 monolithic snapshot of the given
+// workloads into dir, replacing any previous one. Kept for migration
+// tests and emergency rollback to pre-v2 builds; production code
+// commits through a Store.
+func SaveV1(dir string, workloads []Workload) error {
+	body, err := json.Marshal(v1Payload{SavedAtUnix: time.Now().Unix(), Workloads: workloads})
 	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return nil, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
-		}
-		return nil, fmt.Errorf("store: reading snapshot: %w", err)
+		return fmt.Errorf("store: encoding snapshot: %w", err)
 	}
-	nl := bytes.IndexByte(data, '\n')
-	if nl < 0 {
-		return nil, fmt.Errorf("%w: missing header line", ErrCorrupt)
+	header := fmt.Sprintf("%s v%d crc32=%08x len=%d\n", snapshotMagic, versionV1, crc32.ChecksumIEEE(body), len(body))
+	content := append([]byte(header), body...)
+	if err := writeFileAtomic(dir, SnapshotFile, content); err != nil {
+		return fmt.Errorf("store: installing snapshot: %w", err)
 	}
-	var version int
-	var sum uint32
-	var length int
-	if n, err := fmt.Sscanf(string(data[:nl]), headerMagic+" v%d crc32=%x len=%d",
-		&version, &sum, &length); err != nil || n != 3 {
-		return nil, fmt.Errorf("%w: malformed header %q", ErrCorrupt, string(data[:nl]))
-	}
-	if version != formatVersion {
-		return nil, fmt.Errorf("store: unsupported snapshot version %d (this build reads v%d)", version, formatVersion)
-	}
-	body := data[nl+1:]
-	if len(body) != length {
-		return nil, fmt.Errorf("%w: payload is %d bytes, header says %d (truncated?)", ErrCorrupt, len(body), length)
-	}
-	if got := crc32.ChecksumIEEE(body); got != sum {
-		return nil, fmt.Errorf("%w: checksum %08x does not match header %08x", ErrCorrupt, got, sum)
-	}
-	var p payload
-	if err := json.Unmarshal(body, &p); err != nil {
-		return nil, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	syncDir(dir)
+	return nil
+}
+
+// LoadV1 reads and validates a legacy v1 monolithic snapshot in dir. It
+// returns ErrNoSnapshot when none exists and an error wrapping
+// ErrCorrupt when one exists but fails header, length, checksum or JSON
+// validation.
+func LoadV1(dir string) ([]Workload, error) {
+	p, err := loadV1Payload(dir)
+	if err != nil {
+		return nil, err
 	}
 	return p.Workloads, nil
+}
+
+func loadV1Payload(dir string) (v1Payload, error) {
+	var p v1Payload
+	body, err := readChecked(filepath.Join(dir, SnapshotFile), snapshotMagic, versionV1)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return p, fmt.Errorf("%w in %s", ErrNoSnapshot, dir)
+		}
+		return p, err
+	}
+	if err := json.Unmarshal(body, &p); err != nil {
+		return p, fmt.Errorf("%w: decoding payload: %v", ErrCorrupt, err)
+	}
+	return p, nil
 }

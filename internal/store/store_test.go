@@ -1,8 +1,11 @@
 package store
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -18,93 +21,199 @@ func sample() []Workload {
 	}
 }
 
-func TestSaveLoadRoundTrip(t *testing.T) {
-	dir := t.TempDir()
-	want := sample()
-	if err := Save(dir, want); err != nil {
+// open opens a Store, failing the test on error.
+func open(t *testing.T, dir string) *Store {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(dir)
+	return st
+}
+
+// workloadFiles lists the per-workload snapshot files in dir.
+func workloadFiles(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, WorkloadDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]bool{}
+	for _, e := range entries {
+		out[e.Name()] = true
+	}
+	return out
+}
+
+func TestCommitLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	want := sample()
+	stats, err := st.Commit(want, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != 2 || stats.Written != 2 || stats.Kept != 0 {
+		t.Fatalf("stats = %+v, want 2 written", stats)
+	}
+	got, err := st.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
 	}
-}
-
-func TestSaveReplacesPreviousSnapshot(t *testing.T) {
-	dir := t.TempDir()
-	if err := Save(dir, sample()); err != nil {
-		t.Fatal(err)
-	}
-	want := []Workload{{ID: "only", State: json.RawMessage(`{}`)}}
-	if err := Save(dir, want); err != nil {
-		t.Fatal(err)
-	}
-	got, err := Load(dir)
+	// A fresh Store over the same dir reads the same state.
+	got, err = open(t, dir).Load()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("second save not visible: got %+v", got)
+		t.Fatalf("reopened round trip mismatch: got %+v", got)
 	}
 }
 
-func TestSaveLeavesNoTempFiles(t *testing.T) {
+func TestIncrementalCommitRewritesOnlyChanged(t *testing.T) {
 	dir := t.TempDir()
-	if err := Save(dir, sample()); err != nil {
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := os.ReadDir(dir)
+	before := workloadFiles(t, dir)
+
+	// An idle tick: nothing changed, nothing written.
+	stats, err := st.Commit(nil, []string{"ci-runners", "registry-eu"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != SnapshotFile {
-		names := make([]string, 0, len(entries))
-		for _, e := range entries {
-			names = append(names, e.Name())
-		}
-		t.Fatalf("dir holds %v, want only %s", names, SnapshotFile)
+	if stats.Written != 0 || stats.Kept != 2 || stats.Total != 2 {
+		t.Fatalf("idle commit stats = %+v, want 0 written / 2 kept", stats)
 	}
-}
-
-func TestLoadMissingSnapshot(t *testing.T) {
-	_, err := Load(t.TempDir())
-	if !errors.Is(err, ErrNoSnapshot) {
-		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	if got := workloadFiles(t, dir); !reflect.DeepEqual(got, before) {
+		t.Fatalf("idle commit touched workload files: %v -> %v", before, got)
 	}
-}
 
-func TestLoadSweepsOrphanedTempFiles(t *testing.T) {
-	// A crash between CreateTemp and rename leaves a temp file behind;
-	// the next boot's Load must clean it up, with or without a valid
-	// snapshot alongside.
-	dir := t.TempDir()
-	if err := Save(dir, sample()); err != nil {
+	// One dirty workload out of two: exactly one new file, the other
+	// file byte-untouched.
+	changed := Workload{ID: "ci-runners", State: json.RawMessage(`{"dt":60,"arrivals":[1,2,3,4]}`)}
+	stats, err = st.Commit([]Workload{changed}, []string{"registry-eu"})
+	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{".snapshot-123.tmp", ".snapshot-zzz.tmp"} {
-		if err := os.WriteFile(filepath.Join(dir, name), []byte("partial"), 0o600); err != nil {
+	if stats.Written != 1 || stats.Kept != 1 || stats.Removed != 1 {
+		t.Fatalf("dirty commit stats = %+v, want 1 written / 1 kept / 1 removed", stats)
+	}
+	after := workloadFiles(t, dir)
+	if len(after) != 2 {
+		t.Fatalf("workload dir holds %d files, want 2: %v", len(after), after)
+	}
+	kept := 0
+	for name := range after {
+		if before[name] {
+			kept++
+		}
+	}
+	if kept != 1 {
+		t.Fatalf("want exactly 1 file carried over, got %d (%v -> %v)", kept, before, after)
+	}
+	got, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Workload{changed, sample()[1]}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("after dirty commit: got %+v, want %+v", got, want)
+	}
+}
+
+func TestCommitDropsWorkloadsLeftOut(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := st.Commit(nil, []string{"registry-eu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Total != 1 || stats.Removed != 1 {
+		t.Fatalf("drop commit stats = %+v, want total 1 / removed 1", stats)
+	}
+	got, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "registry-eu" {
+		t.Fatalf("after drop: %+v", got)
+	}
+	if st.Has("ci-runners") {
+		t.Fatal("dropped workload still reported by Has")
+	}
+}
+
+func TestCommitRejectsUncoveredKeep(t *testing.T) {
+	st := open(t, t.TempDir())
+	if _, err := st.Commit(nil, []string{"ghost"}); err == nil {
+		t.Fatal("keeping an uncommitted workload must fail")
+	}
+}
+
+func TestLoadEmptyStore(t *testing.T) {
+	st := open(t, t.TempDir())
+	if _, err := st.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+	// A committed empty fleet is a valid (empty) snapshot, not a cold
+	// boot: a restart must not mistake "everything was deleted" for
+	// "never saved".
+	if _, err := st.Commit(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load()
+	if err != nil {
+		t.Fatalf("load of committed empty fleet: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("empty fleet loaded %d workloads", len(got))
+	}
+}
+
+func TestOpenSweepsOrphans(t *testing.T) {
+	// A crash between workload-file writes and the manifest rename
+	// leaves next-generation files the manifest never names; the next
+	// Open must remove them and serve the previous commit.
+	dir := t.TempDir()
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"orphan-9999-zz.rsnap", ".tmp-123"} {
+		if err := os.WriteFile(filepath.Join(dir, WorkloadDir, name), []byte("partial"), 0o600); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := Load(dir); err != nil {
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-manifest"), []byte("partial"), 0o600); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := os.ReadDir(dir)
+	st2 := open(t, dir)
+	got, err := st2.Load()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != SnapshotFile {
-		t.Fatalf("orphaned temp files not swept: %v", entries)
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("load after orphan sweep: %+v", got)
+	}
+	if files := workloadFiles(t, dir); len(files) != 2 {
+		t.Fatalf("orphans not swept: %v", files)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".tmp-manifest")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("temp manifest not swept")
 	}
 }
 
-// corrupt applies f to the snapshot bytes and writes them back.
-func corrupt(t *testing.T, dir string, f func([]byte) []byte) {
+// corruptFile applies f to a file's bytes and writes them back.
+func corruptFile(t *testing.T, path string, f func([]byte) []byte) {
 	t.Helper()
-	path := filepath.Join(dir, SnapshotFile)
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -114,7 +223,119 @@ func corrupt(t *testing.T, dir string, f func([]byte) []byte) {
 	}
 }
 
-func TestLoadRejectsCorruption(t *testing.T) {
+func TestOpenRejectsCorruptManifest(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"flipped payload byte", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[len(out)-2] ^= 0xff
+			return out
+		}},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"no header", func([]byte) []byte { return []byte("{}") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			st := open(t, dir)
+			if _, err := st.Commit(sample(), nil); err != nil {
+				t.Fatal(err)
+			}
+			corruptFile(t, filepath.Join(dir, ManifestFile), tc.mut)
+			if _, err := Open(dir); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Open = %v, want ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestLoadRejectsTamperedWorkloadFile(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for name := range workloadFiles(t, dir) {
+		victim = name
+		break
+	}
+	corruptFile(t, filepath.Join(dir, WorkloadDir, victim), func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		out[len(out)-2] ^= 0xff
+		return out
+	})
+	if _, err := open(t, dir).Load(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load of tampered workload file = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestLoadRejectsMissingWorkloadFile(t *testing.T) {
+	// A manifest naming a file that is gone is a torn directory, not a
+	// cold boot: fail loudly instead of restoring a partial fleet.
+	dir := t.TempDir()
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
+		t.Fatal(err)
+	}
+	st2 := open(t, dir)
+	for name := range workloadFiles(t, dir) {
+		if err := os.Remove(filepath.Join(dir, WorkloadDir, name)); err != nil {
+			t.Fatal(err)
+		}
+		break
+	}
+	if _, err := st2.Load(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Load with missing workload file = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestManifestVersionSkewIsNotCorruption(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, filepath.Join(dir, ManifestFile), func(b []byte) []byte {
+		return []byte(strings.Replace(string(b), " v2 ", " v999 ", 1))
+	})
+	_, err := Open(dir)
+	if err == nil || !strings.Contains(err.Error(), "version 999") {
+		t.Fatalf("err = %v, want unsupported-version error", err)
+	}
+	// Version skew is not corruption: the file may be perfectly valid
+	// for a newer build, so it must not match ErrCorrupt.
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatal("version mismatch misreported as corruption")
+	}
+}
+
+// ── v1 legacy format & migration ────────────────────────────────────────
+
+func TestV1SaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	want := sample()
+	if err := SaveV1(dir, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadV1(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("v1 round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestV1LoadMissingSnapshot(t *testing.T) {
+	if _, err := LoadV1(t.TempDir()); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestV1LoadRejectsCorruption(t *testing.T) {
 	cases := []struct {
 		name string
 		mut  func([]byte) []byte
@@ -131,50 +352,156 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			dir := t.TempDir()
-			if err := Save(dir, sample()); err != nil {
+			if err := SaveV1(dir, sample()); err != nil {
 				t.Fatal(err)
 			}
-			corrupt(t, dir, tc.mut)
-			_, err := Load(dir)
-			if !errors.Is(err, ErrCorrupt) {
+			corruptFile(t, filepath.Join(dir, SnapshotFile), tc.mut)
+			if _, err := LoadV1(dir); !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("err = %v, want ErrCorrupt", err)
 			}
 		})
 	}
 }
 
-func TestLoadRejectsFutureVersion(t *testing.T) {
+func TestMigrationFromV1(t *testing.T) {
+	// Read-side migration is transparent: a directory holding only a v1
+	// monolithic snapshot loads as-is, the first commit writes the v2
+	// layout, removes the legacy file, and subsequent opens read v2.
 	dir := t.TempDir()
-	if err := Save(dir, sample()); err != nil {
+	want := sample()
+	if err := SaveV1(dir, want); err != nil {
 		t.Fatal(err)
 	}
-	corrupt(t, dir, func(b []byte) []byte {
-		return []byte(strings.Replace(string(b), " v1 ", " v999 ", 1))
-	})
-	_, err := Load(dir)
-	if err == nil || !strings.Contains(err.Error(), "version 999") {
-		t.Fatalf("err = %v, want unsupported-version error", err)
+	st := open(t, dir)
+	got, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
 	}
-	// Version skew is not corruption: the file may be perfectly valid for
-	// a newer build, so it must not match ErrCorrupt.
-	if errors.Is(err, ErrCorrupt) {
-		t.Fatal("version mismatch misreported as corruption")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy load mismatch: got %+v", got)
+	}
+	if st.Has(want[0].ID) {
+		t.Fatal("legacy mode must report Has=false so the migration commit rewrites everything")
+	}
+	stats, err := st.Commit(got, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != len(want) {
+		t.Fatalf("migration commit wrote %d, want %d", stats.Written, len(want))
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("legacy snapshot not removed after migration commit")
+	}
+	got, err = open(t, dir).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-migration load mismatch: got %+v", got)
 	}
 }
 
-func TestLoadRejectsCheckedPayloadJSON(t *testing.T) {
-	// A snapshot whose header is self-consistent but whose payload is not
-	// JSON: the CRC passes, the decode must still fail cleanly.
+func TestMigrationCrashAfterCommitPoint(t *testing.T) {
+	// A crash between the manifest rename and the legacy-file removal
+	// leaves both on disk; the manifest is the commit point, so the next
+	// Open serves v2 and clears the leftover v1 file.
 	dir := t.TempDir()
-	if err := Save(dir, nil); err != nil {
+	if err := SaveV1(dir, []Workload{{ID: "stale", State: json.RawMessage(`{}`)}}); err != nil {
 		t.Fatal(err)
 	}
-	corrupt(t, dir, func([]byte) []byte {
-		body := []byte("not json at all")
-		return append([]byte("robustscaler-snapshot v1 crc32=4d390002 len=15\n"), body...)
+	// Capture the pre-migration bytes so the "leftover" really is the
+	// old file (older saved_at than the manifest), as in a real crash.
+	legacy, err := os.ReadFile(filepath.Join(dir, SnapshotFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash by resurrecting the legacy file post-commit.
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := open(t, dir).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, sample()) {
+		t.Fatalf("manifest did not win over leftover legacy file: %+v", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, SnapshotFile)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("leftover legacy snapshot not removed")
+	}
+}
+
+func TestRollbackNewerV1FailsLoudly(t *testing.T) {
+	// After a v2 migration, a pre-v2 build may run for a while (a
+	// rollback) and write fresh v1 snapshots holding data the manifest
+	// has never seen. Re-upgrading must not silently discard them.
+	dir := t.TempDir()
+	st := open(t, dir)
+	if _, err := st.Commit(sample(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a v1 snapshot stamped strictly after the manifest.
+	manifest, err := os.ReadFile(filepath.Join(dir, ManifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p manifestPayload
+	if err := json.Unmarshal(manifest[bytes.IndexByte(manifest, '\n')+1:], &p); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(v1Payload{
+		SavedAtUnix: p.SavedAtUnix + 10,
+		Workloads:   []Workload{{ID: "rollback-era", State: json.RawMessage(`{}`)}},
 	})
-	_, err := Load(dir)
-	if !errors.Is(err, ErrCorrupt) {
-		t.Fatalf("err = %v, want ErrCorrupt", err)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := fmt.Sprintf("%s v%d crc32=%08x len=%d\n", snapshotMagic, versionV1, crc32.ChecksumIEEE(body), len(body))
+	if err := os.WriteFile(filepath.Join(dir, SnapshotFile), append([]byte(header), body...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "newer than") {
+		t.Fatalf("Open with newer v1 snapshot = %v, want loud rollback error", err)
+	}
+	// The operator resolves it by removing one side; legacy wins here.
+	if err := os.Remove(filepath.Join(dir, ManifestFile)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := open(t, dir).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != "rollback-era" {
+		t.Fatalf("legacy state after operator resolution = %+v", got)
+	}
+}
+
+func TestWorkloadFileNameSanitization(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	hostile := []Workload{
+		{ID: "../../etc/passwd", State: json.RawMessage(`{}`)},
+		{ID: "weird id/with:stuff", State: json.RawMessage(`{}`)},
+	}
+	if _, err := st.Commit(hostile, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Everything must land inside the workloads dir, and load back.
+	for name := range workloadFiles(t, dir) {
+		if strings.Contains(name, "/") {
+			t.Fatalf("unsanitized file name %q", name)
+		}
+	}
+	got, err := open(t, dir).Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("hostile ids round trip: %+v", got)
 	}
 }
