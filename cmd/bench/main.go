@@ -45,6 +45,7 @@ import (
 
 	"robustscaler/internal/encode"
 	"robustscaler/internal/engine"
+	"robustscaler/internal/metrics"
 	"robustscaler/internal/server"
 )
 
@@ -67,6 +68,36 @@ type report struct {
 	Quick      bool               `json:"quick"`
 	Results    []result           `json:"results"`
 	Derived    map[string]float64 `json:"derived"`
+	// Metrics snapshots the servers' /metrics and /stats counters after
+	// the run, next to the harness's own tally of what it sent —
+	// MetricsConsistent records that the two agreed, which is what makes
+	// the BENCH numbers cross-checkable (and is asserted in CI).
+	Metrics           map[string]float64 `json:"metrics"`
+	MetricsConsistent bool               `json:"metrics_consistent"`
+}
+
+// tally is the harness's own count of the traffic it generated,
+// accumulated inside the benchmark loops (testing.Benchmark runs each
+// body through several warm-up rounds, so result.N alone undercounts).
+type tally struct {
+	// eventsPosted counts accepted arrival timestamps by wire format,
+	// matching robustscaler_ingest_events_total.
+	eventsPosted map[string]int64
+	// ingestScraped sums robustscaler_ingest_events_total across the
+	// per-scale ingest servers.
+	ingestScraped map[string]float64
+	// svcSeedEvents is what benchPlanForecast ingested into "svc".
+	svcSeedEvents int64
+	// plan/forecast calls against svc (HTTP and direct), and how many of
+	// them were designed cache hits.
+	planCalls, planHitCalls         int64
+	forecastCalls, forecastHitCalls int64
+	// svcStats is the final GET /v1/workloads/svc/stats document.
+	svcStats map[string]float64
+}
+
+func newTally() *tally {
+	return &tally{eventsPosted: map[string]int64{}, ingestScraped: map[string]float64{}}
 }
 
 func main() {
@@ -92,15 +123,17 @@ func main() {
 		Derived:    map[string]float64{},
 	}
 
+	tl := newTally()
 	for _, n := range scales {
 		benchDecode(rep, n)
 	}
 	for _, n := range scales {
-		benchIngest(rep, n)
+		benchIngest(rep, n, tl)
 	}
-	benchPlanForecast(rep)
+	benchPlanForecast(rep, tl)
 
 	deriveRatios(rep, scales)
+	crossCheckMetrics(rep, tl)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -248,7 +281,11 @@ func benchDecode(rep *report, n int) {
 // benchIngest measures full HTTP ingest requests per format. Every
 // iteration lands in a fresh workload (removed right after), so each op
 // is one complete cold batch: decode, validate, and the engine append.
-func benchIngest(rep *report, n int) {
+// After the benches, this scale's /metrics page is scraped into the
+// tally: the per-format ingest counters live in the server's registry
+// (they survive the workload removals), so they must equal what the
+// loops posted.
+func benchIngest(rep *report, n int, tl *tally) {
 	s, err := server.New(benchConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -257,14 +294,14 @@ func benchIngest(rep *report, n int) {
 	vals := timestamps(n)
 
 	cases := []struct {
-		name, contentType, contentEncoding string
-		body                               []byte
+		name, format, contentType, contentEncoding string
+		body                                       []byte
 	}{
-		{"json-array", "application/json", "", jsonBody(vals)},
-		{"ndjson", "application/x-ndjson", "", ndjsonBody(vals)},
-		{"binary", "application/octet-stream", "", binaryBody(vals)},
-		{"ndjson-gzip", "application/x-ndjson", "gzip", gzipBody(ndjsonBody(vals))},
-		{"binary-gzip", "application/octet-stream", "gzip", gzipBody(binaryBody(vals))},
+		{"json-array", "json", "application/json", "", jsonBody(vals)},
+		{"ndjson", "ndjson", "application/x-ndjson", "", ndjsonBody(vals)},
+		{"binary", "binary", "application/octet-stream", "", binaryBody(vals)},
+		{"ndjson-gzip", "ndjson", "application/x-ndjson", "gzip", gzipBody(ndjsonBody(vals))},
+		{"binary-gzip", "binary", "application/octet-stream", "gzip", gzipBody(binaryBody(vals))},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -280,9 +317,18 @@ func benchIngest(rep *report, n int) {
 				if w.Code != http.StatusOK {
 					die("ingest status %d: %s", w.Code, w.Body.String())
 				}
+				tl.eventsPosted[tc.format] += int64(n)
 				s.Registry().Remove("bench")
 			}
 		})
+	}
+	for _, format := range []string{"json", "ndjson", "binary"} {
+		v, ok := s.Metrics().Value("robustscaler_ingest_events_total",
+			metrics.Label{Name: "format", Value: format})
+		if !ok {
+			die("ingest counter for format %q missing from the registry", format)
+		}
+		tl.ingestScraped[format] += v
 	}
 }
 
@@ -303,8 +349,9 @@ const planNow = 6 * 3600.0
 // benchPlanForecast measures planning: cold (every iteration a distinct
 // query) against hit (the same query repeated, served from the result
 // cache), over HTTP and — for the purest cache number — directly on the
-// engine.
-func benchPlanForecast(rep *report) {
+// engine. Every plan/forecast issued is tallied so the workload's
+// /stats cache counters can be cross-checked afterwards.
+func benchPlanForecast(rep *report, tl *tally) {
 	s, err := server.New(benchConfig())
 	if err != nil {
 		log.Fatal(err)
@@ -327,6 +374,7 @@ func benchPlanForecast(rep *report) {
 	if _, err := e.Ingest(arr); err != nil {
 		log.Fatal(err)
 	}
+	tl.svcSeedEvents = int64(len(arr))
 	if _, err := e.Train(); err != nil {
 		log.Fatal(err)
 	}
@@ -350,6 +398,20 @@ func benchPlanForecast(rep *report) {
 			die("GET %s: %d %s", url, w.Code, w.Body.String())
 		}
 	}
+	planGet := func(b *testing.B, url string, hit bool) {
+		get(b, url)
+		tl.planCalls++
+		if hit {
+			tl.planHitCalls++
+		}
+	}
+	forecastGet := func(b *testing.B, url string, hit bool) {
+		get(b, url)
+		tl.forecastCalls++
+		if hit {
+			tl.forecastHitCalls++
+		}
+	}
 
 	for _, variant := range []string{"hp", "rt"} {
 		variant := variant
@@ -371,28 +433,34 @@ func benchPlanForecast(rep *report) {
 				// cache miss, always a full horizon recomputation. (A
 				// bounded cycle would start hitting the cache as soon as
 				// b.N outgrew it.)
-				get(b, urlAt(planNow+float64(i)*15))
+				planGet(b, urlAt(planNow+float64(i)*15), false)
 			}
 		})
 		run(rep, "plan/"+variant+"/hit", 0, func(b *testing.B) {
-			get(b, urlAt(planNow)) // prime
+			planGet(b, urlAt(planNow), false) // prime
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				get(b, urlAt(planNow))
+				planGet(b, urlAt(planNow), true)
 			}
 		})
 	}
 
 	// Engine-level cache hit: the pure O(1) lookup, no HTTP or JSON.
+	// (The prime shares its key with the rt/hit HTTP bench above, so it
+	// counts as a designed hit too.)
 	req := engine.PlanRequest{Variant: "rt", Target: 5, Horizon: 600, Now: planNow, HasNow: true}
 	if _, err := e.Plan(req); err != nil {
 		log.Fatal(err)
 	}
+	tl.planCalls++
+	tl.planHitCalls++
 	run(rep, "plan/rt/engine-hit", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := e.Plan(req); err != nil {
 				die("engine plan: %v", err)
 			}
+			tl.planCalls++
+			tl.planHitCalls++
 		}
 	})
 
@@ -402,16 +470,88 @@ func benchPlanForecast(rep *report) {
 	}
 	run(rep, "forecast/cold", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			get(b, fcURL(planNow+float64(i)*60)) // unbounded: never a hit
+			forecastGet(b, fcURL(planNow+float64(i)*60), false) // unbounded: never a hit
 		}
 	})
 	run(rep, "forecast/hit", 0, func(b *testing.B) {
-		get(b, fcURL(planNow))
+		forecastGet(b, fcURL(planNow), false)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			get(b, fcURL(planNow))
+			forecastGet(b, fcURL(planNow), true)
 		}
 	})
+
+	// The run is over: read back the workload's /stats document, the
+	// ground truth crossCheckMetrics compares the tally against.
+	req2 := httptest.NewRequest(http.MethodGet, "/v1/workloads/svc/stats", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req2)
+	if w.Code != http.StatusOK {
+		die("GET /v1/workloads/svc/stats: %d %s", w.Code, w.Body.String())
+	}
+	var stats map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &stats); err != nil {
+		die("decoding svc stats: %v", err)
+	}
+	tl.svcStats = map[string]float64{}
+	for k, v := range stats {
+		if f, ok := v.(float64); ok {
+			tl.svcStats[k] = f
+		}
+	}
+}
+
+// crossCheckMetrics asserts the servers' counters agree with the
+// harness's own tally — a wrong count in either direction means the
+// observability plane (or the bench) is lying, so the run aborts. The
+// scraped values and the tally both land in the report, making every
+// committed BENCH file self-describing.
+func crossCheckMetrics(rep *report, tl *tally) {
+	rep.Metrics = map[string]float64{}
+	var bad []string
+	for _, format := range []string{"json", "ndjson", "binary"} {
+		posted := float64(tl.eventsPosted[format])
+		scraped := tl.ingestScraped[format]
+		rep.Metrics["ingest_events_posted/"+format] = posted
+		rep.Metrics["robustscaler_ingest_events_total/"+format] = scraped
+		if posted != scraped {
+			bad = append(bad, fmt.Sprintf("ingest %s: posted %.0f events, /metrics says %.0f", format, posted, scraped))
+		}
+	}
+	hits, misses := tl.svcStats["plan_cache_hits_total"], tl.svcStats["plan_cache_misses_total"]
+	rep.Metrics["plan_calls_made"] = float64(tl.planCalls)
+	rep.Metrics["plan_cache_hits_total"] = hits
+	rep.Metrics["plan_cache_misses_total"] = misses
+	if hits+misses != float64(tl.planCalls) {
+		bad = append(bad, fmt.Sprintf("plan: %0.f calls made, stats count %.0f hits + %.0f misses", float64(tl.planCalls), hits, misses))
+	}
+	if hits < float64(tl.planHitCalls) {
+		bad = append(bad, fmt.Sprintf("plan: %d designed cache hits, stats count only %.0f", tl.planHitCalls, hits))
+	}
+	fhits, fmisses := tl.svcStats["forecast_cache_hits_total"], tl.svcStats["forecast_cache_misses_total"]
+	rep.Metrics["forecast_calls_made"] = float64(tl.forecastCalls)
+	rep.Metrics["forecast_cache_hits_total"] = fhits
+	rep.Metrics["forecast_cache_misses_total"] = fmisses
+	if fhits+fmisses != float64(tl.forecastCalls) {
+		bad = append(bad, fmt.Sprintf("forecast: %d calls made, stats count %.0f hits + %.0f misses", tl.forecastCalls, fhits, fmisses))
+	}
+	if fhits < float64(tl.forecastHitCalls) {
+		bad = append(bad, fmt.Sprintf("forecast: %d designed cache hits, stats count only %.0f", tl.forecastHitCalls, fhits))
+	}
+	rep.Metrics["svc_events_seeded"] = float64(tl.svcSeedEvents)
+	rep.Metrics["svc_ingested_events_total"] = tl.svcStats["ingested_events_total"]
+	if tl.svcStats["ingested_events_total"] != float64(tl.svcSeedEvents) {
+		bad = append(bad, fmt.Sprintf("svc: seeded %d events, stats count %.0f", tl.svcSeedEvents, tl.svcStats["ingested_events_total"]))
+	}
+	if len(bad) > 0 {
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "METRICS MISMATCH "+m)
+		}
+		log.Fatalf("%d metrics cross-check(s) failed: bench traffic and /metrics//stats counters disagree", len(bad))
+	}
+	rep.MetricsConsistent = true
+	fmt.Fprintf(os.Stderr, "metrics cross-check ok (%d ingest formats, %d plan calls, %d forecast calls)\n",
+		3, tl.planCalls, tl.forecastCalls)
 }
 
 // deriveRatios records the headline comparisons: streaming-format

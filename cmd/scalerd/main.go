@@ -17,11 +17,14 @@
 //	GET    /v1/workloads/{id}/plan?variant=hp&target=0.9           upcoming creation times
 //	GET    /v1/workloads/{id}/forecast?from=&to=&step=             predicted intensity
 //	GET    /v1/workloads/{id}/status                               model/ingestion state
+//	GET    /v1/workloads/{id}/stats                                per-workload counters (JSON)
 //	GET    /v1/workloads/{id}/config                               per-workload config
 //	PUT    /v1/workloads/{id}/config                               update per-workload config
 //	GET    /v1/workloads                                           list workloads
 //	POST   /v1/admin/snapshot                                      persist all workloads now
-//	GET    /healthz                                                liveness
+//	GET    /metrics                                                Prometheus exposition (whole fleet)
+//	GET    /healthz                                                health; 503 "degraded" while
+//	                                                               snapshots fail consecutively
 //
 // The legacy single-workload routes (/v1/arrivals, /v1/train, /v1/plan,
 // /v1/forecast, /v1/status) serve the "default" workload.
@@ -166,7 +169,7 @@ func main() {
 		retrainer = s.Registry().StartRetrainer(every, *retrainWorkers)
 		log.Printf("background retraining every %.0fs with %d workers", *retrainEvery, *retrainWorkers)
 	}
-	log.Printf("scalerd listening on %s (τ=%.0fs, Δt=%.0fs)", *listen, *pending, *dt)
+	log.Printf("scalerd listening on %s (τ=%.0fs, Δt=%.0fs); metrics on /metrics", *listen, *pending, *dt)
 
 	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
 	serveErr := make(chan error, 1)

@@ -27,6 +27,7 @@ import (
 
 	"robustscaler"
 	"robustscaler/internal/decision"
+	"robustscaler/internal/metrics"
 	"robustscaler/internal/stats"
 	"robustscaler/internal/timeseries"
 )
@@ -217,6 +218,17 @@ type Engine struct {
 	cacheCfgVer int64
 	planCache   map[planKey]*Plan
 	fcCache     map[forecastKey][]ForecastPoint
+
+	// m holds the workload's lifetime counters (see metrics.go). The
+	// fields are atomic: the hot paths bump them without extra locking,
+	// and Stats reads them lock-free. fleet and fitSeconds, when set
+	// (Registry.Instrument — before the engine serves traffic),
+	// dual-write each event into the fleet-wide series, so a /metrics
+	// scrape never has to walk engines to total the counters (and the
+	// totals stay monotonic when workloads are deleted).
+	m          engineMetrics
+	fleet      *fleetCounters
+	fitSeconds *metrics.Histogram
 }
 
 // planKey identifies one cacheable planning round. Clock-anchored
@@ -314,6 +326,7 @@ func (e *Engine) Ingest(timestamps []float64) (int, error) {
 	}
 	e.gen++
 	e.stateGen++
+	e.countIngest(uint64(len(batch)))
 	if n := len(e.arrivals); n == 0 || batch[0] >= e.arrivals[n-1] {
 		e.arrivals = append(e.arrivals, batch...)
 	} else {
@@ -378,6 +391,7 @@ func (e *Engine) IngestSortedChunks(chunks [][]float64) (int, error) {
 	}
 	e.gen++
 	e.stateGen++
+	e.countIngest(uint64(total))
 	// One exactly-sized grow instead of append's doubling dance: the
 	// batch size is known up front, which a streaming decode earns us.
 	if need := len(e.arrivals) + total; need > cap(e.arrivals) {
@@ -457,12 +471,18 @@ func (e *Engine) Train() (TrainInfo, error) {
 			e.stateGen++
 		}
 		e.mu.Unlock()
+		e.countRefit(0, false)
 		return TrainInfo{}, fmt.Errorf("%w: history spans %.3g bins (max %g); trim or set HistoryWindow", ErrInvalid, bins, float64(maxTrainBins))
 	}
+	fitStart := time.Now()
 	series := buildSeries(arr, dt)
 	// The arrival history is already bounded to HistoryWindow at ingest,
 	// so the fit covers the whole series (window 0).
 	model, err := robustscaler.FitWindow(series, 0, e.cfg.Train)
+	fitDur := time.Since(fitStart)
+	if h := e.fitSeconds; h != nil {
+		h.Observe(fitDur.Seconds())
+	}
 	if err != nil {
 		e.mu.Lock()
 		if gen > e.failedGen {
@@ -470,8 +490,10 @@ func (e *Engine) Train() (TrainInfo, error) {
 			e.stateGen++ // the persisted Failed marker changed; see above
 		}
 		e.mu.Unlock()
+		e.countRefit(fitDur.Seconds(), false)
 		return TrainInfo{}, fmt.Errorf("training failed: %w", err)
 	}
+	e.countRefit(fitDur.Seconds(), true)
 	e.mu.Lock()
 	installed := gen >= e.trainedGen
 	if installed {
@@ -616,7 +638,15 @@ func (e *Engine) Plan(req PlanRequest) (*Plan, error) {
 	}
 	key := planKey{variant: variant, target: target, horizon: horizon, now: keyNow, hasNow: req.HasNow}
 	if p, ok := e.cachedPlan(gen, model, ec.Version, key); ok {
+		e.m.planHits.Inc()
+		if f := e.fleet; f != nil {
+			f.planHits.Inc()
+		}
 		return p, nil
+	}
+	e.m.planMisses.Inc()
+	if f := e.fleet; f != nil {
+		f.planMisses.Inc()
 	}
 
 	kappa := decision.Kappa(model.Rate(now), stats.Deterministic{Value: tau}, alpha, nil, 0)
@@ -747,7 +777,15 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 	}
 	key := forecastKey{from: from, to: to, step: step}
 	if pts, ok := e.cachedForecast(gen, model, cfgVer, key); ok {
+		e.m.forecastHits.Inc()
+		if f := e.fleet; f != nil {
+			f.forecastHits.Inc()
+		}
 		return pts, nil
+	}
+	e.m.forecastMisses.Inc()
+	if f := e.fleet; f != nil {
+		f.forecastMisses.Inc()
 	}
 	// Advance by index, not accumulation: at large magnitudes t += step
 	// can round back to t and loop forever.
@@ -800,6 +838,12 @@ type Status struct {
 func (e *Engine) Status() Status {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.statusLocked()
+}
+
+// statusLocked builds the Status under the caller's lock; shared by
+// Status and Stats so the two endpoints can never drift apart.
+func (e *Engine) statusLocked() Status {
 	st := Status{
 		Arrivals:      len(e.arrivals),
 		TrainedOn:     e.trainedN,

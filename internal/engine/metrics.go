@@ -1,0 +1,273 @@
+package engine
+
+// Observability for the engine layer. Every Engine carries its own set
+// of atomic lifetime counters (engineMetrics) and dual-writes each
+// event into the registry's shared fleet totals (fleetCounters), so
+// the hot paths — ingest appends, plan/forecast cache lookups — pay
+// two atomic adds per event class and never an extra lock or map
+// lookup, while a /metrics scrape reads finished totals instead of
+// walking the fleet. Two read sides:
+//
+//   - Engine.Stats: the per-workload JSON summary behind
+//     GET /v1/workloads/{id}/stats;
+//   - Registry.Instrument: the fleet counters, staleness gauges, the
+//     shared refit-latency and snapshot-duration histograms, and the
+//     snapshot-health series /healthz keys off.
+
+import (
+	"time"
+
+	"robustscaler/internal/metrics"
+)
+
+// engineMetrics is one workload's lifetime counters. All fields are
+// atomic; they are written on the engine's own paths and read lock-free
+// by Stats.
+type engineMetrics struct {
+	ingestEvents  metrics.Counter
+	ingestBatches metrics.Counter
+	// refits counts installed-or-discarded successful fits;
+	// refitFailures counts fits that errored (model kept). refitSeconds
+	// accumulates the wall time of every completed fit attempt, success
+	// and failure alike.
+	refits         metrics.Counter
+	refitFailures  metrics.Counter
+	refitSeconds   metrics.Float
+	planHits       metrics.Counter
+	planMisses     metrics.Counter
+	forecastHits   metrics.Counter
+	forecastMisses metrics.Counter
+}
+
+// fleetCounters are the registry-wide totals every engine dual-writes
+// alongside its own counters (one extra atomic add per event) so a
+// scrape reads finished numbers instead of walking — and locking — the
+// whole fleet per series. Being real counters, they also stay
+// monotonic when workloads are deleted, as Prometheus expects.
+type fleetCounters struct {
+	ingestEvents   *metrics.Counter
+	ingestBatches  *metrics.Counter
+	refits         *metrics.Counter
+	refitFailures  *metrics.Counter
+	planHits       *metrics.Counter
+	planMisses     *metrics.Counter
+	forecastHits   *metrics.Counter
+	forecastMisses *metrics.Counter
+}
+
+// countIngest records one accepted batch of n events.
+func (e *Engine) countIngest(n uint64) {
+	e.m.ingestBatches.Inc()
+	e.m.ingestEvents.Add(n)
+	if f := e.fleet; f != nil {
+		f.ingestBatches.Inc()
+		f.ingestEvents.Add(n)
+	}
+}
+
+// countRefit records one completed fit attempt: its wall time, and
+// whether it produced a model.
+func (e *Engine) countRefit(seconds float64, ok bool) {
+	e.m.refitSeconds.Add(seconds)
+	if ok {
+		e.m.refits.Inc()
+	} else {
+		e.m.refitFailures.Inc()
+	}
+	if f := e.fleet; f != nil {
+		if ok {
+			f.refits.Inc()
+		} else {
+			f.refitFailures.Inc()
+		}
+	}
+}
+
+// Stats is the per-workload observability summary: the live Status
+// fields plus the workload's lifetime counters. Counters reset with the
+// process (they are not persisted in snapshots), matching Prometheus
+// counter semantics.
+type Stats struct {
+	Status
+	// StalenessGenerations is how many ingest generations the current
+	// model is behind the arrival history; 0 means the model covers
+	// everything recorded.
+	StalenessGenerations int64 `json:"staleness_generations"`
+	// LastRefitAt is when the current model was installed, in engine-
+	// clock seconds; 0 before the first fit (or since a restore).
+	LastRefitAt          float64 `json:"last_refit_at"`
+	IngestedEvents       uint64  `json:"ingested_events_total"`
+	IngestedBatches      uint64  `json:"ingested_batches_total"`
+	Refits               uint64  `json:"refits_total"`
+	RefitFailures        uint64  `json:"refit_failures_total"`
+	RefitSecondsTotal    float64 `json:"refit_seconds_total"`
+	PlanCacheHits        uint64  `json:"plan_cache_hits_total"`
+	PlanCacheMisses      uint64  `json:"plan_cache_misses_total"`
+	ForecastCacheHits    uint64  `json:"forecast_cache_hits_total"`
+	ForecastCacheMisses  uint64  `json:"forecast_cache_misses_total"`
+	PlanCacheEntries     int     `json:"plan_cache_entries"`
+	ForecastCacheEntries int     `json:"forecast_cache_entries"`
+}
+
+// Stats reports the workload's observability summary.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	st := Stats{
+		Status:               e.statusLocked(),
+		StalenessGenerations: e.gen - e.trainedGen,
+		LastRefitAt:          e.lastTrainAt,
+		PlanCacheEntries:     len(e.planCache),
+		ForecastCacheEntries: len(e.fcCache),
+	}
+	e.mu.Unlock()
+	st.IngestedEvents = e.m.ingestEvents.Value()
+	st.IngestedBatches = e.m.ingestBatches.Value()
+	st.Refits = e.m.refits.Value()
+	st.RefitFailures = e.m.refitFailures.Value()
+	st.RefitSecondsTotal = e.m.refitSeconds.Value()
+	st.PlanCacheHits = e.m.planHits.Value()
+	st.PlanCacheMisses = e.m.planMisses.Value()
+	st.ForecastCacheHits = e.m.forecastHits.Value()
+	st.ForecastCacheMisses = e.m.forecastMisses.Value()
+	return st
+}
+
+// stalenessLag returns gen - trainedGen under the lock.
+func (e *Engine) stalenessLag() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen - e.trainedGen
+}
+
+// SetFitSeconds attaches a shared fit-latency histogram; every
+// completed fit attempt observes its wall time into it. Must be set
+// before the engine serves traffic (the Registry does so before
+// publishing a new engine).
+func (e *Engine) SetFitSeconds(h *metrics.Histogram) { e.fitSeconds = h }
+
+// SnapshotHealth describes the registry's persistence liveness — the
+// outcome trail of SnapshotTo across every trigger (background tick,
+// admin endpoint, durable delete, final shutdown snapshot). The health
+// endpoint turns ConsecutiveFailures into a degraded signal.
+type SnapshotHealth struct {
+	Snapshots           uint64 `json:"snapshots_total"`
+	Failures            uint64 `json:"snapshot_failures_total"`
+	ConsecutiveFailures uint64 `json:"consecutive_failures"`
+	// LastSuccessUnix is the wall-clock second of the last successful
+	// snapshot; 0 means none has succeeded yet.
+	LastSuccessUnix     int64   `json:"last_success_unix"`
+	LastDurationSeconds float64 `json:"last_duration_seconds"`
+	// LastError is the most recent failure's message; cleared by the
+	// next success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// SnapshotHealth returns the registry's persistence liveness record.
+func (r *Registry) SnapshotHealth() SnapshotHealth {
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	return r.snapHealth
+}
+
+// recordSnapshot folds one snapshot outcome into the health record and
+// the shared duration histogram.
+func (r *Registry) recordSnapshot(dur time.Duration, err error) {
+	r.instMu.Lock()
+	h := r.snapSeconds
+	r.instMu.Unlock()
+	if h != nil {
+		h.Observe(dur.Seconds())
+	}
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	r.snapHealth.Snapshots++
+	r.snapHealth.LastDurationSeconds = dur.Seconds()
+	if err != nil {
+		r.snapHealth.Failures++
+		r.snapHealth.ConsecutiveFailures++
+		r.snapHealth.LastError = err.Error()
+		return
+	}
+	r.snapHealth.ConsecutiveFailures = 0
+	r.snapHealth.LastError = ""
+	r.snapHealth.LastSuccessUnix = time.Now().Unix()
+}
+
+// Instrument registers the engine layer's fleet-wide metrics into m:
+// the fleet total counters every engine dual-writes (see
+// fleetCounters), the staleness gauges (the only series that walk the
+// fleet, once each, at scrape time), the refit-latency and
+// snapshot-duration histograms (shared by every engine this registry
+// created or will create), and the snapshot-health series. Call it
+// once at startup, before traffic.
+func (r *Registry) Instrument(m *metrics.Registry) {
+	m.GaugeFunc("robustscaler_workloads",
+		"Registered workloads.", func() float64 { return float64(r.Len()) })
+	m.GaugeFunc("robustscaler_workloads_stale",
+		"Workloads whose model lags the ingested arrivals.", func() float64 {
+			n := 0.0
+			for _, e := range r.snapshot() {
+				if e.stalenessLag() > 0 {
+					n++
+				}
+			}
+			return n
+		})
+	m.GaugeFunc("robustscaler_staleness_generations",
+		"Sum over workloads of ingest generations the model is behind.", func() float64 {
+			n := 0.0
+			for _, e := range r.snapshot() {
+				n += float64(e.stalenessLag())
+			}
+			return n
+		})
+
+	fleet := &fleetCounters{
+		ingestEvents: m.Counter("robustscaler_engine_ingested_events_total",
+			"Arrival timestamps recorded by engines (survives workload deletion)."),
+		ingestBatches: m.Counter("robustscaler_engine_ingested_batches_total",
+			"Ingest batches recorded by engines."),
+		refits: m.Counter("robustscaler_refits_total",
+			"Successful model fits."),
+		refitFailures: m.Counter("robustscaler_refit_failures_total",
+			"Failed model fits (previous model kept)."),
+		planHits: m.Counter("robustscaler_plan_cache_hits_total",
+			"Plan requests served from the result cache."),
+		planMisses: m.Counter("robustscaler_plan_cache_misses_total",
+			"Plan requests that recomputed the horizon."),
+		forecastHits: m.Counter("robustscaler_forecast_cache_hits_total",
+			"Forecast requests served from the result cache."),
+		forecastMisses: m.Counter("robustscaler_forecast_cache_misses_total",
+			"Forecast requests that resampled the intensity."),
+	}
+	fit := m.Histogram("robustscaler_refit_seconds",
+		"Wall time of one model fit attempt.", metrics.DefBuckets)
+	snap := m.Histogram("robustscaler_snapshot_seconds",
+		"Wall time of one registry snapshot (collect + commit).", metrics.DefBuckets)
+	r.instMu.Lock()
+	r.fleet = fleet
+	r.fitSeconds = fit
+	r.snapSeconds = snap
+	r.instMu.Unlock()
+	for _, e := range r.snapshot() {
+		e.fleet = fleet
+		e.SetFitSeconds(fit)
+	}
+
+	m.CounterFunc("robustscaler_snapshots_total",
+		"Registry snapshot attempts.", func() float64 { return float64(r.SnapshotHealth().Snapshots) })
+	m.CounterFunc("robustscaler_snapshot_failures_total",
+		"Registry snapshot attempts that failed (previous snapshot kept).",
+		func() float64 { return float64(r.SnapshotHealth().Failures) })
+	m.GaugeFunc("robustscaler_snapshot_consecutive_failures",
+		"Consecutive snapshot failures since the last success.",
+		func() float64 { return float64(r.SnapshotHealth().ConsecutiveFailures) })
+	m.GaugeFunc("robustscaler_snapshot_last_success_age_seconds",
+		"Seconds since the last successful snapshot; -1 before the first.", func() float64 {
+			last := r.SnapshotHealth().LastSuccessUnix
+			if last == 0 {
+				return -1
+			}
+			return time.Since(time.Unix(last, 0)).Seconds()
+		})
+}

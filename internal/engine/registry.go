@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"robustscaler/internal/metrics"
 )
 
 // numShards spreads workload IDs across independently locked maps so
@@ -34,6 +36,19 @@ type Registry struct {
 	// into a second dir must not make the primary dir's next tick
 	// believe its (older) files are current.
 	saved map[string]map[string]uint64
+
+	// healthMu guards snapHealth, the outcome trail of snapshot
+	// attempts (see metrics.go). Separate from snapMu so a health read
+	// never blocks behind an in-flight snapshot.
+	healthMu   sync.Mutex
+	snapHealth SnapshotHealth
+	// instMu guards the shared instruments Instrument installs; fleet
+	// and fitSeconds are handed to every engine at creation,
+	// snapSeconds observes snapshot durations.
+	instMu      sync.Mutex
+	fleet       *fleetCounters
+	fitSeconds  *metrics.Histogram
+	snapSeconds *metrics.Histogram
 }
 
 type shard struct {
@@ -103,6 +118,13 @@ func (r *Registry) GetOrCreate(id string) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Attach the shared fleet counters and fit-latency histogram (if
+	// Instrument installed them) before the engine becomes reachable,
+	// so the fields are never written after first use.
+	r.instMu.Lock()
+	fresh.fleet = r.fleet
+	fresh.SetFitSeconds(r.fitSeconds)
+	r.instMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.engines[id]; ok { // lost the creation race

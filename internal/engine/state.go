@@ -286,7 +286,17 @@ func (r *Registry) SnapshotTo(st *store.Store) (store.CommitStats, error) {
 	return r.snapshotLocked(st)
 }
 
+// snapshotLocked runs one snapshot and records its outcome (duration,
+// success/failure) into the registry's snapshot-health trail, which
+// /healthz and the /metrics snapshot series read.
 func (r *Registry) snapshotLocked(st *store.Store) (store.CommitStats, error) {
+	start := time.Now()
+	stats, err := r.collectAndCommitLocked(st)
+	r.recordSnapshot(time.Since(start), err)
+	return stats, err
+}
+
+func (r *Registry) collectAndCommitLocked(st *store.Store) (store.CommitStats, error) {
 	type entry struct {
 		id string
 		e  *Engine

@@ -1,0 +1,139 @@
+// Package metrics is a dependency-free observability core: atomic
+// counters, gauges and fixed-bucket histograms, collected in a Registry
+// that renders the Prometheus text exposition format. It exists so the
+// control plane's hot paths (ingest, planning) can be instrumented with
+// nothing but single atomic operations — instruments are resolved once
+// at registration time, never looked up per event, and no instrument
+// ever takes a lock on the update path.
+//
+// The Registry is the slow half: it owns the name → instrument map
+// (guarded by a mutex that only registration and scraping touch) and
+// serializes everything into one /metrics page. Computed values — fleet
+// aggregates, ages, queue depths — register as GaugeFunc/CounterFunc
+// and are evaluated at scrape time.
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is
+// ready to use; updates are single atomic adds.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// addFloat64 atomically adds d to a float64 stored as bits — the CAS
+// loop shared by Gauge.Add and Float.Add.
+func addFloat64(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Gauge is a float64 that can go up and down. The zero value is ready
+// to use; Set is a single atomic store, Add a CAS loop.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (which may be negative) to the gauge.
+func (g *Gauge) Add(d float64) { addFloat64(&g.bits, d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Float is a monotonically increasing float64 total — a counter whose
+// increments are fractional (accumulated seconds, say). Updates are a
+// CAS loop; reads are one atomic load.
+type Float struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates d; callers must only pass non-negative values.
+func (f *Float) Add(d float64) { addFloat64(&f.bits, d) }
+
+// Value returns the accumulated total.
+func (f *Float) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets, the
+// Prometheus histogram shape: one counter per upper bound plus an
+// implicit +Inf bucket, a total count and a running sum. Observe is a
+// binary search plus two atomic adds and one CAS — no locks, so it is
+// safe on request paths.
+type Histogram struct {
+	bounds  []float64 // strictly increasing upper bounds, +Inf excluded
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     Float
+}
+
+// NewHistogram creates a histogram over the given strictly increasing
+// upper bounds (the +Inf bucket is implicit). Registry.Histogram is the
+// usual constructor; this one serves instruments that live outside any
+// registry (per-object histograms aggregated elsewhere).
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly increasing")
+		}
+	}
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Branchless-ish lower bound: buckets are few (≤ ~20), a linear scan
+	// beats binary search on real bucket counts and stays allocation-free.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// snapshot returns cumulative bucket counts aligned with bounds plus
+// the +Inf bucket, and the count/sum, all read atomically per cell (the
+// page as a whole is not a consistent cut, per Prometheus convention).
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.buckets))
+	var running uint64
+	for i := range h.buckets {
+		running += h.buckets[i].Load()
+		cum[i] = running
+	}
+	return cum, h.count.Load(), h.sum.Value()
+}
+
+// DefBuckets are general-purpose latency bounds in seconds, from 100µs
+// to ~100s — wide enough for both HTTP handlers and model refits.
+var DefBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120,
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeFloat(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	var f Float
+	f.Add(0.25)
+	f.Add(0.5)
+	if got := f.Value(); got != 0.75 {
+		t.Fatalf("float = %g, want 0.75", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	// Cumulative: ≤1 → 2 (0.5, 1), ≤5 → 3 (+3), ≤10 → 4 (+7), +Inf → 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 5 || sum != 111.5 {
+		t.Fatalf("count=%d sum=%g, want 5, 111.5", count, sum)
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-increasing bounds did not panic")
+		}
+	}()
+	NewHistogram([]float64{1, 1})
+}
+
+func TestRegistryIdempotentAndTyped(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help", Label{"k", "v"})
+	b := r.Counter("x_total", "help", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	other := r.Counter("x_total", "help", Label{"k", "w"})
+	if other == a {
+		t.Fatal("distinct labels share a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("name reuse across types did not panic")
+		}
+	}()
+	r.Gauge("x_total", "help")
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rs_events_total", "events seen", Label{"format", "ndjson"}).Add(3)
+	r.Counter("rs_events_total", "events seen", Label{"format", "json"}).Add(1)
+	r.Gauge("rs_temp", "a gauge").Set(1.5)
+	r.GaugeFunc("rs_age_seconds", "an age", func() float64 { return 7 })
+	r.Histogram("rs_lat_seconds", "latency", []float64{0.1, 1}).Observe(0.05)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP rs_events_total events seen\n",
+		"# TYPE rs_events_total counter\n",
+		`rs_events_total{format="json"} 1`,
+		`rs_events_total{format="ndjson"} 3`,
+		"# TYPE rs_temp gauge\n",
+		"rs_temp 1.5",
+		"rs_age_seconds 7",
+		"# TYPE rs_lat_seconds histogram\n",
+		`rs_lat_seconds_bucket{le="0.1"} 1`,
+		`rs_lat_seconds_bucket{le="1"} 1`,
+		`rs_lat_seconds_bucket{le="+Inf"} 1`,
+		"rs_lat_seconds_sum 0.05",
+		"rs_lat_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name; label sets within a family too.
+	if strings.Index(out, "rs_age_seconds") > strings.Index(out, "rs_events_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+	if strings.Index(out, `format="json"`) > strings.Index(out, `format="ndjson"`) {
+		t.Fatalf("series not sorted by label:\n%s", out)
+	}
+}
+
+func TestValueLookup(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", Label{"a", "b"}).Add(9)
+	if v, ok := r.Value("c_total", Label{"a", "b"}); !ok || v != 9 {
+		t.Fatalf("Value = %g, %v; want 9, true", v, ok)
+	}
+	if _, ok := r.Value("c_total", Label{"a", "z"}); ok {
+		t.Fatal("unknown label set reported present")
+	}
+	if _, ok := r.Value("nope"); ok {
+		t.Fatal("unknown family reported present")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", Label{"p", "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `esc_total{p="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label not escaped:\n%s", sb.String())
+	}
+}
+
+// TestConcurrentUpdates exercises every instrument from many goroutines
+// under -race: the update paths must be lock-free and race-free.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cc_total", "")
+	g := r.Gauge("cg", "")
+	h := r.Histogram("ch_seconds", "", DefBuckets)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / 1000)
+				var sb strings.Builder
+				if i%250 == 0 {
+					if err := r.WritePrometheus(&sb); err != nil {
+						t.Error(err)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("totals = %d/%g/%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+	if math.IsNaN(h.Sum()) {
+		t.Fatal("histogram sum is NaN")
+	}
+}

@@ -1,0 +1,307 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Label is one name="value" pair on a series. Order is preserved as
+// given at registration, per Prometheus idiom (callers pick a stable
+// order; the registry renders what it was handed).
+type Label struct {
+	Name, Value string
+}
+
+// kind discriminates what a series holds.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+	kindCounterFunc
+	kindGaugeFunc
+)
+
+func (k kind) exposition() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// sameType reports whether two kinds may share a family (a static
+// gauge and a GaugeFunc can; a counter and a histogram cannot).
+func (k kind) sameType(o kind) bool { return k.exposition() == o.exposition() }
+
+// series is one labeled instrument inside a family.
+type series struct {
+	labels []Label
+	key    string // canonical label encoding, for dedup and sorting
+	kind   kind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family groups every series of one metric name.
+type family struct {
+	name, help string
+	kind       kind
+	series     []*series
+	byKey      map[string]*series
+}
+
+// Registry holds named instruments and renders them as one Prometheus
+// text page. Registration is idempotent: asking for a (name, labels)
+// pair that exists returns the existing instrument, so packages can
+// re-instrument without double counting. All methods are safe for
+// concurrent use; instrument updates themselves never touch the
+// registry lock.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// labelKey canonicalizes a label set for dedup. Label names and values
+// land between \x00 separators, so distinct sets cannot collide.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(0)
+		b.WriteString(l.Value)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// register resolves (name, labels) to its series, creating family and
+// series as needed. A name reused with a different metric type panics:
+// that is a programming error worth failing loudly at init, not a
+// runtime condition.
+func (r *Registry) register(name, help string, k kind, labels []Label) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, byKey: make(map[string]*series)}
+		r.fams[name] = f
+	} else if !f.kind.sameType(k) {
+		panic(fmt.Sprintf("metrics: %s registered as both %s and %s", name, f.kind.exposition(), k.exposition()))
+	}
+	key := labelKey(labels)
+	if s := f.byKey[key]; s != nil {
+		return s
+	}
+	s := &series{labels: append([]Label(nil), labels...), key: key, kind: k}
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter returns the counter registered under (name, labels),
+// creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it with the given bucket bounds on first use (later calls
+// keep the original bounds).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// CounterFunc registers a counter whose value is computed at scrape
+// time — the shape fleet-wide aggregates take (sum over live engines).
+// Re-registering the same (name, labels) replaces the function.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindCounterFunc, labels)
+	s.fn = fn
+}
+
+// GaugeFunc registers a gauge computed at scrape time (ages, depths,
+// set sizes). Re-registering the same (name, labels) replaces the
+// function.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindGaugeFunc, labels)
+	s.fn = fn
+}
+
+// WritePrometheus renders every registered instrument in the
+// Prometheus text exposition format (version 0.0.4): families sorted
+// by name, series sorted by label key, histograms expanded into
+// cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	srs := make([][]*series, len(names))
+	for i, name := range names {
+		f := r.fams[name]
+		fams[i] = f
+		ss := append([]*series(nil), f.series...)
+		sort.Slice(ss, func(a, b int) bool { return ss[a].key < ss[b].key })
+		srs[i] = ss
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind.exposition())
+		for _, s := range srs[i] {
+			writeSeries(&b, f.name, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Value returns the current value of the series registered under
+// (name, labels) and whether it exists — counters and counter funcs as
+// their total, gauges as their level, histograms as their observation
+// count. It exists for tests and cross-checking tools (cmd/bench), not
+// for scraping.
+func (r *Registry) Value(name string, labels ...Label) (float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		return 0, false
+	}
+	s := f.byKey[labelKey(labels)]
+	if s == nil {
+		return 0, false
+	}
+	switch s.kind {
+	case kindCounter:
+		return float64(s.counter.Value()), true
+	case kindGauge:
+		return s.gauge.Value(), true
+	case kindHistogram:
+		return float64(s.hist.Count()), true
+	default:
+		return s.fn(), true
+	}
+}
+
+func writeSeries(b *strings.Builder, name string, s *series) {
+	switch s.kind {
+	case kindCounter:
+		writeSample(b, name, s.labels, "", "", float64(s.counter.Value()))
+	case kindGauge:
+		writeSample(b, name, s.labels, "", "", s.gauge.Value())
+	case kindCounterFunc, kindGaugeFunc:
+		writeSample(b, name, s.labels, "", "", s.fn())
+	case kindHistogram:
+		cum, count, sum := s.hist.snapshot()
+		for i, bound := range s.hist.bounds {
+			writeSample(b, name+"_bucket", s.labels, "le", formatFloat(bound), float64(cum[i]))
+		}
+		writeSample(b, name+"_bucket", s.labels, "le", "+Inf", float64(cum[len(cum)-1]))
+		writeSample(b, name+"_sum", s.labels, "", "", sum)
+		writeSample(b, name+"_count", s.labels, "", "", float64(count))
+	}
+}
+
+// writeSample renders one `name{labels} value` line; extraName/Value
+// appends a synthetic label (the histogram `le`).
+func writeSample(b *strings.Builder, name string, labels []Label, extraName, extraValue string, v float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(l.Value))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(extraValue)
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: integers without a decimal point
+// (the common counter case), everything else in Go's shortest form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -47,7 +47,7 @@ type configUpdate struct {
 }
 
 func (s *Server) handleConfigGet(w http.ResponseWriter, _ *http.Request, e *engine.Engine) {
-	writeJSON(w, e.EngineConfig())
+	s.writeJSON(w, e.EngineConfig())
 }
 
 func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
@@ -105,5 +105,5 @@ func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engi
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, applied)
+	s.writeJSON(w, applied)
 }

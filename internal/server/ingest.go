@@ -74,9 +74,9 @@ func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request, id strin
 	}
 	switch mt {
 	case "application/x-ndjson", "application/ndjson":
-		s.ingestStream(w, body, id, encode.DecodeNDJSON)
+		s.ingestStream(w, body, id, "ndjson", encode.DecodeNDJSON)
 	case "application/octet-stream":
-		s.ingestStream(w, body, id, encode.DecodeBinary)
+		s.ingestStream(w, body, id, "binary", encode.DecodeBinary)
 	default:
 		// Everything else — including no Content-Type at all, or curl's
 		// default form encoding — takes the original JSON-array format,
@@ -86,7 +86,7 @@ func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request, id strin
 		// token into pooled chunks, so -max-ingest-bytes is enforced as
 		// the body arrives and the legacy format no longer buffers whole
 		// bodies on the decode side.
-		s.ingestStream(w, body, id, encode.DecodeJSONArray)
+		s.ingestStream(w, body, id, "json", encode.DecodeJSONArray)
 	}
 }
 
@@ -96,7 +96,7 @@ func (s *Server) handleArrivals(w http.ResponseWriter, r *http.Request, id strin
 // contract of the JSON path; sorted streams (the overwhelmingly common
 // case — producers emit in arrival order) skip the defensive copy and
 // sort entirely.
-func (s *Server) ingestStream(w http.ResponseWriter, body io.Reader, id string,
+func (s *Server) ingestStream(w http.ResponseWriter, body io.Reader, id, format string,
 	decode func(io.Reader, encode.CheckFunc) (*encode.Batch, error)) {
 	batch, err := decode(body, engine.ValidateTimestamps)
 	if err != nil {
@@ -124,7 +124,11 @@ func (s *Server) ingestStream(w http.ResponseWriter, body io.Reader, id string,
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, map[string]any{"recorded": batch.Count, "total": total})
+	// Counted only after the engine accepted the batch, so the per-
+	// format series agrees with what actually landed (and, unlike the
+	// per-engine counters, survives the workload's later deletion).
+	s.ingestEvents[format].Add(uint64(batch.Count))
+	s.writeJSON(w, map[string]any{"recorded": batch.Count, "total": total})
 }
 
 // ingestReadError maps body-read failures: size caps → 413, invalid

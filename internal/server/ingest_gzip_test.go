@@ -1,0 +1,83 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// assertNoWorkload fails if the ingest attempt brought the workload
+// into existence — the all-or-nothing contract for rejected bodies.
+func assertNoWorkload(t *testing.T, s *Server, id string) {
+	t.Helper()
+	if _, ok := s.Registry().Get(id); ok {
+		t.Fatalf("rejected ingest created workload %q", id)
+	}
+}
+
+// TestGzipEmptyBody pins the degenerate gzip body: zero bytes is not a
+// gzip stream (no header), so the request is a clean 400 and no
+// workload is created.
+func TestGzipEmptyBody(t *testing.T) {
+	s, ts := newTestServer(t, 0)
+	r := postBody(t, ts.URL+"/v1/workloads/gz-empty/arrivals", "application/x-ndjson", "gzip", nil)
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty gzip body: status %d, want 400", r.StatusCode)
+	}
+	assertNoWorkload(t, s, "gz-empty")
+}
+
+// TestGzipTrailingGarbage pins a valid gzip member followed by trailing
+// junk: the decompressor hits the junk where the next member's header
+// should be, the decode fails, and — because decode completes before
+// the workload is resolved — nothing is partially ingested.
+func TestGzipTrailingGarbage(t *testing.T) {
+	s, ts := newTestServer(t, 0)
+	body := append(gzipBody(t, ndjsonBody([]float64{1, 2, 3})), []byte("trailing garbage")...)
+	r := postBody(t, ts.URL+"/v1/workloads/gz-trail/arrivals", "application/x-ndjson", "gzip", body)
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("gzip with trailing garbage: status %d, want 400", r.StatusCode)
+	}
+	assertNoWorkload(t, s, "gz-trail")
+}
+
+// TestGzipDecompressedSizeCap pins the boundary of -max-ingest-bytes on
+// the inflated stream: a member that decompresses to exactly the cap is
+// accepted in full, one extra byte is a clean 413 with no partial
+// ingest and no workload created. (The compressed body is far below the
+// cap either way — only the decompressed-size check can catch this.)
+func TestGzipDecompressedSizeCap(t *testing.T) {
+	s, ts := newTestServer(t, 0)
+	// 100 lines of "16000.25\n" — 9 bytes each, 900 bytes inflated.
+	line := "16000.25\n"
+	payload := []byte(strings.Repeat(line, 100))
+	s.SetMaxIngestBytes(int64(len(payload)))
+
+	r := postBody(t, ts.URL+"/v1/workloads/gz-cap/arrivals", "application/x-ndjson", "gzip", gzipBody(t, payload))
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("member of exactly the cap: status %d, want 200", r.StatusCode)
+	}
+	rec := decode[map[string]any](t, r)
+	if rec["recorded"] != float64(100) {
+		t.Fatalf("recorded = %v, want 100", rec["recorded"])
+	}
+
+	// One decompressed byte past the cap: 413, all-or-nothing.
+	over := append(bytes.Clone(payload), '\n')
+	r2 := postBody(t, ts.URL+"/v1/workloads/gz-over/arrivals", "application/x-ndjson", "gzip", gzipBody(t, over))
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("member one byte past the cap: status %d, want 413", r2.StatusCode)
+	}
+	assertNoWorkload(t, s, "gz-over")
+	// The accepted workload kept exactly its own batch: the oversized
+	// request touched nothing.
+	st := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/gz-cap/stats"))
+	if st["arrivals_recorded"] != float64(100) {
+		t.Fatalf("gz-cap arrivals after oversized sibling = %v, want 100", st["arrivals_recorded"])
+	}
+}

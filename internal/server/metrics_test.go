@@ -1,0 +1,322 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// scrape fetches /metrics and parses the exposition into a map from
+// full series line key (name plus label block, exactly as rendered) to
+// value.
+func scrape(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics Content-Type = %q", ct)
+	}
+	out := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestMetricsCountersMove is the acceptance test for the observability
+// plane: every layer's counters must advance as traffic flows through
+// ingest, train, plan/forecast (miss then hit) and snapshot.
+func TestMetricsCountersMove(t *testing.T) {
+	const horizon = 4 * 3600.0
+	dir := t.TempDir()
+	s, ts := newTestServer(t, horizon)
+	if err := s.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	arr := trafficArrivals(1, horizon)
+	postJSON(t, ts.URL+"/v1/workloads/svc/arrivals", map[string]any{"timestamps": arr[:len(arr)/2]}).Body.Close()
+	nd := ndjsonBody(arr[len(arr)/2:])
+	postBody(t, ts.URL+"/v1/workloads/svc/arrivals", "application/x-ndjson", "", nd).Body.Close()
+	if resp := postJSON(t, ts.URL+"/v1/workloads/svc/train", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("train status %d", resp.StatusCode)
+	}
+	planURL := ts.URL + "/v1/workloads/svc/plan?variant=hp&target=0.9&horizon=600&now=" +
+		strconv.FormatFloat(horizon, 'f', -1, 64)
+	mustGet(t, planURL).Body.Close() // miss
+	mustGet(t, planURL).Body.Close() // hit
+	fcURL := ts.URL + "/v1/workloads/svc/forecast?from=14400&to=18000&step=300"
+	mustGet(t, fcURL).Body.Close()
+	mustGet(t, fcURL).Body.Close()
+	if resp := postJSON(t, ts.URL+"/v1/admin/snapshot", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status %d", resp.StatusCode)
+	}
+
+	m := scrape(t, ts.URL)
+	wantEvents := float64(len(arr))
+	for series, want := range map[string]float64{
+		`robustscaler_ingest_events_total{format="json"}`:                                  float64(len(arr) / 2),
+		`robustscaler_ingest_events_total{format="ndjson"}`:                                float64(len(arr) - len(arr)/2),
+		`robustscaler_ingest_events_total{format="binary"}`:                                0,
+		"robustscaler_engine_ingested_events_total":                                        wantEvents,
+		"robustscaler_engine_ingested_batches_total":                                       2,
+		"robustscaler_refits_total":                                                        1,
+		"robustscaler_refit_failures_total":                                                0,
+		"robustscaler_plan_cache_hits_total":                                               1,
+		"robustscaler_plan_cache_misses_total":                                             1,
+		"robustscaler_forecast_cache_hits_total":                                           1,
+		"robustscaler_forecast_cache_misses_total":                                         1,
+		"robustscaler_workloads":                                                           1,
+		"robustscaler_workloads_stale":                                                     0,
+		"robustscaler_snapshots_total":                                                     1,
+		"robustscaler_snapshot_failures_total":                                             0,
+		"robustscaler_store_commits_total":                                                 1,
+		"robustscaler_store_commit_failures_total":                                         0,
+		"robustscaler_store_manifest_seq":                                                  1,
+		"robustscaler_store_workloads":                                                     1,
+		`robustscaler_http_requests_total{route="GET /v1/workloads/{id}/plan",code="2xx"}`: 2,
+	} {
+		if got, ok := m[series]; !ok || got != want {
+			t.Errorf("%s = %g (present %v), want %g", series, got, ok, want)
+		}
+	}
+	// Durations and sizes are machine-dependent; assert they moved.
+	if m["robustscaler_refit_seconds_count"] < 1 {
+		t.Errorf("refit_seconds histogram did not observe the fit")
+	}
+	if m["robustscaler_snapshot_seconds_count"] < 1 {
+		t.Errorf("snapshot_seconds histogram did not observe the snapshot")
+	}
+	if m["robustscaler_store_bytes_written_total"] <= 0 || m["robustscaler_store_files_written_total"] != 1 {
+		t.Errorf("store write counters = %g bytes / %g files, want >0 / 1",
+			m["robustscaler_store_bytes_written_total"], m["robustscaler_store_files_written_total"])
+	}
+	if m["robustscaler_snapshot_last_success_age_seconds"] < 0 {
+		t.Errorf("last-success age still reports 'never' after a successful snapshot")
+	}
+	if m[`robustscaler_http_request_seconds_count{route="POST /v1/workloads/{id}/arrivals"}`] != 2 {
+		t.Errorf("arrivals route latency histogram count = %g, want 2",
+			m[`robustscaler_http_request_seconds_count{route="POST /v1/workloads/{id}/arrivals"}`])
+	}
+}
+
+// TestWorkloadStatsEndpoint pins the per-workload JSON summary: its
+// counters must match the traffic the workload actually served, and an
+// unknown workload must 404 without being created.
+func TestWorkloadStatsEndpoint(t *testing.T) {
+	const horizon = 4 * 3600.0
+	_, ts := newTestServer(t, horizon)
+	arr := trafficArrivals(2, horizon)
+	postJSON(t, ts.URL+"/v1/workloads/svc/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/svc/train", nil).Body.Close()
+	planURL := ts.URL + "/v1/workloads/svc/plan?variant=hp&target=0.9&horizon=600&now=" +
+		strconv.FormatFloat(horizon, 'f', -1, 64)
+	mustGet(t, planURL).Body.Close()
+	mustGet(t, planURL).Body.Close()
+
+	st := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/svc/stats"))
+	for field, want := range map[string]float64{
+		"arrivals_recorded":       float64(len(arr)),
+		"ingested_events_total":   float64(len(arr)),
+		"ingested_batches_total":  1,
+		"refits_total":            1,
+		"refit_failures_total":    0,
+		"plan_cache_hits_total":   1,
+		"plan_cache_misses_total": 1,
+		"staleness_generations":   0,
+		"plan_cache_entries":      1,
+		"config_version":          1,
+	} {
+		if got, ok := st[field].(float64); !ok || got != want {
+			t.Errorf("stats[%s] = %v, want %g", field, st[field], want)
+		}
+	}
+	if st["model_ready"] != true {
+		t.Errorf("stats model_ready = %v, want true", st["model_ready"])
+	}
+	if st["refit_seconds_total"].(float64) <= 0 {
+		t.Errorf("refit_seconds_total = %v, want > 0", st["refit_seconds_total"])
+	}
+	if st["last_refit_at"].(float64) != horizon {
+		t.Errorf("last_refit_at = %v, want %g (the fake clock)", st["last_refit_at"], horizon)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/workloads/nope/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("stats for unknown workload: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// breakDataDir replaces the data directory with a regular file, so
+// every subsequent commit fails; fixDataDir undoes it.
+func breakDataDir(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir, []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fixDataDir(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.Remove(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "workloads"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeletePersistFailureIs500 is the regression test for the delete
+// bugfix: when the durable persist behind DELETE fails, the response
+// must be a 500 carrying the error — not a 200 with persisted:false
+// buried in the body — while the in-memory delete still stands.
+func TestDeletePersistFailureIs500(t *testing.T) {
+	const horizon = 4 * 3600.0
+	dir := t.TempDir()
+	s, ts := newTestServer(t, horizon)
+	if err := s.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	arr := trafficArrivals(3, horizon)
+	postJSON(t, ts.URL+"/v1/workloads/doomed/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+
+	breakDataDir(t, dir)
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workloads/doomed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("delete with failing store: status %d, want 500", resp.StatusCode)
+	}
+	body := decode[map[string]any](t, resp)
+	if body["deleted"] != true || body["persisted"] != false {
+		t.Fatalf("delete body = %v, want deleted:true persisted:false", body)
+	}
+	if msg, _ := body["persist_error"].(string); msg == "" {
+		t.Fatalf("delete body carries no persist_error: %v", body)
+	}
+	// The in-memory delete stood: the workload is gone.
+	if _, ok := s.Registry().Get("doomed"); ok {
+		t.Fatal("workload still registered after failed-persist delete")
+	}
+}
+
+// TestHealthzDegradedOnSnapshotFailures pins the health bugfix: the
+// endpoint reports 503 "degraded" while snapshots fail consecutively
+// and returns to 200 "ok" after the next success.
+func TestHealthzDegradedOnSnapshotFailures(t *testing.T) {
+	const horizon = 4 * 3600.0
+	dir := t.TempDir()
+	s, ts := newTestServer(t, horizon)
+	if err := s.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	postJSON(t, ts.URL+"/v1/workloads/svc/arrivals",
+		map[string]any{"timestamps": trafficArrivals(4, horizon)}).Body.Close()
+
+	health := func() (int, map[string]any) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, decode[map[string]any](t, resp)
+	}
+
+	if code, body := health(); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthy healthz = %d %v, want 200 ok", code, body)
+	}
+
+	breakDataDir(t, dir)
+	if resp := postJSON(t, ts.URL+"/v1/admin/snapshot", nil); resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("snapshot into broken dir: status %d, want 500", resp.StatusCode)
+	}
+	code, body := health()
+	if code != http.StatusServiceUnavailable || body["status"] != "degraded" {
+		t.Fatalf("degraded healthz = %d %v, want 503 degraded", code, body)
+	}
+	pers, _ := body["persistence"].(map[string]any)
+	if pers == nil || pers["consecutive_failures"].(float64) < 1 || pers["last_error"] == "" {
+		t.Fatalf("degraded healthz persistence detail = %v", pers)
+	}
+	if m := scrape(t, ts.URL); m["robustscaler_snapshot_consecutive_failures"] < 1 {
+		t.Fatalf("consecutive-failures gauge = %g, want >= 1", m["robustscaler_snapshot_consecutive_failures"])
+	}
+
+	fixDataDir(t, dir)
+	if resp := postJSON(t, ts.URL+"/v1/admin/snapshot", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot after repair: status %d, want 200", resp.StatusCode)
+	}
+	if code, body := health(); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("recovered healthz = %d %v, want 200 ok", code, body)
+	}
+}
+
+// failWriter is a ResponseWriter whose body writes always fail — the
+// shape of a client that disconnected mid-response.
+type failWriter struct {
+	*httptest.ResponseRecorder
+}
+
+func (f *failWriter) Write([]byte) (int, error) { return 0, errors.New("client gone") }
+
+// TestWriteJSONCountsEncodeFailures pins the writeJSON bugfix: encode
+// errors are no longer discarded — each one increments the encode-
+// failure counter (and the status, already committed, stays what the
+// handler chose).
+func TestWriteJSONCountsEncodeFailures(t *testing.T) {
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := s.Metrics().Value("robustscaler_response_encode_failures_total")
+	s.writeJSON(&failWriter{httptest.NewRecorder()}, map[string]any{"k": "v"})
+	after, ok := s.Metrics().Value("robustscaler_response_encode_failures_total")
+	if !ok || after != before+1 {
+		t.Fatalf("encode-failure counter = %g (present %v), want %g", after, ok, before+1)
+	}
+	// A healthy writer must not count.
+	s.writeJSON(httptest.NewRecorder(), map[string]any{"k": "v"})
+	if again, _ := s.Metrics().Value("robustscaler_response_encode_failures_total"); again != after {
+		t.Fatalf("healthy encode moved the failure counter: %g -> %g", after, again)
+	}
+}

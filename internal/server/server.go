@@ -26,11 +26,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
 	"strconv"
 
 	"robustscaler/internal/engine"
+	"robustscaler/internal/metrics"
 	"robustscaler/internal/store"
 )
 
@@ -62,9 +64,22 @@ type Server struct {
 	// alike; ≤0 disables the cap. Set once before serving
 	// (SetMaxIngestBytes); defaults to DefaultMaxIngestBytes.
 	maxIngestBytes int64
+	// metrics is the process-wide observability registry behind GET
+	// /metrics: the engine fleet's aggregates are registered at New, the
+	// store's at SetStore, and the HTTP layer's per-route series when
+	// the mux is built.
+	metrics *metrics.Registry
+	// encodeFailures counts responses whose JSON encoding failed after
+	// the status line was committed (client gone, or an unencodable
+	// value) — the failures writeJSON used to swallow.
+	encodeFailures *metrics.Counter
+	// ingestEvents counts accepted arrival timestamps by wire format;
+	// unlike the per-engine counters these survive workload deletion.
+	ingestEvents map[string]*metrics.Counter
 }
 
-// New creates a Server with an empty workload registry.
+// New creates a Server with an empty workload registry and a live
+// metrics registry already instrumented over it.
 func New(cfg Config) (*Server, error) {
 	reg, err := engine.NewRegistry(cfg)
 	if err != nil {
@@ -74,7 +89,18 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{reg: reg, ephemeral: eph, maxIngestBytes: DefaultMaxIngestBytes}, nil
+	m := metrics.NewRegistry()
+	reg.Instrument(m)
+	s := &Server{reg: reg, ephemeral: eph, maxIngestBytes: DefaultMaxIngestBytes, metrics: m}
+	s.encodeFailures = m.Counter("robustscaler_response_encode_failures_total",
+		"Responses whose body could not be fully written after the status was sent (truncated reply: vanished client or encode error).")
+	s.ingestEvents = map[string]*metrics.Counter{}
+	for _, format := range []string{"json", "ndjson", "binary"} {
+		s.ingestEvents[format] = m.Counter("robustscaler_ingest_events_total",
+			"Arrival timestamps accepted over HTTP, by wire format (gzip variants included).",
+			metrics.Label{Name: "format", Value: format})
+	}
+	return s, nil
 }
 
 // SetMaxIngestBytes caps one arrivals request body (413 beyond it); n
@@ -87,10 +113,15 @@ func (s *Server) SetMaxIngestBytes(n int64) { s.maxIngestBytes = n }
 func (s *Server) Registry() *engine.Registry { return s.reg }
 
 // SetStore enables persistence side effects (the POST /v1/admin/
-// snapshot endpoint, durable deletes), committing into st. Call it once
-// at startup, before the handler serves traffic; nil (the default)
-// keeps them disabled.
-func (s *Server) SetStore(st *store.Store) { s.st = st }
+// snapshot endpoint, durable deletes), committing into st, and
+// registers the store's metrics. Call it once at startup, before the
+// handler serves traffic; nil (the default) keeps them disabled.
+func (s *Server) SetStore(st *store.Store) {
+	s.st = st
+	if st != nil {
+		st.Instrument(s.metrics)
+	}
+}
 
 // SetDataDir is SetStore over a freshly opened store in dir.
 func (s *Server) SetDataDir(dir string) error {
@@ -98,7 +129,7 @@ func (s *Server) SetDataDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	s.st = st
+	s.SetStore(st)
 	return nil
 }
 
@@ -116,30 +147,37 @@ type PlanEntry = engine.PlanEntry
 // engineHandler is a route body that already has its workload resolved.
 type engineHandler func(w http.ResponseWriter, r *http.Request, e *engine.Engine)
 
-// Handler returns the HTTP routes.
+// Handler returns the HTTP routes, each wrapped in the request-metrics
+// middleware under its mux pattern (so the `route` label is the
+// "METHOD /path/{id}" template, never a concrete workload ID).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /v1/workloads", s.handleList)
-	mux.HandleFunc("DELETE /v1/workloads/{id}", s.handleDelete)
-	mux.HandleFunc("POST /v1/workloads/{id}/arrivals", func(w http.ResponseWriter, r *http.Request) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /healthz", s.handleHealth)
+	handle("GET /metrics", s.handleMetrics)
+	handle("GET /v1/workloads", s.handleList)
+	handle("DELETE /v1/workloads/{id}", s.handleDelete)
+	handle("POST /v1/workloads/{id}/arrivals", func(w http.ResponseWriter, r *http.Request) {
 		s.handleArrivals(w, r, r.PathValue("id"))
 	})
-	mux.HandleFunc("POST /v1/workloads/{id}/train", s.workload(s.handleTrain))
-	mux.HandleFunc("GET /v1/workloads/{id}/plan", s.workload(s.handlePlan))
-	mux.HandleFunc("GET /v1/workloads/{id}/forecast", s.workload(s.handleForecast))
-	mux.HandleFunc("GET /v1/workloads/{id}/status", s.workload(s.handleStatus))
-	mux.HandleFunc("GET /v1/workloads/{id}/config", s.workload(s.handleConfigGet))
-	mux.HandleFunc("PUT /v1/workloads/{id}/config", s.workload(s.handleConfigPut))
-	mux.HandleFunc("POST /v1/admin/snapshot", s.handleSnapshot)
+	handle("POST /v1/workloads/{id}/train", s.workload(s.handleTrain))
+	handle("GET /v1/workloads/{id}/plan", s.workload(s.handlePlan))
+	handle("GET /v1/workloads/{id}/forecast", s.workload(s.handleForecast))
+	handle("GET /v1/workloads/{id}/status", s.workload(s.handleStatus))
+	handle("GET /v1/workloads/{id}/stats", s.workload(s.handleStats))
+	handle("GET /v1/workloads/{id}/config", s.workload(s.handleConfigGet))
+	handle("PUT /v1/workloads/{id}/config", s.workload(s.handleConfigPut))
+	handle("POST /v1/admin/snapshot", s.handleSnapshot)
 	// Legacy single-workload aliases.
-	mux.HandleFunc("POST /v1/arrivals", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /v1/arrivals", func(w http.ResponseWriter, r *http.Request) {
 		s.handleArrivals(w, r, DefaultWorkload)
 	})
-	mux.HandleFunc("POST /v1/train", s.legacy(s.handleTrain))
-	mux.HandleFunc("GET /v1/plan", s.legacy(s.handlePlan))
-	mux.HandleFunc("GET /v1/forecast", s.legacy(s.handleForecast))
-	mux.HandleFunc("GET /v1/status", s.legacy(s.handleStatus))
+	handle("POST /v1/train", s.legacy(s.handleTrain))
+	handle("GET /v1/plan", s.legacy(s.handlePlan))
+	handle("GET /v1/forecast", s.legacy(s.handleForecast))
+	handle("GET /v1/status", s.legacy(s.handleStatus))
 	return mux
 }
 
@@ -175,9 +213,25 @@ func (s *Server) legacy(h engineHandler) http.HandlerFunc {
 	}
 }
 
+// handleHealth reports process health. Liveness alone is not health:
+// with persistence enabled, a snapshot pipeline that keeps failing
+// means a restart loses state, so consecutive snapshot failures turn
+// the report into 503 "degraded" (with the failure detail inline) and
+// an orchestrator's health check can act before the data loss happens.
+// Without a store there is nothing to degrade and the check is plain
+// liveness.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	resp := map[string]any{"status": "ok"}
+	if s.st != nil {
+		h := s.reg.SnapshotHealth()
+		resp["persistence"] = h
+		if h.ConsecutiveFailures > 0 {
+			resp["status"] = "degraded"
+			s.writeJSONStatus(w, http.StatusServiceUnavailable, resp)
+			return
+		}
+	}
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -185,7 +239,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	if ids == nil {
 		ids = []string{}
 	}
-	writeJSON(w, map[string]any{"workloads": ids})
+	s.writeJSON(w, map[string]any{"workloads": ids})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -197,16 +251,20 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	if s.st != nil {
 		// Make the delete durable right away: otherwise a restart before
 		// the next snapshot tick would resurrect the workload from the
-		// stale snapshot. The in-memory delete stands either way, so a
-		// persistence failure is reported, not turned into an HTTP error.
+		// stale snapshot. The in-memory delete stands either way, but a
+		// persistence failure means exactly that resurrection is still
+		// possible — surface it as a 500 (deleted:true in the body says
+		// the in-memory half happened) instead of burying persisted:false
+		// inside a 200 no automation would read.
 		if _, err := s.reg.SnapshotTo(s.st); err != nil {
 			resp["persisted"] = false
 			resp["persist_error"] = err.Error()
-		} else {
-			resp["persisted"] = true
+			s.writeJSONStatus(w, http.StatusInternalServerError, resp)
+			return
 		}
+		resp["persisted"] = true
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
@@ -215,7 +273,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, e *engine.E
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, info)
+	s.writeJSON(w, info)
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
@@ -252,7 +310,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, e *engine.En
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, plan)
+	s.writeJSON(w, plan)
 }
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
@@ -277,11 +335,11 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engin
 		httpError(w, err)
 		return
 	}
-	writeJSON(w, pts)
+	s.writeJSON(w, pts)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
-	writeJSON(w, e.Status())
+	s.writeJSON(w, e.Status())
 }
 
 // handleSnapshot persists every workload on operator demand — the
@@ -298,7 +356,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, map[string]any{
+	s.writeJSON(w, map[string]any{
 		"workloads": stats.Total,
 		"written":   stats.Written,
 		"unchanged": stats.Kept,
@@ -333,7 +391,23 @@ func floatParam(raw string, def float64) (float64, error) {
 	return v, nil
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
+// writeJSON encodes a 200 response body. Encode errors cannot change
+// the status line (it is already on the wire), but they are not
+// swallowed either: each one is counted and logged, so a truncated
+// response — a vanished client, or an unencodable value — shows up in
+// /metrics instead of disappearing.
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	s.writeJSONStatus(w, http.StatusOK, v)
+}
+
+// writeJSONStatus is writeJSON with an explicit status code.
+func (s *Server) writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(v)
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.encodeFailures.Inc()
+		log.Printf("server: encoding %d response failed (response truncated): %v", code, err)
+	}
 }

@@ -1,0 +1,81 @@
+package store
+
+// Observability for the persistence layer. Instrument registers the
+// store's commit-side metrics into an internal/metrics.Registry; once
+// attached, every Commit — background tick, admin endpoint, durable
+// delete — feeds them. The store works identically uninstrumented (all
+// hooks are nil-checked), so tests and tools that only move snapshots
+// around pay nothing.
+
+import (
+	"time"
+
+	"robustscaler/internal/metrics"
+)
+
+// storeMetrics are the instruments Commit updates. The two gauges are
+// static values refreshed at commit time rather than scrape-time
+// functions: a GaugeFunc would have to take s.mu, and a scrape landing
+// during a slow commit (the lock is held across every file fsync)
+// would stall the whole /metrics page exactly when it matters most.
+type storeMetrics struct {
+	commits        *metrics.Counter
+	commitFailures *metrics.Counter
+	filesWritten   *metrics.Counter
+	bytesWritten   *metrics.Counter
+	commitSeconds  *metrics.Histogram
+	manifestSeq    *metrics.Gauge
+	workloads      *metrics.Gauge
+}
+
+// Instrument registers this store's metrics into m and starts feeding
+// them: the counters and the commit-duration histogram advance as
+// commits run, the manifest-generation and workload-count gauges are
+// primed here and refreshed on every successful commit. Call once at
+// startup.
+func (s *Store) Instrument(m *metrics.Registry) {
+	sm := &storeMetrics{
+		commits: m.Counter("robustscaler_store_commits_total",
+			"Snapshot commits that reached the manifest rename."),
+		commitFailures: m.Counter("robustscaler_store_commit_failures_total",
+			"Snapshot commits that failed (previous manifest kept)."),
+		filesWritten: m.Counter("robustscaler_store_files_written_total",
+			"Workload snapshot files written (manifest writes excluded)."),
+		bytesWritten: m.Counter("robustscaler_store_bytes_written_total",
+			"Bytes written into the data dir, headers and manifests included."),
+		commitSeconds: m.Histogram("robustscaler_store_commit_seconds",
+			"Wall time of one snapshot commit (file writes + manifest rename).", metrics.DefBuckets),
+		manifestSeq: m.Gauge("robustscaler_store_manifest_seq",
+			"Committed manifest generation; 0 before the first commit."),
+		workloads: m.Gauge("robustscaler_store_workloads",
+			"Workloads the committed snapshot covers."),
+	}
+	// Prime the gauges from the opened state (Len reads the legacy v1
+	// snapshot when migration is pending — once, at startup).
+	count := s.Len()
+	s.mu.Lock()
+	sm.manifestSeq.Set(float64(s.seq))
+	sm.workloads.Set(float64(count))
+	s.metrics = sm
+	s.mu.Unlock()
+}
+
+// recordCommitLocked folds one Commit outcome into the instruments;
+// called with s.mu held (Commit's own lock), where s.metrics, s.seq
+// and the new manifest are stable.
+func (s *Store) recordCommitLocked(dur time.Duration, files int, bytes int64, err error) {
+	sm := s.metrics
+	if sm == nil {
+		return
+	}
+	sm.commitSeconds.Observe(dur.Seconds())
+	if err != nil {
+		sm.commitFailures.Inc()
+		return
+	}
+	sm.commits.Inc()
+	sm.filesWritten.Add(uint64(files))
+	sm.bytesWritten.Add(uint64(bytes))
+	sm.manifestSeq.Set(float64(s.seq))
+	sm.workloads.Set(float64(len(s.entries)))
+}

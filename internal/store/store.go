@@ -171,6 +171,8 @@ type Store struct {
 	// legacy marks a directory still on the v1 monolithic format: reads
 	// come from snapshot.rsnap until the first Commit migrates it.
 	legacy bool
+	// metrics, when set (Instrument), observes every commit.
+	metrics *storeMetrics
 }
 
 // Open opens (creating if needed) the data directory and reads its
@@ -324,13 +326,21 @@ func (s *Store) Load() ([]Workload, error) {
 func (s *Store) Commit(changed []Workload, keep []string) (CommitStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	start := time.Now()
+	stats, bytes, err := s.commitLocked(changed, keep)
+	s.recordCommitLocked(time.Since(start), stats.Written, bytes, err)
+	return stats, err
+}
+
+func (s *Store) commitLocked(changed []Workload, keep []string) (CommitStats, int64, error) {
 	var stats CommitStats
+	var wrote int64
 	seq := s.seq + 1
 	next := make(map[string]manifestEntry, len(changed)+len(keep))
 	for _, id := range keep {
 		en, ok := s.entries[id]
 		if !ok || s.legacy {
-			return stats, fmt.Errorf("store: cannot keep workload %q: not covered by the committed manifest", id)
+			return stats, wrote, fmt.Errorf("store: cannot keep workload %q: not covered by the committed manifest", id)
 		}
 		next[id] = en
 	}
@@ -338,11 +348,11 @@ func (s *Store) Commit(changed []Workload, keep []string) (CommitStats, error) {
 	// Write the changed workload files first; none is visible to a
 	// reader until the manifest below names it.
 	var newFiles []string
-	abort := func(err error) (CommitStats, error) {
+	abort := func(err error) (CommitStats, int64, error) {
 		for _, f := range newFiles {
 			os.Remove(filepath.Join(s.dir, WorkloadDir, f))
 		}
-		return stats, err
+		return stats, wrote, err
 	}
 	// Distinct IDs can collide on (sanitized prefix, FNV-64) — workload
 	// IDs are client-chosen, and a same-name rename inside one commit
@@ -368,9 +378,11 @@ func (s *Store) Commit(changed []Workload, keep []string) (CommitStats, error) {
 			name = fmt.Sprintf("%s~%d", workloadFileName(w.ID, seq, s.nonce), i)
 		}
 		usedNames[name] = true
-		if err := writeFileAtomic(filepath.Join(s.dir, WorkloadDir), name, encodeFile(workloadMagic, body)); err != nil {
+		content := encodeFile(workloadMagic, body)
+		if err := writeFileAtomic(filepath.Join(s.dir, WorkloadDir), name, content); err != nil {
 			return abort(fmt.Errorf("store: writing workload %q: %w", w.ID, err))
 		}
+		wrote += int64(len(content))
 		newFiles = append(newFiles, name)
 		next[w.ID] = manifestEntry{ID: w.ID, File: name, CRC: crc32.ChecksumIEEE(body), Len: len(body)}
 	}
@@ -393,9 +405,11 @@ func (s *Store) Commit(changed []Workload, keep []string) (CommitStats, error) {
 	if err != nil {
 		return abort(fmt.Errorf("store: encoding manifest: %w", err))
 	}
-	if err := writeFileAtomic(s.dir, ManifestFile, encodeFile(manifestMagic, body)); err != nil {
+	manifest := encodeFile(manifestMagic, body)
+	if err := writeFileAtomic(s.dir, ManifestFile, manifest); err != nil {
 		return abort(fmt.Errorf("store: installing manifest: %w", err))
 	}
+	wrote += int64(len(manifest))
 	syncDir(s.dir)
 
 	// Committed. Everything the new manifest does not name is garbage.
@@ -415,7 +429,7 @@ func (s *Store) Commit(changed []Workload, keep []string) (CommitStats, error) {
 	stats.Total = len(next)
 	stats.Written = len(changed)
 	stats.Kept = len(keep)
-	return stats, nil
+	return stats, wrote, nil
 }
 
 // sweepLocked removes temp files and workload files the manifest does
