@@ -3,16 +3,20 @@
 // change to these paths leaves a comparable perf trajectory in the
 // repo.
 //
-// Three layers are measured:
+// Four layers are measured:
 //
 //   - decode/*: the wire-format decoders alone (JSON array baseline vs
 //     streaming NDJSON vs binary), including timestamp validation.
 //   - ingest/*: full HTTP POST /v1/workloads/{id}/arrivals requests
 //     against an in-process handler, per format and per gzip variant,
 //     each iteration landing a fresh workload.
+//   - fit/* and refit/*: the training hot path — a cold ADMM fit of a
+//     sliding window vs the same fit warm-started from the previous
+//     window's solution, and a full background-sweep refit of a small
+//     fleet through the concurrent retrain pool.
 //   - plan/* and forecast/*: full HTTP GETs against a trained
 //     workload, cold (distinct query each iteration) and hit (the same
-//     query repeated, served from the engine's result cache).
+//     query repeated, served from the engine's result/byte cache).
 //
 // Usage:
 //
@@ -22,7 +26,10 @@
 //
 // With -check, every benchmark present in both runs is compared by
 // ns/op and the process exits non-zero if any regressed by more than
-// -check-factor (default 2×) — the CI regression gate.
+// -check-factor (default 2×) — the CI regression gate. Independent of
+// -check, every run asserts the hard floors on the headline ratios
+// (warm-start speedup ≥ 3×, forecast byte-cache hit speedup ≥ 20×):
+// those compare the run against itself, so they hold on any machine.
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"testing"
 	"time"
 
+	"robustscaler"
 	"robustscaler/internal/encode"
 	"robustscaler/internal/engine"
 	"robustscaler/internal/metrics"
@@ -130,6 +138,7 @@ func main() {
 	for _, n := range scales {
 		benchIngest(rep, n, tl)
 	}
+	benchFit(rep)
 	benchPlanForecast(rep, tl)
 
 	deriveRatios(rep, scales)
@@ -145,6 +154,9 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", *out, len(rep.Results))
 
+	if err := checkFloors(rep); err != nil {
+		log.Fatal(err)
+	}
 	if *check != "" {
 		if err := checkRegressions(*check, rep, *checkFactor, *ratiosOnly); err != nil {
 			log.Fatal(err)
@@ -332,6 +344,112 @@ func benchIngest(rep *report, n int, tl *tally) {
 	}
 }
 
+// synthArrivals draws the benches' shared synthetic trace: a periodic
+// ~0.2 qps workload over [0, end) — enough mass that a 600 s horizon
+// plans a few dozen creations, the shape of a busy service.
+func synthArrivals(end float64) []float64 {
+	var arr []float64
+	t := 0.0
+	for t < end {
+		rate := 0.2 + 0.15*math.Sin(2*math.Pi*t/3600)
+		t += 1 / (rate + 0.05)
+		arr = append(arr, math.Round(t*1e3)/1e3)
+	}
+	return arr
+}
+
+// fitCfg is the training config the fit benches share: a pinned
+// one-hour period with detection off, so the cold and warm fits solve
+// the identical objective and the warm path can never fall back cold.
+func fitCfg() robustscaler.TrainConfig {
+	cfg := robustscaler.DefaultTrainConfig()
+	cfg.DetectPeriodicity = false
+	cfg.Fit.Period = 60 // bins of fitDt: one hour, the trace's period
+	return cfg
+}
+
+// fitDt is the modeling bin width the fit benches use.
+const fitDt = 60.0
+
+// benchFit measures the training hot path at the library level (no
+// server, so the svc workload's cross-checked counters stay exact):
+// a cold ADMM fit of a window against the same fit warm-started from
+// the previous window's solution, and a whole-fleet refit sweep through
+// the concurrent retrain pool, each sweep one bin of new data on every
+// workload — scalerd's steady state.
+func benchFit(rep *report) {
+	cfg := fitCfg()
+	// The warm source: a fit over the first six hours of the trace.
+	s1 := robustscaler.CountsFromArrivals(synthArrivals(planNow), 0, planNow, fitDt)
+	prev, err := robustscaler.Train(s1, cfg)
+	if err != nil {
+		die("fit bench: seeding fit: %v", err)
+	}
+	warm := prev.NHPP.WarmState()
+	// The refit target: the same stream five minutes later.
+	const slid = planNow + 300
+	s2 := robustscaler.CountsFromArrivals(synthArrivals(slid), 0, slid, fitDt)
+
+	run(rep, "fit/cold", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := robustscaler.Train(s2, cfg); err != nil {
+				die("cold fit: %v", err)
+			}
+		}
+	})
+	run(rep, "fit/warm-start", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m, err := robustscaler.TrainWarm(s2, cfg, warm)
+			if err != nil {
+				die("warm fit: %v", err)
+			}
+			if !m.FitStats.WarmStarted {
+				die("warm fit fell back to a cold start")
+			}
+		}
+	})
+
+	const fleet, workers = 8, 4
+	run(rep, fmt.Sprintf("refit/concurrency=%d", workers), 0, func(b *testing.B) {
+		now := planNow
+		ecfg := engine.DefaultConfig()
+		ecfg.MCSamples = 1000
+		ecfg.Seed = 1
+		ecfg.Now = func() float64 { return now }
+		ecfg.Train = cfg
+		reg, err := engine.NewRegistry(ecfg)
+		if err != nil {
+			die("refit bench: %v", err)
+		}
+		arr := synthArrivals(planNow)
+		for w := 0; w < fleet; w++ {
+			e, err := reg.GetOrCreate(fmt.Sprintf("w%d", w))
+			if err != nil {
+				die("refit bench: %v", err)
+			}
+			if _, err := e.Ingest(arr); err != nil {
+				die("refit bench: seeding ingest: %v", err)
+			}
+		}
+		if refitted, failed := reg.RetrainAll(workers); refitted != fleet || failed != 0 {
+			die("refit bench: initial sweep refitted %d, failed %d", refitted, failed)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			now += fitDt
+			for w := 0; w < fleet; w++ {
+				e, _ := reg.Get(fmt.Sprintf("w%d", w))
+				if _, err := e.Ingest([]float64{now}); err != nil {
+					die("refit bench: ingest: %v", err)
+				}
+			}
+			if refitted, failed := reg.RetrainAll(workers); refitted != fleet || failed != 0 {
+				die("refit bench: sweep refitted %d, failed %d", refitted, failed)
+			}
+		}
+	})
+}
+
 // benchConfig pins the engine knobs so runs stay comparable across
 // machines and releases.
 func benchConfig() server.Config {
@@ -358,15 +476,7 @@ func benchPlanForecast(rep *report, tl *tally) {
 	}
 	h := s.Handler()
 
-	// A periodic ~0.2 qps workload: enough mass that a 600 s horizon
-	// plans a few dozen creations, the shape of a busy service.
-	var arr []float64
-	t := 0.0
-	for i := 0; t < planNow; i++ {
-		rate := 0.2 + 0.15*math.Sin(2*math.Pi*t/3600)
-		t += 1 / (rate + 0.05)
-		arr = append(arr, math.Round(t*1e3)/1e3)
-	}
+	arr := synthArrivals(planNow)
 	e, err := s.Registry().GetOrCreate("svc")
 	if err != nil {
 		log.Fatal(err)
@@ -464,9 +574,12 @@ func benchPlanForecast(rep *report, tl *tally) {
 		}
 	})
 
+	// A day-long horizon (1440 points): the shape of a dashboard's
+	// forecast panel, and large enough that the cold render dwarfs the
+	// byte-cache hit's single write.
 	fcURL := func(from float64) string {
 		return fmt.Sprintf("/v1/workloads/svc/forecast?from=%s&to=%s&step=60",
-			strconv.FormatFloat(from, 'f', -1, 64), strconv.FormatFloat(from+3600, 'f', -1, 64))
+			strconv.FormatFloat(from, 'f', -1, 64), strconv.FormatFloat(from+86400, 'f', -1, 64))
 	}
 	run(rep, "forecast/cold", 0, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -593,6 +706,40 @@ func deriveRatios(rep *report, scales []int) {
 	}
 	ratio("plan_rt_engine_cache_hit_speedup_x", "plan/rt/engine-hit", "plan/rt/cold", ns)
 	ratio("forecast_cache_hit_speedup_x", "forecast/hit", "forecast/cold", ns)
+	ratio("warm_start_speedup_x", "fit/warm-start", "fit/cold", ns)
+}
+
+// hardFloors are the tentpole guarantees on the headline ratios. Unlike
+// the -check regression gate they need no baseline: each ratio compares
+// the run against itself, so the floor holds on any machine, and every
+// run (including CI smoke) asserts them.
+var hardFloors = map[string]float64{
+	"warm_start_speedup_x":         3,
+	"forecast_cache_hit_speedup_x": 20,
+}
+
+// checkFloors asserts the hard floors against this run's derived ratios.
+func checkFloors(rep *report) error {
+	var bad []string
+	for name, floor := range hardFloors {
+		v, ok := rep.Derived[name]
+		if !ok {
+			bad = append(bad, fmt.Sprintf("%s: missing from the run", name))
+			continue
+		}
+		if v < floor {
+			bad = append(bad, fmt.Sprintf("%s: %.2f, floor %.0f", name, v, floor))
+		}
+	}
+	if len(bad) > 0 {
+		sort.Strings(bad)
+		for _, m := range bad {
+			fmt.Fprintln(os.Stderr, "FLOOR MISSED "+m)
+		}
+		return fmt.Errorf("%d hard floor(s) missed", len(bad))
+	}
+	fmt.Fprintf(os.Stderr, "hard floors ok (%d ratios)\n", len(hardFloors))
+	return nil
 }
 
 func round2(v float64) float64 { return math.Round(v*100) / 100 }

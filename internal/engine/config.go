@@ -54,6 +54,29 @@ type EngineConfig struct {
 	// It gates only the background retrainer — an explicit train request
 	// always runs.
 	RetrainEvery float64 `json:"retrain_every"`
+	// Train tunes model fitting for this workload.
+	Train TrainKnobs `json:"train"`
+}
+
+// TrainKnobs is the per-workload slice of the training configuration:
+// the ADMM solver budget and the warm-start switch. The zero value means
+// "fleet defaults" — snapshots written before this struct existed
+// restore into it and behave exactly as before (library-default solver
+// budget, warm starts enabled).
+type TrainKnobs struct {
+	// ADMMMaxIter caps ADMM iterations per fit; 0 keeps the fleet
+	// default. Lowering it trades fit quality for bounded refit latency
+	// on pathological windows.
+	ADMMMaxIter int `json:"admm_max_iter"`
+	// ADMMTol is the ADMM convergence tolerance; 0 keeps the fleet
+	// default. Tightening it buys smoother intensities at the cost of
+	// iterations — warm starts absorb most of that cost on refits.
+	ADMMTol float64 `json:"admm_tol"`
+	// DisableWarmStart forces every refit to run from the cold per-bin
+	// MLE initial guess. Warm starts converge to the same model (the
+	// objective is strictly convex), so this is a diagnostic escape
+	// hatch, not a correctness knob.
+	DisableWarmStart bool `json:"disable_warm_start"`
 }
 
 // mcSamplesCap bounds the per-plan Monte Carlo budget an API caller can
@@ -108,6 +131,12 @@ func (c EngineConfig) validate() error {
 	if c.RetrainEvery < 0 || c.RetrainEvery > maxSeconds {
 		return fmt.Errorf("%w: retrain_every %g outside [0, %g] seconds", ErrInvalid, c.RetrainEvery, maxSeconds)
 	}
+	if it := c.Train.ADMMMaxIter; it < 0 || it > 1_000_000 {
+		return fmt.Errorf("%w: train.admm_max_iter %d outside [0, 1000000]", ErrInvalid, it)
+	}
+	if tol := c.Train.ADMMTol; math.IsNaN(tol) || tol < 0 || tol >= 1 {
+		return fmt.Errorf("%w: train.admm_tol %g outside [0, 1)", ErrInvalid, tol)
+	}
 	return nil
 }
 
@@ -148,6 +177,11 @@ func (e *Engine) SetEngineConfig(c EngineConfig) (EngineConfig, error) {
 		// The model was fit on the old binning: stale, refit next sweep.
 		// (The gen bump also clears a failed-fit marker — a fit that
 		// failed under the old config may succeed under the new one.)
+		e.gen++
+	}
+	if c.Train.ADMMMaxIter != old.Train.ADMMMaxIter || c.Train.ADMMTol != old.Train.ADMMTol {
+		// The model was fit under a different solver budget: stale, so
+		// the next sweep refits with the new one.
 		e.gen++
 	}
 	if c.HistoryWindow != old.HistoryWindow {

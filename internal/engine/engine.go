@@ -17,6 +17,7 @@
 package engine
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -28,6 +29,7 @@ import (
 	"robustscaler"
 	"robustscaler/internal/decision"
 	"robustscaler/internal/metrics"
+	"robustscaler/internal/nhpp"
 	"robustscaler/internal/stats"
 	"robustscaler/internal/timeseries"
 )
@@ -147,6 +149,8 @@ func (c Config) engineConfig() EngineConfig {
 		CostTarget:    c.CostTarget,
 		PlanHorizon:   c.PlanHorizon,
 		RetrainEvery:  c.RetrainEvery,
+		// Train starts at the zero value: every knob at "fleet default",
+		// i.e. the template's TrainConfig applies unmodified.
 	}
 }
 
@@ -162,7 +166,20 @@ func (c Config) applyEngineConfig(ec EngineConfig) Config {
 	c.CostTarget = ec.CostTarget
 	c.PlanHorizon = ec.PlanHorizon
 	c.RetrainEvery = ec.RetrainEvery
+	c.Train = overlayTrainKnobs(c.Train, ec.Train)
 	return c
+}
+
+// overlayTrainKnobs overlays the per-workload training knobs onto the
+// fleet default TrainConfig: zero-valued knobs keep the default.
+func overlayTrainKnobs(tc robustscaler.TrainConfig, k TrainKnobs) robustscaler.TrainConfig {
+	if k.ADMMMaxIter > 0 {
+		tc.Fit.MaxIter = k.ADMMMaxIter
+	}
+	if k.ADMMTol > 0 {
+		tc.Fit.Tol = k.ADMMTol
+	}
+	return tc
 }
 
 // Engine is the scaling brain of a single workload: sorted arrival
@@ -217,7 +234,7 @@ type Engine struct {
 	cacheModel  *robustscaler.Model
 	cacheCfgVer int64
 	planCache   map[planKey]*Plan
-	fcCache     map[forecastKey][]ForecastPoint
+	fcCache     map[forecastKey]*forecastEntry
 
 	// m holds the workload's lifetime counters (see metrics.go). The
 	// fields are atomic: the hot paths bump them without extra locking,
@@ -440,6 +457,9 @@ type TrainInfo struct {
 	PeriodSeconds float64 `json:"period_seconds"`
 	Iterations    int     `json:"admm_iterations"`
 	Converged     bool    `json:"converged"`
+	// WarmStarted reports that the fit was seeded from the previous
+	// model's ADMM solution rather than a cold initial guess.
+	WarmStarted bool `json:"warm_started"`
 	// Installed is false when a concurrent fit over fresher arrivals won
 	// the swap; the stats above then describe the discarded model.
 	Installed bool `json:"installed"`
@@ -448,11 +468,23 @@ type TrainInfo struct {
 // Train snapshots the arrival history, fits the NHPP model (outside the
 // lock), and installs it unless a concurrent fit already covered more
 // arrivals.
+//
+// Refits over new data warm-start from the installed model's ADMM
+// solution (unless the workload's TrainKnobs disable it): the training
+// objective is strictly convex, so the result is the same model, reached
+// in a fraction of the cold iteration count. A refit over unchanged data
+// (gen == trainedGen — e.g. an explicit train request repeated) runs
+// cold so it reproduces the installed model bit-for-bit.
 func (e *Engine) Train() (TrainInfo, error) {
 	e.mu.Lock()
 	arr := append([]float64(nil), e.arrivals...)
 	gen := e.gen
 	dt := e.ec.Dt
+	trainCfg := overlayTrainKnobs(e.cfg.Train, e.ec.Train)
+	var warm *nhpp.WarmState
+	if e.model != nil && gen != e.trainedGen && !e.ec.Train.DisableWarmStart {
+		warm = e.model.NHPP.WarmState()
+	}
 	e.mu.Unlock()
 	if len(arr) < 2 {
 		return TrainInfo{}, ErrNoData
@@ -471,14 +503,14 @@ func (e *Engine) Train() (TrainInfo, error) {
 			e.stateGen++
 		}
 		e.mu.Unlock()
-		e.countRefit(0, false)
+		e.countRefit(0, false, false, 0)
 		return TrainInfo{}, fmt.Errorf("%w: history spans %.3g bins (max %g); trim or set HistoryWindow", ErrInvalid, bins, float64(maxTrainBins))
 	}
 	fitStart := time.Now()
 	series := buildSeries(arr, dt)
 	// The arrival history is already bounded to HistoryWindow at ingest,
 	// so the fit covers the whole series (window 0).
-	model, err := robustscaler.FitWindow(series, 0, e.cfg.Train)
+	model, err := robustscaler.FitWindowWarm(series, 0, trainCfg, warm)
 	fitDur := time.Since(fitStart)
 	if h := e.fitSeconds; h != nil {
 		h.Observe(fitDur.Seconds())
@@ -490,10 +522,10 @@ func (e *Engine) Train() (TrainInfo, error) {
 			e.stateGen++ // the persisted Failed marker changed; see above
 		}
 		e.mu.Unlock()
-		e.countRefit(fitDur.Seconds(), false)
+		e.countRefit(fitDur.Seconds(), false, false, 0)
 		return TrainInfo{}, fmt.Errorf("training failed: %w", err)
 	}
-	e.countRefit(fitDur.Seconds(), true)
+	e.countRefit(fitDur.Seconds(), true, model.FitStats.WarmStarted, uint64(model.FitStats.Iterations))
 	e.mu.Lock()
 	installed := gen >= e.trainedGen
 	if installed {
@@ -509,6 +541,7 @@ func (e *Engine) Train() (TrainInfo, error) {
 		PeriodSeconds: model.PeriodSeconds,
 		Iterations:    model.FitStats.Iterations,
 		Converged:     model.FitStats.Converged,
+		WarmStarted:   model.FitStats.WarmStarted,
 		Installed:     installed,
 	}, nil
 }
@@ -535,10 +568,19 @@ func (e *Engine) Retrain() (bool, error) {
 	return err == nil, err
 }
 
-// buildSeries bins arrivals with the configured Δt, aligned to the first
-// arrival.
+// buildSeries bins arrivals with the configured Δt, starting at the
+// bin containing the first arrival. The start is snapped to the
+// absolute Δt grid (a multiple of Δt, not arr[0] itself) so that
+// consecutive refits of a sliding window land on the same grid: the
+// previous fit's solution then seeds the next one at a whole-bin
+// offset, which is what makes warm-started refits possible.
 func buildSeries(arr []float64, dt float64) *timeseries.Series {
-	start := arr[0]
+	start := math.Floor(arr[0]/dt) * dt
+	if start > arr[0] {
+		// Floor(x/dt)*dt can round up past x at extreme magnitudes; the
+		// series must still begin at or before the first arrival.
+		start -= dt
+	}
 	end := arr[len(arr)-1] + dt
 	return timeseries.FromArrivals(arr, start, end, dt)
 }
@@ -743,7 +785,7 @@ func (e *Engine) rebindCacheLocked(gen int64, model *robustscaler.Model, cfgVer 
 	}
 	e.cacheGen, e.cacheModel, e.cacheCfgVer = gen, model, cfgVer
 	e.planCache = make(map[planKey]*Plan)
-	e.fcCache = make(map[forecastKey][]ForecastPoint)
+	e.fcCache = make(map[forecastKey]*forecastEntry)
 }
 
 // ForecastPoint is one sample of the predicted intensity.
@@ -752,11 +794,67 @@ type ForecastPoint struct {
 	QPS float64 `json:"qps"`
 }
 
-// Forecast samples the modeled intensity λ(t) on [from, to) at the given
-// step. Like Plan, results are cached per (from, to, step) until the
-// next ingest, train or restore; the returned slice is shared with the
-// cache and must be treated as read-only.
+// forecastEntry is one cached forecast: the points, plus — rendered
+// lazily, on the first ForecastJSON for the key — the exact HTTP
+// response body, so a repeated dashboard query costs one map lookup and
+// one Write instead of a resample and a re-marshal. pts is immutable
+// after creation and may be read without the lock; body is guarded by
+// the engine mutex.
+type forecastEntry struct {
+	pts  []ForecastPoint
+	body []byte
+}
+
+// Forecast samples the modeled mean intensity on [from, to) at the
+// given step: point i reports the model's average rate over
+// [from+i·step, from+(i+1)·step), read in O(1) off the model's
+// cumulative-intensity prefix table — the whole horizon costs O(points)
+// regardless of the training window size. Like Plan, results are cached
+// per (from, to, step) until the next ingest, train, restore or config
+// update; the returned slice is shared with the cache and must be
+// treated as read-only.
 func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
+	ent, err := e.forecast(from, to, step)
+	if err != nil {
+		return nil, err
+	}
+	return ent.pts, nil
+}
+
+// ForecastJSON is Forecast returning the rendered HTTP response body
+// (a JSON array of points, newline-terminated — byte-identical to
+// encoding the Forecast result). The body is cached next to the points,
+// so the steady state of a dashboard polling one query is a map hit
+// followed by a single buffer write.
+func (e *Engine) ForecastJSON(from, to, step float64) ([]byte, error) {
+	ent, err := e.forecast(from, to, step)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	body := ent.body
+	e.mu.Unlock()
+	if body != nil {
+		return body, nil
+	}
+	body, err = json.Marshal(ent.pts)
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	e.mu.Lock()
+	if ent.body == nil {
+		ent.body = body
+	}
+	body = ent.body
+	e.mu.Unlock()
+	return body, nil
+}
+
+// forecast returns the cache entry for (from, to, step), computing and
+// (world permitting) caching it on a miss. Every call counts exactly
+// one forecast cache hit or miss.
+func (e *Engine) forecast(from, to, step float64) (*forecastEntry, error) {
 	e.mu.Lock()
 	model := e.model
 	gen := e.gen
@@ -765,8 +863,9 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 	if model == nil {
 		return nil, ErrNoModel
 	}
-	// NaN bounds defeat every comparison below and make the loop spin
-	// forever; direct API callers don't pass the HTTP layer's screening.
+	// NaN bounds defeat every comparison below and make the point count
+	// nonsensical; direct API callers don't pass the HTTP layer's
+	// screening.
 	for _, v := range []float64{from, to, step} {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return nil, fmt.Errorf("%w: non-finite forecast parameter", ErrInvalid)
@@ -776,42 +875,50 @@ func (e *Engine) Forecast(from, to, step float64) ([]ForecastPoint, error) {
 		return nil, fmt.Errorf("%w: invalid range/step", ErrInvalid)
 	}
 	key := forecastKey{from: from, to: to, step: step}
-	if pts, ok := e.cachedForecast(gen, model, cfgVer, key); ok {
+	if ent, ok := e.cachedForecast(gen, model, cfgVer, key); ok {
 		e.m.forecastHits.Inc()
 		if f := e.fleet; f != nil {
 			f.forecastHits.Inc()
 		}
-		return pts, nil
+		return ent, nil
 	}
 	e.m.forecastMisses.Inc()
 	if f := e.fleet; f != nil {
 		f.forecastMisses.Inc()
 	}
-	// Advance by index, not accumulation: at large magnitudes t += step
-	// can round back to t and loop forever.
-	var pts []ForecastPoint
-	for i := 0; ; i++ {
-		t := from + float64(i)*step
-		if t >= to {
-			break
-		}
-		pts = append(pts, ForecastPoint{T: t, QPS: model.Rate(t)})
+	// Count points by index, not accumulation: at large magnitudes
+	// from + n·step can round back onto itself, so derive n from the
+	// span and nudge it onto the same t >= to boundary the index loop
+	// would have used.
+	n := int(math.Ceil((to - from) / step))
+	for n > 0 && from+float64(n-1)*step >= to {
+		n--
 	}
-	e.storeForecast(gen, model, cfgVer, key, pts)
-	return pts, nil
+	for from+float64(n)*step < to {
+		n++
+	}
+	pts := make([]ForecastPoint, n)
+	vals := make([]float64, n)
+	model.NHPP.AverageRates(from, step, vals)
+	for i := range pts {
+		pts[i] = ForecastPoint{T: from + float64(i)*step, QPS: vals[i]}
+	}
+	ent := &forecastEntry{pts: pts}
+	e.storeForecast(gen, model, cfgVer, key, ent)
+	return ent, nil
 }
 
-func (e *Engine) cachedForecast(gen int64, model *robustscaler.Model, cfgVer int64, key forecastKey) ([]ForecastPoint, bool) {
+func (e *Engine) cachedForecast(gen int64, model *robustscaler.Model, cfgVer int64, key forecastKey) (*forecastEntry, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.cacheGen != gen || e.cacheModel != model || e.cacheCfgVer != cfgVer || e.fcCache == nil {
 		return nil, false
 	}
-	pts, ok := e.fcCache[key]
-	return pts, ok
+	ent, ok := e.fcCache[key]
+	return ent, ok
 }
 
-func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, cfgVer int64, key forecastKey, pts []ForecastPoint) {
+func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, cfgVer int64, key forecastKey, ent *forecastEntry) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.gen != gen || e.model != model || e.ec.Version != cfgVer {
@@ -821,7 +928,7 @@ func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, cfgVer int6
 	if len(e.fcCache) >= maxCachedResults {
 		clear(e.fcCache)
 	}
-	e.fcCache[key] = pts
+	e.fcCache[key] = ent
 }
 
 // Status is a workload snapshot.

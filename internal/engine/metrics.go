@@ -30,9 +30,17 @@ type engineMetrics struct {
 	// refitFailures counts fits that errored (model kept). refitSeconds
 	// accumulates the wall time of every completed fit attempt, success
 	// and failure alike.
-	refits         metrics.Counter
-	refitFailures  metrics.Counter
-	refitSeconds   metrics.Float
+	refits        metrics.Counter
+	refitFailures metrics.Counter
+	refitSeconds  metrics.Float
+	// refitsWarm/refitsCold split the successful fits by starting point
+	// (seeded from the previous solution vs the cold initial guess), and
+	// admmIterations accumulates the solver iterations they ran — the
+	// pair behind the warm-start speedup dashboards: iterations per
+	// refit dropping as the warm share rises.
+	refitsWarm     metrics.Counter
+	refitsCold     metrics.Counter
+	admmIterations metrics.Counter
 	planHits       metrics.Counter
 	planMisses     metrics.Counter
 	forecastHits   metrics.Counter
@@ -49,6 +57,9 @@ type fleetCounters struct {
 	ingestBatches  *metrics.Counter
 	refits         *metrics.Counter
 	refitFailures  *metrics.Counter
+	refitsWarm     *metrics.Counter
+	refitsCold     *metrics.Counter
+	admmIterations *metrics.Counter
 	planHits       *metrics.Counter
 	planMisses     *metrics.Counter
 	forecastHits   *metrics.Counter
@@ -65,18 +76,31 @@ func (e *Engine) countIngest(n uint64) {
 	}
 }
 
-// countRefit records one completed fit attempt: its wall time, and
-// whether it produced a model.
-func (e *Engine) countRefit(seconds float64, ok bool) {
+// countRefit records one completed fit attempt: its wall time, whether
+// it produced a model, whether it was warm-started, and the ADMM
+// iterations it ran (0 for attempts rejected before fitting).
+func (e *Engine) countRefit(seconds float64, ok, warm bool, iterations uint64) {
 	e.m.refitSeconds.Add(seconds)
+	e.m.admmIterations.Add(iterations)
 	if ok {
 		e.m.refits.Inc()
+		if warm {
+			e.m.refitsWarm.Inc()
+		} else {
+			e.m.refitsCold.Inc()
+		}
 	} else {
 		e.m.refitFailures.Inc()
 	}
 	if f := e.fleet; f != nil {
+		f.admmIterations.Add(iterations)
 		if ok {
 			f.refits.Inc()
+			if warm {
+				f.refitsWarm.Inc()
+			} else {
+				f.refitsCold.Inc()
+			}
 		} else {
 			f.refitFailures.Inc()
 		}
@@ -95,18 +119,25 @@ type Stats struct {
 	StalenessGenerations int64 `json:"staleness_generations"`
 	// LastRefitAt is when the current model was installed, in engine-
 	// clock seconds; 0 before the first fit (or since a restore).
-	LastRefitAt          float64 `json:"last_refit_at"`
-	IngestedEvents       uint64  `json:"ingested_events_total"`
-	IngestedBatches      uint64  `json:"ingested_batches_total"`
-	Refits               uint64  `json:"refits_total"`
-	RefitFailures        uint64  `json:"refit_failures_total"`
-	RefitSecondsTotal    float64 `json:"refit_seconds_total"`
-	PlanCacheHits        uint64  `json:"plan_cache_hits_total"`
-	PlanCacheMisses      uint64  `json:"plan_cache_misses_total"`
-	ForecastCacheHits    uint64  `json:"forecast_cache_hits_total"`
-	ForecastCacheMisses  uint64  `json:"forecast_cache_misses_total"`
-	PlanCacheEntries     int     `json:"plan_cache_entries"`
-	ForecastCacheEntries int     `json:"forecast_cache_entries"`
+	LastRefitAt       float64 `json:"last_refit_at"`
+	IngestedEvents    uint64  `json:"ingested_events_total"`
+	IngestedBatches   uint64  `json:"ingested_batches_total"`
+	Refits            uint64  `json:"refits_total"`
+	RefitFailures     uint64  `json:"refit_failures_total"`
+	RefitSecondsTotal float64 `json:"refit_seconds_total"`
+	// WarmStartRefits/ColdStartRefits split Refits by starting point;
+	// RefitADMMIterations totals the solver iterations across every fit
+	// attempt, so iterations-per-refit (and its drop once warm starts
+	// kick in) is derivable from lifetime counters alone.
+	WarmStartRefits      uint64 `json:"warm_start_refits_total"`
+	ColdStartRefits      uint64 `json:"cold_start_refits_total"`
+	RefitADMMIterations  uint64 `json:"refit_admm_iterations_total"`
+	PlanCacheHits        uint64 `json:"plan_cache_hits_total"`
+	PlanCacheMisses      uint64 `json:"plan_cache_misses_total"`
+	ForecastCacheHits    uint64 `json:"forecast_cache_hits_total"`
+	ForecastCacheMisses  uint64 `json:"forecast_cache_misses_total"`
+	PlanCacheEntries     int    `json:"plan_cache_entries"`
+	ForecastCacheEntries int    `json:"forecast_cache_entries"`
 }
 
 // Stats reports the workload's observability summary.
@@ -125,6 +156,9 @@ func (e *Engine) Stats() Stats {
 	st.Refits = e.m.refits.Value()
 	st.RefitFailures = e.m.refitFailures.Value()
 	st.RefitSecondsTotal = e.m.refitSeconds.Value()
+	st.WarmStartRefits = e.m.refitsWarm.Value()
+	st.ColdStartRefits = e.m.refitsCold.Value()
+	st.RefitADMMIterations = e.m.admmIterations.Value()
 	st.PlanCacheHits = e.m.planHits.Value()
 	st.PlanCacheMisses = e.m.planMisses.Value()
 	st.ForecastCacheHits = e.m.forecastHits.Value()
@@ -231,6 +265,12 @@ func (r *Registry) Instrument(m *metrics.Registry) {
 			"Successful model fits."),
 		refitFailures: m.Counter("robustscaler_refit_failures_total",
 			"Failed model fits (previous model kept)."),
+		refitsWarm: m.Counter("robustscaler_refit_warm_start_total",
+			"Successful fits warm-started from the previous solution."),
+		refitsCold: m.Counter("robustscaler_refit_cold_start_total",
+			"Successful fits run from the cold initial guess."),
+		admmIterations: m.Counter("robustscaler_refit_admm_iterations_total",
+			"ADMM iterations across all fit attempts."),
 		planHits: m.Counter("robustscaler_plan_cache_hits_total",
 			"Plan requests served from the result cache."),
 		planMisses: m.Counter("robustscaler_plan_cache_misses_total",

@@ -37,6 +37,28 @@ func (m *SymBanded) Reset() {
 	}
 }
 
+// Resize reshapes the matrix to n×n with half-bandwidth kd and zeroes
+// it, reusing the existing backing array when its capacity suffices.
+// Together with the capacity-reusing Cholesky below it lets one
+// SymBanded/BandedCholesky pair serve fits of different window sizes
+// without reallocating — the steady state is zero-allocation.
+func (m *SymBanded) Resize(n, kd int) *SymBanded {
+	if n <= 0 || kd < 0 {
+		panic(fmt.Sprintf("linalg: invalid banded dims n=%d kd=%d", n, kd))
+	}
+	if kd >= n {
+		kd = n - 1
+	}
+	need := n * (kd + 1)
+	if cap(m.data) < need {
+		m.data = make([]float64, need)
+	}
+	m.data = m.data[:need]
+	m.N, m.Kd = n, kd
+	m.Reset()
+	return m
+}
+
 // At returns element (i, j). Elements outside the band are zero.
 func (m *SymBanded) At(i, j int) float64 {
 	if i < j {
@@ -121,13 +143,21 @@ type BandedCholesky struct {
 }
 
 // Cholesky computes the banded Cholesky factorization A = L·Lᵀ, reusing
-// fact's storage if it is non-nil and compatibly sized. It returns an error
-// if the matrix is not positive definite. Cost is O(N·Kd²).
+// fact's storage if it is non-nil — even across size changes, as long as
+// its backing array has the capacity (it is regrown otherwise). It
+// returns an error if the matrix is not positive definite. Cost is
+// O(N·Kd²).
 func (m *SymBanded) Cholesky(fact *BandedCholesky) (*BandedCholesky, error) {
 	w := m.Kd + 1
-	if fact == nil || fact.N != m.N || fact.Kd != m.Kd {
-		fact = &BandedCholesky{N: m.N, Kd: m.Kd, data: make([]float64, m.N*w)}
+	if fact == nil {
+		fact = &BandedCholesky{}
 	}
+	if need := m.N * w; cap(fact.data) < need {
+		fact.data = make([]float64, need)
+	} else {
+		fact.data = fact.data[:need]
+	}
+	fact.N, fact.Kd = m.N, m.Kd
 	L := fact.data
 	copy(L, m.data)
 	for i := 0; i < m.N; i++ {

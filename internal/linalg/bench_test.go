@@ -58,6 +58,41 @@ func BenchmarkSymBandedMulVec(b *testing.B) {
 	}
 }
 
+// BenchmarkBandedFactorSolveReuse measures one full steady-state ADMM
+// inner cycle — assemble, factorize into a reused factor, solve — at the
+// trainer's banded scale. This is the workspace-reuse smoke CI runs with
+// -benchmem: allocs/op must be 0 (TestSteadyStateSolveZeroAlloc asserts
+// the same invariant as a plain test).
+func BenchmarkBandedFactorSolveReuse(b *testing.B) {
+	const n, kd = 2016, 12
+	rng := rand.New(rand.NewSource(1))
+	diag := NewVector(n)
+	for i := range diag {
+		diag[i] = 1 + rng.Float64()
+	}
+	rhs := NewVector(n)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	a := NewSymBanded(n, kd)
+	x := NewVector(n)
+	var fact *BandedCholesky
+	var err error
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Reset()
+		a.AddDiag(diag)
+		AddD2Gram(a, 3)
+		AddDLGram(a, 20, kd)
+		fact, err = a.Cholesky(fact)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fact.Solve(x, rhs)
+	}
+}
+
 // BenchmarkD2Gram measures difference-operator Gram assembly.
 func BenchmarkD2Gram(b *testing.B) {
 	m := NewSymBanded(2016, 144)

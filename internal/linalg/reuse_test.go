@@ -1,0 +1,148 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSteadyStateSolveZeroAlloc is the workspace-reuse contract of the
+// retrain pool: once a SymBanded/BandedCholesky pair has been sized, a
+// full assemble→factorize→solve cycle of the same shape allocates
+// nothing. The ADMM inner loop runs this cycle hundreds of times per
+// refit, so a single alloc here multiplies into GC churn fleet-wide.
+func TestSteadyStateSolveZeroAlloc(t *testing.T) {
+	const n, kd = 512, 12
+	rng := rand.New(rand.NewSource(7))
+	diag := NewVector(n)
+	for i := range diag {
+		diag[i] = 1 + rng.Float64()
+	}
+	a := NewSymBanded(n, kd)
+	b := NewVector(n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := NewVector(n)
+	var fact *BandedCholesky
+	cycle := func() {
+		a.Reset()
+		a.AddDiag(diag)
+		AddD2Gram(a, 3)
+		AddDLGram(a, 20, kd)
+		var err error
+		fact, err = a.Cholesky(fact)
+		if err != nil {
+			t.Fatalf("cholesky: %v", err)
+		}
+		fact.Solve(x, b)
+	}
+	cycle() // size the factor once
+	if allocs := testing.AllocsPerRun(20, cycle); allocs != 0 {
+		t.Fatalf("steady-state banded solve allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestSymBandedResize checks that Resize reuses capacity, zeroes the
+// matrix, and yields the same factorization as a freshly constructed
+// matrix of the target shape.
+func TestSymBandedResize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewSymBanded(64, 8)
+	for i := 0; i < m.N; i++ {
+		m.Set(i, i, 1+rng.Float64())
+	}
+	// Shrink: must reuse the backing array and come back zeroed.
+	prev := &m.data[0]
+	m.Resize(32, 4)
+	if &m.data[0] != prev {
+		t.Fatalf("Resize to a smaller shape reallocated")
+	}
+	if m.N != 32 || m.Kd != 4 || len(m.data) != 32*5 {
+		t.Fatalf("Resize shape: N=%d Kd=%d len=%d", m.N, m.Kd, len(m.data))
+	}
+	for i, v := range m.data {
+		if v != 0 {
+			t.Fatalf("Resize left stale value %g at %d", v, i)
+		}
+	}
+	// kd clamps to n-1 like NewSymBanded.
+	m.Resize(4, 10)
+	if m.Kd != 3 {
+		t.Fatalf("Resize kd clamp: got %d, want 3", m.Kd)
+	}
+
+	// A resized matrix factors identically to a fresh one.
+	want := randomSPDBanded(rng, 48, 6)
+	m.Resize(48, 6)
+	for i := 0; i < 48; i++ {
+		for d := 0; d <= 6 && i-d >= 0; d++ {
+			m.Set(i, i-d, want.At(i, i-d))
+		}
+	}
+	b := NewVector(48)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	f1, err := m.Cholesky(nil)
+	if err != nil {
+		t.Fatalf("cholesky resized: %v", err)
+	}
+	f2, err := want.Cholesky(nil)
+	if err != nil {
+		t.Fatalf("cholesky fresh: %v", err)
+	}
+	x1, x2 := f1.Solve(NewVector(48), b), f2.Solve(NewVector(48), b)
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-12 {
+			t.Fatalf("solve mismatch at %d: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+// TestCholeskyReuseAcrossSizes checks the capacity-reusing factor: one
+// BandedCholesky serves solves of different shapes, reallocating only to
+// grow.
+func TestCholeskyReuseAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var fact *BandedCholesky
+	for _, shape := range []struct{ n, kd int }{{64, 8}, {32, 4}, {64, 8}, {48, 2}} {
+		m := randomSPDBanded(rng, shape.n, shape.kd)
+		var err error
+		fact, err = m.Cholesky(fact)
+		if err != nil {
+			t.Fatalf("cholesky %dx kd=%d: %v", shape.n, shape.kd, err)
+		}
+		if fact.N != shape.n || fact.Kd != shape.kd {
+			t.Fatalf("factor shape: N=%d Kd=%d, want %d/%d", fact.N, fact.Kd, shape.n, shape.kd)
+		}
+		b := NewVector(shape.n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := fact.Solve(NewVector(shape.n), b)
+		// Residual check: A·x ≈ b.
+		ax := m.MulVec(NewVector(shape.n), x)
+		for i := range ax {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				t.Fatalf("residual %g at %d for shape %v", ax[i]-b[i], i, shape)
+			}
+		}
+	}
+}
+
+// TestVectorResize covers the capacity-reuse contract of Resize.
+func TestVectorResize(t *testing.T) {
+	v := NewVector(16)
+	w := Resize(v, 8)
+	if len(w) != 8 || &w[0] != &v[0] {
+		t.Fatalf("Resize shrink should reslice in place")
+	}
+	g := Resize(w, 32)
+	if len(g) != 32 {
+		t.Fatalf("Resize grow length %d", len(g))
+	}
+	if Resize(nil, 0) == nil && len(Resize(nil, 0)) != 0 {
+		t.Fatalf("Resize(nil, 0) should be empty")
+	}
+}

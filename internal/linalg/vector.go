@@ -19,6 +19,17 @@ type Vector = []float64
 // NewVector returns a zeroed vector of length n.
 func NewVector(n int) Vector { return make(Vector, n) }
 
+// Resize returns a length-n vector, reusing v's backing array when its
+// capacity suffices (contents are unspecified — callers overwrite or
+// Fill). It is the growth primitive behind the reusable ADMM workspaces:
+// steady-state refits of a same-sized window never allocate.
+func Resize(v Vector, n int) Vector {
+	if cap(v) < n {
+		return make(Vector, n)
+	}
+	return v[:n]
+}
+
 // Clone returns a copy of v.
 func Clone(v Vector) Vector {
 	out := make(Vector, len(v))

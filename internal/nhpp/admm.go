@@ -49,6 +49,10 @@ type FitStats struct {
 	PrimalResidY  float64
 	PrimalResidZ  float64
 	FinalStepNorm float64
+	// WarmStarted records that the run was seeded from a previous
+	// solution (FitWarm with a compatible WarmState) instead of the
+	// per-bin MLE initial guess.
+	WarmStarted bool
 }
 
 // logRateClamp bounds the log-intensity iterates. exp(±40) spans rates from
@@ -85,6 +89,18 @@ func Loss(r, q []float64, dt float64, cfg FitConfig) float64 {
 // of width dt starting at start) with Algorithm 2: linearized ADMM whose
 // r-subproblem is a banded SPD solve of cost O(T·max(2,L)²).
 func Fit(start, dt float64, q []float64, cfg FitConfig) (*Model, FitStats, error) {
+	return FitWarm(start, dt, q, cfg, nil)
+}
+
+// FitWarm is Fit with an optional warm start: when warm (a previous
+// fit's solution, from Model.WarmState) is compatible with this fit's
+// grid and objective, the ADMM iterates start from it instead of the
+// per-bin MLE guess, which cuts steady-state refits to a fraction of the
+// cold iteration count. An incompatible or nil warm state silently falls
+// back to a cold start — FitStats.WarmStarted reports which path ran.
+// The objective is strictly convex, so both paths converge to the same
+// model up to the solver tolerance.
+func FitWarm(start, dt float64, q []float64, cfg FitConfig, warm *WarmState) (*Model, FitStats, error) {
 	t := len(q)
 	if t == 0 {
 		return nil, FitStats{}, errors.New("nhpp: empty count series")
@@ -114,26 +130,12 @@ func Fit(start, dt float64, q []float64, cfg FitConfig) (*Model, FitStats, error
 		period = 0
 	}
 
-	// Initial guess: per-bin MLE with additive smoothing.
-	r := linalg.NewVector(t)
-	for i := range r {
-		r[i] = math.Log((q[i] + 0.1) / dt)
-	}
-
 	n2 := linalg.D2Rows(t)
 	nL := linalg.DLRows(t, period)
 	useDL := nL > 0 && cfg.Beta2 > 0
-
-	y := linalg.NewVector(n2)
-	nuY := linalg.NewVector(n2)
-	if n2 > 0 {
-		linalg.D2Mul(y, r)
-	}
-	var z, nuZ linalg.Vector
+	nlBuf := 0
 	if useDL {
-		z = linalg.NewVector(nL)
-		nuZ = linalg.NewVector(nL)
-		linalg.DLMul(z, r, period)
+		nlBuf = nL
 	}
 
 	kd := 2
@@ -144,27 +146,39 @@ func Fit(start, dt float64, q []float64, cfg FitConfig) (*Model, FitStats, error
 		kd = t - 1
 	}
 	useCG := cfg.Solver == SolverCG || (cfg.Solver == SolverAuto && kd > cgBandwidthCutoff)
-	var a *linalg.SymBanded
-	var fact *linalg.BandedCholesky
-	var ws *cgWorkspace
-	if useCG {
-		ws = newCGWorkspace(t, n2, nL)
-	} else {
-		a = linalg.NewSymBanded(t, kd)
-	}
 
-	// Reusable buffers.
-	expR := linalg.NewVector(t)
-	b := linalg.NewVector(t)
-	rNew := linalg.NewVector(t)
-	tmpT := linalg.NewVector(t)
-	tmp2 := linalg.NewVector(n2)
-	var tmpL linalg.Vector
+	// Scratch comes from the pool; r is allocated fresh because it
+	// becomes the model's log-intensity and must outlive the workspace.
+	wk := acquireFitWorkspace(t, kd, n2, nlBuf, useCG)
+	defer wk.release()
+	a, fact, ws := wk.a, wk.fact, wk.cg
+	expR, b, rNew, tmpT := wk.expR, wk.b, wk.rNew, wk.tmpT
+	y, nuY, tmp2 := wk.y, wk.nuY, wk.tmp2
+	var z, nuZ, tmpL linalg.Vector
 	if useDL {
-		tmpL = linalg.NewVector(nL)
+		z, nuZ, tmpL = wk.z, wk.nuZ, wk.tmpL
 	}
 
+	r := linalg.NewVector(t)
 	stats := FitStats{}
+	if off, ok := warm.offsetFor(start, dt, cfg, period); ok {
+		stats.WarmStarted = true
+		warm.seed(off, r, y, nuY, z, nuZ, period)
+	} else {
+		// Cold initial guess: per-bin MLE with additive smoothing, slack
+		// at the operator images, duals at zero.
+		for i := range r {
+			r[i] = math.Log((q[i] + 0.1) / dt)
+		}
+		if n2 > 0 {
+			linalg.D2Mul(y, r)
+			linalg.Fill(nuY, 0)
+		}
+		if useDL {
+			linalg.DLMul(z, r, period)
+			linalg.Fill(nuZ, 0)
+		}
+	}
 	rho := cfg.Rho
 	for k := 0; k < cfg.MaxIter; k++ {
 		stats.Iterations = k + 1
@@ -210,6 +224,7 @@ func Fit(start, dt float64, q []float64, cfg FitConfig) (*Model, FitStats, error
 			}
 			var err error
 			fact, err = a.Cholesky(fact)
+			wk.fact = fact // keep the (possibly grown) factor pooled
 			if err != nil {
 				return nil, stats, fmt.Errorf("nhpp: ADMM iteration %d: %w", k, err)
 			}
@@ -260,7 +275,20 @@ func Fit(start, dt float64, q []float64, cfg FitConfig) (*Model, FitStats, error
 	stats.FinalLoss = Loss(r, q, dt, FitConfig{
 		Beta1: cfg.Beta1, Beta2: cfg.Beta2, Period: period,
 	})
-	return NewModel(start, dt, r, period), stats, nil
+	m := NewModel(start, dt, r, period)
+	// Capture the full solution for the next refit. The slack and dual
+	// vectors live in the pooled workspace, so they are copied out; r is
+	// shared with the model (both sides treat it as read-only).
+	m.warm = &WarmState{
+		Start: start, Dt: dt, Period: period,
+		Beta1: cfg.Beta1, Beta2: cfg.Beta2, Rho: cfg.Rho,
+		R:   r,
+		Y:   linalg.Clone(y),
+		NuY: linalg.Clone(nuY),
+		Z:   linalg.Clone(z),
+		NuZ: linalg.Clone(nuZ),
+	}
+	return m, stats, nil
 }
 
 // stepNorm returns ‖a−b‖₂ / (1 + ‖b‖₂).

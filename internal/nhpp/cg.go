@@ -27,21 +27,11 @@ const (
 // few dozen bins the iterative solve wins decisively.
 const cgBandwidthCutoff = 64
 
-// cgWorkspace holds the CG iteration vectors so ADMM can reuse them.
+// cgWorkspace holds the CG iteration vectors so ADMM can reuse them
+// across iterations and — via the pooled fitWorkspace (workspace.go) —
+// across fits.
 type cgWorkspace struct {
 	res, p, ap, z, d2buf, dlbuf, diag linalg.Vector
-}
-
-func newCGWorkspace(t, n2, nl int) *cgWorkspace {
-	return &cgWorkspace{
-		res:   linalg.NewVector(t),
-		p:     linalg.NewVector(t),
-		ap:    linalg.NewVector(t),
-		z:     linalg.NewVector(t),
-		d2buf: linalg.NewVector(n2),
-		dlbuf: linalg.NewVector(nl),
-		diag:  linalg.NewVector(t),
-	}
 }
 
 // applyA computes dst = A·x with

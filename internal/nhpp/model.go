@@ -159,7 +159,19 @@ type Model struct {
 	// profCum is the same prefix table over one extrapolated cycle of
 	// profile (len Period+1); profCum[Period] is the mass of a full cycle.
 	profCum []float64
+
+	// warm is the ADMM solution the model was fit with (nil for models
+	// built via NewModel directly, e.g. restored from a snapshot — the
+	// duals are not persisted, so the first refit after a restart runs
+	// cold). Immutable after the fit.
+	warm *WarmState
 }
+
+// WarmState returns the fit solution usable to warm-start the next
+// refit over a compatible window (see FitWarm), or nil when the model
+// was not produced by a fit in this process. The returned state is
+// shared and read-only.
+func (m *Model) WarmState() *WarmState { return m.warm }
 
 // NewModel builds a model from a fitted log-intensity vector.
 func NewModel(start, dt float64, r []float64, periodBins int) *Model {
@@ -331,6 +343,28 @@ func (m *Model) cumAt(t float64) float64 {
 	}
 	return base + cycles*m.profCum[m.Period] + m.profCum[rem] +
 		math.Exp(m.profile[rem])*into
+}
+
+// AverageRates fills dst[i] with the mean intensity over the i-th step
+// window [from+i·step, from+(i+1)·step), i.e. Λ(window)/step, and
+// returns dst. Each point is one difference of adjacent cumulative-
+// intensity lookups and the running prefix is carried between points,
+// so an n-point forecast costs n+1 table lookups total — O(horizon),
+// independent of how many bins each step spans. This is the forecast
+// hot path: a step-averaged rate is also the honest answer for a
+// sampled forecast (a point sample of exp(r) aliases bins narrower
+// than the step).
+func (m *Model) AverageRates(from, step float64, dst []float64) []float64 {
+	if step <= 0 {
+		panic(fmt.Sprintf("nhpp: AverageRates step %g <= 0", step))
+	}
+	prev := m.cumAt(from)
+	for i := range dst {
+		next := m.cumAt(from + float64(i+1)*step)
+		dst[i] = (next - prev) / step
+		prev = next
+	}
+	return dst
 }
 
 // Integral implements Intensity as a cumulative-table difference, O(1)

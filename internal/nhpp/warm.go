@@ -1,0 +1,107 @@
+package nhpp
+
+// Warm-started refits. The serving engine refits each workload's model
+// on a cadence, and between consecutive refits the training window
+// barely moves: a few new bins on the right, a few trimmed on the left.
+// The previous ADMM solution is therefore an excellent starting point —
+// the objective is strictly convex (Δt·diag(e^r) plus PSD penalties), so
+// warm and cold starts converge to the same unique optimum, and starting
+// near it cuts the iteration count by an order of magnitude. WarmState
+// captures everything a restart needs: the primal iterate, both slack
+// vectors and both duals, plus the grid and penalty parameters that
+// decide whether the solution is transferable at all.
+
+import (
+	"math"
+
+	"robustscaler/internal/linalg"
+)
+
+// WarmState is a completed fit's ADMM solution, reusable as the starting
+// point of the next fit over a compatible window. It is immutable after
+// creation (FitWarm only reads it), so one WarmState may seed concurrent
+// refits. Obtain it from Model.WarmState; restored models carry none
+// (the duals are not persisted), so the first refit after a process
+// restart runs cold.
+type WarmState struct {
+	// Start and Dt locate the solution's bin grid in absolute time. A new
+	// window may slide along this grid (any whole-bin offset), but a bin
+	// width or phase change makes the solution non-transferable.
+	Start, Dt float64
+	// Period, Beta1, Beta2 and Rho pin the objective the solution solves.
+	// Any mismatch — a different detected period, retuned penalties, a
+	// different (normalized) ADMM step — forces a cold start: duals of a
+	// different objective are not a descent direction for this one.
+	Period            int
+	Beta1, Beta2, Rho float64
+	// R is the primal log-intensity, Y/NuY the D2 slack and dual, Z/NuZ
+	// the DL slack and dual (empty when the fit had no DL term).
+	R, Y, NuY, Z, NuZ []float64
+}
+
+// offsetFor reports whether the warm state can seed a fit on the given
+// grid and objective, and the whole-bin offset of the new window's first
+// bin on the warm grid. cfg must already be normalized (Rho resolved).
+func (w *WarmState) offsetFor(start, dt float64, cfg FitConfig, period int) (int, bool) {
+	if w == nil || len(w.R) == 0 || dt <= 0 {
+		return 0, false
+	}
+	if w.Dt != dt || w.Period != period ||
+		w.Beta1 != cfg.Beta1 || w.Beta2 != cfg.Beta2 || w.Rho != cfg.Rho {
+		return 0, false
+	}
+	off := (start - w.Start) / dt
+	rounded := math.Round(off)
+	if math.Abs(off-rounded) > 1e-6*math.Max(1, math.Abs(rounded)) || math.Abs(rounded) > 1e12 {
+		return 0, false // off-grid start or absurd shift: cold
+	}
+	return int(rounded), true
+}
+
+// logRateAt returns the warm solution's log intensity at bin idx of its
+// own grid, extrapolated beyond its ends the same way Model extrapolates
+// (first bin to the left, periodically or last bin to the right).
+func (w *WarmState) logRateAt(idx int) float64 {
+	t := len(w.R)
+	switch {
+	case idx < 0:
+		return w.R[0]
+	case idx < t:
+		return w.R[idx]
+	case w.Period > 0:
+		return w.R[t-w.Period+(idx-t)%w.Period]
+	default:
+		return w.R[t-1]
+	}
+}
+
+// seed initializes a fit's iterates from the warm solution: bin i of the
+// new window is bin i+off of the warm grid. Rows of the difference
+// operators shift by the same offset; rows that fall outside the warm
+// solution (new bins on either edge) get consistent slack (the operator
+// applied to the seeded r) and a zero dual.
+func (w *WarmState) seed(off int, r, y, nuY, z, nuZ linalg.Vector, period int) {
+	for i := range r {
+		v := w.logRateAt(i + off)
+		if v > logRateClamp {
+			v = logRateClamp
+		} else if v < -logRateClamp {
+			v = -logRateClamp
+		}
+		r[i] = v
+	}
+	for j := range y {
+		if k := j + off; k >= 0 && k < len(w.Y) {
+			y[j], nuY[j] = w.Y[k], w.NuY[k]
+		} else {
+			y[j], nuY[j] = r[j]-2*r[j+1]+r[j+2], 0
+		}
+	}
+	for j := range z {
+		if k := j + off; k >= 0 && k < len(w.Z) {
+			z[j], nuZ[j] = w.Z[k], w.NuZ[k]
+		} else {
+			z[j], nuZ[j] = r[j]-r[j+period], 0
+		}
+	}
+}

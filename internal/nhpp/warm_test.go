@@ -1,0 +1,304 @@
+package nhpp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// warmTestWindows enumerates the window shapes the equivalence property
+// is checked across: flat, ramping, periodic, bursty, and near-empty
+// traffic, with and without a DL period.
+var warmTestWindows = []struct {
+	name   string
+	period int
+	gen    func(rng *rand.Rand, t int) []float64
+}{
+	{"flat", 0, func(rng *rand.Rand, t int) []float64 {
+		q := make([]float64, t)
+		for i := range q {
+			q[i] = float64(rng.Intn(7) + 3)
+		}
+		return q
+	}},
+	{"ramp", 0, func(rng *rand.Rand, t int) []float64 {
+		q := make([]float64, t)
+		for i := range q {
+			q[i] = math.Round(1 + 20*float64(i)/float64(t) + rng.Float64()*2)
+		}
+		return q
+	}},
+	{"periodic", 48, func(rng *rand.Rand, t int) []float64 {
+		q := make([]float64, t)
+		for i := range q {
+			lam := 6 + 5*math.Sin(2*math.Pi*float64(i)/48)
+			q[i] = math.Round(lam + rng.NormFloat64())
+			if q[i] < 0 {
+				q[i] = 0
+			}
+		}
+		return q
+	}},
+	{"bursty", 0, func(rng *rand.Rand, t int) []float64 {
+		q := make([]float64, t)
+		for i := range q {
+			q[i] = float64(rng.Intn(3))
+			if rng.Float64() < 0.05 {
+				q[i] += 40
+			}
+		}
+		return q
+	}},
+	{"sparse", 24, func(rng *rand.Rand, t int) []float64 {
+		q := make([]float64, t)
+		for i := range q {
+			if i%24 < 3 {
+				q[i] = float64(rng.Intn(4) + 1)
+			}
+		}
+		return q
+	}},
+}
+
+// fitCfg returns the config the warm tests share: a tight tolerance so
+// "same optimum" is checked well below the comparison threshold.
+func warmFitCfg(period int) FitConfig {
+	cfg := DefaultFitConfig()
+	cfg.Period = period
+	cfg.Tol = 1e-7
+	cfg.MaxIter = 3000
+	return cfg
+}
+
+// TestWarmStartEquivalence is the correctness half of the warm-start
+// contract, property-tested across window shapes: fit q1 cold, extend
+// the window with fresh bins (the steady-state refit shape), then fit
+// the extended window both cold and warm-started from q1's solution.
+// The objective is strictly convex, so the two must agree on the
+// log-intensity within the solver tolerance — and the warm run must not
+// need more iterations than the cold one.
+func TestWarmStartEquivalence(t *testing.T) {
+	const tBins, dt = 240, 60.0
+	for _, tc := range warmTestWindows {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			cfg := warmFitCfg(tc.period)
+			q1 := tc.gen(rng, tBins)
+			m1, st1, err := Fit(0, dt, q1, cfg)
+			if err != nil {
+				t.Fatalf("cold fit q1: %v", err)
+			}
+			if st1.WarmStarted {
+				t.Fatal("cold fit reported WarmStarted")
+			}
+			if m1.WarmState() == nil {
+				t.Fatal("fit produced no warm state")
+			}
+
+			// Slide the window: drop 8 bins on the left, add 8 fresh bins
+			// on the right, keeping the absolute grid.
+			fresh := tc.gen(rng, 8)
+			q2 := append(append([]float64(nil), q1[8:]...), fresh...)
+			start2 := 8 * dt
+
+			cold, stCold, err := Fit(start2, dt, q2, cfg)
+			if err != nil {
+				t.Fatalf("cold fit q2: %v", err)
+			}
+			warm, stWarm, err := FitWarm(start2, dt, q2, cfg, m1.WarmState())
+			if err != nil {
+				t.Fatalf("warm fit q2: %v", err)
+			}
+			if !stWarm.WarmStarted {
+				t.Fatal("compatible warm state did not warm-start")
+			}
+			var maxDiff float64
+			for i := range cold.R {
+				if d := math.Abs(cold.R[i] - warm.R[i]); d > maxDiff {
+					maxDiff = d
+				}
+			}
+			// The stopping rule leaves ~√Tol slack in the primal residuals,
+			// so the two runs may part in the last ~1e-3 of log-rate.
+			if maxDiff > 1e-2 {
+				t.Fatalf("warm and cold optima disagree: max |Δr| = %g", maxDiff)
+			}
+			if stWarm.Iterations > stCold.Iterations {
+				t.Fatalf("warm start took more iterations than cold (%d > %d)",
+					stWarm.Iterations, stCold.Iterations)
+			}
+			// The losses agree too (both at the unique optimum).
+			if relDiff(stWarm.FinalLoss, stCold.FinalLoss) > 1e-4 {
+				t.Fatalf("warm loss %g vs cold loss %g", stWarm.FinalLoss, stCold.FinalLoss)
+			}
+		})
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	return math.Abs(a-b) / math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// TestWarmStartIdenticalDataConvergesImmediately pins the speed half of
+// the contract in its purest form: re-fitting the exact window the warm
+// state came from converges almost immediately (the iterates start at
+// the optimum).
+func TestWarmStartIdenticalDataConvergesImmediately(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := warmFitCfg(48)
+	q := warmTestWindows[2].gen(rng, 240)
+	m1, st1, err := Fit(0, 60, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st1.Converged {
+		t.Fatal("cold fit did not converge")
+	}
+	_, st2, err := FitWarm(0, 60, q, cfg, m1.WarmState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.WarmStarted || !st2.Converged {
+		t.Fatalf("warm refit: WarmStarted=%v Converged=%v", st2.WarmStarted, st2.Converged)
+	}
+	if st2.Iterations > 3 {
+		t.Fatalf("warm refit of identical data took %d iterations, want <= 3", st2.Iterations)
+	}
+}
+
+// TestWarmStartIncompatibleFallsBackCold enumerates the compatibility
+// gate: any grid or objective mismatch must silently run cold, never
+// seed from a solution of a different problem.
+func TestWarmStartIncompatibleFallsBackCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := warmFitCfg(48)
+	q := warmTestWindows[2].gen(rng, 240)
+	m, _, err := Fit(0, 60, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := m.WarmState()
+	cases := []struct {
+		name  string
+		start float64
+		dt    float64
+		cfg   FitConfig
+		warm  *WarmState
+	}{
+		{"nil warm", 0, 60, cfg, nil},
+		{"dt change", 0, 30, cfg, ws},
+		{"off-grid start", 17, 60, cfg, ws},
+		{"period change", 0, 60, func() FitConfig { c := cfg; c.Period = 24; return c }(), ws},
+		{"beta1 change", 0, 60, func() FitConfig { c := cfg; c.Beta1 = 5; return c }(), ws},
+		{"beta2 change", 0, 60, func() FitConfig { c := cfg; c.Beta2 = 1; return c }(), ws},
+		{"rho change", 0, 60, func() FitConfig { c := cfg; c.Rho = 9; return c }(), ws},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			qq := q
+			if tc.dt != 60 {
+				qq = q[:120]
+			}
+			_, st, err := FitWarm(tc.start, tc.dt, qq, tc.cfg, tc.warm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.WarmStarted {
+				t.Fatal("incompatible warm state was used")
+			}
+		})
+	}
+}
+
+// TestWarmStartColdPathUnchanged pins that the workspace refactor did
+// not perturb the cold path: Fit is deterministic, and two cold fits of
+// the same data — interleaved with unrelated fits of other shapes to
+// force workspace recycling — produce bit-identical log-intensities.
+func TestWarmStartColdPathUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	cfg := warmFitCfg(48)
+	q := warmTestWindows[2].gen(rng, 240)
+	m1, _, err := Fit(0, 60, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pollute the pool with differently shaped fits.
+	for _, n := range []int{31, 500, 120} {
+		if _, _, err := Fit(5, 7, warmTestWindows[0].gen(rng, n), warmFitCfg(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, _, err := Fit(0, 60, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m1.R {
+		if m1.R[i] != m2.R[i] {
+			t.Fatalf("cold fit not deterministic at bin %d: %g vs %g", i, m1.R[i], m2.R[i])
+		}
+	}
+}
+
+// TestWarmStateImmutableUnderReuse guards the pooling boundary: the
+// warm state captured on a model must not alias workspace buffers, so
+// later fits (which recycle the workspace) cannot corrupt it.
+func TestWarmStateImmutableUnderReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	cfg := warmFitCfg(48)
+	q := warmTestWindows[2].gen(rng, 240)
+	m, _, err := Fit(0, 60, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := m.WarmState()
+	snapY := append([]float64(nil), ws.Y...)
+	snapZ := append([]float64(nil), ws.Z...)
+	for i := 0; i < 4; i++ {
+		if _, _, err := Fit(0, 60, warmTestWindows[3].gen(rng, 240), warmFitCfg(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range snapY {
+		if ws.Y[i] != snapY[i] {
+			t.Fatalf("warm state Y corrupted at %d by a later fit", i)
+		}
+	}
+	for i := range snapZ {
+		if ws.Z[i] != snapZ[i] {
+			t.Fatalf("warm state Z corrupted at %d by a later fit", i)
+		}
+	}
+}
+
+// TestAverageRatesMatchesIntegral pins the forecast fast path to the
+// semantics it promises: each point is Integral over its step window
+// divided by the step, including across the training-horizon boundary
+// into the extrapolated region.
+func TestAverageRatesMatchesIntegral(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	q := warmTestWindows[2].gen(rng, 240)
+	cfg := warmFitCfg(48)
+	m, _, err := Fit(100, 60, q, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step = 90.0
+	from := m.End() - 40*60 // straddle the horizon boundary
+	dst := make([]float64, 120)
+	m.AverageRates(from, step, dst)
+	for i, got := range dst {
+		a := from + float64(i)*step
+		want := m.Integral(a, a+step) / step
+		if math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("point %d: AverageRates %g vs Integral/step %g", i, got, want)
+		}
+	}
+	// A constant model's average rate equals its point rate exactly.
+	flat := NewModel(0, 60, []float64{1, 1, 1, 1, 1}, 0)
+	out := flat.AverageRates(30, 45, make([]float64, 10))
+	for i, v := range out {
+		if math.Abs(v-math.E) > 1e-12 {
+			t.Fatalf("flat model point %d: %g, want e", i, v)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package nhpp
+
+// The ADMM trainer's scratch memory. One fit needs ~10 vectors plus the
+// banded system and its Cholesky factor; at fleet scale the retrain pool
+// runs thousands of refits per sweep, so allocating them per call churns
+// the GC for no reason — the shapes barely change between refits of the
+// same workload. fitWorkspace bundles every buffer one fit needs and a
+// sync.Pool recycles them across fits (and across the retrain pool's
+// workers): a steady-state refit of a same-sized window performs no
+// solver allocations at all (see linalg's TestSteadyStateSolveZeroAlloc
+// for the invariant at the factorization layer).
+
+import (
+	"sync"
+
+	"robustscaler/internal/linalg"
+)
+
+// fitWorkspace holds every reusable buffer of one ADMM run. The fitted
+// log-intensity vector r is deliberately NOT part of the workspace — it
+// outlives the fit as Model.R, so pooling it would alias live models.
+type fitWorkspace struct {
+	// Banded path: the assembled system and its reused factorization.
+	a    *linalg.SymBanded
+	fact *linalg.BandedCholesky
+	// CG path: iteration vectors for the matrix-free solve.
+	cg *cgWorkspace
+
+	// Length-t buffers.
+	expR, b, rNew, tmpT linalg.Vector
+	// Length-n2 buffers (D2 rows): slack, dual, scratch.
+	y, nuY, tmp2 linalg.Vector
+	// Length-nl buffers (DL rows): slack, dual, scratch.
+	z, nuZ, tmpL linalg.Vector
+}
+
+// fitPool recycles workspaces across fits. sync.Pool's per-P caching
+// means each retrain worker effectively keeps its own warm workspace
+// without any coordination.
+var fitPool = sync.Pool{New: func() any { return new(fitWorkspace) }}
+
+// acquireFitWorkspace returns a workspace sized for a t-bin fit with n2
+// D2 rows and nl DL rows, reusing pooled capacity. Buffer contents are
+// unspecified; the fit zeroes or overwrites what it reads. Exactly one
+// of the banded system (kd ≥ 0) or the CG vectors is prepared.
+func acquireFitWorkspace(t, kd, n2, nl int, useCG bool) *fitWorkspace {
+	w := fitPool.Get().(*fitWorkspace)
+	w.expR = linalg.Resize(w.expR, t)
+	w.b = linalg.Resize(w.b, t)
+	w.rNew = linalg.Resize(w.rNew, t)
+	w.tmpT = linalg.Resize(w.tmpT, t)
+	w.y = linalg.Resize(w.y, n2)
+	w.nuY = linalg.Resize(w.nuY, n2)
+	w.tmp2 = linalg.Resize(w.tmp2, n2)
+	w.z = linalg.Resize(w.z, nl)
+	w.nuZ = linalg.Resize(w.nuZ, nl)
+	w.tmpL = linalg.Resize(w.tmpL, nl)
+	if useCG {
+		if w.cg == nil {
+			w.cg = new(cgWorkspace)
+		}
+		w.cg.resize(t, n2, nl)
+	} else if w.a == nil {
+		w.a = linalg.NewSymBanded(t, kd)
+	} else {
+		w.a.Resize(t, kd)
+	}
+	return w
+}
+
+// release returns the workspace to the pool. The caller must not touch
+// any buffer afterwards — anything that outlives the fit (Model.R, the
+// captured WarmState) is copied out before release.
+func (w *fitWorkspace) release() { fitPool.Put(w) }
+
+// resize grows the CG iteration vectors in place, reusing capacity.
+func (ws *cgWorkspace) resize(t, n2, nl int) {
+	ws.res = linalg.Resize(ws.res, t)
+	ws.p = linalg.Resize(ws.p, t)
+	ws.ap = linalg.Resize(ws.ap, t)
+	ws.z = linalg.Resize(ws.z, t)
+	ws.diag = linalg.Resize(ws.diag, t)
+	ws.d2buf = linalg.Resize(ws.d2buf, n2)
+	ws.dlbuf = linalg.Resize(ws.dlbuf, nl)
+}

@@ -34,16 +34,27 @@ const maxConfigBytes = 1 << 20
 // configUpdate is the PUT body: pointer fields distinguish "absent"
 // (keep the current value) from an explicit zero.
 type configUpdate struct {
-	Version       *int64   `json:"version"`
-	Dt            *float64 `json:"dt"`
-	Pending       *float64 `json:"pending"`
-	HistoryWindow *float64 `json:"history_window"`
-	MCSamples     *int     `json:"mc_samples"`
-	HPTarget      *float64 `json:"hp_target"`
-	RTTarget      *float64 `json:"rt_target"`
-	CostTarget    *float64 `json:"cost_target"`
-	PlanHorizon   *float64 `json:"plan_horizon"`
-	RetrainEvery  *float64 `json:"retrain_every"`
+	Version       *int64       `json:"version"`
+	Dt            *float64     `json:"dt"`
+	Pending       *float64     `json:"pending"`
+	HistoryWindow *float64     `json:"history_window"`
+	MCSamples     *int         `json:"mc_samples"`
+	HPTarget      *float64     `json:"hp_target"`
+	RTTarget      *float64     `json:"rt_target"`
+	CostTarget    *float64     `json:"cost_target"`
+	PlanHorizon   *float64     `json:"plan_horizon"`
+	RetrainEvery  *float64     `json:"retrain_every"`
+	Train         *trainUpdate `json:"train"`
+}
+
+// trainUpdate is the nested train-knobs merge: like the top level,
+// pointer fields distinguish "absent" from an explicit zero, so a PUT
+// can reset one knob to the fleet default (0) without touching the
+// others.
+type trainUpdate struct {
+	ADMMMaxIter      *int     `json:"admm_max_iter"`
+	ADMMTol          *float64 `json:"admm_tol"`
+	DisableWarmStart *bool    `json:"disable_warm_start"`
 }
 
 func (s *Server) handleConfigGet(w http.ResponseWriter, _ *http.Request, e *engine.Engine) {
@@ -91,6 +102,17 @@ func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engi
 	}
 	if u.RetrainEvery != nil {
 		merged.RetrainEvery = *u.RetrainEvery
+	}
+	if u.Train != nil {
+		if u.Train.ADMMMaxIter != nil {
+			merged.Train.ADMMMaxIter = *u.Train.ADMMMaxIter
+		}
+		if u.Train.ADMMTol != nil {
+			merged.Train.ADMMTol = *u.Train.ADMMTol
+		}
+		if u.Train.DisableWarmStart != nil {
+			merged.Train.DisableWarmStart = *u.Train.DisableWarmStart
+		}
 	}
 	applied, err := e.SetEngineConfig(merged)
 	if err != nil {

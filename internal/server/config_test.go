@@ -75,6 +75,29 @@ func TestConfigAPILifecycle(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || got["version"] != float64(3) || got["pending"] != float64(25) {
 		t.Fatalf("versioned PUT = %d %v", resp.StatusCode, got)
 	}
+
+	// The nested train knobs merge the same way: one knob set, the
+	// others (and the rest of the config) keep their values.
+	resp = putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"train": {"admm_max_iter": 200, "disable_warm_start": true}}`)
+	got = decode[map[string]any](t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT train knobs: %d (%v)", resp.StatusCode, got)
+	}
+	train, ok := got["train"].(map[string]any)
+	if !ok || train["admm_max_iter"] != float64(200) ||
+		train["admm_tol"] != float64(0) || train["disable_warm_start"] != true {
+		t.Fatalf("train knobs after PUT = %v", got["train"])
+	}
+	if got["pending"] != float64(25) {
+		t.Fatalf("train-knob PUT disturbed pending: %v", got["pending"])
+	}
+	resp = putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"train": {"admm_tol": 0.001}}`)
+	got = decode[map[string]any](t, resp)
+	train, _ = got["train"].(map[string]any)
+	if resp.StatusCode != http.StatusOK || train["admm_max_iter"] != float64(200) ||
+		train["admm_tol"] != 0.001 || train["disable_warm_start"] != true {
+		t.Fatalf("partial train-knob PUT = %d %v", resp.StatusCode, got["train"])
+	}
 }
 
 func TestConfigAPIValidation(t *testing.T) {
@@ -89,6 +112,9 @@ func TestConfigAPIValidation(t *testing.T) {
 		{"negative pending", `{"pending": -3}`},
 		{"mc samples zero", `{"mc_samples": 0}`},
 		{"string value", `{"pending": "fast"}`},
+		{"unknown train knob", `{"train": {"iters": 5}}`},
+		{"negative admm_max_iter", `{"train": {"admm_max_iter": -1}}`},
+		{"admm_tol out of range", `{"train": {"admm_tol": 1.5}}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"robustscaler/internal/nhpp"
 	"robustscaler/internal/sim"
 	"robustscaler/internal/timeseries"
 )
@@ -64,6 +65,15 @@ func NewRetrainingPolicy(seed *timeseries.Series, cfg RetrainConfig, build Polic
 // replay wrapper below and the serving engine's background retrainer.
 // Callers keep their previous model when it returns an error.
 func FitWindow(series *timeseries.Series, window float64, cfg TrainConfig) (*Model, error) {
+	return FitWindowWarm(series, window, cfg, nil)
+}
+
+// FitWindowWarm is FitWindow seeded from a previous model's ADMM
+// solution (see TrainWarm). The serving engine passes the outgoing
+// model's nhpp warm state here so steady-state refits — the same window
+// slid forward a few bins — converge in a fraction of the cold
+// iteration count.
+func FitWindowWarm(series *timeseries.Series, window float64, cfg TrainConfig, warm *nhpp.WarmState) (*Model, error) {
 	train := series
 	if window > 0 {
 		bins := int(window / series.Dt)
@@ -74,7 +84,7 @@ func FitWindow(series *timeseries.Series, window float64, cfg TrainConfig) (*Mod
 			train = train.Slice(train.Len()-bins, train.Len())
 		}
 	}
-	return Train(train, cfg)
+	return TrainWarm(train, cfg, warm)
 }
 
 // refit trains on the trailing window and swaps the inner policy.

@@ -135,6 +135,17 @@ type Model struct {
 // pipeline of the paper's Fig. 2: periodicity detection → regularized
 // likelihood → ADMM.
 func Train(counts *timeseries.Series, cfg TrainConfig) (*Model, error) {
+	return TrainWarm(counts, cfg, nil)
+}
+
+// TrainWarm is Train with an optional warm start: warm is a previous
+// model's ADMM solution (Model.NHPP.WarmState()), used as the starting
+// iterate when it is compatible with this fit's grid, detected period
+// and penalties. Incompatible or nil warm states silently run cold;
+// Model.FitStats.WarmStarted reports which path ran. Training is
+// strictly convex, so warm and cold starts agree up to the solver
+// tolerance — warm starting changes the cost of a refit, not its result.
+func TrainWarm(counts *timeseries.Series, cfg TrainConfig, warm *nhpp.WarmState) (*Model, error) {
 	if counts == nil || counts.Len() == 0 {
 		return nil, fmt.Errorf("robustscaler: empty count series")
 	}
@@ -159,7 +170,7 @@ func Train(counts *timeseries.Series, cfg TrainConfig) (*Model, error) {
 			work.WinsorizeMAD(cfg.WinsorK)
 		}
 	}
-	m, st, err := nhpp.Fit(work.Start, work.Dt, work.Values, fit)
+	m, st, err := nhpp.FitWarm(work.Start, work.Dt, work.Values, fit, warm)
 	if err != nil {
 		return nil, fmt.Errorf("robustscaler: training failed: %w", err)
 	}
