@@ -1,0 +1,118 @@
+// Command scenario runs the workload-scenario corpus through the
+// closed-loop harness (internal/scenario) and writes the scorecard as
+// JSON. The committed SCENARIOS.json is the full-corpus run; CI runs
+// the quick variant (truncated test spans, same envelopes) and gates on
+// the envelope verdict, the same pattern as BENCH_hotpath.json.
+//
+// Usage:
+//
+//	go run ./cmd/scenario                    # full corpus, writes SCENARIOS.json
+//	go run ./cmd/scenario -quick -out /tmp/s.json
+//	go run ./cmd/scenario -quick -check SCENARIOS.json
+//
+// The process exits non-zero when any scenario misses its envelope —
+// the envelopes are hard-asserted on every run, committed or not. With
+// -check, the run is additionally compared against a committed
+// scorecard: the committed file must itself pass its envelopes and
+// cover the same scenario set, so a stale or hand-edited SCENARIOS.json
+// fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"robustscaler/internal/scenario"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "truncate replayed test spans (CI smoke); envelopes still apply")
+		out   = flag.String("out", "SCENARIOS.json", "output JSON path")
+		seed  = flag.Int64("seed", 1, "base seed for generators, engine and simulator")
+		check = flag.String("check", "", "committed scorecard to cross-check (scenario set + envelope verdict)")
+	)
+	flag.Parse()
+
+	rep, err := scenario.RunCorpus(scenario.Corpus(), *seed, *quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	bad := 0
+	for _, s := range rep.Scenarios {
+		verdict := "ok"
+		if !s.OK {
+			verdict = "ENVELOPE MISSED"
+			bad++
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %6d test queries  hit=%.3f relcost=%.3f", s.Name, s.TestQueries, s.Robust.HitRate, s.Robust.RelativeCost)
+		if s.Forecast != nil {
+			fmt.Fprintf(os.Stderr, " wape=%.3f", s.Forecast.WAPE)
+		}
+		fmt.Fprintf(os.Stderr, "  %s\n", verdict)
+		for _, c := range s.Checks {
+			if !c.OK {
+				fmt.Fprintf(os.Stderr, "  MISSED %s: %g vs bound %g\n", c.Name, c.Value, c.Bound)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+
+	if *check != "" {
+		if err := crossCheck(*check, rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("%d scenario(s) missed their envelope", bad)
+	}
+}
+
+// crossCheck validates a committed scorecard against this run: it must
+// pass its own envelopes and describe the same scenarios with the same
+// envelope bounds, so the committed file can't silently drift from the
+// corpus in code.
+func crossCheck(path string, cur *scenario.Report) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed scorecard: %w", err)
+	}
+	var base scenario.Report
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if !base.EnvelopesOK {
+		return fmt.Errorf("%s records envelopes_ok=false; re-run the full corpus and commit", path)
+	}
+	baseEnv := map[string]scenario.Envelope{}
+	for _, s := range base.Scenarios {
+		baseEnv[s.Name] = s.Envelope
+	}
+	if len(baseEnv) != len(cur.Scenarios) {
+		return fmt.Errorf("%s has %d scenarios, corpus has %d; regenerate it", path, len(baseEnv), len(cur.Scenarios))
+	}
+	for _, s := range cur.Scenarios {
+		env, ok := baseEnv[s.Name]
+		if !ok {
+			return fmt.Errorf("scenario %q missing from %s; regenerate it", s.Name, path)
+		}
+		if env != s.Envelope {
+			return fmt.Errorf("scenario %q envelope drifted from %s; regenerate it", s.Name, path)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cross-check ok against %s (%d scenarios)\n", path, len(baseEnv))
+	return nil
+}

@@ -1,0 +1,219 @@
+package encode
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"math"
+	"strconv"
+	"testing"
+	"testing/iotest"
+)
+
+// checkBatch asserts the structural invariants every successful decode
+// must uphold — chunk shape, count bookkeeping, and a Sorted flag that
+// exactly matches the writer's definition (no value below its immediate
+// predecessor) — then releases the batch and returns the flat values.
+func checkBatch(t *testing.T, b *Batch) []float64 {
+	t.Helper()
+	if b == nil {
+		t.Fatal("successful decode returned nil batch")
+	}
+	total := 0
+	for i, c := range b.Chunks {
+		if len(c) == 0 || len(c) > ChunkLen {
+			t.Fatalf("chunk %d has %d values", i, len(c))
+		}
+		if i < len(b.Chunks)-1 && len(c) != ChunkLen {
+			t.Fatalf("non-final chunk %d has %d values, want %d", i, len(c), ChunkLen)
+		}
+		total += len(c)
+	}
+	if total != b.Count {
+		t.Fatalf("Count %d, chunks hold %d", b.Count, total)
+	}
+	vals := b.Flatten()
+	sorted := true
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			sorted = false
+		}
+	}
+	if b.Sorted != sorted {
+		t.Fatalf("Sorted=%v, recomputed %v over %d values", b.Sorted, sorted, len(vals))
+	}
+	b.Release()
+	if b.Chunks != nil || b.Count != 0 {
+		t.Fatal("Release left state behind")
+	}
+	return vals
+}
+
+func sameFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// refNDJSON is the oracle for the NDJSON decoder: split on newlines,
+// trim, skip blanks, strconv.ParseFloat every line. The fused fast path
+// claims bit-exactness with strconv, so for bodies with no over-long
+// line the decoder must agree with this exactly — in both directions.
+func refNDJSON(body []byte) ([]float64, bool) {
+	var out []float64
+	for len(body) > 0 {
+		var line []byte
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			line, body = body[:i], body[i+1:]
+		} else {
+			line, body = body, nil
+		}
+		line = trimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(string(line), 64)
+		if err != nil {
+			return nil, false
+		}
+		out = append(out, v)
+	}
+	return out, true
+}
+
+func FuzzDecodeNDJSON(f *testing.F) {
+	f.Add([]byte("1\n2.5\n3e2\n"))
+	f.Add([]byte("1\r\n\n  2.5\n-4.25"))
+	f.Add([]byte("bogus\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("99999999999999999999999999\n0.000001\n"))
+	f.Add([]byte("NaN\nInf\n-Inf\n"))
+	f.Add([]byte("+1\n-0.5\n.5\n5.\n"))
+	f.Add([]byte("5\n3\n9\n"))
+	f.Add([]byte("1.7976931348623157e308\n4.9e-324\n"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b, err := DecodeNDJSON(bytes.NewReader(body), nil)
+		var vals []float64
+		if err == nil {
+			vals = checkBatch(t, b)
+		}
+		// The 64 KiB line cap can fire on over-long bodies depending on
+		// read chunking; the oracle only binds below it.
+		if len(body) <= maxLineLen {
+			want, ok := refNDJSON(body)
+			if ok != (err == nil) {
+				t.Fatalf("decode err=%v, strconv oracle ok=%v for %q", err, ok, body)
+			}
+			if ok && !sameFloats(vals, want) {
+				t.Fatalf("decoded %v, oracle %v for %q", vals, want, body)
+			}
+			// Byte-at-a-time reads must not change the outcome: the
+			// carry-across-read-boundary path is where scanners break.
+			b2, err2 := DecodeNDJSON(iotest.OneByteReader(bytes.NewReader(body)), nil)
+			if (err2 == nil) != (err == nil) {
+				t.Fatalf("one-byte reads changed verdict: %v vs %v", err2, err)
+			}
+			if err2 == nil && !sameFloats(checkBatch(t, b2), vals) {
+				t.Fatalf("one-byte reads changed values for %q", body)
+			}
+		}
+	})
+}
+
+func FuzzDecodeBinary(f *testing.F) {
+	le := func(vals ...float64) []byte {
+		out := make([]byte, 0, 8*len(vals))
+		for _, v := range vals {
+			out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+		}
+		return out
+	}
+	f.Add([]byte(""))
+	f.Add(le(1, 2, 3))
+	f.Add(le(5, 3, 9))
+	f.Add(le(math.NaN(), math.Inf(1), -1)[:20]) // truncated tail
+	f.Add([]byte{0, 1, 2})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b, err := DecodeBinary(bytes.NewReader(body), nil)
+		if len(body)%8 != 0 {
+			if err == nil {
+				t.Fatalf("truncated body (%d bytes) accepted", len(body))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("aligned body (%d bytes) rejected: %v", len(body), err)
+		}
+		vals := checkBatch(t, b)
+		if len(vals) != len(body)/8 {
+			t.Fatalf("decoded %d values from %d bytes", len(vals), len(body))
+		}
+		for i, v := range vals {
+			if want := math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:])); math.Float64bits(v) != math.Float64bits(want) {
+				t.Fatalf("value %d = %v, want %v", i, v, want)
+			}
+		}
+		b2, err2 := DecodeBinary(iotest.OneByteReader(bytes.NewReader(body)), nil)
+		if err2 != nil {
+			t.Fatalf("one-byte reads rejected aligned body: %v", err2)
+		}
+		if !sameFloats(checkBatch(t, b2), vals) {
+			t.Fatal("one-byte reads changed values")
+		}
+	})
+}
+
+func FuzzDecodeJSONArray(f *testing.F) {
+	f.Add([]byte(`{"timestamps":[1,2,3]}`))
+	f.Add([]byte(`{"timestamps":[]}`))
+	f.Add([]byte(`{"timestamps":null}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"other":{"x":[1]},"timestamps":[1.5,2.5],"z":3}`))
+	f.Add([]byte(`{"timestamps":[1],"timestamps":[2]}`))
+	f.Add([]byte(`{"timestamps":[1],}`))
+	f.Add([]byte(`{"timestamps":[3,1]} trailing`))
+	f.Add([]byte(`{"timestamps":[1e3, 0.25,-7]}`))
+	f.Add([]byte(`{"timestamps":"no"}`))
+	f.Add([]byte(`[1,2]`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		b, err := DecodeJSONArray(bytes.NewReader(body), nil)
+		var vals []float64
+		if err == nil {
+			vals = checkBatch(t, b)
+		}
+		b2, err2 := DecodeJSONArray(iotest.OneByteReader(bytes.NewReader(body)), nil)
+		if (err2 == nil) != (err == nil) {
+			t.Fatalf("one-byte reads changed verdict: %v vs %v", err2, err)
+		}
+		if err2 == nil && !sameFloats(checkBatch(t, b2), vals) {
+			t.Fatalf("one-byte reads changed values for %q", body)
+		}
+		// One-directional oracle: anything the strict one-shot Unmarshal
+		// accepts as an object, the streaming decoder must accept with the
+		// same values. (The decoder is deliberately more lenient — number
+		// spellings, trailing bytes — so the converse doesn't hold.)
+		trimmed := bytes.TrimLeft(body, " \t\r\n")
+		if len(trimmed) == 0 || trimmed[0] != '{' {
+			return
+		}
+		var ref struct {
+			Timestamps []float64 `json:"timestamps"`
+		}
+		if json.Unmarshal(body, &ref) != nil {
+			return
+		}
+		if err != nil {
+			t.Fatalf("strict-valid body rejected: %v (%q)", err, body)
+		}
+		if !sameFloats(vals, ref.Timestamps) && !(len(vals) == 0 && len(ref.Timestamps) == 0) {
+			t.Fatalf("decoded %v, json.Unmarshal %v for %q", vals, ref.Timestamps, body)
+		}
+	})
+}

@@ -66,7 +66,10 @@ object:
 			if !ok { // cannot happen inside an object; defensive
 				return w.finish(fmt.Errorf("encode: unexpected token %v for object key", keyTok))
 			}
-			if key != "timestamps" {
+			// encoding/json matches keys case-insensitively, so the legacy
+			// one-shot path accepted "Timestamps" too; fold here to keep
+			// that contract (found by FuzzDecodeJSONArray).
+			if !strings.EqualFold(key, "timestamps") {
 				if err := skipJSONValue(dec); err != nil {
 					return w.finish(badJSON(err))
 				}

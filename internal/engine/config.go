@@ -77,6 +77,37 @@ type TrainKnobs struct {
 	// objective is strictly convex), so this is a diagnostic escape
 	// hatch, not a correctness knob.
 	DisableWarmStart bool `json:"disable_warm_start"`
+	// DisablePeriodicity turns the periodicity detector off for this
+	// workload: the model fits a single homogeneous-rate profile even if
+	// the history looks seasonal. For workloads whose apparent seasonality
+	// is spurious (batch jobs, replayed traffic), this stops the seasonal
+	// layer from hallucinating structure.
+	DisablePeriodicity bool `json:"disable_periodicity"`
+	// CandidatePeriods restricts the periodicity detector to these
+	// periods, in seconds (±10%); empty keeps the unrestricted scan. For
+	// workloads whose cadence is known a priori — daily crons, weekly
+	// batch cycles — this prevents the detector from locking onto a
+	// transient harmonic.
+	CandidatePeriods []float64 `json:"candidate_periods,omitempty"`
+}
+
+// maxCandidatePeriods caps the candidate-period list an API caller can
+// configure.
+const maxCandidatePeriods = 32
+
+// equalPeriods reports whether two candidate-period lists are
+// identical. TrainKnobs carries a slice, so the struct is not
+// comparable with == anymore; staleness detection compares field-wise.
+func equalPeriods(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // mcSamplesCap bounds the per-plan Monte Carlo budget an API caller can
@@ -137,6 +168,15 @@ func (c EngineConfig) validate() error {
 	if tol := c.Train.ADMMTol; math.IsNaN(tol) || tol < 0 || tol >= 1 {
 		return fmt.Errorf("%w: train.admm_tol %g outside [0, 1)", ErrInvalid, tol)
 	}
+	if n := len(c.Train.CandidatePeriods); n > maxCandidatePeriods {
+		return fmt.Errorf("%w: train.candidate_periods has %d entries (max %d)", ErrInvalid, n, maxCandidatePeriods)
+	}
+	for _, p := range c.Train.CandidatePeriods {
+		// A period must span at least two modeling bins to be detectable.
+		if math.IsNaN(p) || p < 2*c.Dt || p > maxSeconds {
+			return fmt.Errorf("%w: train.candidate_periods entry %g outside [2*dt=%g, %g] seconds", ErrInvalid, p, 2*c.Dt, maxSeconds)
+		}
+	}
 	return nil
 }
 
@@ -179,9 +219,11 @@ func (e *Engine) SetEngineConfig(c EngineConfig) (EngineConfig, error) {
 		// failed under the old config may succeed under the new one.)
 		e.gen++
 	}
-	if c.Train.ADMMMaxIter != old.Train.ADMMMaxIter || c.Train.ADMMTol != old.Train.ADMMTol {
-		// The model was fit under a different solver budget: stale, so
-		// the next sweep refits with the new one.
+	if c.Train.ADMMMaxIter != old.Train.ADMMMaxIter || c.Train.ADMMTol != old.Train.ADMMTol ||
+		c.Train.DisablePeriodicity != old.Train.DisablePeriodicity ||
+		!equalPeriods(c.Train.CandidatePeriods, old.Train.CandidatePeriods) {
+		// The model was fit under a different solver budget or periodicity
+		// policy: stale, so the next sweep refits with the new one.
 		e.gen++
 	}
 	if c.HistoryWindow != old.HistoryWindow {

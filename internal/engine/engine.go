@@ -166,18 +166,32 @@ func (c Config) applyEngineConfig(ec EngineConfig) Config {
 	c.CostTarget = ec.CostTarget
 	c.PlanHorizon = ec.PlanHorizon
 	c.RetrainEvery = ec.RetrainEvery
-	c.Train = overlayTrainKnobs(c.Train, ec.Train)
+	c.Train = overlayTrainKnobs(c.Train, ec.Train, ec.Dt)
 	return c
 }
 
 // overlayTrainKnobs overlays the per-workload training knobs onto the
-// fleet default TrainConfig: zero-valued knobs keep the default.
-func overlayTrainKnobs(tc robustscaler.TrainConfig, k TrainKnobs) robustscaler.TrainConfig {
+// fleet default TrainConfig: zero-valued knobs keep the default. dt is
+// the workload's modeling bin width, needed to convert the
+// candidate-period knob (seconds) into detector bins.
+func overlayTrainKnobs(tc robustscaler.TrainConfig, k TrainKnobs, dt float64) robustscaler.TrainConfig {
 	if k.ADMMMaxIter > 0 {
 		tc.Fit.MaxIter = k.ADMMMaxIter
 	}
 	if k.ADMMTol > 0 {
 		tc.Fit.Tol = k.ADMMTol
+	}
+	if k.DisablePeriodicity {
+		tc.DetectPeriodicity = false
+	}
+	if len(k.CandidatePeriods) > 0 && dt > 0 {
+		cands := make([]int, 0, len(k.CandidatePeriods))
+		for _, p := range k.CandidatePeriods {
+			if bins := int(math.Round(p / dt)); bins >= 2 {
+				cands = append(cands, bins)
+			}
+		}
+		tc.Periodicity.CandidatePeriods = cands
 	}
 	return tc
 }
@@ -480,7 +494,7 @@ func (e *Engine) Train() (TrainInfo, error) {
 	arr := append([]float64(nil), e.arrivals...)
 	gen := e.gen
 	dt := e.ec.Dt
-	trainCfg := overlayTrainKnobs(e.cfg.Train, e.ec.Train)
+	trainCfg := overlayTrainKnobs(e.cfg.Train, e.ec.Train, e.ec.Dt)
 	var warm *nhpp.WarmState
 	if e.model != nil && gen != e.trainedGen && !e.ec.Train.DisableWarmStart {
 		warm = e.model.NHPP.WarmState()
@@ -929,6 +943,16 @@ func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, cfgVer int6
 		clear(e.fcCache)
 	}
 	e.fcCache[key] = ent
+}
+
+// Model returns the currently installed arrival model, or nil before the
+// first successful Train. The model is immutable once installed (refits
+// swap the pointer), so callers may use it without further locking —
+// e.g. to build a policy over the engine-trained forecast.
+func (e *Engine) Model() *robustscaler.Model {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.model
 }
 
 // Status is a workload snapshot.

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCandidatePeriodsRestrictDetection drives the per-workload
+// periodicity knobs through the config plane into an actual fit: the
+// hourly test traffic must be detected unrestricted, must still be
+// detected when the candidate list names the true period, must NOT be
+// detected when the list names only a wrong period (the detector may
+// not invent an unlisted cycle), and must vanish entirely when
+// detection is disabled.
+func TestCandidatePeriodsRestrictDetection(t *testing.T) {
+	const now = 12 * 3600.0
+	mk := func(mut func(*EngineConfig)) *Engine {
+		t.Helper()
+		cfg := testConfig(now)
+		// The fleet default aggregates to 1 h samples (daily periods); the
+		// test traffic cycles hourly, so detect on 5 min samples.
+		cfg.Train.Periodicity.AggregateWindow = 5
+		cfg.Train.Periodicity.MinPeriod = 4
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mut != nil {
+			ec := e.EngineConfig()
+			mut(&ec)
+			if _, err := e.SetEngineConfig(ec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Ingest(trafficArrivals(7, now)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Train(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+
+	if p := mk(nil).Status().PeriodSeconds; math.Abs(p-3600) > 600 {
+		t.Fatalf("unrestricted: detected period %g, want ≈ 3600", p)
+	}
+	if p := mk(func(c *EngineConfig) {
+		c.Train.CandidatePeriods = []float64{3600}
+	}).Status().PeriodSeconds; math.Abs(p-3600) > 600 {
+		t.Fatalf("candidates=[3600]: detected period %g, want ≈ 3600", p)
+	}
+	if p := mk(func(c *EngineConfig) {
+		c.Train.CandidatePeriods = []float64{1800}
+	}).Status().PeriodSeconds; p != 0 {
+		t.Fatalf("candidates=[1800]: detector invented period %g from an hourly workload", p)
+	}
+	if p := mk(func(c *EngineConfig) {
+		c.Train.DisablePeriodicity = true
+	}).Status().PeriodSeconds; p != 0 {
+		t.Fatalf("disable_periodicity: still detected period %g", p)
+	}
+}
+
+// TestPeriodicityKnobChangeStalesModel is the knob-change → stale-model
+// regression: updating the periodicity knobs must mark the installed
+// model stale so the next retrain sweep refits under the new policy.
+func TestPeriodicityKnobChangeStalesModel(t *testing.T) {
+	const now = 4 * 3600.0
+	e := trainedEngine(t, now)
+
+	if ran, err := e.Retrain(); err != nil || ran {
+		t.Fatalf("fresh model retrained (ran=%v err=%v)", ran, err)
+	}
+
+	ec := e.EngineConfig()
+	ec.Train.CandidatePeriods = []float64{3600}
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	if ran, err := e.Retrain(); err != nil || !ran {
+		t.Fatalf("candidate-period change did not trip a refit (ran=%v err=%v)", ran, err)
+	}
+	if ran, err := e.Retrain(); err != nil || ran {
+		t.Fatalf("second sweep refit again (ran=%v err=%v)", ran, err)
+	}
+
+	// Reordering-free no-op: writing the identical list back must NOT
+	// stale the model.
+	ec = e.EngineConfig()
+	ec.Train.CandidatePeriods = []float64{3600}
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	if ran, err := e.Retrain(); err != nil || ran {
+		t.Fatalf("identical knob rewrite tripped a refit (ran=%v err=%v)", ran, err)
+	}
+
+	ec = e.EngineConfig()
+	ec.Train.DisablePeriodicity = true
+	if _, err := e.SetEngineConfig(ec); err != nil {
+		t.Fatal(err)
+	}
+	if ran, err := e.Retrain(); err != nil || !ran {
+		t.Fatalf("disable_periodicity change did not trip a refit (ran=%v err=%v)", ran, err)
+	}
+}
+
+// TestCandidatePeriodsValidate rejects unusable candidate lists at the
+// config plane.
+func TestCandidatePeriodsValidate(t *testing.T) {
+	const now = 4 * 3600.0
+	e := trainedEngine(t, now)
+	dt := e.EngineConfig().Dt
+	long := make([]float64, maxCandidatePeriods+1)
+	for i := range long {
+		long[i] = 3600
+	}
+	for _, tc := range []struct {
+		name    string
+		periods []float64
+	}{
+		{"negative", []float64{-60}},
+		{"NaN", []float64{math.NaN()}},
+		{"below 2*dt", []float64{2*dt - 1}},
+		{"beyond maxSeconds", []float64{2e9}},
+		{"oversized list", long},
+	} {
+		ec := e.EngineConfig()
+		ec.Train.CandidatePeriods = tc.periods
+		if _, err := e.SetEngineConfig(ec); err == nil {
+			t.Fatalf("%s: invalid candidate_periods accepted", tc.name)
+		}
+	}
+	if got := e.EngineConfig().Train.CandidatePeriods; len(got) != 0 {
+		t.Fatalf("rejected updates leaked into the config: %v", got)
+	}
+}

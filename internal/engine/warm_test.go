@@ -131,7 +131,8 @@ func TestTrainKnobsValidate(t *testing.T) {
 			t.Fatalf("%s: invalid train knob accepted", tc.name)
 		}
 	}
-	if got := e.EngineConfig().Train; got != (TrainKnobs{}) {
+	if got := e.EngineConfig().Train; got.ADMMMaxIter != 0 || got.ADMMTol != 0 ||
+		got.DisableWarmStart || got.DisablePeriodicity || len(got.CandidatePeriods) != 0 {
 		t.Fatalf("rejected updates leaked into the config: %+v", got)
 	}
 }

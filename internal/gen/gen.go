@@ -1,0 +1,194 @@
+// Package gen is the workload-generator corpus: a family of seedable,
+// deterministic traffic generators covering the arrival shapes the
+// paper's evaluation cares about — multi-period diurnal/weekly sinusoid
+// mixes, flash crowds (sudden spike plus decay), heavy-tailed bursts
+// (Pareto inter-arrival and service times), regime changes that should
+// trip retraining, and compositions of all of the above. The
+// closed-loop harness in internal/scenario replays these through the
+// real ingest → train → plan pipeline, so an optimization that breaks
+// one traffic shape fails a committed envelope instead of shipping.
+//
+// Every generator is a pure function of (its parameters, the seed):
+// the same seed always yields the identical trace, byte for byte. No
+// generator touches the global math/rand state — each call builds its
+// own rand.Rand from the seed, and composite generators derive
+// per-part sub-seeds with a splitmix64 step so parts stay independent
+// yet reproducible.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+	"robustscaler/internal/trace"
+)
+
+// Day and Week are the calendar periods (seconds) the corpus shapes are
+// built from.
+const (
+	Hour = 3600.0
+	Day  = 86400.0
+	Week = 7 * Day
+)
+
+// Frame is the time frame and per-query scale every generator shares:
+// the generated span, its train/test split, the instance startup scale
+// and the service-time distribution attached to each query.
+type Frame struct {
+	// Start, End bound the generated span, seconds.
+	Start, End float64
+	// TrainEnd splits training data [Start, TrainEnd) from test data
+	// [TrainEnd, End).
+	TrainEnd float64
+	// MeanPending is the instance startup time µτ (seconds) scenarios
+	// replay with.
+	MeanPending float64
+	// Service draws per-query processing times; nil means a fixed
+	// MeanService.
+	Service stats.Dist
+	// MeanService documents the average processing time µs, used for
+	// the reactive-baseline cost.
+	MeanService float64
+}
+
+// Validate rejects unusable frames.
+func (f Frame) Validate() error {
+	if f.End <= f.Start {
+		return fmt.Errorf("gen: empty frame [%g, %g)", f.Start, f.End)
+	}
+	if f.TrainEnd <= f.Start || f.TrainEnd > f.End {
+		return fmt.Errorf("gen: train split %g outside (%g, %g]", f.TrainEnd, f.Start, f.End)
+	}
+	if f.MeanPending < 0 {
+		return fmt.Errorf("gen: negative pending %g", f.MeanPending)
+	}
+	return nil
+}
+
+// service returns the frame's service-time distribution.
+func (f Frame) service() stats.Dist {
+	if f.Service != nil {
+		return f.Service
+	}
+	s := f.MeanService
+	if s <= 0 {
+		s = 1
+	}
+	return stats.Deterministic{Value: s}
+}
+
+// Generator produces one workload shape. Implementations must be
+// deterministic under seed: Generate(seed) twice yields identical
+// query slices.
+type Generator interface {
+	// Name identifies the generator in corpus tables and scorecards.
+	Name() string
+	// Frame returns the generated span and per-query scale.
+	Frame() Frame
+	// Generate draws the trace for the seed, sorted by arrival.
+	Generate(seed int64) []sim.Query
+}
+
+// Intensities is implemented by generators whose ground-truth arrival
+// intensity is closed-form (everything except the heavy-tailed renewal
+// process), e.g. for accuracy metrics against the truth.
+type Intensities interface {
+	// Intensity returns the exact λ(t) the generator samples from.
+	Intensity() nhpp.Intensity
+}
+
+// Trace materializes a generator into a replayable trace.Trace carrying
+// the frame's split and scale metadata.
+func Trace(g Generator, seed int64) *trace.Trace {
+	f := g.Frame()
+	return &trace.Trace{
+		Name:        g.Name(),
+		Queries:     g.Generate(seed),
+		Start:       f.Start,
+		End:         f.End,
+		TrainEnd:    f.TrainEnd,
+		MeanPending: f.MeanPending,
+		MeanService: f.MeanService,
+	}
+}
+
+// splitmix64 is the sub-seed derivation step: one application per part
+// index keeps composite parts on independent, reproducible streams
+// without any shared-state hand-off.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// subSeed derives the i-th child seed of seed.
+func subSeed(seed int64, i int) int64 {
+	return int64(splitmix64(uint64(seed) + uint64(i)*0x9e3779b97f4a7c15))
+}
+
+// fromIntensity draws an NHPP trace from λ(t) and attaches service
+// times, all from one seeded stream.
+func fromIntensity(f Frame, in nhpp.Intensity, seed int64) []sim.Query {
+	rng := rand.New(rand.NewSource(seed))
+	arrivals := nhpp.Simulate(rng, in, f.Start, f.End)
+	svc := f.service()
+	qs := make([]sim.Query, len(arrivals))
+	for i, a := range arrivals {
+		qs[i] = sim.Query{Arrival: a, Service: positive(svc.Sample(rng))}
+	}
+	return qs
+}
+
+// positive floors service draws at a microsecond; trace validation
+// rejects non-positive service times.
+func positive(v float64) float64 {
+	if v < 1e-6 {
+		return 1e-6
+	}
+	return v
+}
+
+// funcIntensity wraps a closed-form rate into the Intensity interface
+// with an integration grid sized for the corpus scales.
+func funcIntensity(f Frame, rate func(t float64) float64) nhpp.Intensity {
+	span := f.End - f.Start
+	step := span / 4096
+	if step > 60 {
+		step = 60
+	}
+	if step < 1 {
+		step = 1
+	}
+	return nhpp.Func{F: rate, Step: step, MaxHorizon: 2 * span}
+}
+
+// mergeQueries merges per-part query streams (each sorted) into one
+// sorted stream — the superposition of the part processes.
+func mergeQueries(parts [][]sim.Query) []sim.Query {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]sim.Query, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out
+}
+
+// clampRate floors an intensity at a small positive level: the log
+// intensity the trainer fits must stay finite, and a strictly positive
+// floor keeps simulated spans from going fully silent.
+func clampRate(v float64) float64 {
+	if v < 1e-9 || math.IsNaN(v) {
+		return 1e-9
+	}
+	return v
+}

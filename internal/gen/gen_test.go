@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+)
+
+// testFrame is a compact one-day frame shared by the unit tests.
+func testFrame() Frame {
+	return Frame{Start: 0, End: Day, TrainEnd: 18 * Hour, MeanPending: 13,
+		Service: stats.Exponential{Mean: 30}, MeanService: 30}
+}
+
+// corpus returns one generator of every family, small enough for unit
+// tests.
+func corpus() []Generator {
+	f := testFrame()
+	wf := Frame{Start: 0, End: 2 * Week, TrainEnd: 10 * Day, MeanPending: 13,
+		Service: stats.Exponential{Mean: 30}, MeanService: 30}
+	multi := MultiPeriodic{ID: "multi", Span: wf, Level: 0.05, Harmonics: []Harmonic{
+		{Period: Day, Amp: 0.6}, {Period: Week, Amp: 0.3},
+	}}
+	flash := FlashCrowd{ID: "flash", Span: f, Base: 0.05, SpikeAt: 12 * Hour,
+		Peak: 2, RampUp: 120, Decay: 1800}
+	heavy := HeavyTail{ID: "heavy", Span: f, MeanGap: 20, TailIndex: 1.5, ServiceTailIndex: 1.8}
+	regime := RegimeChange{ID: "regime", Span: f, Regimes: []Regime{
+		{Until: 12 * Hour, Level: 0.05}, {Level: 0.25},
+	}}
+	comp := Composite{ID: "comp", Span: f, Parts: []Generator{flash, heavy}}
+	return []Generator{multi, flash, heavy, regime, comp}
+}
+
+// TestDeterministicUnderSeed is the corpus-wide determinism regression:
+// the same seed must reproduce the identical trace, and a different
+// seed must not.
+func TestDeterministicUnderSeed(t *testing.T) {
+	for _, g := range corpus() {
+		a := g.Generate(42)
+		b := g.Generate(42)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed produced different traces", g.Name())
+		}
+		if len(a) == 0 {
+			t.Fatalf("%s: empty trace", g.Name())
+		}
+		c := g.Generate(43)
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical traces", g.Name())
+		}
+	}
+}
+
+// TestTraceInvariants checks every generated trace is replayable:
+// sorted arrivals inside the frame, positive service times, and a valid
+// train/test split via trace.Trace validation.
+func TestTraceInvariants(t *testing.T) {
+	for _, g := range corpus() {
+		tr := Trace(g, 7)
+		if err := tr.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name(), err)
+		}
+		if got, want := tr.Name, g.Name(); got != want {
+			t.Errorf("trace name %q, want %q", got, want)
+		}
+	}
+}
+
+// TestCompositeSuperposition: the composite stream is exactly the
+// merge of its parts generated on the derived sub-seeds.
+func TestCompositeSuperposition(t *testing.T) {
+	f := testFrame()
+	flash := FlashCrowd{ID: "flash", Span: f, Base: 0.05, SpikeAt: 12 * Hour,
+		Peak: 2, RampUp: 120, Decay: 1800}
+	heavy := HeavyTail{ID: "heavy", Span: f, MeanGap: 20, TailIndex: 1.5}
+	comp := Composite{ID: "comp", Span: f, Parts: []Generator{flash, heavy}}
+
+	const seed = 99
+	got := comp.Generate(seed)
+	want := len(flash.Generate(subSeed(seed, 0))) + len(heavy.Generate(subSeed(seed, 1)))
+	if len(got) != want {
+		t.Fatalf("composite has %d queries, parts sum to %d", len(got), want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Arrival < got[i-1].Arrival {
+			t.Fatalf("composite out of order at %d", i)
+		}
+	}
+}
+
+// TestCompositeIntensity: when every part has a ground truth the
+// composite's is their sum; a heavy-tailed part removes it.
+func TestCompositeIntensity(t *testing.T) {
+	f := testFrame()
+	flash := FlashCrowd{ID: "flash", Span: f, Base: 0.05, SpikeAt: 12 * Hour,
+		Peak: 2, RampUp: 120, Decay: 1800}
+	regime := RegimeChange{ID: "regime", Span: f, Regimes: []Regime{{Level: 0.1}}}
+	withTruth := Composite{ID: "c1", Span: f, Parts: []Generator{flash, regime}}
+	in := withTruth.Intensity()
+	if in == nil {
+		t.Fatal("composite of closed-form parts has no intensity")
+	}
+	at := 6 * Hour
+	want := flash.Rate(at) + regime.Rate(at)
+	if got := in.Rate(at); math.Abs(got-want) > 1e-12 {
+		t.Errorf("composite rate %g, want %g", got, want)
+	}
+	heavy := HeavyTail{ID: "heavy", Span: f, MeanGap: 20, TailIndex: 1.5}
+	noTruth := Composite{ID: "c2", Span: f, Parts: []Generator{flash, heavy}}
+	if noTruth.Intensity() != nil {
+		t.Error("composite with a renewal part should have no closed-form intensity")
+	}
+}
+
+// TestFrameValidate covers the frame sanity checks.
+func TestFrameValidate(t *testing.T) {
+	if err := testFrame().Validate(); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+	bad := []Frame{
+		{Start: 0, End: 0, TrainEnd: 0},
+		{Start: 0, End: 100, TrainEnd: 0},
+		{Start: 0, End: 100, TrainEnd: 200},
+		{Start: 0, End: 100, TrainEnd: 50, MeanPending: -1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad frame %d accepted", i)
+		}
+	}
+}
+
+// TestSubSeedIndependence: derived sub-seeds differ across indices and
+// parent seeds.
+func TestSubSeedIndependence(t *testing.T) {
+	seen := map[int64]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		for i := 0; i < 4; i++ {
+			s := subSeed(seed, i)
+			if seen[s] {
+				t.Fatalf("sub-seed collision at seed=%d i=%d", seed, i)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// arrivalsOf projects query arrival epochs.
+func arrivalsOf(qs []sim.Query) []float64 {
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = q.Arrival
+	}
+	return out
+}

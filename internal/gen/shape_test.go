@@ -1,0 +1,199 @@
+package gen
+
+// Statistical-shape tests: each generator family is pinned to the
+// property that defines it — recovered periods for the sinusoid mixes,
+// spike location and decay for flash crowds, the Hill tail index for
+// heavy-tailed bursts, and change-point location for regime shifts.
+// These hold for any seed; a fixed one keeps the suite deterministic.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"robustscaler/internal/periodicity"
+	"robustscaler/internal/stats"
+	"robustscaler/internal/timeseries"
+)
+
+// TestMultiPeriodicShape: the realized counts of a diurnal+weekly mix
+// track the closed-form intensity (high correlation) and carry a strong
+// daily autocorrelation.
+func TestMultiPeriodicShape(t *testing.T) {
+	wf := Frame{Start: 0, End: 4 * Week, TrainEnd: 3 * Week, MeanPending: 13, MeanService: 30}
+	g := MultiPeriodic{ID: "dw", Span: wf, Level: 0.05, Harmonics: []Harmonic{
+		{Period: Day, Amp: 0.6}, {Period: Week, Amp: 0.3},
+	}}
+	qs := g.Generate(1)
+	s := timeseries.FromArrivals(arrivalsOf(qs), wf.Start, wf.End, Hour)
+
+	truth := make([]float64, s.Len())
+	for i := range truth {
+		truth[i] = g.Rate(s.Start+(float64(i)+0.5)*s.Dt) * s.Dt
+	}
+	if c := correlation(s.Values, truth); c < 0.8 {
+		t.Errorf("counts/truth correlation %.3f < 0.8", c)
+	}
+
+	acf := periodicity.ACF(detrend(s.Values), 7*24+12)
+	if acf[24] < 0.3 {
+		t.Errorf("daily ACF %.3f < 0.3", acf[24])
+	}
+	// The day lag must be a genuine peak, not a slope of a trend: both
+	// half-day neighbors sit below it.
+	if acf[24] <= acf[12] || acf[24] <= acf[36] {
+		t.Errorf("day lag is not an ACF peak: acf[12]=%.3f acf[24]=%.3f acf[36]=%.3f",
+			acf[12], acf[24], acf[36])
+	}
+}
+
+// TestFlashCrowdShape: quiet baseline before the spike, the busiest
+// window right after onset, and decay back toward baseline.
+func TestFlashCrowdShape(t *testing.T) {
+	f := Frame{Start: 0, End: Day, TrainEnd: 18 * Hour, MeanPending: 13, MeanService: 30}
+	g := FlashCrowd{ID: "flash", Span: f, Base: 0.05, SpikeAt: 12 * Hour,
+		Peak: 3, RampUp: 120, Decay: 1800}
+	qs := g.Generate(2)
+	s := timeseries.FromArrivals(arrivalsOf(qs), f.Start, f.End, 300)
+
+	// Busiest 5-minute bin starts within [onset, onset+decay].
+	best, bestV := 0, -1.0
+	for i, v := range s.Values {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	peakAt := s.Start + float64(best)*s.Dt
+	if peakAt < g.SpikeAt-s.Dt || peakAt > g.SpikeAt+g.Decay {
+		t.Errorf("peak bin at %gs, want within [%g, %g]", peakAt, g.SpikeAt, g.SpikeAt+g.Decay)
+	}
+
+	// Pre-spike rate ≈ baseline.
+	pre := s.Slice(0, int(g.SpikeAt/s.Dt))
+	if qps := pre.MeanQPS(); math.Abs(qps-g.Base) > 0.6*g.Base {
+		t.Errorf("pre-spike QPS %.4f far from base %.4f", qps, g.Base)
+	}
+	// Five decay constants later the added rate is < 1% of the peak:
+	// the tail should be near baseline again.
+	tailStart := int((g.SpikeAt + g.RampUp + 5*g.Decay) / s.Dt)
+	tail := s.Slice(tailStart, s.Len())
+	if qps := tail.MeanQPS(); qps > 3*g.Base {
+		t.Errorf("post-decay QPS %.4f did not return toward base %.4f", qps, g.Base)
+	}
+}
+
+// TestHeavyTailShape: the Hill estimator over the largest inter-arrival
+// gaps recovers the configured tail index, and service times carry the
+// configured service tail.
+func TestHeavyTailShape(t *testing.T) {
+	f := Frame{Start: 0, End: 2 * Day, TrainEnd: Day, MeanPending: 13, MeanService: 30}
+	g := HeavyTail{ID: "heavy", Span: f, MeanGap: 10, TailIndex: 1.5, ServiceTailIndex: 1.8}
+	qs := g.Generate(3)
+	if len(qs) < 2000 {
+		t.Fatalf("only %d arrivals", len(qs))
+	}
+	gaps := make([]float64, 0, len(qs)-1)
+	for i := 1; i < len(qs); i++ {
+		gaps = append(gaps, qs[i].Arrival-qs[i-1].Arrival)
+	}
+	if got := hill(gaps, 500); math.Abs(got-g.TailIndex) > 0.35 {
+		t.Errorf("inter-arrival Hill index %.3f, want %.1f ± 0.35", got, g.TailIndex)
+	}
+	svcs := make([]float64, len(qs))
+	for i, q := range qs {
+		svcs[i] = q.Service
+	}
+	if got := hill(svcs, 500); math.Abs(got-g.ServiceTailIndex) > 0.4 {
+		t.Errorf("service Hill index %.3f, want %.1f ± 0.4", got, g.ServiceTailIndex)
+	}
+	// Pareto service draws sit above the scale parameter.
+	xm := stats.ParetoWithMean(f.MeanService, g.ServiceTailIndex).Xm
+	for _, v := range svcs {
+		if v < xm-1e-9 {
+			t.Fatalf("service %.3f below Pareto scale %.3f", v, xm)
+		}
+	}
+}
+
+// TestRegimeChangeShape: a CUSUM scan over binned counts localizes the
+// level shift at the configured change-point.
+func TestRegimeChangeShape(t *testing.T) {
+	f := Frame{Start: 0, End: Day, TrainEnd: 18 * Hour, MeanPending: 13, MeanService: 30}
+	g := RegimeChange{ID: "regime", Span: f, Regimes: []Regime{
+		{Until: 10 * Hour, Level: 0.05}, {Level: 0.3},
+	}}
+	qs := g.Generate(4)
+	s := timeseries.FromArrivals(arrivalsOf(qs), f.Start, f.End, 600)
+
+	cp := cusumChangePoint(s.Values)
+	at := s.Start + float64(cp)*s.Dt
+	want := g.ChangePoints()[0]
+	if math.Abs(at-want) > Hour {
+		t.Errorf("change point at %gs, want %g ± %g", at, want, Hour)
+	}
+
+	// Realized levels on both sides match the configuration.
+	preQPS := s.Slice(0, cp).MeanQPS()
+	postQPS := s.Slice(cp, s.Len()).MeanQPS()
+	if math.Abs(preQPS-0.05) > 0.03 || math.Abs(postQPS-0.3) > 0.1 {
+		t.Errorf("regime levels %.3f → %.3f, want 0.05 → 0.3", preQPS, postQPS)
+	}
+}
+
+// hill is the Hill tail-index estimator over the k largest order
+// statistics: α̂ = k / Σ_{i<k} ln(x_(n-i) / x_(n-k)).
+func hill(xs []float64, k int) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if k >= n {
+		k = n - 1
+	}
+	xk := sorted[n-1-k]
+	var s float64
+	for i := 0; i < k; i++ {
+		s += math.Log(sorted[n-1-i] / xk)
+	}
+	return float64(k) / s
+}
+
+// cusumChangePoint returns the index maximizing |Σ_{j<i}(x_j - mean)|,
+// the classic single change-point locator.
+func cusumChangePoint(xs []float64) int {
+	mean := stats.Mean(xs)
+	best, bestV, acc := 0, 0.0, 0.0
+	for i, v := range xs {
+		acc += v - mean
+		if a := math.Abs(acc); a > bestV {
+			best, bestV = i+1, a
+		}
+	}
+	return best
+}
+
+// correlation returns the Pearson correlation of two equal-length
+// series.
+func correlation(a, b []float64) float64 {
+	ma, mb := stats.Mean(a), stats.Mean(b)
+	var num, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		num += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return num / math.Sqrt(va*vb)
+}
+
+// detrend subtracts the mean.
+func detrend(xs []float64) []float64 {
+	m := stats.Mean(xs)
+	out := make([]float64, len(xs))
+	for i, v := range xs {
+		out[i] = v - m
+	}
+	return out
+}

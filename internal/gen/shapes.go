@@ -1,0 +1,267 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"robustscaler/internal/nhpp"
+	"robustscaler/internal/sim"
+	"robustscaler/internal/stats"
+)
+
+// Harmonic is one sinusoidal component of a multi-periodic intensity.
+type Harmonic struct {
+	// Period is the cycle length in seconds.
+	Period float64
+	// Amp is the relative amplitude: the component contributes
+	// Amp·sin(2πt/Period + Phase) to the level multiplier.
+	Amp float64
+	// Phase offsets the cycle, radians.
+	Phase float64
+}
+
+// MultiPeriodic is a sum-of-sinusoids intensity around a mean level —
+// the diurnal + weekly mix of real service traffic:
+//
+//	λ(t) = Level · max(ε, 1 + Σ_j Amp_j·sin(2πt/P_j + φ_j))
+//
+// The defining shape: the binned counts carry every component's period,
+// so periodicity detection must recover them.
+type MultiPeriodic struct {
+	ID        string
+	Span      Frame
+	Level     float64 // mean QPS
+	Harmonics []Harmonic
+}
+
+// Name implements Generator.
+func (g MultiPeriodic) Name() string { return g.ID }
+
+// Frame implements Generator.
+func (g MultiPeriodic) Frame() Frame { return g.Span }
+
+// Rate returns the closed-form intensity.
+func (g MultiPeriodic) Rate(t float64) float64 {
+	v := 1.0
+	for _, h := range g.Harmonics {
+		v += h.Amp * math.Sin(2*math.Pi*t/h.Period+h.Phase)
+	}
+	return clampRate(g.Level * v)
+}
+
+// Intensity implements Intensities.
+func (g MultiPeriodic) Intensity() nhpp.Intensity { return funcIntensity(g.Span, g.Rate) }
+
+// Generate implements Generator.
+func (g MultiPeriodic) Generate(seed int64) []sim.Query {
+	return fromIntensity(g.Span, g.Intensity(), seed)
+}
+
+// FlashCrowd is a low, flat baseline broken by one sudden spike — the
+// thundering-herd shape (a product launch, a cache stampede): the rate
+// ramps to Base+Peak over RampUp seconds at SpikeAt, then decays
+// exponentially with e-folding time Decay. The defining shape: a
+// change-point at SpikeAt, a maximum right after it, and a return to
+// baseline within a few Decay constants.
+type FlashCrowd struct {
+	ID      string
+	Span    Frame
+	Base    float64 // baseline QPS
+	SpikeAt float64 // onset, absolute seconds
+	Peak    float64 // added QPS at the top of the spike
+	RampUp  float64 // seconds from onset to peak (0 = instantaneous)
+	Decay   float64 // e-folding time of the decay, seconds
+}
+
+// Name implements Generator.
+func (g FlashCrowd) Name() string { return g.ID }
+
+// Frame implements Generator.
+func (g FlashCrowd) Frame() Frame { return g.Span }
+
+// Rate returns the closed-form intensity.
+func (g FlashCrowd) Rate(t float64) float64 {
+	v := g.Base
+	dt := t - g.SpikeAt
+	switch {
+	case dt < 0:
+	case dt < g.RampUp:
+		v += g.Peak * dt / g.RampUp
+	default:
+		v += g.Peak * math.Exp(-(dt-g.RampUp)/g.Decay)
+	}
+	return clampRate(v)
+}
+
+// Intensity implements Intensities.
+func (g FlashCrowd) Intensity() nhpp.Intensity { return funcIntensity(g.Span, g.Rate) }
+
+// Generate implements Generator.
+func (g FlashCrowd) Generate(seed int64) []sim.Query {
+	return fromIntensity(g.Span, g.Intensity(), seed)
+}
+
+// HeavyTail is a renewal process with Pareto(α) inter-arrival times and
+// Pareto service times — traffic that arrives in bursts separated by
+// long silences, the regime where Poisson assumptions and mean-based
+// pool sizing degrade. α ≤ 2 gives infinite inter-arrival variance;
+// the corpus uses α in (1, 2]. The defining shape: the Hill estimator
+// over the largest inter-arrival gaps recovers the tail index.
+type HeavyTail struct {
+	ID   string
+	Span Frame
+	// MeanGap is the mean inter-arrival time, seconds.
+	MeanGap float64
+	// TailIndex is the Pareto α of the inter-arrival law (> 1, so the
+	// mean exists and MeanGap is well-defined).
+	TailIndex float64
+	// ServiceTailIndex is the Pareto α of the service-time law; 0 uses
+	// the frame's Service distribution instead.
+	ServiceTailIndex float64
+}
+
+// Name implements Generator.
+func (g HeavyTail) Name() string { return g.ID }
+
+// Frame implements Generator.
+func (g HeavyTail) Frame() Frame { return g.Span }
+
+// Generate implements Generator.
+func (g HeavyTail) Generate(seed int64) []sim.Query {
+	if g.TailIndex <= 1 {
+		panic(fmt.Sprintf("gen: HeavyTail %q tail index %g must be > 1", g.ID, g.TailIndex))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	gap := stats.ParetoWithMean(g.MeanGap, g.TailIndex)
+	svc := g.Span.service()
+	if g.ServiceTailIndex > 1 {
+		svc = stats.ParetoWithMean(g.Span.MeanService, g.ServiceTailIndex)
+	}
+	var qs []sim.Query
+	// Start the renewal process one draw before the frame so the first
+	// arrival is not pinned to Start.
+	t := g.Span.Start + gap.Sample(rng)
+	for t < g.Span.End {
+		qs = append(qs, sim.Query{Arrival: t, Service: positive(svc.Sample(rng))})
+		t += gap.Sample(rng)
+	}
+	return qs
+}
+
+// Regime is one level stretch of a RegimeChange intensity.
+type Regime struct {
+	// Until is the absolute end of the regime, seconds; the last
+	// regime's Until is ignored (it runs to the frame end).
+	Until float64
+	// Level is the regime's mean QPS.
+	Level float64
+}
+
+// RegimeChange is a piecewise-level intensity with abrupt shifts — the
+// deployment-driven traffic migrations that must trip retraining: a
+// model fit on the old level is wrong within minutes of the shift. An
+// optional diurnal modulation rides on top so the shift is a level
+// change, not the only structure. The defining shape: a change-point
+// detector on the binned counts localizes each shift.
+type RegimeChange struct {
+	ID      string
+	Span    Frame
+	Regimes []Regime
+	// DiurnalAmp modulates every regime by 1+DiurnalAmp·sin(2πt/Day).
+	DiurnalAmp float64
+}
+
+// Name implements Generator.
+func (g RegimeChange) Name() string { return g.ID }
+
+// Frame implements Generator.
+func (g RegimeChange) Frame() Frame { return g.Span }
+
+// Rate returns the closed-form intensity.
+func (g RegimeChange) Rate(t float64) float64 {
+	level := 0.0
+	if n := len(g.Regimes); n > 0 {
+		level = g.Regimes[n-1].Level
+		for _, r := range g.Regimes[:n-1] {
+			if t < r.Until {
+				level = r.Level
+				break
+			}
+		}
+	}
+	v := level * (1 + g.DiurnalAmp*math.Sin(2*math.Pi*t/Day))
+	return clampRate(v)
+}
+
+// ChangePoints returns the regime boundaries, absolute seconds.
+func (g RegimeChange) ChangePoints() []float64 {
+	var out []float64
+	for _, r := range g.Regimes[:max(0, len(g.Regimes)-1)] {
+		out = append(out, r.Until)
+	}
+	return out
+}
+
+// Intensity implements Intensities.
+func (g RegimeChange) Intensity() nhpp.Intensity { return funcIntensity(g.Span, g.Rate) }
+
+// Generate implements Generator.
+func (g RegimeChange) Generate(seed int64) []sim.Query {
+	return fromIntensity(g.Span, g.Intensity(), seed)
+}
+
+// Composite superposes other generators: the merged stream of all
+// parts, each on an independent sub-seed derived from the composite's
+// seed. Superposed NHPPs are again an NHPP with summed intensity, so
+// when every part exposes a ground truth the composite does too.
+type Composite struct {
+	ID    string
+	Span  Frame
+	Parts []Generator
+}
+
+// Name implements Generator.
+func (g Composite) Name() string { return g.ID }
+
+// Frame implements Generator.
+func (g Composite) Frame() Frame { return g.Span }
+
+// Generate implements Generator: each part draws on subSeed(seed, i),
+// then the streams merge into one sorted superposition, clipped to the
+// composite frame.
+func (g Composite) Generate(seed int64) []sim.Query {
+	parts := make([][]sim.Query, len(g.Parts))
+	for i, p := range g.Parts {
+		parts[i] = p.Generate(subSeed(seed, i))
+	}
+	merged := mergeQueries(parts)
+	out := merged[:0]
+	for _, q := range merged {
+		if q.Arrival >= g.Span.Start && q.Arrival < g.Span.End {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// Intensity implements Intensities when every part does; it returns nil
+// otherwise (e.g. a heavy-tailed part has no closed-form λ).
+func (g Composite) Intensity() nhpp.Intensity {
+	rates := make([]func(float64) float64, 0, len(g.Parts))
+	for _, p := range g.Parts {
+		in, ok := p.(Intensities)
+		if !ok {
+			return nil
+		}
+		pin := in.Intensity()
+		rates = append(rates, pin.Rate)
+	}
+	return funcIntensity(g.Span, func(t float64) float64 {
+		var v float64
+		for _, r := range rates {
+			v += r(t)
+		}
+		return v
+	})
+}

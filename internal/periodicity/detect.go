@@ -28,6 +28,13 @@ type Options struct {
 	// WinsorK clips values beyond K robust standard deviations before
 	// detection; ≤0 disables clipping.
 	WinsorK float64
+	// CandidatePeriods restricts detection to these periods, expressed in
+	// original (pre-aggregation) bins, each matched with ±10% tolerance to
+	// absorb frequency quantization. Empty scans every period. With a
+	// restriction in place the harmonic-escalation step is skipped: the
+	// caller has declared the admissible period set, so the detector must
+	// not wander off to an unlisted multiple.
+	CandidatePeriods []int
 }
 
 // DefaultOptions returns the detector configuration used throughout the
@@ -103,6 +110,31 @@ func Detect(s *timeseries.Series, opt Options) (Result, bool) {
 		return Result{}, false
 	}
 
+	agg := opt.AggregateWindow
+	if agg < 1 {
+		agg = 1
+	}
+	restricted := len(opt.CandidatePeriods) > 0
+	admissible := func(lag int) bool {
+		if !restricted {
+			return true
+		}
+		orig := lag * agg
+		for _, c := range opt.CandidatePeriods {
+			if c <= 0 {
+				continue
+			}
+			tol := 0.1 * float64(c)
+			if tol < float64(agg) {
+				tol = float64(agg)
+			}
+			if math.Abs(float64(orig-c)) <= tol {
+				return true
+			}
+		}
+		return false
+	}
+
 	// Candidate frequencies sorted by power, strongest first.
 	type cand struct {
 		k     int
@@ -115,6 +147,9 @@ func Detect(s *timeseries.Series, opt Options) (Result, bool) {
 		}
 		period := int(math.Round(float64(padded) / float64(k)))
 		if period < minPeriod || period > maxPeriod {
+			continue
+		}
+		if !admissible(period) {
 			continue
 		}
 		cands = append(cands, cand{k, power[k]})
@@ -131,10 +166,14 @@ func Detect(s *timeseries.Series, opt Options) (Result, bool) {
 		if !ok || acf[lag] < opt.ACFThreshold {
 			continue
 		}
-		lag = escalateHarmonic(acf, lag, maxPeriod, n)
-		agg := opt.AggregateWindow
-		if agg < 1 {
-			agg = 1
+		if restricted {
+			// ACF refinement can drift off the declared period set; if it
+			// did, this candidate frequency is not usable.
+			if !admissible(lag) {
+				continue
+			}
+		} else {
+			lag = escalateHarmonic(acf, lag, maxPeriod, n)
 		}
 		return Result{Period: lag * agg, Power: c.power, ACF: acf[lag]}, true
 	}

@@ -1,0 +1,114 @@
+package periodicity
+
+import (
+	"math"
+	"testing"
+
+	"robustscaler/internal/gen"
+	"robustscaler/internal/timeseries"
+)
+
+// Property tests against the scenario workload generators: the detector
+// must recover the periods the generator put in, and must not invent
+// one the generator left out. These pin the detector and the generator
+// family to each other — if either drifts, the shapes stop agreeing.
+
+// binned draws a generated trace and bins its arrivals.
+func binned(t *testing.T, g gen.Generator, seed int64, dt float64) *timeseries.Series {
+	t.Helper()
+	f := g.Frame()
+	qs := g.Generate(seed)
+	if len(qs) == 0 {
+		t.Fatal("generator produced no queries")
+	}
+	arr := make([]float64, len(qs))
+	for i, q := range qs {
+		arr[i] = q.Arrival
+	}
+	return timeseries.FromArrivals(arr, f.Start, f.End, dt)
+}
+
+func dwFrame() gen.Frame {
+	return gen.Frame{Start: 0, End: 4 * gen.Week, TrainEnd: 3 * gen.Week,
+		MeanPending: 13, MeanService: 30}
+}
+
+// TestDetectRecoversDiurnalAndWeekly: a diurnal+weekly sinusoid mix
+// must yield both generated periods — the unrestricted scan finds one
+// of them, and restricting the candidate list to either recovers that
+// one specifically.
+func TestDetectRecoversDiurnalAndWeekly(t *testing.T) {
+	g := gen.MultiPeriodic{ID: "prop_dw", Span: dwFrame(), Level: 0.05,
+		Harmonics: []gen.Harmonic{{Period: gen.Day, Amp: 0.6}, {Period: gen.Week, Amp: 0.3}}}
+	const dt = 600.0
+	s := binned(t, g, 11, dt)
+
+	opt := DefaultOptions()
+	opt.AggregateWindow = 6 // 1 h samples
+	opt.MinPeriod = 4
+
+	dayBins := int(gen.Day / dt)   // 144
+	weekBins := int(gen.Week / dt) // 1008
+
+	res, ok := Detect(s, opt)
+	if !ok {
+		t.Fatal("no period detected in a diurnal+weekly mix")
+	}
+	gotSec := float64(res.Period) * dt
+	if math.Abs(gotSec-gen.Day) > 0.1*gen.Day && math.Abs(gotSec-gen.Week) > 0.1*gen.Week {
+		t.Fatalf("unrestricted detection found %g s, want ≈ day or week", gotSec)
+	}
+
+	for _, tc := range []struct {
+		name   string
+		cands  []int
+		period float64
+	}{
+		{"day", []int{dayBins}, gen.Day},
+		{"week", []int{weekBins}, gen.Week},
+	} {
+		opt := opt
+		opt.CandidatePeriods = tc.cands
+		res, ok := Detect(s, opt)
+		if !ok {
+			t.Fatalf("%s: restricted detection found nothing", tc.name)
+		}
+		if got := float64(res.Period) * dt; math.Abs(got-tc.period) > 0.1*tc.period {
+			t.Fatalf("%s: detected %g s, want ≈ %g", tc.name, got, tc.period)
+		}
+	}
+}
+
+// TestDetectRejectsGeneratedNoise: aperiodic generator shapes — a flat
+// Poisson stream and heavy-tailed bursts — must not produce a spurious
+// period, restricted or not.
+func TestDetectRejectsGeneratedNoise(t *testing.T) {
+	flat := gen.MultiPeriodic{ID: "prop_flat", Span: dwFrame(), Level: 0.05}
+	bursty := gen.HeavyTail{ID: "prop_bursty",
+		Span:    gen.Frame{Start: 0, End: 2 * gen.Day, TrainEnd: gen.Day, MeanPending: 13, MeanService: 30},
+		MeanGap: 20, TailIndex: 1.5}
+
+	opt := DefaultOptions()
+	opt.AggregateWindow = 6
+	opt.MinPeriod = 4
+
+	for _, tc := range []struct {
+		name string
+		g    gen.Generator
+		dt   float64
+	}{
+		{"flat poisson", flat, 600},
+		{"heavy tail", bursty, 60},
+	} {
+		s := binned(t, tc.g, 13, tc.dt)
+		if res, ok := Detect(s, opt); ok {
+			t.Fatalf("%s: spurious period %d bins (power %g, acf %g)", tc.name, res.Period, res.Power, res.ACF)
+		}
+		// A candidate restriction must not conjure the period either.
+		ropt := opt
+		ropt.CandidatePeriods = []int{int(gen.Day / tc.dt)}
+		if res, ok := Detect(s, ropt); ok {
+			t.Fatalf("%s: restriction invented period %d bins", tc.name, res.Period)
+		}
+	}
+}

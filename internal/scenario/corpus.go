@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"robustscaler/internal/gen"
+	"robustscaler/internal/stats"
+)
+
+// frame builds the shared corpus frame: exponential 30 s service times
+// and the paper's 13 s pod startup.
+func frame(end, trainEnd float64) gen.Frame {
+	return gen.Frame{
+		Start:       0,
+		End:         end,
+		TrainEnd:    trainEnd,
+		MeanPending: 13,
+		Service:     stats.Exponential{Mean: 30},
+		MeanService: 30,
+	}
+}
+
+// Corpus returns the committed scenario corpus: one entry per generator
+// family plus a composition, each with the envelope its SCENARIOS.json
+// scores are gated on. Envelope bounds are calibrated from full-corpus
+// runs with margin; they must hold in quick mode too (quick only
+// truncates the replayed test span).
+func Corpus() []Scenario {
+	dw := frame(4*gen.Week, 3*gen.Week)
+	day := frame(gen.Day, 18*gen.Hour)
+	twoDay := frame(2*gen.Day, gen.Day)
+	twoWeek := frame(2*gen.Week, 11*gen.Day)
+
+	return []Scenario{
+		{
+			// Diurnal + weekly sinusoid mix: the bread-and-butter shape the
+			// NHPP model must nail — period recovered, tight forecast, and
+			// the robust policy at or above the baselines on QoS per cost.
+			Gen: gen.MultiPeriodic{ID: "diurnal_weekly", Span: dw, Level: 0.05,
+				Harmonics: []gen.Harmonic{{Period: gen.Day, Amp: 0.6}, {Period: gen.Week, Amp: 0.3}}},
+			SeedOffset:      101,
+			AggregateWindow: 60, // hourly aggregation before detection
+			MinPeriod:       12,
+			BPSize:          2,
+			AdapFactor:      40,
+			QuickTestSpan:   gen.Day,
+			Envelope: Envelope{
+				MaxWAPE:          0.40,
+				MaxPinball90:     0.60,
+				MinPeriodSeconds: 0.9 * gen.Day,
+				MaxPeriodSeconds: 1.1 * gen.Week,
+				MinHitRate:       0.80,
+				MaxRelativeCost:  2.0,
+				MinHitVsAdapBP:   -0.05,
+				MaxCostVsAdapBP:  1.15,
+			},
+		},
+		{
+			// Flash crowd: the spike hits inside the test window, untrained.
+			// No forecast can see it coming — the envelope pins how the
+			// policies degrade, not prophecy: the robust policy must stay
+			// within slack of AdapBP (both react late) at bounded cost.
+			Gen: gen.FlashCrowd{ID: "flash_crowd", Span: day, Base: 0.05,
+				SpikeAt: 20 * gen.Hour, Peak: 1.0, RampUp: 120, Decay: 1800},
+			SeedOffset:      102,
+			AggregateWindow: 10,
+			MinPeriod:       3,
+			BPSize:          2,
+			AdapFactor:      120,
+			QuickTestSpan:   3 * gen.Hour,
+			Envelope: Envelope{
+				MaxWAPE:         1.2,
+				MinHitRate:      0.12,
+				MaxRelativeCost: 2.0,
+			},
+		},
+		{
+			// Heavy-tailed bursts: Pareto inter-arrivals and service times,
+			// the regime where Poisson math degrades. Only level-accuracy
+			// and bounded-degradation claims are enforceable.
+			Gen: gen.HeavyTail{ID: "heavy_tail", Span: twoDay, MeanGap: 20,
+				TailIndex: 1.5, ServiceTailIndex: 1.8},
+			SeedOffset:      103,
+			AggregateWindow: 10,
+			MinPeriod:       3,
+			BPSize:          3,
+			AdapFactor:      120,
+			QuickTestSpan:   4 * gen.Hour,
+			Envelope: Envelope{
+				MaxWAPE:         1.2,
+				MinHitRate:      0.85,
+				MaxRelativeCost: 2.2,
+				MinHitVsAdapBP:  -0.03,
+				MaxCostVsAdapBP: 0.80,
+			},
+		},
+		{
+			// Regime change: the level shifts 6× mid-training. The two-phase
+			// loop trains on the pre-change prefix, must be marked stale by
+			// the post-change ingest, and the tripped refit must shrink the
+			// forecast error by the envelope's gain factor.
+			Gen: gen.RegimeChange{ID: "regime_change", Span: day,
+				Regimes:    []gen.Regime{{Until: 12 * gen.Hour, Level: 0.05}, {Level: 0.3}},
+				DiurnalAmp: 0.2},
+			SeedOffset:      104,
+			AggregateWindow: 10,
+			MinPeriod:       3,
+			BPSize:          5,
+			AdapFactor:      30,
+			RetrainAt:       12 * gen.Hour,
+			QuickTestSpan:   3 * gen.Hour,
+			Envelope: Envelope{
+				MaxWAPE:         0.50,
+				MinRetrainGain:  2.0,
+				MinHitRate:      0.80,
+				MaxRelativeCost: 2.0,
+				MinHitVsAdapBP:  -0.13,
+				MaxCostVsAdapBP: 1.00,
+			},
+		},
+		{
+			// Composite: diurnal base + heavy-tailed background + a flash
+			// crowd in the test window — the everything-at-once stress. The
+			// diurnal mass dominates, so forecast and QoS envelopes hold,
+			// looser than the clean diurnal scenario.
+			Gen: gen.Composite{ID: "composite", Span: twoWeek, Parts: []gen.Generator{
+				gen.MultiPeriodic{ID: "composite/diurnal", Span: twoWeek, Level: 0.04,
+					Harmonics: []gen.Harmonic{{Period: gen.Day, Amp: 0.5}}},
+				gen.HeavyTail{ID: "composite/heavy", Span: twoWeek, MeanGap: 120, TailIndex: 1.6},
+				gen.FlashCrowd{ID: "composite/flash", Span: twoWeek, Base: 0.01,
+					SpikeAt: 11.5 * gen.Day, Peak: 0.8, RampUp: 120, Decay: 1800},
+			}},
+			SeedOffset:      105,
+			AggregateWindow: 60,
+			MinPeriod:       12,
+			BPSize:          3,
+			AdapFactor:      120,
+			QuickTestSpan:   gen.Day,
+			Envelope: Envelope{
+				MaxWAPE:          0.80,
+				MinPeriodSeconds: 0.9 * gen.Day,
+				MaxPeriodSeconds: 1.1 * gen.Day,
+				MinHitRate:       0.65,
+				MaxRelativeCost:  2.2,
+				MaxCostVsAdapBP:  0.80,
+			},
+		},
+	}
+}

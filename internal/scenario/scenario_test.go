@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"robustscaler/internal/gen"
+	"robustscaler/internal/stats"
+)
+
+// smallScenario is a fast corpus entry for unit tests: one hourly
+// sinusoid over 8 hours, trained on 6. It runs the full closed loop
+// (ingest → train → plan → replay ×3 policies) in about a second.
+func smallScenario() Scenario {
+	f := gen.Frame{
+		Start:       0,
+		End:         8 * gen.Hour,
+		TrainEnd:    6 * gen.Hour,
+		MeanPending: 13,
+		Service:     stats.Exponential{Mean: 30},
+		MeanService: 30,
+	}
+	return Scenario{
+		Gen: gen.MultiPeriodic{ID: "test_hourly", Span: f, Level: 0.1,
+			Harmonics: []gen.Harmonic{{Period: gen.Hour, Amp: 0.5}}},
+		SeedOffset:      7,
+		AggregateWindow: 1,
+		MinPeriod:       3,
+		BPSize:          2,
+		AdapFactor:      60,
+		QuickTestSpan:   gen.Hour,
+		Envelope: Envelope{
+			MaxWAPE:         1.5,
+			MinHitRate:      0.3,
+			MaxRelativeCost: 5,
+		},
+	}
+}
+
+func TestRunSmallScenario(t *testing.T) {
+	s, err := Run(smallScenario(), 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test_hourly" {
+		t.Errorf("name %q", s.Name)
+	}
+	if s.TrainQueries == 0 || s.TestQueries == 0 {
+		t.Fatalf("degenerate split: %d train, %d test", s.TrainQueries, s.TestQueries)
+	}
+	if s.TestSpanSeconds != 2*gen.Hour {
+		t.Errorf("full test span %g, want %g", s.TestSpanSeconds, 2*gen.Hour)
+	}
+	if s.Forecast == nil || s.Forecast.Bins == 0 {
+		t.Fatal("no forecast score")
+	}
+	if s.Robust.HitRate < 0 || s.Robust.HitRate > 1 {
+		t.Errorf("hit rate %g out of range", s.Robust.HitRate)
+	}
+	if s.Robust.RelativeCost < 1 {
+		t.Errorf("relative cost %g below the clairvoyant floor", s.Robust.RelativeCost)
+	}
+	// The envelope declares three bounds, so three checks must appear.
+	if len(s.Checks) != 3 {
+		t.Errorf("got %d checks, want 3: %+v", len(s.Checks), s.Checks)
+	}
+	if !s.OK {
+		t.Errorf("generous envelope missed: %+v", s.Checks)
+	}
+}
+
+func TestRunQuickTruncatesTestSpan(t *testing.T) {
+	s, err := Run(smallScenario(), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TestSpanSeconds != gen.Hour {
+		t.Errorf("quick test span %g, want %g", s.TestSpanSeconds, gen.Hour)
+	}
+}
+
+// TestRunCorpusDeterministic is the scorecard regression: two runs of
+// the same corpus and seed must marshal byte-identically — no wall
+// clock, no global randomness, no map iteration order anywhere in the
+// loop.
+func TestRunCorpusDeterministic(t *testing.T) {
+	corpus := []Scenario{smallScenario()}
+	marshal := func() []byte {
+		rep, err := RunCorpus(corpus, 42, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	a, b := marshal(), marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("reruns differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestRunCorpusSeedMatters(t *testing.T) {
+	corpus := []Scenario{smallScenario()}
+	a, err := RunCorpus(corpus, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCorpus(corpus, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scenarios[0].TrainQueries == b.Scenarios[0].TrainQueries &&
+		a.Scenarios[0].Robust == b.Scenarios[0].Robust {
+		t.Error("different seeds produced identical scores")
+	}
+}
+
+func TestEnvelopeMissFailsScenario(t *testing.T) {
+	sc := smallScenario()
+	sc.Envelope = Envelope{MinHitRate: 1.1} // unreachable
+	s, err := Run(sc, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.OK {
+		t.Error("impossible envelope reported ok")
+	}
+	rep, err := RunCorpus([]Scenario{sc}, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EnvelopesOK {
+		t.Error("report EnvelopesOK despite a missed scenario")
+	}
+}
+
+// TestCorpusWellFormed pins the committed corpus's static shape without
+// running it: unique names, valid frames, and a non-trivial envelope on
+// every entry.
+func TestCorpusWellFormed(t *testing.T) {
+	corpus := Corpus()
+	if len(corpus) < 5 {
+		t.Fatalf("corpus has %d scenarios, want >= 5", len(corpus))
+	}
+	seen := map[string]bool{}
+	for _, sc := range corpus {
+		name := sc.Gen.Name()
+		if name == "" {
+			t.Fatal("scenario with empty name")
+		}
+		if seen[name] {
+			t.Fatalf("duplicate scenario name %q", name)
+		}
+		seen[name] = true
+		if err := sc.Gen.Frame().Validate(); err != nil {
+			t.Errorf("%s: invalid frame: %v", name, err)
+		}
+		if sc.Envelope == (Envelope{}) {
+			t.Errorf("%s: empty envelope asserts nothing", name)
+		}
+		if sc.Envelope.MinHitRate <= 0 || sc.Envelope.MaxRelativeCost <= 0 {
+			t.Errorf("%s: envelope must bound hit rate and cost", name)
+		}
+	}
+}

@@ -52,9 +52,11 @@ type configUpdate struct {
 // can reset one knob to the fleet default (0) without touching the
 // others.
 type trainUpdate struct {
-	ADMMMaxIter      *int     `json:"admm_max_iter"`
-	ADMMTol          *float64 `json:"admm_tol"`
-	DisableWarmStart *bool    `json:"disable_warm_start"`
+	ADMMMaxIter        *int       `json:"admm_max_iter"`
+	ADMMTol            *float64   `json:"admm_tol"`
+	DisableWarmStart   *bool      `json:"disable_warm_start"`
+	DisablePeriodicity *bool      `json:"disable_periodicity"`
+	CandidatePeriods   *[]float64 `json:"candidate_periods"`
 }
 
 func (s *Server) handleConfigGet(w http.ResponseWriter, _ *http.Request, e *engine.Engine) {
@@ -112,6 +114,18 @@ func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engi
 		}
 		if u.Train.DisableWarmStart != nil {
 			merged.Train.DisableWarmStart = *u.Train.DisableWarmStart
+		}
+		if u.Train.DisablePeriodicity != nil {
+			merged.Train.DisablePeriodicity = *u.Train.DisablePeriodicity
+		}
+		if u.Train.CandidatePeriods != nil {
+			// Copy, and keep an explicit [] as nil: "candidate_periods": []
+			// resets the knob to the unrestricted default.
+			if len(*u.Train.CandidatePeriods) == 0 {
+				merged.Train.CandidatePeriods = nil
+			} else {
+				merged.Train.CandidatePeriods = append([]float64(nil), (*u.Train.CandidatePeriods)...)
+			}
 		}
 	}
 	applied, err := e.SetEngineConfig(merged)

@@ -115,6 +115,9 @@ func TestConfigAPIValidation(t *testing.T) {
 		{"unknown train knob", `{"train": {"iters": 5}}`},
 		{"negative admm_max_iter", `{"train": {"admm_max_iter": -1}}`},
 		{"admm_tol out of range", `{"train": {"admm_tol": 1.5}}`},
+		{"candidate period below 2*dt", `{"train": {"candidate_periods": [30]}}`},
+		{"negative candidate period", `{"train": {"candidate_periods": [-3600]}}`},
+		{"non-numeric candidate period", `{"train": {"candidate_periods": ["daily"]}}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -129,6 +132,59 @@ func TestConfigAPIValidation(t *testing.T) {
 	got := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/svc/config"))
 	if got["version"] != float64(1) {
 		t.Fatalf("version after rejected updates = %v, want 1", got["version"])
+	}
+}
+
+// TestConfigPeriodicityKnobs drives the periodicity knobs through the
+// merge plane: set, read back, and reset with an explicit empty list.
+func TestConfigPeriodicityKnobs(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	postJSON(t, ts.URL+"/v1/workloads/svc/arrivals", map[string]any{"timestamps": []float64{1, 2, 3}}).Body.Close()
+
+	trainOf := func(m map[string]any) map[string]any {
+		t.Helper()
+		tr, ok := m["train"].(map[string]any)
+		if !ok {
+			t.Fatalf("config has no train block: %v", m)
+		}
+		return tr
+	}
+
+	r := putJSON(t, ts.URL+"/v1/workloads/svc/config",
+		`{"train": {"candidate_periods": [86400, 604800], "disable_periodicity": false}}`)
+	got := decode[map[string]any](t, r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("PUT periodicity knobs: %d (%v)", r.StatusCode, got)
+	}
+	tr := trainOf(got)
+	cp, ok := tr["candidate_periods"].([]any)
+	if !ok || len(cp) != 2 || cp[0] != float64(86400) || cp[1] != float64(604800) {
+		t.Fatalf("candidate_periods after PUT = %v", tr["candidate_periods"])
+	}
+
+	// A partial train PUT must keep the untouched knob.
+	r = putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"train": {"disable_periodicity": true}}`)
+	got = decode[map[string]any](t, r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("PUT disable_periodicity: %d (%v)", r.StatusCode, got)
+	}
+	tr = trainOf(got)
+	if tr["disable_periodicity"] != true {
+		t.Fatalf("disable_periodicity = %v, want true", tr["disable_periodicity"])
+	}
+	if cp, _ := tr["candidate_periods"].([]any); len(cp) != 2 {
+		t.Fatalf("partial PUT dropped candidate_periods: %v", tr["candidate_periods"])
+	}
+
+	// An explicit empty list resets the knob to the unrestricted default
+	// (and the field disappears from the rendered config).
+	r = putJSON(t, ts.URL+"/v1/workloads/svc/config", `{"train": {"candidate_periods": []}}`)
+	got = decode[map[string]any](t, r)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("PUT reset: %d (%v)", r.StatusCode, got)
+	}
+	if v, present := trainOf(got)["candidate_periods"]; present {
+		t.Fatalf("reset left candidate_periods = %v", v)
 	}
 }
 

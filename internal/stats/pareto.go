@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Pareto is the Pareto (type I) distribution with scale Xm > 0 and tail
+// index Alpha > 0: P(X > x) = (Xm/x)^Alpha for x ≥ Xm. It models the
+// heavy-tailed service and inter-arrival times of bursty workloads —
+// small Alpha means heavier tails (Alpha ≤ 1 has infinite mean,
+// Alpha ≤ 2 infinite variance), the regime where mean-based forecasting
+// and pooling heuristics degrade.
+type Pareto struct {
+	Xm    float64
+	Alpha float64
+}
+
+// ParetoWithMean returns the Pareto distribution with tail index alpha
+// (> 1) whose mean is the given value: Xm = mean·(alpha−1)/alpha.
+func ParetoWithMean(mean, alpha float64) Pareto {
+	if alpha <= 1 {
+		panic(fmt.Sprintf("stats: ParetoWithMean needs alpha > 1, got %g", alpha))
+	}
+	if mean <= 0 {
+		panic(fmt.Sprintf("stats: ParetoWithMean needs mean > 0, got %g", mean))
+	}
+	return Pareto{Xm: mean * (alpha - 1) / alpha, Alpha: alpha}
+}
+
+// Mean returns α·Xm/(α−1) for α > 1, +Inf otherwise.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// CDF returns P(X ≤ x).
+func (p Pareto) CDF(x float64) float64 {
+	if x < p.Xm {
+		return 0
+	}
+	return 1 - math.Pow(p.Xm/x, p.Alpha)
+}
+
+// Quantile returns the q-quantile Xm·(1−q)^(−1/α).
+func (p Pareto) Quantile(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: Pareto.Quantile q=%g outside [0,1]", q))
+	}
+	if q == 1 {
+		return math.Inf(1)
+	}
+	return p.Xm * math.Pow(1-q, -1/p.Alpha)
+}
+
+// Sample draws one variate by inversion.
+func (p Pareto) Sample(rng *rand.Rand) float64 {
+	// 1−Float64() is in (0, 1]: inversion never divides by zero.
+	return p.Xm * math.Pow(1-rng.Float64(), -1/p.Alpha)
+}
+
+var _ Dist = Pareto{}

@@ -1,0 +1,50 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParetoMoments(t *testing.T) {
+	p := ParetoWithMean(10, 2.5)
+	if got := p.Mean(); math.Abs(got-10) > 1e-12 {
+		t.Fatalf("ParetoWithMean mean %g, want 10", got)
+	}
+	if got := (Pareto{Xm: 1, Alpha: 0.9}).Mean(); !math.IsInf(got, 1) {
+		t.Fatalf("alpha<=1 mean %g, want +Inf", got)
+	}
+}
+
+func TestParetoQuantileCDFRoundTrip(t *testing.T) {
+	p := Pareto{Xm: 3, Alpha: 1.7}
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.999} {
+		x := p.Quantile(q)
+		if got := p.CDF(x); math.Abs(got-q) > 1e-9 {
+			t.Errorf("CDF(Quantile(%g)) = %g", q, got)
+		}
+	}
+	if p.CDF(p.Xm-1e-9) != 0 {
+		t.Error("CDF below Xm must be 0")
+	}
+	if !math.IsInf(p.Quantile(1), 1) {
+		t.Error("Quantile(1) must be +Inf")
+	}
+}
+
+func TestParetoSample(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := ParetoWithMean(5, 3) // finite variance: the sample mean converges
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := p.Sample(rng)
+		if v < p.Xm {
+			t.Fatalf("sample %g below scale %g", v, p.Xm)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.25 {
+		t.Errorf("sample mean %g, want ≈ 5", mean)
+	}
+}
