@@ -10,6 +10,9 @@
 //   - ingest/*: full HTTP POST /v1/workloads/{id}/arrivals requests
 //     against an in-process handler, per format and per gzip variant,
 //     each iteration landing a fresh workload.
+//   - ingest/engine/*: the engine-level batch append alone — without a
+//     write-ahead log, with one left to the OS page cache, and with an
+//     fsync per append — pricing what durability costs on the hot path.
 //   - fit/* and refit/*: the training hot path — a cold ADMM fit of a
 //     sliding window vs the same fit warm-started from the previous
 //     window's solution, and a full background-sweep refit of a small
@@ -55,6 +58,7 @@ import (
 	"robustscaler/internal/engine"
 	"robustscaler/internal/metrics"
 	"robustscaler/internal/server"
+	"robustscaler/internal/wal"
 )
 
 // result is one benchmark's record in the output file.
@@ -138,6 +142,7 @@ func main() {
 	for _, n := range scales {
 		benchIngest(rep, n, tl)
 	}
+	benchWALIngest(rep)
 	benchFit(rep)
 	benchPlanForecast(rep, tl)
 
@@ -341,6 +346,70 @@ func benchIngest(rep *report, n int, tl *tally) {
 			die("ingest counter for format %q missing from the registry", format)
 		}
 		tl.ingestScraped[format] += v
+	}
+}
+
+// benchWALIngest prices durability on the ingest hot path, at the
+// engine layer so wire decoding doesn't dilute the number: the same
+// sorted batch append with no WAL at all, with a WAL whose flushing is
+// left to the OS page cache (fsync off), and with an fsync per append.
+// The derived wal_ingest_retained_throughput_x ratio — wal-off ns/op
+// over wal-fsync-off ns/op — is the fraction of raw ingest throughput
+// the logged path retains, and rides the CI regression gate like the
+// other derived ratios.
+func benchWALIngest(rep *report) {
+	const batch = 256
+	variants := []struct {
+		name    string
+		policy  wal.SyncPolicy
+		withWAL bool
+	}{
+		{"wal-off", 0, false},
+		{"wal-fsync-off", wal.SyncOff, true},
+		{"wal-fsync-always", wal.SyncAlways, true},
+	}
+	for _, v := range variants {
+		cfg := benchConfig()
+		// A bounded window keeps resident history (and trim cost) flat
+		// while the timestamps below run past it.
+		cfg.HistoryWindow = 600
+		clock := 0.0
+		cfg.Now = func() float64 { return clock }
+		reg, err := engine.NewRegistry(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v.withWAL {
+			dir, err := os.MkdirTemp("", "bench-wal-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			mgr, err := wal.Open(wal.Options{Dir: dir, Policy: v.policy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer mgr.Close()
+			if err := reg.AttachWAL(mgr, dir); err != nil {
+				log.Fatal(err)
+			}
+		}
+		e, err := reg.GetOrCreate("bench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts := make([]float64, batch)
+		run(rep, "ingest/engine/"+v.name, batch, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for j := range ts {
+					clock += 0.004
+					ts[j] = clock
+				}
+				if _, err := e.Ingest(ts); err != nil {
+					die("engine ingest (%s): %v", v.name, err)
+				}
+			}
+		})
 	}
 }
 
@@ -707,6 +776,14 @@ func deriveRatios(rep *report, scales []int) {
 	ratio("plan_rt_engine_cache_hit_speedup_x", "plan/rt/engine-hit", "plan/rt/cold", ns)
 	ratio("forecast_cache_hit_speedup_x", "forecast/hit", "forecast/cold", ns)
 	ratio("warm_start_speedup_x", "fit/warm-start", "fit/cold", ns)
+	// Durability cost, as the retained-throughput fraction of the
+	// unlogged append (≤ 1 by construction; a drop means the WAL path
+	// got slower). Only the fsync-off variant is derived — it measures
+	// the logging code itself (framing, CRC, the write syscall), which
+	// tracks CPU speed like every other ratio here. An fsync-always
+	// ratio would gate on raw fsync latency, which varies by orders of
+	// magnitude across runners; its absolute ns/op stays in results.
+	ratio("wal_ingest_retained_throughput_x", "ingest/engine/wal-fsync-off", "ingest/engine/wal-off", ns)
 }
 
 // hardFloors are the tentpole guarantees on the headline ratios. Unlike

@@ -22,12 +22,12 @@
 //	PUT    /v1/workloads/{id}/config                               update per-workload config
 //	GET    /v1/workloads                                           list workloads
 //	POST   /v1/admin/snapshot                                      persist all workloads now
+//	GET    /v1/admin/generations                                   list retained snapshot generations
+//	POST   /v1/admin/restore-generation {"generation": N}          point-in-time restore
 //	GET    /metrics                                                Prometheus exposition (whole fleet)
 //	GET    /healthz                                                health; 503 "degraded" while
-//	                                                               snapshots fail consecutively
-//
-// The legacy single-workload routes (/v1/arrivals, /v1/train, /v1/plan,
-// /v1/forecast, /v1/status) serve the "default" workload.
+//	                                                               snapshots fail consecutively, 200
+//	                                                               "degraded" after a lossy boot
 //
 // The engine flags below (-dt, -pending, -history, -mc) are fleet
 // defaults: they seed the configuration each new workload starts from,
@@ -42,10 +42,24 @@
 // -snapshot-every seconds and on POST /v1/admin/snapshot) and restored
 // on boot before serving, so a deploy causes no cold-start forecasting
 // gap. Snapshots are incremental — a tick rewrites only workloads that
-// changed since the last one. A data dir holding a pre-v2 monolithic
-// snapshot is migrated in place on the first snapshot tick. A corrupt
-// snapshot fails the boot loudly rather than silently starting cold;
-// delete the data dir's contents to boot cold on purpose.
+// changed since the last one, and the last -snapshot-retain committed
+// generations stay on disk for point-in-time restore (over HTTP, or
+// -restore-generation at boot). A data dir holding a pre-v2 monolithic
+// snapshot is migrated in place on the first snapshot tick. A workload
+// file that fails its checksum or won't parse is quarantined (moved
+// under quarantine/, reported via /healthz) and the rest of the fleet
+// boots; a corrupt manifest still fails the boot loudly.
+//
+// Between snapshots, every acknowledged ingest batch is appended to a
+// per-workload write-ahead log under <data-dir>/wal before the HTTP
+// 200 goes out, so a crash — even kill -9 — loses no acknowledged
+// arrivals: boot replays each workload's log on top of its snapshot,
+// truncating at the first torn or corrupt record. -wal-fsync picks the
+// durability/latency trade-off: "always" fsyncs every append (no
+// acknowledged write is ever lost), "interval" batches fsyncs on a
+// -wal-fsync-interval cadence (a crash can lose at most the last
+// interval; the default), "off" leaves flushing to the OS. Each
+// successful snapshot truncates the logs it made redundant.
 //
 // On SIGTERM or SIGINT scalerd shuts down gracefully: it stops
 // accepting connections, drains in-flight requests, stops the
@@ -67,12 +81,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"robustscaler/internal/engine"
 	"robustscaler/internal/server"
 	"robustscaler/internal/store"
+	"robustscaler/internal/wal"
 )
 
 // shutdownGrace bounds how long a graceful shutdown waits for in-flight
@@ -93,6 +109,12 @@ func main() {
 		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size")
 		dataDir        = flag.String("data-dir", "", "directory for workload snapshots; empty disables persistence")
 		snapshotEvery  = flag.Float64("snapshot-every", 300, "background snapshot period seconds (0 disables; needs -data-dir)")
+		snapshotRetain = flag.Int("snapshot-retain", 5, "committed snapshot generations kept for point-in-time restore (min 1)")
+		restoreGen     = flag.Uint64("restore-generation", 0, "boot from this retained snapshot generation instead of the current one (0 = current; needs -data-dir)")
+		walFsync       = flag.String("wal-fsync", "interval", "write-ahead log fsync policy: always (every append), interval (batched), off; per-workload override via PUT /config wal.fsync")
+		walFsyncEvery  = flag.Float64("wal-fsync-interval", 0.1, "fsync cadence seconds for -wal-fsync=interval")
+		walSegment     = flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "write-ahead log segment rotation size in bytes")
+		staleThreshold = flag.Float64("staleness-threshold", 3600, "seconds a workload may carry unmodeled traffic before it counts into robustscaler_workloads_stale_over_threshold (0 disables)")
 	)
 	flag.Parse()
 	snapshotEverySet := false
@@ -123,23 +145,87 @@ func main() {
 
 	var st *store.Store
 	var snapshotter *engine.Snapshotter
+	var walMgr *wal.Manager
 	if *dataDir != "" {
 		// Open validates the manifest and sweeps crash debris; restore
 		// must finish before serving so requests never race a
-		// half-restored registry. A corrupt snapshot aborts the boot —
+		// half-restored registry. A corrupt manifest aborts the boot —
 		// starting cold would soon overwrite the evidence with a fresh
-		// empty snapshot.
+		// empty snapshot. Individually corrupt workload files are
+		// quarantined instead: the rest of the fleet boots and /healthz
+		// reports "degraded" with the casualty list.
 		st, err = store.Open(*dataDir)
 		if err != nil {
 			log.Fatalf("opening -data-dir %s: %v (move its contents aside to boot cold)", *dataDir, err)
 		}
-		n, err := s.Registry().RestoreFrom(st)
+		if *snapshotRetain < 1 {
+			log.Fatalf("-snapshot-retain %d invalid (min 1: the current generation)", *snapshotRetain)
+		}
+		st.SetRetain(*snapshotRetain)
+		if *restoreGen != 0 {
+			// Point-in-time restore: repoint the manifest before anything
+			// reads it. The restore commits a new generation, so the
+			// pre-restore state stays retained (and recoverable) too.
+			if err := st.RestoreGeneration(*restoreGen); err != nil {
+				log.Fatalf("-restore-generation %d: %v", *restoreGen, err)
+			}
+			log.Printf("rolled back to snapshot generation %d", *restoreGen)
+		}
+		n, quarantined, err := s.Registry().RestoreFromTolerant(st)
 		if err != nil {
 			log.Fatalf("restoring snapshot from %s: %v (move its contents aside to boot cold)", *dataDir, err)
+		}
+		for _, q := range quarantined {
+			log.Printf("quarantined workload %s (%s): %s", q.ID, q.File, q.Reason)
 		}
 		if n > 0 {
 			log.Printf("restored %d workloads from %s", n, *dataDir)
 		}
+
+		// The write-ahead log opens after the snapshot restore and before
+		// serving: every batch acknowledged from here on is durable, and
+		// records the last process wrote after its final snapshot are
+		// replayed on top of the restored state.
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("-wal-fsync: %v", err)
+		}
+		if math.IsNaN(*walFsyncEvery) || *walFsyncEvery <= 0 || *walFsyncEvery > 3600 {
+			log.Fatalf("-wal-fsync-interval %g invalid (seconds, 0..3600 exclusive low)", *walFsyncEvery)
+		}
+		if *walSegment < 1 {
+			log.Fatalf("-wal-segment-bytes %d invalid (min 1)", *walSegment)
+		}
+		walMgr, err = wal.Open(wal.Options{
+			Dir:          filepath.Join(*dataDir, "wal"),
+			Policy:       policy,
+			Interval:     time.Duration(*walFsyncEvery * float64(time.Second)),
+			SegmentBytes: *walSegment,
+		})
+		if err != nil {
+			log.Fatalf("opening write-ahead log under %s: %v", *dataDir, err)
+		}
+		if *restoreGen != 0 {
+			// The logs describe the timeline the rollback just abandoned;
+			// replaying them over the older snapshot would interleave two
+			// histories.
+			if err := walMgr.ResetAll(); err != nil {
+				log.Fatalf("resetting write-ahead logs after rollback: %v", err)
+			}
+		}
+		if err := s.Registry().AttachWAL(walMgr, *dataDir); err != nil {
+			log.Fatalf("attaching write-ahead log: %v", err)
+		}
+		rep, err := s.Registry().ReplayWAL()
+		if err != nil {
+			log.Fatalf("replaying write-ahead log: %v", err)
+		}
+		if rep.Records > 0 || rep.Truncations > 0 || len(rep.Reset) > 0 {
+			log.Printf("wal replay: %d workloads, %d records (%d events), %d truncated tails, %d logs reset",
+				rep.Workloads, rep.Records, rep.Events, rep.Truncations, len(rep.Reset))
+		}
+		walMgr.Instrument(s.Metrics())
+		s.SetBootDegraded(quarantined, rep.Reset)
 		s.SetStore(st)
 		if math.IsNaN(*snapshotEvery) || *snapshotEvery < 0 {
 			log.Fatalf("-snapshot-every %g invalid (seconds; 0 disables)", *snapshotEvery)
@@ -156,7 +242,13 @@ func main() {
 		// Asking for periodic snapshots without a place to put them is a
 		// misconfiguration; explicitly disabling them (0) is not.
 		log.Fatalf("-snapshot-every needs -data-dir")
+	} else if *restoreGen != 0 {
+		log.Fatalf("-restore-generation needs -data-dir")
 	}
+	if math.IsNaN(*staleThreshold) || *staleThreshold < 0 {
+		log.Fatalf("-staleness-threshold %g invalid (seconds; 0 disables)", *staleThreshold)
+	}
+	s.Registry().SetStalenessThreshold(*staleThreshold)
 	var retrainer *engine.Retrainer
 	if *retrainEvery > 0 {
 		// Validate the converted duration: a huge value overflows
@@ -215,6 +307,14 @@ func main() {
 			log.Printf("final snapshot failed: %v", err)
 		} else {
 			log.Printf("final snapshot written to %s", *dataDir)
+		}
+	}
+	// The WAL closes after the final snapshot: the snapshot truncates
+	// the logs it made redundant, and Close flushes whatever the
+	// interval fsync policy still holds dirty.
+	if walMgr != nil {
+		if err := walMgr.Close(); err != nil {
+			log.Printf("closing write-ahead log: %v", err)
 		}
 	}
 	log.Print("shutdown complete")

@@ -56,6 +56,20 @@ type EngineConfig struct {
 	RetrainEvery float64 `json:"retrain_every"`
 	// Train tunes model fitting for this workload.
 	Train TrainKnobs `json:"train"`
+	// WAL tunes this workload's write-ahead-log durability.
+	WAL WALKnobs `json:"wal"`
+}
+
+// WALKnobs is the per-workload slice of write-ahead-log configuration.
+// The zero value means "process defaults" — snapshots written before
+// this struct existed restore into it and behave exactly as before.
+type WALKnobs struct {
+	// Fsync overrides the process-wide fsync policy for this workload's
+	// log: "always" (fsync before every ack — zero acknowledged loss
+	// even through power failure), "interval" (fsync on a timer — a
+	// crash loses at most the interval, a kill -9 loses nothing) or
+	// "off" (the OS decides). "" keeps the process default.
+	Fsync string `json:"fsync,omitempty"`
 }
 
 // TrainKnobs is the per-workload slice of the training configuration:
@@ -177,6 +191,11 @@ func (c EngineConfig) validate() error {
 			return fmt.Errorf("%w: train.candidate_periods entry %g outside [2*dt=%g, %g] seconds", ErrInvalid, p, 2*c.Dt, maxSeconds)
 		}
 	}
+	switch c.WAL.Fsync {
+	case "", "always", "interval", "off":
+	default:
+		return fmt.Errorf("%w: wal.fsync %q not one of always/interval/off (or empty for the process default)", ErrInvalid, c.WAL.Fsync)
+	}
 	return nil
 }
 
@@ -233,6 +252,10 @@ func (e *Engine) SetEngineConfig(c EngineConfig) (EngineConfig, error) {
 			e.gen++ // data under the model changed
 		}
 	}
+	if c.WAL.Fsync != old.WAL.Fsync {
+		e.applyWALPolicyLocked()
+	}
+	e.markStaleLocked()
 	return e.ec, nil
 }
 

@@ -32,6 +32,7 @@ import (
 	"robustscaler/internal/nhpp"
 	"robustscaler/internal/stats"
 	"robustscaler/internal/timeseries"
+	"robustscaler/internal/wal"
 )
 
 // Sentinel errors; the HTTP layer maps them onto status codes.
@@ -237,6 +238,21 @@ type Engine struct {
 	failedGen int64
 	rng       *rand.Rand
 
+	// wal, when attached (Registry.AttachWAL — before the engine serves
+	// traffic), makes every accepted batch durable before it is
+	// acknowledged: ingest appends the batch under walSeq+1 and only
+	// then mutates state. walSeq is the workload's monotone batch
+	// sequence; it rides in the snapshot blob so boot-time replay knows
+	// which log records the snapshot already covers (see wal.go).
+	wal    *wal.Log
+	walSeq uint64
+	// staleSince is the engine-clock time the model first fell behind
+	// the arrival history; 0 while fresh. The staleness-threshold alert
+	// gauges read it. Not persisted: after a restore a still-stale model
+	// re-ages from the boot clock, which can only delay an alert by one
+	// restart.
+	staleSince float64
+
 	// Result cache for Plan/Forecast, also guarded by mu. Entries are
 	// valid only while (cacheGen, cacheModel, cacheCfgVer) still match
 	// (gen, model, ec.Version); ingest bumps gen, train installs a new
@@ -355,6 +371,11 @@ func (e *Engine) Ingest(timestamps []float64) (int, error) {
 		batch[len(batch)-1] < e.arrivals[n-1]-e.ec.HistoryWindow {
 		return n, nil
 	}
+	// Durability before acknowledgment: if the log can't take the batch,
+	// the request fails with nothing mutated (see appendWALLocked).
+	if err := e.appendWALLocked([][]float64{batch}); err != nil {
+		return 0, err
+	}
 	e.gen++
 	e.stateGen++
 	e.countIngest(uint64(len(batch)))
@@ -364,6 +385,7 @@ func (e *Engine) Ingest(timestamps []float64) (int, error) {
 		e.arrivals = mergeSorted(e.arrivals, batch)
 	}
 	e.trimLocked()
+	e.markStaleLocked()
 	return len(e.arrivals), nil
 }
 
@@ -420,6 +442,12 @@ func (e *Engine) IngestSortedChunks(chunks [][]float64) (int, error) {
 		last < e.arrivals[n-1]-e.ec.HistoryWindow {
 		return n, nil
 	}
+	// Durability before acknowledgment, same as Ingest. The chunks are
+	// logged as one record (their concatenation is the sorted batch), so
+	// replay reconstructs the identical history.
+	if err := e.appendWALLocked(chunks); err != nil {
+		return 0, err
+	}
 	e.gen++
 	e.stateGen++
 	e.countIngest(uint64(total))
@@ -445,6 +473,7 @@ func (e *Engine) IngestSortedChunks(chunks [][]float64) (int, error) {
 		}
 	}
 	e.trimLocked()
+	e.markStaleLocked()
 	return len(e.arrivals), nil
 }
 
@@ -548,6 +577,14 @@ func (e *Engine) Train() (TrainInfo, error) {
 		e.trainedGen = gen
 		e.stateGen++
 		e.lastTrainAt = e.cfg.Now()
+		if e.gen == e.trainedGen {
+			e.staleSince = 0
+		} else {
+			// Arrivals landed during the fit: the fresh model is already
+			// behind them, but only since now — the pre-fit staleness was
+			// just cured.
+			e.staleSince = e.cfg.Now()
+		}
 	}
 	e.mu.Unlock()
 	return TrainInfo{

@@ -45,6 +45,12 @@ type engineMetrics struct {
 	planMisses     metrics.Counter
 	forecastHits   metrics.Counter
 	forecastMisses metrics.Counter
+	// walReplayedRecords/walReplayedEvents count batches re-applied from
+	// the write-ahead log at boot. Kept apart from the ingest counters:
+	// a replayed batch was already counted as ingested when it was
+	// acknowledged, and double-counting would skew throughput math.
+	walReplayedRecords metrics.Counter
+	walReplayedEvents  metrics.Counter
 }
 
 // fleetCounters are the registry-wide totals every engine dual-writes
@@ -74,6 +80,39 @@ func (e *Engine) countIngest(n uint64) {
 		f.ingestBatches.Inc()
 		f.ingestEvents.Add(n)
 	}
+}
+
+// countReplay records one WAL batch of n events re-applied at boot.
+func (e *Engine) countReplay(n uint64) {
+	e.m.walReplayedRecords.Inc()
+	e.m.walReplayedEvents.Add(n)
+}
+
+// markStaleLocked stamps the moment the model first fell behind the
+// arrival history, if it isn't already stamped. Called after every gen
+// bump; the threshold-alert gauges turn the stamp's age into a signal.
+// A workload too small to train (fewer than 2 arrivals) is never
+// considered stale — it has no model to be behind and no fit to run.
+func (e *Engine) markStaleLocked() {
+	if e.staleSince == 0 && len(e.arrivals) >= 2 && e.gen != e.trainedGen {
+		e.staleSince = e.cfg.Now()
+	}
+}
+
+// modelStalenessSeconds reports how long the model has been behind the
+// ingested arrivals; 0 when fresh. Unlike the retrainer's staleness
+// check this does not exempt failed fits: a workload whose refits keep
+// failing is exactly what the alert threshold exists to surface.
+func (e *Engine) modelStalenessSeconds() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.staleSince == 0 {
+		return 0
+	}
+	if age := e.cfg.Now() - e.staleSince; age > 0 {
+		return age
+	}
+	return 0
 }
 
 // countRefit records one completed fit attempt: its wall time, whether
@@ -119,12 +158,16 @@ type Stats struct {
 	StalenessGenerations int64 `json:"staleness_generations"`
 	// LastRefitAt is when the current model was installed, in engine-
 	// clock seconds; 0 before the first fit (or since a restore).
-	LastRefitAt       float64 `json:"last_refit_at"`
-	IngestedEvents    uint64  `json:"ingested_events_total"`
-	IngestedBatches   uint64  `json:"ingested_batches_total"`
-	Refits            uint64  `json:"refits_total"`
-	RefitFailures     uint64  `json:"refit_failures_total"`
-	RefitSecondsTotal float64 `json:"refit_seconds_total"`
+	LastRefitAt float64 `json:"last_refit_at"`
+	// ModelStalenessSeconds is how long the model has been behind the
+	// arrival history, in engine-clock seconds; 0 when fresh. The
+	// fleet-level threshold gauges aggregate this per-workload value.
+	ModelStalenessSeconds float64 `json:"model_staleness_seconds"`
+	IngestedEvents        uint64  `json:"ingested_events_total"`
+	IngestedBatches       uint64  `json:"ingested_batches_total"`
+	Refits                uint64  `json:"refits_total"`
+	RefitFailures         uint64  `json:"refit_failures_total"`
+	RefitSecondsTotal     float64 `json:"refit_seconds_total"`
 	// WarmStartRefits/ColdStartRefits split Refits by starting point;
 	// RefitADMMIterations totals the solver iterations across every fit
 	// attempt, so iterations-per-refit (and its drop once warm starts
@@ -138,6 +181,16 @@ type Stats struct {
 	ForecastCacheMisses  uint64 `json:"forecast_cache_misses_total"`
 	PlanCacheEntries     int    `json:"plan_cache_entries"`
 	ForecastCacheEntries int    `json:"forecast_cache_entries"`
+	// WAL state, present when a write-ahead log is attached: the last
+	// acknowledged batch sequence, the log's on-disk footprint, whether
+	// the log is wedged (appends failing until restart), and how much of
+	// the current history arrived via boot-time replay.
+	WALLastSeq         uint64 `json:"wal_last_seq,omitempty"`
+	WALSegments        int    `json:"wal_segments,omitempty"`
+	WALSizeBytes       int64  `json:"wal_size_bytes,omitempty"`
+	WALBroken          bool   `json:"wal_broken,omitempty"`
+	WALReplayedRecords uint64 `json:"wal_replayed_records_total,omitempty"`
+	WALReplayedEvents  uint64 `json:"wal_replayed_events_total,omitempty"`
 }
 
 // Stats reports the workload's observability summary.
@@ -149,8 +202,23 @@ func (e *Engine) Stats() Stats {
 		LastRefitAt:          e.lastTrainAt,
 		PlanCacheEntries:     len(e.planCache),
 		ForecastCacheEntries: len(e.fcCache),
+		WALLastSeq:           e.walSeq,
 	}
+	if e.staleSince > 0 {
+		if age := e.cfg.Now() - e.staleSince; age > 0 {
+			st.ModelStalenessSeconds = age
+		}
+	}
+	wlog := e.wal
 	e.mu.Unlock()
+	if wlog != nil {
+		ls := wlog.Stats()
+		st.WALSegments = ls.Segments
+		st.WALSizeBytes = ls.SizeBytes
+		st.WALBroken = ls.Broken
+		st.WALReplayedRecords = e.m.walReplayedRecords.Value()
+		st.WALReplayedEvents = e.m.walReplayedEvents.Value()
+	}
 	st.IngestedEvents = e.m.ingestEvents.Value()
 	st.IngestedBatches = e.m.ingestBatches.Value()
 	st.Refits = e.m.refits.Value()
@@ -178,6 +246,24 @@ func (e *Engine) stalenessLag() int64 {
 // before the engine serves traffic (the Registry does so before
 // publishing a new engine).
 func (e *Engine) SetFitSeconds(h *metrics.Histogram) { e.fitSeconds = h }
+
+// SetStalenessThreshold configures the model-staleness alert: workloads
+// whose model has been behind the arrival history for more than sec
+// seconds are counted by the robustscaler_workloads_stale_over_threshold
+// gauge. 0 disables the alert. Safe to call at any time.
+func (r *Registry) SetStalenessThreshold(sec float64) {
+	r.instMu.Lock()
+	r.stalenessThreshold = sec
+	r.instMu.Unlock()
+}
+
+// StalenessThreshold returns the configured alert threshold in seconds;
+// 0 means disabled.
+func (r *Registry) StalenessThreshold() float64 {
+	r.instMu.Lock()
+	defer r.instMu.Unlock()
+	return r.stalenessThreshold
+}
 
 // SnapshotHealth describes the registry's persistence liveness — the
 // outcome trail of SnapshotTo across every trigger (background tick,
@@ -254,6 +340,35 @@ func (r *Registry) Instrument(m *metrics.Registry) {
 				n += float64(e.stalenessLag())
 			}
 			return n
+		})
+	m.GaugeFunc("robustscaler_staleness_threshold_seconds",
+		"Configured model-staleness alert threshold; 0 when disabled.",
+		r.StalenessThreshold)
+	m.GaugeFunc("robustscaler_workloads_stale_over_threshold",
+		"Workloads whose model has been stale for longer than the threshold (always 0 when disabled).",
+		func() float64 {
+			thr := r.StalenessThreshold()
+			if thr <= 0 {
+				return 0
+			}
+			n := 0.0
+			for _, e := range r.snapshot() {
+				if e.modelStalenessSeconds() > thr {
+					n++
+				}
+			}
+			return n
+		})
+	m.GaugeFunc("robustscaler_model_staleness_max_seconds",
+		"Age of the stalest model in the fleet; 0 when every model is fresh.",
+		func() float64 {
+			worst := 0.0
+			for _, e := range r.snapshot() {
+				if s := e.modelStalenessSeconds(); s > worst {
+					worst = s
+				}
+			}
+			return worst
 		})
 
 	fleet := &fleetCounters{

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"robustscaler/internal/metrics"
+	"robustscaler/internal/wal"
 )
 
 // numShards spreads workload IDs across independently locked maps so
@@ -44,11 +45,18 @@ type Registry struct {
 	snapHealth SnapshotHealth
 	// instMu guards the shared instruments Instrument installs; fleet
 	// and fitSeconds are handed to every engine at creation,
-	// snapSeconds observes snapshot durations.
+	// snapSeconds observes snapshot durations. It also guards the WAL
+	// wiring (walMgr/walDir, set once by AttachWAL before traffic) and
+	// the staleness alert threshold.
 	instMu      sync.Mutex
 	fleet       *fleetCounters
 	fitSeconds  *metrics.Histogram
 	snapSeconds *metrics.Histogram
+	walMgr      *wal.Manager
+	walDir      string
+	// stalenessThreshold (seconds) feeds the
+	// robustscaler_workloads_stale_over_threshold gauge; 0 disables it.
+	stalenessThreshold float64
 }
 
 type shard struct {
@@ -124,7 +132,19 @@ func (r *Registry) GetOrCreate(id string) (*Engine, error) {
 	r.instMu.Lock()
 	fresh.fleet = r.fleet
 	fresh.SetFitSeconds(r.fitSeconds)
+	mgr := r.walMgr
 	r.instMu.Unlock()
+	if mgr != nil {
+		// The write-ahead log likewise attaches before publication: the
+		// first ingest the workload ever acknowledges is already durable.
+		// (A lost creation race below is harmless — both racers get the
+		// same *wal.Log from the manager's cache.)
+		l, err := mgr.Log(id)
+		if err != nil {
+			return nil, fmt.Errorf("engine: opening write-ahead log for workload %q: %w", id, err)
+		}
+		fresh.attachWAL(l)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.engines[id]; ok { // lost the creation race
@@ -156,6 +176,10 @@ func (r *Registry) Remove(id string) bool {
 			delete(m, id)
 		}
 		r.snapMu.Unlock()
+		// The workload's write-ahead log goes with it: its records
+		// describe a history that no longer exists, and a recreated
+		// workload under the same ID must start a fresh sequence.
+		r.removeWAL(id)
 	}
 	return ok
 }

@@ -69,6 +69,10 @@ type engineState struct {
 	// new arrivals land, same as pre-crash.
 	Failed bool        `json:"failed,omitempty"`
 	Model  *modelState `json:"model,omitempty"`
+	// WALSeq is the last write-ahead-log batch sequence this blob's
+	// arrival history covers; boot-time replay skips records at or below
+	// it and re-applies the rest. 0 in blobs written without a WAL.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // modelState is the persisted form of a fitted model. Only the fit's
@@ -91,7 +95,7 @@ type modelState struct {
 // engine lock is held only to copy the state out (an O(history) memcpy
 // — the backing array is shared with ingest); JSON encoding happens
 // unlocked.
-func (e *Engine) marshalState() ([]byte, uint64, error) {
+func (e *Engine) marshalState() ([]byte, uint64, uint64, error) {
 	e.mu.Lock()
 	arr := append([]float64(nil), e.arrivals...)
 	model := e.model
@@ -101,6 +105,7 @@ func (e *Engine) marshalState() ([]byte, uint64, error) {
 	ec := e.ec
 	seed := e.cfg.Seed
 	gen := e.stateGen
+	walSeq := e.walSeq
 	e.mu.Unlock()
 
 	st := engineState{
@@ -114,6 +119,7 @@ func (e *Engine) marshalState() ([]byte, uint64, error) {
 		TrainedN:      trainedN,
 		Stale:         stale,
 		Failed:        failed,
+		WALSeq:        walSeq,
 	}
 	if model != nil {
 		st.Model = &modelState{
@@ -127,16 +133,16 @@ func (e *Engine) marshalState() ([]byte, uint64, error) {
 	}
 	blob, err := json.Marshal(st)
 	if err != nil {
-		return nil, 0, fmt.Errorf("engine: marshaling state: %w", err)
+		return nil, 0, 0, fmt.Errorf("engine: marshaling state: %w", err)
 	}
-	return blob, gen, nil
+	return blob, gen, walSeq, nil
 }
 
 // MarshalState serializes the engine's durable state (per-workload
 // config, arrival history, fitted model, staleness) to a JSON blob for
 // Engine.RestoreState.
 func (e *Engine) MarshalState() ([]byte, error) {
-	blob, _, err := e.marshalState()
+	blob, _, _, err := e.marshalState()
 	return blob, err
 }
 
@@ -238,6 +244,9 @@ func (e *Engine) RestoreState(blob []byte) error {
 	e.failedGen = 0
 	e.stateGen++
 	e.lastTrainAt = 0
+	e.walSeq = st.WALSeq
+	// The restored config may carry a per-workload fsync override.
+	e.applyWALPolicyLocked()
 	// Drop any cached plans/forecasts: they were computed for the
 	// pre-restore model and generation. (The binding check would miss
 	// them anyway — the model pointer is fresh — but holding onto dead
@@ -264,6 +273,11 @@ func (e *Engine) RestoreState(blob []byte) error {
 	if st.Failed {
 		e.failedGen = e.gen
 	}
+	// Re-stamp staleness from the boot clock: the pre-crash stamp is not
+	// persisted, and a stale model should age (toward the alert
+	// threshold) from now, not look fresh forever.
+	e.staleSince = 0
+	e.markStaleLocked()
 	return nil
 }
 
@@ -316,22 +330,49 @@ func (r *Registry) collectAndCommitLocked(st *store.Store) (store.CommitStats, e
 	var keep []string
 	prev := r.saved[st.Dir()]
 	newGens := make(map[string]uint64, len(entries))
+	// walSeqs pairs each engine with the WAL sequence the blob being
+	// committed covers, so a successful commit can checkpoint the logs.
+	// The pairing must be read atomically with the staleness verdict:
+	// for a "kept" workload the current walSeq equals the persisted one
+	// only while stateGen still matches (walSeq never moves without a
+	// stateGen bump); a changed workload's walSeq is captured inside
+	// marshalState, under the same lock hold as the history copy.
+	type walMark struct {
+		e   *Engine
+		seq uint64
+	}
+	var walSeqs []walMark
 	for _, en := range entries {
-		if g, ok := prev[en.id]; ok && st.Has(en.id) && g == en.e.StateGen() {
+		sg, wseq := en.e.stateGenAndWALSeq()
+		if g, ok := prev[en.id]; ok && st.Has(en.id) && g == sg {
 			keep = append(keep, en.id)
 			newGens[en.id] = g
+			walSeqs = append(walSeqs, walMark{en.e, wseq})
 			continue
 		}
-		blob, gen, err := en.e.marshalState()
+		blob, gen, wseq, err := en.e.marshalState()
 		if err != nil {
 			return store.CommitStats{}, fmt.Errorf("engine: snapshotting workload %q: %w", en.id, err)
 		}
 		changed = append(changed, store.Workload{ID: en.id, State: blob})
 		newGens[en.id] = gen
+		walSeqs = append(walSeqs, walMark{en.e, wseq})
 	}
 	stats, err := st.Commit(changed, keep)
 	if err != nil {
 		return stats, err
+	}
+	// The snapshot now covers every batch up to each captured walSeq:
+	// checkpoint the logs. Only for the store the WAL is paired with —
+	// truncating against a backup snapshot in another directory would
+	// let the primary boot lose batches its own snapshot never saw.
+	r.instMu.Lock()
+	checkpoint := r.walMgr != nil && st.Dir() == r.walDir
+	r.instMu.Unlock()
+	if checkpoint {
+		for _, wm := range walSeqs {
+			wm.e.truncateWAL(wm.seq)
+		}
 	}
 	// Record bookkeeping only for engines still registered under their
 	// ID: a workload removed — or removed and recreated — while this

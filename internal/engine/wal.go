@@ -1,0 +1,391 @@
+package engine
+
+// Write-ahead logging for the engine layer. With a WAL attached
+// (Registry.AttachWAL, at boot), every accepted ingest batch is
+// appended — and, under the "always" fsync policy, synced — to the
+// workload's log *before* the engine mutates its history and the
+// request is acknowledged. Restart then becomes snapshot + replay: the
+// store restores the last committed snapshot and ReplayWAL re-applies
+// the acknowledged batches the snapshot had not yet captured, so an
+// acked ingest survives a kill -9 between snapshot ticks.
+//
+// The sequencing contract that makes replay idempotent: every logged
+// batch carries walSeq+1, walSeq is persisted inside the workload's
+// snapshot blob, and a successful snapshot commit checkpoints the log
+// (TruncateThrough the committed walSeq). Replay skips records at or
+// below the restored walSeq and requires the rest to be gap-free; a
+// gap means the log and the snapshot describe different timelines
+// (e.g. a point-in-time restore over a newer log), in which case the
+// snapshot wins, the log is reset, and the incident is reported so the
+// boot can surface as degraded rather than silently serving a history
+// with holes.
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+
+	"robustscaler/internal/store"
+	"robustscaler/internal/wal"
+)
+
+// attachWAL hands the engine its per-workload log and pushes the
+// workload's fsync override onto it. Called before the engine is
+// reachable (creation) or before it serves traffic (boot).
+func (e *Engine) attachWAL(l *wal.Log) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wal = l
+	e.applyWALPolicyLocked()
+}
+
+// applyWALPolicyLocked applies EngineConfig.WAL.Fsync to the attached
+// log: "" defers to the process-wide policy, anything else overrides it
+// for this workload.
+func (e *Engine) applyWALPolicyLocked() {
+	if e.wal == nil {
+		return
+	}
+	if e.ec.WAL.Fsync == "" {
+		e.wal.ClearSyncPolicy()
+		return
+	}
+	p, err := wal.ParseSyncPolicy(e.ec.WAL.Fsync)
+	if err != nil {
+		// validate() rejects unknown policies on every write path; only a
+		// snapshot from a newer build can carry one. Keep the process
+		// default rather than guessing at the unknown policy's meaning.
+		log.Printf("engine: ignoring unknown wal fsync policy %q", e.ec.WAL.Fsync)
+		return
+	}
+	e.wal.SetSyncPolicy(p)
+}
+
+// appendWALLocked logs one accepted batch under the next sequence
+// number, before any state mutates. An error means durability could not
+// be guaranteed: the caller must reject the batch unacknowledged
+// (walSeq does not advance, so the sequence is never reused — if the
+// failed append did reach disk, replay will skip or re-apply it
+// idempotently, never misattribute it).
+func (e *Engine) appendWALLocked(chunks [][]float64) error {
+	if e.wal == nil {
+		return nil
+	}
+	if err := e.wal.Append(e.walSeq+1, chunks); err != nil {
+		return fmt.Errorf("engine: write-ahead log append: %w", err)
+	}
+	e.walSeq++
+	return nil
+}
+
+// ApplyWALRecord folds one replayed WAL batch into the engine — the
+// apply callback of boot-time replay. Records the restored snapshot
+// already covers (seq ≤ the persisted walSeq) are skipped; the rest
+// must arrive gap-free in sequence order, and each is applied with
+// Ingest's exact semantics (sort, behind-window early-out, merge,
+// trim), so the post-replay history is bit-identical to the history an
+// uninterrupted process would hold.
+func (e *Engine) ApplyWALRecord(seq uint64, timestamps []float64) error {
+	if err := ValidateTimestamps(timestamps); err != nil {
+		return err
+	}
+	batch := append([]float64(nil), timestamps...)
+	if !sort.Float64sAreSorted(batch) {
+		sort.Float64s(batch)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if seq <= e.walSeq {
+		return nil // the snapshot already captured this batch
+	}
+	if seq != e.walSeq+1 {
+		return fmt.Errorf("wal record %d follows %d: the log and the snapshot describe different timelines", seq, e.walSeq)
+	}
+	e.walSeq = seq
+	e.stateGen++ // walSeq is durable state: the next snapshot must persist it
+	if len(batch) == 0 {
+		return nil
+	}
+	// Mirror Ingest's behind-window early-out. Ingest never logs such a
+	// batch, and replay starts from a state no newer than the one the
+	// batch was accepted against, so this fires only if the history
+	// window shrank between the append and the replay.
+	if n := len(e.arrivals); n > 0 && e.ec.HistoryWindow > 0 &&
+		batch[len(batch)-1] < e.arrivals[n-1]-e.ec.HistoryWindow {
+		return nil
+	}
+	e.gen++
+	e.countReplay(uint64(len(batch)))
+	if n := len(e.arrivals); n == 0 || batch[0] >= e.arrivals[n-1] {
+		e.arrivals = append(e.arrivals, batch...)
+	} else {
+		e.arrivals = mergeSorted(e.arrivals, batch)
+	}
+	e.trimLocked()
+	e.markStaleLocked()
+	return nil
+}
+
+// replayWAL replays the engine's attached log into it (no-op when none
+// is attached).
+func (e *Engine) replayWAL() (wal.ReplayStats, error) {
+	e.mu.Lock()
+	l := e.wal
+	e.mu.Unlock()
+	if l == nil {
+		return wal.ReplayStats{}, nil
+	}
+	return l.Replay(e.ApplyWALRecord)
+}
+
+// walLog returns the attached log, if any.
+func (e *Engine) walLog() *wal.Log {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.wal
+}
+
+// stateGenAndWALSeq reads both under one lock hold, so the snapshotter
+// can pair an "unchanged since last commit" verdict with the walSeq
+// that commit persisted (walSeq never moves without a stateGen bump).
+func (e *Engine) stateGenAndWALSeq() (uint64, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stateGen, e.walSeq
+}
+
+// truncateWAL checkpoints the engine's log through seq after a
+// successful snapshot commit. Failures are logged, not returned: the
+// snapshot is already durable, and an un-truncated log only costs a few
+// idempotently re-skipped records on the next boot.
+func (e *Engine) truncateWAL(seq uint64) {
+	l := e.walLog()
+	if l == nil || seq == 0 {
+		return
+	}
+	if err := l.TruncateThrough(seq); err != nil && !errors.Is(err, wal.ErrClosed) {
+		log.Printf("engine: wal checkpoint truncation through %d: %v", seq, err)
+	}
+}
+
+// AttachWAL wires a WAL manager into the registry: every existing and
+// future engine gets its per-workload log (appends become
+// durable-before-ack), and snapshots committed into the store rooted at
+// storeDir checkpoint the logs. Snapshots into any other directory —
+// e.g. an operator backup — leave the logs alone: truncating against a
+// secondary store would let the primary boot lose acknowledged batches
+// its own snapshot never captured. Call at boot, after the snapshot is
+// restored and before traffic.
+func (r *Registry) AttachWAL(mgr *wal.Manager, storeDir string) error {
+	r.instMu.Lock()
+	r.walMgr = mgr
+	r.walDir = storeDir
+	r.instMu.Unlock()
+	for _, id := range r.Workloads() {
+		e, ok := r.Get(id)
+		if !ok {
+			continue
+		}
+		l, err := mgr.Log(id)
+		if err != nil {
+			return fmt.Errorf("engine: attaching wal for workload %q: %w", id, err)
+		}
+		e.attachWAL(l)
+	}
+	return nil
+}
+
+// walManager returns the attached manager, if any.
+func (r *Registry) walManager() *wal.Manager {
+	r.instMu.Lock()
+	defer r.instMu.Unlock()
+	return r.walMgr
+}
+
+// removeWAL drops a deleted workload's log from disk.
+func (r *Registry) removeWAL(id string) {
+	mgr := r.walManager()
+	if mgr == nil {
+		return
+	}
+	if err := mgr.Remove(id); err != nil && !errors.Is(err, wal.ErrClosed) {
+		log.Printf("engine: removing wal for deleted workload %q: %v", id, err)
+	}
+}
+
+// WALResetIssue names a workload whose log disagreed with the snapshot
+// beyond repair and was dropped in favor of the snapshot state.
+type WALResetIssue struct {
+	ID     string `json:"id"`
+	Reason string `json:"reason"`
+}
+
+// WALReplayReport summarizes boot-time WAL replay across the fleet.
+type WALReplayReport struct {
+	// Workloads is how many logs were found and replayed; Records and
+	// Events total the batches and arrival timestamps re-applied.
+	Workloads int `json:"workloads"`
+	Records   int `json:"records"`
+	Events    int `json:"events"`
+	// Truncations counts logs whose tail was cut at the first corrupt
+	// record — the expected signature of a crash mid-append, recovered
+	// by design (the torn record was never acknowledged).
+	Truncations int `json:"truncations,omitempty"`
+	// UnidentifiedDirs counts log directories whose contents could not
+	// be attributed to a workload and were reset.
+	UnidentifiedDirs int `json:"unidentified_dirs,omitempty"`
+	// Reset lists workloads whose replay failed mid-apply (sequence gap
+	// or rejected record); their logs were reset, their snapshot state
+	// kept, and the boot should report as degraded.
+	Reset []WALResetIssue `json:"reset,omitempty"`
+}
+
+// ReplayWAL replays every workload's surviving WAL records on top of
+// the restored snapshot, recreating engines for workloads that have a
+// log but no snapshot entry (acknowledged before the first snapshot
+// tick ever covered them). Replay is idempotent against the snapshot
+// (see ApplyWALRecord); per-workload corruption is repaired by
+// truncation inside the wal package and only counted here. An apply
+// failure — the one case where log and snapshot genuinely disagree —
+// resets that workload's log, keeps its snapshot state, and is reported
+// in the returned report rather than failing the boot; only filesystem
+// errors are returned. Call after AttachWAL, before traffic.
+func (r *Registry) ReplayWAL() (WALReplayReport, error) {
+	var rep WALReplayReport
+	mgr := r.walManager()
+	if mgr == nil {
+		return rep, nil
+	}
+	ids, reset, err := mgr.ScanWorkloads()
+	if err != nil {
+		return rep, fmt.Errorf("engine: scanning write-ahead logs: %w", err)
+	}
+	rep.UnidentifiedDirs = reset
+	for _, id := range ids {
+		e, err := r.GetOrCreate(id)
+		if err != nil {
+			return rep, fmt.Errorf("engine: wal replay for workload %q: %w", id, err)
+		}
+		st, rerr := e.replayWAL()
+		rep.Workloads++
+		rep.Records += st.Records
+		rep.Events += st.Events
+		if st.Truncated {
+			rep.Truncations++
+			log.Printf("engine: wal for %q truncated during replay at segment %d offset %d: %s",
+				id, st.TruncatedSegment, st.TruncatedOffset, st.Reason)
+		}
+		if rerr != nil {
+			log.Printf("engine: wal replay for %q failed; resetting the log, keeping snapshot state: %v", id, rerr)
+			rep.Reset = append(rep.Reset, WALResetIssue{ID: id, Reason: rerr.Error()})
+			if l := e.walLog(); l != nil {
+				if err := l.Reset(); err != nil {
+					return rep, fmt.Errorf("engine: resetting wal for workload %q: %w", id, err)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+// RestoreFromTolerant is the boot-time restore: like RestoreFrom, but a
+// workload whose snapshot file is unreadable (store-level corruption)
+// or whose blob the engine rejects is quarantined — the file preserved
+// under the store's quarantine directory, the manifest rewritten
+// without it — instead of failing the whole boot. The returned list
+// names the casualties so the process can report itself degraded; the
+// error covers only infrastructure failures (the quarantine itself
+// failing, an engine the template cannot create).
+func (r *Registry) RestoreFromTolerant(st *store.Store) (int, []store.Quarantined, error) {
+	workloads, quarantined, err := st.LoadTolerant()
+	if err != nil {
+		if errors.Is(err, store.ErrNoSnapshot) {
+			return 0, nil, nil
+		}
+		return 0, nil, err
+	}
+	n := 0
+	for _, w := range workloads {
+		e, err := r.GetOrCreate(w.ID)
+		if err != nil {
+			return n, quarantined, fmt.Errorf("engine: restoring workload %q: %w", w.ID, err)
+		}
+		if rerr := e.RestoreState(w.State); rerr != nil {
+			// The blob passed the store's checksum but the engine rejects
+			// its contents: quarantine it exactly like an unreadable file.
+			log.Printf("engine: quarantining workload %q: restored blob rejected: %v", w.ID, rerr)
+			if qerr := st.Quarantine(w.ID, rerr.Error()); qerr != nil {
+				return n, quarantined, fmt.Errorf("engine: quarantining workload %q: %v (blob rejected: %w)", w.ID, qerr, rerr)
+			}
+			quarantined = append(quarantined, store.Quarantined{ID: w.ID, Reason: rerr.Error()})
+			// RestoreState validates before mutating, so the engine is the
+			// fresh empty one GetOrCreate just made; don't serve it.
+			r.Remove(w.ID)
+			continue
+		}
+		if st.Has(w.ID) {
+			r.snapMu.Lock()
+			if r.saved[st.Dir()] == nil {
+				r.saved[st.Dir()] = make(map[string]uint64)
+			}
+			r.saved[st.Dir()][w.ID] = e.StateGen()
+			r.snapMu.Unlock()
+		}
+		n++
+	}
+	return n, quarantined, nil
+}
+
+// ReloadFrom replaces the registry's in-memory fleet with the snapshot
+// currently committed in st — the runtime half of a point-in-time
+// restore, called after store.RestoreGeneration rewires the manifest.
+// In-flight requests holding old engines finish against them; new
+// lookups see the restored fleet. Attached WALs are reset first: their
+// records continue the abandoned timeline and must not replay over the
+// restored one. Serialized against snapshots, so a background tick
+// cannot commit a half-reloaded fleet.
+func (r *Registry) ReloadFrom(st *store.Store) (int, error) {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	if mgr := r.walManager(); mgr != nil {
+		if err := mgr.ResetAll(); err != nil {
+			return 0, fmt.Errorf("engine: resetting write-ahead logs for reload: %w", err)
+		}
+	}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		s.engines = make(map[string]*Engine)
+		s.mu.Unlock()
+	}
+	// All incremental-snapshot bookkeeping describes the dropped
+	// engines; a recreated engine whose fresh StateGen coincided with a
+	// stale entry would never be persisted.
+	r.saved = make(map[string]map[string]uint64)
+	workloads, err := st.Load()
+	if err != nil {
+		if errors.Is(err, store.ErrNoSnapshot) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, w := range workloads {
+		e, err := r.GetOrCreate(w.ID)
+		if err != nil {
+			return n, fmt.Errorf("engine: reloading workload %q: %w", w.ID, err)
+		}
+		if err := e.RestoreState(w.State); err != nil {
+			return n, fmt.Errorf("engine: reloading workload %q: %w", w.ID, err)
+		}
+		if st.Has(w.ID) {
+			if r.saved[st.Dir()] == nil {
+				r.saved[st.Dir()] = make(map[string]uint64)
+			}
+			r.saved[st.Dir()][w.ID] = e.StateGen()
+		}
+		n++
+	}
+	return n, nil
+}

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"robustscaler/internal/engine"
+	"robustscaler/internal/store"
+)
+
+// TestGenerationsAndRestoreEndpoint drives the point-in-time restore
+// surface end to end: two snapshot generations, a rollback to the
+// first over HTTP, and the fleet serving the rolled-back history
+// immediately — no restart.
+func TestGenerationsAndRestoreEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, 0)
+	if err := s.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s.st.SetRetain(4)
+
+	postJSON(t, ts.URL+"/v1/workloads/web/arrivals", map[string]any{"timestamps": []float64{1, 2, 3}}).Body.Close()
+	postJSON(t, ts.URL+"/v1/admin/snapshot", map[string]any{}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/web/arrivals", map[string]any{"timestamps": []float64{4, 5}}).Body.Close()
+	postJSON(t, ts.URL+"/v1/admin/snapshot", map[string]any{}).Body.Close()
+
+	resp := mustGet(t, ts.URL+"/v1/admin/generations")
+	gens := decode[map[string][]store.GenerationInfo](t, resp)["generations"]
+	if len(gens) != 2 {
+		t.Fatalf("generations = %+v, want 2", gens)
+	}
+	if !gens[1].Current || gens[0].Current {
+		t.Fatalf("newest generation should be current: %+v", gens)
+	}
+
+	// Unknown generation → 404; missing field → 400.
+	r := postJSON(t, ts.URL+"/v1/admin/restore-generation", map[string]any{"generation": 999})
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("restore unknown generation status %d, want 404", r.StatusCode)
+	}
+	r = postJSON(t, ts.URL+"/v1/admin/restore-generation", map[string]any{})
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("restore without generation status %d, want 400", r.StatusCode)
+	}
+
+	// Roll back to the first generation: 3 arrivals, not 5.
+	r = postJSON(t, ts.URL+"/v1/admin/restore-generation", map[string]any{"generation": gens[0].Seq})
+	body := decode[map[string]any](t, r)
+	if r.StatusCode != http.StatusOK || body["workloads"] != float64(1) {
+		t.Fatalf("restore status %d body %v", r.StatusCode, body)
+	}
+	st := decode[statusResponse](t, mustGet(t, ts.URL+"/v1/workloads/web/status"))
+	if st.Arrivals != 3 {
+		t.Fatalf("arrivals after rollback = %d, want 3", st.Arrivals)
+	}
+
+	// Traffic accepted after the rollback is on the restored timeline.
+	postJSON(t, ts.URL+"/v1/workloads/web/arrivals", map[string]any{"timestamps": []float64{6, 7}}).Body.Close()
+	st = decode[statusResponse](t, mustGet(t, ts.URL+"/v1/workloads/web/status"))
+	if st.Arrivals != 5 {
+		t.Fatalf("arrivals after post-rollback ingest = %d, want 5", st.Arrivals)
+	}
+}
+
+// TestAdminGenerationsWithoutDataDir pins the disabled-persistence
+// contract for the restore surface: 409, same as the snapshot endpoint.
+func TestAdminGenerationsWithoutDataDir(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp := mustGet(t, ts.URL+"/v1/admin/generations")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("generations without data dir: status %d, want 409", resp.StatusCode)
+	}
+	r := postJSON(t, ts.URL+"/v1/admin/restore-generation", map[string]any{"generation": 1})
+	r.Body.Close()
+	if r.StatusCode != http.StatusConflict {
+		t.Fatalf("restore without data dir: status %d, want 409", r.StatusCode)
+	}
+}
+
+// TestHealthzBootDegraded pins the degraded-boot contract: casualties
+// reported by restore-on-boot flip /healthz to "degraded" with the
+// detail inline, but the status stays 200 — a restart cannot fix
+// quarantined files, so a failing health check would only crash-loop a
+// process whose surviving workloads serve fine.
+func TestHealthzBootDegraded(t *testing.T) {
+	s, ts := newTestServer(t, 0)
+	s.SetBootDegraded(
+		[]store.Quarantined{{ID: "api", File: "workloads/api.json", Reason: "checksum mismatch"}},
+		[]engine.WALResetIssue{{ID: "web", Reason: "the log and the snapshot describe different timelines"}},
+	)
+	status, body := getBody(t, ts.URL+"/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("degraded boot healthz status %d, want 200", status)
+	}
+	for _, want := range []string{`"status":"degraded"`, `"api"`, `"checksum mismatch"`, `"web"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("healthz body missing %s: %s", want, body)
+		}
+	}
+
+	// Empty casualties leave the boot clean.
+	s2, ts2 := newTestServer(t, 0)
+	s2.SetBootDegraded(nil, nil)
+	if _, body := getBody(t, ts2.URL+"/healthz"); !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("clean boot healthz: %s", body)
+	}
+}

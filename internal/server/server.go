@@ -14,12 +14,12 @@
 //	DELETE /v1/workloads/{id}            drop the workload
 //	GET    /v1/workloads                 list workload IDs
 //	POST   /v1/admin/snapshot            persist all workloads to the data dir
+//	GET    /v1/admin/generations         list retained snapshot generations
+//	POST   /v1/admin/restore-generation  point-in-time restore to a retained one
 //
-// The pre-multi-tenant single-workload routes (/v1/arrivals, /v1/train,
-// /v1/plan, /v1/forecast, /v1/status) remain as aliases for the
-// "default" workload. All model state and math live in internal/engine;
-// this package only parses requests, routes them to the right Engine in
-// the registry, and encodes responses.
+// All model state and math live in internal/engine; this package only
+// parses requests, routes them to the right Engine in the registry, and
+// encodes responses.
 package server
 
 import (
@@ -30,6 +30,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"robustscaler/internal/engine"
 	"robustscaler/internal/metrics"
@@ -43,19 +44,10 @@ type Config = engine.Config
 // DefaultConfig returns a production-shaped configuration.
 func DefaultConfig() Config { return engine.DefaultConfig() }
 
-// DefaultWorkload is the workload ID behind the legacy single-workload
-// routes.
-const DefaultWorkload = "default"
-
 // Server is the HTTP control plane over a workload registry. It is safe
 // for concurrent use.
 type Server struct {
 	reg *engine.Registry
-	// ephemeral serves legacy reads while the default workload doesn't
-	// exist: it never receives arrivals (ingest goes through the
-	// registry), so it permanently reports the empty-workload state and
-	// can be shared across requests.
-	ephemeral *engine.Engine
 	// st is the open snapshot store operator-triggered and
 	// delete-triggered snapshots commit into; nil disables the admin
 	// snapshot endpoint. Set once before serving (SetStore/SetDataDir).
@@ -76,6 +68,16 @@ type Server struct {
 	// ingestEvents counts accepted arrival timestamps by wire format;
 	// unlike the per-engine counters these survive workload deletion.
 	ingestEvents map[string]*metrics.Counter
+	// boot carries what restore-on-boot had to give up on: quarantined
+	// snapshot files and write-ahead logs reset over timeline mismatches.
+	// Set once before serving (SetBootDegraded); nil means a clean boot.
+	boot *bootReport
+}
+
+// bootReport is the degraded-boot detail /healthz exposes.
+type bootReport struct {
+	Quarantined []store.Quarantined    `json:"quarantined,omitempty"`
+	WALReset    []engine.WALResetIssue `json:"wal_reset,omitempty"`
 }
 
 // New creates a Server with an empty workload registry and a live
@@ -85,13 +87,9 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	eph, err := engine.New(reg.Config())
-	if err != nil {
-		return nil, err
-	}
 	m := metrics.NewRegistry()
 	reg.Instrument(m)
-	s := &Server{reg: reg, ephemeral: eph, maxIngestBytes: DefaultMaxIngestBytes, metrics: m}
+	s := &Server{reg: reg, maxIngestBytes: DefaultMaxIngestBytes, metrics: m}
 	s.encodeFailures = m.Counter("robustscaler_response_encode_failures_total",
 		"Responses whose body could not be fully written after the status was sent (truncated reply: vanished client or encode error).")
 	s.ingestEvents = map[string]*metrics.Counter{}
@@ -133,6 +131,17 @@ func (s *Server) SetDataDir(dir string) error {
 	return nil
 }
 
+// SetBootDegraded records what restore-on-boot quarantined or reset so
+// /healthz can report a degraded (but serving) process. Call it once at
+// startup, before the handler serves traffic; empty slices leave the
+// boot clean.
+func (s *Server) SetBootDegraded(quarantined []store.Quarantined, walReset []engine.WALResetIssue) {
+	if len(quarantined) == 0 && len(walReset) == 0 {
+		return
+	}
+	s.boot = &bootReport{Quarantined: quarantined, WALReset: walReset}
+}
+
 // Response shapes are the engine's JSON-tagged types.
 type (
 	trainResponse  = engine.TrainInfo
@@ -170,14 +179,8 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/workloads/{id}/config", s.workload(s.handleConfigGet))
 	handle("PUT /v1/workloads/{id}/config", s.workload(s.handleConfigPut))
 	handle("POST /v1/admin/snapshot", s.handleSnapshot)
-	// Legacy single-workload aliases.
-	handle("POST /v1/arrivals", func(w http.ResponseWriter, r *http.Request) {
-		s.handleArrivals(w, r, DefaultWorkload)
-	})
-	handle("POST /v1/train", s.legacy(s.handleTrain))
-	handle("GET /v1/plan", s.legacy(s.handlePlan))
-	handle("GET /v1/forecast", s.legacy(s.handleForecast))
-	handle("GET /v1/status", s.legacy(s.handleStatus))
+	handle("GET /v1/admin/generations", s.handleGenerations)
+	handle("POST /v1/admin/restore-generation", s.handleRestoreGeneration)
 	return mux
 }
 
@@ -197,31 +200,23 @@ func (s *Server) workload(h engineHandler) http.HandlerFunc {
 	}
 }
 
-// legacy routes a pre-multi-tenant path to the default workload. When
-// the default workload doesn't exist yet the request runs against an
-// ephemeral empty engine: that preserves the seed contract (status
-// reports zeros, train/plan/forecast conflict with 409) without
-// registering — or resurrecting — the workload; only an arrivals POST
-// creates it, same as the namespaced routes.
-func (s *Server) legacy(h engineHandler) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		e, ok := s.reg.Get(DefaultWorkload)
-		if !ok {
-			e = s.ephemeral
-		}
-		h(w, r, e)
-	}
-}
-
 // handleHealth reports process health. Liveness alone is not health:
 // with persistence enabled, a snapshot pipeline that keeps failing
 // means a restart loses state, so consecutive snapshot failures turn
 // the report into 503 "degraded" (with the failure detail inline) and
 // an orchestrator's health check can act before the data loss happens.
-// Without a store there is nothing to degrade and the check is plain
-// liveness.
+// Boot-time casualties — quarantined snapshot files, write-ahead logs
+// reset over timeline mismatches — also mark the report "degraded",
+// but with a 200: a restart cannot fix them (the same files are still
+// bad), so a 503 would only crash-loop the process while the healthy
+// workloads could have been serving. Without a store there is nothing
+// to degrade and the check is plain liveness.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := map[string]any{"status": "ok"}
+	if s.boot != nil {
+		resp["status"] = "degraded"
+		resp["boot"] = s.boot
+	}
 	if s.st != nil {
 		h := s.reg.SnapshotHealth()
 		resp["persistence"] = h
@@ -368,6 +363,66 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) {
 		"written":   stats.Written,
 		"unchanged": stats.Kept,
 		"dir":       s.st.Dir(),
+	})
+}
+
+// handleGenerations lists the retained snapshot generations an operator
+// can roll back to — newest last, the current one flagged.
+func (s *Server) handleGenerations(w http.ResponseWriter, _ *http.Request) {
+	if s.st == nil {
+		http.Error(w, "snapshots disabled: start scalerd with -data-dir", http.StatusConflict)
+		return
+	}
+	gens := s.st.Generations()
+	if gens == nil {
+		gens = []store.GenerationInfo{}
+	}
+	s.writeJSON(w, map[string]any{"generations": gens})
+}
+
+// handleRestoreGeneration rolls the whole fleet back to a retained
+// snapshot generation: the store's manifest is repointed on disk, then
+// every in-memory engine is rebuilt from it and the write-ahead logs
+// are reset (their records describe the abandoned timeline). Traffic
+// accepted after the restore is durable as usual. The restore itself
+// advances the generation sequence, so a mistaken rollback is undoable
+// through the same endpoint while the overwritten generation is still
+// retained.
+func (s *Server) handleRestoreGeneration(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		http.Error(w, "snapshots disabled: start scalerd with -data-dir", http.StatusConflict)
+		return
+	}
+	var req struct {
+		Generation uint64 `json:"generation"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Generation == 0 {
+		http.Error(w, `missing "generation"`, http.StatusBadRequest)
+		return
+	}
+	if err := s.st.RestoreGeneration(req.Generation); err != nil {
+		code := http.StatusInternalServerError
+		if strings.Contains(err.Error(), "no retained generation") {
+			code = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	restored, err := s.reg.ReloadFrom(s.st)
+	if err != nil {
+		// The disk rollback took but the in-memory reload didn't: the
+		// process is now serving state that disagrees with the manifest.
+		// Report loudly; the operator restarts (boot reloads the manifest).
+		http.Error(w, fmt.Sprintf("generation restored on disk but reload failed (restart to converge): %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.writeJSON(w, map[string]any{
+		"restored_generation": req.Generation,
+		"workloads":           restored,
 	})
 }
 

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strings"
 	"testing"
 )
 
@@ -66,34 +65,28 @@ func TestMultiWorkloadIsolation(t *testing.T) {
 	}
 }
 
-// TestLegacyRoutesAliasDefaultWorkload pins the compatibility contract:
-// the pre-multi-tenant routes are the same engine as
-// /v1/workloads/default/..., byte for byte.
-func TestLegacyRoutesAliasDefaultWorkload(t *testing.T) {
-	const horizon = 4 * 3600.0
-	_, ts := newTestServer(t, horizon)
-	arr := trafficArrivals(5, horizon)
-	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
-	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
-
-	for _, path := range []string{
-		fmt.Sprintf("/v1/plan?variant=hp&target=0.9&horizon=120&now=%g", horizon),
-		fmt.Sprintf("/v1/forecast?from=%g&to=%g&step=300", horizon, horizon+3600),
-		"/v1/status",
-	} {
-		legacyStatus, legacyBody := getBody(t, ts.URL+path)
-		namespacedPath := "/v1/workloads/default" + strings.TrimPrefix(path, "/v1")
-		nsStatus, nsBody := getBody(t, ts.URL+namespacedPath)
-		if legacyStatus != nsStatus || legacyBody != nsBody {
-			t.Fatalf("%s and %s differ:\nlegacy %d: %s\nnamespaced %d: %s",
-				path, namespacedPath, legacyStatus, legacyBody, nsStatus, nsBody)
+// TestLegacyRoutesRetired pins the removal of the pre-multi-tenant
+// single-workload aliases: every retired path is a plain 404, and
+// probing them never registers a workload.
+func TestLegacyRoutesRetired(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp := postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": []float64{1, 2}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/arrivals status %d, want 404", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/train", map[string]any{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("POST /v1/train status %d, want 404", resp.StatusCode)
+	}
+	for _, path := range []string{"/v1/plan", "/v1/forecast", "/v1/status"} {
+		if status, _ := getBody(t, ts.URL+path); status != http.StatusNotFound {
+			t.Fatalf("GET %s status %d, want 404", path, status)
 		}
 	}
-
-	// The legacy ingest surfaced the workload in the registry listing.
-	status, body := getBody(t, ts.URL+"/v1/workloads")
-	if status != http.StatusOK || body != "{\"workloads\":[\"default\"]}\n" {
-		t.Fatalf("workload list %d: %q", status, body)
+	if status, body := getBody(t, ts.URL+"/v1/workloads"); status != http.StatusOK || body != "{\"workloads\":[]}\n" {
+		t.Fatalf("workload list %d: %q (legacy probes must not register anything)", status, body)
 	}
 }
 

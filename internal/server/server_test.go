@@ -80,19 +80,19 @@ func TestIngestTrainPlanFlow(t *testing.T) {
 
 	// Ingest in two batches.
 	half := len(arr) / 2
-	resp := postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr[:half]})
+	resp := postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": arr[:half]})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("arrivals status %d", resp.StatusCode)
 	}
 	resp.Body.Close()
-	resp = postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr[half:]})
+	resp = postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": arr[half:]})
 	got := decode[map[string]any](t, resp)
 	if int(got["total"].(float64)) != len(arr) {
 		t.Fatalf("total = %v, want %d", got["total"], len(arr))
 	}
 
 	// Train.
-	resp = postJSON(t, ts.URL+"/v1/train", map[string]any{})
+	resp = postJSON(t, ts.URL+"/v1/workloads/w/train", map[string]any{})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("train status %d", resp.StatusCode)
 	}
@@ -106,7 +106,7 @@ func TestIngestTrainPlanFlow(t *testing.T) {
 
 	// Plan: creation times must be within the horizon, non-decreasing,
 	// and the first κ entries should be immediate (lead 0).
-	resp2, err := http.Get(fmt.Sprintf("%s/v1/plan?variant=hp&target=0.9&horizon=120&now=%g", ts.URL, horizon))
+	resp2, err := http.Get(fmt.Sprintf("%s/v1/workloads/w/plan?variant=hp&target=0.9&horizon=120&now=%g", ts.URL, horizon))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,11 +139,11 @@ func TestPlanVariants(t *testing.T) {
 	const horizon = 4 * 3600.0
 	_, ts := newTestServer(t, horizon)
 	arr := trafficArrivals(2, horizon)
-	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
-	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/w/train", map[string]any{}).Body.Close()
 
 	for _, variant := range []string{"rt", "cost"} {
-		resp, err := http.Get(fmt.Sprintf("%s/v1/plan?variant=%s&target=2&horizon=60&now=%g", ts.URL, variant, horizon))
+		resp, err := http.Get(fmt.Sprintf("%s/v1/workloads/w/plan?variant=%s&target=2&horizon=60&now=%g", ts.URL, variant, horizon))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -155,7 +155,7 @@ func TestPlanVariants(t *testing.T) {
 			t.Fatalf("variant echo %q", plan.Variant)
 		}
 	}
-	resp, err := http.Get(ts.URL + "/v1/plan?variant=bogus")
+	resp, err := http.Get(ts.URL + "/v1/workloads/w/plan?variant=bogus")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,10 +169,10 @@ func TestForecastEndpoint(t *testing.T) {
 	const horizon = 4 * 3600.0
 	_, ts := newTestServer(t, horizon)
 	arr := trafficArrivals(3, horizon)
-	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
-	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/w/train", map[string]any{}).Body.Close()
 
-	resp, err := http.Get(fmt.Sprintf("%s/v1/forecast?from=%g&to=%g&step=300", ts.URL, horizon, horizon+3600))
+	resp, err := http.Get(fmt.Sprintf("%s/v1/workloads/w/forecast?from=%g&to=%g&step=300", ts.URL, horizon, horizon+3600))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +189,10 @@ func TestForecastEndpoint(t *testing.T) {
 
 func TestPlanWithoutModelConflicts(t *testing.T) {
 	_, ts := newTestServer(t, 0)
-	resp, err := http.Get(ts.URL + "/v1/plan")
+	// The workload must exist (reads on unknown IDs are 404s); only a
+	// model is missing.
+	postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": []float64{1, 2}}).Body.Close()
+	resp, err := http.Get(ts.URL + "/v1/workloads/w/plan")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +200,7 @@ func TestPlanWithoutModelConflicts(t *testing.T) {
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("plan without model: status %d, want 409", resp.StatusCode)
 	}
-	resp2, err := http.Get(ts.URL + "/v1/forecast")
+	resp2, err := http.Get(ts.URL + "/v1/workloads/w/forecast")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +212,10 @@ func TestPlanWithoutModelConflicts(t *testing.T) {
 
 func TestTrainNeedsArrivals(t *testing.T) {
 	_, ts := newTestServer(t, 0)
-	resp := postJSON(t, ts.URL+"/v1/train", map[string]any{})
+	// One arrival registers the workload but is below the two the fitter
+	// needs.
+	postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": []float64{5}}).Body.Close()
+	resp := postJSON(t, ts.URL+"/v1/workloads/w/train", map[string]any{})
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusConflict {
 		t.Fatalf("train without data: status %d, want 409", resp.StatusCode)
@@ -218,12 +224,12 @@ func TestTrainNeedsArrivals(t *testing.T) {
 
 func TestArrivalsValidation(t *testing.T) {
 	_, ts := newTestServer(t, 0)
-	resp := postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": []float64{}})
+	resp := postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": []float64{}})
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty timestamps: status %d, want 400", resp.StatusCode)
 	}
-	r2, err := http.Post(ts.URL+"/v1/arrivals", "application/json", bytes.NewReader([]byte("{nope")))
+	r2, err := http.Post(ts.URL+"/v1/workloads/w/arrivals", "application/json", bytes.NewReader([]byte("{nope")))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +237,7 @@ func TestArrivalsValidation(t *testing.T) {
 	if r2.StatusCode != http.StatusBadRequest {
 		t.Fatalf("bad JSON: status %d, want 400", r2.StatusCode)
 	}
-	r3, err := http.Get(ts.URL + "/v1/arrivals")
+	r3, err := http.Get(ts.URL + "/v1/workloads/w/arrivals")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,18 +250,18 @@ func TestArrivalsValidation(t *testing.T) {
 func TestStatusReflectsState(t *testing.T) {
 	const horizon = 4 * 3600.0
 	_, ts := newTestServer(t, horizon)
-	st, err := http.Get(ts.URL + "/v1/status")
+	st, err := http.Get(ts.URL + "/v1/workloads/w/status")
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := decode[statusResponse](t, st)
-	if before.ModelReady || before.Arrivals != 0 {
-		t.Fatalf("fresh server status wrong: %+v", before)
+	st.Body.Close()
+	if st.StatusCode != http.StatusNotFound {
+		t.Fatalf("status before any ingest: %d, want 404 (workload doesn't exist)", st.StatusCode)
 	}
 	arr := trafficArrivals(4, horizon)
-	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": arr}).Body.Close()
-	postJSON(t, ts.URL+"/v1/train", map[string]any{}).Body.Close()
-	st2, err := http.Get(ts.URL + "/v1/status")
+	postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": arr}).Body.Close()
+	postJSON(t, ts.URL+"/v1/workloads/w/train", map[string]any{}).Body.Close()
+	st2, err := http.Get(ts.URL + "/v1/workloads/w/status")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,8 +284,8 @@ func TestHistoryWindowTrimming(t *testing.T) {
 	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	postJSON(t, ts.URL+"/v1/arrivals", map[string]any{"timestamps": []float64{0, 10, 500, 560, 590}}).Body.Close()
-	st, err := http.Get(ts.URL + "/v1/status")
+	postJSON(t, ts.URL+"/v1/workloads/w/arrivals", map[string]any{"timestamps": []float64{0, 10, 500, 560, 590}}).Body.Close()
+	st, err := http.Get(ts.URL + "/v1/workloads/w/status")
 	if err != nil {
 		t.Fatal(err)
 	}

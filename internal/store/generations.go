@@ -1,0 +1,402 @@
+package store
+
+// Generation retention, point-in-time restore, and quarantine.
+//
+// Retention: every commit's manifest is also archived under
+// <dir>/generations/gen-<seq>.rsman (when SetRetain allows more than
+// one), and the workload files a retained generation references are
+// exempt from deletion and the orphan sweep. Because commits never
+// write over a live file — each changed workload gets a fresh name —
+// keeping N manifests IS keeping N consistent point-in-time snapshots,
+// at the cost of only the files that actually changed between them.
+//
+// Restore: RestoreGeneration re-installs an archived manifest's
+// workload set as a NEW commit (the sequence keeps moving forward, so
+// the abandoned timeline's manifests remain distinct archives and a
+// restore can itself be undone by restoring the pre-restore
+// generation).
+//
+// Quarantine: LoadTolerant is the boot loader that refuses to die on a
+// single bad workload file — the file is moved into <dir>/quarantine/
+// for forensics, the manifest is rewritten without it, and the caller
+// gets the survivors plus a report. Manifest-level corruption still
+// fails loudly: there is no safe way to guess what a fleet looked like.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+const (
+	// GenerationsDir holds archived manifests, one per retained commit.
+	GenerationsDir = "generations"
+	// QuarantineDir receives workload files that failed validation at
+	// boot; they are kept for forensics, never read again.
+	QuarantineDir = "quarantine"
+)
+
+// SetRetain sets how many committed generations (including the current
+// one) stay restorable. n ≤ 1 disables archiving — exactly the pre-
+// retention behavior. Takes effect on the next commit; already-archived
+// generations beyond the new limit are pruned then too.
+func (s *Store) SetRetain(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retain = n
+}
+
+// GenerationInfo describes one restorable snapshot generation.
+type GenerationInfo struct {
+	Seq         uint64 `json:"seq"`
+	SavedAtUnix int64  `json:"saved_at_unix"`
+	Workloads   int    `json:"workloads"`
+	Current     bool   `json:"current"`
+}
+
+// Generations lists the restorable generations, oldest first. The
+// current manifest is always included (marked Current), whether or not
+// an archive copy of it exists.
+func (s *Store) Generations() []GenerationInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]GenerationInfo, 0, len(s.gens)+1)
+	for seq, g := range s.gens {
+		if seq == s.seq {
+			continue // reported from the live manifest below
+		}
+		out = append(out, GenerationInfo{Seq: seq, SavedAtUnix: g.SavedAtUnix, Workloads: len(g.Workloads)})
+	}
+	if s.seq > 0 && !s.legacy {
+		out = append(out, GenerationInfo{Seq: s.seq, SavedAtUnix: s.savedAt, Workloads: len(s.entries), Current: true})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// RestoreGeneration re-installs archived generation target as a new
+// commit: its workload files are validated first (a retained
+// generation's files are protected from deletion, so they should all
+// verify), then a fresh manifest naming exactly that set lands at
+// sequence current+1. The caller owns reloading engines from the store
+// afterwards. Restoring the current generation is a no-op.
+func (s *Store) RestoreGeneration(target uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy {
+		return errors.New("store: cannot restore a generation before the v1→v2 migration commit")
+	}
+	if target == s.seq && s.seq != 0 {
+		return nil
+	}
+	g, ok := s.gens[target]
+	if !ok {
+		return fmt.Errorf("store: no retained generation %d (have %s)", target, s.generationListLocked())
+	}
+	// Validate every file the generation names before touching the
+	// manifest: a restore must be all-or-nothing.
+	for _, en := range g.Workloads {
+		body, err := readChecked(filepath.Join(s.dir, WorkloadDir, en.File), workloadMagic, versionV2)
+		if err != nil {
+			return fmt.Errorf("store: generation %d is not restorable: workload %q (%s): %v", target, en.ID, en.File, err)
+		}
+		if len(body) != en.Len || crc32.ChecksumIEEE(body) != en.CRC {
+			return fmt.Errorf("store: generation %d is not restorable: %s does not match the generation's recorded checksum/length for %q", target, en.File, en.ID)
+		}
+	}
+	next := make(map[string]manifestEntry, len(g.Workloads))
+	for _, en := range g.Workloads {
+		next[en.ID] = en
+	}
+	if err := s.installManifestLocked(next); err != nil {
+		return fmt.Errorf("store: restoring generation %d: %w", target, err)
+	}
+	return nil
+}
+
+func (s *Store) generationListLocked() string {
+	seqs := make([]string, 0, len(s.gens))
+	for seq := range s.gens {
+		seqs = append(seqs, strconv.FormatUint(seq, 10))
+	}
+	sort.Strings(seqs)
+	if len(seqs) == 0 {
+		return "none"
+	}
+	return strings.Join(seqs, ", ")
+}
+
+// installManifestLocked writes a new manifest covering exactly next,
+// archives it per the retention policy, updates the in-memory state and
+// deletes files no retained generation references anymore. Shared by
+// RestoreGeneration and the quarantine rewrite; Commit has its own
+// inline tail (it also tracks write stats) but the archive/prune/delete
+// helpers below are common.
+func (s *Store) installManifestLocked(next map[string]manifestEntry) error {
+	seq := s.seq + 1
+	entries := make([]manifestEntry, 0, len(next))
+	for _, en := range next {
+		entries = append(entries, en)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	p := manifestPayload{SavedAtUnix: time.Now().Unix(), Seq: seq, Workloads: entries}
+	body, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("encoding manifest: %w", err)
+	}
+	manifest := encodeFile(manifestMagic, body)
+	if err := writeFileAtomic(s.dir, ManifestFile, manifest); err != nil {
+		return fmt.Errorf("installing manifest: %w", err)
+	}
+	syncDir(s.dir)
+	pruned := s.archiveAndPruneLocked(seq, manifest, p)
+	old := s.entries
+	s.entries = next
+	s.seq = seq
+	s.savedAt = p.SavedAtUnix
+	s.deleteUnreferencedLocked(old, pruned)
+	return nil
+}
+
+// archiveAndPruneLocked archives the just-committed manifest (content
+// already encoded) when retention wants more than the live copy, then
+// prunes archives beyond the retention limit. It returns the manifest
+// entries of pruned generations so the caller can delete their files if
+// nothing else references them. Archive failures are swallowed: the
+// commit itself stands, the generation just won't be restorable.
+func (s *Store) archiveAndPruneLocked(seq uint64, manifest []byte, p manifestPayload) []manifestEntry {
+	if s.retain > 1 {
+		if err := writeFileAtomic(filepath.Join(s.dir, GenerationsDir), generationFileName(seq), manifest); err == nil {
+			s.gens[seq] = p
+		}
+	}
+	var pruned []manifestEntry
+	limit := s.retain
+	if limit < 1 {
+		limit = 1
+	}
+	// The live generation counts toward the limit; keep the newest
+	// limit-1 archives besides it (an archive of the live seq is not
+	// "besides it").
+	seqs := make([]uint64, 0, len(s.gens))
+	for g := range s.gens {
+		if g != seq {
+			seqs = append(seqs, g)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	for i, g := range seqs {
+		if i < limit-1 {
+			continue
+		}
+		pruned = append(pruned, s.gens[g].Workloads...)
+		delete(s.gens, g)
+		os.Remove(filepath.Join(s.dir, GenerationsDir, generationFileName(g)))
+	}
+	return pruned
+}
+
+// referencedLocked is the set of workload files named by the live
+// manifest or any retained generation — the files that must survive.
+func (s *Store) referencedLocked() map[string]bool {
+	ref := make(map[string]bool, len(s.entries))
+	for _, en := range s.entries {
+		ref[en.File] = true
+	}
+	for _, g := range s.gens {
+		for _, en := range g.Workloads {
+			ref[en.File] = true
+		}
+	}
+	return ref
+}
+
+// deleteUnreferencedLocked removes the files of a replaced manifest
+// (old) and of pruned generations that no retained generation
+// references anymore. Returns how many files were deleted.
+func (s *Store) deleteUnreferencedLocked(old map[string]manifestEntry, pruned []manifestEntry) int {
+	ref := s.referencedLocked()
+	removed := 0
+	seen := map[string]bool{}
+	drop := func(file string) {
+		if file == "" || ref[file] || seen[file] {
+			return
+		}
+		seen[file] = true
+		if os.Remove(filepath.Join(s.dir, WorkloadDir, file)) == nil {
+			removed++
+		}
+	}
+	for _, en := range old {
+		drop(en.File)
+	}
+	for _, en := range pruned {
+		drop(en.File)
+	}
+	return removed
+}
+
+// loadGenerationsLocked reads the archived manifests at Open, before
+// the orphan sweep (their files must count as referenced). Unreadable
+// or malformed archives are discarded — an archive is redundant by
+// definition, and keeping a bad one would only block restores.
+func (s *Store) loadGenerationsLocked() {
+	dir := filepath.Join(s.dir, GenerationsDir)
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, de := range des {
+		seq, ok := parseGenerationFileName(de.Name())
+		if !ok {
+			continue
+		}
+		body, err := readChecked(filepath.Join(dir, de.Name()), manifestMagic, versionV2)
+		if err != nil {
+			os.Remove(filepath.Join(dir, de.Name()))
+			continue
+		}
+		var p manifestPayload
+		if err := json.Unmarshal(body, &p); err != nil || p.Seq != seq {
+			os.Remove(filepath.Join(dir, de.Name()))
+			continue
+		}
+		s.gens[seq] = p
+	}
+}
+
+func generationFileName(seq uint64) string {
+	return fmt.Sprintf("gen-%016d.rsman", seq)
+}
+
+func parseGenerationFileName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".rsman") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "gen-"), ".rsman"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// ── Tolerant boot load & quarantine ─────────────────────────────────────
+
+// Quarantined reports one workload file set aside at boot.
+type Quarantined struct {
+	ID     string `json:"id"`
+	File   string `json:"file"`
+	Reason string `json:"reason"`
+}
+
+// LoadTolerant is Load for booting: instead of failing the whole fleet
+// on one unreadable workload file, it moves the bad file into
+// <dir>/quarantine/, rewrites the manifest without it, and returns the
+// workloads that did validate plus a report of what was set aside.
+// Manifest-level corruption (and legacy v1 corruption — the monolithic
+// file has no salvageable pieces) still fails hard. An error rewriting
+// the manifest is fatal too: booting on state the store cannot
+// re-persist coherently would just defer the crash.
+func (s *Store) LoadTolerant() ([]Workload, []Quarantined, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy {
+		ws, err := LoadV1(s.dir)
+		return ws, nil, err
+	}
+	if s.seq == 0 {
+		return nil, nil, fmt.Errorf("%w in %s", ErrNoSnapshot, s.dir)
+	}
+	ids := make([]string, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var out []Workload
+	var quarantined []Quarantined
+	for _, id := range ids {
+		en := s.entries[id]
+		w, err := s.loadEntryLocked(en)
+		if err != nil {
+			quarantined = append(quarantined, Quarantined{ID: id, File: en.File, Reason: err.Error()})
+			continue
+		}
+		out = append(out, w)
+	}
+	if len(quarantined) > 0 {
+		if err := s.quarantineLocked(quarantined); err != nil {
+			return nil, quarantined, err
+		}
+	}
+	return out, quarantined, nil
+}
+
+// loadEntryLocked reads and fully validates one workload file.
+func (s *Store) loadEntryLocked(en manifestEntry) (Workload, error) {
+	var w Workload
+	body, err := readChecked(filepath.Join(s.dir, WorkloadDir, en.File), workloadMagic, versionV2)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return w, fmt.Errorf("file is missing")
+		}
+		return w, err
+	}
+	if len(body) != en.Len || crc32.ChecksumIEEE(body) != en.CRC {
+		return w, fmt.Errorf("file does not match the manifest's recorded checksum/length")
+	}
+	if err := json.Unmarshal(body, &w); err != nil {
+		return w, fmt.Errorf("decoding payload: %v", err)
+	}
+	if w.ID != en.ID {
+		return w, fmt.Errorf("file holds workload %q, manifest says %q", w.ID, en.ID)
+	}
+	return w, nil
+}
+
+// Quarantine sets aside one workload whose file passed the store's
+// checks but whose blob the engine rejected (CRC-valid JSON encoding a
+// state the current build refuses). Same mechanics as the boot path:
+// file moved, manifest rewritten without the workload.
+func (s *Store) Quarantine(id, reason string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy {
+		return errors.New("store: cannot quarantine from a legacy v1 snapshot")
+	}
+	en, ok := s.entries[id]
+	if !ok {
+		return nil
+	}
+	return s.quarantineLocked([]Quarantined{{ID: id, File: en.File, Reason: reason}})
+}
+
+// quarantineLocked moves the named files into QuarantineDir and
+// rewrites the manifest without their workloads.
+func (s *Store) quarantineLocked(bad []Quarantined) error {
+	qdir := filepath.Join(s.dir, QuarantineDir)
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		return fmt.Errorf("store: creating quarantine dir: %w", err)
+	}
+	next := make(map[string]manifestEntry, len(s.entries))
+	for id, en := range s.entries {
+		next[id] = en
+	}
+	for _, q := range bad {
+		// Move, not delete: the bytes are evidence. Best-effort — a
+		// missing file has nothing to move.
+		os.Rename(filepath.Join(s.dir, WorkloadDir, q.File), filepath.Join(qdir, q.File))
+		delete(next, q.ID)
+	}
+	if err := s.installManifestLocked(next); err != nil {
+		return fmt.Errorf("store: rewriting manifest after quarantine: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,316 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// wl builds one workload whose blob encodes v, so generations are
+// distinguishable by content.
+func wl(id string, v int) Workload {
+	return Workload{ID: id, State: json.RawMessage(fmt.Sprintf(`{"v":%d}`, v))}
+}
+
+// commitGen commits one generation with the given content version.
+func commitGen(t *testing.T, st *Store, v int, ids ...string) {
+	t.Helper()
+	ws := make([]Workload, 0, len(ids))
+	for _, id := range ids {
+		ws = append(ws, wl(id, v))
+	}
+	if _, err := st.Commit(ws, nil); err != nil {
+		t.Fatalf("commit v%d: %v", v, err)
+	}
+}
+
+// loadVersions maps workload ID to the blob's content version.
+func loadVersions(t *testing.T, st *Store) map[string]int {
+	t.Helper()
+	ws, err := st.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	out := map[string]int{}
+	for _, w := range ws {
+		var p struct {
+			V int `json:"v"`
+		}
+		if err := json.Unmarshal(w.State, &p); err != nil {
+			t.Fatalf("blob for %q: %v", w.ID, err)
+		}
+		out[w.ID] = p.V
+	}
+	return out
+}
+
+func TestGenerationRetentionKeepsLastN(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	st.SetRetain(3)
+	for v := 1; v <= 5; v++ {
+		commitGen(t, st, v, "web", "api")
+	}
+	gens := st.Generations()
+	if len(gens) != 3 {
+		t.Fatalf("Generations = %+v, want last 3", gens)
+	}
+	for i, g := range gens {
+		if g.Seq != uint64(i+3) || g.Workloads != 2 {
+			t.Fatalf("generation %d = %+v, want seq %d with 2 workloads", i, g, i+3)
+		}
+	}
+	if !gens[2].Current || gens[0].Current || gens[1].Current {
+		t.Fatalf("current flag misplaced: %+v", gens)
+	}
+	// 3 retained generations × 2 workloads, all distinct files.
+	if files := workloadFiles(t, dir); len(files) != 6 {
+		t.Fatalf("have %d workload files, want 6 (3 gens × 2): %v", len(files), files)
+	}
+}
+
+func TestRetainDisabledByDefault(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	for v := 1; v <= 3; v++ {
+		commitGen(t, st, v, "web")
+	}
+	gens := st.Generations()
+	if len(gens) != 1 || !gens[0].Current {
+		t.Fatalf("without SetRetain, Generations = %+v, want only current", gens)
+	}
+	if files := workloadFiles(t, dir); len(files) != 1 {
+		t.Fatalf("have %d workload files, want 1: %v", len(files), files)
+	}
+}
+
+func TestRestoreGeneration(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	st.SetRetain(4)
+	commitGen(t, st, 1, "web", "api")
+	commitGen(t, st, 2, "web", "api", "batch") // gen 2 adds a workload
+	commitGen(t, st, 3, "web")                 // gen 3 drops two
+
+	if err := st.RestoreGeneration(2); err != nil {
+		t.Fatalf("RestoreGeneration(2): %v", err)
+	}
+	got := loadVersions(t, st)
+	want := map[string]int{"web": 2, "api": 2, "batch": 2}
+	if len(got) != len(want) {
+		t.Fatalf("after restore, fleet = %v, want %v", got, want)
+	}
+	for id, v := range want {
+		if got[id] != v {
+			t.Fatalf("after restore, %q = v%d, want v%d", id, got[id], v)
+		}
+	}
+	// The restore is itself a new generation; the abandoned timeline
+	// (gen 3) is still retained, so the restore can be undone.
+	gens := st.Generations()
+	last := gens[len(gens)-1]
+	if !last.Current || last.Seq != 4 {
+		t.Fatalf("restore did not advance the sequence: %+v", gens)
+	}
+	if err := st.RestoreGeneration(3); err != nil {
+		t.Fatalf("undoing the restore via gen 3: %v", err)
+	}
+	got = loadVersions(t, st)
+	if len(got) != 1 || got["web"] != 3 {
+		t.Fatalf("after restoring gen 3, fleet = %v, want web v3 only", got)
+	}
+}
+
+func TestRestoreGenerationUnknown(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	st.SetRetain(2)
+	commitGen(t, st, 1, "web")
+	err := st.RestoreGeneration(42)
+	if err == nil || !strings.Contains(err.Error(), "no retained generation") {
+		t.Fatalf("RestoreGeneration(42) err = %v", err)
+	}
+	// Restoring the current generation is a no-op, not an error.
+	if err := st.RestoreGeneration(1); err != nil {
+		t.Fatalf("restore of current generation: %v", err)
+	}
+}
+
+func TestGenerationsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	st.SetRetain(3)
+	for v := 1; v <= 3; v++ {
+		commitGen(t, st, v, "web")
+	}
+
+	// Reopen: the sweep must not eat retained generations' files, and
+	// restore must still work.
+	st2 := open(t, dir)
+	st2.SetRetain(3)
+	gens := st2.Generations()
+	if len(gens) != 3 {
+		t.Fatalf("after reopen, Generations = %+v, want 3", gens)
+	}
+	if err := st2.RestoreGeneration(1); err != nil {
+		t.Fatalf("RestoreGeneration(1) after reopen: %v", err)
+	}
+	if got := loadVersions(t, st2); got["web"] != 1 {
+		t.Fatalf("restored fleet = %v, want web v1", got)
+	}
+}
+
+func TestPruneDropsOldGenerationFiles(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	st.SetRetain(2)
+	for v := 1; v <= 4; v++ {
+		commitGen(t, st, v, "web")
+	}
+	// Only gens 3 and 4 retained → exactly 2 workload files and 2
+	// archive manifests.
+	if files := workloadFiles(t, dir); len(files) != 2 {
+		t.Fatalf("have %d workload files, want 2: %v", len(files), files)
+	}
+	des, err := os.ReadDir(filepath.Join(dir, GenerationsDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(des) != 2 {
+		t.Fatalf("have %d archived manifests, want 2", len(des))
+	}
+	if err := st.RestoreGeneration(1); err == nil {
+		t.Fatal("RestoreGeneration(1) succeeded after gen 1 was pruned")
+	}
+}
+
+func TestSharedFilesSurvivePrune(t *testing.T) {
+	// An unchanged workload keeps its file across generations; pruning a
+	// generation must not delete a file newer generations still name.
+	dir := t.TempDir()
+	st := open(t, dir)
+	st.SetRetain(2)
+	commitGen(t, st, 1, "web")
+	if _, err := st.Commit(nil, []string{"web"}); err != nil { // gen 2: same file kept
+		t.Fatal(err)
+	}
+	if _, err := st.Commit(nil, []string{"web"}); err != nil { // gen 3: prunes gen 1
+		t.Fatal(err)
+	}
+	if got := loadVersions(t, st); got["web"] != 1 {
+		t.Fatalf("shared file vanished with the pruned generation: %v", got)
+	}
+}
+
+func TestLoadTolerantQuarantinesBadFile(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	commitGen(t, st, 1, "web", "api", "batch")
+
+	// Corrupt api's file on disk.
+	var apiFile string
+	for name := range workloadFiles(t, dir) {
+		if strings.HasPrefix(name, "api-") {
+			apiFile = name
+		}
+	}
+	path := filepath.Join(dir, WorkloadDir, apiFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict Load refuses; tolerant load boots the survivors.
+	if _, err := st.Load(); err == nil {
+		t.Fatal("strict Load accepted a corrupt workload file")
+	}
+	ws, quarantined, err := st.LoadTolerant()
+	if err != nil {
+		t.Fatalf("LoadTolerant: %v", err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("LoadTolerant returned %d workloads, want 2 survivors", len(ws))
+	}
+	if len(quarantined) != 1 || quarantined[0].ID != "api" || quarantined[0].Reason == "" {
+		t.Fatalf("quarantined = %+v", quarantined)
+	}
+	// The bad file moved into quarantine/ and the manifest no longer
+	// names it: strict Load now succeeds with the survivors.
+	if _, err := os.Stat(filepath.Join(dir, QuarantineDir, apiFile)); err != nil {
+		t.Fatalf("quarantined file not preserved: %v", err)
+	}
+	got, err := st.Load()
+	if err != nil {
+		t.Fatalf("Load after quarantine: %v", err)
+	}
+	if len(got) != 2 || st.Has("api") {
+		t.Fatalf("manifest still covers the quarantined workload")
+	}
+	// And the repair is durable: a fresh Open sees the same two.
+	st2 := open(t, dir)
+	got2, err := st2.Load()
+	if err != nil || len(got2) != 2 {
+		t.Fatalf("after reopen, Load = %d workloads, %v", len(got2), err)
+	}
+}
+
+func TestLoadTolerantMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	commitGen(t, st, 1, "web", "api")
+	for name := range workloadFiles(t, dir) {
+		if strings.HasPrefix(name, "web-") {
+			os.Remove(filepath.Join(dir, WorkloadDir, name))
+		}
+	}
+	ws, quarantined, err := st.LoadTolerant()
+	if err != nil {
+		t.Fatalf("LoadTolerant: %v", err)
+	}
+	if len(ws) != 1 || ws[0].ID != "api" {
+		t.Fatalf("survivors = %+v, want just api", ws)
+	}
+	if len(quarantined) != 1 || quarantined[0].ID != "web" {
+		t.Fatalf("quarantined = %+v, want web", quarantined)
+	}
+}
+
+func TestLoadTolerantEmptyStore(t *testing.T) {
+	st := open(t, t.TempDir())
+	_, _, err := st.LoadTolerant()
+	if !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestQuarantineByID(t *testing.T) {
+	dir := t.TempDir()
+	st := open(t, dir)
+	commitGen(t, st, 1, "web", "api")
+	if err := st.Quarantine("web", "engine rejected blob"); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if st.Has("web") {
+		t.Fatal("manifest still covers quarantined workload")
+	}
+	ws, err := st.Load()
+	if err != nil || len(ws) != 1 || ws[0].ID != "api" {
+		t.Fatalf("Load = %+v, %v", ws, err)
+	}
+	des, err := os.ReadDir(filepath.Join(dir, QuarantineDir))
+	if err != nil || len(des) != 1 {
+		t.Fatalf("quarantine dir = %v entries, %v", len(des), err)
+	}
+	// Quarantining an unknown workload is a no-op.
+	if err := st.Quarantine("nope", "x"); err != nil {
+		t.Fatalf("Quarantine(unknown): %v", err)
+	}
+}

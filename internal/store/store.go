@@ -168,6 +168,13 @@ type Store struct {
 	mu      sync.Mutex
 	seq     uint64
 	entries map[string]manifestEntry
+	// savedAt is the live manifest's SavedAtUnix (Generations reports it).
+	savedAt int64
+	// retain is how many generations (including the live one) stay
+	// restorable; ≤1 disables archiving. See SetRetain.
+	retain int
+	// gens holds the archived generation manifests, by sequence.
+	gens map[uint64]manifestPayload
 	// legacy marks a directory still on the v1 monolithic format: reads
 	// come from snapshot.rsnap until the first Commit migrates it.
 	legacy bool
@@ -185,11 +192,19 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, WorkloadDir), 0o755); err != nil {
 		return nil, fmt.Errorf("store: creating data dir: %w", err)
 	}
+	if err := os.MkdirAll(filepath.Join(dir, GenerationsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating generations dir: %w", err)
+	}
 	var nonce [4]byte
 	if _, err := rand.Read(nonce[:]); err != nil {
 		return nil, fmt.Errorf("store: generating nonce: %w", err)
 	}
-	s := &Store{dir: dir, nonce: hex.EncodeToString(nonce[:]), entries: map[string]manifestEntry{}}
+	s := &Store{
+		dir:     dir,
+		nonce:   hex.EncodeToString(nonce[:]),
+		entries: map[string]manifestEntry{},
+		gens:    map[uint64]manifestPayload{},
+	}
 
 	body, err := readChecked(filepath.Join(dir, ManifestFile), manifestMagic, versionV2)
 	switch {
@@ -211,6 +226,7 @@ func Open(dir string) (*Store, error) {
 		if s.seq == 0 {
 			s.seq = 1 // a committed manifest always has a positive sequence
 		}
+		s.savedAt = p.SavedAtUnix
 		// A leftover legacy snapshot next to a manifest usually means a
 		// crash landed between the migration commit and the legacy
 		// cleanup — the manifest is the commit point, so that v1 file is
@@ -237,6 +253,9 @@ func Open(dir string) (*Store, error) {
 	default:
 		return nil, err
 	}
+	// Archived generations must be known before the sweep: their files
+	// count as referenced.
+	s.loadGenerationsLocked()
 	s.sweepLocked()
 	return s, nil
 }
@@ -401,7 +420,8 @@ func (s *Store) commitLocked(changed []Workload, keep []string) (CommitStats, in
 		entries = append(entries, en)
 	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
-	body, err := json.Marshal(manifestPayload{SavedAtUnix: time.Now().Unix(), Seq: seq, Workloads: entries})
+	savedAt := time.Now().Unix()
+	body, err := json.Marshal(manifestPayload{SavedAtUnix: savedAt, Seq: seq, Workloads: entries})
 	if err != nil {
 		return abort(fmt.Errorf("store: encoding manifest: %w", err))
 	}
@@ -412,20 +432,19 @@ func (s *Store) commitLocked(changed []Workload, keep []string) (CommitStats, in
 	wrote += int64(len(manifest))
 	syncDir(s.dir)
 
-	// Committed. Everything the new manifest does not name is garbage.
-	for id, old := range s.entries {
-		if nw, ok := next[id]; !ok || nw.File != old.File {
-			if os.Remove(filepath.Join(s.dir, WorkloadDir, old.File)) == nil {
-				stats.Removed++
-			}
-		}
-	}
+	// Committed. Archive this generation per the retention policy, then
+	// delete every file neither the new manifest nor a retained
+	// generation references.
+	pruned := s.archiveAndPruneLocked(seq, manifest, manifestPayload{SavedAtUnix: savedAt, Seq: seq, Workloads: entries})
 	if s.legacy {
 		os.Remove(filepath.Join(s.dir, SnapshotFile))
 		s.legacy = false
 	}
+	old := s.entries
 	s.entries = next
 	s.seq = seq
+	s.savedAt = savedAt
+	stats.Removed = s.deleteUnreferencedLocked(old, pruned)
 	stats.Total = len(next)
 	stats.Written = len(changed)
 	stats.Kept = len(keep)
@@ -436,7 +455,7 @@ func (s *Store) commitLocked(changed []Workload, keep []string) (CommitStats, in
 // not name — the debris of a commit that crashed before its commit
 // point (or after it, before cleanup ran).
 func (s *Store) sweepLocked() {
-	for _, pat := range []string{".tmp-*", ".snapshot-*.tmp"} {
+	for _, pat := range []string{".tmp-*", ".snapshot-*.tmp", filepath.Join(GenerationsDir, ".tmp-*")} {
 		if matches, err := filepath.Glob(filepath.Join(s.dir, pat)); err == nil {
 			for _, m := range matches {
 				os.Remove(m)
@@ -448,10 +467,7 @@ func (s *Store) sweepLocked() {
 	if err != nil {
 		return
 	}
-	referenced := make(map[string]bool, len(s.entries))
-	for _, en := range s.entries {
-		referenced[en.File] = true
-	}
+	referenced := s.referencedLocked()
 	for _, de := range names {
 		if !referenced[de.Name()] {
 			os.Remove(filepath.Join(dir, de.Name()))

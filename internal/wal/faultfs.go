@@ -1,0 +1,153 @@
+package wal
+
+// FaultFS is the crash-fault injection harness: a wrapping FS whose
+// failure modes are armed by tests. It lives in the package proper (not
+// a _test file) so other packages' crash tests — engine's kill-and-
+// restart suite, the CI crash-recovery job — can drive the same faults
+// through the same production code paths.
+
+import (
+	"fmt"
+	"io/fs"
+	"sync"
+)
+
+// FaultFS wraps an FS and injects failures on demand: failing fsyncs,
+// tearing writes mid-record, breaking truncations. Bit flips and tail
+// truncations of *closed* files don't need an FS hook — tests edit the
+// segment bytes directly between a crash and the reopen.
+type FaultFS struct {
+	inner FS
+
+	mu sync.Mutex
+	// syncErr, when set, fails every File.Sync.
+	syncErr error
+	// truncErr, when set, fails every truncate (both the path-based FS
+	// method and open-file rollbacks) — the way to wedge a log.
+	truncErr error
+	// tearAfter, when armed (≥ 0), lets the next write through for only
+	// tearAfter bytes, reports success for the torn length, then
+	// disarms. Simulates the machine dying mid-write: the caller never
+	// learns, exactly like a kill -9.
+	tearAfter int
+	// writeErr, when set, fails every write after writing tearAfter
+	// bytes (if armed) or zero bytes: a disk error the caller DOES see.
+	writeErr error
+}
+
+// NewFaultFS wraps inner (the real FS in the crash tests).
+func NewFaultFS(inner FS) *FaultFS {
+	return &FaultFS{inner: inner, tearAfter: -1}
+}
+
+// FailSyncs arms (or with nil, disarms) fsync failure.
+func (f *FaultFS) FailSyncs(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// FailTruncates arms (or with nil, disarms) truncate failure.
+func (f *FaultFS) FailTruncates(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.truncErr = err
+}
+
+// TearNextWrite arms a one-shot torn write: the next write persists
+// only n bytes but reports full success — the crash-mid-append fault.
+func (f *FaultFS) TearNextWrite(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.tearAfter = n
+}
+
+// FailWrites arms (or with nil, disarms) write failure; writes persist
+// zero bytes and return err.
+func (f *FaultFS) FailWrites(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr = err
+}
+
+func (f *FaultFS) MkdirAll(path string) error           { return f.inner.MkdirAll(path) }
+func (f *FaultFS) ReadFile(path string) ([]byte, error) { return f.inner.ReadFile(path) }
+func (f *FaultFS) ReadDir(path string) ([]fs.DirEntry, error) {
+	return f.inner.ReadDir(path)
+}
+func (f *FaultFS) Remove(path string) error    { return f.inner.Remove(path) }
+func (f *FaultFS) RemoveAll(path string) error { return f.inner.RemoveAll(path) }
+
+func (f *FaultFS) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	err := f.truncErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return f.inner.Truncate(path, size)
+}
+
+func (f *FaultFS) OpenAppend(path string) (File, error) {
+	file, err := f.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: file}, nil
+}
+
+// faultFile routes the open-file operations through the armed faults.
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	tear := ff.fs.tearAfter
+	werr := ff.fs.writeErr
+	if tear >= 0 {
+		ff.fs.tearAfter = -1 // one-shot
+	}
+	ff.fs.mu.Unlock()
+	if tear >= 0 {
+		if tear > len(p) {
+			tear = len(p)
+		}
+		if _, err := ff.inner.Write(p[:tear]); err != nil {
+			return 0, err
+		}
+		if werr != nil {
+			// Torn AND surfaced: a disk error after a partial write.
+			return tear, werr
+		}
+		// Torn silently: report success for bytes that never all landed.
+		return len(p), nil
+	}
+	if werr != nil {
+		return 0, werr
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	err := ff.fs.syncErr
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("injected: %w", err)
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.mu.Lock()
+	err := ff.fs.truncErr
+	ff.fs.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("injected: %w", err)
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultFile) Close() error { return ff.inner.Close() }

@@ -1,0 +1,58 @@
+package wal
+
+// The filesystem seam. Everything the WAL does to disk goes through the
+// FS interface, so the crash-fault injection harness (FaultFS) can fail
+// fsyncs, tear writes mid-record and break truncations underneath the
+// real append/replay code paths — the exact code that runs in
+// production, not a mock of it.
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the slice of filesystem behavior the WAL needs. The default is
+// the real OS filesystem (osFS); tests substitute a FaultFS.
+type FS interface {
+	MkdirAll(path string) error
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	ReadFile(path string) ([]byte, error)
+	ReadDir(path string) ([]fs.DirEntry, error)
+	Remove(path string) error
+	RemoveAll(path string) error
+	// Truncate shortens the file at path to size bytes (replay uses it
+	// to cut a corrupt tail off a closed segment).
+	Truncate(path string, size int64) error
+}
+
+// File is an open append-mode segment.
+type File interface {
+	io.Writer
+	// Sync flushes written data to stable storage.
+	Sync() error
+	// Truncate shortens the open file to size bytes; with O_APPEND the
+	// next write lands at the new end, which is what makes a failed
+	// append rollable-back.
+	Truncate(size int64) error
+	Close() error
+}
+
+// osFS is the real filesystem.
+type osFS struct{}
+
+// OSFS returns the production filesystem implementation.
+func OSFS() FS { return osFS{} }
+
+func (osFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error)       { return os.ReadFile(path) }
+func (osFS) ReadDir(path string) ([]fs.DirEntry, error) { return os.ReadDir(path) }
+func (osFS) Remove(path string) error                   { return os.Remove(path) }
+func (osFS) RemoveAll(path string) error                { return os.RemoveAll(path) }
+func (osFS) Truncate(path string, size int64) error     { return os.Truncate(path, size) }

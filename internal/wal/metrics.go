@@ -1,0 +1,88 @@
+package wal
+
+import "robustscaler/internal/metrics"
+
+// managerMetrics are always-on internal counters (zero-value usable);
+// Instrument exposes them as robustscaler_wal_* series. Histograms are
+// nil until Instrument runs — appends check before observing.
+type managerMetrics struct {
+	appends      metrics.Counter
+	appendEvents metrics.Counter
+	appendBytes  metrics.Counter
+	appendErrors metrics.Counter
+
+	fsyncs        metrics.Counter
+	fsyncFailures metrics.Counter
+
+	segmentsCreated metrics.Counter
+	segmentsRemoved metrics.Counter
+
+	// truncations counts checkpoint truncations (TruncateThrough after a
+	// snapshot commit); replayTruncations counts corruption repairs —
+	// the alarming kind.
+	truncations       metrics.Counter
+	replayTruncations metrics.Counter
+
+	replayRecords metrics.Counter
+	replayEvents  metrics.Counter
+
+	appendSeconds *metrics.Histogram
+	fsyncSeconds  *metrics.Histogram
+}
+
+func counterFloat(c *metrics.Counter) func() float64 {
+	return func() float64 { return float64(c.Value()) }
+}
+
+// Instrument registers the manager's robustscaler_wal_* series on m.
+// Call once, before traffic.
+func (mg *Manager) Instrument(m *metrics.Registry) {
+	met := &mg.met
+	m.CounterFunc("robustscaler_wal_appends_total",
+		"WAL batch records appended.", counterFloat(&met.appends))
+	m.CounterFunc("robustscaler_wal_append_events_total",
+		"Arrival events appended to WALs.", counterFloat(&met.appendEvents))
+	m.CounterFunc("robustscaler_wal_append_bytes_total",
+		"Bytes appended to WAL segments.", counterFloat(&met.appendBytes))
+	m.CounterFunc("robustscaler_wal_append_errors_total",
+		"Failed WAL appends (the batch was not acknowledged).", counterFloat(&met.appendErrors))
+	m.CounterFunc("robustscaler_wal_fsyncs_total",
+		"WAL fsync calls.", counterFloat(&met.fsyncs))
+	m.CounterFunc("robustscaler_wal_fsync_failures_total",
+		"Failed WAL fsyncs.", counterFloat(&met.fsyncFailures))
+	m.CounterFunc("robustscaler_wal_segments_created_total",
+		"WAL segments opened.", counterFloat(&met.segmentsCreated))
+	m.CounterFunc("robustscaler_wal_segments_removed_total",
+		"WAL segments deleted (checkpoint or repair).", counterFloat(&met.segmentsRemoved))
+	m.CounterFunc("robustscaler_wal_truncations_total",
+		"Checkpoint truncations after snapshot commits.", counterFloat(&met.truncations))
+	m.CounterFunc("robustscaler_wal_replay_truncations_total",
+		"Corruption repairs: logs cut at the first bad record during recovery.",
+		counterFloat(&met.replayTruncations))
+	m.CounterFunc("robustscaler_wal_replay_records_total",
+		"Batch records replayed into engines at boot.", counterFloat(&met.replayRecords))
+	m.CounterFunc("robustscaler_wal_replay_events_total",
+		"Arrival events replayed into engines at boot.", counterFloat(&met.replayEvents))
+	met.appendSeconds = m.Histogram("robustscaler_wal_append_seconds",
+		"WAL append latency (excluding fsync).", metrics.DefBuckets)
+	met.fsyncSeconds = m.Histogram("robustscaler_wal_fsync_seconds",
+		"WAL fsync latency.", metrics.DefBuckets)
+	m.GaugeFunc("robustscaler_wal_logs", "Open per-workload WALs.", func() float64 {
+		mg.mu.Lock()
+		defer mg.mu.Unlock()
+		return float64(len(mg.logs))
+	})
+	m.GaugeFunc("robustscaler_wal_size_bytes", "Total bytes across all WAL segments.", func() float64 {
+		mg.mu.Lock()
+		logs := make([]*Log, 0, len(mg.logs))
+		for _, l := range mg.logs {
+			logs = append(logs, l)
+		}
+		mg.mu.Unlock()
+		var total int64
+		for _, l := range logs {
+			total += l.Stats().SizeBytes
+		}
+		return float64(total)
+	})
+}

@@ -1,0 +1,245 @@
+package wal
+
+// Replay and crash repair. A crash can leave the log with a torn final
+// record (a write stopped mid-frame) or — under injected faults and
+// dying disks — a corrupt one (bit flip, bad CRC). Recovery policy:
+// the log is exactly its valid prefix. The scan walks segments in
+// order, verifies every frame, and at the first bad record truncates
+// the segment there and deletes every later segment (records are
+// strictly ordered across segments, so nothing after the first bad
+// offset can be trusted to be contiguous). A torn tail therefore never
+// fails boot; it just shortens the log to what was durable. What DOES
+// fail loudly: filesystem errors during the scan or repair (the log
+// cannot be trusted if the repair didn't happen) and apply errors (a
+// CRC-valid record the engine rejects means a bug, not bit rot — better
+// to refuse boot than run with silently wrong history).
+
+import (
+	"fmt"
+	"log"
+)
+
+// replayRec is one decoded batch record held between scan and apply.
+type replayRec struct {
+	seq uint64
+	ts  []float64
+}
+
+// ReplayStats summarizes one replay/recovery pass.
+type ReplayStats struct {
+	// Segments scanned (before any drop), Records/Events successfully
+	// decoded and kept.
+	Segments int
+	Records  int
+	Events   int
+	// Truncated reports the valid prefix ended before the physical end:
+	// the log was cut at TruncatedSegment/TruncatedOffset for Reason,
+	// dropping DroppedSegments later segments.
+	Truncated        bool
+	TruncatedSegment uint64
+	TruncatedOffset  int64
+	DroppedSegments  int
+	Reason           string
+}
+
+// Replay feeds every durable batch record to apply in order, after
+// repairing any crash damage (see the package comment on recovery
+// policy). It is the boot path: snapshot restore first, then Replay on
+// top. apply is called outside the log's lock (the engine's apply takes
+// its own lock, which is also held when calling Append — holding both
+// here would invert that order); an apply error aborts and is returned.
+func (l *Log) Replay(apply func(seq uint64, ts []float64) error) (ReplayStats, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ReplayStats{}, ErrClosed
+	}
+	recs, stats, err := l.scanLocked(true)
+	l.mu.Unlock()
+	if err != nil {
+		return stats, err
+	}
+	met := &l.mgr.met
+	for _, r := range recs {
+		if err := apply(r.seq, r.ts); err != nil {
+			return stats, fmt.Errorf("wal %s: applying record seq %d: %w", l.id, r.seq, err)
+		}
+		met.replayRecords.Inc()
+		met.replayEvents.Add(uint64(len(r.ts)))
+	}
+	return stats, nil
+}
+
+// scanLocked rebuilds the log's in-memory state from disk, repairing
+// crash damage as it goes, and (when collect is set) returns the
+// decoded batch records. It is the single source of truth for what "the
+// valid prefix" means; the lazy recovery before a first append runs it
+// with collect=false. Requires l.mu.
+func (l *Log) scanLocked(collect bool) ([]replayRec, ReplayStats, error) {
+	var stats ReplayStats
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+		l.dirty = false
+	}
+	segs, err := listSegments(l.mgr.fs, l.dir)
+	if err != nil {
+		return nil, stats, fmt.Errorf("wal %s: scan: %w", l.id, err)
+	}
+	if n := len(segs); n > 0 && segs[n-1] > l.seg {
+		l.seg = segs[n-1]
+	}
+	l.segs = segs
+	l.segMax = map[uint64]uint64{}
+	l.sizes = map[uint64]int64{}
+	l.lastSeq = 0
+	l.segSize = 0
+	stats.Segments = len(segs)
+
+	var recs []replayRec
+	var lastSeq uint64
+	for i, segNo := range segs {
+		path := l.segPath(segNo)
+		data, err := l.mgr.fs.ReadFile(path)
+		if err != nil {
+			return nil, stats, fmt.Errorf("wal %s: reading segment %d: %w", l.id, segNo, err)
+		}
+		valid := int64(0) // bytes of verified-good prefix in this segment
+		bad := ""
+		for bad == "" {
+			rec, n, status, reason := decodeRecord(data[valid:])
+			switch status {
+			case decodeEOF:
+				if valid == 0 {
+					// A zero-length segment has no meta record, so an append
+					// reattaching to it would violate the every-segment-opens-
+					// with-meta invariant. Crash debris; cut it.
+					bad = "empty segment (crash before the meta record)"
+					continue
+				}
+				// segment fully consumed
+			case decodeTorn:
+				bad = fmt.Sprintf("torn record (%s)", reason)
+			case decodeCorrupt:
+				bad = fmt.Sprintf("corrupt record (%s)", reason)
+			case decodeOK:
+				switch {
+				case valid == 0:
+					// Every segment opens with its own meta record.
+					if rec.typ != recordMeta {
+						bad = "segment does not open with a meta record"
+						continue
+					}
+					meta, merr := decodeMetaPayload(rec.payload)
+					if merr != nil {
+						bad = fmt.Sprintf("bad meta record: %v", merr)
+						continue
+					}
+					if meta.Workload != l.id || meta.Segment != segNo {
+						bad = fmt.Sprintf("meta record names workload %q segment %d, want %q segment %d",
+							meta.Workload, meta.Segment, l.id, segNo)
+						continue
+					}
+				case rec.typ != recordBatch:
+					bad = "meta record past segment start"
+					continue
+				default:
+					seq, ts, berr := decodeBatchPayload(rec.payload)
+					if berr != nil {
+						bad = fmt.Sprintf("bad batch record: %v", berr)
+						continue
+					}
+					if seq <= lastSeq {
+						bad = fmt.Sprintf("sequence went backwards: %d after %d", seq, lastSeq)
+						continue
+					}
+					lastSeq = seq
+					l.segMax[segNo] = seq
+					stats.Records++
+					stats.Events += len(ts)
+					if collect {
+						recs = append(recs, replayRec{seq: seq, ts: ts})
+					}
+				}
+				valid += int64(n)
+				continue
+			}
+			break
+		}
+		if bad == "" {
+			l.sizes[segNo] = valid
+			continue
+		}
+		// First bad record: the log ends here. Cut this segment at the
+		// valid prefix (drop it entirely if even its meta is bad) and
+		// delete everything after it.
+		stats.Truncated = true
+		stats.TruncatedSegment = segNo
+		stats.TruncatedOffset = valid
+		stats.Reason = bad
+		log.Printf("wal %s: segment %d: %s at offset %d; truncating log here (dropping %d later segment(s))",
+			l.id, segNo, bad, valid, len(segs)-i-1)
+		if err := l.repairLocked(segs, i, valid, &stats); err != nil {
+			return nil, stats, err
+		}
+		break
+	}
+	if n := len(l.segs); n > 0 {
+		l.segSize = l.sizes[l.segs[n-1]]
+	}
+	// Drop segMax entries for segments the repair deleted, and recompute
+	// lastSeq as the max surviving sequence (a truncation may have cut
+	// records already counted into lastSeq).
+	surviving := map[uint64]bool{}
+	for _, s := range l.segs {
+		surviving[s] = true
+	}
+	l.lastSeq = 0
+	for s, max := range l.segMax {
+		if !surviving[s] {
+			delete(l.segMax, s)
+			continue
+		}
+		if max > l.lastSeq {
+			l.lastSeq = max
+		}
+	}
+	l.recovered = true
+	if stats.Truncated {
+		l.mgr.met.replayTruncations.Inc()
+	}
+	return recs, stats, nil
+}
+
+// repairLocked executes the truncate-at-first-corruption decision: cut
+// segment segs[i] to validLen bytes (remove it when nothing valid
+// remains) and delete all later segments. A failing repair is returned
+// as an error — boot must not proceed on a log whose bad tail is still
+// on disk.
+func (l *Log) repairLocked(segs []uint64, i int, validLen int64, stats *ReplayStats) error {
+	segNo := segs[i]
+	keep := segs[:i]
+	if validLen > 0 {
+		if err := l.mgr.fs.Truncate(l.segPath(segNo), validLen); err != nil {
+			return fmt.Errorf("wal %s: truncating corrupt tail of segment %d: %w", l.id, segNo, err)
+		}
+		l.sizes[segNo] = validLen
+		keep = segs[:i+1]
+	} else {
+		if err := l.mgr.fs.Remove(l.segPath(segNo)); err != nil {
+			return fmt.Errorf("wal %s: removing corrupt segment %d: %w", l.id, segNo, err)
+		}
+		delete(l.sizes, segNo)
+		l.mgr.met.segmentsRemoved.Inc()
+	}
+	for _, s := range segs[i+1:] {
+		if err := l.mgr.fs.Remove(l.segPath(s)); err != nil {
+			return fmt.Errorf("wal %s: removing post-corruption segment %d: %w", l.id, s, err)
+		}
+		delete(l.sizes, s)
+		l.mgr.met.segmentsRemoved.Inc()
+		stats.DroppedSegments++
+	}
+	l.segs = append([]uint64(nil), keep...)
+	return nil
+}

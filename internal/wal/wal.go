@@ -1,0 +1,812 @@
+// Package wal is the durability layer between acknowledged ingest and
+// the periodic snapshot: a per-workload append-only write-ahead log.
+// Every acknowledged ingest batch is framed (CRC-32 per record, see
+// record.go) and appended to the workload's active segment before the
+// engine applies it, so a crash between snapshot ticks loses nothing
+// that was acknowledged — boot replays the log on top of the snapshot.
+//
+// Layout: one directory per workload under the manager's root, holding
+// numbered segment files:
+//
+//	<root>/<sanitized-id>-<fnv64>/00000000000000000001.rswal
+//	<root>/<sanitized-id>-<fnv64>/00000000000000000002.rswal
+//
+// Every segment opens with a meta record naming its workload, so boot
+// maps directories back to IDs without trusting directory names.
+// Appends go to the highest-numbered segment; when it outgrows
+// SegmentBytes the log rotates to a fresh one. A checkpoint
+// (TruncateThrough, called after a successful snapshot commit) deletes
+// segments wholly covered by the snapshot — the log stays short-lived
+// by design, bounded by the snapshot cadence.
+//
+// Durability is the fsync policy's call: SyncAlways fsyncs every append
+// before it is acknowledged (no acknowledged write can be lost, at disk
+// latency per batch); SyncInterval marks segments dirty and a manager
+// flusher fsyncs them on a short cadence (bounded loss window, ingest
+// stays at memory speed); SyncOff leaves flushing to the OS. The policy
+// is per-manager with a per-log override, which is how the per-workload
+// `wal.fsync` config knob lands.
+//
+// A failed append — short write or failed SyncAlways fsync — is rolled
+// back by truncating the segment to its pre-append length, so the
+// failed record cannot survive on disk while the client saw an error:
+// otherwise its sequence number would be burned, and replay would hand
+// the engine a batch that was never acknowledged in place of one that
+// was. If the rollback itself fails the log wedges (every later append
+// returns the sticky error) rather than risk exactly that; a restart
+// repairs the tear by replay's truncate-at-first-corruption pass.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrClosed reports an operation on a closed log or manager.
+var ErrClosed = errors.New("wal: closed")
+
+// SyncPolicy says when appended records reach stable storage.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before every append returns: an acknowledged
+	// batch is on stable storage, full stop.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval batches fsyncs on the manager's flush cadence: a
+	// crash can lose up to one interval of acknowledged batches, in
+	// exchange for ingest at memory speed.
+	SyncInterval
+	// SyncOff never fsyncs; the OS flushes when it pleases. For
+	// workloads whose history is reconstructible (or disposable).
+	SyncOff
+)
+
+// ParseSyncPolicy maps the config/flag spelling onto a SyncPolicy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or off)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Defaults.
+const (
+	// DefaultInterval is the SyncInterval flush cadence.
+	DefaultInterval = 100 * time.Millisecond
+	// DefaultSegmentBytes rotates segments at 64 MiB.
+	DefaultSegmentBytes = 64 << 20
+)
+
+// Options parameterize a Manager. The zero value of Policy is
+// SyncAlways — the safe default.
+type Options struct {
+	// Dir is the WAL root; one subdirectory per workload is created
+	// under it.
+	Dir string
+	// Policy is the manager-wide fsync policy (per-log overrides via
+	// Log.SetSyncPolicy).
+	Policy SyncPolicy
+	// Interval is the SyncInterval flush cadence; 0 means
+	// DefaultInterval.
+	Interval time.Duration
+	// SegmentBytes rotates a segment once it reaches this size; 0 means
+	// DefaultSegmentBytes.
+	SegmentBytes int64
+	// FS is the filesystem; nil means the real one. Tests inject a
+	// FaultFS here.
+	FS FS
+}
+
+// Manager owns the per-workload logs under one root directory and runs
+// the shared interval flusher. Safe for concurrent use.
+type Manager struct {
+	opts Options
+	fs   FS
+
+	mu     sync.Mutex
+	logs   map[string]*Log
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+
+	met managerMetrics
+}
+
+// Open validates opts, creates the root directory and starts the
+// flusher. Close releases everything.
+func Open(opts Options) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("wal: Options.Dir is required")
+	}
+	if opts.FS == nil {
+		opts.FS = OSFS()
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = DefaultInterval
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := opts.FS.MkdirAll(opts.Dir); err != nil {
+		return nil, fmt.Errorf("wal: creating %s: %w", opts.Dir, err)
+	}
+	m := &Manager{
+		opts: opts,
+		fs:   opts.FS,
+		logs: map[string]*Log{},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go m.flushLoop()
+	return m, nil
+}
+
+// Dir returns the WAL root directory.
+func (m *Manager) Dir() string { return m.opts.Dir }
+
+// Log returns the workload's log, creating its directory on first use.
+func (m *Manager) Log(id string) (*Log, error) {
+	if id == "" {
+		return nil, errors.New("wal: empty workload id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if l, ok := m.logs[id]; ok {
+		return l, nil
+	}
+	dir := filepath.Join(m.opts.Dir, dirNameFor(id))
+	if err := m.fs.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("wal: creating log dir for %q: %w", id, err)
+	}
+	l := &Log{mgr: m, id: id, dir: dir, segMax: map[uint64]uint64{}, sizes: map[uint64]int64{}}
+	m.logs[id] = l
+	return l, nil
+}
+
+// Remove closes the workload's log and deletes its directory — the WAL
+// half of a workload delete.
+func (m *Manager) Remove(id string) error {
+	m.mu.Lock()
+	l := m.logs[id]
+	delete(m.logs, id)
+	m.mu.Unlock()
+	if l != nil {
+		l.close()
+	}
+	return m.fs.RemoveAll(filepath.Join(m.opts.Dir, dirNameFor(id)))
+}
+
+// ScanWorkloads maps the on-disk log directories back to workload IDs by
+// reading each one's opening meta record — the boot step that discovers
+// which workloads have WAL tails to replay (including workloads that
+// exist only in the WAL, never yet snapshotted). A directory whose
+// identity cannot be established (empty, unreadable or corrupt head,
+// or a meta record disagreeing with the directory name) is reset —
+// its segments deleted, loudly — because appending to or replaying an
+// unidentifiable log could hand one workload another's history.
+func (m *Manager) ScanWorkloads() (ids []string, reset int, err error) {
+	entries, err := m.fs.ReadDir(m.opts.Dir)
+	if err != nil {
+		return nil, 0, fmt.Errorf("wal: scanning %s: %w", m.opts.Dir, err)
+	}
+	for _, de := range entries {
+		if !de.IsDir() {
+			continue
+		}
+		dir := filepath.Join(m.opts.Dir, de.Name())
+		segs, serr := listSegments(m.fs, dir)
+		if serr != nil || len(segs) == 0 {
+			continue
+		}
+		id, ok := m.identifyDir(dir, de.Name(), segs[0])
+		if !ok {
+			log.Printf("wal: log directory %s is unidentifiable (corrupt opening record); resetting it — its unsnapshotted tail is lost", dir)
+			for _, s := range segs {
+				m.fs.Remove(filepath.Join(dir, segmentName(s)))
+			}
+			m.met.replayTruncations.Inc()
+			reset++
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, reset, nil
+}
+
+// identifyDir reads the first record of the directory's first segment
+// and checks it names a workload whose directory this is.
+func (m *Manager) identifyDir(dir, base string, firstSeg uint64) (string, bool) {
+	data, err := m.fs.ReadFile(filepath.Join(dir, segmentName(firstSeg)))
+	if err != nil {
+		return "", false
+	}
+	rec, _, status, _ := decodeRecord(data)
+	if status != decodeOK || rec.typ != recordMeta {
+		return "", false
+	}
+	meta, err := decodeMetaPayload(rec.payload)
+	if err != nil || dirNameFor(meta.Workload) != base {
+		return "", false
+	}
+	return meta.Workload, true
+}
+
+// ResetAll wipes every log — cached and on-disk alike — the
+// point-in-time-restore step that discards a WAL tail which would
+// otherwise replay the rewound state forward again.
+func (m *Manager) ResetAll() error {
+	m.mu.Lock()
+	logs := make([]*Log, 0, len(m.logs))
+	owned := map[string]bool{}
+	for _, l := range m.logs {
+		logs = append(logs, l)
+		owned[filepath.Base(l.dir)] = true
+	}
+	m.mu.Unlock()
+	var firstErr error
+	for _, l := range logs {
+		if err := l.Reset(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	entries, err := m.fs.ReadDir(m.opts.Dir)
+	if err != nil {
+		return firstErr
+	}
+	for _, de := range entries {
+		if de.IsDir() && !owned[de.Name()] {
+			if err := m.fs.RemoveAll(filepath.Join(m.opts.Dir, de.Name())); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Close flushes and closes every log and stops the flusher. Appends
+// after Close fail with ErrClosed.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	logs := make([]*Log, 0, len(m.logs))
+	for _, l := range m.logs {
+		logs = append(logs, l)
+	}
+	m.mu.Unlock()
+	close(m.stop)
+	<-m.done
+	var firstErr error
+	for _, l := range logs {
+		if err := l.close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// flushLoop is the SyncInterval engine: every interval it fsyncs the
+// segments appends dirtied since the last pass. A failing flush is
+// counted and retried next tick — that bounded window is exactly the
+// durability SyncInterval trades away.
+func (m *Manager) flushLoop() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.opts.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+			m.mu.Lock()
+			logs := make([]*Log, 0, len(m.logs))
+			for _, l := range m.logs {
+				logs = append(logs, l)
+			}
+			m.mu.Unlock()
+			for _, l := range logs {
+				l.flushIfDirty()
+			}
+		}
+	}
+}
+
+// Log is one workload's write-ahead log. Append/Replay/TruncateThrough
+// are safe for concurrent use with each other; Replay is meant for
+// boot, before the log takes appends (cmd/scalerd guarantees the
+// ordering).
+type Log struct {
+	mgr *Manager
+	id  string
+	dir string
+
+	mu sync.Mutex
+	// policy/hasPolicy: per-log override of the manager's fsync policy.
+	policy    SyncPolicy
+	hasPolicy bool
+	f         File
+	// seg is the active segment number — also the high-water mark: a
+	// full truncation keeps it so a recreated segment never reuses a
+	// number replay might still find stale remnants of.
+	seg     uint64
+	segSize int64
+	segs    []uint64 // existing segment numbers, sorted
+	segMax  map[uint64]uint64
+	sizes   map[uint64]int64
+	lastSeq uint64
+	dirty   bool
+	// recovered: the on-disk state has been scanned (by Replay or
+	// lazily before the first append), so segs/segMax/lastSeq/segSize
+	// are trustworthy and the active tail is frame-clean.
+	recovered bool
+	broken    error
+	closed    bool
+	buf       []byte
+}
+
+// SetSyncPolicy overrides the manager's fsync policy for this log (the
+// per-workload `wal.fsync` config knob).
+func (l *Log) SetSyncPolicy(p SyncPolicy) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.policy, l.hasPolicy = p, true
+}
+
+// ClearSyncPolicy reverts the log to the manager's policy.
+func (l *Log) ClearSyncPolicy() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.hasPolicy = false
+}
+
+func (l *Log) policyLocked() SyncPolicy {
+	if l.hasPolicy {
+		return l.policy
+	}
+	return l.mgr.opts.Policy
+}
+
+// Append durably records one acknowledged ingest batch under the given
+// sequence number (the engine's per-workload batch counter; strictly
+// increasing). It must succeed before the batch is applied or
+// acknowledged. chunks follow IngestSortedChunks' shape — the batch's
+// timestamps in order, possibly split across slices.
+func (l *Log) Append(seq uint64, chunks [][]float64) error {
+	events := 0
+	for _, c := range chunks {
+		events += len(c)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	if !l.recovered {
+		if _, _, err := l.scanLocked(false); err != nil {
+			return err
+		}
+	}
+	if err := l.ensureSegmentLocked(); err != nil {
+		return err
+	}
+	l.buf = appendBatchRecord(l.buf[:0], seq, chunks)
+	pre := l.segSize
+	start := time.Now()
+	nw, err := l.f.Write(l.buf)
+	if err != nil || nw != len(l.buf) {
+		l.mgr.met.appendErrors.Inc()
+		l.rollbackLocked(pre)
+		if err == nil {
+			err = fmt.Errorf("short write: %d of %d bytes", nw, len(l.buf))
+		}
+		return fmt.Errorf("wal %s: append: %w", l.id, err)
+	}
+	l.segSize = pre + int64(nw)
+	l.sizes[l.seg] = l.segSize
+	switch l.policyLocked() {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			l.mgr.met.appendErrors.Inc()
+			l.rollbackLocked(pre)
+			return fmt.Errorf("wal %s: fsync: %w", l.id, err)
+		}
+	case SyncInterval:
+		l.dirty = true
+	}
+	if seq > l.lastSeq {
+		l.lastSeq = seq
+	}
+	l.segMax[l.seg] = seq
+	met := &l.mgr.met
+	met.appends.Inc()
+	met.appendEvents.Add(uint64(events))
+	met.appendBytes.Add(uint64(nw))
+	if h := met.appendSeconds; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// rollbackLocked undoes a failed append by truncating the segment back
+// to its pre-append length. If even that fails the log wedges: leaving
+// a possibly-written record whose sequence number the engine will reuse
+// (the append errored, so the engine won't advance its counter) would
+// make the next replay substitute an unacknowledged batch for an
+// acknowledged one — silent corruption. Wedged means every later append
+// fails with the sticky error until a restart, whose replay truncates
+// the tear properly.
+func (l *Log) rollbackLocked(pre int64) {
+	if err := l.f.Truncate(pre); err != nil {
+		l.broken = fmt.Errorf("wal %s: wedged: failed append could not be rolled back (%v); restart to repair by replay", l.id, err)
+		log.Print(l.broken)
+		return
+	}
+	l.segSize = pre
+	l.sizes[l.seg] = pre
+}
+
+// syncLocked fsyncs the active segment, with metrics.
+func (l *Log) syncLocked() error {
+	met := &l.mgr.met
+	start := time.Now()
+	err := l.f.Sync()
+	if h := met.fsyncSeconds; h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+	met.fsyncs.Inc()
+	if err != nil {
+		met.fsyncFailures.Inc()
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// flushIfDirty is the flusher's per-log step.
+func (l *Log) flushIfDirty() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.dirty || l.f == nil || l.closed || l.broken != nil {
+		return
+	}
+	if err := l.syncLocked(); err != nil {
+		// Keep dirty: retried next tick. This loss window is what
+		// SyncInterval means; SyncAlways surfaces the same failure to the
+		// client instead.
+		log.Printf("wal %s: interval fsync failed (will retry): %v", l.id, err)
+	}
+}
+
+// ensureSegmentLocked makes sure an open, not-yet-full active segment
+// is ready for the next append: reattach to the existing tail segment,
+// or rotate to a fresh one.
+func (l *Log) ensureSegmentLocked() error {
+	if l.f != nil && l.segSize < l.mgr.opts.SegmentBytes {
+		return nil
+	}
+	if l.f == nil && l.hasSegLocked(l.seg) && l.segSize < l.mgr.opts.SegmentBytes {
+		f, err := l.mgr.fs.OpenAppend(l.segPath(l.seg))
+		if err != nil {
+			return fmt.Errorf("wal %s: reopening segment %d: %w", l.id, l.seg, err)
+		}
+		l.f = f
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+// rotateLocked closes the active segment and opens the next one,
+// writing its meta record. On failure the log stays on no segment and
+// the next append retries the rotation.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if l.dirty && l.policyLocked() != SyncOff {
+			// The closing segment will never be written again; flush it now
+			// or its tail would ride on the OS cache with no flusher handle.
+			l.syncLocked()
+		}
+		l.f.Close()
+		l.f = nil
+		l.dirty = false
+	}
+	next := l.seg + 1
+	path := l.segPath(next)
+	f, err := l.mgr.fs.OpenAppend(path)
+	if err != nil {
+		return fmt.Errorf("wal %s: creating segment %d: %w", l.id, next, err)
+	}
+	l.buf = l.buf[:0]
+	l.buf, err = appendMetaRecord(l.buf, l.id, next)
+	if err == nil {
+		var nw int
+		nw, err = f.Write(l.buf)
+		if err == nil && nw != len(l.buf) {
+			err = fmt.Errorf("short write: %d of %d bytes", nw, len(l.buf))
+		}
+	}
+	if err != nil {
+		f.Close()
+		l.mgr.fs.Remove(path)
+		return fmt.Errorf("wal %s: opening segment %d: %w", l.id, next, err)
+	}
+	l.f = f
+	l.seg = next
+	l.segSize = int64(len(l.buf))
+	l.segs = append(l.segs, next)
+	l.sizes[next] = l.segSize
+	l.mgr.met.segmentsCreated.Inc()
+	// The meta record rides to disk with the first batch's fsync (same
+	// file, same policy); under SyncInterval, mark it dirty now.
+	if l.policyLocked() == SyncInterval {
+		l.dirty = true
+	}
+	return nil
+}
+
+// TruncateThrough checkpoints the log: every record with sequence ≤ seq
+// is covered by a committed snapshot and no longer needed for recovery.
+// Fully covered non-active segments are deleted; when the whole log is
+// covered it is reset (all segments deleted — the next append opens a
+// fresh, higher-numbered segment). Errors are returned but the log
+// stays usable: an undeleted segment only costs replay time.
+func (l *Log) TruncateThrough(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed || seq == 0 {
+		return nil
+	}
+	if l.broken != nil {
+		return l.broken
+	}
+	if !l.recovered {
+		if _, _, err := l.scanLocked(false); err != nil {
+			return err
+		}
+	}
+	if len(l.segs) == 0 {
+		return nil
+	}
+	l.mgr.met.truncations.Inc()
+	if l.lastSeq <= seq {
+		return l.resetLocked()
+	}
+	var firstErr error
+	kept := l.segs[:0]
+	for _, s := range l.segs {
+		if s != l.seg {
+			if max, ok := l.segMax[s]; ok && max <= seq {
+				if err := l.mgr.fs.Remove(l.segPath(s)); err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("wal %s: removing checkpointed segment %d: %w", l.id, s, err)
+					}
+					kept = append(kept, s)
+					continue
+				}
+				delete(l.segMax, s)
+				delete(l.sizes, s)
+				l.mgr.met.segmentsRemoved.Inc()
+				continue
+			}
+		}
+		kept = append(kept, s)
+	}
+	l.segs = kept
+	return firstErr
+}
+
+// Reset discards the whole log on disk and in memory (keeping the
+// segment high-water mark). Used by full checkpoints and point-in-time
+// restores.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	// A reset clears a wedged log too: the broken tail is deleted wholesale.
+	l.broken = nil
+	if !l.recovered {
+		// Trust only the directory listing; in-memory state is unprimed.
+		segs, err := listSegments(l.mgr.fs, l.dir)
+		if err != nil {
+			return fmt.Errorf("wal %s: reset: %w", l.id, err)
+		}
+		l.segs = segs
+		if n := len(segs); n > 0 && segs[n-1] > l.seg {
+			l.seg = segs[n-1]
+		}
+	}
+	return l.resetLocked()
+}
+
+// resetLocked deletes every segment file and clears the in-memory state
+// except the segment high-water mark.
+func (l *Log) resetLocked() error {
+	if l.f != nil {
+		l.f.Close()
+		l.f = nil
+	}
+	var firstErr error
+	for _, s := range l.segs {
+		if err := l.mgr.fs.Remove(l.segPath(s)); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("wal %s: removing segment %d: %w", l.id, s, err)
+			}
+			continue
+		}
+		l.mgr.met.segmentsRemoved.Inc()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	l.segs = nil
+	l.segMax = map[uint64]uint64{}
+	l.sizes = map[uint64]int64{}
+	l.segSize = 0
+	l.lastSeq = 0
+	l.dirty = false
+	l.recovered = true
+	return nil
+}
+
+// close flushes and closes the active segment.
+func (l *Log) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if l.dirty && l.broken == nil && l.policyLocked() != SyncOff {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// LogStats is the per-workload WAL summary surfaced in /stats.
+type LogStats struct {
+	LastSeq   uint64
+	Segments  int
+	SizeBytes int64
+	Broken    bool
+}
+
+// Stats reports the log's current shape.
+func (l *Log) Stats() LogStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LogStats{LastSeq: l.lastSeq, Segments: len(l.segs), Broken: l.broken != nil}
+	for _, n := range l.sizes {
+		st.SizeBytes += n
+	}
+	return st
+}
+
+func (l *Log) segPath(seg uint64) string {
+	return filepath.Join(l.dir, segmentName(seg))
+}
+
+func (l *Log) hasSegLocked(seg uint64) bool {
+	for _, s := range l.segs {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentName formats a segment file name; the fixed width keeps
+// lexical order equal to numeric order.
+func segmentName(seg uint64) string {
+	return fmt.Sprintf("%020d.rswal", seg)
+}
+
+// parseSegmentName inverts segmentName.
+func parseSegmentName(name string) (uint64, bool) {
+	if len(name) != 20+len(".rswal") || !strings.HasSuffix(name, ".rswal") {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[:20], 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the directory's segment numbers, sorted.
+func listSegments(fsys FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, de := range entries {
+		if de.IsDir() {
+			continue
+		}
+		if n, ok := parseSegmentName(de.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// dirNameFor derives a workload's log directory name: a sanitized,
+// human-recognizable prefix plus the full ID's FNV-64 for uniqueness
+// (same scheme as internal/store's workload file names).
+func dirNameFor(id string) string {
+	return fmt.Sprintf("%s-%016x", sanitizeID(id), fnv1a(id))
+}
+
+// sanitizeID keeps a recognizable, filesystem-safe prefix of the ID.
+func sanitizeID(id string) string {
+	const maxLen = 40
+	b := make([]byte, 0, maxLen)
+	for i := 0; i < len(id) && len(b) < maxLen; i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			b = append(b, c)
+		default:
+			b = append(b, '_')
+		}
+	}
+	if len(b) == 0 {
+		return "workload"
+	}
+	return string(b)
+}
+
+// fnv1a is the 64-bit FNV-1a hash.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
