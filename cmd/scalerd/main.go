@@ -21,6 +21,7 @@
 //	GET    /v1/workloads/{id}/config                               per-workload config
 //	PUT    /v1/workloads/{id}/config                               update per-workload config
 //	GET    /v1/workloads                                           list workloads
+//	PUT    /v1/admin/config             {"glob": "...", "config": {...}}  bulk config update
 //	POST   /v1/admin/snapshot                                      persist all workloads now
 //	GET    /v1/admin/generations                                   list retained snapshot generations
 //	POST   /v1/admin/restore-generation {"generation": N}          point-in-time restore
@@ -28,6 +29,21 @@
 //	GET    /healthz                                                health; 503 "degraded" while
 //	                                                               snapshots fail consecutively, 200
 //	                                                               "degraded" after a lossy boot
+//
+// With -fleet-nodes N (N > 1), scalerd runs N shared-nothing nodes in
+// one process behind a consistent-hash router (internal/fleet): each
+// node owns a slice of the workload space — its own registry, snapshot
+// store under <data-dir>/nK and write-ahead log — per-workload routes
+// are forwarded to the owning node, fleet-wide routes (/metrics,
+// /healthz, /v1/workloads, PUT /v1/admin/config, snapshots) are
+// scatter-gathered, and two admin routes appear: GET /v1/admin/fleet
+// (topology: members, ring shares, pins, placement) and POST
+// /v1/admin/migrate {"workload": "...", "to": "nK"} (live migration —
+// snapshot handoff plus WAL-tail catch-up; ingest pauses only for the
+// tail). Every member's full surface stays reachable under
+// /v1/nodes/{node}/; point-in-time restore is per-node there. The
+// default -fleet-nodes 1 serves the single node's handler directly —
+// exactly the surface scalerd has always had.
 //
 // The engine flags below (-dt, -pending, -history, -mc) are fleet
 // defaults: they seed the configuration each new workload starts from,
@@ -51,8 +67,8 @@
 // boots; a corrupt manifest still fails the boot loudly.
 //
 // Between snapshots, every acknowledged ingest batch is appended to a
-// per-workload write-ahead log under <data-dir>/wal before the HTTP
-// 200 goes out, so a crash — even kill -9 — loses no acknowledged
+// per-workload write-ahead log under the data dir's wal/ before the
+// HTTP 200 goes out, so a crash — even kill -9 — loses no acknowledged
 // arrivals: boot replays each workload's log on top of its snapshot,
 // truncating at the first torn or corrupt record. -wal-fsync picks the
 // durability/latency trade-off: "always" fsyncs every append (no
@@ -62,20 +78,21 @@
 // successful snapshot truncates the logs it made redundant.
 //
 // On SIGTERM or SIGINT scalerd shuts down gracefully: it stops
-// accepting connections, drains in-flight requests, stops the
-// background retrainer and snapshotter, and (with -data-dir) writes a
+// accepting connections, drains in-flight requests, then closes every
+// node — stopping its background loops and (with -data-dir) writing a
 // final snapshot before exiting.
 //
 // Example:
 //
 //	scalerd -listen :8080 -pending 13 -dt 60 -retrain-every 1800 -retrain-workers 4 \
-//	        -data-dir /var/lib/scalerd -snapshot-every 300
+//	        -data-dir /var/lib/scalerd -snapshot-every 300 -fleet-nodes 4
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"math"
 	"net/http"
@@ -85,9 +102,8 @@ import (
 	"syscall"
 	"time"
 
-	"robustscaler/internal/engine"
+	"robustscaler/internal/fleet"
 	"robustscaler/internal/server"
-	"robustscaler/internal/store"
 	"robustscaler/internal/wal"
 )
 
@@ -106,15 +122,18 @@ func main() {
 		seed           = flag.Int64("seed", 1, "random seed")
 		maxIngest      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "max arrivals body size in bytes, before and after decompression (413 beyond it; 0 disables)")
 		retrainEvery   = flag.Float64("retrain-every", 1800, "background retrain sweep period seconds (0 disables); per-workload cadence via PUT /config retrain_every")
-		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size")
+		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size (per node)")
 		dataDir        = flag.String("data-dir", "", "directory for workload snapshots; empty disables persistence")
 		snapshotEvery  = flag.Float64("snapshot-every", 300, "background snapshot period seconds (0 disables; needs -data-dir)")
 		snapshotRetain = flag.Int("snapshot-retain", 5, "committed snapshot generations kept for point-in-time restore (min 1)")
-		restoreGen     = flag.Uint64("restore-generation", 0, "boot from this retained snapshot generation instead of the current one (0 = current; needs -data-dir)")
+		restoreGen     = flag.Uint64("restore-generation", 0, "boot from this retained snapshot generation instead of the current one (0 = current; needs -data-dir; single-node only — per node via /v1/nodes/{node}/ in fleet mode)")
 		walFsync       = flag.String("wal-fsync", "interval", "write-ahead log fsync policy: always (every append), interval (batched), off; per-workload override via PUT /config wal.fsync")
 		walFsyncEvery  = flag.Float64("wal-fsync-interval", 0.1, "fsync cadence seconds for -wal-fsync=interval")
 		walSegment     = flag.Int64("wal-segment-bytes", wal.DefaultSegmentBytes, "write-ahead log segment rotation size in bytes")
 		staleThreshold = flag.Float64("staleness-threshold", 3600, "seconds a workload may carry unmodeled traffic before it counts into robustscaler_workloads_stale_over_threshold (0 disables)")
+		fleetNodes     = flag.Int("fleet-nodes", 1, "shared-nothing nodes in this process behind the consistent-hash router (1 = classic single-node surface)")
+		fleetVnodes    = flag.Int("fleet-vnodes", 0, "virtual nodes per member on the hash ring (0 = default; same value required across restarts)")
+		fleetSeed      = flag.Uint64("fleet-seed", 0, "hash ring placement seed (same value required across restarts)")
 	)
 	flag.Parse()
 	snapshotEverySet := false
@@ -124,6 +143,7 @@ func main() {
 		}
 	})
 
+	// Flag validation, before any node boots.
 	cfg := server.DefaultConfig()
 	cfg.Pending = *pending
 	cfg.Dt = *dt
@@ -131,112 +151,56 @@ func main() {
 	cfg.MCSamples = *mc
 	cfg.MCWorkers = *mcWorkers
 	cfg.Seed = *seed
-	s, err := server.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
 	if *maxIngest < 0 {
 		log.Fatalf("-max-ingest-bytes %d invalid (bytes; 0 disables)", *maxIngest)
 	}
-	s.SetMaxIngestBytes(*maxIngest)
 	if math.IsNaN(*retrainEvery) || *retrainEvery < 0 {
 		log.Fatalf("-retrain-every %g invalid (seconds; 0 disables)", *retrainEvery)
 	}
-
-	var st *store.Store
-	var snapshotter *engine.Snapshotter
-	var walMgr *wal.Manager
-	if *dataDir != "" {
-		// Open validates the manifest and sweeps crash debris; restore
-		// must finish before serving so requests never race a
-		// half-restored registry. A corrupt manifest aborts the boot —
-		// starting cold would soon overwrite the evidence with a fresh
-		// empty snapshot. Individually corrupt workload files are
-		// quarantined instead: the rest of the fleet boots and /healthz
-		// reports "degraded" with the casualty list.
-		st, err = store.Open(*dataDir)
-		if err != nil {
-			log.Fatalf("opening -data-dir %s: %v (move its contents aside to boot cold)", *dataDir, err)
+	var retrainPeriod time.Duration
+	if *retrainEvery > 0 {
+		// Validate the converted duration: a huge value overflows
+		// float→Duration to a negative period, a sub-nanosecond one
+		// truncates to zero.
+		retrainPeriod = time.Duration(*retrainEvery * float64(time.Second))
+		if retrainPeriod <= 0 || *retrainEvery > 365*86400 {
+			log.Fatalf("-retrain-every %g out of range (ns..1 year, in seconds)", *retrainEvery)
 		}
+	}
+	if math.IsNaN(*staleThreshold) || *staleThreshold < 0 {
+		log.Fatalf("-staleness-threshold %g invalid (seconds; 0 disables)", *staleThreshold)
+	}
+	if *fleetNodes < 1 {
+		log.Fatalf("-fleet-nodes %d invalid (min 1)", *fleetNodes)
+	}
+	if *restoreGen != 0 && *fleetNodes > 1 {
+		// Snapshot generations are per-node timelines; one number cannot
+		// name a consistent fleet-wide state.
+		log.Fatalf("-restore-generation is single-node only; in fleet mode restart with -fleet-nodes 1 per data dir, or POST /v1/nodes/{node}/v1/admin/restore-generation")
+	}
+	policy, err := wal.ParseSyncPolicy(*walFsync)
+	if err != nil {
+		log.Fatalf("-wal-fsync: %v", err)
+	}
+	if math.IsNaN(*walFsyncEvery) || *walFsyncEvery <= 0 || *walFsyncEvery > 3600 {
+		log.Fatalf("-wal-fsync-interval %g invalid (seconds, 0..3600 exclusive low)", *walFsyncEvery)
+	}
+	if *walSegment < 1 {
+		log.Fatalf("-wal-segment-bytes %d invalid (min 1)", *walSegment)
+	}
+	var snapshotPeriod time.Duration
+	if *dataDir != "" {
 		if *snapshotRetain < 1 {
 			log.Fatalf("-snapshot-retain %d invalid (min 1: the current generation)", *snapshotRetain)
 		}
-		st.SetRetain(*snapshotRetain)
-		if *restoreGen != 0 {
-			// Point-in-time restore: repoint the manifest before anything
-			// reads it. The restore commits a new generation, so the
-			// pre-restore state stays retained (and recoverable) too.
-			if err := st.RestoreGeneration(*restoreGen); err != nil {
-				log.Fatalf("-restore-generation %d: %v", *restoreGen, err)
-			}
-			log.Printf("rolled back to snapshot generation %d", *restoreGen)
-		}
-		n, quarantined, err := s.Registry().RestoreFromTolerant(st)
-		if err != nil {
-			log.Fatalf("restoring snapshot from %s: %v (move its contents aside to boot cold)", *dataDir, err)
-		}
-		for _, q := range quarantined {
-			log.Printf("quarantined workload %s (%s): %s", q.ID, q.File, q.Reason)
-		}
-		if n > 0 {
-			log.Printf("restored %d workloads from %s", n, *dataDir)
-		}
-
-		// The write-ahead log opens after the snapshot restore and before
-		// serving: every batch acknowledged from here on is durable, and
-		// records the last process wrote after its final snapshot are
-		// replayed on top of the restored state.
-		policy, err := wal.ParseSyncPolicy(*walFsync)
-		if err != nil {
-			log.Fatalf("-wal-fsync: %v", err)
-		}
-		if math.IsNaN(*walFsyncEvery) || *walFsyncEvery <= 0 || *walFsyncEvery > 3600 {
-			log.Fatalf("-wal-fsync-interval %g invalid (seconds, 0..3600 exclusive low)", *walFsyncEvery)
-		}
-		if *walSegment < 1 {
-			log.Fatalf("-wal-segment-bytes %d invalid (min 1)", *walSegment)
-		}
-		walMgr, err = wal.Open(wal.Options{
-			Dir:          filepath.Join(*dataDir, "wal"),
-			Policy:       policy,
-			Interval:     time.Duration(*walFsyncEvery * float64(time.Second)),
-			SegmentBytes: *walSegment,
-		})
-		if err != nil {
-			log.Fatalf("opening write-ahead log under %s: %v", *dataDir, err)
-		}
-		if *restoreGen != 0 {
-			// The logs describe the timeline the rollback just abandoned;
-			// replaying them over the older snapshot would interleave two
-			// histories.
-			if err := walMgr.ResetAll(); err != nil {
-				log.Fatalf("resetting write-ahead logs after rollback: %v", err)
-			}
-		}
-		if err := s.Registry().AttachWAL(walMgr, *dataDir); err != nil {
-			log.Fatalf("attaching write-ahead log: %v", err)
-		}
-		rep, err := s.Registry().ReplayWAL()
-		if err != nil {
-			log.Fatalf("replaying write-ahead log: %v", err)
-		}
-		if rep.Records > 0 || rep.Truncations > 0 || len(rep.Reset) > 0 {
-			log.Printf("wal replay: %d workloads, %d records (%d events), %d truncated tails, %d logs reset",
-				rep.Workloads, rep.Records, rep.Events, rep.Truncations, len(rep.Reset))
-		}
-		walMgr.Instrument(s.Metrics())
-		s.SetBootDegraded(quarantined, rep.Reset)
-		s.SetStore(st)
 		if math.IsNaN(*snapshotEvery) || *snapshotEvery < 0 {
 			log.Fatalf("-snapshot-every %g invalid (seconds; 0 disables)", *snapshotEvery)
 		}
 		if *snapshotEvery > 0 {
-			every := time.Duration(*snapshotEvery * float64(time.Second))
-			if every <= 0 || *snapshotEvery > 365*86400 {
+			snapshotPeriod = time.Duration(*snapshotEvery * float64(time.Second))
+			if snapshotPeriod <= 0 || *snapshotEvery > 365*86400 {
 				log.Fatalf("-snapshot-every %g out of range (ns..1 year, in seconds)", *snapshotEvery)
 			}
-			snapshotter = s.Registry().StartSnapshotter(st, every)
-			log.Printf("snapshotting to %s every %.0fs (incremental)", *dataDir, *snapshotEvery)
 		}
 	} else if snapshotEverySet && *snapshotEvery != 0 {
 		// Asking for periodic snapshots without a place to put them is a
@@ -245,25 +209,89 @@ func main() {
 	} else if *restoreGen != 0 {
 		log.Fatalf("-restore-generation needs -data-dir")
 	}
-	if math.IsNaN(*staleThreshold) || *staleThreshold < 0 {
-		log.Fatalf("-staleness-threshold %g invalid (seconds; 0 disables)", *staleThreshold)
+
+	opts := fleet.NodeOptions{
+		Engine:             &cfg,
+		MaxIngestBytes:     *maxIngest,
+		SnapshotEvery:      snapshotPeriod,
+		SnapshotRetain:     *snapshotRetain,
+		RestoreGeneration:  *restoreGen,
+		WALFsync:           policy,
+		WALFsyncInterval:   time.Duration(*walFsyncEvery * float64(time.Second)),
+		WALSegmentBytes:    *walSegment,
+		StalenessThreshold: *staleThreshold,
+		RetrainEvery:       retrainPeriod,
+		RetrainWorkers:     *retrainWorkers,
 	}
-	s.Registry().SetStalenessThreshold(*staleThreshold)
-	var retrainer *engine.Retrainer
-	if *retrainEvery > 0 {
-		// Validate the converted duration: a huge value overflows
-		// float→Duration to a negative period, a sub-nanosecond one
-		// truncates to zero.
-		every := time.Duration(*retrainEvery * float64(time.Second))
-		if every <= 0 || *retrainEvery > 365*86400 {
-			log.Fatalf("-retrain-every %g out of range (ns..1 year, in seconds)", *retrainEvery)
+	if *maxIngest == 0 {
+		opts.MaxIngestBytes = -1 // scalerd's 0 means "no cap"
+	}
+
+	// Boot the nodes. A single node keeps the classic layout (snapshots
+	// directly under -data-dir); a fleet shards it into <data-dir>/nK so
+	// every node is shared-nothing on disk too.
+	nodes := make([]*fleet.Node, *fleetNodes)
+	for i := range nodes {
+		nodeOpts := opts
+		name := fmt.Sprintf("n%d", i)
+		if *dataDir != "" {
+			if *fleetNodes == 1 {
+				nodeOpts.DataDir = *dataDir
+			} else {
+				nodeOpts.DataDir = filepath.Join(*dataDir, name)
+			}
 		}
-		retrainer = s.Registry().StartRetrainer(every, *retrainWorkers)
-		log.Printf("background retraining every %.0fs with %d workers", *retrainEvery, *retrainWorkers)
+		n, err := fleet.NewNode(name, nodeOpts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nodes[i] = n
+		boot := n.Boot()
+		for _, q := range boot.Quarantined {
+			log.Printf("node %s: quarantined workload %s (%s): %s", name, q.ID, q.File, q.Reason)
+		}
+		if boot.Restored > 0 {
+			log.Printf("node %s: restored %d workloads from %s", name, boot.Restored, nodeOpts.DataDir)
+		}
+		if rep := boot.WALReplay; rep.Records > 0 || rep.Truncations > 0 || len(rep.Reset) > 0 {
+			log.Printf("node %s: wal replay: %d workloads, %d records (%d events), %d truncated tails, %d logs reset",
+				name, rep.Workloads, rep.Records, rep.Events, rep.Truncations, len(rep.Reset))
+		}
+	}
+	if *restoreGen != 0 {
+		log.Printf("rolled back to snapshot generation %d", *restoreGen)
+	}
+	if *dataDir != "" && snapshotPeriod > 0 {
+		log.Printf("snapshotting to %s every %.0fs (incremental)", *dataDir, *snapshotEvery)
+	}
+	if retrainPeriod > 0 {
+		log.Printf("background retraining every %.0fs with %d workers per node", *retrainEvery, *retrainWorkers)
+	}
+
+	// One node serves its handler directly — byte-for-byte the surface
+	// scalerd has always had. A fleet serves the router.
+	var handler http.Handler = nodes[0].Handler()
+	if *fleetNodes > 1 {
+		router, err := fleet.NewRouter(nodes, fleet.RouterOptions{
+			VirtualNodes: *fleetVnodes,
+			Seed:         *fleetSeed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ra := range router.Reassignments() {
+			if len(ra.DroppedFrom) > 0 {
+				log.Printf("boot reconciliation: workload %s kept on %s, duplicate copies dropped from %v", ra.Workload, ra.Node, ra.DroppedFrom)
+			} else {
+				log.Printf("boot reconciliation: workload %s pinned to %s (off ring owner)", ra.Workload, ra.Node)
+			}
+		}
+		handler = router.Handler()
+		log.Printf("fleet mode: %d nodes behind the consistent-hash router", *fleetNodes)
 	}
 	log.Printf("scalerd listening on %s (τ=%.0fs, Δt=%.0fs); metrics on /metrics", *listen, *pending, *dt)
 
-	srv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	srv := &http.Server{Addr: *listen, Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.ListenAndServe() }()
 
@@ -277,44 +305,25 @@ func main() {
 		log.Printf("received %v, shutting down", sig)
 	}
 
-	// Drain in-flight HTTP first so the final snapshot sees their
-	// effects, then stop the background loops. Snapshotter.Stop writes
-	// the final snapshot itself; without a snapshotter (snapshot-every
-	// 0) but with persistence on, take one explicitly.
+	// Drain in-flight HTTP first so the final snapshots see their
+	// effects, then close every node: each stops its background loops,
+	// writes a final snapshot (persistence on) and flushes its WAL.
 	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		if errors.Is(err, context.DeadlineExceeded) {
-			// The final snapshot below may miss the killed requests'
+			// The final snapshots below may miss the killed requests'
 			// effects; say so instead of reporting a clean drain.
 			log.Printf("http drain incomplete after %v; remaining connections closed", shutdownGrace)
 		} else {
 			log.Printf("http shutdown: %v", err)
 		}
 	}
-	if retrainer != nil {
-		retrainer.Stop()
-	}
-	switch {
-	case snapshotter != nil:
-		if err := snapshotter.Stop(); err != nil {
-			log.Printf("final snapshot failed: %v", err)
-		} else {
-			log.Printf("final snapshot written to %s", *dataDir)
-		}
-	case st != nil:
-		if _, err := s.Registry().SnapshotTo(st); err != nil {
-			log.Printf("final snapshot failed: %v", err)
-		} else {
-			log.Printf("final snapshot written to %s", *dataDir)
-		}
-	}
-	// The WAL closes after the final snapshot: the snapshot truncates
-	// the logs it made redundant, and Close flushes whatever the
-	// interval fsync policy still holds dirty.
-	if walMgr != nil {
-		if err := walMgr.Close(); err != nil {
-			log.Printf("closing write-ahead log: %v", err)
+	for _, n := range nodes {
+		if err := n.Close(); err != nil {
+			log.Printf("node %s shutdown: %v", n.Name(), err)
+		} else if n.DataDir() != "" {
+			log.Printf("node %s: final snapshot written to %s", n.Name(), n.DataDir())
 		}
 	}
 	log.Print("shutdown complete")

@@ -325,8 +325,11 @@ func TestIngestSortedChunksMatchesIngest(t *testing.T) {
 	}
 }
 
-// TestIngestSortedChunksLargeAppend exercises the exactly-sized reserve
-// across many chunks and checks the result stays sorted end to end.
+// TestIngestSortedChunksLargeAppend exercises the single up-front
+// reserve across many chunks and checks the result stays sorted end to
+// end. The reserve carries bounded headroom (≤ 25%) so steady-state
+// ingest behind a trimming history window doesn't re-copy the live
+// window on every batch.
 func TestIngestSortedChunksLargeAppend(t *testing.T) {
 	cfg := testConfig(0)
 	cfg.HistoryWindow = 0
@@ -357,8 +360,56 @@ func TestIngestSortedChunksLargeAppend(t *testing.T) {
 	if !sort.Float64sAreSorted(e.arrivals) {
 		t.Fatal("history not sorted after chunked append")
 	}
-	if cap(e.arrivals) != chunkLen*chunks {
-		t.Fatalf("reserve allocated cap %d, want exactly %d", cap(e.arrivals), chunkLen*chunks)
+	const need = chunkLen * chunks
+	if c := cap(e.arrivals); c < need || c > need+need/4 {
+		t.Fatalf("reserve allocated cap %d, want in [%d, %d]", c, need, need+need/4)
+	}
+}
+
+// TestIngestSortedChunksSteadyStateAmortized pins the reserve's headroom
+// against a regression where streaming ingest behind a full history
+// window reallocated (and copied the entire live window) on every
+// batch: trimLocked re-slices the dead prefix away, permanently
+// donating that capacity, so an exactly-sized reserve overflows again
+// immediately. With headroom the grows must be a small fraction of the
+// batches.
+func TestIngestSortedChunksSteadyStateAmortized(t *testing.T) {
+	cfg := testConfig(0)
+	cfg.HistoryWindow = 1000 // ~1000 resident at 1s spacing
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = 50
+	ts := 0.0
+	next := func() []float64 {
+		chunk := make([]float64, batch)
+		for i := range chunk {
+			ts++
+			chunk[i] = ts
+		}
+		return chunk
+	}
+	// Fill the window so every further batch runs in steady state.
+	for n := 0; n < 1000; n += batch {
+		if _, err := e.IngestSortedChunks([][]float64{next()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const rounds = 60
+	grows := 0
+	prevCap := cap(e.arrivals)
+	for r := 0; r < rounds; r++ {
+		if _, err := e.IngestSortedChunks([][]float64{next()}); err != nil {
+			t.Fatal(err)
+		}
+		if c := cap(e.arrivals); c > prevCap {
+			grows++
+		}
+		prevCap = cap(e.arrivals)
+	}
+	if grows > rounds/2 {
+		t.Fatalf("steady-state ingest grew the backing array %d times in %d batches; reserve headroom is not amortizing", grows, rounds)
 	}
 }
 

@@ -451,10 +451,15 @@ func (e *Engine) IngestSortedChunks(chunks [][]float64) (int, error) {
 	e.gen++
 	e.stateGen++
 	e.countIngest(uint64(total))
-	// One exactly-sized grow instead of append's doubling dance: the
-	// batch size is known up front, which a streaming decode earns us.
+	// One grow sized for the whole batch instead of append's doubling
+	// dance — the batch size is known up front, which a streaming decode
+	// earns us — plus 25% headroom. The headroom is what keeps
+	// steady-state ingest O(batch): trimLocked drops the dead prefix by
+	// re-slicing, which permanently donates that capacity, so an
+	// exactly-sized reserve would overflow again on the very next batch
+	// and re-copy the entire live window per append.
 	if need := len(e.arrivals) + total; need > cap(e.arrivals) {
-		grown := make([]float64, len(e.arrivals), need)
+		grown := make([]float64, len(e.arrivals), need+need/4)
 		copy(grown, e.arrivals)
 		e.arrivals = grown
 	}

@@ -1,0 +1,29 @@
+package engine
+
+// Migration support: the fleet layer moves a workload between nodes
+// with a two-phase protocol — an unpaused snapshot handoff (phase 1)
+// followed by a short ingest-paused catch-up (phase 2) that replays
+// only the WAL tail written since the handoff. These accessors expose
+// the generation bookkeeping that protocol needs; the state blob
+// itself is the ordinary MarshalState/RestoreState format, so a
+// migrated workload is bit-identical to a restored one by
+// construction.
+
+// MarshalStateSeq serializes the engine's durable state like
+// MarshalState and additionally reports, from the same lock hold, the
+// durable-state generation and WAL sequence the blob captures. The
+// migration coordinator compares these against a later
+// StateGenWALSeq reading to decide whether a WAL-tail replay fully
+// covers what happened since the handoff (every generation bump came
+// from an ingest, i.e. the deltas match) or whether a non-WAL mutation
+// (train, config update, restore) slipped in and the blob must be cut
+// again.
+func (e *Engine) MarshalStateSeq() ([]byte, uint64, uint64, error) {
+	return e.marshalState()
+}
+
+// StateGenWALSeq returns the current durable-state generation and WAL
+// sequence under one lock hold.
+func (e *Engine) StateGenWALSeq() (stateGen, walSeq uint64) {
+	return e.stateGenAndWALSeq()
+}

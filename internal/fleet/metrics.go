@@ -1,0 +1,246 @@
+package fleet
+
+// Fleet observability. The router keeps its own registry — fleet
+// gauges (membership, per-node workload counts, ring shares, pins),
+// forward counters, scatter latency histograms, migration counters —
+// and GET /metrics merges it with every node's exposition into one
+// fleet-wide Prometheus document. Node series gain a node="<name>"
+// label during the merge; router series get node="router" unless they
+// already carry a node label (the per-node fleet gauges do). Per-route
+// HTTP series stay keyed by mux pattern on both layers, so cardinality
+// is O(routes × nodes), never O(workloads).
+
+import (
+	"net/http"
+	"strings"
+
+	"robustscaler/internal/metrics"
+)
+
+// scatterRoutes are the fleet-wide paths whose fan-out latency is
+// histogrammed (the keys of Router.scatterSeconds).
+var scatterRoutes = []string{
+	"/healthz",
+	"/metrics",
+	"/v1/workloads",
+	"/v1/admin/config",
+	"/v1/admin/snapshot",
+	"/v1/admin/generations",
+}
+
+func (rt *Router) initMetrics() {
+	m := rt.reg
+	m.GaugeFunc("robustscaler_fleet_nodes", "Fleet member count.",
+		func() float64 { return float64(len(rt.nodes)) })
+	m.GaugeFunc("robustscaler_fleet_pins", "Workloads routed off their ring owner (migration pins + boot reconciliation).",
+		func() float64 { return float64(len(rt.table.Load().pins)) })
+
+	rt.forwards = make(map[string]*metrics.Counter, len(rt.order))
+	for _, name := range rt.order {
+		name := name
+		label := metrics.Label{Name: "node", Value: name}
+		rt.forwards[name] = m.Counter("robustscaler_fleet_forwards_total",
+			"Per-workload requests forwarded, by owning node.", label)
+		m.GaugeFunc("robustscaler_fleet_node_workloads",
+			"Workloads currently hosted, by node (in-process nodes only).",
+			func() float64 {
+				reg := rt.nodes[name].Registry()
+				if reg == nil {
+					return 0
+				}
+				return float64(reg.Len())
+			}, label)
+		m.GaugeFunc("robustscaler_fleet_ring_share",
+			"Analytic fraction of the hash keyspace owned, by node.",
+			func() float64 { return rt.table.Load().ring.Shares()[name] }, label)
+		m.GaugeFunc("robustscaler_fleet_pinned_workloads",
+			"Workloads pinned to this node against ring opinion.",
+			func() float64 {
+				n := 0
+				for _, owner := range rt.table.Load().pins {
+					if owner == name {
+						n++
+					}
+				}
+				return float64(n)
+			}, label)
+	}
+
+	rt.scatterSeconds = make(map[string]*metrics.Histogram, len(scatterRoutes))
+	for _, route := range scatterRoutes {
+		rt.scatterSeconds[route] = m.Histogram("robustscaler_fleet_scatter_seconds",
+			"Scatter-gather fan-out latency, by fleet route.", metrics.DefBuckets,
+			metrics.Label{Name: "route", Value: route})
+	}
+
+	rt.migrations = map[string]*metrics.Counter{}
+	for _, result := range []string{"ok", "error", "noop"} {
+		rt.migrations[result] = m.Counter("robustscaler_fleet_migrations_total",
+			"Workload migrations, by result.", metrics.Label{Name: "result", Value: result})
+	}
+	rt.migrationTime = m.Histogram("robustscaler_fleet_migration_seconds",
+		"End-to-end workload migration duration.", metrics.DefBuckets)
+	rt.migrationPause = m.Histogram("robustscaler_fleet_migration_pause_seconds",
+		"Ingest-paused window during migration cutover (the WAL-tail phase).", metrics.DefBuckets)
+}
+
+// handleMetrics merges the router's exposition with every node's into
+// one document (package comment). Families keep one HELP/TYPE header
+// and their series stay contiguous, as the text format requires.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var sb strings.Builder
+	_ = rt.reg.WritePrometheus(&sb)
+	sources := []labeledExposition{{node: "router", text: sb.String()}}
+	for _, nr := range rt.scatter(r.Context(), http.MethodGet, "/metrics", nil, "") {
+		if nr.status != http.StatusOK {
+			continue // a node without /metrics has nothing to merge
+		}
+		sources = append(sources, labeledExposition{node: nr.node, text: string(nr.body)})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMerged(w, sources)
+}
+
+type labeledExposition struct {
+	node string
+	text string
+}
+
+// family is one metric family's slice of an exposition: its HELP/TYPE
+// header and sample lines.
+type family struct {
+	name    string
+	header  []string
+	samples []string
+}
+
+// parseExposition splits a Prometheus text exposition into families.
+// Sample lines belong to the family whose header precedes them —
+// which also files histogram _bucket/_sum/_count series under their
+// family without suffix games.
+func parseExposition(text string) []*family {
+	var fams []*family
+	var cur *family
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# HELP "):]
+			name := rest
+			if i := strings.IndexByte(rest, ' '); i >= 0 {
+				name = rest[:i]
+			}
+			if cur == nil || cur.name != name {
+				cur = &family{name: name}
+				fams = append(fams, cur)
+			}
+			cur.header = append(cur.header, line)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // stray comment
+		}
+		if cur == nil {
+			cur = &family{}
+			fams = append(fams, cur)
+		}
+		cur.samples = append(cur.samples, line)
+	}
+	return fams
+}
+
+// writeMerged interleaves the sources family by family: header from
+// the first source that has one, then every source's samples with the
+// node label injected. Family order is first-seen order across
+// sources, so the router's fleet series lead and node series group
+// behind their shared headers.
+func writeMerged(w http.ResponseWriter, sources []labeledExposition) {
+	type merged struct {
+		header  []string
+		samples []string
+	}
+	var order []string
+	byName := map[string]*merged{}
+	for _, src := range sources {
+		for _, f := range parseExposition(src.text) {
+			m, ok := byName[f.name]
+			if !ok {
+				m = &merged{header: f.header}
+				byName[f.name] = m
+				order = append(order, f.name)
+			}
+			for _, s := range f.samples {
+				m.samples = append(m.samples, injectNodeLabel(s, src.node))
+			}
+		}
+	}
+	for _, name := range order {
+		m := byName[name]
+		for _, h := range m.header {
+			w.Write([]byte(h))
+			w.Write([]byte{'\n'})
+		}
+		for _, s := range m.samples {
+			w.Write([]byte(s))
+			w.Write([]byte{'\n'})
+		}
+	}
+}
+
+// injectNodeLabel rewrites one sample line to carry node="<node>",
+// leaving lines that already have a node label untouched (the
+// router's own per-node fleet gauges name their member explicitly).
+func injectNodeLabel(line, node string) string {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		if hasNodeLabel(line[brace+1:]) {
+			return line
+		}
+		sep := ","
+		if strings.HasPrefix(line[brace+1:], "}") {
+			sep = ""
+		}
+		return line[:brace+1] + `node="` + node + `"` + sep + line[brace+1:]
+	}
+	if space < 0 {
+		return line // not a sample line we understand; pass through
+	}
+	return line[:space] + `{node="` + node + `"}` + line[space:]
+}
+
+// hasNodeLabel reports whether the label block starting right after
+// '{' contains a label literally named "node". Values are skipped as
+// quoted strings (honoring backslash escapes), so a value containing
+// the bytes `node="` cannot false-positive.
+func hasNodeLabel(s string) bool {
+	i := 0
+	for i < len(s) && s[i] != '}' {
+		start := i
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i >= len(s) {
+			return false
+		}
+		if s[start:i] == "node" {
+			return true
+		}
+		i++ // '='
+		if i < len(s) && s[i] == '"' {
+			i++
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++ // closing quote
+		}
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+	return false
+}

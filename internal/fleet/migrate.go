@@ -1,0 +1,233 @@
+package fleet
+
+// Live workload migration. A workload moves between nodes in two
+// phases:
+//
+// Phase 1 — unpaused handoff. The source engine's state is serialized
+// (MarshalStateSeq: the ordinary snapshot blob plus the durable-state
+// generation and WAL sequence it captures) and restored into a fresh
+// engine on the destination. Ingest keeps flowing to the source the
+// whole time; whatever lands after the blob was cut is exactly what
+// the source WAL records past the captured sequence.
+//
+// Phase 2 — gated catch-up and cutover. The workload's router gate is
+// taken exclusively: in-flight requests drain, new ones block. If
+// every state change since the handoff was an ingest (the state-gen
+// delta equals the WAL-sequence delta), the destination catches up by
+// replaying the source WAL tail — ApplyWALRecord idempotently skips
+// records at or below the blob's sequence, so the pause costs O(tail),
+// not O(history). If something else moved the state (a train, a
+// config update — state-gen bumps without a WAL append), the blob is
+// simply cut again inside the gate; rare, and always correct. Then the
+// destination is made durable (snapshot) *before* the route table
+// flips and the source forgets — a crash at any instant leaves at
+// least one durable copy, and the router's boot reconciliation
+// resolves the one window where both have one (destination wins: its
+// copy is never behind, see pickDuplicateWinner). Finally the gate
+// releases and requests flow to the new owner.
+//
+// Correctness is asserted end to end by TestMigrationBitIdentity:
+// plans and forecasts from the destination are byte-identical to a
+// reference engine fed the same acknowledged batches, under concurrent
+// ingest, with zero acknowledged batches lost.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Sentinel migration errors, for HTTP status mapping and callers that
+// care which precondition failed.
+var (
+	ErrUnknownWorkload = errors.New("unknown workload")
+	ErrUnknownNode     = errors.New("unknown node")
+	ErrMigrationBusy   = errors.New("migration already in progress")
+)
+
+// MigrationReport describes one completed migration.
+type MigrationReport struct {
+	Workload string `json:"workload"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+	// Noop is true when the workload already lived on the target.
+	Noop bool `json:"noop,omitempty"`
+	// TailRecords is how many WAL records the gated catch-up replayed
+	// (0 when nothing landed between handoff and gate).
+	TailRecords int `json:"tail_records"`
+	// Remarshaled is true when a non-ingest mutation forced the gated
+	// full re-handoff instead of a tail replay.
+	Remarshaled bool `json:"remarshaled,omitempty"`
+	// PauseSeconds is how long ingest was blocked (the gated phase).
+	PauseSeconds float64 `json:"pause_seconds"`
+}
+
+// MigrateWorkload moves one workload to the named destination node and
+// pins it there. See the file comment for the protocol.
+func (rt *Router) MigrateWorkload(id, dest string) (*MigrationReport, error) {
+	start := time.Now()
+	rep, err := rt.migrate(id, dest)
+	switch {
+	case err != nil:
+		rt.migrations["error"].Inc()
+	case rep.Noop:
+		rt.migrations["noop"].Inc()
+	default:
+		rt.migrations["ok"].Inc()
+		rt.migrationTime.Observe(time.Since(start).Seconds())
+	}
+	return rep, err
+}
+
+func (rt *Router) migrate(id, dest string) (*MigrationReport, error) {
+	destNode, ok := rt.nodes[dest]
+	if !ok {
+		return nil, fmt.Errorf("fleet: %w: destination %q", ErrUnknownNode, dest)
+	}
+	if destNode.Registry() == nil {
+		return nil, fmt.Errorf("fleet: destination %q is remote; in-process migration cannot reach its registry", dest)
+	}
+	if _, busy := rt.migrating.LoadOrStore(id, struct{}{}); busy {
+		return nil, fmt.Errorf("fleet: %w for %q", ErrMigrationBusy, id)
+	}
+	defer rt.migrating.Delete(id)
+
+	src := rt.table.Load().owner(id)
+	srcNode := rt.nodes[src]
+	if srcNode.Registry() == nil {
+		return nil, fmt.Errorf("fleet: source %q is remote; in-process migration cannot reach its registry", src)
+	}
+	e, ok := srcNode.Registry().Get(id)
+	if !ok {
+		return nil, fmt.Errorf("fleet: %w: %q", ErrUnknownWorkload, id)
+	}
+	rep := &MigrationReport{Workload: id, From: src, To: dest}
+	if src == dest {
+		rep.Noop = true
+		return rep, nil
+	}
+
+	// Phase 1: unpaused snapshot handoff.
+	blob, gen1, seq1, err := e.MarshalStateSeq()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: marshal %q on %s: %w", id, src, err)
+	}
+	de, err := destNode.Registry().GetOrCreate(id)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: create %q on %s: %w", id, dest, err)
+	}
+	cleanup := func() { destNode.Registry().Remove(id) }
+	if err := de.RestoreState(blob); err != nil {
+		cleanup()
+		return nil, fmt.Errorf("fleet: restore %q on %s: %w", id, dest, err)
+	}
+
+	// Phase 2: gate, catch up, make durable, cut over.
+	g := rt.gate(id)
+	g.Lock()
+	pauseStart := time.Now()
+	unlock := func() {
+		rep.PauseSeconds = time.Since(pauseStart).Seconds()
+		rt.migrationPause.Observe(rep.PauseSeconds)
+		g.Unlock()
+	}
+
+	gen2, seq2 := e.StateGenWALSeq()
+	caughtUp := false
+	if gen2-gen1 == seq2-seq1 {
+		if seq2 == seq1 {
+			caughtUp = true // nothing landed since the handoff
+		} else if srcLog := srcNode.WALLog(id); srcLog != nil {
+			// Replay feeds the whole on-disk log; ApplyWALRecord
+			// discards everything at or below the blob's sequence, so
+			// only the tail mutates the destination.
+			if _, err := srcLog.Replay(func(seq uint64, ts []float64) error {
+				if seq > seq1 {
+					rep.TailRecords++
+				}
+				return de.ApplyWALRecord(seq, ts)
+			}); err == nil {
+				if _, destSeq := de.StateGenWALSeq(); destSeq == seq2 {
+					caughtUp = true
+				}
+			}
+		}
+	}
+	if !caughtUp {
+		// A train/config/restore moved the state (or the tail replay
+		// could not prove coverage, e.g. a concurrent source snapshot
+		// truncated the log mid-read): cut the blob again, now that
+		// the gate guarantees quiescence.
+		rep.Remarshaled = true
+		blob2, _, _, err := e.MarshalStateSeq()
+		if err != nil {
+			unlock()
+			cleanup()
+			return nil, fmt.Errorf("fleet: gated re-marshal %q on %s: %w", id, src, err)
+		}
+		if err := de.RestoreState(blob2); err != nil {
+			unlock()
+			cleanup()
+			return nil, fmt.Errorf("fleet: gated restore %q on %s: %w", id, dest, err)
+		}
+	}
+
+	// Durable handoff before the source forgets: a crash after the
+	// source's registry drop but before its snapshot must still find
+	// the workload somewhere durable.
+	if err := destNode.SnapshotNow(); err != nil {
+		unlock()
+		cleanup()
+		return nil, fmt.Errorf("fleet: persisting %q on %s: %w", id, dest, err)
+	}
+
+	// Atomic cutover: new requests route to dest the moment the gate
+	// releases.
+	rt.table.Store(rt.table.Load().withPin(id, dest))
+	srcNode.Registry().Remove(id) // drops its WAL and snapshot bookkeeping
+	unlock()
+
+	// Make the source's forget durable too — outside the gate; if this
+	// fails (or we crash first) boot reconciliation dedups in dest's
+	// favor.
+	if err := srcNode.SnapshotNow(); err != nil {
+		return rep, fmt.Errorf("fleet: migration of %q complete, but source %s snapshot failed: %w", id, src, err)
+	}
+	return rep, nil
+}
+
+// handleMigrate is POST /v1/admin/migrate {"workload": "...", "to":
+// "nodename"}.
+func (rt *Router) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Workload string `json:"workload"`
+		To       string `json:"to"`
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad migrate JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Workload == "" || req.To == "" {
+		http.Error(w, `migrate needs "workload" and "to"`, http.StatusBadRequest)
+		return
+	}
+	rep, err := rt.MigrateWorkload(req.Workload, req.To)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, ErrUnknownWorkload):
+			code = http.StatusNotFound
+		case errors.Is(err, ErrUnknownNode):
+			code = http.StatusBadRequest
+		case errors.Is(err, ErrMigrationBusy):
+			code = http.StatusConflict
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, rep)
+}

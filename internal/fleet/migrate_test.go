@@ -1,0 +1,373 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+
+	"robustscaler/internal/engine"
+	"robustscaler/internal/wal"
+)
+
+// newPersistentFleet builds n nodes with their own data dirs and WALs
+// (fsync off: these tests prove protocol correctness, not durability
+// timing) behind a router.
+func newPersistentFleet(t *testing.T, n int) (*Router, []*Node, *httptest.Server, []string) {
+	t.Helper()
+	dirs := make([]string, n)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	rt, nodes, ts := newTestFleet(t, n, func(i int, o *NodeOptions) {
+		o.DataDir = dirs[i]
+		o.WALFsync = wal.SyncOff
+	})
+	return rt, nodes, ts, dirs
+}
+
+func nodeByName(t *testing.T, nodes []*Node, name string) *Node {
+	t.Helper()
+	for _, nd := range nodes {
+		if nd.Name() == name {
+			return nd
+		}
+	}
+	t.Fatalf("no node named %s", name)
+	return nil
+}
+
+// otherNode picks any fleet member that is not `not`.
+func otherNode(t *testing.T, rt *Router, not string) string {
+	t.Helper()
+	for _, name := range rt.Nodes() {
+		if name != not {
+			return name
+		}
+	}
+	t.Fatalf("fleet has only %s", not)
+	return ""
+}
+
+func TestMigrationMovesWorkloadAndPins(t *testing.T) {
+	rt, nodes, ts, _ := newPersistentFleet(t, 2)
+	ingest(t, ts.URL, "mover", 10, 20, 30)
+	src := rt.Owner("mover")
+	dest := otherNode(t, rt, src)
+
+	rep, err := rt.MigrateWorkload("mover", dest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != src || rep.To != dest || rep.Noop || rep.Remarshaled {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.TailRecords != 0 {
+		t.Fatalf("quiescent migration replayed %d tail records", rep.TailRecords)
+	}
+	if got := rt.Owner("mover"); got != dest {
+		t.Fatalf("owner after migration: %s, want %s", got, dest)
+	}
+	if pins := rt.Pins(); pins["mover"] != dest {
+		t.Fatalf("pins after migration: %v", pins)
+	}
+	if _, ok := nodeByName(t, nodes, src).Registry().Get("mover"); ok {
+		t.Fatal("source still holds the workload")
+	}
+	e, ok := nodeByName(t, nodes, dest).Registry().Get("mover")
+	if !ok {
+		t.Fatal("destination does not hold the workload")
+	}
+	if got := e.Status().Arrivals; got != 3 {
+		t.Fatalf("destination arrivals = %d, want 3", got)
+	}
+	// The router keeps serving the workload at its new home.
+	ingest(t, ts.URL, "mover", 40, 50)
+	code, st := getJSON[map[string]any](t, ts.URL+"/v1/workloads/mover/status")
+	if code != http.StatusOK || st["arrivals_recorded"] != float64(5) {
+		t.Fatalf("post-migration status via router: %d %v", code, st)
+	}
+	// Migration via the HTTP admin endpoint works too (and back again).
+	resp := post(t, ts.URL+"/v1/admin/migrate", "application/json",
+		fmt.Sprintf(`{"workload": "mover", "to": %q}`, src))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate endpoint: %d", resp.StatusCode)
+	}
+	if got := rt.Owner("mover"); got != src {
+		t.Fatalf("owner after HTTP migrate back: %s, want %s", got, src)
+	}
+}
+
+func TestMigrationErrors(t *testing.T) {
+	rt, _, ts, _ := newPersistentFleet(t, 2)
+	ingest(t, ts.URL, "here", 1, 2)
+	owner := rt.Owner("here")
+
+	if _, err := rt.MigrateWorkload("here", "mars"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("unknown dest: %v", err)
+	}
+	if _, err := rt.MigrateWorkload("ghost", otherNode(t, rt, "")); !errors.Is(err, ErrUnknownWorkload) {
+		t.Fatalf("unknown workload: %v", err)
+	}
+	rep, err := rt.MigrateWorkload("here", owner)
+	if err != nil || !rep.Noop {
+		t.Fatalf("self-migration: %+v, %v", rep, err)
+	}
+	// HTTP status mapping.
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"workload": "ghost", "to": "` + owner + `"}`, http.StatusNotFound},
+		{`{"workload": "here", "to": "mars"}`, http.StatusBadRequest},
+		{`{"workload": "here"}`, http.StatusBadRequest},
+		{`{nope`, http.StatusBadRequest},
+	} {
+		resp := post(t, ts.URL+"/v1/admin/migrate", "application/json", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("migrate %s: %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// The tentpole proof: migrating a workload under concurrent ingest
+// loses nothing and changes nothing. Every acknowledged batch is
+// present afterwards, and the destination's plans and forecasts are
+// byte-identical to a reference engine fed the same batches on a
+// single node that never migrated.
+func TestMigrationBitIdentity(t *testing.T) {
+	rt, nodes, ts, _ := newPersistentFleet(t, 3)
+	const id = "identity"
+
+	// Seed and train through the router, so the model is fitted before
+	// the concurrent phase; nothing retrains afterwards (no retrainer),
+	// so model parameters must survive the move bit-for-bit.
+	seed := make([]float64, 0, 200)
+	for i := 0; i < 200; i++ {
+		seed = append(seed, 1+float64(i)*7.5)
+	}
+	ingest(t, ts.URL, id, seed...)
+	trainResp := post(t, ts.URL+"/v1/workloads/"+id+"/train", "application/json", "")
+	trainResp.Body.Close()
+	if trainResp.StatusCode != http.StatusOK {
+		t.Fatalf("train: %d", trainResp.StatusCode)
+	}
+
+	src := rt.Owner(id)
+	dest := otherNode(t, rt, src)
+
+	// Concurrent phase: G writers stream disjoint batches through the
+	// router while the workload moves. Every 200 is an acknowledged,
+	// durable batch — the migration must carry all of them.
+	const (
+		writers        = 4
+		batchesPerW    = 30
+		eventsPerBatch = 5
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batchesPerW; b++ {
+				ts0 := 10000 + float64(g)*1000 + float64(b)*30
+				var buf bytes.Buffer
+				fmt.Fprintf(&buf, `{"timestamps": [`)
+				for e := 0; e < eventsPerBatch; e++ {
+					if e > 0 {
+						buf.WriteByte(',')
+					}
+					fmt.Fprintf(&buf, "%g", ts0+float64(e))
+				}
+				buf.WriteString("]}")
+				resp, err := http.Post(ts.URL+"/v1/workloads/"+id+"/arrivals", "application/json", &buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d batch %d: status %d", g, b, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	// Move the workload mid-stream.
+	rep, err := rt.MigrateWorkload(id, dest)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if err != nil {
+		t.Fatalf("migration under ingest: %v", err)
+	}
+	if rep.To != dest {
+		t.Fatalf("report: %+v", rep)
+	}
+	t.Logf("migration report: %+v", rep)
+
+	// Zero acknowledged batches lost.
+	total := len(seed) + writers*batchesPerW*eventsPerBatch
+	de, ok := nodeByName(t, nodes, dest).Registry().Get(id)
+	if !ok {
+		t.Fatal("destination lost the workload")
+	}
+	if got := de.Status().Arrivals; got != total {
+		t.Fatalf("destination arrivals = %d, want %d (acked batches lost)", got, total)
+	}
+
+	// Reference: one engine, same template (the node options' engine
+	// config — per-workload seeds derive from the id, so a fresh node
+	// births a bit-identical engine), fed the same batches in the same
+	// macro order: seed, train, then the concurrent batches (their
+	// inter-batch order doesn't matter — arrival history is a sorted
+	// set and nothing retrains).
+	refNode, err := NewNode("ref", NodeOptions{Engine: testEngineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { refNode.Close() })
+	ref, err := refNode.Registry().GetOrCreate(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Ingest(seed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Train(); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < writers; g++ {
+		for b := 0; b < batchesPerW; b++ {
+			ts0 := 10000 + float64(g)*1000 + float64(b)*30
+			batch := make([]float64, eventsPerBatch)
+			for e := range batch {
+				batch[e] = ts0 + float64(e)
+			}
+			if _, err := ref.Ingest(batch); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Align the RNG stream with the migrated copy: the destination's
+	// engine went through RestoreState, which re-seeds deterministically;
+	// round-trip the reference the same way.
+	blob, _, _, err := ref.MarshalStateSeq()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit identity: same call sequence on both engines.
+	for _, span := range [][3]float64{{0, 3600, 60}, {1000, 90000, 300}} {
+		a, err := de.ForecastJSON(span[0], span[1], span[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ref.ForecastJSON(span[0], span[1], span[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("forecast %v diverged after migration:\n%s\nvs reference\n%s", span, a, b)
+		}
+	}
+	for _, variant := range []string{"hp", "rt", "cost"} {
+		req := engine.PlanRequest{Variant: variant, Target: 0.95, Horizon: 3600, Now: testNow, HasNow: true}
+		if variant == "rt" {
+			req.Target = 30 // seconds of wait budget
+		}
+		if variant == "cost" {
+			req.Target = 120 // seconds of idle budget
+		}
+		got, err := de.Plan(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ref.Plan(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("plan %q diverged after migration:\n%+v\nvs reference\n%+v", variant, got, want)
+		}
+	}
+	if a, b := de.Status(), ref.Status(); a.Arrivals != b.Arrivals || a.TrainedOn != b.TrainedOn ||
+		a.PeriodSeconds != b.PeriodSeconds || a.RateNow != b.RateNow {
+		t.Fatalf("status diverged: %+v vs %+v", a, b)
+	}
+}
+
+// After a migration, restarting every node from disk and rebuilding
+// the router must find the workload where the migration left it: data
+// location wins over ring opinion, reported as a reassignment.
+func TestMigrationSurvivesRestart(t *testing.T) {
+	rt, _, ts, dirs := newPersistentFleet(t, 2)
+	ingest(t, ts.URL, "sticky", 5, 6, 7)
+	src := rt.Owner("sticky")
+	dest := otherNode(t, rt, src)
+	if _, err := rt.MigrateWorkload("sticky", dest); err != nil {
+		t.Fatal(err)
+	}
+	names := rt.Nodes()
+	for _, name := range names {
+		if err := nodeByName(t, fleetNodes(rt), name).Close(); err != nil {
+			t.Fatalf("closing %s: %v", name, err)
+		}
+	}
+
+	// Reboot the same fleet from the same directories.
+	reborn := make([]*Node, len(names))
+	for i, name := range names {
+		nd, err := NewNode(name, NodeOptions{Engine: testEngineCfg(), DataDir: dirs[i], WALFsync: wal.SyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nd.Close() })
+		reborn[i] = nd
+	}
+	rt2, err := NewRouter(reborn, RouterOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt2.Owner("sticky"); got != dest {
+		t.Fatalf("owner after restart: %s, want %s (pins %v)", got, dest, rt2.Pins())
+	}
+	var found bool
+	for _, ra := range rt2.Reassignments() {
+		if ra.Workload == "sticky" && ra.Node == dest {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("boot reconciliation silent about the moved workload: %+v", rt2.Reassignments())
+	}
+	e, ok := nodeByName(t, reborn, dest).Registry().Get("sticky")
+	if !ok {
+		t.Fatal("restarted destination lost the workload")
+	}
+	if got := e.Status().Arrivals; got != 3 {
+		t.Fatalf("arrivals after restart = %d, want 3", got)
+	}
+}
+
+// fleetNodes recovers the *Node values behind a router for test
+// teardown bookkeeping.
+func fleetNodes(rt *Router) []*Node {
+	out := make([]*Node, 0, len(rt.order))
+	for _, name := range rt.order {
+		out = append(out, rt.nodes[name])
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package fleet
+
+// The Router is the fleet's single HTTP front: per-workload routes are
+// forwarded to the owning node (consistent-hash ring, overridable per
+// workload by migration pins), fleet-wide routes are scatter-gathered
+// across every node, and a per-node passthrough under /v1/nodes/{node}
+// exposes each member's full surface for targeted operations.
+//
+// Routing state is a copy-on-write table behind an atomic pointer —
+// the forward hot path loads it with one atomic read and never takes a
+// fleet-wide lock. Per-workload RWMutex gates serialize requests
+// against a migration's final cutover: requests hold the gate shared,
+// the migration's tail phase holds it exclusive, so ingest to a moving
+// workload pauses only for the tail replay.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"robustscaler/internal/httpmetrics"
+	"robustscaler/internal/metrics"
+	"robustscaler/internal/ring"
+)
+
+// DefaultFanout bounds how many nodes a scatter-gather queries
+// concurrently when RouterOptions leaves Fanout zero.
+const DefaultFanout = 8
+
+// RouterOptions configures ring geometry and scatter concurrency.
+type RouterOptions struct {
+	// VirtualNodes and Seed parameterize workload placement (see
+	// internal/ring). Every router over the same fleet must use the
+	// same values or placement diverges.
+	VirtualNodes int
+	Seed         uint64
+	// Fanout bounds concurrent per-node requests during a
+	// scatter-gather; 0 means DefaultFanout.
+	Fanout int
+}
+
+// routeTable is the immutable routing state: the ring plus per-workload
+// pins that override it (migration destinations, boot reconciliation).
+// Mutations clone, never edit in place.
+type routeTable struct {
+	ring *ring.Ring
+	pins map[string]string // workload id → node name
+}
+
+func (t *routeTable) owner(id string) string {
+	if n, ok := t.pins[id]; ok {
+		return n
+	}
+	n, _ := t.ring.Owner(id) // the ring is never empty: NewRouter requires ≥1 node
+	return n
+}
+
+// withPin returns a clone routing id to node; a pin matching the ring
+// owner is dropped rather than stored (the table stays minimal, and
+// Pins() reports only true overrides).
+func (t *routeTable) withPin(id, node string) *routeTable {
+	c := &routeTable{ring: t.ring, pins: make(map[string]string, len(t.pins)+1)}
+	for k, v := range t.pins {
+		c.pins[k] = v
+	}
+	if owner, _ := t.ring.Owner(id); owner == node {
+		delete(c.pins, id)
+	} else {
+		c.pins[id] = node
+	}
+	return c
+}
+
+// Reassignment records one boot-reconciliation decision (see
+// NewRouter).
+type Reassignment struct {
+	Workload string
+	// Node is where the workload's data actually lives (pinned there
+	// when it differs from the ring owner).
+	Node string
+	// DroppedFrom lists nodes whose duplicate copy lost the tie-break
+	// and was dropped from their in-memory registry.
+	DroppedFrom []string
+}
+
+// Router fronts a set of fleet nodes. Create with NewRouter; safe for
+// concurrent use.
+type Router struct {
+	nodes map[string]*Node
+	order []string // node names, presentation order
+
+	table atomic.Pointer[routeTable]
+	// gates holds one *sync.RWMutex per workload id ever routed;
+	// requests take it shared, a migration cutover exclusive. Entries
+	// are never removed — a mutex is ~24 bytes and the id space is the
+	// workload space, which the registries already hold.
+	gates sync.Map
+	// migrating marks workload ids with a migration in flight, so a
+	// second concurrent migration of the same workload is refused
+	// instead of interleaved.
+	migrating sync.Map
+
+	fanout  int
+	reg     *metrics.Registry
+	handler http.Handler
+
+	reassigned []Reassignment // boot reconciliation, for logs and tests
+
+	forwards       map[string]*metrics.Counter   // per node
+	scatterSeconds map[string]*metrics.Histogram // per fleet route
+	migrations     map[string]*metrics.Counter   // by result
+	migrationTime  *metrics.Histogram
+	migrationPause *metrics.Histogram
+}
+
+// NewRouter builds the routing layer over nodes. Placement starts from
+// the configured ring; then, for every workload already present in an
+// in-process node's registry, the router reconciles ring opinion with
+// reality: a workload living off its ring owner (an old migration, or
+// a membership change across restarts) is pinned to the node that
+// holds it, and a workload found on several nodes (a crash between a
+// migration's durable handoff and the source's durable forget) keeps
+// the copy with the most arrivals — ties break to the ring owner, then
+// lexicographically — and the losers drop theirs. Data location wins
+// over hash opinion, always; the ring only decides where *new*
+// workloads go.
+func NewRouter(nodes []*Node, opts RouterOptions) (*Router, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("fleet: router needs at least one node")
+	}
+	rt := &Router{
+		nodes:  make(map[string]*Node, len(nodes)),
+		fanout: opts.Fanout,
+		reg:    metrics.NewRegistry(),
+	}
+	if rt.fanout <= 0 {
+		rt.fanout = DefaultFanout
+	}
+	rg := ring.New(ring.Config{VirtualNodes: opts.VirtualNodes, Seed: opts.Seed})
+	for _, n := range nodes {
+		if _, dup := rt.nodes[n.Name()]; dup {
+			return nil, fmt.Errorf("fleet: duplicate node name %q", n.Name())
+		}
+		rt.nodes[n.Name()] = n
+		rt.order = append(rt.order, n.Name())
+		if err := rg.Add(n.Name()); err != nil {
+			return nil, err
+		}
+	}
+	tbl := &routeTable{ring: rg, pins: map[string]string{}}
+	rt.reconcile(tbl)
+	rt.table.Store(tbl)
+	rt.initMetrics()
+	rt.handler = rt.buildMux()
+	return rt, nil
+}
+
+// reconcile pins every already-present workload to the node that holds
+// its data and resolves duplicates (NewRouter doc). Mutates tbl, which
+// is pre-publication here.
+func (rt *Router) reconcile(tbl *routeTable) {
+	holders := map[string][]string{} // workload → node names, rt.order order
+	for _, name := range rt.order {
+		reg := rt.nodes[name].Registry()
+		if reg == nil {
+			continue // remote node: its inventory is not ours to scan
+		}
+		for _, id := range reg.Workloads() {
+			holders[id] = append(holders[id], name)
+		}
+	}
+	ids := make([]string, 0, len(holders))
+	for id := range holders {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids) // deterministic reassignment order
+	for _, id := range ids {
+		hosts := holders[id]
+		ringOwner, _ := tbl.ring.Owner(id)
+		winner := hosts[0]
+		if len(hosts) > 1 {
+			winner = rt.pickDuplicateWinner(id, hosts, ringOwner)
+		}
+		var dropped []string
+		for _, h := range hosts {
+			if h == winner {
+				continue
+			}
+			rt.nodes[h].Registry().Remove(id) // durable at that node's next snapshot
+			dropped = append(dropped, h)
+		}
+		if winner != ringOwner {
+			tbl.pins[id] = winner
+		}
+		if winner != ringOwner || dropped != nil {
+			rt.reassigned = append(rt.reassigned, Reassignment{Workload: id, Node: winner, DroppedFrom: dropped})
+		}
+	}
+}
+
+// pickDuplicateWinner chooses which duplicate copy of a workload
+// survives: most arrivals first (a migration destination is always ≥
+// the source it copied), then the ring owner, then the
+// lexicographically first host. With equal arrival counts the copies
+// are interchangeable — a migration's gate guarantees the destination
+// matched the source before the source could have forgotten anything.
+func (rt *Router) pickDuplicateWinner(id string, hosts []string, ringOwner string) string {
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	winner, best := "", -1
+	for _, h := range sorted {
+		e, ok := rt.nodes[h].Registry().Get(id)
+		if !ok {
+			continue
+		}
+		n := e.Status().Arrivals
+		better := n > best
+		if n == best && h == ringOwner {
+			better = true
+		}
+		if better {
+			winner, best = h, n
+		}
+	}
+	return winner
+}
+
+// Reassignments returns the boot-reconciliation decisions NewRouter
+// made, for the caller to log.
+func (rt *Router) Reassignments() []Reassignment { return rt.reassigned }
+
+// Handler returns the router's HTTP surface — the fleet's single
+// front.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Metrics returns the router's own registry (fleet gauges, router
+// route metrics). Node registries stay per-node; GET /metrics merges
+// all of them.
+func (rt *Router) Metrics() *metrics.Registry { return rt.reg }
+
+// Nodes returns the member names in presentation order.
+func (rt *Router) Nodes() []string { return append([]string(nil), rt.order...) }
+
+// Owner returns the node currently routing the workload (pin or ring).
+func (rt *Router) Owner(id string) string { return rt.table.Load().owner(id) }
+
+// Pins returns the current pin set (workloads routed off their ring
+// owner).
+func (rt *Router) Pins() map[string]string {
+	pins := rt.table.Load().pins
+	out := make(map[string]string, len(pins))
+	for k, v := range pins {
+		out[k] = v
+	}
+	return out
+}
+
+// gate returns the workload's RWMutex, creating it on first touch.
+func (rt *Router) gate(id string) *sync.RWMutex {
+	if g, ok := rt.gates.Load(id); ok {
+		return g.(*sync.RWMutex)
+	}
+	g, _ := rt.gates.LoadOrStore(id, &sync.RWMutex{})
+	return g.(*sync.RWMutex)
+}
+
+// buildMux wires the fleet routes. Per-workload routes share one
+// forward handler; its route label is the mux pattern, so workload IDs
+// never become label values (same cardinality rule as the node mux).
+func (rt *Router) buildMux() http.Handler {
+	mux := http.NewServeMux()
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, httpmetrics.Wrap(rt.reg, pattern, h))
+	}
+	handle("GET /healthz", rt.handleHealth)
+	handle("GET /metrics", rt.handleMetrics)
+	handle("GET /v1/workloads", rt.handleList)
+	handle("PUT /v1/admin/config", rt.handleBulkConfig)
+	handle("POST /v1/admin/snapshot", rt.handleScatterAdmin("POST", "/v1/admin/snapshot"))
+	handle("GET /v1/admin/generations", rt.handleScatterAdmin("GET", "/v1/admin/generations"))
+	handle("POST /v1/admin/restore-generation", func(w http.ResponseWriter, _ *http.Request) {
+		// Snapshot generations are per-node timelines; one number can
+		// not name a consistent fleet-wide state. Restore per node.
+		http.Error(w, "restore-generation is a per-node operation in fleet mode: "+
+			"POST /v1/nodes/{node}/v1/admin/restore-generation", http.StatusBadRequest)
+	})
+	handle("GET /v1/admin/fleet", rt.handleFleet)
+	handle("POST /v1/admin/migrate", rt.handleMigrate)
+	handle("/v1/nodes/{node}/{rest...}", rt.handlePassthrough)
+	handle("/v1/workloads/{id}", rt.forward)
+	handle("/v1/workloads/{id}/{rest...}", rt.forward)
+	return mux
+}
+
+// forward sends a per-workload request to its owning node. The gate is
+// held shared for the whole node round-trip: a migration cutover
+// (exclusive) therefore waits for in-flight requests and blocks new
+// ones until the workload's new home is live.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if id == "" {
+		http.Error(w, "missing workload id", http.StatusNotFound)
+		return
+	}
+	g := rt.gate(id)
+	g.RLock()
+	defer g.RUnlock()
+	node := rt.table.Load().owner(id)
+	rt.forwards[node].Inc()
+	rt.nodes[node].Handler().ServeHTTP(w, r)
+}
+
+// handlePassthrough relays a request to one named node with the
+// /v1/nodes/{node} prefix stripped: the operator's direct line to a
+// member (per-node metrics, per-node generations, point-in-time
+// restore). Bypasses workload gates — it addresses a node, not a
+// workload.
+func (rt *Router) handlePassthrough(w http.ResponseWriter, r *http.Request) {
+	node, ok := rt.nodes[r.PathValue("node")]
+	if !ok {
+		http.Error(w, "unknown node", http.StatusNotFound)
+		return
+	}
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + r.PathValue("rest")
+	r2.URL.RawPath = ""
+	node.Handler().ServeHTTP(w, r2)
+}

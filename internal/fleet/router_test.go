@@ -1,0 +1,493 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"robustscaler/internal/server"
+)
+
+const testNow = 100000.0
+
+func testEngineCfg() *server.Config {
+	cfg := server.DefaultConfig()
+	cfg.MCSamples = 200
+	cfg.Now = func() float64 { return testNow }
+	return &cfg
+}
+
+// newTestFleet builds n in-memory nodes behind a router and serves it.
+func newTestFleet(t *testing.T, n int, tweak func(i int, o *NodeOptions)) (*Router, []*Node, *httptest.Server) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		opts := NodeOptions{Engine: testEngineCfg()}
+		if tweak != nil {
+			tweak(i, &opts)
+		}
+		nd, err := NewNode(fmt.Sprintf("n%d", i), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { nd.Close() })
+		nodes[i] = nd
+	}
+	rt, err := NewRouter(nodes, RouterOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, nodes, ts
+}
+
+func post(t *testing.T, url, contentType, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, contentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func ingest(t *testing.T, base, id string, ts ...float64) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{"timestamps": ts})
+	resp := post(t, base+"/v1/workloads/"+id+"/arrivals", "application/json", string(body))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest %s: %d", id, resp.StatusCode)
+	}
+}
+
+func getJSON[T any](t *testing.T, url string) (int, T) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return resp.StatusCode, v
+}
+
+// Workloads ingested through the router must land on exactly the node
+// the ring names, and every per-workload route must reach them there.
+func TestForwardPlacesWorkloadsOnOwners(t *testing.T) {
+	rt, nodes, ts := newTestFleet(t, 4, nil)
+	ids := make([]string, 32)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("svc-%02d", i)
+		ingest(t, ts.URL, ids[i], 1, 2, 3)
+	}
+	placed := 0
+	for _, id := range ids {
+		owner := rt.Owner(id)
+		for _, nd := range nodes {
+			_, ok := nd.Registry().Get(id)
+			if nd.Name() == owner {
+				if !ok {
+					t.Fatalf("workload %s missing on its owner %s", id, owner)
+				}
+				placed++
+			} else if ok {
+				t.Fatalf("workload %s leaked onto non-owner %s", id, nd.Name())
+			}
+		}
+		// Reads route to the same place.
+		code, status := getJSON[map[string]any](t, ts.URL+"/v1/workloads/"+id+"/status")
+		if code != http.StatusOK || status["arrivals_recorded"] != float64(3) {
+			t.Fatalf("status via router for %s: %d %v", id, code, status)
+		}
+	}
+	if placed != len(ids) {
+		t.Fatalf("placed %d of %d workloads", placed, len(ids))
+	}
+	// With 4 nodes and 32 workloads every node should own some.
+	for _, nd := range nodes {
+		if nd.Registry().Len() == 0 {
+			t.Fatalf("node %s owns nothing — ring badly imbalanced", nd.Name())
+		}
+	}
+}
+
+// The fleet list is the sorted union of every node's list, in the
+// single-node response shape.
+func TestListAggregates(t *testing.T) {
+	_, _, ts := newTestFleet(t, 3, nil)
+	want := []string{"a-1", "b-2", "c-3", "d-4", "e-5"}
+	for _, id := range want {
+		ingest(t, ts.URL, id, 1, 2)
+	}
+	code, got := getJSON[struct {
+		Workloads []string `json:"workloads"`
+	}](t, ts.URL+"/v1/workloads")
+	if code != http.StatusOK {
+		t.Fatalf("list: %d", code)
+	}
+	if fmt.Sprint(got.Workloads) != fmt.Sprint(want) {
+		t.Fatalf("fleet list = %v, want %v", got.Workloads, want)
+	}
+}
+
+// Node error semantics must pass through the router unchanged: 404 for
+// unknown workloads and routes, 413 for oversized ingest bodies, 415
+// for unsupported media types.
+func TestErrorPassthrough(t *testing.T) {
+	_, _, ts := newTestFleet(t, 2, func(_ int, o *NodeOptions) {
+		o.MaxIngestBytes = 128
+	})
+	// 404: unknown workload on a non-creating route (plain-text body).
+	gresp, err := http.Get(ts.URL + "/v1/workloads/ghost/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown workload status: %d, want 404", gresp.StatusCode)
+	}
+	// 404: unknown sub-route under a real workload.
+	ingest(t, ts.URL, "real", 1, 2)
+	resp, err := http.Get(ts.URL + "/v1/workloads/real/nonesuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown sub-route: %d, want 404", resp.StatusCode)
+	}
+	// 413: body over the node's ingest cap.
+	big := "{\"timestamps\": [" + strings.Repeat("1,", 200) + "1]}"
+	resp = post(t, ts.URL+"/v1/workloads/real/arrivals", "application/json", big)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: %d, want 413", resp.StatusCode)
+	}
+	// 415: unsupported Content-Encoding (the node's negotiation rule:
+	// unknown content *types* stay 400-on-bad-JSON, unknown encodings
+	// are 415).
+	req415, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/workloads/real/arrivals",
+		strings.NewReader(`{"timestamps": [1]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req415.Header.Set("Content-Type", "application/json")
+	req415.Header.Set("Content-Encoding", "br")
+	resp, err = http.DefaultClient.Do(req415)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("brotli ingest via router: %d, want 415", resp.StatusCode)
+	}
+	// DELETE forwards too.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workloads/real", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete via router: %d", dresp.StatusCode)
+	}
+	gresp, err = http.Get(ts.URL + "/v1/workloads/real/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted workload still resolves: %d", gresp.StatusCode)
+	}
+}
+
+// Fleet /healthz: all-ok fleets report ok; a degraded-but-200 node
+// (lossy boot) degrades the fleet report at 200; a 503 node makes the
+// fleet 503 — the single-node orchestrator contract, lifted over N.
+func TestHealthAggregation(t *testing.T) {
+	okNode, err := NewNode("ok", NodeOptions{Engine: testEngineCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { okNode.Close() })
+
+	rt, err := NewRouter([]*Node{okNode}, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	code, rep := getJSON[map[string]any](t, ts.URL+"/healthz")
+	if code != http.StatusOK || rep["status"] != "ok" {
+		t.Fatalf("all-ok fleet: %d %v", code, rep)
+	}
+
+	// Degraded-at-200 member (what a lossy boot reports).
+	degraded := NewRemoteNode("hurt", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status": "degraded", "boot": {"quarantined": [{"id": "w1"}]}}`)
+	}))
+	rt2, err := NewRouter([]*Node{okNode, degraded}, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(rt2.Handler())
+	t.Cleanup(ts2.Close)
+	code, rep = getJSON[map[string]any](t, ts2.URL+"/healthz")
+	if code != http.StatusOK || rep["status"] != "degraded" {
+		t.Fatalf("fleet with degraded-200 member: %d %v, want 200 degraded", code, rep)
+	}
+	detail := rep["nodes"].(map[string]any)["hurt"].(map[string]any)
+	if detail["http_status"] != float64(200) {
+		t.Fatalf("per-node detail lost: %v", detail)
+	}
+
+	// 503 member (failing snapshots) → fleet 503 with detail.
+	down := NewRemoteNode("down", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status": "degraded", "snapshots": {"consecutive_failures": 3}}`)
+	}))
+	rt3, err := NewRouter([]*Node{okNode, down}, RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(rt3.Handler())
+	t.Cleanup(ts3.Close)
+	code, rep = getJSON[map[string]any](t, ts3.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || rep["status"] != "degraded" {
+		t.Fatalf("fleet with 503 member: %d %v, want 503 degraded", code, rep)
+	}
+	if d := rep["nodes"].(map[string]any)["down"].(map[string]any); d["http_status"] != float64(503) {
+		t.Fatalf("503 detail lost: %v", d)
+	}
+}
+
+// Bulk config through the router: each node applies what it hosts;
+// the merged scoreboard covers the whole fleet, and a workload is 404
+// only when no node has it.
+func TestBulkConfigAcrossNodes(t *testing.T) {
+	rt, nodes, ts := newTestFleet(t, 3, nil)
+	ids := []string{"api-a", "api-b", "api-c", "api-d", "batch-x"}
+	for _, id := range ids {
+		ingest(t, ts.URL, id, 1, 2)
+	}
+	// Sanity: the api-* set spans more than one node.
+	ownersSeen := map[string]bool{}
+	for _, id := range ids[:4] {
+		ownersSeen[rt.Owner(id)] = true
+	}
+	if len(ownersSeen) < 2 {
+		t.Fatalf("test workloads all landed on one node; pick different names")
+	}
+
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/admin/config",
+		strings.NewReader(`{"glob": "api-*", "workloads": ["ghost"], "config": {"pending": 21}}`))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk config: %d", resp.StatusCode)
+	}
+	var out server.BulkConfigResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if out.Matched != 4 || out.Updated != 4 {
+		t.Fatalf("fleet bulk scoreboard: %+v", out)
+	}
+	for _, id := range ids[:4] {
+		if r := out.Results[id]; !r.OK || r.Version != 2 {
+			t.Fatalf("result[%s] = %+v", id, r)
+		}
+	}
+	if r := out.Results["ghost"]; r.OK || r.Code != http.StatusNotFound {
+		t.Fatalf("result[ghost] = %+v, want 404", r)
+	}
+	if _, ok := out.Results["batch-x"]; ok {
+		t.Fatal("glob matched batch-x")
+	}
+	// The config really changed on the owning nodes.
+	for _, id := range ids[:4] {
+		e, ok := nodes[ownerIndex(t, rt, id)].Registry().Get(id)
+		if !ok {
+			t.Fatalf("workload %s not on its owner", id)
+		}
+		if ec := e.EngineConfig(); ec.Pending != 21 || ec.Version != 2 {
+			t.Fatalf("config of %s on owner: %+v", id, ec)
+		}
+	}
+	// Request-level rejects relay the node's 400.
+	req, _ = http.NewRequest(http.MethodPut, ts.URL+"/v1/admin/config",
+		strings.NewReader(`{"config": {"pending": 21}}`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("targetless bulk via router: %d, want 400", resp.StatusCode)
+	}
+}
+
+func ownerIndex(t *testing.T, rt *Router, id string) int {
+	t.Helper()
+	owner := rt.Owner(id)
+	for i, name := range rt.Nodes() {
+		if name == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %s of %s not in fleet", owner, id)
+	return -1
+}
+
+// The per-node passthrough exposes each member's full surface under
+// /v1/nodes/{node}/.
+func TestNodePassthrough(t *testing.T) {
+	rt, _, ts := newTestFleet(t, 2, nil)
+	ingest(t, ts.URL, "svc", 1, 2, 3)
+	owner := rt.Owner("svc")
+	code, got := getJSON[struct {
+		Workloads []string `json:"workloads"`
+	}](t, ts.URL+"/v1/nodes/"+owner+"/v1/workloads")
+	if code != http.StatusOK || len(got.Workloads) != 1 || got.Workloads[0] != "svc" {
+		t.Fatalf("passthrough list on %s: %d %v", owner, code, got)
+	}
+	resp, err := http.Get(ts.URL + "/v1/nodes/nope/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown node passthrough: %d, want 404", resp.StatusCode)
+	}
+}
+
+// GET /v1/admin/fleet maps the topology: members, shares, placement.
+func TestFleetTopology(t *testing.T) {
+	_, _, ts := newTestFleet(t, 3, nil)
+	ingest(t, ts.URL, "svc-map", 1, 2)
+	code, top := getJSON[struct {
+		Nodes []map[string]any  `json:"nodes"`
+		Ring  map[string]any    `json:"ring"`
+		Pins  map[string]string `json:"pins"`
+		Work  map[string]string `json:"workloads"`
+	}](t, ts.URL+"/v1/admin/fleet")
+	if code != http.StatusOK || len(top.Nodes) != 3 {
+		t.Fatalf("fleet topology: %d %+v", code, top)
+	}
+	if len(top.Pins) != 0 {
+		t.Fatalf("fresh fleet has pins: %v", top.Pins)
+	}
+	if top.Work["svc-map"] == "" {
+		t.Fatalf("placement missing svc-map: %v", top.Work)
+	}
+	share := 0.0
+	for _, n := range top.Nodes {
+		share += n["ring_share"].(float64)
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Fatalf("ring shares sum to %g", share)
+	}
+}
+
+// The merged /metrics exposition: node series labeled, fleet series
+// present, headers unique, families contiguous — and route labels stay
+// pattern-keyed (no workload IDs).
+func TestMetricsAggregation(t *testing.T) {
+	_, _, ts := newTestFleet(t, 2, nil)
+	for i := 0; i < 8; i++ {
+		ingest(t, ts.URL, fmt.Sprintf("meter-%d", i), 1, 2, 3)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+
+	for _, want := range []string{
+		`robustscaler_fleet_nodes{node="router"} 2`,
+		`robustscaler_fleet_node_workloads{node="n0"}`,
+		`robustscaler_fleet_node_workloads{node="n1"}`,
+		`robustscaler_fleet_ring_share{node="n0"}`,
+		`robustscaler_fleet_forwards_total{node=`,
+		`robustscaler_fleet_scatter_seconds_bucket`,
+		`robustscaler_ingest_events_total{node="n0",format="binary"}`,
+		`robustscaler_http_requests_total{node="router",route="/v1/workloads/{id}/{rest...}",code="2xx"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged exposition missing %q\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "meter-0") {
+		t.Fatal("a workload ID leaked into the metric space")
+	}
+	// Exposition validity: every family header appears exactly once
+	// and all of a family's samples sit in one contiguous block.
+	assertValidExposition(t, text)
+	// The node label injection must never produce a double node label.
+	if strings.Contains(text, `node="router",node=`) || strings.Contains(text, `,node="n0",node=`) {
+		t.Fatal("double node label in merged exposition")
+	}
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// assertValidExposition checks text-format structural rules the
+// Prometheus scraper enforces.
+func assertValidExposition(t *testing.T, text string) {
+	t.Helper()
+	seenHeader := map[string]bool{}
+	sampleBlocks := map[string]int{}
+	cur := ""
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			name := strings.Fields(line)[2]
+			if seenHeader[name] {
+				t.Fatalf("duplicate TYPE header for %s", name)
+			}
+			seenHeader[name] = true
+			cur = name
+			sampleBlocks[name]++
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if base != cur && name != cur {
+			t.Fatalf("sample %q outside its family block (current family %q)", line, cur)
+		}
+	}
+}

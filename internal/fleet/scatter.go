@@ -1,0 +1,270 @@
+package fleet
+
+// Scatter-gather: fleet-wide endpoints query every node concurrently
+// (bounded fan-out) through each node's http.Handler — the same
+// boundary forwarding uses, so a remote node participates in
+// aggregation exactly like an in-process one — and merge the
+// responses into a single fleet document.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"robustscaler/internal/server"
+)
+
+// nodeResponse is one node's reply inside a scatter.
+type nodeResponse struct {
+	node   string
+	status int
+	body   []byte
+}
+
+// recorder is a minimal in-process http.ResponseWriter; the stdlib's
+// httptest.ResponseRecorder is deliberately not imported outside
+// tests.
+type recorder struct {
+	header http.Header
+	body   bytes.Buffer
+	code   int
+}
+
+func newRecorder() *recorder { return &recorder{header: make(http.Header), code: http.StatusOK} }
+
+func (r *recorder) Header() http.Header         { return r.header }
+func (r *recorder) Write(p []byte) (int, error) { return r.body.Write(p) }
+func (r *recorder) WriteHeader(code int)        { r.code = code }
+
+// scatter sends method+path (with body, when non-nil) to every node,
+// at most rt.fanout concurrently, and returns responses in node
+// presentation order. ctx aborts stragglers for remote nodes;
+// in-process handlers are fast enough that we simply wait.
+func (rt *Router) scatter(ctx context.Context, method, path string, body []byte, contentType string) []nodeResponse {
+	start := time.Now()
+	out := make([]nodeResponse, len(rt.order))
+	sem := make(chan struct{}, rt.fanout)
+	var wg sync.WaitGroup
+	for i, name := range rt.order {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var rd *bytes.Reader
+			if body != nil {
+				rd = bytes.NewReader(body)
+			} else {
+				rd = bytes.NewReader(nil)
+			}
+			req, err := http.NewRequestWithContext(ctx, method, path, rd)
+			if err != nil {
+				out[i] = nodeResponse{node: name, status: http.StatusInternalServerError, body: []byte(err.Error())}
+				return
+			}
+			if contentType != "" {
+				req.Header.Set("Content-Type", contentType)
+			}
+			rec := newRecorder()
+			rt.nodes[name].Handler().ServeHTTP(rec, req)
+			out[i] = nodeResponse{node: name, status: rec.code, body: rec.body.Bytes()}
+		}(i, name)
+	}
+	wg.Wait()
+	if h, ok := rt.scatterSeconds[path]; ok {
+		h.Observe(time.Since(start).Seconds())
+	}
+	return out
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// asJSON re-decodes a node's JSON body so it nests as an object rather
+// than an escaped string; non-JSON bodies (plain-text errors) are
+// passed through as trimmed strings.
+func asJSON(body []byte) any {
+	var v any
+	if err := json.Unmarshal(body, &v); err != nil {
+		return string(bytes.TrimSpace(body))
+	}
+	return v
+}
+
+// handleHealth aggregates every node's /healthz. Fleet status is the
+// worst member status: any non-"ok" node (quarantined boot casualties,
+// failing snapshots) degrades the fleet report, and any node that
+// answers 503 makes the fleet answer 503 — same contract an
+// orchestrator already has with a single scalerd, lifted over N.
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resps := rt.scatter(r.Context(), http.MethodGet, "/healthz", nil, "")
+	code := http.StatusOK
+	status := "ok"
+	nodes := make(map[string]any, len(resps))
+	for _, nr := range resps {
+		detail := map[string]any{"http_status": nr.status, "report": asJSON(nr.body)}
+		nodes[nr.node] = detail
+		if nr.status != http.StatusOK {
+			code = http.StatusServiceUnavailable
+			status = "degraded"
+			continue
+		}
+		if rep, ok := asJSON(nr.body).(map[string]any); ok {
+			if s, _ := rep["status"].(string); s != "" && s != "ok" {
+				status = "degraded"
+			}
+		}
+	}
+	writeJSONStatus(w, code, map[string]any{
+		"status": status,
+		"nodes":  nodes,
+	})
+}
+
+// handleList merges every node's workload list into one sorted,
+// deduplicated fleet list — the same response shape a single node
+// serves, so clients need not care whether they talk to a node or the
+// fleet.
+func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
+	resps := rt.scatter(r.Context(), http.MethodGet, "/v1/workloads", nil, "")
+	seen := map[string]bool{}
+	for _, nr := range resps {
+		if nr.status != http.StatusOK {
+			http.Error(w, "node "+nr.node+" failed to list: "+string(nr.body), http.StatusInternalServerError)
+			return
+		}
+		var body struct {
+			Workloads []string `json:"workloads"`
+		}
+		if err := json.Unmarshal(nr.body, &body); err != nil {
+			http.Error(w, "node "+nr.node+" list unreadable: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		for _, id := range body.Workloads {
+			seen[id] = true
+		}
+	}
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	writeJSONStatus(w, http.StatusOK, map[string]any{"workloads": ids})
+}
+
+// handleScatterAdmin fans an admin request out to every node and
+// reports per-node outcomes. Overall status: 200 when every node
+// succeeded, 500 when any node failed server-side, otherwise the
+// first non-2xx code (e.g. 409 everywhere when no node has a store).
+func (rt *Router) handleScatterAdmin(method, path string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		resps := rt.scatter(r.Context(), method, path, nil, "")
+		code := http.StatusOK
+		nodes := make(map[string]any, len(resps))
+		for _, nr := range resps {
+			nodes[nr.node] = map[string]any{"http_status": nr.status, "report": asJSON(nr.body)}
+			switch {
+			case nr.status >= 500:
+				code = http.StatusInternalServerError
+			case nr.status >= 300 && code == http.StatusOK:
+				code = nr.status
+			}
+		}
+		writeJSONStatus(w, code, map[string]any{"nodes": nodes})
+	}
+}
+
+// handleBulkConfig scatters the bulk config update to every node and
+// merges the per-node scoreboards. Each node applies the merge to the
+// targets it hosts and reports 404 for explicit targets it does not;
+// a workload is "found" fleet-wide if any node accepted it, and
+// "not found" only if every node said 404.
+func (rt *Router) handleBulkConfig(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		return // readBody already answered
+	}
+	resps := rt.scatter(r.Context(), http.MethodPut, "/v1/admin/config", body, "application/json")
+	merged := server.BulkConfigResponse{Results: map[string]server.BulkConfigResult{}}
+	for _, nr := range resps {
+		if nr.status != http.StatusOK {
+			// Request-level rejects (bad JSON, bad glob, version in
+			// bulk) are identical on every node; relay the first.
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.WriteHeader(nr.status)
+			w.Write(nr.body)
+			return
+		}
+		var resp server.BulkConfigResponse
+		if err := json.Unmarshal(nr.body, &resp); err != nil {
+			http.Error(w, "node "+nr.node+" bulk response unreadable: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		merged.Matched += resp.Matched
+		merged.Updated += resp.Updated
+		for id, res := range resp.Results {
+			prev, seen := merged.Results[id]
+			// Keep the most meaningful result: any real outcome beats
+			// a 404 (the workload just lives elsewhere).
+			if !seen || (prev.Code == http.StatusNotFound && !prev.OK) {
+				merged.Results[id] = res
+			}
+		}
+	}
+	writeJSONStatus(w, http.StatusOK, merged)
+}
+
+// handleFleet reports the fleet topology: members, ring geometry and
+// analytic ownership shares, pins, and where every live workload
+// currently routes. This is the migration runbook's map.
+func (rt *Router) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	tbl := rt.table.Load()
+	shares := tbl.ring.Shares()
+	nodes := make([]map[string]any, 0, len(rt.order))
+	placement := map[string]string{}
+	for _, name := range rt.order {
+		info := map[string]any{
+			"name":       name,
+			"ring_share": shares[name],
+			"remote":     rt.nodes[name].Registry() == nil,
+		}
+		if reg := rt.nodes[name].Registry(); reg != nil {
+			ids := reg.Workloads()
+			sort.Strings(ids)
+			info["workloads"] = len(ids)
+			for _, id := range ids {
+				placement[id] = name
+			}
+		}
+		nodes = append(nodes, info)
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{
+		"nodes": nodes,
+		"ring": map[string]any{
+			"virtual_nodes": tbl.ring.VirtualNodes(),
+			"seed":          tbl.ring.Seed(),
+		},
+		"pins":      rt.Pins(),
+		"workloads": placement,
+	})
+}
+
+// readBody slurps a request body with a sane cap, answering the
+// request itself on failure.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(http.MaxBytesReader(w, r.Body, 1<<20)); err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

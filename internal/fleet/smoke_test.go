@@ -1,0 +1,143 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestFleetSmokeN4 runs a 4-node fleet under concurrent mixed load —
+// ingest, reads, fleet-wide scatters, and live migrations — and checks
+// nothing is lost. Its real teeth come from `go test -race`: every
+// router data structure (route table, gates, metrics, scatter fan-out)
+// is exercised from many goroutines at once.
+func TestFleetSmokeN4(t *testing.T) {
+	rt, nodes, ts := newTestFleet(t, 4, nil)
+	const (
+		workloads = 12
+		writers   = 4
+		batches   = 25
+	)
+	ids := make([]string, workloads)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("smoke-%02d", i)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+3)
+
+	// Writers: disjoint timestamp ranges per (writer, batch) so the
+	// final per-workload count is exact.
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				id := ids[(g+b)%workloads]
+				// Disjoint per (writer, batch) but tightly packed: the
+				// whole spread must fit the engine's history window or
+				// trimming masquerades as loss.
+				base := 1000 + float64(g)*2000 + float64(b)*50
+				body := fmt.Sprintf(`{"timestamps": [%g, %g]}`, base, base+1)
+				resp, err := http.Post(ts.URL+"/v1/workloads/"+id+"/arrivals", "application/json",
+					strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("writer %d batch %d on %s: %d", g, b, id, resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Readers: per-workload status plus every scatter route.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			for _, path := range []string{
+				"/v1/workloads/" + ids[i%workloads] + "/status",
+				"/v1/workloads",
+				"/healthz",
+				"/metrics",
+				"/v1/admin/fleet",
+			} {
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+					errs <- fmt.Errorf("GET %s: %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}
+	}()
+
+	// Migrator: bounce a few workloads around the ring while everything
+	// else is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		names := rt.Nodes()
+		for i := 0; i < 10; i++ {
+			id := ids[i%workloads]
+			dest := names[i%len(names)]
+			if _, err := rt.MigrateWorkload(id, dest); err != nil {
+				// Unknown workload is fine — the writer may not have
+				// created it yet; anything else is a real failure.
+				if !isBenign(err) {
+					errs <- fmt.Errorf("migrate %s to %s: %w", id, dest, err)
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+
+	// Exactness: every acknowledged batch landed exactly once, wherever
+	// each workload ended up.
+	want := map[string]int{}
+	for g := 0; g < writers; g++ {
+		for b := 0; b < batches; b++ {
+			want[ids[(g+b)%workloads]] += 2
+		}
+	}
+	for _, id := range ids {
+		code, st := getJSON[map[string]any](t, ts.URL+"/v1/workloads/"+id+"/status")
+		if code != http.StatusOK {
+			t.Fatalf("status %s after smoke: %d", id, code)
+		}
+		if got := st["arrivals_recorded"]; got != float64(want[id]) {
+			t.Fatalf("%s arrivals = %v, want %d", id, got, want[id])
+		}
+		// Exactly one node holds it.
+		holders := 0
+		for _, nd := range nodes {
+			if _, ok := nd.Registry().Get(id); ok {
+				holders++
+			}
+		}
+		if holders != 1 {
+			t.Fatalf("%s held by %d nodes after smoke", id, holders)
+		}
+	}
+}
+
+func isBenign(err error) bool {
+	return errors.Is(err, ErrUnknownWorkload) || errors.Is(err, ErrMigrationBusy)
+}

@@ -1,0 +1,93 @@
+// Package httpmetrics is the shared per-route HTTP instrumentation
+// used by both the single-node server mux and the fleet router: a
+// request counter by route pattern and status class plus a latency
+// histogram by route pattern. Routes are always labeled with the mux
+// pattern (e.g. "/v1/workloads/{id}/plan"), never the concrete URL, so
+// per-workload cardinality can not reach the metric space no matter
+// how many workloads exist.
+//
+// Instruments are resolved once, when a handler is wrapped — a request
+// updates them with atomic operations only, never a registry lookup
+// (except on the cold non-2xx/4xx/5xx path).
+package httpmetrics
+
+import (
+	"net/http"
+	"time"
+
+	"robustscaler/internal/metrics"
+)
+
+// Metric names shared by every HTTP surface in the process; series
+// from different surfaces are told apart by labels (the fleet router
+// adds node="router" when it merges expositions), not by name.
+const (
+	RequestsTotalName = "robustscaler_http_requests_total"
+	requestsTotalHelp = "HTTP requests served, by route pattern and status class."
+	SecondsName       = "robustscaler_http_request_seconds"
+	secondsHelp       = "HTTP request latency, by route pattern."
+)
+
+// routeMetrics are one route's pre-resolved instruments. The three
+// eager status classes are the ones this API can produce in volume;
+// anything else falls back to a registry lookup on the (cold) error
+// path.
+type routeMetrics struct {
+	seconds *metrics.Histogram
+	c2xx    *metrics.Counter
+	c4xx    *metrics.Counter
+	c5xx    *metrics.Counter
+}
+
+// Wrap instruments a handler with request counting and latency
+// observation in reg under the given route label.
+func Wrap(reg *metrics.Registry, route string, h http.HandlerFunc) http.HandlerFunc {
+	label := metrics.Label{Name: "route", Value: route}
+	rm := &routeMetrics{
+		seconds: reg.Histogram(SecondsName, secondsHelp, metrics.DefBuckets, label),
+		c2xx:    reg.Counter(RequestsTotalName, requestsTotalHelp, label, metrics.Label{Name: "code", Value: "2xx"}),
+		c4xx:    reg.Counter(RequestsTotalName, requestsTotalHelp, label, metrics.Label{Name: "code", Value: "4xx"}),
+		c5xx:    reg.Counter(RequestsTotalName, requestsTotalHelp, label, metrics.Label{Name: "code", Value: "5xx"}),
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &StatusWriter{ResponseWriter: w, Code: http.StatusOK}
+		h(sw, r)
+		rm.seconds.Observe(time.Since(start).Seconds())
+		switch sw.Code / 100 {
+		case 2:
+			rm.c2xx.Inc()
+		case 4:
+			rm.c4xx.Inc()
+		case 5:
+			rm.c5xx.Inc()
+		default:
+			reg.Counter(RequestsTotalName, requestsTotalHelp, label,
+				metrics.Label{Name: "code", Value: statusClass(sw.Code)}).Inc()
+		}
+	}
+}
+
+func statusClass(code int) string {
+	switch code / 100 {
+	case 1:
+		return "1xx"
+	case 3:
+		return "3xx"
+	default:
+		return "other"
+	}
+}
+
+// StatusWriter remembers the status code a handler wrote. Exported so
+// callers with bespoke middleware (the fleet router's forward path)
+// can observe response codes without double-wrapping.
+type StatusWriter struct {
+	http.ResponseWriter
+	Code int
+}
+
+func (w *StatusWriter) WriteHeader(code int) {
+	w.Code = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,247 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func build(t *testing.T, cfg Config, nodes ...string) *Ring {
+	t.Helper()
+	r := New(cfg)
+	for _, n := range nodes {
+		if err := r.Add(n); err != nil {
+			t.Fatalf("Add(%q): %v", n, err)
+		}
+	}
+	return r
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("workload-%04d", i)
+	}
+	return out
+}
+
+func owners(t *testing.T, r *Ring, ks []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		n, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) on %d-node ring: no owner", k, r.Len())
+		}
+		out[k] = n
+	}
+	return out
+}
+
+// Two rings built independently with the same config and members must
+// agree on every key — placement is a pure function of configuration,
+// which is what lets a restarted fleet find its data again.
+func TestDeterministicPlacement(t *testing.T) {
+	cfg := Config{VirtualNodes: 64, Seed: 42}
+	a := build(t, cfg, "n0", "n1", "n2", "n3")
+	// Different insertion order must not matter either.
+	b := build(t, cfg, "n3", "n1", "n0", "n2")
+	for _, k := range keys(2000) {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			t.Fatalf("placement differs for %q: %q vs %q", k, ao, bo)
+		}
+	}
+}
+
+// Different seeds must place keys differently (otherwise the seed is
+// decorative and colliding fleets would shard identically).
+func TestSeedChangesPlacement(t *testing.T) {
+	a := build(t, Config{Seed: 1}, "n0", "n1", "n2")
+	b := build(t, Config{Seed: 2}, "n0", "n1", "n2")
+	moved := 0
+	ks := keys(2000)
+	for _, k := range ks {
+		ao, _ := a.Owner(k)
+		bo, _ := b.Owner(k)
+		if ao != bo {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("seed had no effect on placement over %d keys", len(ks))
+	}
+}
+
+// The consistent-hashing contract: adding a node moves keys only TO
+// the new node (never between survivors), and moves roughly 1/(N+1)
+// of them — bounded here at 2x the fair share.
+func TestAddMovesBoundedKeysOnlyToNewNode(t *testing.T) {
+	ks := keys(4000)
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		cfg := Config{VirtualNodes: 128, Seed: 7}
+		nodes := make([]string, n)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("n%d", i)
+		}
+		r := build(t, cfg, nodes...)
+		before := owners(t, r, ks)
+		newNode := fmt.Sprintf("n%d", n)
+		if err := r.Add(newNode); err != nil {
+			t.Fatal(err)
+		}
+		after := owners(t, r, ks)
+		moved := 0
+		for _, k := range ks {
+			if before[k] != after[k] {
+				moved++
+				if after[k] != newNode {
+					t.Fatalf("N=%d: key %q moved %q -> %q, not to the new node %q",
+						n, k, before[k], after[k], newNode)
+				}
+			}
+		}
+		fair := float64(len(ks)) / float64(n+1)
+		if f := float64(moved); f > 2*fair {
+			t.Fatalf("N=%d: adding a node moved %d keys, > 2x fair share %.0f", n, moved, fair)
+		}
+		if moved == 0 {
+			t.Fatalf("N=%d: adding a node moved no keys", n)
+		}
+	}
+}
+
+// The inverse: removing a node moves only that node's keys, and the
+// survivors keep everything they had.
+func TestRemoveMovesOnlyVictimsKeys(t *testing.T) {
+	cfg := Config{VirtualNodes: 128, Seed: 7}
+	r := build(t, cfg, "n0", "n1", "n2", "n3")
+	ks := keys(4000)
+	before := owners(t, r, ks)
+	if err := r.Remove("n2"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, ks)
+	for _, k := range ks {
+		if before[k] == "n2" {
+			if after[k] == "n2" {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+		} else if before[k] != after[k] {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, before[k], after[k])
+		}
+	}
+}
+
+// Add-then-remove must restore the original placement exactly: the
+// ring has no hidden history.
+func TestAddRemoveRoundTrip(t *testing.T) {
+	cfg := Config{VirtualNodes: 64, Seed: 3}
+	r := build(t, cfg, "n0", "n1", "n2")
+	ks := keys(1000)
+	before := owners(t, r, ks)
+	if err := r.Add("n3"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("n3"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, ks)
+	for _, k := range ks {
+		if before[k] != after[k] {
+			t.Fatalf("placement of %q not restored: %q -> %q", k, before[k], after[k])
+		}
+	}
+}
+
+// With the default virtual-node count, ownership over a real key
+// population stays within a loose balance envelope.
+func TestBalance(t *testing.T) {
+	r := build(t, Config{Seed: 11}, "n0", "n1", "n2", "n3")
+	ks := keys(20000)
+	counts := map[string]int{}
+	for _, k := range ks {
+		n, _ := r.Owner(k)
+		counts[n]++
+	}
+	mean := float64(len(ks)) / float64(r.Len())
+	for n, c := range counts {
+		if f := float64(c); f > 1.6*mean || f < mean/1.6 {
+			t.Fatalf("node %q owns %d keys, outside [%.0f, %.0f]", n, c, mean/1.6, 1.6*mean)
+		}
+	}
+}
+
+// Shares must sum to 1 and roughly agree with a sampled key census.
+func TestShares(t *testing.T) {
+	r := build(t, Config{Seed: 11}, "n0", "n1", "n2", "n3")
+	shares := r.Shares()
+	sum := 0.0
+	for _, s := range shares {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %g, want 1", sum)
+	}
+	ks := keys(20000)
+	counts := map[string]int{}
+	for _, k := range ks {
+		n, _ := r.Owner(k)
+		counts[n]++
+	}
+	for n, s := range shares {
+		emp := float64(counts[n]) / float64(len(ks))
+		if math.Abs(emp-s) > 0.05 {
+			t.Fatalf("node %q: analytic share %.3f vs empirical %.3f", n, s, emp)
+		}
+	}
+}
+
+func TestMembershipErrors(t *testing.T) {
+	r := New(Config{})
+	if _, ok := r.Owner("k"); ok {
+		t.Fatal("empty ring claimed an owner")
+	}
+	if err := r.Add(""); err == nil {
+		t.Fatal("Add(\"\") succeeded")
+	}
+	if err := r.Add("n0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("n0"); err == nil {
+		t.Fatal("duplicate Add succeeded")
+	}
+	if err := r.Remove("nope"); err == nil {
+		t.Fatal("Remove of non-member succeeded")
+	}
+	if !r.Has("n0") || r.Has("n1") {
+		t.Fatal("Has wrong")
+	}
+	if got := r.Nodes(); len(got) != 1 || got[0] != "n0" {
+		t.Fatalf("Nodes() = %v", got)
+	}
+}
+
+// Clone must be fully independent of its origin.
+func TestCloneIndependence(t *testing.T) {
+	r := build(t, Config{VirtualNodes: 32, Seed: 5}, "n0", "n1")
+	ks := keys(500)
+	before := owners(t, r, ks)
+	c := r.Clone()
+	if err := c.Add("n2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("n0"); err != nil {
+		t.Fatal(err)
+	}
+	after := owners(t, r, ks)
+	for _, k := range ks {
+		if before[k] != after[k] {
+			t.Fatalf("mutating a clone changed the original: %q %q -> %q", k, before[k], after[k])
+		}
+	}
+	if r.Len() != 2 || c.Len() != 2 || !c.Has("n2") || c.Has("n0") {
+		t.Fatal("clone membership wrong")
+	}
+}

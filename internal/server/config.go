@@ -59,24 +59,13 @@ type trainUpdate struct {
 	CandidatePeriods   *[]float64 `json:"candidate_periods"`
 }
 
-func (s *Server) handleConfigGet(w http.ResponseWriter, _ *http.Request, e *engine.Engine) {
-	s.writeJSON(w, e.EngineConfig())
-}
-
-func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxConfigBytes))
-	dec.DisallowUnknownFields()
-	var u configUpdate
-	if err := dec.Decode(&u); err != nil {
-		http.Error(w, "bad config JSON: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	cur := e.EngineConfig()
-	if u.Version != nil && *u.Version != cur.Version {
-		http.Error(w, fmt.Sprintf("config version conflict: update carries version %d, current is %d; re-read and retry",
-			*u.Version, cur.Version), http.StatusConflict)
-		return
-	}
+// merge applies the update over cur and returns the result: fields
+// present in the update replace the current values, absent fields keep
+// them. Shared by the single-workload PUT and the bulk admin endpoint,
+// so "what a partial config document means" has exactly one
+// definition. Pure — validation and the version CAS happen inside
+// Engine.SetEngineConfig.
+func (u *configUpdate) merge(cur engine.EngineConfig) engine.EngineConfig {
 	merged := cur
 	if u.Dt != nil {
 		merged.Dt = *u.Dt
@@ -128,7 +117,28 @@ func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engi
 			}
 		}
 	}
-	applied, err := e.SetEngineConfig(merged)
+	return merged
+}
+
+func (s *Server) handleConfigGet(w http.ResponseWriter, _ *http.Request, e *engine.Engine) {
+	s.writeJSON(w, e.EngineConfig())
+}
+
+func (s *Server) handleConfigPut(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxConfigBytes))
+	dec.DisallowUnknownFields()
+	var u configUpdate
+	if err := dec.Decode(&u); err != nil {
+		http.Error(w, "bad config JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cur := e.EngineConfig()
+	if u.Version != nil && *u.Version != cur.Version {
+		http.Error(w, fmt.Sprintf("config version conflict: update carries version %d, current is %d; re-read and retry",
+			*u.Version, cur.Version), http.StatusConflict)
+		return
+	}
+	applied, err := e.SetEngineConfig(u.merge(cur))
 	if err != nil {
 		if errors.Is(err, engine.ErrConflict) {
 			// A concurrent update landed between our read and the swap.

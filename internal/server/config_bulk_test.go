@@ -1,0 +1,123 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// seedWorkloads ingests one batch into each id so the workloads exist.
+func seedWorkloads(t *testing.T, base string, ids ...string) {
+	t.Helper()
+	for _, id := range ids {
+		resp := postJSON(t, base+"/v1/workloads/"+id+"/arrivals", map[string]any{"timestamps": []float64{1, 2, 3}})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed ingest %s: %d", id, resp.StatusCode)
+		}
+	}
+}
+
+func TestBulkConfigExplicitList(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	seedWorkloads(t, ts.URL, "api-eu", "api-us", "batch-1")
+
+	resp := putJSON(t, ts.URL+"/v1/admin/config",
+		`{"workloads": ["api-eu", "api-us", "ghost"], "config": {"pending": 25, "hp_target": 0.8}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bulk config: %d", resp.StatusCode)
+	}
+	got := decode[BulkConfigResponse](t, resp)
+	if got.Matched != 2 || got.Updated != 2 {
+		t.Fatalf("matched/updated = %d/%d, want 2/2 (%+v)", got.Matched, got.Updated, got)
+	}
+	for _, id := range []string{"api-eu", "api-us"} {
+		r := got.Results[id]
+		if !r.OK || r.Version != 2 {
+			t.Fatalf("result[%s] = %+v, want ok at version 2", id, r)
+		}
+	}
+	if r := got.Results["ghost"]; r.OK || r.Code != http.StatusNotFound {
+		t.Fatalf("result[ghost] = %+v, want 404 entry", r)
+	}
+	// Untargeted workload untouched; targeted ones actually changed.
+	cfg := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/batch-1/config"))
+	if cfg["version"] != float64(1) {
+		t.Fatalf("batch-1 config touched: %v", cfg)
+	}
+	cfg = decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/api-eu/config"))
+	if cfg["pending"] != float64(25) || cfg["hp_target"] != 0.8 || cfg["version"] != float64(2) {
+		t.Fatalf("api-eu config = %v", cfg)
+	}
+}
+
+func TestBulkConfigGlob(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	seedWorkloads(t, ts.URL, "api-eu", "api-us", "batch-1")
+
+	resp := putJSON(t, ts.URL+"/v1/admin/config",
+		`{"glob": "api-*", "config": {"mc_samples": 300}}`)
+	got := decode[BulkConfigResponse](t, resp)
+	if resp.StatusCode != http.StatusOK || got.Matched != 2 || got.Updated != 2 {
+		t.Fatalf("glob bulk: %d %+v", resp.StatusCode, got)
+	}
+	if _, ok := got.Results["batch-1"]; ok {
+		t.Fatal("glob api-* matched batch-1")
+	}
+
+	// Union of glob and explicit list, deduplicated.
+	resp = putJSON(t, ts.URL+"/v1/admin/config",
+		`{"glob": "api-*", "workloads": ["api-eu", "batch-1"], "config": {"pending": 9}}`)
+	got = decode[BulkConfigResponse](t, resp)
+	if got.Matched != 3 || got.Updated != 3 || len(got.Results) != 3 {
+		t.Fatalf("union bulk: %+v", got)
+	}
+	if got.Results["api-eu"].Version != 3 {
+		t.Fatalf("api-eu updated twice in one request: %+v", got.Results["api-eu"])
+	}
+}
+
+// Per-workload validation rides the same path as the single PUT: an
+// invalid merge result fails that workload (code 400) and leaves its
+// config untouched, while valid targets in the same request succeed.
+func TestBulkConfigPartialFailure(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	seedWorkloads(t, ts.URL, "a", "b")
+	// dt must be positive: "a" keeps version 1, "b" still updates...
+	resp := putJSON(t, ts.URL+"/v1/admin/config",
+		`{"workloads": ["a"], "config": {"dt": -5}}`)
+	got := decode[BulkConfigResponse](t, resp)
+	if resp.StatusCode != http.StatusOK || got.Updated != 0 || got.Matched != 1 {
+		t.Fatalf("invalid bulk: %d %+v", resp.StatusCode, got)
+	}
+	if r := got.Results["a"]; r.OK || r.Code != http.StatusBadRequest || r.Error == "" {
+		t.Fatalf("result[a] = %+v, want 400 with detail", r)
+	}
+	cfg := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/a/config"))
+	if cfg["version"] != float64(1) || cfg["dt"] != float64(60) {
+		t.Fatalf("failed bulk update mutated config: %v", cfg)
+	}
+}
+
+func TestBulkConfigRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	seedWorkloads(t, ts.URL, "a")
+	for name, body := range map[string]string{
+		"no target":       `{"config": {"pending": 5}}`,
+		"no config":       `{"workloads": ["a"]}`,
+		"bad glob":        `{"glob": "[", "config": {"pending": 5}}`,
+		"unknown field":   `{"workloads": ["a"], "config": {"pendingg": 5}}`,
+		"version in bulk": `{"workloads": ["a"], "config": {"version": 1, "pending": 5}}`,
+		"garbage":         `{`,
+	} {
+		resp := putJSON(t, ts.URL+"/v1/admin/config", body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d, want 400", name, resp.StatusCode)
+		}
+	}
+	// Nothing got applied by any of the rejects.
+	cfg := decode[map[string]any](t, mustGet(t, ts.URL+"/v1/workloads/a/config"))
+	if cfg["version"] != float64(1) {
+		t.Fatalf("rejected bulk updates mutated config: %v", cfg)
+	}
+}

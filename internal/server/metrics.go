@@ -1,87 +1,24 @@
 package server
 
-// Observability for the HTTP layer: per-route request counters (by
-// status class) and latency histograms, the /metrics exposition
-// endpoint, and the per-workload /stats summary. Instruments are
-// resolved once, when the mux is built — a request updates them with
-// atomic operations only, never a registry lookup.
+// Observability for the HTTP layer: the shared per-route
+// instrumentation lives in internal/httpmetrics (the fleet router uses
+// the same middleware over its own registry); this file wires it to
+// the server plus the /metrics exposition endpoint and the
+// per-workload /stats summary.
 
 import (
 	"net/http"
-	"time"
 
 	"robustscaler/internal/engine"
+	"robustscaler/internal/httpmetrics"
 	"robustscaler/internal/metrics"
-)
-
-// routeMetrics are one route's pre-resolved instruments. The three
-// eager status classes are the ones this API can produce in volume;
-// anything else falls back to a registry lookup on the (cold) error
-// path.
-type routeMetrics struct {
-	seconds *metrics.Histogram
-	c2xx    *metrics.Counter
-	c4xx    *metrics.Counter
-	c5xx    *metrics.Counter
-}
-
-const (
-	reqTotalName   = "robustscaler_http_requests_total"
-	reqTotalHelp   = "HTTP requests served, by route pattern and status class."
-	reqSecondsName = "robustscaler_http_request_seconds"
-	reqSecondsHelp = "HTTP request latency, by route pattern."
 )
 
 // instrument wraps a handler with request counting and latency
 // observation under the given route label (the mux pattern, so
 // {id} cardinality never reaches the metric space).
 func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
-	label := metrics.Label{Name: "route", Value: route}
-	rm := &routeMetrics{
-		seconds: s.metrics.Histogram(reqSecondsName, reqSecondsHelp, metrics.DefBuckets, label),
-		c2xx:    s.metrics.Counter(reqTotalName, reqTotalHelp, label, metrics.Label{Name: "code", Value: "2xx"}),
-		c4xx:    s.metrics.Counter(reqTotalName, reqTotalHelp, label, metrics.Label{Name: "code", Value: "4xx"}),
-		c5xx:    s.metrics.Counter(reqTotalName, reqTotalHelp, label, metrics.Label{Name: "code", Value: "5xx"}),
-	}
-	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		rm.seconds.Observe(time.Since(start).Seconds())
-		switch sw.code / 100 {
-		case 2:
-			rm.c2xx.Inc()
-		case 4:
-			rm.c4xx.Inc()
-		case 5:
-			rm.c5xx.Inc()
-		default:
-			s.metrics.Counter(reqTotalName, reqTotalHelp, label,
-				metrics.Label{Name: "code", Value: statusClass(sw.code)}).Inc()
-		}
-	}
-}
-
-func statusClass(code int) string {
-	switch code / 100 {
-	case 1:
-		return "1xx"
-	case 3:
-		return "3xx"
-	default:
-		return "other"
-	}
-}
-
-// statusWriter remembers the status code a handler wrote.
-type statusWriter struct {
-	http.ResponseWriter
-	code int
-}
-
-func (w *statusWriter) WriteHeader(code int) {
-	w.code = code
-	w.ResponseWriter.WriteHeader(code)
+	return httpmetrics.Wrap(s.metrics, route, h)
 }
 
 // Metrics exposes the server's metrics registry, e.g. for cmd/scalerd
@@ -89,8 +26,8 @@ func (w *statusWriter) WriteHeader(code int) {
 // against its own tallies.
 func (s *Server) Metrics() *metrics.Registry { return s.metrics }
 
-// handleMetrics serves the whole fleet's metrics in the Prometheus
-// text exposition format.
+// handleMetrics serves the node's metrics in the Prometheus text
+// exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.metrics.WritePrometheus(w); err != nil {

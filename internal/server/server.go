@@ -178,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /v1/workloads/{id}/stats", s.workload(s.handleStats))
 	handle("GET /v1/workloads/{id}/config", s.workload(s.handleConfigGet))
 	handle("PUT /v1/workloads/{id}/config", s.workload(s.handleConfigPut))
+	handle("PUT /v1/admin/config", s.handleBulkConfig)
 	handle("POST /v1/admin/snapshot", s.handleSnapshot)
 	handle("GET /v1/admin/generations", s.handleGenerations)
 	handle("POST /v1/admin/restore-generation", s.handleRestoreGeneration)
