@@ -1,5 +1,11 @@
 package engine
 
+import (
+	"fmt"
+
+	"robustscaler/internal/store"
+)
+
 // Migration support: the fleet layer moves a workload between nodes
 // with a two-phase protocol — an unpaused snapshot handoff (phase 1)
 // followed by a short ingest-paused catch-up (phase 2) that replays
@@ -26,4 +32,57 @@ func (e *Engine) MarshalStateSeq() ([]byte, uint64, uint64, error) {
 // sequence under one lock hold.
 func (e *Engine) StateGenWALSeq() (stateGen, walSeq uint64) {
 	return e.stateGenAndWALSeq()
+}
+
+// SnapshotWorkloadTo commits a snapshot that rewrites only the named
+// workload's blob, carrying every other manifested workload by ID.
+// This is the durability step a migration cutover takes inside its
+// ingest-pause gate: the pause must cost O(one workload), where
+// SnapshotTo would serialize whatever else the node hosts. On a legacy
+// (v1) store nothing can be carried by ID, so it falls back to a full
+// snapshot. The workload's WAL is checkpointed through the captured
+// sequence exactly as the full path would; the snapshot-health trail is
+// not touched (this is not a full snapshot, and must not make a stale
+// one look fresh).
+func (r *Registry) SnapshotWorkloadTo(st *store.Store, id string) error {
+	r.snapMu.Lock()
+	defer r.snapMu.Unlock()
+	e, ok := r.Get(id)
+	if !ok {
+		return fmt.Errorf("engine: snapshotting workload %q: not registered", id)
+	}
+	covered, ok := st.CoveredIDs()
+	if !ok {
+		_, err := r.snapshotLocked(st)
+		return err
+	}
+	blob, gen, wseq, err := e.marshalState()
+	if err != nil {
+		return fmt.Errorf("engine: snapshotting workload %q: %w", id, err)
+	}
+	keep := covered[:0]
+	for _, k := range covered {
+		if k != id {
+			keep = append(keep, k)
+		}
+	}
+	if _, err := st.Commit([]store.Workload{{ID: id, State: blob}}, keep); err != nil {
+		return err
+	}
+	r.instMu.Lock()
+	checkpoint := r.walMgr != nil && st.Dir() == r.walDir
+	r.instMu.Unlock()
+	if checkpoint {
+		e.truncateWAL(wseq)
+	}
+	// Same bookkeeping rule as the full path: record the committed
+	// generation only while the engine is still registered under its ID,
+	// so a remove-and-recreate cannot inherit it.
+	if cur, ok := r.Get(id); ok && cur == e {
+		if r.saved[st.Dir()] == nil {
+			r.saved[st.Dir()] = map[string]uint64{}
+		}
+		r.saved[st.Dir()][id] = gen
+	}
+	return nil
 }

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"testing"
+
+	"robustscaler/internal/store"
+)
+
+// SnapshotWorkloadTo is the migration gate's durability step: it must
+// rewrite exactly the named workload's blob, carry every other
+// manifested workload by ID untouched, and leave a snapshot the
+// ordinary restore path accepts.
+func TestSnapshotWorkloadTo(t *testing.T) {
+	const now = 4 * 3600.0
+	dir := t.TempDir()
+	reg, err := NewRegistry(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := []string{"a", "b", "c"}
+	for i, id := range ids {
+		e, err := reg.GetOrCreate(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Ingest(trafficArrivals(int64(i+1), now)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SnapshotTo(st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate every workload, persist only "b".
+	before := map[string]int{}
+	for i, id := range ids {
+		e, _ := reg.Get(id)
+		before[id] = e.Status().Arrivals
+		if _, err := e.Ingest([]float64{now + 10 + float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := reg.SnapshotWorkloadTo(st, "b"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh registry restored from disk sees b's new arrival and the
+	// others' pre-mutation state.
+	r2, err := NewRegistry(testConfig(now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r2.RestoreFrom(st); err != nil || n != len(ids) {
+		t.Fatalf("restore: %d, %v", n, err)
+	}
+	for _, id := range ids {
+		e, ok := r2.Get(id)
+		if !ok {
+			t.Fatalf("workload %s missing after per-workload snapshot", id)
+		}
+		want := before[id]
+		if id == "b" {
+			want++
+		}
+		if got := e.Status().Arrivals; got != want {
+			t.Fatalf("restored %s arrivals = %d, want %d", id, got, want)
+		}
+	}
+
+	// The per-workload commit primes the incremental bookkeeping: the
+	// next full snapshot rewrites only the still-dirty workloads.
+	stats, err := reg.SnapshotTo(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Written != 2 || stats.Total != len(ids) {
+		t.Fatalf("full snapshot after per-workload commit wrote %d of %d, want 2 of %d",
+			stats.Written, stats.Total, len(ids))
+	}
+
+	// Unknown workloads are an error, and the snapshot is untouched.
+	if err := reg.SnapshotWorkloadTo(st, "ghost"); err == nil {
+		t.Fatal("per-workload snapshot of unregistered workload succeeded")
+	}
+	if got := st.Len(); got != len(ids) {
+		t.Fatalf("store covers %d workloads after rejected snapshot, want %d", got, len(ids))
+	}
+}

@@ -74,7 +74,10 @@ func (rt *Router) initMetrics() {
 	}
 
 	rt.migrations = map[string]*metrics.Counter{}
-	for _, result := range []string{"ok", "error", "noop"} {
+	// "ok_source_snapshot_failed": the migration completed (table
+	// flipped, destination durable) but the source's post-cutover
+	// forget-snapshot failed — success with a warning, not an error.
+	for _, result := range []string{"ok", "error", "noop", "ok_source_snapshot_failed"} {
 		rt.migrations[result] = m.Counter("robustscaler_fleet_migrations_total",
 			"Workload migrations, by result.", metrics.Label{Name: "result", Value: result})
 	}

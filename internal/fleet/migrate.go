@@ -62,6 +62,13 @@ type MigrationReport struct {
 	Remarshaled bool `json:"remarshaled,omitempty"`
 	// PauseSeconds is how long ingest was blocked (the gated phase).
 	PauseSeconds float64 `json:"pause_seconds"`
+	// Warning reports a post-cutover cleanup failure (the source's
+	// forget-snapshot). The migration itself succeeded — the table
+	// flipped and the destination is durable — so this is not an error:
+	// boot reconciliation resolves the leftover duplicate in the
+	// destination's favor, but operators may want to retry the source
+	// snapshot.
+	Warning string `json:"warning,omitempty"`
 }
 
 // MigrateWorkload moves one workload to the named destination node and
@@ -74,6 +81,11 @@ func (rt *Router) MigrateWorkload(id, dest string) (*MigrationReport, error) {
 		rt.migrations["error"].Inc()
 	case rep.Noop:
 		rt.migrations["noop"].Inc()
+	case rep.Warning != "":
+		// Completed, but post-cutover cleanup failed — distinct from
+		// both "ok" and "error" so retry automation is not misled.
+		rt.migrations["ok_source_snapshot_failed"].Inc()
+		rt.migrationTime.Observe(time.Since(start).Seconds())
 	default:
 		rt.migrations["ok"].Inc()
 		rt.migrationTime.Observe(time.Since(start).Seconds())
@@ -176,8 +188,9 @@ func (rt *Router) migrate(id, dest string) (*MigrationReport, error) {
 
 	// Durable handoff before the source forgets: a crash after the
 	// source's registry drop but before its snapshot must still find
-	// the workload somewhere durable.
-	if err := destNode.SnapshotNow(); err != nil {
+	// the workload somewhere durable. Per-workload, so the ingest pause
+	// stays O(this workload) regardless of what else dest hosts.
+	if err := destNode.SnapshotWorkload(id); err != nil {
 		unlock()
 		cleanup()
 		return nil, fmt.Errorf("fleet: persisting %q on %s: %w", id, dest, err)
@@ -185,15 +198,16 @@ func (rt *Router) migrate(id, dest string) (*MigrationReport, error) {
 
 	// Atomic cutover: new requests route to dest the moment the gate
 	// releases.
-	rt.table.Store(rt.table.Load().withPin(id, dest))
+	rt.pin(id, dest)
 	srcNode.Registry().Remove(id) // drops its WAL and snapshot bookkeeping
 	unlock()
 
-	// Make the source's forget durable too — outside the gate; if this
-	// fails (or we crash first) boot reconciliation dedups in dest's
-	// favor.
+	// Make the source's forget durable too — outside the gate. The
+	// migration is already complete (table flipped, dest durable), so a
+	// failure here is a warning, not an error: boot reconciliation
+	// dedups in dest's favor if the stale copy ever resurfaces.
 	if err := srcNode.SnapshotNow(); err != nil {
-		return rep, fmt.Errorf("fleet: migration of %q complete, but source %s snapshot failed: %w", id, src, err)
+		rep.Warning = fmt.Sprintf("source %s snapshot failed after cutover: %v; its stale copy is resolved in %s's favor at next boot", src, err, dest)
 	}
 	return rep, nil
 }

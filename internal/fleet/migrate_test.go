@@ -362,6 +362,55 @@ func TestMigrationSurvivesRestart(t *testing.T) {
 	}
 }
 
+// Route-table cutover is a clone-and-swap on a shared atomic pointer;
+// without serialized writers, two concurrent migrations of different
+// workloads could each clone the same table and the second swap would
+// silently drop the first's pin — routing that workload back to a node
+// that just forgot it. Hammer concurrent migrations and assert every
+// pin survives and placement agrees with the table.
+func TestConcurrentMigrationsKeepAllPins(t *testing.T) {
+	rt, nodes, ts := newTestFleet(t, 3, nil)
+	ids := []string{"cm-a", "cm-b", "cm-c", "cm-d"}
+	for _, id := range ids {
+		ingest(t, ts.URL, id, 1, 2, 3)
+	}
+	names := rt.Nodes()
+	for round := 0; round < 6; round++ {
+		want := make(map[string]string, len(ids))
+		var wg sync.WaitGroup
+		errs := make(chan error, len(ids))
+		for i, id := range ids {
+			dest := names[(round+i)%len(names)]
+			want[id] = dest
+			wg.Add(1)
+			go func(id, dest string) {
+				defer wg.Done()
+				if _, err := rt.MigrateWorkload(id, dest); err != nil {
+					errs <- fmt.Errorf("migrating %s to %s: %w", id, dest, err)
+				}
+			}(id, dest)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		for id, dest := range want {
+			if got := rt.Owner(id); got != dest {
+				t.Fatalf("round %d: %s routes to %s, want %s (a concurrent cutover dropped the pin; pins %v)",
+					round, id, got, dest, rt.Pins())
+			}
+			for _, nd := range nodes {
+				_, hosts := nd.Registry().Get(id)
+				if hosts != (nd.Name() == dest) {
+					t.Fatalf("round %d: %s hosted on %s=%v, want owner %s only",
+						round, id, nd.Name(), hosts, dest)
+				}
+			}
+		}
+	}
+}
+
 // fleetNodes recovers the *Node values behind a router for test
 // teardown bookkeeping.
 func fleetNodes(rt *Router) []*Node {

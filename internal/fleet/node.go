@@ -279,15 +279,28 @@ func (n *Node) WALLog(id string) *wal.Log {
 }
 
 // SnapshotNow commits a snapshot of the node's current state, or is a
-// no-op without persistence. Migration calls it on the destination
-// inside the cutover gate, so a crash right after the source forgets
-// the workload cannot lose it.
+// no-op without persistence. Migration calls it on the source after
+// cutover — the registry drop it must make durable is exactly the kind
+// of change only a full snapshot can express.
 func (n *Node) SnapshotNow() error {
 	if n.st == nil || n.srv == nil {
 		return nil
 	}
 	_, err := n.srv.Registry().SnapshotTo(n.st)
 	return err
+}
+
+// SnapshotWorkload makes just the named workload durable, leaving the
+// rest of the node's snapshot untouched; a no-op without persistence.
+// Migration calls it on the destination inside the cutover gate — a
+// crash right after the source forgets the workload cannot lose it,
+// and the ingest pause stays O(workload) no matter how much else the
+// node hosts.
+func (n *Node) SnapshotWorkload(id string) error {
+	if n.st == nil || n.srv == nil {
+		return nil
+	}
+	return n.srv.Registry().SnapshotWorkloadTo(n.st, id)
 }
 
 // Close shuts the node down gracefully: stop the background loops,

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -92,10 +93,17 @@ type Router struct {
 	order []string // node names, presentation order
 
 	table atomic.Pointer[routeTable]
-	// gates holds one *sync.RWMutex per workload id ever routed;
-	// requests take it shared, a migration cutover exclusive. Entries
-	// are never removed — a mutex is ~24 bytes and the id space is the
-	// workload space, which the registries already hold.
+	// tableMu serializes route-table writers. Readers stay lock-free on
+	// the atomic pointer; writers clone-and-swap, and without mutual
+	// exclusion two concurrent migrations would each Load the same
+	// table and the second Store would discard the first's pin.
+	tableMu sync.Mutex
+	// gates holds one *sync.RWMutex per workload id that can interact
+	// with a migration: requests take it shared, a migration cutover
+	// exclusive. Entries are never removed — a mutex is ~24 bytes — so
+	// allocation is restricted to ids the fleet actually hosts (or
+	// requests that create one); see forward, which leaves garbage ids
+	// ungated rather than growing this map without bound.
 	gates sync.Map
 	// migrating marks workload ids with a migration in flight, so a
 	// second concurrent migration of the same workload is refused
@@ -266,6 +274,13 @@ func (rt *Router) gate(id string) *sync.RWMutex {
 	return g.(*sync.RWMutex)
 }
 
+// pin atomically reroutes id to node in the copy-on-write route table.
+func (rt *Router) pin(id, node string) {
+	rt.tableMu.Lock()
+	rt.table.Store(rt.table.Load().withPin(id, node))
+	rt.tableMu.Unlock()
+}
+
 // buildMux wires the fleet routes. Per-workload routes share one
 // forward handler; its route label is the mux pattern, so workload IDs
 // never become label values (same cardinality rule as the node mux).
@@ -304,27 +319,68 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing workload id", http.StatusNotFound)
 		return
 	}
-	g := rt.gate(id)
-	g.RLock()
-	defer g.RUnlock()
+	if g := rt.gateFor(id, r); g != nil {
+		g.RLock()
+		defer g.RUnlock()
+	}
 	node := rt.table.Load().owner(id)
 	rt.forwards[node].Inc()
 	rt.nodes[node].Handler().ServeHTTP(w, r)
 }
 
+// gateFor returns the gate a forwarded request must hold shared,
+// allocating one only for ids a migration could involve: ids whose
+// owning in-process node hosts them, and requests able to create a
+// workload (POST .../arrivals). Anything else — a GET for an id nobody
+// hosts, a config PUT about to 404 at the node — forwards ungated and
+// allocates nothing: the id space here is the unauthenticated request
+// space, and a permanent mutex per garbage id would grow router memory
+// without bound. Ungated is safe because migrations only move
+// workloads that exist — if the owner does not host the id and the
+// request cannot create it, no cutover can race this forward. (A
+// remote-owned id is likewise ungated: in-process migration cannot
+// reach a remote registry at all.)
+func (rt *Router) gateFor(id string, r *http.Request) *sync.RWMutex {
+	if g, ok := rt.gates.Load(id); ok {
+		return g.(*sync.RWMutex)
+	}
+	if r.Method == http.MethodPost && r.PathValue("rest") == "arrivals" {
+		return rt.gate(id)
+	}
+	if reg := rt.nodes[rt.table.Load().owner(id)].Registry(); reg != nil {
+		if _, ok := reg.Get(id); ok {
+			return rt.gate(id)
+		}
+	}
+	return nil
+}
+
 // handlePassthrough relays a request to one named node with the
 // /v1/nodes/{node} prefix stripped: the operator's direct line to a
 // member (per-node metrics, per-node generations, point-in-time
-// restore). Bypasses workload gates — it addresses a node, not a
-// workload.
+// restore). The passthrough addresses a node, not a workload, so it
+// bypasses the route table and the migration gates — which is exactly
+// why workload writes are refused here: a write landing on the former
+// owner during or after a migration would silently recreate a
+// divergent copy that boot dedup later discards. Workload reads are
+// allowed (useful for verifying a specific member's view); workload
+// mutations must go through the routed /v1/workloads endpoints.
 func (rt *Router) handlePassthrough(w http.ResponseWriter, r *http.Request) {
 	node, ok := rt.nodes[r.PathValue("node")]
 	if !ok {
 		http.Error(w, "unknown node", http.StatusNotFound)
 		return
 	}
+	rest := "/" + r.PathValue("rest")
+	if r.Method != http.MethodGet && r.Method != http.MethodHead &&
+		strings.HasPrefix(rest, "/v1/workloads/") {
+		http.Error(w, "node passthrough is read/admin-only: workload writes bypass "+
+			"the route table and migration gates; use /v1/workloads/... on the router",
+			http.StatusForbidden)
+		return
+	}
 	r2 := r.Clone(r.Context())
-	r2.URL.Path = "/" + r.PathValue("rest")
+	r2.URL.Path = rest
 	r2.URL.RawPath = ""
 	node.Handler().ServeHTTP(w, r2)
 }

@@ -491,3 +491,114 @@ func assertValidExposition(t *testing.T, text string) {
 		}
 	}
 }
+
+// The node passthrough addresses a member directly, bypassing the
+// route table and the migration gates — safe for reads and per-node
+// admin, unsafe for workload writes, which could recreate a divergent
+// copy on a former owner. Writes under /v1/workloads must be refused.
+func TestPassthroughBlocksWorkloadWrites(t *testing.T) {
+	rt, _, ts := newTestFleet(t, 2, nil)
+	ingest(t, ts.URL, "pw", 1, 2)
+	owner := rt.Owner("pw")
+	base := ts.URL + "/v1/nodes/" + owner
+
+	// Reads pass through: the operator's view of one member.
+	code, status := getJSON[map[string]any](t, base+"/v1/workloads/pw/status")
+	if code != http.StatusOK || status["arrivals_recorded"] != float64(2) {
+		t.Fatalf("passthrough read: %d %v", code, status)
+	}
+
+	// Workload writes are refused.
+	for _, tc := range []struct{ method, path, body string }{
+		{http.MethodPost, "/v1/workloads/pw/arrivals", `{"timestamps": [3]}`},
+		{http.MethodPost, "/v1/workloads/pw/train", ""},
+		{http.MethodPut, "/v1/workloads/pw/config", `{}`},
+		{http.MethodDelete, "/v1/workloads/pw", ""},
+	} {
+		req, err := http.NewRequest(tc.method, base+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("passthrough %s %s: %d, want 403", tc.method, tc.path, resp.StatusCode)
+		}
+	}
+	// Nothing leaked through.
+	code, status = getJSON[map[string]any](t, ts.URL+"/v1/workloads/pw/status")
+	if code != http.StatusOK || status["arrivals_recorded"] != float64(2) {
+		t.Fatalf("workload mutated through passthrough: %d %v", code, status)
+	}
+
+	// Per-node admin and metrics stay reachable (snapshot answers 409
+	// on these storeless nodes — the point is it is not 403).
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("passthrough metrics: %d", resp.StatusCode)
+	}
+	resp = post(t, base+"/v1/admin/snapshot", "application/json", "")
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusForbidden {
+		t.Fatalf("passthrough admin blocked: %d", resp.StatusCode)
+	}
+}
+
+// Gates exist to serialize forwards against migration cutovers, and
+// migrations only involve workloads that exist — the router must not
+// allocate a permanent per-id mutex for every garbage id a client
+// probes, or unauthenticated 404 traffic grows its memory without
+// bound.
+func TestForwardGatesOnlyRealWorkloads(t *testing.T) {
+	rt, _, ts := newTestFleet(t, 2, nil)
+	gateCount := func() int {
+		n := 0
+		rt.gates.Range(func(_, _ any) bool { n++; return true })
+		return n
+	}
+
+	for i := 0; i < 16; i++ {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/workloads/ghost-%d/status", ts.URL, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("ghost status: %d", resp.StatusCode)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/workloads/ghost-cfg/config", strings.NewReader(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost config put: %d", resp.StatusCode)
+	}
+	if n := gateCount(); n != 0 {
+		t.Fatalf("garbage ids allocated %d gates", n)
+	}
+
+	// A creating request allocates the gate (it can race a cutover) and
+	// later reads of the real workload reuse it.
+	ingest(t, ts.URL, "realio", 1, 2, 3)
+	if _, ok := rt.gates.Load("realio"); !ok {
+		t.Fatal("creating ingest did not allocate a gate")
+	}
+	if n := gateCount(); n != 1 {
+		t.Fatalf("gates after one real workload: %d", n)
+	}
+}

@@ -277,6 +277,22 @@ func (s *Store) Has(id string) bool {
 	return ok
 }
 
+// CoveredIDs returns every workload ID the committed manifest covers —
+// the set eligible for Commit's keep list — and ok=false in legacy
+// mode, where nothing can be carried by ID.
+func (s *Store) CoveredIDs() ([]string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.legacy {
+		return nil, false
+	}
+	ids := make([]string, 0, len(s.entries))
+	for id := range s.entries {
+		ids = append(ids, id)
+	}
+	return ids, true
+}
+
 // Len returns how many workloads the committed snapshot covers.
 func (s *Store) Len() int {
 	s.mu.Lock()
