@@ -106,6 +106,11 @@ type tally struct {
 	forecastCalls, forecastHitCalls int64
 	// svcStats is the final GET /v1/workloads/svc/stats document.
 	svcStats map[string]float64
+	// recommendation calls made against the auto workload, and the
+	// scraped per-verdict decision counters plus failure count.
+	recCalls    int64
+	recScraped  float64
+	recFailures float64
 }
 
 func newTally() *tally {
@@ -145,6 +150,7 @@ func main() {
 	benchWALIngest(rep)
 	benchFit(rep)
 	benchPlanForecast(rep, tl)
+	benchAutoscale(rep, tl)
 	benchFleet(rep, *quick)
 
 	deriveRatios(rep, scales)
@@ -684,6 +690,64 @@ func benchPlanForecast(rep *report, tl *tally) {
 	}
 }
 
+// benchAutoscale measures one full pipeline decision — Collect the
+// replica state, Analyze Λ over the lead off the trained model,
+// Optimize through the HPA-style behaviors — served as GET
+// /v1/workloads/{id}/recommendation. Every call is tallied so the
+// robustscaler_autoscale_* counters can be cross-checked afterwards:
+// the per-verdict recommendation counters must sum to exactly the
+// calls made, with zero pipeline failures.
+func benchAutoscale(rep *report, tl *tally) {
+	s, err := server.New(benchConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := s.Handler()
+	e, err := s.Registry().GetOrCreate("auto")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Ingest(synthArrivals(planNow)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := e.Train(); err != nil {
+		log.Fatal(err)
+	}
+	// The behaviors ride the per-workload config plane, exercising the
+	// autoscale sub-config merge end to end.
+	creq := httptest.NewRequest(http.MethodPut, "/v1/workloads/auto/config",
+		bytes.NewReader([]byte(`{"autoscale": {"min_replicas": 1, "max_replicas": 100, "scale_down_stabilization_seconds": 300}}`)))
+	crec := httptest.NewRecorder()
+	h.ServeHTTP(crec, creq)
+	if crec.Code != http.StatusOK {
+		die("PUT autoscale config: %d %s", crec.Code, crec.Body.String())
+	}
+
+	run(rep, "recommendation/decide", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest(http.MethodGet, "/v1/workloads/auto/recommendation", nil)
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				die("GET recommendation: %d %s", w.Code, w.Body.String())
+			}
+			tl.recCalls++
+		}
+	})
+
+	for _, verdict := range []string{"up", "down", "hold", "clamped"} {
+		v, ok := s.Metrics().Value("robustscaler_autoscale_recommendations_total",
+			metrics.Label{Name: "verdict", Value: verdict})
+		if !ok {
+			die("autoscale recommendation counter for verdict %q missing from the registry", verdict)
+		}
+		tl.recScraped += v
+	}
+	if v, ok := s.Metrics().Value("robustscaler_autoscale_failures_total"); ok {
+		tl.recFailures = v
+	}
+}
+
 // crossCheckMetrics asserts the servers' counters agree with the
 // harness's own tally — a wrong count in either direction means the
 // observability plane (or the bench) is lying, so the run aborts. The
@@ -725,6 +789,15 @@ func crossCheckMetrics(rep *report, tl *tally) {
 	rep.Metrics["svc_ingested_events_total"] = tl.svcStats["ingested_events_total"]
 	if tl.svcStats["ingested_events_total"] != float64(tl.svcSeedEvents) {
 		bad = append(bad, fmt.Sprintf("svc: seeded %d events, stats count %.0f", tl.svcSeedEvents, tl.svcStats["ingested_events_total"]))
+	}
+	rep.Metrics["recommendation_calls_made"] = float64(tl.recCalls)
+	rep.Metrics["robustscaler_autoscale_recommendations_total"] = tl.recScraped
+	rep.Metrics["robustscaler_autoscale_failures_total"] = tl.recFailures
+	if tl.recScraped != float64(tl.recCalls) {
+		bad = append(bad, fmt.Sprintf("recommendation: %d calls made, verdict counters sum to %.0f", tl.recCalls, tl.recScraped))
+	}
+	if tl.recFailures != 0 {
+		bad = append(bad, fmt.Sprintf("recommendation: %.0f pipeline failures recorded against a trained workload", tl.recFailures))
 	}
 	if len(bad) > 0 {
 		for _, m := range bad {

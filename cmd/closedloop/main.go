@@ -1,0 +1,117 @@
+// Command closedloop runs the corpus traces through the full autoscaler
+// pipeline — Collect → Analyze → Optimize → Actuate replayed inside the
+// simulator (internal/scenario's closed-loop harness over
+// pipeline.SimPolicy) — and writes the scorecard as JSON. The committed
+// CLOSEDLOOP.json is the full run; CI runs the quick variant (truncated
+// test spans, same envelopes) and gates on the envelope verdict, the
+// same pattern as SCENARIOS.json and BENCH_hotpath.json.
+//
+// Usage:
+//
+//	go run ./cmd/closedloop                    # full corpus, writes CLOSEDLOOP.json
+//	go run ./cmd/closedloop -quick -out /tmp/c.json
+//	go run ./cmd/closedloop -quick -check CLOSEDLOOP.json
+//
+// The process exits non-zero when any scenario misses its envelope.
+// With -check, the run is additionally compared against a committed
+// scorecard: the committed file must itself pass its envelopes and
+// cover the same scenario set with the same bounds, so a stale or
+// hand-edited CLOSEDLOOP.json fails loudly.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"robustscaler/internal/scenario"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "truncate replayed test spans (CI smoke); envelopes still apply")
+		out   = flag.String("out", "CLOSEDLOOP.json", "output JSON path")
+		seed  = flag.Int64("seed", 1, "base seed for generators, engine and simulator")
+		check = flag.String("check", "", "committed scorecard to cross-check (scenario set + envelope verdict)")
+	)
+	flag.Parse()
+
+	rep, err := scenario.RunClosedLoopCorpus(scenario.ClosedLoopCorpus(), *seed, *quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	bad := 0
+	for _, s := range rep.Scenarios {
+		verdict := "ok"
+		if !s.OK {
+			verdict = "ENVELOPE MISSED"
+			bad++
+		}
+		fmt.Fprintf(os.Stderr, "%-16s %6d test queries  hit=%.3f relcost=%.3f guarded: hit=%.3f churn=%d/%d  %s\n",
+			s.Name, s.TestQueries, s.Pipeline.HitRate, s.Pipeline.RelativeCost,
+			s.Guarded.HitRate, s.Guarded.InstancesCreated, s.Pipeline.InstancesCreated, verdict)
+		for _, c := range s.Checks {
+			if !c.OK {
+				fmt.Fprintf(os.Stderr, "  MISSED %s: %g vs bound %g\n", c.Name, c.Value, c.Bound)
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d scenarios)\n", *out, len(rep.Scenarios))
+
+	if *check != "" {
+		if err := crossCheck(*check, rep); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("%d scenario(s) missed their envelope", bad)
+	}
+}
+
+// crossCheck validates a committed scorecard against this run: it must
+// pass its own envelopes and describe the same scenarios with the same
+// envelope bounds, so the committed file can't silently drift from the
+// corpus in code.
+func crossCheck(path string, cur *scenario.ClosedLoopReport) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading committed scorecard: %w", err)
+	}
+	var base scenario.ClosedLoopReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if !base.EnvelopesOK {
+		return fmt.Errorf("%s records envelopes_ok=false; re-run the full corpus and commit", path)
+	}
+	baseEnv := map[string]scenario.ClosedLoopEnvelope{}
+	for _, s := range base.Scenarios {
+		baseEnv[s.Name] = s.Envelope
+	}
+	if len(baseEnv) != len(cur.Scenarios) {
+		return fmt.Errorf("%s has %d scenarios, corpus has %d; regenerate it", path, len(baseEnv), len(cur.Scenarios))
+	}
+	for _, s := range cur.Scenarios {
+		env, ok := baseEnv[s.Name]
+		if !ok {
+			return fmt.Errorf("scenario %q missing from %s; regenerate it", s.Name, path)
+		}
+		if env != s.Envelope {
+			return fmt.Errorf("scenario %q envelope drifted from %s; regenerate it", s.Name, path)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "cross-check ok against %s (%d scenarios)\n", path, len(baseEnv))
+	return nil
+}

@@ -16,6 +16,7 @@
 //	POST   /v1/workloads/{id}/train                                (re)fit the NHPP model
 //	GET    /v1/workloads/{id}/plan?variant=hp&target=0.9           upcoming creation times
 //	GET    /v1/workloads/{id}/forecast?from=&to=&step=             predicted intensity
+//	GET    /v1/workloads/{id}/recommendation                       replica recommendation (HPA-style)
 //	GET    /v1/workloads/{id}/status                               model/ingestion state
 //	GET    /v1/workloads/{id}/stats                                per-workload counters (JSON)
 //	GET    /v1/workloads/{id}/config                               per-workload config
@@ -123,6 +124,8 @@ func main() {
 		maxIngest      = flag.Int64("max-ingest-bytes", server.DefaultMaxIngestBytes, "max arrivals body size in bytes, before and after decompression (413 beyond it; 0 disables)")
 		retrainEvery   = flag.Float64("retrain-every", 1800, "background retrain sweep period seconds (0 disables); per-workload cadence via PUT /config retrain_every")
 		retrainWorkers = flag.Int("retrain-workers", 4, "background retraining worker pool size (per node)")
+		autoscaleEvery = flag.Float64("autoscale-every", 15, "background autoscale actuation sweep period seconds (0 disables); workloads opt in via PUT /config autoscale.enabled, each at its own autoscale.interval_seconds")
+		actuator       = flag.String("actuator", "dryrun", "autoscale actuation backend: dryrun (record decisions, act on nothing) or sim (in-process simulated cluster)")
 		dataDir        = flag.String("data-dir", "", "directory for workload snapshots; empty disables persistence")
 		snapshotEvery  = flag.Float64("snapshot-every", 300, "background snapshot period seconds (0 disables; needs -data-dir)")
 		snapshotRetain = flag.Int("snapshot-retain", 5, "committed snapshot generations kept for point-in-time restore (min 1)")
@@ -169,6 +172,21 @@ func main() {
 	}
 	if math.IsNaN(*staleThreshold) || *staleThreshold < 0 {
 		log.Fatalf("-staleness-threshold %g invalid (seconds; 0 disables)", *staleThreshold)
+	}
+	if math.IsNaN(*autoscaleEvery) || *autoscaleEvery < 0 {
+		log.Fatalf("-autoscale-every %g invalid (seconds; 0 disables)", *autoscaleEvery)
+	}
+	var autoscalePeriod time.Duration
+	if *autoscaleEvery > 0 {
+		autoscalePeriod = time.Duration(*autoscaleEvery * float64(time.Second))
+		if autoscalePeriod <= 0 || *autoscaleEvery > 365*86400 {
+			log.Fatalf("-autoscale-every %g out of range (ns..1 year, in seconds)", *autoscaleEvery)
+		}
+	}
+	switch *actuator {
+	case "", "dryrun", "sim":
+	default:
+		log.Fatalf("-actuator %q invalid (want dryrun or sim)", *actuator)
 	}
 	if *fleetNodes < 1 {
 		log.Fatalf("-fleet-nodes %d invalid (min 1)", *fleetNodes)
@@ -222,6 +240,8 @@ func main() {
 		StalenessThreshold: *staleThreshold,
 		RetrainEvery:       retrainPeriod,
 		RetrainWorkers:     *retrainWorkers,
+		AutoscaleEvery:     autoscalePeriod,
+		Actuator:           *actuator,
 	}
 	if *maxIngest == 0 {
 		opts.MaxIngestBytes = -1 // scalerd's 0 means "no cap"
@@ -266,6 +286,9 @@ func main() {
 	}
 	if retrainPeriod > 0 {
 		log.Printf("background retraining every %.0fs with %d workers per node", *retrainEvery, *retrainWorkers)
+	}
+	if autoscalePeriod > 0 {
+		log.Printf("autoscale actuation sweep every %.0fs per node (%s backend); workloads opt in via autoscale.enabled", *autoscaleEvery, *actuator)
 	}
 
 	// One node serves its handler directly — byte-for-byte the surface

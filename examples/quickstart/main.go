@@ -96,7 +96,12 @@ func main() {
 	//	curl -XPOST :8080/v1/workloads/quickstart/train
 	//	curl ':8080/v1/workloads/quickstart/plan?variant=hp&target=0.9&horizon=600&now=...'
 	//	curl ':8080/v1/workloads/quickstart/status'
-	srv, err := server.New(server.DefaultConfig())
+	scfg := server.DefaultConfig()
+	// Pin the control plane's clock to the end of the training span so
+	// "now"-relative surfaces (the replica recommendation below) read
+	// from the modeled timeline instead of the wall clock.
+	scfg.Now = func() float64 { return trainEnd }
+	srv, err := server.New(scfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -139,6 +144,42 @@ func main() {
 		}
 		fmt.Printf("  create at t=%.1fs (lead %.1fs)\n", p.CreateAt, p.LeadSecs)
 	}
+
+	// Close the loop: ask the autoscaler pipeline (Collect → Analyze →
+	// Optimize) how many replicas this workload should run right now.
+	// The HPA-style behaviors ride the same config merge plane:
+	//
+	//	curl -XPUT ':8080/v1/workloads/quickstart/config' \
+	//	     -d '{"autoscale":{"min_replicas":1,"max_replicas":50,"scale_down_stabilization_seconds":300}}'
+	//	curl ':8080/v1/workloads/quickstart/recommendation'
+	var ignored struct{}
+	put(ts.URL+"/v1/workloads/quickstart/config", map[string]any{
+		"autoscale": map[string]any{
+			"min_replicas":                     1,
+			"max_replicas":                     50,
+			"scale_down_stabilization_seconds": 300,
+		},
+	}, &ignored)
+	var rec struct {
+		Desired   int    `json:"desired_replicas"`
+		Raw       int    `json:"raw_replicas"`
+		Verdict   string `json:"verdict"`
+		ClampedBy string `json:"clamped_by"`
+		Inputs    struct {
+			Lambda float64 `json:"expected_arrivals"`
+			Lead   float64 `json:"lead_seconds"`
+			Target float64 `json:"target"`
+		} `json:"inputs"`
+	}
+	get(ts.URL+"/v1/workloads/quickstart/recommendation", &rec)
+	clamp := rec.ClampedBy
+	if clamp == "" {
+		clamp = "none"
+	}
+	fmt.Printf("\nreplica recommendation: run %d replicas (raw %d, verdict %s, clamp %s)\n",
+		rec.Desired, rec.Raw, rec.Verdict, clamp)
+	fmt.Printf("  sized for Λ=%.2f expected arrivals over the %.0fs decision lead at target %.2f\n",
+		rec.Inputs.Lambda, rec.Inputs.Lead, rec.Inputs.Target)
 }
 
 // post sends a JSON body and fails the example on any non-2xx answer.

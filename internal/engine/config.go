@@ -58,6 +58,56 @@ type EngineConfig struct {
 	Train TrainKnobs `json:"train"`
 	// WAL tunes this workload's write-ahead-log durability.
 	WAL WALKnobs `json:"wal"`
+	// Autoscale tunes this workload's closed-loop replica
+	// recommendations (internal/pipeline).
+	Autoscale AutoscaleKnobs `json:"autoscale"`
+}
+
+// AutoscaleKnobs is the per-workload slice of the closed-loop
+// autoscaler configuration: the recommendation target plus the
+// HPA-style behaviors that shape how fast the replica count may move.
+// The zero value means "autoscaling off, every behavior unbounded" —
+// snapshots written before this struct existed restore into it and
+// behave exactly as before (plans are still served; nothing acts on
+// them until Enabled is set).
+type AutoscaleKnobs struct {
+	// Enabled turns the background actuation loop on for this workload.
+	// The recommendation endpoint answers either way — dry-run
+	// inspection of the decision must not require enabling actuation.
+	Enabled bool `json:"enabled"`
+	// MinReplicas floors the recommended pool size; the optimizer never
+	// recommends below it even when the forecast goes quiet.
+	MinReplicas int `json:"min_replicas"`
+	// MaxReplicas caps the recommended pool size; 0 means uncapped
+	// (bounded only by the engine-wide sanity cap).
+	MaxReplicas int `json:"max_replicas"`
+	// Target is the readiness probability the pool must cover: the pool
+	// is sized to the Target-quantile of the forecast arrival count over
+	// the replenish lead time. 0 uses the workload's hp_target.
+	Target float64 `json:"target"`
+	// LeadSeconds is the horizon the pool must cover — how far ahead
+	// arrivals draw on instances committed now. 0 derives it from the
+	// workload's pending time plus the decision interval.
+	LeadSeconds float64 `json:"lead_seconds"`
+	// IntervalSeconds rate-limits background decisions for this workload
+	// (the sweep cadence is fleet-wide; a workload is skipped until its
+	// own interval has passed). 0 decides on every sweep.
+	IntervalSeconds float64 `json:"interval_seconds"`
+	// ScaleUpMaxStep bounds how many replicas one decision may add;
+	// 0 means unbounded.
+	ScaleUpMaxStep int `json:"scale_up_max_step"`
+	// ScaleDownMaxStep bounds how many replicas one decision may remove;
+	// 0 means unbounded.
+	ScaleDownMaxStep int `json:"scale_down_max_step"`
+	// ScaleDownStabilizationSeconds is the HPA-style trailing window: a
+	// scale-down is clamped to the highest recommendation made within
+	// it, so a transient dip never drops capacity a recent decision
+	// still wanted. 0 disables the window.
+	ScaleDownStabilizationSeconds float64 `json:"scale_down_stabilization_seconds"`
+	// ScaleDownCooldownSeconds is the minimum spacing between two
+	// scale-downs; until it passes, a down verdict holds at the current
+	// count. 0 disables the cooldown.
+	ScaleDownCooldownSeconds float64 `json:"scale_down_cooldown_seconds"`
 }
 
 // WALKnobs is the per-workload slice of write-ahead-log configuration.
@@ -128,6 +178,11 @@ func equalPeriods(a, b []float64) bool {
 // configure; beyond it one planning round becomes a CPU DoS.
 const mcSamplesCap = 1_000_000
 
+// maxReplicasCap bounds the replica counts an API caller can configure
+// (and the optimizer can recommend): past a million instances the pool
+// model stops describing anything real and the arithmetic starts to.
+const maxReplicasCap = 1_000_000
+
 // maxSeconds bounds duration-like config values (~31 years) so a typo
 // can't wedge arithmetic downstream.
 const maxSeconds = 1e9
@@ -195,6 +250,55 @@ func (c EngineConfig) validate() error {
 	case "", "always", "interval", "off":
 	default:
 		return fmt.Errorf("%w: wal.fsync %q not one of always/interval/off (or empty for the process default)", ErrInvalid, c.WAL.Fsync)
+	}
+	if err := c.Autoscale.validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// validate rejects unusable autoscale knobs, with the same field-level
+// error contract as the enclosing EngineConfig.validate.
+func (a AutoscaleKnobs) validate() error {
+	for name, v := range map[string]float64{
+		"autoscale.target": a.Target, "autoscale.lead_seconds": a.LeadSeconds,
+		"autoscale.interval_seconds":                 a.IntervalSeconds,
+		"autoscale.scale_down_stabilization_seconds": a.ScaleDownStabilizationSeconds,
+		"autoscale.scale_down_cooldown_seconds":      a.ScaleDownCooldownSeconds,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: non-finite %s", ErrInvalid, name)
+		}
+	}
+	if a.MinReplicas < 0 || a.MinReplicas > maxReplicasCap {
+		return fmt.Errorf("%w: autoscale.min_replicas %d outside [0, %d]", ErrInvalid, a.MinReplicas, maxReplicasCap)
+	}
+	if a.MaxReplicas < 0 || a.MaxReplicas > maxReplicasCap {
+		return fmt.Errorf("%w: autoscale.max_replicas %d outside [0, %d]", ErrInvalid, a.MaxReplicas, maxReplicasCap)
+	}
+	if a.MaxReplicas > 0 && a.MinReplicas > a.MaxReplicas {
+		return fmt.Errorf("%w: autoscale.min_replicas %d exceeds autoscale.max_replicas %d", ErrInvalid, a.MinReplicas, a.MaxReplicas)
+	}
+	if a.Target != 0 && (a.Target <= 0 || a.Target >= 1) {
+		return fmt.Errorf("%w: autoscale.target %g must be in (0,1), or 0 for the workload's hp_target", ErrInvalid, a.Target)
+	}
+	if a.LeadSeconds < 0 || a.LeadSeconds > maxSeconds {
+		return fmt.Errorf("%w: autoscale.lead_seconds %g outside [0, %g] seconds", ErrInvalid, a.LeadSeconds, maxSeconds)
+	}
+	if a.IntervalSeconds < 0 || a.IntervalSeconds > maxSeconds {
+		return fmt.Errorf("%w: autoscale.interval_seconds %g outside [0, %g] seconds", ErrInvalid, a.IntervalSeconds, maxSeconds)
+	}
+	if a.ScaleUpMaxStep < 0 || a.ScaleUpMaxStep > maxReplicasCap {
+		return fmt.Errorf("%w: autoscale.scale_up_max_step %d outside [0, %d]", ErrInvalid, a.ScaleUpMaxStep, maxReplicasCap)
+	}
+	if a.ScaleDownMaxStep < 0 || a.ScaleDownMaxStep > maxReplicasCap {
+		return fmt.Errorf("%w: autoscale.scale_down_max_step %d outside [0, %d]", ErrInvalid, a.ScaleDownMaxStep, maxReplicasCap)
+	}
+	if w := a.ScaleDownStabilizationSeconds; w < 0 || w > maxSeconds {
+		return fmt.Errorf("%w: autoscale.scale_down_stabilization_seconds %g outside [0, %g] seconds", ErrInvalid, w, maxSeconds)
+	}
+	if cd := a.ScaleDownCooldownSeconds; cd < 0 || cd > maxSeconds {
+		return fmt.Errorf("%w: autoscale.scale_down_cooldown_seconds %g outside [0, %g] seconds", ErrInvalid, cd, maxSeconds)
 	}
 	return nil
 }

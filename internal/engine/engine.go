@@ -987,6 +987,27 @@ func (e *Engine) storeForecast(gen int64, model *robustscaler.Model, cfgVer int6
 	e.fcCache[key] = ent
 }
 
+// ExpectedArrivals returns Λ(from, to) — the model's expected arrival
+// count over [from, to) — read in O(1) off the cumulative-intensity
+// prefix table. This is the analyzer signal the autoscaler pipeline
+// sizes replica pools from: the pool must cover the arrivals expected
+// during its replenish lead time.
+func (e *Engine) ExpectedArrivals(from, to float64) (float64, error) {
+	model := e.Model()
+	if model == nil {
+		return 0, ErrNoModel
+	}
+	for _, v := range []float64{from, to} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%w: non-finite arrival-count bound", ErrInvalid)
+		}
+	}
+	if to < from {
+		return 0, fmt.Errorf("%w: inverted arrival-count range [%g, %g)", ErrInvalid, from, to)
+	}
+	return model.NHPP.Integral(from, to), nil
+}
+
 // Model returns the currently installed arrival model, or nil before the
 // first successful Train. The model is immutable once installed (refits
 // swap the pointer), so callers may use it without further locking —

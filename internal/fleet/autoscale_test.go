@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"robustscaler/internal/pipeline"
+)
+
+// The recommendation surface is a per-workload route: the router must
+// forward it to the owning node, the autoscale sub-config set through
+// the router must shape the decision there, and the stats composite
+// must carry the pipeline state back out.
+func TestRecommendationForwardsThroughRouter(t *testing.T) {
+	rt, nodes, ts := newTestFleet(t, 3, nil)
+
+	ids := make([]string, 9)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("rec-%02d", i)
+		var arr []float64
+		for ti := 0.5; ti < testNow; ti += 40 {
+			arr = append(arr, ti)
+		}
+		ingest(t, ts.URL, ids[i], arr...)
+		resp := post(t, ts.URL+"/v1/workloads/"+ids[i]+"/train", "application/json", "{}")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("train %s: %d", ids[i], resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+
+	for _, id := range ids {
+		// Shape the decision via the router's config plane: a hard max.
+		req, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/workloads/"+id+"/config",
+			strings.NewReader(`{"autoscale": {"min_replicas": 1, "max_replicas": 2}}`))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("PUT autoscale config via router for %s: %d", id, resp.StatusCode)
+		}
+		resp.Body.Close()
+
+		code, rec := getJSON[pipeline.Recommendation](t, ts.URL+"/v1/workloads/"+id+"/recommendation")
+		if code != http.StatusOK {
+			t.Fatalf("recommendation via router for %s: %d", id, code)
+		}
+		if rec.Workload != id || rec.Now != testNow {
+			t.Fatalf("recommendation identity for %s: %+v", id, rec)
+		}
+		if rec.Desired < 1 || rec.Desired > 2 {
+			t.Fatalf("behaviors set through the router did not reach the owner: %+v", rec)
+		}
+
+		// The decision lives on the owning node only.
+		owner := rt.Owner(id)
+		for _, nd := range nodes {
+			e, ok := nd.Registry().Get(id)
+			if !ok {
+				continue
+			}
+			if nd.Name() != owner {
+				t.Fatalf("workload %s found off-owner on %s", id, nd.Name())
+			}
+			st := nd.Server().Pipelines().For(id, e).Status()
+			if st.LastRecommendation == nil || st.LastRecommendation.Desired != rec.Desired {
+				t.Fatalf("owner %s pipeline state %+v != routed response %+v", owner, st.LastRecommendation, rec)
+			}
+		}
+
+		// And the stats composite relays it through the router too.
+		code, st := getJSON[struct {
+			Autoscale *pipeline.Status `json:"autoscale"`
+		}](t, ts.URL+"/v1/workloads/"+id+"/stats")
+		if code != http.StatusOK || st.Autoscale == nil || st.Autoscale.LastRecommendation == nil {
+			t.Fatalf("stats via router for %s: %d %+v", id, code, st.Autoscale)
+		}
+		if st.Autoscale.LastRecommendation.Desired != rec.Desired {
+			t.Fatalf("stats decision %d != recommendation %d", st.Autoscale.LastRecommendation.Desired, rec.Desired)
+		}
+	}
+
+	// Unknown workloads 404 through the router, same as every other
+	// per-workload read.
+	resp, err := http.Get(ts.URL + "/v1/workloads/nope/recommendation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("recommendation for unknown workload: %d, want 404", resp.StatusCode)
+	}
+}

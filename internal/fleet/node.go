@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"robustscaler/internal/engine"
+	"robustscaler/internal/pipeline"
 	"robustscaler/internal/server"
 	"robustscaler/internal/store"
 	"robustscaler/internal/wal"
@@ -78,6 +79,17 @@ type NodeOptions struct {
 	// (0 disables) with RetrainWorkers workers (0 means 1).
 	RetrainEvery   time.Duration
 	RetrainWorkers int
+
+	// AutoscaleEvery starts the background actuation loop on that
+	// cadence (0 disables; recommendations then come only from the
+	// endpoint). Per-workload gating still applies: only workloads
+	// whose autoscale config is enabled are stepped, each at its own
+	// interval_seconds.
+	AutoscaleEvery time.Duration
+	// Actuator selects the actuation backend: "" or "dryrun" records
+	// decisions without acting; "sim" drives the in-process simulated
+	// cluster.
+	Actuator string
 }
 
 // BootReport is what restoring a node's state found and gave up on,
@@ -101,6 +113,7 @@ type Node struct {
 	walMgr      *wal.Manager
 	snapshotter *engine.Snapshotter
 	retrainer   *engine.Retrainer
+	autoscaler  *pipeline.Loop
 	boot        BootReport
 	dataDir     string
 }
@@ -149,6 +162,13 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 			workers = 1
 		}
 		n.retrainer = s.Registry().StartRetrainer(opts.RetrainEvery, workers)
+	}
+	if err := s.SetActuator(opts.Actuator); err != nil {
+		n.Close()
+		return nil, fmt.Errorf("fleet node %s: %w", name, err)
+	}
+	if opts.AutoscaleEvery > 0 {
+		n.autoscaler = s.Pipelines().StartLoop(opts.AutoscaleEvery)
 	}
 	n.handler = s.Handler()
 	return n, nil
@@ -313,6 +333,9 @@ func (n *Node) Close() error {
 		return nil
 	}
 	var errs []error
+	if n.autoscaler != nil {
+		n.autoscaler.Stop()
+	}
 	if n.retrainer != nil {
 		n.retrainer.Stop()
 	}

@@ -1,0 +1,167 @@
+package pipeline
+
+// The Actuate stage: backends that apply a replica recommendation.
+// Two ship with the daemon — DryRun, which records decisions without
+// acting (the safe default: scalerd stays an advisor), and SimCluster,
+// an in-process simulated cluster that models instance creation with a
+// per-workload pending delay, so the whole closed loop is exercisable
+// on one laptop with no cluster attached. A real backend (a Kubernetes
+// scale subresource, a cloud instance group) implements the same two
+// methods.
+
+import (
+	"sort"
+	"sync"
+)
+
+// ReplicaState is an actuator's live view of one workload's pool.
+type ReplicaState struct {
+	// Desired is the last applied target ("what the actuator is
+	// converging to").
+	Desired int `json:"desired_replicas"`
+	// Current is the created replica count, ready or still pending.
+	Current int `json:"current_replicas"`
+	// Ready is how many of Current have finished their startup delay.
+	Ready int `json:"ready_replicas"`
+	// Actuations counts Apply calls for this workload.
+	Actuations uint64 `json:"actuations_total"`
+}
+
+// Actuator applies replica decisions for workloads. Implementations
+// must be safe for concurrent use; the recommendation endpoint and the
+// background loop race.
+type Actuator interface {
+	// Apply moves the workload toward desired replicas at time now.
+	Apply(workload string, desired int, now float64) error
+	// State reports the workload's live replica state at time now.
+	State(workload string, now float64) ReplicaState
+}
+
+// DryRun is the no-op backend: it records the last applied target and
+// reports it as already current, so the relative behaviors (steps,
+// windows, cooldowns) shape successive recommendations exactly as they
+// would against a converged cluster — without creating anything.
+type DryRun struct {
+	mu    sync.Mutex
+	state map[string]*ReplicaState
+}
+
+// NewDryRun returns an empty dry-run actuator.
+func NewDryRun() *DryRun { return &DryRun{state: make(map[string]*ReplicaState)} }
+
+// Apply implements Actuator.
+func (d *DryRun) Apply(workload string, desired int, _ float64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.state[workload]
+	if !ok {
+		st = &ReplicaState{}
+		d.state[workload] = st
+	}
+	st.Desired = desired
+	st.Current = desired
+	st.Ready = desired
+	st.Actuations++
+	return nil
+}
+
+// State implements Actuator.
+func (d *DryRun) State(workload string, _ float64) ReplicaState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st, ok := d.state[workload]; ok {
+		return *st
+	}
+	return ReplicaState{}
+}
+
+// SimCluster is the simulated-cluster backend: each workload has a pool
+// of instances that take Pending seconds from creation to readiness.
+// Apply reconciles the pool — scale-up creates instances (ready at
+// now+Pending), scale-down removes the least-ready first, mirroring
+// the simulator's DeleteIdle preference. Deterministic: readiness is
+// the fixed pending delay, no RNG, so a replayed decision sequence
+// reproduces the same pool byte-for-byte.
+type SimCluster struct {
+	// Pending is the instance startup delay in seconds.
+	Pending float64
+
+	mu    sync.Mutex
+	pools map[string]*simPool
+}
+
+type simPool struct {
+	desired    int
+	readyAt    []float64 // one entry per live instance, unsorted
+	actuations uint64
+	created    uint64
+	deleted    uint64
+}
+
+// NewSimCluster returns a simulated cluster whose instances become
+// ready pending seconds after creation.
+func NewSimCluster(pending float64) *SimCluster {
+	if pending < 0 {
+		pending = 0
+	}
+	return &SimCluster{Pending: pending, pools: make(map[string]*simPool)}
+}
+
+// Apply implements Actuator.
+func (s *SimCluster) Apply(workload string, desired int, now float64) error {
+	if desired < 0 {
+		desired = 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[workload]
+	if !ok {
+		p = &simPool{}
+		s.pools[workload] = p
+	}
+	p.desired = desired
+	p.actuations++
+	switch have := len(p.readyAt); {
+	case have < desired:
+		for i := have; i < desired; i++ {
+			p.readyAt = append(p.readyAt, now+s.Pending)
+			p.created++
+		}
+	case have > desired:
+		// Remove the least-ready instances first: cancelling a pending
+		// creation is cheaper than killing a warm one.
+		sort.Float64s(p.readyAt)
+		p.deleted += uint64(have - desired)
+		p.readyAt = p.readyAt[:desired]
+	}
+	return nil
+}
+
+// State implements Actuator.
+func (s *SimCluster) State(workload string, now float64) ReplicaState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[workload]
+	if !ok {
+		return ReplicaState{}
+	}
+	st := ReplicaState{Desired: p.desired, Current: len(p.readyAt), Actuations: p.actuations}
+	for _, at := range p.readyAt {
+		if at <= now {
+			st.Ready++
+		}
+	}
+	return st
+}
+
+// Lifecycle reports the workload's cumulative instance churn (created,
+// deleted) — the cost signal dashboards plot next to the decision
+// verdicts.
+func (s *SimCluster) Lifecycle(workload string) (created, deleted uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.pools[workload]; ok {
+		return p.created, p.deleted
+	}
+	return 0, 0
+}

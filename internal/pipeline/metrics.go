@@ -1,0 +1,82 @@
+package pipeline
+
+// Observability for the autoscaler pipeline, following the repo's
+// cardinality rule: verdict/clamp labels are a small fixed set, and the
+// replica gauges are fleet aggregates computed at scrape time — never
+// per-workload label values.
+
+import (
+	"robustscaler/internal/metrics"
+)
+
+// Metrics is the pipeline's fleet-wide instrument set.
+type Metrics struct {
+	recommendations map[string]*metrics.Counter
+	actuations      *metrics.Counter
+	failures        *metrics.Counter
+	decisionSeconds *metrics.Histogram
+}
+
+// countRecommendation records one decision: its verdict (up/down/hold,
+// or "clamped" when a behavior bounded it) and its latency.
+func (m *Metrics) countRecommendation(rec *Recommendation, seconds float64) {
+	verdict := rec.Verdict
+	if rec.ClampedBy != "" {
+		verdict = "clamped"
+	}
+	if c, ok := m.recommendations[verdict]; ok {
+		c.Inc()
+	}
+	m.decisionSeconds.Observe(seconds)
+}
+
+// Instrument registers the pipeline's metrics into m and wires them
+// into every controller the manager creates (call once at startup,
+// before traffic, like Registry.Instrument).
+func (mgr *Manager) Instrument(m *metrics.Registry) {
+	pm := &Metrics{recommendations: map[string]*metrics.Counter{}}
+	for _, verdict := range []string{"up", "down", "hold", "clamped"} {
+		pm.recommendations[verdict] = m.Counter("robustscaler_autoscale_recommendations_total",
+			"Autoscale recommendations computed, by verdict (clamped = a behavior or window bounded the decision).",
+			metrics.Label{Name: "verdict", Value: verdict})
+	}
+	pm.actuations = m.Counter("robustscaler_autoscale_actuations_total",
+		"Recommendations applied to the actuator backend by the background loop.")
+	pm.failures = m.Counter("robustscaler_autoscale_failures_total",
+		"Pipeline decisions or actuations that failed (collect error, missing model, backend error).")
+	pm.decisionSeconds = m.Histogram("robustscaler_autoscale_decision_seconds",
+		"Wall time of one Collect-Analyze-Optimize pass.", metrics.DefBuckets)
+	m.GaugeFunc("robustscaler_autoscale_desired_replicas",
+		"Sum over workloads of the last applied desired replica count.", func() float64 {
+			n := 0.0
+			for _, c := range mgr.snapshot() {
+				n += float64(c.act.State(c.id, c.eng.Now()).Desired)
+			}
+			return n
+		})
+	m.GaugeFunc("robustscaler_autoscale_current_replicas",
+		"Sum over workloads of the actuator's created replica count.", func() float64 {
+			n := 0.0
+			for _, c := range mgr.snapshot() {
+				n += float64(c.act.State(c.id, c.eng.Now()).Current)
+			}
+			return n
+		})
+	m.GaugeFunc("robustscaler_autoscale_workloads_enabled",
+		"Workloads with autoscale actuation enabled.", func() float64 {
+			n := 0.0
+			for _, id := range mgr.reg.Workloads() {
+				if e, ok := mgr.reg.Get(id); ok && e.EngineConfig().Autoscale.Enabled {
+					n++
+				}
+			}
+			return n
+		})
+
+	mgr.mu.Lock()
+	mgr.m = pm
+	for _, c := range mgr.ctrls {
+		c.m = pm
+	}
+	mgr.mu.Unlock()
+}

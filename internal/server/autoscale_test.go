@@ -1,0 +1,334 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"robustscaler/internal/pipeline"
+)
+
+// seedTrained ingests periodic traffic into id and trains it, so the
+// recommendation pipeline has a model to analyze.
+func seedTrained(t *testing.T, ts *httptest.Server, id string, fakeNow float64) {
+	t.Helper()
+	resp := postJSON(t, ts.URL+"/v1/workloads/"+id+"/arrivals",
+		map[string]any{"timestamps": trafficArrivals(7, fakeNow)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/workloads/"+id+"/train", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("train: %d %s", resp.StatusCode, body)
+	}
+	resp.Body.Close()
+}
+
+// The autoscale sub-config rides the same merge + CAS plane as train:
+// partial PUTs merge over the current knobs, versions bump, and a stale
+// version is a 409.
+func TestAutoscaleConfigLifecycle(t *testing.T) {
+	const fakeNow = 4 * 3600.0
+	_, ts := newTestServer(t, fakeNow)
+	seedTrained(t, ts, "w", fakeNow)
+	url := ts.URL + "/v1/workloads/w/config"
+
+	type cfgDoc struct {
+		Version   int64 `json:"version"`
+		Autoscale struct {
+			Enabled                       bool    `json:"enabled"`
+			MinReplicas                   int     `json:"min_replicas"`
+			MaxReplicas                   int     `json:"max_replicas"`
+			ScaleDownStabilizationSeconds float64 `json:"scale_down_stabilization_seconds"`
+		} `json:"autoscale"`
+	}
+
+	resp := putJSON(t, url, `{"autoscale": {"min_replicas": 2, "max_replicas": 40}}`)
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("PUT autoscale: %d %s", resp.StatusCode, body)
+	}
+	got := decode[cfgDoc](t, resp)
+	if got.Autoscale.MinReplicas != 2 || got.Autoscale.MaxReplicas != 40 {
+		t.Fatalf("merged knobs = %+v", got.Autoscale)
+	}
+
+	// A second partial PUT touches one knob and keeps the others.
+	resp = putJSON(t, url, `{"autoscale": {"scale_down_stabilization_seconds": 300}}`)
+	got2 := decode[cfgDoc](t, resp)
+	if got2.Autoscale.MinReplicas != 2 || got2.Autoscale.MaxReplicas != 40 ||
+		got2.Autoscale.ScaleDownStabilizationSeconds != 300 {
+		t.Fatalf("partial PUT stomped siblings: %+v", got2.Autoscale)
+	}
+	if got2.Version <= got.Version {
+		t.Fatalf("version did not bump: %d then %d", got.Version, got2.Version)
+	}
+
+	// CAS: the now-stale first version must be rejected with 409.
+	resp = putJSON(t, url, `{"version": 1, "autoscale": {"enabled": true}}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale-version PUT: %d, want 409", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// Bad autoscale documents are 400s with the offending field named, and
+// rejected updates leave the config untouched — the same contract
+// TestConfigAPIValidation pins for the train sub-config.
+func TestAutoscaleConfigValidation(t *testing.T) {
+	const fakeNow = 4 * 3600.0
+	_, ts := newTestServer(t, fakeNow)
+	seedTrained(t, ts, "w", fakeNow)
+	url := ts.URL + "/v1/workloads/w/config"
+
+	cases := []struct {
+		name, body, wantInError string
+	}{
+		{"min above max", `{"autoscale": {"min_replicas": 5, "max_replicas": 2}}`, "min_replicas"},
+		{"negative min", `{"autoscale": {"min_replicas": -1}}`, "min_replicas"},
+		{"negative stabilization", `{"autoscale": {"scale_down_stabilization_seconds": -60}}`, "stabilization"},
+		{"negative cooldown", `{"autoscale": {"scale_down_cooldown_seconds": -1}}`, "cooldown"},
+		{"negative interval", `{"autoscale": {"interval_seconds": -5}}`, "interval"},
+		{"NaN window", `{"autoscale": {"scale_down_stabilization_seconds": "nan"}}`, "json"},
+		{"target at 1", `{"autoscale": {"target": 1.0}}`, "target"},
+		{"negative up step", `{"autoscale": {"scale_up_max_step": -3}}`, "scale_up_max_step"},
+		{"unknown knob", `{"autoscale": {"min_replica": 1}}`, "min_replica"},
+		{"unknown nested object", `{"autoscale": {"behaviors": {}}}`, "behaviors"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := putJSON(t, url, tc.body)
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("PUT %s: %d %s, want 400", tc.body, resp.StatusCode, body)
+			}
+			if !strings.Contains(string(body), tc.wantInError) {
+				t.Fatalf("error %q does not name %q", body, tc.wantInError)
+			}
+		})
+	}
+
+	// None of the rejections changed the config.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decode[struct {
+		Version   int64 `json:"version"`
+		Autoscale struct {
+			MinReplicas int `json:"min_replicas"`
+		} `json:"autoscale"`
+	}](t, resp)
+	if got.Version != 1 || got.Autoscale.MinReplicas != 0 {
+		t.Fatalf("config changed by rejected PUTs: %+v", got)
+	}
+}
+
+// statsDoc is the composite stats response: engine stats plus the
+// pipeline's autoscale status block.
+type statsDoc struct {
+	ArrivalsRecorded int64            `json:"arrivals_recorded"`
+	Autoscale        *pipeline.Status `json:"autoscale"`
+}
+
+// The recommendation endpoint runs the full Collect → Analyze →
+// Optimize pass and honors the HPA-style behaviors set through the
+// config plane.
+func TestRecommendationEndpointHonorsBehaviors(t *testing.T) {
+	const fakeNow = 4 * 3600.0
+	_, ts := newTestServer(t, fakeNow)
+	seedTrained(t, ts, "w", fakeNow)
+	recURL := ts.URL + "/v1/workloads/w/recommendation"
+	cfgURL := ts.URL + "/v1/workloads/w/config"
+
+	// No behaviors: a raw model-driven recommendation.
+	resp, err := http.Get(recURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET recommendation: %d %s", resp.StatusCode, body)
+	}
+	rec := decode[pipeline.Recommendation](t, resp)
+	if rec.Workload != "w" || rec.Now != fakeNow {
+		t.Fatalf("recommendation identity: %+v", rec)
+	}
+	if rec.Raw <= 0 || rec.Desired != rec.Raw || rec.ClampedBy != "" {
+		t.Fatalf("unconstrained recommendation should be the raw quantile: %+v", rec)
+	}
+	raw := rec.Raw
+
+	// A max below the raw recommendation caps it.
+	putJSON(t, cfgURL, `{"autoscale": {"max_replicas": 1}}`).Body.Close()
+	rec = decode[pipeline.Recommendation](t, mustGet(t, recURL))
+	if rec.Desired != 1 || rec.ClampedBy != pipeline.ClampMaxReplicas {
+		t.Fatalf("max clamp: %+v", rec)
+	}
+
+	// A min above it floors it.
+	putJSON(t, cfgURL, `{"autoscale": {"max_replicas": 0, "min_replicas": `+itoa(raw+50)+`}}`).Body.Close()
+	rec = decode[pipeline.Recommendation](t, mustGet(t, recURL))
+	if rec.Desired != raw+50 || rec.ClampedBy != pipeline.ClampMinReplicas {
+		t.Fatalf("min clamp: %+v", rec)
+	}
+
+	// A scale-up step bounds the move relative to the current count
+	// (0 on the dry-run actuator before any actuation).
+	putJSON(t, cfgURL, `{"autoscale": {"min_replicas": 0, "scale_up_max_step": 2}}`).Body.Close()
+	rec = decode[pipeline.Recommendation](t, mustGet(t, recURL))
+	if rec.Desired != 2 || rec.ClampedBy != pipeline.ClampUpStep || rec.Verdict != pipeline.VerdictUp {
+		t.Fatalf("up-step clamp: %+v", rec)
+	}
+
+	// Identical state, identical bytes: the pinned clock makes the
+	// decision replayable.
+	a := getBytes(t, recURL)
+	b := getBytes(t, recURL)
+	if a != b {
+		t.Fatalf("recommendation not byte-deterministic:\n%s\n%s", a, b)
+	}
+
+	// The stats composite surfaces the pipeline's view of the same
+	// decision.
+	st := decode[statsDoc](t, mustGet(t, ts.URL+"/v1/workloads/w/stats"))
+	if st.Autoscale == nil || st.Autoscale.LastRecommendation == nil {
+		t.Fatalf("stats missing autoscale block: %+v", st)
+	}
+	if st.Autoscale.LastRecommendation.Desired != rec.Desired {
+		t.Fatalf("stats recommendation %+v != endpoint %+v", st.Autoscale.LastRecommendation, rec)
+	}
+	if st.ArrivalsRecorded == 0 {
+		t.Fatalf("engine stats lost in the composite: %+v", st)
+	}
+
+	// A cold workload has no model, so the pipeline reports the
+	// analyze-stage failure as a 409-style engine error, not a panic.
+	postJSON(t, ts.URL+"/v1/workloads/cold/arrivals", map[string]any{"timestamps": []float64{1, 2, 3}}).Body.Close()
+	resp, err = http.Get(ts.URL + "/v1/workloads/cold/recommendation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("recommendation for an untrained workload succeeded")
+	}
+}
+
+// With the sim actuator and autoscale enabled, the background sweep
+// actuates decisions and the anti-flapping windows hold end-to-end:
+// once a sweep scales the workload down, no later sweep scales it down
+// again inside the cooldown.
+func TestAutoscaleSweepActuatesAndHonorsCooldown(t *testing.T) {
+	now := 4 * 3600.0
+	cfg := DefaultConfig()
+	cfg.MCSamples = 200
+	cfg.Now = func() float64 { return now }
+	cfg.Train.DetectPeriodicity = true
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if err := s.SetActuator("sim"); err != nil {
+		t.Fatal(err)
+	}
+	seedTrained(t, ts, "w", now)
+	putJSON(t, ts.URL+"/v1/workloads/w/config",
+		`{"autoscale": {"enabled": true, "min_replicas": 1, "interval_seconds": 10,
+		  "scale_down_cooldown_seconds": 600, "scale_up_max_step": 3}}`).Body.Close()
+
+	lastDownAt := -1.0
+	prevDesired := -1
+	for i := 0; i < 240; i++ {
+		now += 15
+		decided, failed := s.Pipelines().SweepOnce()
+		if failed != 0 {
+			t.Fatalf("t=%g: %d pipeline failures", now, failed)
+		}
+		if decided == 0 {
+			t.Fatalf("t=%g: due sweep decided nothing", now)
+		}
+		st := decode[statsDoc](t, mustGet(t, ts.URL+"/v1/workloads/w/stats"))
+		as := st.Autoscale
+		if as == nil || !as.Enabled || as.LastRecommendation == nil {
+			t.Fatalf("t=%g: stats autoscale block %+v", now, as)
+		}
+		d := as.LastRecommendation.Desired
+		if d < 1 {
+			t.Fatalf("t=%g: desired %d below min_replicas", now, d)
+		}
+		if as.Replicas.Desired != d {
+			t.Fatalf("t=%g: actuator desired %d != decision %d", now, as.Replicas.Desired, d)
+		}
+		if prevDesired >= 0 {
+			if d > prevDesired+3 {
+				t.Fatalf("t=%g: scale-up step %d → %d exceeds max step 3", now, prevDesired, d)
+			}
+			if d < prevDesired {
+				if lastDownAt >= 0 && now-lastDownAt < 600 {
+					t.Fatalf("t=%g: scale-down %gs after the previous one, inside the 600s cooldown",
+						now, now-lastDownAt)
+				}
+				lastDownAt = now
+			}
+		}
+		prevDesired = d
+	}
+	if prevDesired < 0 {
+		t.Fatal("no decisions observed")
+	}
+	// The sim cluster tracked actuations and reports lifecycle churn.
+	st := decode[statsDoc](t, mustGet(t, ts.URL+"/v1/workloads/w/stats"))
+	if st.Autoscale.Replicas.Actuations == 0 {
+		t.Fatalf("sim actuator recorded no actuations: %+v", st.Autoscale.Replicas)
+	}
+}
+
+// Deleting and recreating a workload must reset its stabilization
+// history: the fresh controller starts with an empty window.
+func TestAutoscaleStateResetsOnWorkloadDelete(t *testing.T) {
+	const fakeNow = 4 * 3600.0
+	s, ts := newTestServer(t, fakeNow)
+	seedTrained(t, ts, "w", fakeNow)
+	mustGet(t, ts.URL+"/v1/workloads/w/recommendation").Body.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/workloads/w", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	seedTrained(t, ts, "w", fakeNow)
+	st := decode[statsDoc](t, mustGet(t, ts.URL+"/v1/workloads/w/stats"))
+	if st.Autoscale == nil {
+		t.Fatal("stats missing autoscale block")
+	}
+	if st.Autoscale.LastRecommendation != nil {
+		t.Fatalf("recreated workload inherited autoscale state: %+v", st.Autoscale.LastRecommendation)
+	}
+	_ = s
+}
+
+func getBytes(t *testing.T, url string) string {
+	t.Helper()
+	resp := mustGet(t, url)
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+func itoa(n int) string {
+	return strconv.Itoa(n)
+}

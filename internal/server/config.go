@@ -34,17 +34,18 @@ const maxConfigBytes = 1 << 20
 // configUpdate is the PUT body: pointer fields distinguish "absent"
 // (keep the current value) from an explicit zero.
 type configUpdate struct {
-	Version       *int64       `json:"version"`
-	Dt            *float64     `json:"dt"`
-	Pending       *float64     `json:"pending"`
-	HistoryWindow *float64     `json:"history_window"`
-	MCSamples     *int         `json:"mc_samples"`
-	HPTarget      *float64     `json:"hp_target"`
-	RTTarget      *float64     `json:"rt_target"`
-	CostTarget    *float64     `json:"cost_target"`
-	PlanHorizon   *float64     `json:"plan_horizon"`
-	RetrainEvery  *float64     `json:"retrain_every"`
-	Train         *trainUpdate `json:"train"`
+	Version       *int64           `json:"version"`
+	Dt            *float64         `json:"dt"`
+	Pending       *float64         `json:"pending"`
+	HistoryWindow *float64         `json:"history_window"`
+	MCSamples     *int             `json:"mc_samples"`
+	HPTarget      *float64         `json:"hp_target"`
+	RTTarget      *float64         `json:"rt_target"`
+	CostTarget    *float64         `json:"cost_target"`
+	PlanHorizon   *float64         `json:"plan_horizon"`
+	RetrainEvery  *float64         `json:"retrain_every"`
+	Train         *trainUpdate     `json:"train"`
+	Autoscale     *autoscaleUpdate `json:"autoscale"`
 }
 
 // trainUpdate is the nested train-knobs merge: like the top level,
@@ -57,6 +58,24 @@ type trainUpdate struct {
 	DisableWarmStart   *bool      `json:"disable_warm_start"`
 	DisablePeriodicity *bool      `json:"disable_periodicity"`
 	CandidatePeriods   *[]float64 `json:"candidate_periods"`
+}
+
+// autoscaleUpdate is the nested autoscale-knobs merge: pointer fields
+// distinguish "absent" from an explicit zero, so a PUT can reset one
+// behavior to its default (0) without touching the others. Unknown keys
+// inside it are 400s like everywhere else — the decoder's
+// DisallowUnknownFields applies to nested objects too.
+type autoscaleUpdate struct {
+	Enabled                       *bool    `json:"enabled"`
+	MinReplicas                   *int     `json:"min_replicas"`
+	MaxReplicas                   *int     `json:"max_replicas"`
+	Target                        *float64 `json:"target"`
+	LeadSeconds                   *float64 `json:"lead_seconds"`
+	IntervalSeconds               *float64 `json:"interval_seconds"`
+	ScaleUpMaxStep                *int     `json:"scale_up_max_step"`
+	ScaleDownMaxStep              *int     `json:"scale_down_max_step"`
+	ScaleDownStabilizationSeconds *float64 `json:"scale_down_stabilization_seconds"`
+	ScaleDownCooldownSeconds      *float64 `json:"scale_down_cooldown_seconds"`
 }
 
 // merge applies the update over cur and returns the result: fields
@@ -115,6 +134,38 @@ func (u *configUpdate) merge(cur engine.EngineConfig) engine.EngineConfig {
 			} else {
 				merged.Train.CandidatePeriods = append([]float64(nil), (*u.Train.CandidatePeriods)...)
 			}
+		}
+	}
+	if u.Autoscale != nil {
+		if u.Autoscale.Enabled != nil {
+			merged.Autoscale.Enabled = *u.Autoscale.Enabled
+		}
+		if u.Autoscale.MinReplicas != nil {
+			merged.Autoscale.MinReplicas = *u.Autoscale.MinReplicas
+		}
+		if u.Autoscale.MaxReplicas != nil {
+			merged.Autoscale.MaxReplicas = *u.Autoscale.MaxReplicas
+		}
+		if u.Autoscale.Target != nil {
+			merged.Autoscale.Target = *u.Autoscale.Target
+		}
+		if u.Autoscale.LeadSeconds != nil {
+			merged.Autoscale.LeadSeconds = *u.Autoscale.LeadSeconds
+		}
+		if u.Autoscale.IntervalSeconds != nil {
+			merged.Autoscale.IntervalSeconds = *u.Autoscale.IntervalSeconds
+		}
+		if u.Autoscale.ScaleUpMaxStep != nil {
+			merged.Autoscale.ScaleUpMaxStep = *u.Autoscale.ScaleUpMaxStep
+		}
+		if u.Autoscale.ScaleDownMaxStep != nil {
+			merged.Autoscale.ScaleDownMaxStep = *u.Autoscale.ScaleDownMaxStep
+		}
+		if u.Autoscale.ScaleDownStabilizationSeconds != nil {
+			merged.Autoscale.ScaleDownStabilizationSeconds = *u.Autoscale.ScaleDownStabilizationSeconds
+		}
+		if u.Autoscale.ScaleDownCooldownSeconds != nil {
+			merged.Autoscale.ScaleDownCooldownSeconds = *u.Autoscale.ScaleDownCooldownSeconds
 		}
 	}
 	return merged

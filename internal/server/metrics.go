@@ -12,6 +12,7 @@ import (
 	"robustscaler/internal/engine"
 	"robustscaler/internal/httpmetrics"
 	"robustscaler/internal/metrics"
+	"robustscaler/internal/pipeline"
 )
 
 // instrument wraps a handler with request counting and latency
@@ -35,7 +36,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
+// statsResponse is the engine's observability summary plus the
+// autoscaler pipeline's view of the workload — last decision, clamp
+// reason, remaining cooldown, and live replica state.
+type statsResponse struct {
+	engine.Stats
+	Autoscale *pipeline.Status `json:"autoscale,omitempty"`
+}
+
 // handleStats serves one workload's JSON observability summary.
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request, e *engine.Engine) {
-	s.writeJSON(w, e.Stats())
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	st := s.pipelines.For(r.PathValue("id"), e).Status()
+	s.writeJSON(w, statsResponse{Stats: e.Stats(), Autoscale: &st})
 }

@@ -10,6 +10,7 @@
 //	POST   /v1/workloads/{id}/train      (re)fit the workload's NHPP model
 //	GET    /v1/workloads/{id}/plan       upcoming creation times
 //	GET    /v1/workloads/{id}/forecast   predicted intensity
+//	GET    /v1/workloads/{id}/recommendation  replica recommendation (pipeline)
 //	GET    /v1/workloads/{id}/status     model/ingestion state
 //	DELETE /v1/workloads/{id}            drop the workload
 //	GET    /v1/workloads                 list workload IDs
@@ -19,7 +20,10 @@
 //
 // All model state and math live in internal/engine; this package only
 // parses requests, routes them to the right Engine in the registry, and
-// encodes responses.
+// encodes responses. Plans, forecasts and recommendations are served
+// through the autoscaler pipeline's staged seams (internal/pipeline):
+// the Analyzer seam for model reads, a per-workload Controller for the
+// Collect → Analyze → Optimize → Actuate recommendation path.
 package server
 
 import (
@@ -34,6 +38,7 @@ import (
 
 	"robustscaler/internal/engine"
 	"robustscaler/internal/metrics"
+	"robustscaler/internal/pipeline"
 	"robustscaler/internal/store"
 )
 
@@ -72,6 +77,10 @@ type Server struct {
 	// snapshot files and write-ahead logs reset over timeline mismatches.
 	// Set once before serving (SetBootDegraded); nil means a clean boot.
 	boot *bootReport
+	// pipelines multiplexes the per-workload autoscaler controllers the
+	// plan/forecast/recommendation routes run through. The actuation
+	// backend defaults to dry-run; SetActuator swaps it before traffic.
+	pipelines *pipeline.Manager
 }
 
 // bootReport is the degraded-boot detail /healthz exposes.
@@ -90,6 +99,8 @@ func New(cfg Config) (*Server, error) {
 	m := metrics.NewRegistry()
 	reg.Instrument(m)
 	s := &Server{reg: reg, maxIngestBytes: DefaultMaxIngestBytes, metrics: m}
+	s.pipelines = pipeline.NewManager(reg, nil)
+	s.pipelines.Instrument(m)
 	s.encodeFailures = m.Counter("robustscaler_response_encode_failures_total",
 		"Responses whose body could not be fully written after the status was sent (truncated reply: vanished client or encode error).")
 	s.ingestEvents = map[string]*metrics.Counter{}
@@ -109,6 +120,29 @@ func (s *Server) SetMaxIngestBytes(n int64) { s.maxIngestBytes = n }
 // Registry exposes the workload registry, e.g. to start a background
 // retrainer or snapshotter over it.
 func (s *Server) Registry() *engine.Registry { return s.reg }
+
+// Pipelines exposes the autoscaler pipeline manager, e.g. to start the
+// background actuation loop over it.
+func (s *Server) Pipelines() *pipeline.Manager { return s.pipelines }
+
+// SetActuator selects the pipeline actuation backend: "dryrun" (the
+// default — decisions are recorded, nothing is created) or "sim" (an
+// in-process simulated cluster that models instance startup with the
+// workload's pending time). Call it once at startup, before traffic;
+// controllers already created keep their backend.
+func (s *Server) SetActuator(mode string) error {
+	switch mode {
+	case "", "dryrun":
+		s.pipelines.SetActuatorFactory(nil)
+	case "sim":
+		s.pipelines.SetActuatorFactory(func(id string, e *engine.Engine) pipeline.Actuator {
+			return pipeline.NewSimCluster(e.EngineConfig().Pending)
+		})
+	default:
+		return fmt.Errorf("unknown actuator %q (want dryrun or sim)", mode)
+	}
+	return nil
+}
 
 // SetStore enables persistence side effects (the POST /v1/admin/
 // snapshot endpoint, durable deletes), committing into st, and
@@ -174,6 +208,7 @@ func (s *Server) Handler() http.Handler {
 	handle("POST /v1/workloads/{id}/train", s.workload(s.handleTrain))
 	handle("GET /v1/workloads/{id}/plan", s.workload(s.handlePlan))
 	handle("GET /v1/workloads/{id}/forecast", s.workload(s.handleForecast))
+	handle("GET /v1/workloads/{id}/recommendation", s.workload(s.handleRecommendation))
 	handle("GET /v1/workloads/{id}/status", s.workload(s.handleStatus))
 	handle("GET /v1/workloads/{id}/stats", s.workload(s.handleStats))
 	handle("GET /v1/workloads/{id}/config", s.workload(s.handleConfigGet))
@@ -273,11 +308,15 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request, e *engine.E
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	// Model reads go through the pipeline's Analyzer seam. The engine
+	// satisfies it directly, so the response bytes are identical to the
+	// pre-pipeline path — the seam buys substitutability, not a copy.
+	az := s.pipelines.For(r.PathValue("id"), e).Analyzer()
 	q := r.URL.Query()
 	req := engine.PlanRequest{Variant: q.Get("variant")}
 	// Requests that omit target/horizon fall back to the workload's own
 	// configured defaults (PUT /config), not a fleet-wide constant.
-	ec := e.EngineConfig()
+	ec := az.EngineConfig()
 	defTarget := ec.HPTarget
 	switch req.Variant {
 	case "rt":
@@ -301,7 +340,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, e *engine.En
 		}
 		req.HasNow = true
 	}
-	plan, err := e.Plan(req)
+	plan, err := az.Plan(req)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -310,8 +349,9 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request, e *engine.En
 }
 
 func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	az := s.pipelines.For(r.PathValue("id"), e).Analyzer()
 	q := r.URL.Query()
-	from, err := floatParam(q.Get("from"), e.Now())
+	from, err := floatParam(q.Get("from"), az.Now())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -321,7 +361,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engin
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	step, err := floatParam(q.Get("step"), e.EngineConfig().Dt)
+	step, err := floatParam(q.Get("step"), az.EngineConfig().Dt)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -329,7 +369,7 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engin
 	// The engine caches the rendered body next to the points, so the
 	// steady state of a polling dashboard is a map hit plus one Write —
 	// no per-request re-marshal. The bytes match writeJSON output.
-	body, err := e.ForecastJSON(from, to, step)
+	body, err := az.ForecastJSON(from, to, step)
 	if err != nil {
 		httpError(w, err)
 		return
@@ -339,6 +379,21 @@ func (s *Server) handleForecast(w http.ResponseWriter, r *http.Request, e *engin
 		s.encodeFailures.Inc()
 		log.Printf("server: writing forecast response failed (response truncated): %v", err)
 	}
+}
+
+// handleRecommendation runs one full Collect → Analyze → Optimize pass
+// and returns the decision with its inputs and the behavior or window
+// that clamped it. The decision is recorded in the workload's
+// stabilization history (a served recommendation is a decision the
+// anti-flapping window must see) but is not actuated — only the
+// background loop applies decisions.
+func (s *Server) handleRecommendation(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
+	rec, err := s.pipelines.For(r.PathValue("id"), e).Recommend()
+	if err != nil {
+		httpError(w, err)
+		return
+	}
+	s.writeJSON(w, rec)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request, e *engine.Engine) {
